@@ -1,0 +1,57 @@
+//! Mapping-space and mapping-search micro-benchmarks: per-step cost of
+//! the inner loop that dominates total co-search CPU time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unico_mapping::{AnnealingSearch, MappingSearcher, MappingSpace};
+use unico_model::{AnalyticalModel, BoundSpatialCost, Dataflow, HwConfig, TechParams};
+use unico_workloads::TensorOp;
+
+fn nest() -> unico_workloads::LoopNest {
+    TensorOp::Conv2d {
+        n: 1,
+        k: 64,
+        c: 32,
+        y: 28,
+        x: 28,
+        r: 3,
+        s: 3,
+        stride: 1,
+    }
+    .to_loop_nest()
+}
+
+fn bench_space_ops(c: &mut Criterion) {
+    let n = nest();
+    let space = MappingSpace::new(&n);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("space_sample", |b| b.iter(|| space.sample(&mut rng)));
+    let m = space.sample(&mut rng);
+    c.bench_function("space_mutate", |b| b.iter(|| space.mutate(&mut rng, &m)));
+    c.bench_function("space_shrink", |b| b.iter(|| space.shrink(&mut rng, &m)));
+    let m2 = space.sample(&mut rng);
+    c.bench_function("space_crossover", |b| {
+        b.iter(|| space.crossover(&mut rng, &m, &m2))
+    });
+}
+
+fn bench_annealing_steps(c: &mut Criterion) {
+    let n = nest();
+    let model = AnalyticalModel::new(TechParams::default());
+    let hw = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
+    let cost = BoundSpatialCost::new(&model, hw, n, 1.0);
+    c.bench_function("annealing_100_steps", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut s = AnnealingSearch::new(MappingSpace::new(&n), StdRng::seed_from_u64(seed));
+            s.run_until(&cost, 100);
+            s.history().terminal_value()
+        })
+    });
+}
+
+criterion_group!(benches, bench_space_ops, bench_annealing_steps);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! PPA-engine throughput: the analytical model (MAESTRO-class, must be
+//! microseconds) vs the cycle-level Ascend-like simulator (the expensive
+//! oracle). The gap between the two is the regime the paper's cost
+//! analysis is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use unico_camodel::{AscendConfig, AscendModel, DepthFirstFusionSearch};
+use unico_mapping::Mapping;
+use unico_model::{AnalyticalModel, Dataflow, HwConfig, LoopCentricModel, TechParams};
+use unico_workloads::{Dim, TensorOp};
+
+fn conv_nest() -> unico_workloads::LoopNest {
+    TensorOp::Conv2d {
+        n: 1,
+        k: 64,
+        c: 64,
+        y: 28,
+        x: 28,
+        r: 3,
+        s: 3,
+        stride: 1,
+    }
+    .to_loop_nest()
+}
+
+fn spatial_mapping(nest: &unico_workloads::LoopNest) -> Mapping {
+    let mut l2 = nest.extents();
+    l2[Dim::C.index()] = 16;
+    let mut l1 = [1u64; 7];
+    l1[Dim::K.index()] = 8;
+    l1[Dim::Y.index()] = 8;
+    l1[Dim::X.index()] = 4;
+    l1[Dim::C.index()] = 4;
+    Mapping::new(nest, l2, l1, Dim::ALL, (Dim::K, Dim::Y))
+}
+
+fn bench_analytical(c: &mut Criterion) {
+    let model = AnalyticalModel::new(TechParams::default());
+    let hw = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
+    let nest = conv_nest();
+    let mapping = spatial_mapping(&nest);
+    c.bench_function("analytical_eval", |b| {
+        b.iter(|| model.evaluate(&hw, &mapping, &nest).expect("feasible"))
+    });
+}
+
+fn bench_loop_centric(c: &mut Criterion) {
+    let model = LoopCentricModel::new(TechParams::default());
+    let hw = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
+    let nest = conv_nest();
+    let mapping = spatial_mapping(&nest);
+    c.bench_function("loop_centric_eval", |b| {
+        b.iter(|| model.evaluate(&hw, &mapping, &nest).expect("feasible"))
+    });
+}
+
+fn bench_camodel(c: &mut Criterion) {
+    let model = AscendModel::default();
+    let hw = AscendConfig::expert_default();
+    let nest = conv_nest();
+    let mapping = DepthFirstFusionSearch::seed_mapping(&hw, &nest);
+    c.bench_function("camodel_eval", |b| {
+        b.iter(|| model.evaluate(&hw, &mapping, &nest).expect("feasible"))
+    });
+}
+
+criterion_group!(benches, bench_analytical, bench_loop_centric, bench_camodel);
+criterion_main!(benches);

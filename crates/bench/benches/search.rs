@@ -1,0 +1,84 @@
+//! Outer-loop benchmarks: one UNICO MOBO iteration, one NSGA-II
+//! generation, and a full successive-halving round over a batch of
+//! hardware sessions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use unico_core::{Unico, UnicoConfig};
+use unico_model::{Platform, SpatialPlatform};
+use unico_search::sh::{self, ShConfig};
+use unico_search::{run_nsga2, CoSearchEnv, EnvConfig, Nsga2Config};
+use unico_workloads::zoo;
+
+fn env(platform: &SpatialPlatform) -> CoSearchEnv<'_, SpatialPlatform> {
+    CoSearchEnv::new(
+        platform,
+        &[zoo::mobilenet_v1()],
+        EnvConfig {
+            max_layers_per_network: 1,
+            power_cap_mw: Some(2000.0),
+            area_cap_mm2: None,
+        },
+    )
+}
+
+fn bench_sh_round(c: &mut Criterion) {
+    let platform = SpatialPlatform::edge();
+    let e = env(&platform);
+    c.bench_function("msh_batch8_b64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut sessions: Vec<_> = (0..8)
+                .map(|i| e.session(e.platform().sample_hw(&mut rng), i))
+                .collect();
+            sh::run(&mut sessions, &ShConfig::modified(64))
+        })
+    });
+}
+
+fn bench_unico_iteration(c: &mut Criterion) {
+    let platform = SpatialPlatform::edge();
+    let e = env(&platform);
+    c.bench_function("unico_1iter_batch8", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            Unico::new(UnicoConfig {
+                max_iter: 1,
+                batch: 8,
+                b_max: 64,
+                seed,
+                candidate_pool: 64,
+                ..UnicoConfig::default()
+            })
+            .run(&e)
+        })
+    });
+}
+
+fn bench_nsga_generation(c: &mut Criterion) {
+    let platform = SpatialPlatform::edge();
+    let e = env(&platform);
+    c.bench_function("nsga2_1gen_pop8", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_nsga2(
+                &e,
+                &Nsga2Config {
+                    population: 8,
+                    generations: 1,
+                    inner_budget: 64,
+                    seed,
+                    ..Nsga2Config::default()
+                },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_sh_round, bench_unico_iteration, bench_nsga_generation);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Quality ablations of UNICO's design parameters (DESIGN.md §5):
+//!
+//! * `ρ` — the ParEGO augmentation coefficient (paper default 0.2);
+//! * `p/N` — MSH's AUC promotion share (paper default 0.15);
+//! * the UUL percentile of the high-fidelity update rule (default 0.95).
+//!
+//! For each setting the final normalized hypervolume on a fixed workload
+//! is reported, holding everything else at the paper's configuration.
+
+use unico_bench::Cli;
+use unico_core::experiments::ablation::hypervolumes;
+use unico_core::experiments::{scenario_env, table::Scenario};
+use unico_core::report::Table;
+use unico_core::{Unico, UnicoConfig};
+use unico_search::SearchTrace;
+use unico_workloads::zoo;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("ablation_params: scale={}, seed={}", cli.scale_name, cli.seed);
+    let platform = Scenario::Edge.platform();
+    let networks = vec![zoo::unet(), zoo::bert_base()];
+    let env = scenario_env(
+        &platform,
+        &networks,
+        &cli.scale,
+        Some(Scenario::Edge.power_cap_mw()),
+    );
+    let base = UnicoConfig {
+        max_iter: cli.scale.max_iter,
+        batch: cli.scale.batch,
+        b_max: cli.scale.b_max,
+        seed: cli.seed,
+        workers: cli.scale.workers,
+        ..UnicoConfig::default()
+    };
+
+    let mut variants: Vec<(String, UnicoConfig)> = vec![("default".into(), base)];
+    for rho in [0.0, 0.05, 0.5] {
+        variants.push((format!("rho={rho}"), UnicoConfig { rho, ..base }));
+    }
+    for p in [0.0, 0.3, 0.5] {
+        variants.push((
+            format!("auc_share={p}"),
+            UnicoConfig {
+                auc_fraction: p,
+                ..base
+            },
+        ));
+    }
+    for uul in [0.5, 0.75, 1.0] {
+        variants.push((
+            format!("uul_pct={uul}"),
+            UnicoConfig {
+                uul_percentile: uul,
+                ..base
+            },
+        ));
+    }
+
+    let runs: Vec<(String, SearchTrace)> = variants
+        .into_iter()
+        .map(|(name, cfg)| {
+            eprintln!("  running {name} ...");
+            let res = Unico::new(cfg).run(&env);
+            (name, res.trace)
+        })
+        .collect();
+    let refs: Vec<(String, &SearchTrace)> =
+        runs.iter().map(|(n, t)| (n.clone(), t)).collect();
+    let rows = hypervolumes(&refs);
+
+    let mut t = Table::new(vec!["Variant", "Hypervolume", "vs default"]);
+    let mut csv = String::from("variant,hypervolume,vs_default_pct\n");
+    for r in &rows {
+        t.row(vec![
+            r.variant.clone(),
+            format!("{:.4}", r.hypervolume),
+            format!("{:+.1}%", r.vs_hasco_pct),
+        ]);
+        csv.push_str(&format!(
+            "{},{:.6},{:.3}\n",
+            r.variant, r.hypervolume, r.vs_hasco_pct
+        ));
+    }
+    println!("Parameter ablations (baseline = paper defaults)\n{}", t.to_markdown());
+    let path = cli.write_artifact("ablation_params.csv", &csv);
+    eprintln!("wrote {}", path.display());
+}

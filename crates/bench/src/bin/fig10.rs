@@ -1,0 +1,42 @@
+//! Regenerates Fig. 10: feature-contribution ablation — HASCO vs
+//! SH+ChampionUpdate vs MSH+ChampionUpdate vs full UNICO, compared by
+//! final hypervolume on {UNet, SRGAN, BERT, ViT}.
+
+use unico_bench::Cli;
+use unico_core::experiments::ablation::run_ablation;
+use unico_core::report::Table;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig10: scale={}, seed={}", cli.scale_name, cli.seed);
+    let res = run_ablation(&cli.scale, cli.seed);
+    let mut t = Table::new(vec![
+        "Variant",
+        "HV @ 1/4 time",
+        "HV @ own finish",
+        "vs HASCO @ 1/4 time",
+        "Hours to HASCO quality",
+    ]);
+    let mut csv =
+        String::from("variant,hv_quarter_time,hv_final,vs_hasco_pct,hours_to_hasco_quality\n");
+    for r in &res.rows {
+        let tt = r
+            .hours_to_hasco_quality
+            .map(|h| format!("{h:.2}"))
+            .unwrap_or_else(|| "never".into());
+        t.row(vec![
+            r.variant.clone(),
+            format!("{:.4}", r.hypervolume),
+            format!("{:.4}", r.hypervolume_final),
+            format!("{:+.1}%", r.vs_hasco_pct),
+            tt.clone(),
+        ]);
+        csv.push_str(&format!(
+            "{},{:.6},{:.6},{:.3},{}\n",
+            r.variant, r.hypervolume, r.hypervolume_final, r.vs_hasco_pct, tt
+        ));
+    }
+    println!("Fig. 10 (ablation)\n{}", t.to_markdown());
+    let path = cli.write_artifact("fig10_ablation.csv", &csv);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 11: latency and power savings of the UNICO-found
+//! Ascend-like architecture over the expert default, per workload.
+
+use unico_bench::Cli;
+use unico_core::experiments::ascend::run_ascend;
+use unico_core::report::Table;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig11: scale={}, seed={}", cli.scale_name, cli.seed);
+    let res = run_ascend(&cli.scale, cli.seed, None);
+    println!("expert default: {}", res.default_hw);
+    println!("UNICO found:    {}", res.unico_hw);
+    let (da, db, dc) = res.l0_deltas_kb();
+    println!("L0 deltas vs default: L0A {da:+} KiB, L0B {db:+} KiB, L0C {dc:+} KiB");
+    println!("search cost: {:.2} h (simulated)\n", res.search_cost_h);
+
+    let mut t = Table::new(vec!["Network", "Latency saving", "Power saving"]);
+    let mut csv = String::from("network,latency_saving_pct,power_saving_pct\n");
+    for r in &res.rows {
+        let cell = |v: Option<f64>| v.map(|x| format!("{x:+.1}%")).unwrap_or_else(|| "n/a".into());
+        t.row(vec![
+            r.network.clone(),
+            cell(r.latency_saving_pct),
+            cell(r.power_saving_pct),
+        ]);
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            r.network,
+            r.latency_saving_pct.map(|v| format!("{v:.3}")).unwrap_or_default(),
+            r.power_saving_pct.map(|v| format!("{v:.3}")).unwrap_or_default()
+        ));
+    }
+    println!("Fig. 11 (Ascend-like deployment)\n{}", t.to_markdown());
+    if let Some(mp) = res.mean_power_saving_pct() {
+        println!("mean power saving: {mp:+.1}%");
+    }
+    let path = cli.write_artifact("fig11_savings.csv", &csv);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,57 @@
+//! Regenerates Fig. 7: hypervolume difference vs wall-clock time for
+//! HASCO, NSGA-II, MOBOHB and UNICO on the edge and cloud scenarios.
+
+use std::collections::BTreeMap;
+
+use unico_bench::Cli;
+use unico_core::experiments::hv_trace::{final_hv_differences, run_hv_trace};
+use unico_core::experiments::stats::{across_seeds, Stats};
+use unico_core::experiments::table::Scenario;
+use unico_core::report::{series_to_csv, Table};
+use unico_workloads::zoo;
+
+fn main() {
+    let cli = Cli::parse();
+    for scenario in [Scenario::Edge, Scenario::Cloud] {
+        let tag = match scenario {
+            Scenario::Edge => "edge",
+            Scenario::Cloud => "cloud",
+        };
+        eprintln!("fig7 ({tag}): scale={}, seed={}", cli.scale_name, cli.seed);
+        let res = run_hv_trace(scenario, &zoo::edge_suite(), &cli.scale, cli.seed);
+        let mut t = Table::new(vec!["Method", "Final HV difference", "Final time (h)"]);
+        for (m, d) in final_hv_differences(&res) {
+            let hours = res
+                .methods
+                .iter()
+                .find(|mt| mt.method == m)
+                .and_then(|mt| mt.series.last())
+                .map(|&(h, _)| h)
+                .unwrap_or(0.0);
+            t.row(vec![m, format!("{d:.4}"), format!("{hours:.2}")]);
+        }
+        println!("Fig. 7 ({})\n{}", res.scenario, t.to_markdown());
+        for m in &res.methods {
+            let path = cli.write_artifact(
+                &format!("fig7_{tag}_{}.csv", m.method.to_lowercase()),
+                &series_to_csv("hours", "hv_difference", &m.series),
+            );
+            eprintln!("wrote {}", path.display());
+        }
+        if cli.repeats > 1 {
+            let mut per_method: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+            let runs = across_seeds(cli.seed, cli.repeats, |s| {
+                run_hv_trace(scenario, &zoo::edge_suite(), &cli.scale, s)
+            });
+            for run in &runs {
+                for (m, d) in final_hv_differences(run) {
+                    per_method.entry(m).or_default().push(d);
+                }
+            }
+            println!("final HV difference over {} seeds:", cli.repeats);
+            for (m, v) in per_method {
+                println!("  {m:8} {}", Stats::of(&v));
+            }
+        }
+    }
+}

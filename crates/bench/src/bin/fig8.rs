@@ -1,0 +1,61 @@
+//! Regenerates Fig. 8: the robustness metric `R` as an indicator of
+//! hardware generalization — similar-PPA Pareto pairs validated on
+//! unseen networks.
+
+use unico_bench::Cli;
+use unico_core::experiments::robust_pairs::run_robust_pairs;
+use unico_core::report::Table;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig8: scale={}, seed={}", cli.scale_name, cli.seed);
+    let res = run_robust_pairs(&cli.scale, cli.seed, 3, 0.35);
+    println!(
+        "Fig. 8: {} Pareto designs, {} comparable pairs\n",
+        res.front_size,
+        res.pairs.len()
+    );
+    let mut t = Table::new(vec![
+        "Pair",
+        "R (A)",
+        "R (B)",
+        "Train lat A (s)",
+        "Train lat B (s)",
+        "Val lat A (s)",
+        "Val lat B (s)",
+        "Robust wins?",
+    ]);
+    let mut csv = String::from("pair,ra,rb,train_a,train_b,val_a,val_b,robust_wins\n");
+    for p in &res.pairs {
+        t.row(vec![
+            format!("({}, {})", p.ids.0, p.ids.1),
+            format!("{:.4}", p.robustness.0),
+            format!("{:.4}", p.robustness.1),
+            format!("{:.4e}", p.train_latency_s.0),
+            format!("{:.4e}", p.train_latency_s.1),
+            format!("{:.4e}", p.validation_latency_s.0),
+            format!("{:.4e}", p.validation_latency_s.1),
+            format!("{}", p.robust_wins()),
+        ]);
+        csv.push_str(&format!(
+            "{}-{},{:.6},{:.6},{:.6e},{:.6e},{:.6e},{:.6e},{}\n",
+            p.ids.0,
+            p.ids.1,
+            p.robustness.0,
+            p.robustness.1,
+            p.train_latency_s.0,
+            p.train_latency_s.1,
+            p.validation_latency_s.0,
+            p.validation_latency_s.1,
+            p.robust_wins()
+        ));
+    }
+    println!("{}", t.to_markdown());
+    let wins = res.pairs.iter().filter(|p| p.robust_wins()).count();
+    println!(
+        "more-robust design wins on validation in {wins}/{} pairs",
+        res.pairs.len()
+    );
+    let path = cli.write_artifact("fig8_pairs.csv", &csv);
+    eprintln!("wrote {}", path.display());
+}

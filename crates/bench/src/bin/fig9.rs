@@ -1,0 +1,92 @@
+//! Regenerates Fig. 9: UNICO vs HASCO generalization to eight unseen
+//! DNNs after co-optimization on {MobileNetV2, ResNet, SRGAN, VGG}.
+
+use unico_bench::Cli;
+use unico_core::experiments::generalization::{run_generalization, run_r_ablation};
+use unico_core::experiments::stats::{across_seeds, Stats};
+use unico_core::report::Table;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("fig9: scale={}, seed={}", cli.scale_name, cli.seed);
+    let res = run_generalization(&cli.scale, cli.seed);
+    println!("UNICO design: {:?}", res.unico_hw);
+    println!("HASCO design: {:?}\n", res.hasco_hw);
+    let mut t = Table::new(vec![
+        "Network",
+        "UNICO val-HV",
+        "HASCO val-HV",
+        "UNICO gain",
+    ]);
+    let mut csv = String::from("network,unico_hv,hasco_hv,gain\n");
+    for row in &res.rows {
+        t.row(vec![
+            row.network.clone(),
+            format!("{:.4}", row.unico_hv),
+            format!("{:.4}", row.hasco_hv),
+            format!("{:+.1}%", row.gain() * 100.0),
+        ]);
+        csv.push_str(&format!(
+            "{},{:.6},{:.6},{:.6}\n",
+            row.network, row.unico_hv, row.hasco_hv, row.gain()
+        ));
+    }
+    println!("{}", t.to_markdown());
+    if let Some(mean) = res.mean_gain() {
+        println!("mean per-network validation-HV gain: {:+.1}%", mean * 100.0);
+    }
+    println!(
+        "suite-aggregate validation-HV gain:  {:+.1}%",
+        res.aggregate_gain() * 100.0
+    );
+    if cli.repeats > 1 {
+        let gains = across_seeds(cli.seed, cli.repeats, |s| {
+            run_generalization(&cli.scale, s).aggregate_gain()
+        });
+        println!(
+            "suite-aggregate gain over {} seeds: {}",
+            cli.repeats,
+            Stats::of(&gains)
+        );
+    }
+    let path = cli.write_artifact("fig9_gains.csv", &csv);
+    eprintln!("wrote {}", path.display());
+
+    // Mechanism check: the robustness objective on vs off.
+    eprintln!("fig9: running R on/off ablation ...");
+    let ab = run_r_ablation(&cli.scale, cli.seed);
+    let mut t2 = Table::new(vec!["Network", "with-R val-HV", "no-R val-HV", "gain"]);
+    let mut csv2 = String::from("network,with_r_hv,no_r_hv,gain\n");
+    for row in &ab.rows {
+        t2.row(vec![
+            row.network.clone(),
+            format!("{:.4}", row.unico_hv),
+            format!("{:.4}", row.hasco_hv),
+            format!("{:+.1}%", row.gain() * 100.0),
+        ]);
+        csv2.push_str(&format!(
+            "{},{:.6},{:.6},{:.6}\n",
+            row.network, row.unico_hv, row.hasco_hv, row.gain()
+        ));
+    }
+    println!("\nRobustness-objective ablation (same UNICO config, R on vs off)\n{}", t2.to_markdown());
+    if let Some(m) = ab.mean_gain() {
+        println!("mean per-network validation-HV gain from R: {:+.1}%", m * 100.0);
+    }
+    println!(
+        "suite-aggregate validation-HV gain from R:  {:+.1}%",
+        ab.aggregate_gain() * 100.0
+    );
+    if cli.repeats > 1 {
+        let gains = across_seeds(cli.seed, cli.repeats, |s| {
+            run_r_ablation(&cli.scale, s).aggregate_gain()
+        });
+        println!(
+            "R-gain over {} seeds: {}",
+            cli.repeats,
+            Stats::of(&gains)
+        );
+    }
+    let path2 = cli.write_artifact("fig9_r_ablation.csv", &csv2);
+    eprintln!("wrote {}", path2.display());
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table 1: HASCO vs NSGA-II vs UNICO on the edge device
+//! (power < 2 W) across the seven evaluation networks.
+
+use unico_bench::Cli;
+use unico_core::experiments::table::{render, run_table, Scenario};
+use unico_core::report::series_to_csv;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!(
+        "table1: edge scenario, scale={}, seed={}",
+        cli.scale_name, cli.seed
+    );
+    let comparisons = run_table(Scenario::Edge, &cli.scale, cli.seed);
+    println!("{}", render(Scenario::Edge, &comparisons));
+
+    // Per-method cost series for plotting.
+    for method_idx in 0..3 {
+        let name = &comparisons[0].rows[method_idx].method;
+        let series: Vec<(f64, f64)> = comparisons
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as f64, c.rows[method_idx].cost_h))
+            .collect();
+        let path = cli.write_artifact(
+            &format!("table1_cost_{}.csv", name.to_lowercase()),
+            &series_to_csv("network_idx", "cost_h", &series),
+        );
+        eprintln!("wrote {}", path.display());
+    }
+}

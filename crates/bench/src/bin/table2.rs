@@ -1,0 +1,28 @@
+//! Regenerates Table 2: HASCO vs NSGA-II vs UNICO on the cloud device
+//! (power < 20 W) across the seven evaluation networks.
+
+use unico_bench::Cli;
+use unico_core::experiments::table::{render, run_table, Scenario};
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!(
+        "table2: cloud scenario, scale={}, seed={}",
+        cli.scale_name, cli.seed
+    );
+    let comparisons = run_table(Scenario::Cloud, &cli.scale, cli.seed);
+    println!("{}", render(Scenario::Cloud, &comparisons));
+
+    let mut csv = String::from("network,method,latency_s,power_mw,area_mm2,cost_h\n");
+    for c in &comparisons {
+        for r in &c.rows {
+            let (l, p, a) = r.ppa.unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+            csv.push_str(&format!(
+                "{},{},{:.6e},{:.3},{:.3},{:.3}\n",
+                c.network, r.method, l, p, a, r.cost_h
+            ));
+        }
+    }
+    let path = cli.write_artifact("table2.csv", &csv);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,179 @@
+//! Shared plumbing for the experiment binaries: CLI parsing and output
+//! management.
+//!
+//! Every binary regenerates one table or figure of the paper and accepts
+//! `--scale smoke|quick|paper` (default `quick`), `--seed <u64>` and
+//! `--out <dir>` (default `results/`). Outputs are written both to
+//! stdout (markdown) and as CSV files for plotting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use unico_core::experiments::Scale;
+
+/// Parsed command-line options common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Human-readable scale name.
+    pub scale_name: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Independent repeats (seed, seed+1, …) for experiments that report
+    /// mean ± std.
+    pub repeats: usize,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Cli {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Cli {
+        let mut scale_name = "quick".to_string();
+        let mut seed = 0u64;
+        let mut repeats = 1usize;
+        let mut out_dir = PathBuf::from("results");
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    scale_name = it.next().expect("--scale needs a value");
+                }
+                "--seed" => {
+                    seed = it
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                "--out" => {
+                    out_dir = PathBuf::from(it.next().expect("--out needs a value"));
+                }
+                "--repeats" => {
+                    repeats = it
+                        .next()
+                        .expect("--repeats needs a value")
+                        .parse()
+                        .expect("--repeats must be an integer");
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--scale smoke|quick|paper] [--seed N] [--repeats N] [--out DIR]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other}; try --help"),
+            }
+        }
+        let scale = match scale_name.as_str() {
+            "smoke" => Scale::smoke(),
+            "quick" => Scale::quick(),
+            "paper" => Scale::paper(),
+            other => panic!("unknown scale {other}; use smoke|quick|paper"),
+        };
+        Cli {
+            scale,
+            scale_name,
+            seed,
+            repeats: repeats.max(1),
+            out_dir,
+        }
+    }
+
+    /// Writes an artifact under the output directory, creating it if
+    /// needed; returns the written path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (experiment binaries want loud failures).
+    pub fn write_artifact(&self, name: &str, contents: &str) -> PathBuf {
+        fs::create_dir_all(&self.out_dir).expect("create output directory");
+        let path = self.out_dir.join(name);
+        fs::write(&path, contents).expect("write artifact");
+        path
+    }
+}
+
+/// Writes `contents` to `path`, creating parent directories.
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn write_file(path: &Path, contents: &str) {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("create parent directory");
+    }
+    fs::write(path, contents).expect("write file");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let c = Cli::parse_from(args(&[]));
+        assert_eq!(c.scale_name, "quick");
+        assert_eq!(c.seed, 0);
+        assert_eq!(c.repeats, 1);
+        assert_eq!(c.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let c = Cli::parse_from(args(&[
+            "--scale", "smoke", "--seed", "42", "--out", "/tmp/x", "--repeats", "3",
+        ]));
+        assert_eq!(c.scale_name, "smoke");
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.repeats, 3);
+        assert_eq!(c.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(c.scale.batch, Scale::smoke().batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        let _ = Cli::parse_from(args(&["--bogus"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn rejects_bad_scale() {
+        let _ = Cli::parse_from(args(&["--scale", "galactic"]));
+    }
+
+    #[test]
+    fn artifact_roundtrip() {
+        let dir = std::env::temp_dir().join("unico-bench-test");
+        let c = Cli {
+            scale: Scale::smoke(),
+            scale_name: "smoke".into(),
+            seed: 0,
+            repeats: 1,
+            out_dir: dir.clone(),
+        };
+        let p = c.write_artifact("t.csv", "a,b\n1,2\n");
+        assert!(p.exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,308 @@
+//! The Ascend-like hardware configuration and its design space.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One configuration of the Ascend-like core: cube intrinsic shape, the
+/// three L0 operand buffers with their bank groups, L1, the
+/// unified/vector buffer, the parameter buffer and the ICache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AscendConfig {
+    /// Cube intrinsic M (output rows per beat).
+    pub cube_m: u32,
+    /// Cube intrinsic N (output columns per beat).
+    pub cube_n: u32,
+    /// Cube intrinsic K (reduction depth per beat).
+    pub cube_k: u32,
+    /// L0A (left operand) size, KiB.
+    pub l0a_kb: u32,
+    /// L0B (right operand) size, KiB.
+    pub l0b_kb: u32,
+    /// L0C (accumulator) size, KiB.
+    pub l0c_kb: u32,
+    /// L0A bank groups (≥ 2 enables double buffering).
+    pub l0a_banks: u32,
+    /// L0B bank groups.
+    pub l0b_banks: u32,
+    /// L0C bank groups.
+    pub l0c_banks: u32,
+    /// L1 staging buffer, KiB.
+    pub l1_kb: u32,
+    /// Unified (vector) buffer, KiB.
+    pub ub_kb: u32,
+    /// Parameter buffer, KiB.
+    pub pb_kb: u32,
+    /// Instruction cache, KiB.
+    pub icache_kb: u32,
+}
+
+impl AscendConfig {
+    /// The expert-selected default architecture the paper's Fig. 11
+    /// compares against: a balanced 16×16×16 cube with symmetric L0A/L0B.
+    pub fn expert_default() -> Self {
+        AscendConfig {
+            cube_m: 16,
+            cube_n: 16,
+            cube_k: 16,
+            l0a_kb: 64,
+            l0b_kb: 64,
+            l0c_kb: 256,
+            l0a_banks: 2,
+            l0b_banks: 2,
+            l0c_banks: 2,
+            l1_kb: 1024,
+            ub_kb: 256,
+            pb_kb: 32,
+            icache_kb: 32,
+        }
+    }
+
+    /// MACs the cube performs per beat.
+    pub fn cube_macs(&self) -> u64 {
+        u64::from(self.cube_m) * u64::from(self.cube_n) * u64::from(self.cube_k)
+    }
+}
+
+impl fmt::Display for AscendConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cube {}x{}x{}, L0A {}K/{}b, L0B {}K/{}b, L0C {}K/{}b, L1 {}K, UB {}K, PB {}K, IC {}K",
+            self.cube_m,
+            self.cube_n,
+            self.cube_k,
+            self.l0a_kb,
+            self.l0a_banks,
+            self.l0b_kb,
+            self.l0b_banks,
+            self.l0c_kb,
+            self.l0c_banks,
+            self.l1_kb,
+            self.ub_kb,
+            self.pb_kb,
+            self.icache_kb
+        )
+    }
+}
+
+/// The enumerated Ascend-like design space (≈ `2e8` points; the paper
+/// quotes `1e9` with finer buffer granularity — the search dynamics are
+/// unchanged).
+#[derive(Debug, Clone)]
+pub struct AscendSpace {
+    cube_opts: Vec<u32>,
+    l0ab_opts: Vec<u32>,
+    l0c_opts: Vec<u32>,
+    bank_opts: Vec<u32>,
+    l1_opts: Vec<u32>,
+    ub_opts: Vec<u32>,
+    pb_opts: Vec<u32>,
+    icache_opts: Vec<u32>,
+}
+
+impl Default for AscendSpace {
+    fn default() -> Self {
+        AscendSpace {
+            cube_opts: vec![8, 16, 32],
+            l0ab_opts: vec![16, 32, 48, 64, 96, 128, 192, 256],
+            l0c_opts: vec![32, 64, 96, 128, 192, 256, 384, 512],
+            bank_opts: vec![1, 2, 4],
+            l1_opts: vec![256, 512, 768, 1024, 1536, 2048],
+            ub_opts: vec![64, 128, 192, 256, 384, 512],
+            pb_opts: vec![16, 32, 64],
+            icache_opts: vec![16, 32, 64],
+        }
+    }
+}
+
+/// Genome length for [`AscendSpace`] integer encoding.
+pub(crate) const GENOME_LEN: usize = 13;
+
+impl AscendSpace {
+    /// Number of configurations in the space.
+    pub fn size(&self) -> u64 {
+        (self.cube_opts.len() as u64).pow(3)
+            * (self.l0ab_opts.len() as u64).pow(2)
+            * self.l0c_opts.len() as u64
+            * (self.bank_opts.len() as u64).pow(3)
+            * self.l1_opts.len() as u64
+            * self.ub_opts.len() as u64
+            * self.pb_opts.len() as u64
+            * self.icache_opts.len() as u64
+    }
+
+    fn gene_lists(&self) -> [&[u32]; GENOME_LEN] {
+        [
+            &self.cube_opts,
+            &self.cube_opts,
+            &self.cube_opts,
+            &self.l0ab_opts,
+            &self.l0ab_opts,
+            &self.l0c_opts,
+            &self.bank_opts,
+            &self.bank_opts,
+            &self.bank_opts,
+            &self.l1_opts,
+            &self.ub_opts,
+            &self.pb_opts,
+            &self.icache_opts,
+        ]
+    }
+
+    /// Decodes an option-index genome into a configuration (indices are
+    /// clamped into range).
+    pub fn decode(&self, genome: &[usize; GENOME_LEN]) -> AscendConfig {
+        let lists = self.gene_lists();
+        let pick = |i: usize| lists[i][genome[i].min(lists[i].len() - 1)];
+        AscendConfig {
+            cube_m: pick(0),
+            cube_n: pick(1),
+            cube_k: pick(2),
+            l0a_kb: pick(3),
+            l0b_kb: pick(4),
+            l0c_kb: pick(5),
+            l0a_banks: pick(6),
+            l0b_banks: pick(7),
+            l0c_banks: pick(8),
+            l1_kb: pick(9),
+            ub_kb: pick(10),
+            pb_kb: pick(11),
+            icache_kb: pick(12),
+        }
+    }
+
+    /// Encodes a configuration into a genome (nearest option per gene).
+    pub fn encode_genome(&self, hw: &AscendConfig) -> [usize; GENOME_LEN] {
+        let lists = self.gene_lists();
+        let vals = [
+            hw.cube_m,
+            hw.cube_n,
+            hw.cube_k,
+            hw.l0a_kb,
+            hw.l0b_kb,
+            hw.l0c_kb,
+            hw.l0a_banks,
+            hw.l0b_banks,
+            hw.l0c_banks,
+            hw.l1_kb,
+            hw.ub_kb,
+            hw.pb_kb,
+            hw.icache_kb,
+        ];
+        std::array::from_fn(|i| {
+            lists[i]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &o)| o.abs_diff(vals[i]))
+                .map(|(idx, _)| idx)
+                .unwrap_or(0)
+        })
+    }
+
+    /// Samples a uniformly random configuration.
+    pub fn sample(&self, rng: &mut StdRng) -> AscendConfig {
+        let lists = self.gene_lists();
+        let genome = std::array::from_fn(|i| rng.gen_range(0..lists[i].len()));
+        self.decode(&genome)
+    }
+
+    /// Perturbs one gene by a small option step.
+    pub fn perturb(&self, rng: &mut StdRng, hw: &AscendConfig) -> AscendConfig {
+        let mut genome = self.encode_genome(hw);
+        let g = rng.gen_range(0..GENOME_LEN);
+        let card = self.gene_lists()[g].len() as i64;
+        let step = rng.gen_range(1..=2i64) * if rng.gen_bool(0.5) { 1 } else { -1 };
+        genome[g] = (genome[g] as i64 + step).clamp(0, card - 1) as usize;
+        self.decode(&genome)
+    }
+
+    /// Uniform genome crossover.
+    pub fn crossover(&self, rng: &mut StdRng, a: &AscendConfig, b: &AscendConfig) -> AscendConfig {
+        let ga = self.encode_genome(a);
+        let gb = self.encode_genome(b);
+        let genome = std::array::from_fn(|i| if rng.gen_bool(0.5) { ga[i] } else { gb[i] });
+        self.decode(&genome)
+    }
+
+    /// Normalized `[0, 1]^13` feature encoding for the GP surrogate.
+    pub fn features(&self, hw: &AscendConfig) -> Vec<f64> {
+        let lists = self.gene_lists();
+        let genome = self.encode_genome(hw);
+        genome
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                let n = lists[i].len();
+                if n > 1 {
+                    g as f64 / (n - 1) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn space_is_large() {
+        let s = AscendSpace::default();
+        assert!(s.size() as f64 > 1e7, "size {}", s.size());
+    }
+
+    #[test]
+    fn genome_roundtrip() {
+        let s = AscendSpace::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let hw = s.sample(&mut rng);
+            assert_eq!(s.decode(&s.encode_genome(&hw)), hw);
+        }
+    }
+
+    #[test]
+    fn expert_default_is_in_space() {
+        let s = AscendSpace::default();
+        let d = AscendConfig::expert_default();
+        assert_eq!(s.decode(&s.encode_genome(&d)), d);
+        assert_eq!(d.cube_macs(), 4096);
+    }
+
+    #[test]
+    fn features_unit_box() {
+        let s = AscendSpace::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let f = s.features(&s.sample(&mut rng));
+            assert_eq!(f.len(), GENOME_LEN);
+            assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn perturb_changes_one_gene_at_most() {
+        let s = AscendSpace::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let hw = AscendConfig::expert_default();
+        for _ in 0..50 {
+            let p = s.perturb(&mut rng, &hw);
+            let ga = s.encode_genome(&hw);
+            let gb = s.encode_genome(&p);
+            let diff = ga.iter().zip(&gb).filter(|(a, b)| a != b).count();
+            assert!(diff <= 1);
+        }
+    }
+
+    #[test]
+    fn display_mentions_cube() {
+        assert!(AscendConfig::expert_default()
+            .to_string()
+            .contains("cube 16x16x16"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Depth-first buffer-fusion mapping search for the Ascend-like core.
+//!
+//! Mirrors the paper's description of the industrial SW mapping tool: a
+//! *depth-first* exploration that fuses output rows into L1-resident
+//! tiles (line-buffer style) and blocks each tile to the cube intrinsic,
+//! followed by local refinement. The enumeration phase is deterministic
+//! (a fixed ladder of fusion depths and cube-aligned block shapes); the
+//! refinement phase is a seeded stochastic hill climb over the same
+//! mapping space.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use unico_mapping::{
+    Mapping, MappingCost, MappingOutcome, MappingSearcher, MappingSpace, SearchHistory,
+};
+use unico_workloads::{Dim, LoopNest, DIM_COUNT};
+
+use crate::config::AscendConfig;
+
+/// Depth-first fusion mapping search (see module docs).
+#[derive(Debug)]
+pub struct DepthFirstFusionSearch {
+    space: MappingSpace,
+    rng: StdRng,
+    history: SearchHistory,
+    queue: Vec<Mapping>,
+    best: Option<(Mapping, MappingOutcome)>,
+}
+
+impl DepthFirstFusionSearch {
+    /// Creates the search for `(hw, nest)`; `seed` controls the
+    /// refinement phase only — the enumeration ladder is deterministic.
+    pub fn new(hw: &AscendConfig, nest: &LoopNest, seed: u64) -> Self {
+        let mut queue = Self::candidate_ladder(hw, nest);
+        queue.reverse(); // evaluate in ladder order via pop()
+        DepthFirstFusionSearch {
+            space: MappingSpace::new(nest),
+            rng: StdRng::seed_from_u64(seed),
+            history: SearchHistory::new(),
+            queue,
+            best: None,
+        }
+    }
+
+    /// A deterministic cube-aligned, buffer-fitting seed mapping: the
+    /// first rung of the enumeration ladder.
+    pub fn seed_mapping(hw: &AscendConfig, nest: &LoopNest) -> Mapping {
+        Self::build(hw, nest, 1, 1, 1)
+    }
+
+    /// Builds one ladder candidate: `n_mult` cube-N columns per tile,
+    /// `k_mult` cube-K reduction blocks per tile, `depth_div` divides the
+    /// fused row extent staged in L1.
+    fn build(hw: &AscendConfig, nest: &LoopNest, n_mult: u64, k_mult: u64, depth_div: u64) -> Mapping {
+        let ext = nest.extents();
+        let mut l1 = [1u64; DIM_COUNT];
+        l1[Dim::R.index()] = ext[Dim::R.index()];
+        l1[Dim::S.index()] = ext[Dim::S.index()];
+        l1[Dim::K.index()] = (u64::from(hw.cube_n) * n_mult).min(ext[Dim::K.index()]);
+        let k_budget = (u64::from(hw.cube_k) * k_mult)
+            .max(ext[Dim::R.index()] * ext[Dim::S.index()]);
+        l1[Dim::C.index()] =
+            (k_budget / (ext[Dim::R.index()] * ext[Dim::S.index()])).clamp(1, ext[Dim::C.index()]);
+        // Fill the M side of L0A / L0C with output pixels.
+        let k_tile = l1[Dim::C.index()] * l1[Dim::R.index()] * l1[Dim::S.index()];
+        let n_tile = l1[Dim::K.index()];
+        let m_from_a = (u64::from(hw.l0a_kb) * 1024 / u64::from(hw.l0a_banks)) / (k_tile * 2).max(1);
+        let m_from_c = (u64::from(hw.l0c_kb) * 1024 / u64::from(hw.l0c_banks)) / (n_tile * 4).max(1);
+        let m_from_ub = (u64::from(hw.ub_kb) * 1024) / (n_tile * 4).max(1);
+        let m_budget = m_from_a.min(m_from_c).min(m_from_ub).max(1);
+        l1[Dim::X.index()] = ext[Dim::X.index()].min(m_budget);
+        l1[Dim::Y.index()] = (m_budget / l1[Dim::X.index()]).clamp(1, ext[Dim::Y.index()]);
+        // Fusion (L2) tile: full tensor but output rows split depth-first
+        // so the working set fits L1.
+        let mut l2 = ext;
+        l2[Dim::Y.index()] = (ext[Dim::Y.index()] / depth_div).max(l1[Dim::Y.index()]).max(1);
+        // Depth-first order: fused rows outermost, reduction innermost.
+        let order = [Dim::N, Dim::Y, Dim::X, Dim::K, Dim::C, Dim::R, Dim::S];
+        let mut mapping = Mapping::new(nest, l2, l1, order, (Dim::K, Dim::Y));
+        // Shrink the fusion tile (then, if needed, the L1 tile) until the
+        // double-buffered working set fits the L1 staging buffer, so the
+        // seed mapping is feasible on any configuration.
+        let l1_capacity = u64::from(hw.l1_kb) * 1024;
+        for _ in 0..64 {
+            if mapping.l2_footprint(nest, 2).total() * 2 <= l1_capacity {
+                break;
+            }
+            let mut l2 = mapping.l2_tile();
+            let mut l1 = mapping.l1_tile();
+            // Halve the largest L2 dim still above its L1 tile; if none
+            // remains, halve the largest L1 dim (L2 clamps with it).
+            if let Some(d) = (0..DIM_COUNT)
+                .filter(|&d| l2[d] > l1[d])
+                .max_by_key(|&d| l2[d] / l1[d].max(1))
+            {
+                l2[d] = (l2[d] / 2).max(l1[d]).max(1);
+            } else if let Some(d) = (0..DIM_COUNT).filter(|&d| l1[d] > 1).max_by_key(|&d| l1[d]) {
+                l1[d] = (l1[d] / 2).max(1);
+                l2[d] = l2[d].min(l1[d].max(1));
+            } else {
+                break;
+            }
+            mapping = Mapping::new(nest, l2, l1, order, (Dim::K, Dim::Y));
+        }
+        mapping
+    }
+
+    /// The deterministic enumeration ladder over fusion depths and cube
+    /// block multiples.
+    fn candidate_ladder(hw: &AscendConfig, nest: &LoopNest) -> Vec<Mapping> {
+        let mut v = Vec::new();
+        for depth_div in [1u64, 2, 4, 8, 16] {
+            for n_mult in [1u64, 2, 4] {
+                for k_mult in [1u64, 2, 4] {
+                    let m = Self::build(hw, nest, n_mult, k_mult, depth_div);
+                    if !v.contains(&m) {
+                        v.push(m);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    fn offer(&mut self, m: &Mapping, o: MappingOutcome) {
+        if self.best.as_ref().is_none_or(|(_, b)| o.loss < b.loss) {
+            self.best = Some((m.clone(), o));
+        }
+    }
+}
+
+impl MappingSearcher for DepthFirstFusionSearch {
+    fn run_until(&mut self, cost: &dyn MappingCost, budget: u64) {
+        while self.history.spent() < budget {
+            let candidate = if let Some(c) = self.queue.pop() {
+                c
+            } else {
+                // Refinement: mutate the incumbent (or sample fresh when
+                // nothing feasible was found yet).
+                match &self.best {
+                    Some((m, _)) => {
+                        let mut c = self.space.mutate(&mut self.rng, m);
+                        // Occasionally take a bigger jump.
+                        if self.rng.gen_bool(0.2) {
+                            c = self.space.mutate(&mut self.rng, &c);
+                        }
+                        c
+                    }
+                    None => self.space.sample(&mut self.rng),
+                }
+            };
+            match cost.assess(&candidate) {
+                Some(o) => {
+                    self.offer(&candidate, o);
+                    self.history.push(o);
+                }
+                None => self.history.push_infeasible(),
+            }
+        }
+    }
+
+    fn history(&self) -> &SearchHistory {
+        &self.history
+    }
+
+    fn best(&self) -> Option<(&Mapping, MappingOutcome)> {
+        self.best.as_ref().map(|(m, o)| (m, *o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{AscendModel, BoundAscendCost};
+    use unico_workloads::TensorOp;
+
+    fn nest() -> LoopNest {
+        TensorOp::Conv2d {
+            n: 1,
+            k: 32,
+            c: 16,
+            y: 64,
+            x: 64,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest()
+    }
+
+    #[test]
+    fn seed_mapping_fits_default_config() {
+        let hw = AscendConfig::expert_default();
+        let n = nest();
+        let m = DepthFirstFusionSearch::seed_mapping(&hw, &n);
+        let model = AscendModel::default();
+        assert!(model.evaluate(&hw, &m, &n).is_ok());
+    }
+
+    #[test]
+    fn ladder_is_deterministic_and_nonempty() {
+        let hw = AscendConfig::expert_default();
+        let n = nest();
+        let a = DepthFirstFusionSearch::candidate_ladder(&hw, &n);
+        let b = DepthFirstFusionSearch::candidate_ladder(&hw, &n);
+        assert_eq!(a, b);
+        assert!(a.len() >= 5, "ladder has {} rungs", a.len());
+    }
+
+    #[test]
+    fn search_improves_over_seed() {
+        let hw = AscendConfig::expert_default();
+        let n = nest();
+        let model = AscendModel::default();
+        let cost = BoundAscendCost::new(&model, hw, n);
+        let seed_lat = model
+            .evaluate(&hw, &DepthFirstFusionSearch::seed_mapping(&hw, &n), &n)
+            .unwrap()
+            .latency_s;
+        let mut s = DepthFirstFusionSearch::new(&hw, &n, 5);
+        s.run_until(&cost, 120);
+        let best = s.history().terminal_value();
+        assert!(best <= seed_lat, "search {best} vs seed {seed_lat}");
+        assert_eq!(s.history().spent(), 120);
+    }
+
+    #[test]
+    fn resumable_budget_accounting() {
+        let hw = AscendConfig::expert_default();
+        let n = nest();
+        let model = AscendModel::default();
+        let cost = BoundAscendCost::new(&model, hw, n);
+        let mut s = DepthFirstFusionSearch::new(&hw, &n, 1);
+        s.run_until(&cost, 20);
+        let b20 = s.history().terminal_value();
+        s.run_until(&cost, 80);
+        assert_eq!(s.history().spent(), 80);
+        assert!(s.history().terminal_value() <= b20);
+    }
+
+    #[test]
+    fn larger_l0a_admits_deeper_tiles() {
+        let n = nest();
+        let small = AscendConfig {
+            l0a_kb: 16,
+            ..AscendConfig::expert_default()
+        };
+        let big = AscendConfig {
+            l0a_kb: 256,
+            ..AscendConfig::expert_default()
+        };
+        let m_small = DepthFirstFusionSearch::seed_mapping(&small, &n);
+        let m_big = DepthFirstFusionSearch::seed_mapping(&big, &n);
+        let mtile = |m: &Mapping| {
+            m.l1_tile()[Dim::Y.index()] * m.l1_tile()[Dim::X.index()]
+        };
+        assert!(mtile(&m_big) >= mtile(&m_small));
+    }
+}

@@ -1,0 +1,58 @@
+//! Cycle-level simulator for an Ascend-like accelerator core.
+//!
+//! This crate is the *expensive, high-fidelity* PPA engine of the UNICO
+//! stack — the stand-in for the proprietary cycle-accurate model
+//! (CAModel) the paper uses for its industrial case study. It models a
+//! DaVinci-style core:
+//!
+//! * a 3-D **cube unit** computing an `M×N×K` matrix-multiply intrinsic
+//!   per pipeline beat;
+//! * **L0A / L0B / L0C** operand buffers with configurable sizes and bank
+//!   groups (bank groups ≥ 2 enable double buffering, decoupling the
+//!   transfer engines from the cube);
+//! * an **L1** staging buffer fed from DRAM by MTE2, a **unified/vector
+//!   buffer** for post-processing, a parameter buffer and an ICache;
+//! * **MTE transfer engines** whose per-tile move times contend with
+//!   compute through an explicit pipeline-timeline simulation of every
+//!   tile (with steady-state extrapolation for very long tile streams).
+//!
+//! Workload execution follows the depth-first buffer-fusion style the
+//! paper cites: output rows are tiled first, the `(M, N, K)` GEMM view of
+//! each tile is blocked to the cube intrinsic, and the crate ships a
+//! deterministic [`DepthFirstFusionSearch`] mapping tool mirroring that
+//! scheme.
+//!
+//! Every evaluation charges minutes of *simulated* wall-clock cost
+//! (`eval_cost_seconds`), reproducing the regime where each CAModel call
+//! costs 2–10 minutes and search efficiency dominates.
+//!
+//! # Example
+//!
+//! ```
+//! use unico_camodel::{AscendModel, AscendConfig};
+//! use unico_workloads::TensorOp;
+//! use unico_mapping::Mapping;
+//!
+//! let model = AscendModel::default();
+//! let hw = AscendConfig::expert_default();
+//! let nest = TensorOp::Conv2d { n: 1, k: 32, c: 16, y: 32, x: 32, r: 3, s: 3, stride: 1 }
+//!     .to_loop_nest();
+//! let mapping = unico_camodel::DepthFirstFusionSearch::seed_mapping(&hw, &nest);
+//! let ppa = model.evaluate(&hw, &mapping, &nest).expect("seed mapping fits");
+//! assert!(ppa.latency_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod dfsearch;
+mod pipeline;
+mod platform;
+mod sim;
+
+pub use config::{AscendConfig, AscendSpace};
+pub use dfsearch::DepthFirstFusionSearch;
+pub use pipeline::{PipelineSim, StageSpec};
+pub use platform::AscendPlatform;
+pub use sim::{AscendBreakdown, AscendModel, AscendTech, BoundAscendCost};

@@ -1,0 +1,114 @@
+//! Property-based tests of the Ascend-like cycle-level model: totality
+//! over the design/mapping space and architectural monotonicities.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unico_camodel::{AscendConfig, AscendModel, AscendSpace, DepthFirstFusionSearch};
+use unico_mapping::MappingSpace;
+use unico_workloads::TensorOp;
+
+fn arb_nest() -> impl Strategy<Value = unico_workloads::LoopNest> {
+    (1u64..=64, 1u64..=64, 4u64..=64, 4u64..=64, 1u64..=5).prop_map(|(k, c, y, x, r)| {
+        TensorOp::Conv2d {
+            n: 1,
+            k,
+            c,
+            y,
+            x,
+            r,
+            s: r,
+            stride: 1,
+        }
+        .to_loop_nest()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simulator never panics: every (config, mapping) pair either
+    /// prices or rejects cleanly, and priced results are physical.
+    #[test]
+    fn model_total_over_space(nest in arb_nest(), seed in 0u64..500) {
+        let model = AscendModel::default();
+        let space = AscendSpace::default();
+        let mspace = MappingSpace::new(&nest);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..6 {
+            let hw = space.sample(&mut rng);
+            let mapping = mspace.sample(&mut rng);
+            if let Ok((ppa, bd)) = model.evaluate_with_breakdown(&hw, &mapping, &nest) {
+                prop_assert!(ppa.latency_s > 0.0);
+                prop_assert!(ppa.power_mw > 0.0);
+                prop_assert!(ppa.energy_pj > 0.0);
+                prop_assert!(ppa.area_mm2 >= 2.0, "area below base overhead");
+                prop_assert!(bd.total_tiles >= 1);
+                // Cube throughput bound: latency can never beat MACs at
+                // full cube rate.
+                let floor = nest.macs() as f64
+                    / (hw.cube_macs() as f64 * model.tech().clock_hz);
+                prop_assert!(ppa.latency_s >= floor * 0.99);
+            }
+        }
+    }
+
+    /// The deterministic seed mapping of the depth-first search fits the
+    /// hardware it was built for.
+    #[test]
+    fn seed_mapping_always_fits(nest in arb_nest(), seed in 0u64..200) {
+        let space = AscendSpace::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hw = space.sample(&mut rng);
+        let mapping = DepthFirstFusionSearch::seed_mapping(&hw, &nest);
+        let model = AscendModel::default();
+        prop_assert!(
+            model.evaluate(&hw, &mapping, &nest).is_ok(),
+            "seed mapping overflows on {hw}"
+        );
+    }
+
+    /// More L0 bank groups (more double buffering) never slow a fixed
+    /// mapping down.
+    #[test]
+    fn more_banks_never_hurt(nest in arb_nest(), seed in 0u64..200) {
+        let model = AscendModel::default();
+        let single = AscendConfig {
+            l0a_banks: 1,
+            l0b_banks: 1,
+            l0c_banks: 1,
+            ..AscendConfig::expert_default()
+        };
+        let double = AscendConfig::expert_default();
+        // A mapping that fits the *single-banked* (tighter) layout fits
+        // both.
+        let mapping = DepthFirstFusionSearch::seed_mapping(&single, &nest);
+        let _ = seed;
+        if let (Ok(a), Ok(b)) = (
+            model.evaluate(&single, &mapping, &nest),
+            model.evaluate(&double, &mapping, &nest),
+        ) {
+            prop_assert!(
+                b.latency_s <= a.latency_s + 1e-12,
+                "double-buffered slower: {} vs {}",
+                b.latency_s,
+                a.latency_s
+            );
+        }
+    }
+
+    /// Area is monotone in every buffer size.
+    #[test]
+    fn area_monotone_in_buffers(extra in 1u32..256) {
+        let model = AscendModel::default();
+        let base = AscendConfig::expert_default();
+        let bigger = AscendConfig {
+            l0a_kb: base.l0a_kb + extra,
+            l1_kb: base.l1_kb + extra,
+            ub_kb: base.ub_kb + extra,
+            ..base
+        };
+        prop_assert!(model.area_mm2(&bigger) > model.area_mm2(&base));
+    }
+}

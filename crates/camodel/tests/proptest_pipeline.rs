@@ -1,0 +1,109 @@
+//! Property-based tests of the pipeline-timeline simulator.
+
+use proptest::prelude::*;
+
+use unico_camodel::{PipelineSim, StageSpec};
+
+fn stages(depths: &[u32]) -> Vec<StageSpec> {
+    depths
+        .iter()
+        .map(|&d| StageSpec {
+            name: "s",
+            out_depth: d,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Finish time is bounded below by both the critical path of one
+    /// tile and the bottleneck-stage throughput bound.
+    #[test]
+    fn finish_respects_lower_bounds(
+        durations in proptest::collection::vec(0.5f64..20.0, 2..6),
+        depths_seed in 0u32..8,
+        tiles in 1u64..40,
+    ) {
+        let depths: Vec<u32> = (0..durations.len())
+            .map(|i| 1 + ((depths_seed >> i) & 1))
+            .collect();
+        let mut sim = PipelineSim::new(stages(&depths));
+        for _ in 0..tiles {
+            sim.push_tile(&durations);
+        }
+        let finish = sim.finish_cycle();
+        let critical: f64 = durations.iter().sum();
+        let bottleneck = durations.iter().copied().fold(0.0, f64::max);
+        prop_assert!(finish >= critical - 1e-9, "below one-tile critical path");
+        prop_assert!(
+            finish >= bottleneck * tiles as f64 - 1e-9,
+            "below throughput bound"
+        );
+        // And bounded above by fully serial execution.
+        prop_assert!(finish <= critical * tiles as f64 + 1e-9);
+    }
+
+    /// run_uniform is exactly equivalent to pushing tiles one by one.
+    #[test]
+    fn run_uniform_equals_explicit(
+        durations in proptest::collection::vec(0.5f64..10.0, 2..5),
+        depths_seed in 0u32..8,
+        tiles in 1u64..200,
+    ) {
+        let depths: Vec<u32> = (0..durations.len())
+            .map(|i| 1 + ((depths_seed >> i) & 1))
+            .collect();
+        let mut a = PipelineSim::new(stages(&depths));
+        let mut b = PipelineSim::new(stages(&depths));
+        for _ in 0..tiles {
+            a.push_tile(&durations);
+        }
+        let fb = b.run_uniform(&durations, tiles);
+        prop_assert!((a.finish_cycle() - fb).abs() < 1e-6,
+            "explicit {} vs uniform {}", a.finish_cycle(), fb);
+        prop_assert_eq!(a.tiles_done(), b.tiles_done());
+    }
+
+    /// Increasing any stage duration never speeds the pipeline up, and
+    /// deeper buffers never slow it down.
+    #[test]
+    fn monotonicity(
+        durations in proptest::collection::vec(0.5f64..10.0, 3..5),
+        bump_idx in 0usize..3,
+        bump in 0.1f64..5.0,
+        tiles in 1u64..60,
+    ) {
+        let n = durations.len();
+        let bump_idx = bump_idx % n;
+        let base_depths = vec![1u32; n];
+        let deep_depths = vec![2u32; n];
+
+        let run = |durs: &[f64], depths: &[u32]| {
+            let mut s = PipelineSim::new(stages(depths));
+            s.run_uniform(durs, tiles)
+        };
+        let base = run(&durations, &base_depths);
+        let mut slower = durations.clone();
+        slower[bump_idx] += bump;
+        prop_assert!(run(&slower, &base_depths) >= base - 1e-9);
+        prop_assert!(run(&durations, &deep_depths) <= base + 1e-9);
+    }
+
+    /// Stage busy totals equal duration × tiles exactly.
+    #[test]
+    fn busy_accounting_exact(
+        durations in proptest::collection::vec(0.5f64..10.0, 2..5),
+        tiles in 1u64..300,
+    ) {
+        let depths = vec![2u32; durations.len()];
+        let mut s = PipelineSim::new(stages(&depths));
+        s.run_uniform(&durations, tiles);
+        for (i, d) in durations.iter().enumerate() {
+            let expect = d * tiles as f64;
+            prop_assert!((s.stage_busy_cycles()[i] - expect).abs() < 1e-6);
+        }
+        let (_, util) = s.bottleneck().expect("stages exist");
+        prop_assert!(util > 0.0 && util <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,199 @@
+//! Fig. 10: feature-contribution ablation — HASCO vs SH+ChampionUpdate
+//! vs MSH+ChampionUpdate vs full UNICO, compared by final hypervolume.
+
+use unico_search::{run_hasco, HascoConfig, SearchTrace};
+use unico_surrogate::hypervolume::hypervolume;
+use unico_surrogate::pareto::non_dominated_indices;
+use unico_workloads::zoo;
+
+use crate::{Unico, UnicoConfig};
+
+use super::table::Scenario;
+use super::{scenario_env, Scale};
+
+/// One ablation variant's outcome.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant name.
+    pub variant: String,
+    /// Hypervolume at the equal-time cutoff (one quarter of the
+    /// earliest variant finish time) in normalized objective space —
+    /// the mid-flight convergence comparison the paper's Fig. 10 makes.
+    pub hypervolume: f64,
+    /// Hypervolume at each variant's own final time.
+    pub hypervolume_final: f64,
+    /// Equal-time improvement over the HASCO baseline, percent.
+    pub vs_hasco_pct: f64,
+    /// Hours to reach the HASCO baseline's final hypervolume
+    /// (`None` if never reached).
+    pub hours_to_hasco_quality: Option<f64>,
+}
+
+/// Fig. 10 output.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// One row per variant, HASCO first.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Runs the four variants on the Fig. 10 workload set
+/// ({UNet, SRGAN, BERT, ViT}).
+pub fn run_ablation(scale: &Scale, seed: u64) -> AblationResult {
+    let platform = Scenario::Edge.platform();
+    let networks = vec![zoo::unet(), zoo::srgan(), zoo::bert_base(), zoo::vit_base()];
+    let env = scenario_env(&platform, &networks, scale, Some(Scenario::Edge.power_cap_mw()));
+
+    let base_cfg = UnicoConfig {
+        max_iter: scale.max_iter,
+        batch: scale.batch,
+        b_max: scale.b_max,
+        seed,
+        workers: scale.workers,
+        ..UnicoConfig::default()
+    };
+
+    let hasco = run_hasco(
+        &env,
+        &HascoConfig {
+            iterations: scale.hasco_iterations,
+            inner_budget: scale.b_max,
+            seed,
+            workers: scale.workers,
+            ..HascoConfig::default()
+        },
+    );
+    let sh_champ = Unico::new(base_cfg.sh_champion()).run(&env);
+    let msh_champ = Unico::new(base_cfg.msh_champion()).run(&env);
+    let full = Unico::new(base_cfg).run(&env);
+
+    let traces: Vec<(String, &SearchTrace)> = vec![
+        ("HASCO".into(), &hasco.trace),
+        ("SH+ChampionUpdate".into(), &sh_champ.trace),
+        ("MSH+ChampionUpdate".into(), &msh_champ.trace),
+        ("UNICO (MSH+HighFidelity+R)".into(), &full.trace),
+    ];
+    let rows = hypervolumes(&traces);
+    AblationResult { rows }
+}
+
+/// Computes normalized final hypervolumes and percentage improvements
+/// over the first (baseline) trace.
+pub fn hypervolumes(traces: &[(String, &SearchTrace)]) -> Vec<AblationRow> {
+    // Global normalization bounds.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for (_, t) in traces {
+        for p in t.points() {
+            for y in &p.front {
+                for j in 0..3 {
+                    lo[j] = lo[j].min(y[j]);
+                    hi[j] = hi[j].max(y[j]);
+                }
+            }
+        }
+    }
+    let norm = |y: &[f64]| -> Vec<f64> {
+        (0..3)
+            .map(|j| {
+                let r = hi[j] - lo[j];
+                if r > 0.0 {
+                    (y[j] - lo[j]) / r
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    };
+    let ref_point = vec![1.1, 1.1, 1.1];
+    let hv_of_front = |front: &[Vec<f64>]| -> f64 {
+        let pts: Vec<Vec<f64>> = front.iter().map(|y| norm(y)).collect();
+        let keep = non_dominated_indices(&pts);
+        let pts: Vec<Vec<f64>> = keep.into_iter().map(|i| pts[i].clone()).collect();
+        hypervolume(&pts, &ref_point)
+    };
+    // Equal-time cutoff: a quarter of the earliest finish time, the
+    // mid-flight regime where convergence speed differences show.
+    let cutoff = traces
+        .iter()
+        .filter_map(|(_, t)| t.points().last().map(|p| p.seconds))
+        .fold(f64::INFINITY, f64::min)
+        * 0.25;
+    let hv_at_cutoff = |t: &SearchTrace| -> f64 {
+        t.points()
+            .iter().rfind(|p| p.seconds <= cutoff + 1e-9)
+            .map(|p| hv_of_front(&p.front))
+            .unwrap_or(0.0)
+    };
+    // Time-to-target: hours until a variant reaches the baseline's
+    // final hypervolume.
+    let target = traces[0]
+        .1
+        .final_front()
+        .map(hv_of_front)
+        .unwrap_or(f64::INFINITY);
+    let time_to_target = |t: &SearchTrace| -> Option<f64> {
+        t.points()
+            .iter()
+            .find(|p| hv_of_front(&p.front) >= target - 1e-12)
+            .map(|p| p.seconds / 3600.0)
+    };
+    let base = hv_at_cutoff(traces[0].1);
+    traces
+        .iter()
+        .map(|(name, t)| {
+            let hv = hv_at_cutoff(t);
+            let vs_hasco_pct = if base > 0.0 {
+                (hv - base) / base * 100.0
+            } else {
+                0.0
+            };
+            AblationRow {
+                variant: name.clone(),
+                hypervolume: hv,
+                hypervolume_final: t.final_front().map(hv_of_front).unwrap_or(0.0),
+                vs_hasco_pct,
+                hours_to_hasco_quality: time_to_target(t),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypervolume_rows_relative_to_baseline() {
+        let mut a = SearchTrace::new();
+        a.record(0.1, vec![vec![2.0, 2.0, 2.0]]);
+        a.record(1.0, vec![vec![2.0, 2.0, 2.0]]);
+        let mut b = SearchTrace::new();
+        b.record(0.1, vec![vec![1.0, 1.0, 1.0]]);
+        b.record(1.0, vec![vec![1.0, 1.0, 1.0]]);
+        let traces: Vec<(String, &SearchTrace)> =
+            vec![("base".into(), &a), ("better".into(), &b)];
+        let rows = hypervolumes(&traces);
+        assert_eq!(rows[0].vs_hasco_pct, 0.0);
+        assert!(rows[1].vs_hasco_pct > 0.0);
+        assert!(rows[1].hypervolume > rows[0].hypervolume);
+        assert!(rows[1].hypervolume_final > rows[0].hypervolume_final);
+        // The better variant reaches the baseline's final quality at its
+        // very first snapshot.
+        assert_eq!(rows[1].hours_to_hasco_quality, Some(0.1 / 3600.0));
+        assert_eq!(rows[0].hours_to_hasco_quality, Some(0.1 / 3600.0));
+    }
+
+    #[test]
+    fn never_reaching_target_is_none() {
+        let mut strong = SearchTrace::new();
+        strong.record(0.1, vec![vec![0.1, 0.1, 0.1]]);
+        strong.record(1.0, vec![vec![0.1, 0.1, 0.1]]);
+        let mut weak = SearchTrace::new();
+        weak.record(0.1, vec![vec![0.9, 0.9, 0.9]]);
+        weak.record(1.0, vec![vec![0.9, 0.9, 0.9]]);
+        let traces: Vec<(String, &SearchTrace)> =
+            vec![("strong".into(), &strong), ("weak".into(), &weak)];
+        let rows = hypervolumes(&traces);
+        assert!(rows[1].hours_to_hasco_quality.is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Fig. 11: deployment of UNICO on the Ascend-like architecture.
+//!
+//! UNICO co-optimizes the Ascend-like core over the industrial suite
+//! (UNet, FSRCNN at three resolutions, DLEU) under a 200 mm² area
+//! constraint with `N = 8`, `MaxIter = 30`, `b_max = 200` (the paper's
+//! parameters; the [`Scale`] scales them down for tests). The found
+//! architecture is then compared per network against the expert default.
+
+use unico_camodel::{AscendConfig, AscendPlatform};
+use unico_search::{Assessment, CoSearchEnv, EnvConfig};
+use unico_workloads::{zoo, Network};
+
+use crate::{Unico, UnicoConfig};
+
+use super::{validate_on_network, Scale};
+
+/// Per-network savings of the UNICO-found design vs. the expert default.
+#[derive(Debug, Clone)]
+pub struct AscendRow {
+    /// Network name.
+    pub network: String,
+    /// Expert-default PPA.
+    pub default: Option<Assessment>,
+    /// UNICO-found PPA.
+    pub unico: Option<Assessment>,
+    /// Latency reduction, percent (positive = UNICO faster).
+    pub latency_saving_pct: Option<f64>,
+    /// Power reduction, percent.
+    pub power_saving_pct: Option<f64>,
+}
+
+/// Fig. 11 output.
+#[derive(Debug, Clone)]
+pub struct AscendResult {
+    /// The expert default architecture.
+    pub default_hw: AscendConfig,
+    /// The architecture UNICO found.
+    pub unico_hw: AscendConfig,
+    /// Per-network comparisons.
+    pub rows: Vec<AscendRow>,
+    /// Simulated search cost, hours.
+    pub search_cost_h: f64,
+}
+
+impl AscendResult {
+    /// Mean power saving over the networks where both designs are
+    /// feasible.
+    pub fn mean_power_saving_pct(&self) -> Option<f64> {
+        let v: Vec<f64> = self.rows.iter().filter_map(|r| r.power_saving_pct).collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+
+    /// `(ΔL0A, ΔL0B, ΔL0C)` in KiB of the found design vs. the default —
+    /// the paper highlights that UNICO grows L0A while shrinking
+    /// L0B/L0C.
+    pub fn l0_deltas_kb(&self) -> (i64, i64, i64) {
+        (
+            i64::from(self.unico_hw.l0a_kb) - i64::from(self.default_hw.l0a_kb),
+            i64::from(self.unico_hw.l0b_kb) - i64::from(self.default_hw.l0b_kb),
+            i64::from(self.unico_hw.l0c_kb) - i64::from(self.default_hw.l0c_kb),
+        )
+    }
+}
+
+/// Runs the Fig. 11 study. `networks` defaults to the paper's suite when
+/// `None`.
+pub fn run_ascend(scale: &Scale, seed: u64, networks: Option<Vec<Network>>) -> AscendResult {
+    let platform = AscendPlatform::new();
+    let suite = networks.unwrap_or_else(zoo::ascend_suite);
+    let env = CoSearchEnv::new(
+        &platform,
+        &suite,
+        EnvConfig {
+            max_layers_per_network: scale.layers_per_network,
+            power_cap_mw: None,
+            area_cap_mm2: Some(200.0),
+        },
+    );
+
+    // The paper uses N = 8, MaxIter = 30, b_max = 200 at full scale; the
+    // Scale shrinks proportionally for tests.
+    let result = Unico::new(UnicoConfig {
+        max_iter: scale.max_iter,
+        batch: scale.batch.min(8),
+        b_max: scale.b_max.min(200),
+        seed,
+        workers: scale.workers,
+        ..UnicoConfig::default()
+    })
+    .run(&env);
+
+    let default_hw = AscendConfig::expert_default();
+    // The co-optimization goal is "reduce both latency and power" vs the
+    // expert default, so select the front design minimizing the *worst*
+    // ratio to the default's training-suite PPA — that picks a design
+    // dominating the default whenever one was found.
+    let default_session = {
+        let mut s = env.session(default_hw, seed.wrapping_add(999));
+        s.advance_to(scale.b_max.min(200));
+        s.assess()
+    };
+    let full_budget = result
+        .evaluations
+        .iter()
+        .map(|r| r.budget_spent)
+        .max()
+        .unwrap_or(0);
+    let unico_hw = result
+        .evaluations
+        .iter()
+        .filter(|r| r.budget_spent >= full_budget)
+        .filter_map(|r| r.assessment.map(|a| (r.hw, a)))
+        .min_by(|(_, a), (_, b)| {
+            let score = |x: &unico_search::Assessment| match &default_session {
+                Some(d) => (x.latency_s / d.latency_s).max(x.power_mw / d.power_mw),
+                None => x.latency_s,
+            };
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(hw, _)| hw)
+        .unwrap_or(default_hw);
+
+    let rows = suite
+        .iter()
+        .enumerate()
+        .map(|(k, net)| {
+            let default = validate_on_network(
+                &platform,
+                default_hw,
+                net,
+                scale.layers_per_network,
+                scale.validation_budget.min(200),
+                seed.wrapping_add(10_000 + k as u64),
+            );
+            let unico = validate_on_network(
+                &platform,
+                unico_hw,
+                net,
+                scale.layers_per_network,
+                scale.validation_budget.min(200),
+                seed.wrapping_add(20_000 + k as u64),
+            );
+            let saving = |d: Option<&Assessment>,
+                          u: Option<&Assessment>,
+                          f: fn(&Assessment) -> f64| {
+                match (d, u) {
+                    (Some(d), Some(u)) => Some((f(d) - f(u)) / f(d) * 100.0),
+                    _ => None,
+                }
+            };
+            AscendRow {
+                network: net.name().to_string(),
+                latency_saving_pct: saving(default.as_ref(), unico.as_ref(), |a| a.latency_s),
+                power_saving_pct: saving(default.as_ref(), unico.as_ref(), |a| a.power_mw),
+                default,
+                unico,
+            }
+        })
+        .collect();
+
+    AscendResult {
+        default_hw,
+        unico_hw,
+        rows,
+        search_cost_h: result.wall_clock_s / 3600.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l0_delta_math() {
+        let r = AscendResult {
+            default_hw: AscendConfig::expert_default(),
+            unico_hw: AscendConfig {
+                l0a_kb: 128,
+                l0b_kb: 32,
+                l0c_kb: 128,
+                ..AscendConfig::expert_default()
+            },
+            rows: vec![],
+            search_cost_h: 1.0,
+        };
+        assert_eq!(r.l0_deltas_kb(), (64, -32, -128));
+        assert!(r.mean_power_saving_pct().is_none());
+    }
+
+    #[test]
+    #[ignore = "several seconds; exercised by the fig11 binary and integration tests"]
+    fn smoke_ascend() {
+        let suite = vec![zoo::fsrcnn(160, 60)];
+        let res = run_ascend(&Scale::smoke(), 5, Some(suite));
+        assert_eq!(res.rows.len(), 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! Fig. 9: UNICO vs HASCO generalization to unseen DNNs.
+//!
+//! Co-optimize on {MobileNetV2, ResNet, SRGAN, VGG}, then validate each
+//! method's Pareto designs on eight unseen networks with fresh mapping
+//! searches.
+//!
+//! The primary metric is *selection-robust*: per unseen network, the
+//! hypervolume of each method's validated `(latency, power)` front (top
+//! designs, common normalization), so the comparison does not hinge on
+//! which single knee each method would deploy. Knee designs (UNICO's
+//! robustness-aware 4-objective knee vs HASCO's PPA knee) are reported
+//! alongside.
+
+use unico_model::{HwConfig, SpatialPlatform};
+use unico_search::{run_hasco, Assessment, HascoConfig};
+use unico_surrogate::hypervolume::hypervolume;
+use unico_surrogate::scalarize::normalize_columns;
+use unico_workloads::zoo;
+
+use crate::{Unico, UnicoConfig};
+
+use super::table::Scenario;
+use super::{scenario_env, validate_on_network, Scale};
+
+/// How many front designs per method are validated per network.
+const FRONT_SAMPLE: usize = 8;
+
+/// Per-validation-network comparison.
+#[derive(Debug, Clone)]
+pub struct GeneralizationRow {
+    /// Validation network name.
+    pub network: String,
+    /// Hypervolume of UNICO's validated `(latency, power)` front.
+    pub unico_hv: f64,
+    /// Hypervolume of HASCO's validated front.
+    pub hasco_hv: f64,
+    /// UNICO's knee design on this network (secondary).
+    pub unico_knee: Option<Assessment>,
+    /// HASCO's knee design on this network (secondary).
+    pub hasco_knee: Option<Assessment>,
+}
+
+impl GeneralizationRow {
+    /// Relative hypervolume gain of UNICO over HASCO on this network
+    /// (`> 0` means UNICO's designs generalize better here).
+    pub fn gain(&self) -> f64 {
+        if self.hasco_hv > 0.0 {
+            (self.unico_hv - self.hasco_hv) / self.hasco_hv
+        } else if self.unico_hv > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Fig. 9 output.
+#[derive(Debug, Clone)]
+pub struct GeneralizationResult {
+    /// UNICO's deployed (robustness-aware knee) design.
+    pub unico_hw: HwConfig,
+    /// HASCO's deployed (PPA knee) design.
+    pub hasco_hw: HwConfig,
+    /// Per-network rows.
+    pub rows: Vec<GeneralizationRow>,
+    /// Suite-aggregate validation hypervolume of UNICO's designs (each
+    /// design summarized as geometric-mean latency × mean power across
+    /// the validation suite).
+    pub unico_aggregate_hv: f64,
+    /// Suite-aggregate validation hypervolume of the comparison method.
+    pub hasco_aggregate_hv: f64,
+}
+
+impl GeneralizationResult {
+    /// Mean per-network hypervolume gain.
+    pub fn mean_gain(&self) -> Option<f64> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        Some(self.rows.iter().map(GeneralizationRow::gain).sum::<f64>() / self.rows.len() as f64)
+    }
+
+    /// The headline metric: relative gain of the suite-aggregate
+    /// validation hypervolume (less noisy than per-network gains).
+    pub fn aggregate_gain(&self) -> f64 {
+        if self.hasco_aggregate_hv > 0.0 {
+            (self.unico_aggregate_hv - self.hasco_aggregate_hv) / self.hasco_aggregate_hv
+        } else if self.unico_aggregate_hv > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the Fig. 9 study.
+pub fn run_generalization(scale: &Scale, seed: u64) -> GeneralizationResult {
+    let platform = Scenario::Edge.platform();
+    let train = zoo::generalization_train_suite();
+    let env = scenario_env(&platform, &train, scale, Some(Scenario::Edge.power_cap_mw()));
+
+    let unico_res = Unico::new(UnicoConfig {
+        max_iter: scale.max_iter,
+        batch: scale.batch,
+        b_max: scale.b_max,
+        seed,
+        workers: scale.workers,
+        ..UnicoConfig::default()
+    })
+    .run(&env);
+    let hasco_res = run_hasco(
+        &env,
+        &HascoConfig {
+            iterations: scale.hasco_iterations,
+            inner_budget: scale.b_max,
+            seed,
+            workers: scale.workers,
+            ..HascoConfig::default()
+        },
+    );
+
+    // Deployed designs for the secondary knee comparison.
+    let unico_hw = unico_res
+        .robust_knee()
+        .or_else(|| unico_res.min_euclidean_record())
+        .map(|r| r.hw)
+        .expect("UNICO found no feasible design on the training suite");
+    let hasco_hw = hasco_res
+        .front
+        .min_euclidean()
+        .map(|(_, hw)| *hw)
+        .expect("HASCO found no feasible design on the training suite");
+
+    // Front samples for the primary hypervolume comparison.
+    let unico_front = spread_sample(
+        unico_res
+            .front
+            .iter()
+            .map(|(y, &idx)| (y[0], unico_res.evaluations[idx].hw))
+            .collect(),
+    );
+    let hasco_front = spread_sample(
+        hasco_res
+            .front
+            .iter()
+            .map(|(y, hw)| (y[0], *hw))
+            .collect(),
+    );
+
+    compare_design_sets(
+        &platform,
+        &unico_front,
+        &hasco_front,
+        unico_hw,
+        hasco_hw,
+        scale,
+        seed,
+    )
+}
+
+/// Spreads a sample of up to [`FRONT_SAMPLE`] designs evenly along the
+/// latency-sorted front so the sample represents the whole trade-off
+/// curve rather than insertion order.
+fn spread_sample(mut entries: Vec<(f64, HwConfig)>) -> Vec<HwConfig> {
+    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    if entries.len() <= FRONT_SAMPLE {
+        return entries.into_iter().map(|(_, hw)| hw).collect();
+    }
+    (0..FRONT_SAMPLE)
+        .map(|i| {
+            let pos = i * (entries.len() - 1) / (FRONT_SAMPLE - 1);
+            entries[pos].1
+        })
+        .collect()
+}
+
+/// Normalized hypervolume of two point sets under common bounds.
+fn paired_hv(a: &[Vec<f64>], b: &[Vec<f64>]) -> (f64, f64) {
+    let mut all = a.to_vec();
+    all.extend(b.iter().cloned());
+    if all.is_empty() {
+        return (0.0, 0.0);
+    }
+    let norm = normalize_columns(&all);
+    let (an, bn) = norm.split_at(a.len());
+    let reference = vec![1.1, 1.1];
+    (
+        hypervolume(an, &reference),
+        hypervolume(bn, &reference),
+    )
+}
+
+/// Validates both design sets on every validation network once, then
+/// derives per-network and suite-aggregate hypervolume comparisons.
+#[allow(clippy::too_many_arguments)]
+fn compare_design_sets(
+    platform: &SpatialPlatform,
+    a_front: &[HwConfig],
+    b_front: &[HwConfig],
+    a_knee: HwConfig,
+    b_knee: HwConfig,
+    scale: &Scale,
+    seed: u64,
+) -> GeneralizationResult {
+    let validation = zoo::generalization_validation_suite();
+    // matrix[method][design][network] -> Option<Assessment>
+    let validate_matrix = |front: &[HwConfig], base: u64| -> Vec<Vec<Option<Assessment>>> {
+        front
+            .iter()
+            .enumerate()
+            .map(|(i, &hw)| {
+                validation
+                    .iter()
+                    .enumerate()
+                    .map(|(k, net)| {
+                        validate_on_network(
+                            platform,
+                            hw,
+                            net,
+                            scale.layers_per_network,
+                            scale.validation_budget,
+                            seed.wrapping_add(base + (i * 64 + k) as u64),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let a_matrix = validate_matrix(a_front, 0);
+    let b_matrix = validate_matrix(b_front, 100_000);
+
+    // Per-network fronts.
+    let per_net_points = |matrix: &Vec<Vec<Option<Assessment>>>, k: usize| -> Vec<Vec<f64>> {
+        matrix
+            .iter()
+            .filter_map(|row| row[k].as_ref())
+            .map(|a| vec![a.latency_s, a.power_mw])
+            .collect()
+    };
+    let rows: Vec<GeneralizationRow> = validation
+        .iter()
+        .enumerate()
+        .map(|(k, net)| {
+            let (unico_hv, hasco_hv) =
+                paired_hv(&per_net_points(&a_matrix, k), &per_net_points(&b_matrix, k));
+            GeneralizationRow {
+                network: net.name().to_string(),
+                unico_hv,
+                hasco_hv,
+                unico_knee: validate_on_network(
+                    platform,
+                    a_knee,
+                    net,
+                    scale.layers_per_network,
+                    scale.validation_budget,
+                    seed.wrapping_add(900_000 + k as u64),
+                ),
+                hasco_knee: validate_on_network(
+                    platform,
+                    b_knee,
+                    net,
+                    scale.layers_per_network,
+                    scale.validation_budget,
+                    seed.wrapping_add(910_000 + k as u64),
+                ),
+            }
+        })
+        .collect();
+
+    // Suite-aggregate: one (geo-mean latency, mean power) point per
+    // design that is feasible on the whole suite.
+    let aggregate_points = |matrix: &Vec<Vec<Option<Assessment>>>| -> Vec<Vec<f64>> {
+        matrix
+            .iter()
+            .filter_map(|row| {
+                let mut lat_log = 0.0;
+                let mut pow = 0.0;
+                for a in row {
+                    let a = a.as_ref()?;
+                    lat_log += a.latency_s.ln();
+                    pow += a.power_mw;
+                }
+                let n = row.len() as f64;
+                Some(vec![(lat_log / n).exp(), pow / n])
+            })
+            .collect()
+    };
+    let (unico_aggregate_hv, hasco_aggregate_hv) =
+        paired_hv(&aggregate_points(&a_matrix), &aggregate_points(&b_matrix));
+
+    GeneralizationResult {
+        unico_hw: a_knee,
+        hasco_hw: b_knee,
+        rows,
+        unico_aggregate_hv,
+        hasco_aggregate_hv,
+    }
+}
+
+/// The mechanism check behind Fig. 9: UNICO *with* the robustness
+/// objective vs the identical configuration *without* it, compared by
+/// per-network validation-front hypervolume. Positive mean gain shows
+/// the `R` objective itself improves generalization.
+pub fn run_r_ablation(scale: &Scale, seed: u64) -> GeneralizationResult {
+    let platform = Scenario::Edge.platform();
+    let train = zoo::generalization_train_suite();
+    let env = scenario_env(&platform, &train, scale, Some(Scenario::Edge.power_cap_mw()));
+    let base = UnicoConfig {
+        max_iter: scale.max_iter,
+        batch: scale.batch,
+        b_max: scale.b_max,
+        seed,
+        workers: scale.workers,
+        ..UnicoConfig::default()
+    };
+    let with_r = Unico::new(base).run(&env);
+    let without_r = Unico::new(base.without_robustness()).run(&env);
+
+    let knee = |res: &crate::UnicoResult<HwConfig>| {
+        res.robust_knee()
+            .or_else(|| res.min_euclidean_record())
+            .map(|r| r.hw)
+            .expect("feasible design exists")
+    };
+    let front_of = |res: &crate::UnicoResult<HwConfig>| -> Vec<(f64, HwConfig)> {
+        res.front
+            .iter()
+            .map(|(y, &idx)| (y[0], res.evaluations[idx].hw))
+            .collect()
+    };
+    let a_front = spread_sample(front_of(&with_r));
+    let b_front = spread_sample(front_of(&without_r));
+    let (a_knee, b_knee) = (knee(&with_r), knee(&without_r));
+
+    compare_design_sets(
+        &platform,
+        &a_front,
+        &b_front,
+        a_knee,
+        b_knee,
+        scale,
+        seed.wrapping_add(777),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(u: f64, h: f64) -> GeneralizationRow {
+        GeneralizationRow {
+            network: "x".into(),
+            unico_hv: u,
+            hasco_hv: h,
+            unico_knee: None,
+            hasco_knee: None,
+        }
+    }
+
+    #[test]
+    fn gain_sign_matches_hv_ordering() {
+        assert!(row(1.2, 1.0).gain() > 0.0);
+        assert!(row(0.8, 1.0).gain() < 0.0);
+        assert_eq!(row(0.0, 0.0).gain(), 0.0);
+        assert_eq!(row(0.5, 0.0).gain(), 1.0);
+    }
+
+    #[test]
+    fn mean_gain_averages_rows() {
+        let res = GeneralizationResult {
+            unico_hw: HwConfig::new(2, 2, 512, 65536, 64, unico_model::Dataflow::WeightStationary),
+            hasco_hw: HwConfig::new(2, 2, 512, 65536, 64, unico_model::Dataflow::WeightStationary),
+            rows: vec![row(1.1, 1.0), row(0.9, 1.0)],
+            unico_aggregate_hv: 1.2,
+            hasco_aggregate_hv: 1.0,
+        };
+        let m = res.mean_gain().unwrap();
+        assert!((m - 0.0).abs() < 1e-9, "mean {m}");
+        assert!((res.aggregate_gain() - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,203 @@
+//! Fig. 7: hypervolume difference vs. simulated wall-clock time for
+//! HASCO, NSGA-II, MOBOHB and UNICO.
+
+use unico_search::{
+    run_hasco, run_mobohb, run_nsga2, HascoConfig, MobohbConfig, Nsga2Config, SearchTrace,
+};
+use unico_surrogate::pareto::non_dominated_indices;
+use unico_workloads::Network;
+
+use crate::{Unico, UnicoConfig};
+
+use super::table::Scenario;
+use super::{scenario_env, Scale};
+
+/// The hypervolume-difference series of one method.
+#[derive(Debug, Clone)]
+pub struct MethodTrace {
+    /// Method name.
+    pub method: String,
+    /// `(hours, hypervolume difference)` samples in time order.
+    pub series: Vec<(f64, f64)>,
+}
+
+/// Fig. 7 output: one series per method.
+#[derive(Debug, Clone)]
+pub struct HvTraceResult {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Per-method series.
+    pub methods: Vec<MethodTrace>,
+}
+
+/// Normalizes all fronts into `[0, 1]^3` using global per-objective
+/// bounds, builds the reference front (non-dominated union of final
+/// fronts) and converts each trace into an HV-difference series.
+fn build_series(traces: Vec<(String, SearchTrace)>) -> Vec<MethodTrace> {
+    // Global bounds over every snapshot point.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for (_, t) in &traces {
+        for p in t.points() {
+            for y in &p.front {
+                for j in 0..3 {
+                    lo[j] = lo[j].min(y[j]);
+                    hi[j] = hi[j].max(y[j]);
+                }
+            }
+        }
+    }
+    let norm = |y: &[f64]| -> Vec<f64> {
+        (0..3)
+            .map(|j| {
+                let r = hi[j] - lo[j];
+                if r > 0.0 {
+                    (y[j] - lo[j]) / r
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    };
+    // Reference front: non-dominated union of all final fronts.
+    let mut union: Vec<Vec<f64>> = Vec::new();
+    for (_, t) in &traces {
+        if let Some(f) = t.final_front() {
+            union.extend(f.iter().map(|y| norm(y)));
+        }
+    }
+    let reference: Vec<Vec<f64>> = non_dominated_indices(&union)
+        .into_iter()
+        .map(|i| union[i].clone())
+        .collect();
+    let ref_point = vec![1.1, 1.1, 1.1];
+
+    traces
+        .into_iter()
+        .map(|(method, t)| {
+            let normalized_trace = {
+                let mut nt = SearchTrace::new();
+                for p in t.points() {
+                    nt.record(p.seconds, p.front.iter().map(|y| norm(y)).collect());
+                }
+                nt
+            };
+            let series = normalized_trace
+                .hv_difference_series(&reference, &ref_point)
+                .into_iter()
+                .map(|(s, d)| (s / 3600.0, d))
+                .collect();
+            MethodTrace { method, series }
+        })
+        .collect()
+}
+
+/// Runs the four methods on the given networks and returns their
+/// hypervolume-difference traces.
+pub fn run_hv_trace(
+    scenario: Scenario,
+    networks: &[Network],
+    scale: &Scale,
+    seed: u64,
+) -> HvTraceResult {
+    let platform = scenario.platform();
+    let env = scenario_env(&platform, networks, scale, Some(scenario.power_cap_mw()));
+
+    let hasco = run_hasco(
+        &env,
+        &HascoConfig {
+            iterations: scale.hasco_iterations,
+            inner_budget: scale.b_max,
+            seed,
+            workers: scale.workers,
+            ..HascoConfig::default()
+        },
+    );
+    let nsga = run_nsga2(
+        &env,
+        &Nsga2Config {
+            population: scale.nsga_population,
+            generations: scale.nsga_generations,
+            inner_budget: scale.b_max,
+            seed,
+            workers: scale.workers,
+            ..Nsga2Config::default()
+        },
+    );
+    let mobohb = run_mobohb(
+        &env,
+        &MobohbConfig {
+            iterations: scale.mobohb_iterations,
+            batch: scale.batch,
+            b_max: scale.b_max,
+            seed,
+            workers: scale.workers,
+            ..MobohbConfig::default()
+        },
+    );
+    let unico = Unico::new(UnicoConfig {
+        max_iter: scale.max_iter,
+        batch: scale.batch,
+        b_max: scale.b_max,
+        seed,
+        workers: scale.workers,
+        ..UnicoConfig::default()
+    })
+    .run(&env);
+
+    let methods = build_series(vec![
+        ("HASCO".to_string(), hasco.trace),
+        ("NSGAII".to_string(), nsga.trace),
+        ("MOBOHB".to_string(), mobohb.trace),
+        ("UNICO".to_string(), unico.trace),
+    ]);
+    HvTraceResult {
+        scenario: scenario.label(),
+        methods,
+    }
+}
+
+/// Final hypervolume difference per method (lower = better).
+pub fn final_hv_differences(result: &HvTraceResult) -> Vec<(String, f64)> {
+    result
+        .methods
+        .iter()
+        .map(|m| {
+            (
+                m.method.clone(),
+                m.series.last().map(|&(_, d)| d).unwrap_or(f64::INFINITY),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unico_workloads::zoo;
+
+    #[test]
+    fn smoke_hv_trace() {
+        let res = run_hv_trace(
+            Scenario::Edge,
+            &[zoo::mobilenet_v1()],
+            &Scale::smoke(),
+            11,
+        );
+        assert_eq!(res.methods.len(), 4);
+        for m in &res.methods {
+            assert!(!m.series.is_empty(), "{} trace empty", m.method);
+            // HV difference is non-negative versus the union reference.
+            assert!(m.series.iter().all(|&(_, d)| d >= -1e-9));
+            // Series are non-increasing in HV difference (fronts only
+            // improve).
+            for w in m.series.windows(2) {
+                assert!(w[1].1 <= w[0].1 + 1e-9, "{} series increased", m.method);
+            }
+        }
+        let finals = final_hv_differences(&res);
+        assert_eq!(finals.len(), 4);
+        // At least one method reaches (near) the reference front.
+        assert!(finals.iter().any(|&(_, d)| d < 0.5));
+    }
+}

@@ -1,0 +1,217 @@
+//! Fig. 8: does the robustness metric `R` predict generalization?
+//!
+//! Procedure (paper §4.3): run UNICO *without* `R` on the training
+//! networks, pick Pareto pairs with similar PPA but different `R`, then
+//! validate every paired design on unseen networks with fresh mapping
+//! searches. The design with smaller `R` should achieve lower latency on
+//! the validation set.
+
+use unico_model::HwConfig;
+use unico_workloads::{zoo, Network};
+
+use crate::{Unico, UnicoConfig};
+
+use super::table::Scenario;
+use super::{scenario_env, validate_on_network, Scale};
+
+/// One compared pair of Pareto designs.
+#[derive(Debug, Clone)]
+pub struct RobustPair {
+    /// Front indices (for reporting).
+    pub ids: (usize, usize),
+    /// The two configurations.
+    pub hw: (HwConfig, HwConfig),
+    /// Robustness metric of each design (lower = more robust).
+    pub robustness: (f64, f64),
+    /// Training-set latency of each design (seconds).
+    pub train_latency_s: (f64, f64),
+    /// Mean validation latency of each design across unseen networks.
+    pub validation_latency_s: (f64, f64),
+}
+
+impl RobustPair {
+    /// Whether the more robust design (smaller `R`) also achieved lower
+    /// mean validation latency — the correlation Fig. 8 demonstrates.
+    pub fn robust_wins(&self) -> bool {
+        let (ra, rb) = self.robustness;
+        let (va, vb) = self.validation_latency_s;
+        if ra <= rb {
+            va <= vb
+        } else {
+            vb <= va
+        }
+    }
+}
+
+/// Fig. 8 output.
+#[derive(Debug, Clone)]
+pub struct RobustPairsResult {
+    /// The compared pairs.
+    pub pairs: Vec<RobustPair>,
+    /// Size of the Pareto front the pairs were drawn from.
+    pub front_size: usize,
+}
+
+/// Runs the Fig. 8 study. `max_pairs` bounds how many similar-PPA pairs
+/// are validated (the paper uses 3).
+pub fn run_robust_pairs(
+    scale: &Scale,
+    seed: u64,
+    max_pairs: usize,
+    similarity: f64,
+) -> RobustPairsResult {
+    let platform = Scenario::Edge.platform();
+    let train = zoo::robustness_train_suite();
+    let env = scenario_env(&platform, &train, scale, Some(Scenario::Edge.power_cap_mw()));
+
+    // Step 1: UNICO without the sensitivity objective.
+    let result = Unico::new(
+        UnicoConfig {
+            max_iter: scale.max_iter,
+            batch: scale.batch,
+            b_max: scale.b_max,
+            seed,
+            workers: scale.workers,
+            ..UnicoConfig::default()
+        }
+        .without_robustness(),
+    )
+    .run(&env);
+
+    // Step 2/3: candidate pairs from the front with similar PPA but
+    // recorded R values.
+    // Only full-budget designs carry trustworthy R estimates (early-
+    // stopped histories are short and noisy).
+    let full_budget = result
+        .evaluations
+        .iter()
+        .map(|r| r.budget_spent)
+        .max()
+        .unwrap_or(0);
+    let entries: Vec<(usize, &crate::HwRecord<HwConfig>)> = result
+        .front
+        .iter()
+        .map(|(_, &idx)| (idx, &result.evaluations[idx]))
+        .filter(|(_, r)| {
+            r.robustness.is_some() && r.assessment.is_some() && r.budget_spent >= full_budget
+        })
+        .collect();
+    let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..entries.len() {
+        for j in i + 1..entries.len() {
+            let a = entries[i].1.assessment.expect("filtered");
+            let b = entries[j].1.assessment.expect("filtered");
+            let rel = |x: f64, y: f64| (x - y).abs() / x.max(y).max(1e-12);
+            let collective = (rel(a.latency_s, b.latency_s)
+                + rel(a.power_mw, b.power_mw)
+                + rel(a.area_mm2, b.area_mm2))
+                / 3.0;
+            if collective <= similarity {
+                let (ra, rb) = (
+                    entries[i].1.robustness.expect("filtered"),
+                    entries[j].1.robustness.expect("filtered"),
+                );
+                let dr = (ra - rb).abs();
+                // Require a real robustness gap, or the comparison is a
+                // coin flip.
+                if dr >= 0.05 {
+                    candidates.push((i, j, dr));
+                }
+            }
+        }
+    }
+    // Prefer pairs with the largest robustness gap.
+    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Step 4/5: validate each selected pair on the unseen networks.
+    let validation: Vec<Network> = zoo::robustness_validation_suite();
+    let mut pairs = Vec::new();
+    let mut used: Vec<usize> = Vec::new();
+    for (i, j, _) in candidates {
+        if pairs.len() >= max_pairs {
+            break;
+        }
+        if used.contains(&i) || used.contains(&j) {
+            continue;
+        }
+        let (idx_a, rec_a) = entries[i];
+        let (idx_b, rec_b) = entries[j];
+        let mean_val = |hw: HwConfig, salt: u64| -> Option<f64> {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for (k, net) in validation.iter().enumerate() {
+                // Average two independent mapping searches per network to
+                // damp search-seed noise.
+                for rep in 0..2u64 {
+                    let a = validate_on_network(
+                        &platform,
+                        hw,
+                        net,
+                        scale.layers_per_network,
+                        scale.validation_budget,
+                        seed.wrapping_add(salt * 97 + 2 * k as u64 + rep),
+                    )?;
+                    sum += a.latency_s;
+                    n += 1;
+                }
+            }
+            Some(sum / n as f64)
+        };
+        let (Some(va), Some(vb)) = (mean_val(rec_a.hw, i as u64), mean_val(rec_b.hw, j as u64))
+        else {
+            continue;
+        };
+        used.push(i);
+        used.push(j);
+        pairs.push(RobustPair {
+            ids: (idx_a, idx_b),
+            hw: (rec_a.hw, rec_b.hw),
+            robustness: (
+                rec_a.robustness.expect("filtered"),
+                rec_b.robustness.expect("filtered"),
+            ),
+            train_latency_s: (
+                rec_a.assessment.expect("filtered").latency_s,
+                rec_b.assessment.expect("filtered").latency_s,
+            ),
+            validation_latency_s: (va, vb),
+        });
+    }
+
+    RobustPairsResult {
+        pairs,
+        front_size: result.front.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_win_logic() {
+        let p = RobustPair {
+            ids: (0, 1),
+            hw: (
+                HwConfig::new(2, 2, 512, 65536, 64, unico_model::Dataflow::WeightStationary),
+                HwConfig::new(4, 4, 512, 65536, 64, unico_model::Dataflow::WeightStationary),
+            ),
+            robustness: (0.1, 0.5),
+            train_latency_s: (1.0, 1.0),
+            validation_latency_s: (0.8, 1.2),
+        };
+        assert!(p.robust_wins());
+        let q = RobustPair {
+            validation_latency_s: (1.2, 0.8),
+            ..p
+        };
+        assert!(!q.robust_wins());
+    }
+
+    #[test]
+    #[ignore = "multi-minute at default scale; run explicitly"]
+    fn smoke_robust_pairs() {
+        let res = run_robust_pairs(&Scale::smoke(), 3, 2, 0.6);
+        assert!(res.front_size >= 1);
+    }
+}

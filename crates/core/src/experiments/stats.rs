@@ -1,0 +1,90 @@
+//! Multi-seed statistics for experiment drivers.
+//!
+//! Single-seed co-search outcomes carry real variance (the paper reports
+//! single runs; we additionally support `--repeats N` on the experiment
+//! binaries). This module is the tiny aggregation layer: run a driver
+//! across seeds and summarize any scalar it produces.
+
+use std::fmt;
+
+/// Mean / standard deviation / count of a scalar across repeats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Summarizes a slice of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Stats {
+        assert!(!values.is_empty(), "stats of an empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Stats { mean, std, n }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.n > 1 {
+            write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.std, self.n)
+        } else {
+            write!(f, "{:.4}", self.mean)
+        }
+    }
+}
+
+/// Runs `f` once per seed (`base_seed, base_seed+1, …`) and collects the
+/// results.
+pub fn across_seeds<T>(base_seed: u64, repeats: usize, mut f: impl FnMut(u64) -> T) -> Vec<T> {
+    (0..repeats.max(1))
+        .map(|i| f(base_seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_mean_and_std() {
+        let s = Stats::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+        assert!(s.to_string().contains("±"));
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let s = Stats::of(&[5.0]);
+        assert_eq!(s.std, 0.0);
+        assert!(!s.to_string().contains("±"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Stats::of(&[]);
+    }
+
+    #[test]
+    fn across_seeds_enumerates() {
+        let seeds = across_seeds(10, 3, |s| s);
+        assert_eq!(seeds, vec![10, 11, 12]);
+        assert_eq!(across_seeds(0, 0, |s| s).len(), 1, "repeats clamp to 1");
+    }
+}

@@ -1,0 +1,273 @@
+//! Tables 1 and 2: per-network comparison of HASCO, NSGA-II and UNICO
+//! under edge / cloud power constraints.
+
+use unico_model::SpatialPlatform;
+use unico_search::{run_hasco, run_nsga2, HascoConfig, Nsga2Config};
+use unico_workloads::{zoo, Network};
+
+use crate::report::{fmt_hours, fmt_ppa, Table};
+use crate::{Unico, UnicoConfig};
+
+use super::{scenario_env, Scale};
+
+/// The paper's two deployment scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Edge device, power < 2 W.
+    Edge,
+    /// Cloud device, power < 20 W.
+    Cloud,
+}
+
+impl Scenario {
+    /// The platform instance for this scenario.
+    pub fn platform(&self) -> SpatialPlatform {
+        match self {
+            Scenario::Edge => SpatialPlatform::edge(),
+            Scenario::Cloud => SpatialPlatform::cloud(),
+        }
+    }
+
+    /// The scenario's power constraint in milliwatts.
+    pub fn power_cap_mw(&self) -> f64 {
+        match self {
+            Scenario::Edge => 2_000.0,
+            Scenario::Cloud => 20_000.0,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::Edge => "Edge Device (Power < 2W)",
+            Scenario::Cloud => "Cloud Device (Power < 20W)",
+        }
+    }
+}
+
+/// One method's reported design point for one network.
+#[derive(Debug, Clone)]
+pub struct MethodRow {
+    /// Method name.
+    pub method: String,
+    /// Min-Euclidean-distance PPA on the method's Pareto front
+    /// (`None` when the method found no feasible design).
+    pub ppa: Option<(f64, f64, f64)>,
+    /// Simulated search cost in hours.
+    pub cost_h: f64,
+}
+
+/// Comparison rows for one network.
+#[derive(Debug, Clone)]
+pub struct NetworkComparison {
+    /// Network name.
+    pub network: String,
+    /// One row per method (HASCO, NSGAII, UNICO).
+    pub rows: Vec<MethodRow>,
+}
+
+/// Picks each front's min-Euclidean-distance point under **common**
+/// normalization bounds (computed over the union of all fronts), so the
+/// reported knee points are comparable across methods.
+fn min_euclid_common(fronts: &[Vec<Vec<f64>>]) -> Vec<Option<(f64, f64, f64)>> {
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for f in fronts {
+        for y in f {
+            for j in 0..3 {
+                lo[j] = lo[j].min(y[j]);
+                hi[j] = hi[j].max(y[j]);
+            }
+        }
+    }
+    fronts
+        .iter()
+        .map(|f| {
+            f.iter()
+                .map(|y| {
+                    let d: f64 = (0..3)
+                        .map(|j| {
+                            let r = hi[j] - lo[j];
+                            if r > 0.0 {
+                                ((y[j] - lo[j]) / r).powi(2)
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum();
+                    (d, (y[0], y[1], y[2]))
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(_, ppa)| ppa)
+        })
+        .collect()
+}
+
+/// Runs the three methods on one network and returns the comparison.
+pub fn compare_on_network(
+    scenario: Scenario,
+    network: &Network,
+    scale: &Scale,
+    seed: u64,
+) -> NetworkComparison {
+    let platform = scenario.platform();
+    let env = scenario_env(
+        &platform,
+        std::slice::from_ref(network),
+        scale,
+        Some(scenario.power_cap_mw()),
+    );
+
+    let hasco = run_hasco(
+        &env,
+        &HascoConfig {
+            iterations: scale.hasco_iterations,
+            inner_budget: scale.b_max,
+            seed,
+            workers: scale.workers,
+            ..HascoConfig::default()
+        },
+    );
+    let nsga = run_nsga2(
+        &env,
+        &Nsga2Config {
+            population: scale.nsga_population,
+            generations: scale.nsga_generations,
+            inner_budget: scale.b_max,
+            seed,
+            workers: scale.workers,
+            ..Nsga2Config::default()
+        },
+    );
+    let unico = Unico::new(UnicoConfig {
+        max_iter: scale.max_iter,
+        batch: scale.batch,
+        b_max: scale.b_max,
+        seed,
+        workers: scale.workers,
+        ..UnicoConfig::default()
+    })
+    .run(&env);
+
+    let fronts = vec![
+        hasco.front.objectives(),
+        nsga.front.objectives(),
+        unico.front.objectives(),
+    ];
+    let knees = min_euclid_common(&fronts);
+    NetworkComparison {
+        network: network.name().to_string(),
+        rows: vec![
+            MethodRow {
+                method: "HASCO".into(),
+                ppa: knees[0],
+                cost_h: hasco.wall_clock_s / 3600.0,
+            },
+            MethodRow {
+                method: "NSGAII".into(),
+                ppa: knees[1],
+                cost_h: nsga.wall_clock_s / 3600.0,
+            },
+            MethodRow {
+                method: "UNICO".into(),
+                ppa: knees[2],
+                cost_h: unico.wall_clock_s / 3600.0,
+            },
+        ],
+    }
+}
+
+/// Runs the full table over the paper's seven networks.
+pub fn run_table(scenario: Scenario, scale: &Scale, seed: u64) -> Vec<NetworkComparison> {
+    zoo::edge_suite()
+        .iter()
+        .map(|net| compare_on_network(scenario, net, scale, seed))
+        .collect()
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(scenario: Scenario, comparisons: &[NetworkComparison]) -> String {
+    let mut t = Table::new(vec![
+        "Network",
+        "HASCO L(ms),P(mW),A(mm2)",
+        "HASCO Cost(h)",
+        "NSGAII L(ms),P(mW),A(mm2)",
+        "NSGAII Cost(h)",
+        "UNICO L(ms),P(mW),A(mm2)",
+        "UNICO Cost(h)",
+    ]);
+    for c in comparisons {
+        let cell = |m: &MethodRow| {
+            m.ppa
+                .map(|(l, p, a)| fmt_ppa(l, p, a))
+                .unwrap_or_else(|| "infeasible".to_string())
+        };
+        let cost = |m: &MethodRow| fmt_hours(m.cost_h * 3600.0);
+        t.row(vec![
+            c.network.clone(),
+            cell(&c.rows[0]),
+            cost(&c.rows[0]),
+            cell(&c.rows[1]),
+            cost(&c.rows[1]),
+            cell(&c.rows[2]),
+            cost(&c.rows[2]),
+        ]);
+    }
+    format!("{}\n{}", scenario.label(), t.to_markdown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_comparison_on_one_network() {
+        let c = compare_on_network(
+            Scenario::Edge,
+            &zoo::mobilenet_v1(),
+            &Scale::smoke(),
+            7,
+        );
+        assert_eq!(c.rows.len(), 3);
+        assert_eq!(c.rows[2].method, "UNICO");
+        // Every method consumed simulated time.
+        assert!(c.rows.iter().all(|r| r.cost_h > 0.0));
+        // At least one method found a feasible design at smoke scale.
+        assert!(c.rows.iter().any(|r| r.ppa.is_some()));
+    }
+
+    #[test]
+    fn scenario_properties() {
+        assert_eq!(Scenario::Edge.power_cap_mw(), 2000.0);
+        assert_eq!(Scenario::Cloud.power_cap_mw(), 20000.0);
+        assert!(Scenario::Cloud.label().contains("20W"));
+    }
+
+    #[test]
+    fn render_contains_networks() {
+        let c = vec![NetworkComparison {
+            network: "TestNet".into(),
+            rows: vec![
+                MethodRow {
+                    method: "HASCO".into(),
+                    ppa: Some((1e-3, 100.0, 2.0)),
+                    cost_h: 1.0,
+                },
+                MethodRow {
+                    method: "NSGAII".into(),
+                    ppa: None,
+                    cost_h: 2.0,
+                },
+                MethodRow {
+                    method: "UNICO".into(),
+                    ppa: Some((5e-4, 90.0, 1.5)),
+                    cost_h: 0.5,
+                },
+            ],
+        }];
+        let md = render(Scenario::Edge, &c);
+        assert!(md.contains("TestNet"));
+        assert!(md.contains("infeasible"));
+        assert!(md.contains("Edge Device"));
+    }
+}

@@ -1,0 +1,51 @@
+//! UNICO: unified hardware–software co-optimization for robust neural
+//! network acceleration.
+//!
+//! This crate implements the paper's primary contribution (Algorithm 1):
+//!
+//! 1. **Batched, surrogate-guided HW sampling** — each outer iteration
+//!    samples a batch of `N` hardware configurations by expected
+//!    improvement on a Gaussian-process surrogate over ParEGO-scalarized
+//!    objectives, with a random exploration share.
+//! 2. **Adaptive SW mapping search with modified successive halving**
+//!    (MSH) — per-candidate mapping searches run in parallel and are
+//!    early-stopped in halving rounds; promotion uses terminal value
+//!    *and* convergence-rate AUC (`k = ⌊0.5N⌋`, `p = ⌊0.15N⌋`).
+//! 3. **High-fidelity surrogate updates** — only samples whose ParEGO
+//!    scalar lies within the adaptive Upper Update Limit (95th percentile
+//!    of accepted distances) of the best-seen scalar feed the surrogate.
+//! 4. **The robustness metric `R`** — `R = Δ·(1 + F(θ))` with
+//!    `F(θ) = 6/π²·θ² − 5/π·θ + 1`, quantifying a configuration's
+//!    sensitivity to the mapping search; `R` is the fourth MOBO objective
+//!    `(latency, power, area, sensitivity)` and also gates high-fidelity
+//!    selection, steering the search toward hardware that generalizes to
+//!    unseen workloads.
+//!
+//! The [`experiments`] module contains one driver per table/figure of the
+//! paper's evaluation; the `unico-bench` crate exposes them as binaries.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use unico_core::{Unico, UnicoConfig};
+//! use unico_search::{CoSearchEnv, EnvConfig};
+//! use unico_model::SpatialPlatform;
+//! use unico_workloads::zoo;
+//!
+//! let platform = SpatialPlatform::edge();
+//! let env = CoSearchEnv::new(&platform, &[zoo::mobilenet_v1()], EnvConfig::default());
+//! let result = Unico::new(UnicoConfig::default()).run(&env);
+//! for (objectives, entry) in result.front.iter() {
+//!     println!("{objectives:?} -> {:?}", result.evaluations[*entry].hw);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod robustness;
+mod unico;
+
+pub use unico::{HwRecord, Unico, UnicoConfig, UnicoResult};

@@ -1,0 +1,157 @@
+//! Plain-text/markdown report formatting for experiment outputs.
+
+/// A simple markdown table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<w$} |", c, w = width[i]));
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('|');
+        for w in &width {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Formats a latency in seconds the way the paper's tables do
+/// (milliseconds with adaptive precision).
+pub fn fmt_latency_ms(latency_s: f64) -> String {
+    let ms = latency_s * 1e3;
+    if ms < 0.01 {
+        format!("{ms:.6}")
+    } else if ms < 1.0 {
+        format!("{ms:.4}")
+    } else {
+        format!("{ms:.2}")
+    }
+}
+
+/// Formats `(latency, power, area)` as a paper-style cell
+/// `L(ms), P(mW), A(mm²)`.
+pub fn fmt_ppa(latency_s: f64, power_mw: f64, area_mm2: f64) -> String {
+    format!(
+        "{}, {:.1}, {:.2}",
+        fmt_latency_ms(latency_s),
+        power_mw,
+        area_mm2
+    )
+}
+
+/// Formats simulated seconds as hours with one decimal.
+pub fn fmt_hours(seconds: f64) -> String {
+    format!("{:.2}", seconds / 3600.0)
+}
+
+/// Renders an `(x, y)` series as CSV with the given column names.
+pub fn series_to_csv(name_x: &str, name_y: &str, series: &[(f64, f64)]) -> String {
+    let mut s = format!("{name_x},{name_y}\n");
+    for (x, y) in series {
+        s.push_str(&format!("{x:.6},{y:.6}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "22"]);
+        t.row(vec!["333", "4"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a"));
+        assert!(md.contains("| 333 | 4"));
+        assert_eq!(md.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn latency_formatting_scales() {
+        assert_eq!(fmt_latency_ms(0.0000001), "0.000100");
+        assert_eq!(fmt_latency_ms(0.0005), "0.5000");
+        assert_eq!(fmt_latency_ms(2.5), "2500.00");
+    }
+
+    #[test]
+    fn ppa_and_hours() {
+        let cell = fmt_ppa(0.0021, 150.55, 3.456);
+        assert!(cell.contains("150.6"));
+        assert!(cell.contains("3.46"));
+        assert_eq!(fmt_hours(7200.0), "2.00");
+    }
+
+    #[test]
+    fn csv_series() {
+        let csv = series_to_csv("t", "hv", &[(1.0, 2.0), (3.0, 4.0)]);
+        assert!(csv.starts_with("t,hv\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

@@ -1,0 +1,549 @@
+//! The UNICO co-optimization algorithm (paper Algorithm 1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use unico_model::Platform;
+use unico_search::sh::{self, ShConfig};
+use unico_search::{Assessment, CoSearchEnv, HwSession, SearchTrace, SimClock};
+use unico_surrogate::pareto::ParetoFront;
+use unico_surrogate::scalarize::{normalize_columns, parego, sample_simplex};
+use unico_surrogate::{select_batch, AcquisitionKind, GaussianProcess, KernelKind};
+
+use crate::robustness::aggregate_robustness;
+
+/// Configuration of a UNICO run. The defaults match the paper's
+/// open-source-platform experiments (`N = 30`, `b_max = 300`,
+/// `p = 0.15 N`, `ρ = 0.2`, `α = 0.05`).
+#[derive(Debug, Clone, Copy)]
+pub struct UnicoConfig {
+    /// Maximum MOBO iterations (`MaxIter`).
+    pub max_iter: usize,
+    /// Hardware batch size per iteration (`N`).
+    pub batch: usize,
+    /// Maximum per-job mapping-search budget (`b_max`).
+    pub b_max: u64,
+    /// AUC promotion share of MSH (`p/N`); `0` degrades MSH to plain SH.
+    pub auc_fraction: f64,
+    /// Use the high-fidelity update rule; `false` degrades to champion
+    /// update (only the batch-best sample feeds the surrogate).
+    pub high_fidelity: bool,
+    /// Include the robustness metric `R` as the fourth objective.
+    pub robustness_objective: bool,
+    /// Right-tail percentile for the sub-optimal mapping (`α`).
+    pub alpha: f64,
+    /// ParEGO augmentation coefficient (`ρ`).
+    pub rho: f64,
+    /// Random exploration share of each batch.
+    pub random_fraction: f64,
+    /// Acquisition candidate-pool size.
+    pub candidate_pool: usize,
+    /// Percentile (of accepted distances) defining the Upper Update
+    /// Limit.
+    pub uul_percentile: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Parallel workers for cost accounting.
+    pub workers: u32,
+}
+
+impl Default for UnicoConfig {
+    fn default() -> Self {
+        UnicoConfig {
+            max_iter: 20,
+            batch: 30,
+            b_max: 300,
+            auc_fraction: 0.15,
+            high_fidelity: true,
+            robustness_objective: true,
+            alpha: 0.05,
+            rho: 0.2,
+            random_fraction: 0.25,
+            candidate_pool: 256,
+            uul_percentile: 0.95,
+            seed: 0,
+            workers: 16,
+        }
+    }
+}
+
+impl UnicoConfig {
+    /// Ablation: plain SH + champion update (no robustness objective).
+    pub fn sh_champion(self) -> Self {
+        UnicoConfig {
+            auc_fraction: 0.0,
+            high_fidelity: false,
+            robustness_objective: false,
+            ..self
+        }
+    }
+
+    /// Ablation: modified SH + champion update.
+    pub fn msh_champion(self) -> Self {
+        UnicoConfig {
+            auc_fraction: 0.15,
+            high_fidelity: false,
+            robustness_objective: false,
+            ..self
+        }
+    }
+
+    /// UNICO without the robustness objective (used by the paper's
+    /// Fig. 8 study).
+    pub fn without_robustness(self) -> Self {
+        UnicoConfig {
+            robustness_objective: false,
+            ..self
+        }
+    }
+}
+
+/// Everything recorded about one evaluated hardware configuration.
+#[derive(Debug, Clone)]
+pub struct HwRecord<H> {
+    /// The configuration.
+    pub hw: H,
+    /// PPA assessment at the budget the candidate reached (`None` if no
+    /// feasible mapping was found or a constraint was violated).
+    pub assessment: Option<Assessment>,
+    /// Aggregated robustness metric `R` (lower = more robust).
+    pub robustness: Option<f64>,
+    /// Per-job budget this candidate's mapping search consumed.
+    pub budget_spent: u64,
+    /// Iteration in which the candidate was evaluated.
+    pub iteration: usize,
+    /// Whether the sample passed the high-fidelity filter into the
+    /// surrogate training set.
+    pub fed_surrogate: bool,
+}
+
+/// Result of a UNICO run.
+#[derive(Debug, Clone)]
+pub struct UnicoResult<H> {
+    /// PPA Pareto front; payloads index into [`UnicoResult::evaluations`].
+    pub front: ParetoFront<usize>,
+    /// Every evaluated configuration, in evaluation order.
+    pub evaluations: Vec<HwRecord<H>>,
+    /// Front snapshots over simulated wall-clock time.
+    pub trace: SearchTrace,
+    /// Total simulated wall-clock seconds.
+    pub wall_clock_s: f64,
+    /// Number of hardware configurations evaluated.
+    pub hw_evals: usize,
+}
+
+impl<H> UnicoResult<H> {
+    /// The record whose PPA minimizes Euclidean distance to the origin on
+    /// the normalized front — the paper's reported design point.
+    pub fn min_euclidean_record(&self) -> Option<&HwRecord<H>> {
+        self.front
+            .min_euclidean()
+            .map(|(_, &idx)| &self.evaluations[idx])
+    }
+
+    /// The robustness-aware knee: min-Euclidean distance over the
+    /// normalized **four**-objective vectors
+    /// `(latency, power, area, R)` of the front, restricted to designs
+    /// whose mapping search ran to the full budget. This is the design
+    /// UNICO deploys when generalization matters (paper §4.4).
+    pub fn robust_knee(&self) -> Option<&HwRecord<H>> {
+        let full_budget = self
+            .evaluations
+            .iter()
+            .map(|r| r.budget_spent)
+            .max()
+            .unwrap_or(0);
+        let candidates: Vec<(usize, Vec<f64>)> = self
+            .front
+            .iter()
+            .filter_map(|(y, &idx)| {
+                let rec = &self.evaluations[idx];
+                if rec.budget_spent < full_budget {
+                    return None;
+                }
+                let r = rec.robustness?;
+                let mut v = y.to_vec();
+                v.push(r);
+                Some((idx, v))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return self.min_euclidean_record();
+        }
+        let rows: Vec<Vec<f64>> = candidates.iter().map(|(_, v)| v.clone()).collect();
+        let normalized = unico_surrogate::scalarize::normalize_columns(&rows);
+        let best = normalized
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da: f64 = a.iter().map(|v| v * v).sum();
+                let db: f64 = b.iter().map(|v| v * v).sum();
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| candidates[i].0)?;
+        Some(&self.evaluations[best])
+    }
+}
+
+/// The UNICO co-optimizer.
+#[derive(Debug, Clone)]
+pub struct Unico {
+    cfg: UnicoConfig,
+}
+
+impl Unico {
+    /// Creates the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `max_iter == 0`.
+    pub fn new(cfg: UnicoConfig) -> Self {
+        assert!(cfg.batch > 0, "batch must be positive");
+        assert!(cfg.max_iter > 0, "max_iter must be positive");
+        Unico { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &UnicoConfig {
+        &self.cfg
+    }
+
+    /// Runs Algorithm 1 on the environment and returns the Pareto front
+    /// of hardware configurations with full evaluation records.
+    pub fn run<P: Platform>(&self, env: &CoSearchEnv<'_, P>) -> UnicoResult<P::Hw>
+    where
+        P::Hw: Send,
+    {
+        let cfg = &self.cfg;
+        let obj_dim = if cfg.robustness_objective { 4 } else { 3 };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut clock = SimClock::new(cfg.workers);
+        let mut trace = SearchTrace::new();
+        let mut front: ParetoFront<usize> = ParetoFront::new();
+        let mut evaluations: Vec<HwRecord<P::Hw>> = Vec::new();
+
+        // All feasible samples (for v_best recomputation) and the
+        // high-fidelity surrogate training subset.
+        let mut all_xs: Vec<Vec<f64>> = Vec::new();
+        let mut all_ys: Vec<Vec<f64>> = Vec::new();
+        let mut hf_xs: Vec<Vec<f64>> = Vec::new();
+        let mut hf_ys: Vec<Vec<f64>> = Vec::new();
+        // Accepted ParEGO-distance set D and its adaptive threshold.
+        let mut accepted_d: Vec<f64> = Vec::new();
+        let mut uul = f64::INFINITY;
+
+        for iteration in 0..cfg.max_iter {
+            // ---- Line 4: sample a batch of N hardware configurations. ----
+            let front_hw: Vec<P::Hw> = front
+                .iter()
+                .map(|(_, &idx)| evaluations[idx].hw.clone())
+                .collect();
+            let batch_hw =
+                self.sample_batch(env, &hf_xs, &hf_ys, &front_hw, &mut rng, &mut clock);
+
+            // ---- Lines 5–9: adaptive SW mapping search with MSH. ----
+            let mut sessions: Vec<HwSession<'_, P>> = batch_hw
+                .into_iter()
+                .enumerate()
+                .map(|(i, hw)| {
+                    env.session(hw, cfg.seed.wrapping_add((iteration * 1009 + i) as u64))
+                })
+                .collect();
+            let sh_cfg = ShConfig {
+                b_max: cfg.b_max,
+                auc_fraction: cfg.auc_fraction,
+                min_budget: 8,
+                workers: cfg.workers as usize,
+            };
+            sh::run(&mut sessions, &sh_cfg);
+            let cpu: f64 = sessions.iter().map(HwSession::cost_seconds).sum();
+            clock.charge(cpu, (sessions.len() * env.num_jobs()) as u32);
+
+            // ---- Assess the batch: PPA + robustness. ----
+            let mut batch_records: Vec<usize> = Vec::with_capacity(sessions.len());
+            for s in &sessions {
+                let assessment = s.assess();
+                let robustness = aggregate_robustness(&s.job_histories(), cfg.alpha);
+                let idx = evaluations.len();
+                if let Some(a) = &assessment {
+                    front.offer(a.objectives(), idx);
+                    let mut y = a.objectives();
+                    if cfg.robustness_objective {
+                        y.push(robustness.unwrap_or(0.0));
+                    }
+                    all_xs.push(env.platform().encode(s.hw()));
+                    all_ys.push(y);
+                }
+                evaluations.push(HwRecord {
+                    hw: s.hw().clone(),
+                    assessment,
+                    robustness,
+                    budget_spent: s.spent(),
+                    iteration,
+                    fed_surrogate: false,
+                });
+                batch_records.push(idx);
+            }
+
+            // ---- Lines 10–11: high-fidelity surrogate update. ----
+            if !all_ys.is_empty() {
+                let weights = sample_simplex(&mut rng, obj_dim);
+                let normalized = normalize_columns(&all_ys);
+                let scalars: Vec<f64> = normalized
+                    .iter()
+                    .map(|y| parego(y, &weights, cfg.rho))
+                    .collect();
+                let v_best = scalars.iter().copied().fold(f64::INFINITY, f64::min);
+                // Map feasible batch members to their position in all_ys.
+                let feasible_batch: Vec<(usize, usize)> = {
+                    let mut pos = all_ys.len();
+                    let feasible_count = batch_records
+                        .iter()
+                        .filter(|&&i| evaluations[i].assessment.is_some())
+                        .count();
+                    pos -= feasible_count;
+                    batch_records
+                        .iter()
+                        .filter(|&&i| evaluations[i].assessment.is_some())
+                        .map(|&i| {
+                            let p = pos;
+                            pos += 1;
+                            (i, p)
+                        })
+                        .collect()
+                };
+                if cfg.high_fidelity {
+                    let mut new_d = Vec::new();
+                    for &(rec_idx, ys_idx) in &feasible_batch {
+                        let d = (scalars[ys_idx] - v_best).abs();
+                        if d <= uul {
+                            hf_xs.push(all_xs[ys_idx].clone());
+                            hf_ys.push(all_ys[ys_idx].clone());
+                            evaluations[rec_idx].fed_surrogate = true;
+                            new_d.push(d);
+                        }
+                    }
+                    accepted_d.extend(new_d);
+                    uul = percentile(&accepted_d, cfg.uul_percentile).unwrap_or(f64::INFINITY);
+                    // Bound the GP training set (keep the newest points —
+                    // UUL already biases selection toward high quality).
+                    const HF_CAP: usize = 400;
+                    if hf_xs.len() > HF_CAP {
+                        let drop = hf_xs.len() - HF_CAP;
+                        hf_xs.drain(..drop);
+                        hf_ys.drain(..drop);
+                    }
+                } else if let Some(&(rec_idx, ys_idx)) = feasible_batch
+                    .iter()
+                    .min_by(|a, b| {
+                        scalars[a.1]
+                            .partial_cmp(&scalars[b.1])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                {
+                    // Champion update: only the batch-best sample.
+                    hf_xs.push(all_xs[ys_idx].clone());
+                    hf_ys.push(all_ys[ys_idx].clone());
+                    evaluations[rec_idx].fed_surrogate = true;
+                }
+            }
+
+            // ---- Line 12: update HW Pareto front snapshot. ----
+            trace.record(clock.seconds(), front.objectives());
+        }
+
+        UnicoResult {
+            front,
+            evaluations,
+            trace,
+            wall_clock_s: clock.seconds(),
+            hw_evals: self.cfg.max_iter * self.cfg.batch,
+        }
+    }
+
+    /// Batch acquisition: EI on the ParEGO-scalarized GP over the
+    /// high-fidelity training set, plus a random exploration share. The
+    /// candidate pool mixes uniform samples with local perturbations of
+    /// current Pareto designs so the acquisition can exploit the
+    /// incumbent region.
+    fn sample_batch<P: Platform>(
+        &self,
+        env: &CoSearchEnv<'_, P>,
+        hf_xs: &[Vec<f64>],
+        hf_ys: &[Vec<f64>],
+        front_hw: &[P::Hw],
+        rng: &mut StdRng,
+        clock: &mut SimClock,
+    ) -> Vec<P::Hw> {
+        let cfg = &self.cfg;
+        let n_random = ((cfg.batch as f64) * cfg.random_fraction).ceil() as usize;
+        let n_model = cfg.batch.saturating_sub(n_random);
+        let mut batch: Vec<P::Hw> = Vec::with_capacity(cfg.batch);
+        if n_model > 0 && hf_xs.len() >= 4 {
+            let obj_dim = hf_ys[0].len();
+            let weights = sample_simplex(rng, obj_dim);
+            let normalized = normalize_columns(hf_ys);
+            let targets: Vec<f64> = normalized
+                .iter()
+                .map(|y| parego(y, &weights, cfg.rho))
+                .collect();
+            let best = targets.iter().copied().fold(f64::INFINITY, f64::min);
+            let mut gp = GaussianProcess::new(KernelKind::Matern52, env.platform().feature_dim());
+            if gp.fit(hf_xs, &targets, rng).is_ok() {
+                clock.charge_sequential(2.0);
+                let n_local = if front_hw.is_empty() {
+                    0
+                } else {
+                    cfg.candidate_pool / 4
+                };
+                let mut pool: Vec<P::Hw> = (0..cfg.candidate_pool - n_local)
+                    .map(|_| env.platform().sample_hw(rng))
+                    .collect();
+                for _ in 0..n_local {
+                    let seed_hw = &front_hw[rng.gen_range(0..front_hw.len())];
+                    let mut cand = env.platform().perturb_hw(rng, seed_hw);
+                    if rng.gen_bool(0.5) {
+                        cand = env.platform().perturb_hw(rng, &cand);
+                    }
+                    pool.push(cand);
+                }
+                let feats: Vec<Vec<f64>> = pool.iter().map(|h| env.platform().encode(h)).collect();
+                let picks = select_batch(
+                    gp,
+                    &feats,
+                    best,
+                    AcquisitionKind::ExpectedImprovement,
+                    n_model,
+                );
+                for i in picks {
+                    batch.push(pool[i].clone());
+                }
+            }
+        }
+        while batch.len() < cfg.batch {
+            batch.push(env.platform().sample_hw(rng));
+        }
+        batch
+    }
+}
+
+/// The `q`-quantile of `values` (linear index, values unsorted).
+fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((q.clamp(0.0, 1.0)) * (v.len() - 1) as f64).round() as usize;
+    Some(v[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unico_model::SpatialPlatform;
+    use unico_search::EnvConfig;
+    use unico_workloads::zoo;
+
+    fn smoke_cfg() -> UnicoConfig {
+        UnicoConfig {
+            max_iter: 3,
+            batch: 6,
+            b_max: 32,
+            candidate_pool: 32,
+            ..UnicoConfig::default()
+        }
+    }
+
+    fn env(platform: &SpatialPlatform) -> CoSearchEnv<'_, SpatialPlatform> {
+        CoSearchEnv::new(
+            platform,
+            &[zoo::mobilenet_v1()],
+            EnvConfig {
+                max_layers_per_network: 1,
+                power_cap_mw: None,
+                area_cap_mm2: None,
+            },
+        )
+    }
+
+    #[test]
+    fn unico_smoke_run() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let res = Unico::new(smoke_cfg()).run(&e);
+        assert_eq!(res.hw_evals, 18);
+        assert_eq!(res.evaluations.len(), 18);
+        assert_eq!(res.trace.points().len(), 3);
+        assert!(!res.front.is_empty());
+        assert!(res.wall_clock_s > 0.0);
+        let rec = res.min_euclidean_record().expect("front non-empty");
+        assert!(rec.assessment.is_some());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let a = Unico::new(smoke_cfg()).run(&e);
+        let b = Unico::new(smoke_cfg()).run(&e);
+        assert_eq!(a.front.objectives(), b.front.objectives());
+        assert_eq!(a.wall_clock_s, b.wall_clock_s);
+    }
+
+    #[test]
+    fn high_fidelity_feeds_subset_champion_feeds_one_per_iter() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let hf = Unico::new(smoke_cfg()).run(&e);
+        let fed_hf = hf.evaluations.iter().filter(|r| r.fed_surrogate).count();
+        assert!(fed_hf >= 1);
+
+        let champ = Unico::new(smoke_cfg().msh_champion()).run(&e);
+        let fed_champ = champ.evaluations.iter().filter(|r| r.fed_surrogate).count();
+        assert!(fed_champ <= 3, "champion update feeds ≤ 1 per iteration");
+    }
+
+    #[test]
+    fn msh_early_stops_some_candidates() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let res = Unico::new(smoke_cfg()).run(&e);
+        let spent: Vec<u64> = res.evaluations.iter().map(|r| r.budget_spent).collect();
+        assert!(spent.contains(&32), "finalists reach b_max");
+        assert!(spent.iter().any(|&s| s < 32), "some candidates stop early");
+    }
+
+    #[test]
+    fn robustness_recorded_for_feasible_candidates() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let res = Unico::new(smoke_cfg()).run(&e);
+        let with_r = res
+            .evaluations
+            .iter()
+            .filter(|r| r.assessment.is_some() && r.robustness.is_some())
+            .count();
+        assert!(with_r > 0, "feasible candidates must carry R");
+    }
+
+    #[test]
+    fn ablation_configs() {
+        let c = smoke_cfg();
+        let shc = c.sh_champion();
+        assert_eq!(shc.auc_fraction, 0.0);
+        assert!(!shc.high_fidelity);
+        let mshc = c.msh_champion();
+        assert!(mshc.auc_fraction > 0.0);
+        assert!(!mshc.high_fidelity);
+        assert!(!c.without_robustness().robustness_objective);
+    }
+
+    #[test]
+    fn percentile_helper() {
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.0), Some(1.0));
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 1.0), Some(3.0));
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+    }
+}

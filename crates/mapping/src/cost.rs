@@ -1,0 +1,72 @@
+//! The interface between mapping searchers and PPA cost models.
+
+use crate::mapping::Mapping;
+
+/// Result of evaluating one mapping on one hardware configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingOutcome {
+    /// Scalar search objective (lower is better); typically latency or
+    /// energy-delay product, chosen by the cost adapter.
+    pub loss: f64,
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Average power in milliwatts.
+    pub power_mw: f64,
+}
+
+/// A cost oracle for mappings of a fixed `(workload, hardware)` pair.
+///
+/// Implementations bind a PPA model (analytical or cycle-accurate), a
+/// hardware configuration and a loop nest, and score each candidate
+/// mapping. Returning `None` marks the mapping infeasible (e.g. a tile
+/// that overflows a buffer); searchers skip infeasible candidates but the
+/// evaluation still consumes budget, mirroring a real compiler-in-the-loop
+/// setup.
+pub trait MappingCost {
+    /// Scores a mapping; `None` if infeasible on this hardware.
+    fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome>;
+
+    /// Simulated wall-clock seconds one `assess` call costs (used for
+    /// search-cost accounting). Analytical models are fractions of a
+    /// second; cycle-accurate models minutes.
+    fn eval_cost_seconds(&self) -> f64 {
+        0.05
+    }
+}
+
+impl<T: MappingCost + ?Sized> MappingCost for &T {
+    fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome> {
+        (**self).assess(mapping)
+    }
+
+    fn eval_cost_seconds(&self) -> f64 {
+        (**self).eval_cost_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unico_workloads::TensorOp;
+
+    struct Fixed(f64);
+    impl MappingCost for Fixed {
+        fn assess(&self, _m: &Mapping) -> Option<MappingOutcome> {
+            Some(MappingOutcome {
+                loss: self.0,
+                latency_s: self.0,
+                power_mw: 1.0,
+            })
+        }
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let nest = TensorOp::Gemm { m: 4, n: 4, k: 4 }.to_loop_nest();
+        let m = crate::Mapping::identity(&nest);
+        let c = Fixed(3.5);
+        let r: &dyn MappingCost = &c;
+        assert_eq!(r.assess(&m).unwrap().loss, 3.5);
+        assert_eq!(c.eval_cost_seconds(), 0.05);
+    }
+}

@@ -1,0 +1,279 @@
+//! Search histories: monotone best-so-far curves, AUC, and the loss
+//! statistics the robustness metric consumes.
+
+use crate::cost::MappingOutcome;
+
+/// One evaluated (feasible) mapping in a search history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalRecord {
+    /// Budget step (1-based) at which the evaluation happened.
+    pub step: u64,
+    /// Search objective of this candidate.
+    pub loss: f64,
+    /// Latency of this candidate, seconds.
+    pub latency_s: f64,
+    /// Power of this candidate, milliwatts.
+    pub power_mw: f64,
+}
+
+/// The full trace of one software-mapping search.
+///
+/// Tracks every spent budget step (feasible or not), the feasible
+/// evaluation records, and the monotone best-so-far curve. The curve is
+/// the object successive halving and the robustness metric reason about:
+/// `best_at(b)` is non-increasing in `b` — the monotonicity property the
+/// paper assumes of mature mapping tools.
+#[derive(Debug, Clone, Default)]
+pub struct SearchHistory {
+    spent: u64,
+    records: Vec<EvalRecord>,
+    /// `(step, record)` improvements: records that strictly lowered the
+    /// best loss.
+    improvements: Vec<EvalRecord>,
+}
+
+impl SearchHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Budget steps consumed so far (including infeasible evaluations).
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Number of feasible evaluations recorded.
+    pub fn evaluations(&self) -> usize {
+        self.records.len()
+    }
+
+    /// All feasible evaluation records in evaluation order.
+    pub fn records(&self) -> &[EvalRecord] {
+        &self.records
+    }
+
+    /// Registers one consumed budget step with an infeasible candidate.
+    pub fn push_infeasible(&mut self) {
+        self.spent += 1;
+    }
+
+    /// Registers one consumed budget step with a feasible outcome.
+    pub fn push(&mut self, outcome: MappingOutcome) {
+        self.spent += 1;
+        let rec = EvalRecord {
+            step: self.spent,
+            loss: outcome.loss,
+            latency_s: outcome.latency_s,
+            power_mw: outcome.power_mw,
+        };
+        let improved = self
+            .improvements
+            .last()
+            .is_none_or(|best| rec.loss < best.loss);
+        self.records.push(rec);
+        if improved {
+            self.improvements.push(rec);
+        }
+    }
+
+    /// Best record found within the first `budget` steps, if any feasible
+    /// candidate was seen by then.
+    pub fn best_at(&self, budget: u64) -> Option<EvalRecord> {
+        self.improvements
+            .iter()
+            .take_while(|r| r.step <= budget)
+            .last()
+            .copied()
+    }
+
+    /// Best record over the whole history.
+    pub fn best(&self) -> Option<EvalRecord> {
+        self.improvements.last().copied()
+    }
+
+    /// Terminal value: best loss at the end of the history
+    /// (`f64::INFINITY` when nothing feasible was found).
+    pub fn terminal_value(&self) -> f64 {
+        self.best().map_or(f64::INFINITY, |r| r.loss)
+    }
+
+    /// Area-under-curve convergence-rate score over the first `budget`
+    /// steps, in `[0, 1]`.
+    ///
+    /// The paper promotes candidates whose best-so-far curves descend
+    /// steeply (Fig. 4b). We quantify steepness as the normalized
+    /// improvement area
+    /// `AUC = (1/B) Σ_{t=1..B} (L(1) − L(t)) / L(1)`
+    /// where `L(t)` is the best loss after `t` steps (losses are positive
+    /// latencies/EDPs). A curve that drops early and deeply accumulates
+    /// more area, so **higher AUC ⇒ faster convergence**, matching the
+    /// promotion rule's intent.
+    pub fn auc(&self, budget: u64) -> f64 {
+        let budget = budget.min(self.spent);
+        if budget == 0 || self.improvements.is_empty() {
+            return 0.0;
+        }
+        let first = self.improvements[0];
+        if first.step > budget || first.loss <= 0.0 {
+            return 0.0;
+        }
+        let l0 = first.loss;
+        let mut area = 0.0;
+        let mut idx = 0usize;
+        let mut current = l0;
+        for t in first.step..=budget {
+            while idx < self.improvements.len() && self.improvements[idx].step <= t {
+                current = self.improvements[idx].loss;
+                idx += 1;
+            }
+            area += (l0 - current).max(0.0) / l0;
+        }
+        area / budget as f64
+    }
+
+    /// The record whose loss sits at quantile `q` of all feasible losses
+    /// (`q = 0.0` ⇒ best). Used to extract the paper's "sub-optimal"
+    /// mapping — the `(1−α)` right-tail percentile of the loss history —
+    /// for the robustness metric.
+    pub fn loss_quantile_record(&self, q: f64) -> Option<EvalRecord> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<usize> = (0..self.records.len()).collect();
+        sorted.sort_by(|&a, &b| {
+            self.records[a]
+                .loss
+                .partial_cmp(&self.records[b].loss)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let pos = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        Some(self.records[sorted[pos]])
+    }
+
+    /// Merges another history into this one, preserving step accounting
+    /// (the other history's steps are appended after this one's).
+    pub fn absorb(&mut self, other: &SearchHistory) {
+        let offset = self.spent;
+        self.spent += other.spent;
+        for r in &other.records {
+            let rec = EvalRecord {
+                step: r.step + offset,
+                ..*r
+            };
+            let improved = self
+                .improvements
+                .last()
+                .is_none_or(|best| rec.loss < best.loss);
+            self.records.push(rec);
+            if improved {
+                self.improvements.push(rec);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(loss: f64) -> MappingOutcome {
+        MappingOutcome {
+            loss,
+            latency_s: loss,
+            power_mw: 2.0 * loss,
+        }
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let mut h = SearchHistory::new();
+        for l in [5.0, 7.0, 3.0, 4.0, 2.0, 9.0] {
+            h.push(out(l));
+        }
+        let mut prev = f64::INFINITY;
+        for b in 1..=h.spent() {
+            let cur = h.best_at(b).unwrap().loss;
+            assert!(cur <= prev, "best-so-far must not increase");
+            prev = cur;
+        }
+        assert_eq!(h.terminal_value(), 2.0);
+    }
+
+    #[test]
+    fn infeasible_consumes_budget_only() {
+        let mut h = SearchHistory::new();
+        h.push_infeasible();
+        h.push_infeasible();
+        assert_eq!(h.spent(), 2);
+        assert_eq!(h.evaluations(), 0);
+        assert!(h.best().is_none());
+        assert_eq!(h.terminal_value(), f64::INFINITY);
+        assert_eq!(h.auc(2), 0.0);
+    }
+
+    #[test]
+    fn auc_rewards_early_convergence() {
+        // Fast: drops to 1.0 immediately.
+        let mut fast = SearchHistory::new();
+        fast.push(out(10.0));
+        fast.push(out(1.0));
+        for _ in 0..8 {
+            fast.push(out(5.0)); // no improvement
+        }
+        // Slow: drops to 1.0 at the end.
+        let mut slow = SearchHistory::new();
+        slow.push(out(10.0));
+        for _ in 0..8 {
+            slow.push(out(10.0));
+        }
+        slow.push(out(1.0));
+        assert!(fast.auc(10) > slow.auc(10));
+        assert_eq!(fast.terminal_value(), slow.terminal_value());
+    }
+
+    #[test]
+    fn auc_bounded_unit_interval() {
+        let mut h = SearchHistory::new();
+        for l in [100.0, 50.0, 10.0, 1.0, 0.5] {
+            h.push(out(l));
+        }
+        let a = h.auc(5);
+        assert!((0.0..=1.0).contains(&a), "auc {a}");
+    }
+
+    #[test]
+    fn quantile_record_selects_tail() {
+        let mut h = SearchHistory::new();
+        for l in [9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.5] {
+            h.push(out(l));
+        }
+        assert_eq!(h.loss_quantile_record(0.0).unwrap().loss, 0.5);
+        assert_eq!(h.loss_quantile_record(1.0).unwrap().loss, 9.0);
+        let mid = h.loss_quantile_record(0.05).unwrap().loss;
+        assert!((0.5..=2.0).contains(&mid));
+    }
+
+    #[test]
+    fn absorb_offsets_steps() {
+        let mut a = SearchHistory::new();
+        a.push(out(5.0));
+        let mut b = SearchHistory::new();
+        b.push(out(3.0));
+        a.absorb(&b);
+        assert_eq!(a.spent(), 2);
+        assert_eq!(a.records()[1].step, 2);
+        assert_eq!(a.terminal_value(), 3.0);
+    }
+
+    #[test]
+    fn best_at_respects_budget_cutoff() {
+        let mut h = SearchHistory::new();
+        h.push(out(5.0));
+        h.push(out(4.0));
+        h.push(out(1.0));
+        assert_eq!(h.best_at(2).unwrap().loss, 4.0);
+        assert_eq!(h.best_at(3).unwrap().loss, 1.0);
+        assert!(h.best_at(0).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Software mapping space and mapping search for UNICO.
+//!
+//! A *mapping* ([`Mapping`]) decides how a tensor loop nest executes on an
+//! accelerator: two-level tiling (`L2` tile and `L1` tile of the canonical
+//! 7-D nest), a temporal loop order, and the two dimensions unrolled
+//! spatially across the PE array. The [`MappingSpace`] enumerates, samples
+//! and perturbs legal mappings for a given loop nest.
+//!
+//! Mapping *search* is deliberately decoupled from any particular cost
+//! model: searchers score candidates through the [`MappingCost`] trait,
+//! which a PPA model (analytical or cycle-accurate) implements. All
+//! searchers are **resumable** — `run_until(budget)` consumes only the
+//! budget not yet spent — which is exactly what successive halving needs,
+//! and every evaluation is appended to a [`SearchHistory`] whose
+//! best-so-far curve is monotonically non-increasing (the property the
+//! paper's bi-level formulation assumes).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use unico_workloads::TensorOp;
+//! use unico_mapping::{MappingSpace, MappingCost, MappingOutcome, Mapping, RandomSearch, MappingSearcher};
+//!
+//! // A toy cost: prefer square-ish L1 tiles.
+//! struct Toy;
+//! impl MappingCost for Toy {
+//!     fn assess(&self, m: &Mapping) -> Option<MappingOutcome> {
+//!         let t = m.l1_tile();
+//!         let loss = (t[1] as f64 - t[3] as f64).abs() + 1.0;
+//!         Some(MappingOutcome { loss, latency_s: loss, power_mw: 1.0 })
+//!     }
+//! }
+//!
+//! let nest = TensorOp::Gemm { m: 64, n: 64, k: 64 }.to_loop_nest();
+//! let space = MappingSpace::new(&nest);
+//! let rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut search = RandomSearch::new(space, rng);
+//! search.run_until(&Toy, 50);
+//! assert_eq!(search.history().evaluations(), 50);
+//! assert!(search.best().is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cost;
+mod history;
+mod mapping;
+mod qlearning;
+mod search;
+mod space;
+
+pub use cost::{MappingCost, MappingOutcome};
+pub use history::{EvalRecord, SearchHistory};
+pub use mapping::{Footprint, Mapping};
+pub use qlearning::QLearningSearch;
+pub use search::{
+    AnnealingSearch, GeneticConfig, GeneticSearch, MappingSearcher, RandomSearch,
+};
+pub use space::MappingSpace;

@@ -1,0 +1,309 @@
+//! FlexTensor-style Q-learning mapping search.
+//!
+//! FlexTensor guides schedule exploration with a Q-learning policy over
+//! *transformation actions*. This searcher follows that design: the
+//! state is the incumbent mapping, the action set is a small catalogue of
+//! structured moves (grow/shrink a tile level, permute the loop order,
+//! flip a spatial dimension), and a tabular Q-function over action types
+//! learns which move classes pay off on the current landscape, selected
+//! ε-greedily with a decaying exploration rate.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::cost::{MappingCost, MappingOutcome};
+use crate::history::SearchHistory;
+use crate::mapping::Mapping;
+use crate::search::MappingSearcher;
+use crate::space::MappingSpace;
+
+/// The action catalogue of the Q-learning policy: the typed mutation
+/// classes of the mapping space plus a restart escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    MutateL1,
+    MutateL2,
+    MutateOrder,
+    MutateSpatial,
+    Shrink,
+    Restart,
+}
+
+const ACTIONS: [Action; 6] = [
+    Action::MutateL1,
+    Action::MutateL2,
+    Action::MutateOrder,
+    Action::MutateSpatial,
+    Action::Shrink,
+    Action::Restart,
+];
+
+/// Q-learning mapping searcher (FlexTensor-like).
+#[derive(Debug)]
+pub struct QLearningSearch {
+    space: MappingSpace,
+    rng: StdRng,
+    history: SearchHistory,
+    best: Option<(Mapping, MappingOutcome)>,
+    current: Option<(Mapping, f64)>,
+    q: [f64; ACTIONS.len()],
+    /// Learning rate.
+    alpha: f64,
+    /// Exploration rate (decays multiplicatively per step).
+    epsilon: f64,
+    epsilon_decay: f64,
+    warmup: u64,
+    infeasible: Option<Mapping>,
+    since_improvement: u32,
+    restart_after: u32,
+}
+
+impl QLearningSearch {
+    /// Creates the searcher with FlexTensor-like defaults
+    /// (`α = 0.2`, `ε₀ = 0.5` decaying by `0.995` per step, 16 random
+    /// warm-up samples).
+    pub fn new(space: MappingSpace, rng: StdRng) -> Self {
+        QLearningSearch {
+            space,
+            rng,
+            history: SearchHistory::new(),
+            best: None,
+            current: None,
+            q: [0.0; ACTIONS.len()],
+            alpha: 0.2,
+            epsilon: 0.5,
+            epsilon_decay: 0.995,
+            warmup: 16,
+            infeasible: None,
+            since_improvement: 0,
+            restart_after: 40,
+        }
+    }
+
+    fn pick_action(&mut self) -> usize {
+        if self.rng.gen_bool(self.epsilon.clamp(0.02, 1.0)) {
+            self.rng.gen_range(0..ACTIONS.len())
+        } else {
+            let mut best = 0usize;
+            for i in 1..ACTIONS.len() {
+                if self.q[i] > self.q[best] {
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+
+    fn apply(&mut self, action: Action, m: &Mapping) -> Mapping {
+        match action {
+            Action::MutateL1 => self.space.mutate_l1_tile(&mut self.rng, m),
+            Action::MutateL2 => self.space.mutate_l2_tile(&mut self.rng, m),
+            Action::MutateOrder => self.space.mutate_order(&mut self.rng, m),
+            Action::MutateSpatial => self.space.mutate_spatial(&mut self.rng, m),
+            Action::Shrink => self.space.shrink(&mut self.rng, m),
+            Action::Restart => self.space.sample(&mut self.rng),
+        }
+    }
+
+    fn learn(&mut self, action_idx: usize, reward: f64) {
+        self.q[action_idx] += self.alpha * (reward - self.q[action_idx]);
+    }
+}
+
+impl MappingSearcher for QLearningSearch {
+    fn run_until(&mut self, cost: &dyn MappingCost, budget: u64) {
+        while self.history.spent() < budget {
+            let warming = self.history.spent() < self.warmup;
+            let (candidate, action_idx) = if let Some(bad) = self.infeasible.take() {
+                (self.space.shrink(&mut self.rng, &bad), None)
+            } else if warming || self.current.is_none() {
+                (self.space.sample(&mut self.rng), None)
+            } else {
+                let a = self.pick_action();
+                let base = self
+                    .current
+                    .as_ref()
+                    .map(|(m, _)| m.clone())
+                    .expect("current checked above");
+                (self.apply(ACTIONS[a], &base), Some(a))
+            };
+            match cost.assess(&candidate) {
+                Some(o) => {
+                    // Reward: relative improvement over the incumbent walk
+                    // position.
+                    if let (Some(a), Some((_, cur))) = (action_idx, &self.current) {
+                        let reward = ((cur - o.loss) / cur.max(1e-12)).clamp(-1.0, 1.0);
+                        self.learn(a, reward);
+                    }
+                    // Annealing-style acceptance with temperature tied to
+                    // the exploration rate: improving moves always accepted,
+                    // worsening moves with decaying probability, and a
+                    // rejected walk occasionally snaps back to the best.
+                    let accept = match &self.current {
+                        None => true,
+                        Some((_, cur)) => {
+                            if o.loss <= *cur {
+                                true
+                            } else {
+                                let rel = (o.loss - cur) / cur.max(1e-12);
+                                let t = (0.25 * self.epsilon).max(0.01);
+                                self.rng.gen_bool((-rel / t).exp().clamp(0.0, 1.0))
+                            }
+                        }
+                    };
+                    if accept {
+                        self.current = Some((candidate.clone(), o.loss));
+                    } else if self.rng.gen_bool(0.3) {
+                        self.current = self.best.as_ref().map(|(m, b)| (m.clone(), b.loss));
+                    }
+                    if self.best.as_ref().is_none_or(|(_, b)| o.loss < b.loss) {
+                        self.best = Some((candidate.clone(), o));
+                        self.current = Some((candidate, o.loss));
+                        self.since_improvement = 0;
+                    } else {
+                        self.since_improvement += 1;
+                    }
+                    self.history.push(o);
+                }
+                None => {
+                    if let Some(a) = action_idx {
+                        self.learn(a, -0.5);
+                    }
+                    let minimal = candidate.l1_tile().iter().all(|&t| t <= 2)
+                        && candidate.l2_tile().iter().all(|&t| t <= 2);
+                    if !minimal {
+                        self.infeasible = Some(candidate);
+                    }
+                    self.since_improvement += 1;
+                    self.history.push_infeasible();
+                }
+            }
+            if self.since_improvement >= self.restart_after {
+                // Stale: fresh random restart with a burst of exploration.
+                self.current = None;
+                self.epsilon = (self.epsilon * 4.0).min(0.5);
+                self.since_improvement = 0;
+            }
+            self.epsilon *= self.epsilon_decay;
+        }
+    }
+
+    fn history(&self) -> &SearchHistory {
+        &self.history
+    }
+
+    fn best(&self) -> Option<(&Mapping, MappingOutcome)> {
+        self.best.as_ref().map(|(m, o)| (m, *o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use unico_workloads::{Dim, TensorOp};
+
+    struct Structured;
+    impl MappingCost for Structured {
+        fn assess(&self, m: &Mapping) -> Option<MappingOutcome> {
+            let k = m.l1_tile()[Dim::K.index()];
+            if k > 32 {
+                return None;
+            }
+            let loss = 64.0 / k as f64 + m.l2_tile()[Dim::C.index()] as f64 * 0.01;
+            Some(MappingOutcome {
+                loss,
+                latency_s: loss * 1e-3,
+                power_mw: 100.0,
+            })
+        }
+    }
+
+    fn space() -> MappingSpace {
+        let nest = TensorOp::Conv2d {
+            n: 1,
+            k: 64,
+            c: 32,
+            y: 28,
+            x: 28,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest();
+        MappingSpace::new(&nest)
+    }
+
+    #[test]
+    fn q_search_is_resumable_and_improves() {
+        let mut s = QLearningSearch::new(space(), StdRng::seed_from_u64(3));
+        s.run_until(&Structured, 50);
+        assert_eq!(s.history().spent(), 50);
+        let at_50 = s.history().terminal_value();
+        s.run_until(&Structured, 250);
+        assert_eq!(s.history().spent(), 250);
+        assert!(s.history().terminal_value() <= at_50);
+        // Finds a good K tile.
+        let (m, _) = s.best().expect("feasible best");
+        assert!(m.l1_tile()[Dim::K.index()] >= 8);
+    }
+
+    #[test]
+    fn q_values_move_away_from_zero() {
+        let mut s = QLearningSearch::new(space(), StdRng::seed_from_u64(5));
+        s.run_until(&Structured, 200);
+        assert!(
+            s.q.iter().any(|&q| q.abs() > 1e-6),
+            "Q-table never updated: {:?}",
+            s.q
+        );
+    }
+
+    #[test]
+    fn competitive_with_random_search_on_average() {
+        use crate::search::RandomSearch;
+        let budget = 300;
+        let mut q_sum = 0.0;
+        let mut r_sum = 0.0;
+        for seed in 0..5 {
+            let mut q = QLearningSearch::new(space(), StdRng::seed_from_u64(seed));
+            let mut r = RandomSearch::new(space(), StdRng::seed_from_u64(seed + 50));
+            q.run_until(&Structured, budget);
+            r.run_until(&Structured, budget);
+            q_sum += q.history().terminal_value();
+            r_sum += r.history().terminal_value();
+        }
+        assert!(
+            q_sum <= 1.3 * r_sum,
+            "q-learning mean {q_sum} vs random mean {r_sum}"
+        );
+    }
+
+    #[test]
+    fn repairs_infeasibility_under_tight_constraints() {
+        /// Tight working-set constraint: most blind samples are rejected.
+        struct Tight;
+        impl MappingCost for Tight {
+            fn assess(&self, m: &Mapping) -> Option<MappingOutcome> {
+                if m.l1_tile().iter().product::<u64>() > 2048 {
+                    return None;
+                }
+                let loss = 1.0 + m.l2_tile()[Dim::C.index()] as f64 * 0.01;
+                Some(MappingOutcome {
+                    loss,
+                    latency_s: loss,
+                    power_mw: 1.0,
+                })
+            }
+        }
+        let mut q = QLearningSearch::new(space(), StdRng::seed_from_u64(7));
+        q.run_until(&Tight, 300);
+        // Shrink-repair keeps the feasible-evaluation rate high despite
+        // the tight constraint.
+        assert!(
+            q.history().evaluations() > 200,
+            "only {} feasible evaluations in 300 steps",
+            q.history().evaluations()
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests across all mapping searchers: budget accounting,
+//! monotone best-so-far curves, and resumability equivalence.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unico_mapping::{
+    AnnealingSearch, GeneticConfig, GeneticSearch, Mapping, MappingCost, MappingOutcome,
+    MappingSearcher, MappingSpace, QLearningSearch, RandomSearch,
+};
+use unico_workloads::{Dim, TensorOp};
+
+/// A deterministic synthetic cost with both structure and infeasibility.
+struct Synthetic {
+    k_cap: u64,
+}
+
+impl MappingCost for Synthetic {
+    fn assess(&self, m: &Mapping) -> Option<MappingOutcome> {
+        let t = m.l1_tile();
+        if t[Dim::K.index()] > self.k_cap {
+            return None;
+        }
+        let loss = 100.0 / t[Dim::K.index()] as f64
+            + (t[Dim::Y.index()] as f64 - t[Dim::X.index()] as f64).abs()
+            + m.order_penalty();
+        Some(MappingOutcome {
+            loss,
+            latency_s: loss * 1e-3,
+            power_mw: 50.0 + t[Dim::K.index()] as f64,
+        })
+    }
+}
+
+trait OrderPenalty {
+    fn order_penalty(&self) -> f64;
+}
+
+impl OrderPenalty for Mapping {
+    fn order_penalty(&self) -> f64 {
+        // Mild preference for reduction loops innermost.
+        let pos = self.order_position(Dim::C) as f64;
+        (6.0 - pos) * 0.1
+    }
+}
+
+fn space() -> MappingSpace {
+    let nest = TensorOp::Conv2d {
+        n: 1,
+        k: 64,
+        c: 32,
+        y: 28,
+        x: 28,
+        r: 3,
+        s: 3,
+        stride: 1,
+    }
+    .to_loop_nest();
+    MappingSpace::new(&nest)
+}
+
+fn searchers(seed: u64) -> Vec<(&'static str, Box<dyn MappingSearcher>)> {
+    vec![
+        (
+            "random",
+            Box::new(RandomSearch::new(space(), StdRng::seed_from_u64(seed))),
+        ),
+        (
+            "annealing",
+            Box::new(AnnealingSearch::new(space(), StdRng::seed_from_u64(seed))),
+        ),
+        (
+            "genetic",
+            Box::new(GeneticSearch::new(
+                space(),
+                StdRng::seed_from_u64(seed),
+                GeneticConfig::default(),
+            )),
+        ),
+        (
+            "q-learning",
+            Box::new(QLearningSearch::new(space(), StdRng::seed_from_u64(seed))),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every searcher: exact budget accounting, monotone best-so-far,
+    /// best() consistent with terminal value.
+    #[test]
+    fn searcher_contracts(seed in 0u64..500, budget in 20u64..150, k_cap in 4u64..64) {
+        let cost = Synthetic { k_cap };
+        for (name, mut s) in searchers(seed) {
+            s.run_until(&cost, budget);
+            prop_assert_eq!(s.history().spent(), budget, "{} budget", name);
+            let mut prev = f64::INFINITY;
+            for b in 1..=budget {
+                if let Some(best) = s.history().best_at(b) {
+                    prop_assert!(best.loss <= prev + 1e-12, "{} monotone", name);
+                    prev = best.loss;
+                }
+            }
+            if let Some((_, o)) = s.best() {
+                prop_assert_eq!(o.loss, s.history().terminal_value());
+                // Respect the feasibility constraint.
+                let (m, _) = s.best().expect("just checked");
+                prop_assert!(m.l1_tile()[Dim::K.index()] <= k_cap, "{name} infeasible best");
+            }
+        }
+    }
+
+    /// Split-budget runs reach the same spent totals and never regress
+    /// versus their own earlier prefix.
+    #[test]
+    fn resumability(seed in 0u64..200, b1 in 10u64..60, b2 in 61u64..160) {
+        let cost = Synthetic { k_cap: 32 };
+        for (name, mut s) in searchers(seed) {
+            s.run_until(&cost, b1);
+            let tv1 = s.history().terminal_value();
+            s.run_until(&cost, b2);
+            prop_assert_eq!(s.history().spent(), b2, "{}", name);
+            prop_assert!(s.history().terminal_value() <= tv1, "{} regressed", name);
+        }
+    }
+
+    /// AUC is within [0, 1] and zero only when no improvement happened.
+    #[test]
+    fn auc_bounds_hold(seed in 0u64..200, budget in 30u64..120) {
+        let cost = Synthetic { k_cap: 32 };
+        for (name, mut s) in searchers(seed) {
+            s.run_until(&cost, budget);
+            let auc = s.history().auc(budget);
+            prop_assert!((0.0..=1.0).contains(&auc), "{} auc {}", name, auc);
+        }
+    }
+}

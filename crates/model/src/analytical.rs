@@ -1,0 +1,474 @@
+//! The MAESTRO-like analytical PPA model.
+
+use unico_mapping::{Mapping, MappingCost, MappingOutcome};
+use unico_workloads::{Dim, LoopNest};
+
+use crate::hw::{Dataflow, HwConfig};
+use crate::ppa::{EvalError, Ppa};
+use crate::tech::TechParams;
+use crate::traffic::{tensor_loads, tensor_min_loads, TensorKind};
+
+/// Diagnostic breakdown of one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalBreakdown {
+    /// Pure compute cycles (PE array busy time).
+    pub compute_cycles: f64,
+    /// Cycles the NoC needs to move all L2→L1 traffic.
+    pub noc_cycles: f64,
+    /// Cycles the DRAM interface needs for all off-chip traffic.
+    pub dram_cycles: f64,
+    /// Final modeled latency in cycles (max of the above + overheads).
+    pub total_cycles: f64,
+    /// MAC utilization of the PE array in `[0, 1]`.
+    pub utilization: f64,
+    /// Total L2→L1 bytes moved over the NoC.
+    pub noc_bytes: f64,
+    /// Total DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// PEs actually active given the spatial unrolling.
+    pub active_pes: u64,
+}
+
+/// The analytical cost model: latency / power / area for one
+/// `(hardware, mapping, loop nest)` triple, in the spirit of MAESTRO.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticalModel {
+    tech: TechParams,
+}
+
+impl AnalyticalModel {
+    /// Creates a model with the given technology parameters.
+    pub fn new(tech: TechParams) -> Self {
+        AnalyticalModel { tech }
+    }
+
+    /// The technology parameters in use.
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// Silicon area of a configuration, independent of workload.
+    pub fn area_mm2(&self, hw: &HwConfig) -> f64 {
+        let t = &self.tech;
+        let pes = hw.num_pes() as f64;
+        let l1_total_kb = (hw.l1_bytes() as f64 * pes) / 1024.0;
+        let l2_kb = hw.l2_bytes() as f64 / 1024.0;
+        t.area_base_mm2
+            + pes * t.area_pe_mm2
+            + l1_total_kb * t.area_l1_mm2_per_kb
+            + l2_kb * t.area_l2_mm2_per_kb
+            + pes * (f64::from(hw.noc_bytes_per_cycle()) / 64.0) * t.area_noc_mm2_per_pe_64b
+    }
+
+    /// Evaluates PPA, returning the detailed breakdown too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when the mapping's working sets do not fit
+    /// the configuration's buffers (double-buffered) or the spatial
+    /// unrolling is fully degenerate.
+    pub fn evaluate_detailed(
+        &self,
+        hw: &HwConfig,
+        mapping: &Mapping,
+        nest: &LoopNest,
+    ) -> Result<(Ppa, EvalBreakdown), EvalError> {
+        let t = &self.tech;
+        let b = t.bytes_per_elem;
+
+        let (sd1, sd2) = mapping.spatial();
+        let l1_tile = mapping.l1_tile();
+        let e1 = l1_tile[sd1.index()];
+        let e2 = l1_tile[sd2.index()];
+        if e1 == 1 && e2 == 1 && hw.num_pes() > 1 {
+            return Err(EvalError::DegenerateSpatial);
+        }
+        let active_pes = e1.min(u64::from(hw.pe_x())) * e2.min(u64::from(hw.pe_y()));
+
+        // --- Buffer feasibility (double buffered). ---
+        let fp1 = mapping.l1_footprint(nest, b);
+        let per_pe = fp1.total().div_ceil(active_pes) * 2;
+        if per_pe > hw.l1_bytes() {
+            return Err(EvalError::L1Overflow {
+                required: per_pe,
+                available: hw.l1_bytes(),
+            });
+        }
+        let fp2 = mapping.l2_footprint(nest, b);
+        let l2_need = fp2.total() * 2;
+        if l2_need > hw.l2_bytes() {
+            return Err(EvalError::L2Overflow {
+                required: l2_need,
+                available: hw.l2_bytes(),
+            });
+        }
+
+        // --- Compute time. ---
+        let t2 = mapping.num_l2_tiles(nest) as f64;
+        let t1 = mapping.num_l1_tiles_per_l2() as f64;
+        let mut serial: u64 = 1;
+        for d in Dim::ALL {
+            if d != sd1 && d != sd2 {
+                serial *= l1_tile[d.index()];
+            }
+        }
+        let cycles_per_l1_tile = e1.div_ceil(u64::from(hw.pe_x())) as f64
+            * e2.div_ceil(u64::from(hw.pe_y())) as f64
+            * serial as f64;
+        let compute_cycles = t2 * t1 * cycles_per_l1_tile;
+        let utilization =
+            nest.macs() as f64 / (compute_cycles * hw.num_pes() as f64).max(1.0);
+
+        // --- NoC traffic: L2 -> L1 per L2 tile, summed over L2 tiles. ---
+        let l1_trips = mapping.l1_trip_counts();
+        let order = mapping.order();
+        let stationary = match hw.dataflow() {
+            Dataflow::WeightStationary => TensorKind::Weight,
+            Dataflow::OutputStationary => TensorKind::Output,
+        };
+        let mut noc_bytes_per_l2 = 0.0f64;
+        for tensor in TensorKind::ALL {
+            let loads = if tensor == stationary {
+                tensor_min_loads(tensor, nest, &l1_trips)
+            } else {
+                tensor_loads(tensor, nest, &l1_trips, &order)
+            } as f64;
+            let min = tensor_min_loads(tensor, nest, &l1_trips) as f64;
+            let fp = match tensor {
+                TensorKind::Input => fp1.input,
+                TensorKind::Weight => fp1.weight,
+                TensorKind::Output => fp1.output,
+            } as f64;
+            let effective = if tensor == TensorKind::Output {
+                // Read-modify-write round trips for revisits, one final
+                // write per distinct tile.
+                2.0 * loads - min
+            } else {
+                loads
+            };
+            noc_bytes_per_l2 += fp * effective;
+        }
+        let noc_bytes = noc_bytes_per_l2 * t2;
+        let noc_cycles = noc_bytes / f64::from(hw.noc_bytes_per_cycle());
+
+        // --- DRAM traffic: DRAM -> L2 across L2 tiles. ---
+        let l2_trips = mapping.l2_trip_counts(nest);
+        let mut dram_bytes = 0.0f64;
+        for tensor in TensorKind::ALL {
+            let loads = tensor_loads(tensor, nest, &l2_trips, &order) as f64;
+            let min = tensor_min_loads(tensor, nest, &l2_trips) as f64;
+            let fp = match tensor {
+                TensorKind::Input => fp2.input,
+                TensorKind::Weight => fp2.weight,
+                TensorKind::Output => fp2.output,
+            } as f64;
+            let effective = if tensor == TensorKind::Output {
+                2.0 * loads - min
+            } else {
+                loads
+            };
+            dram_bytes += fp * effective;
+        }
+        let dram_cycles = dram_bytes / t.dram_bytes_per_cycle;
+
+        // --- Latency. ---
+        let total_cycles = compute_cycles.max(noc_cycles).max(dram_cycles)
+            + t2 * t.tile_overhead_cycles
+            + t.launch_overhead_cycles;
+        let latency_s = total_cycles / t.clock_hz;
+
+        // --- Energy. ---
+        let macs = nest.macs() as f64;
+        let bf = b as f64;
+        let per_mac_bytes = |tensor: TensorKind| -> f64 {
+            match tensor {
+                TensorKind::Input | TensorKind::Weight => bf,
+                TensorKind::Output => 2.0 * bf, // accumulate: read + write
+            }
+        };
+        let mut e_local = 0.0;
+        for tensor in TensorKind::ALL {
+            let e_per_byte = if tensor == stationary {
+                t.e_reg_pj_per_byte
+            } else {
+                t.e_l1_pj_per_byte
+            };
+            e_local += macs * per_mac_bytes(tensor) * e_per_byte;
+        }
+        let area = self.area_mm2(hw);
+        let e_mac = macs * t.e_mac_pj;
+        let e_noc = noc_bytes * t.e_noc_pj_per_byte;
+        let e_l2 = (noc_bytes + dram_bytes) * t.e_l2_pj_per_byte;
+        let e_dram = dram_bytes * t.e_dram_pj_per_byte;
+        let e_leak = t.leakage_mw_per_mm2 * area * latency_s * 1e9;
+        let energy_pj = e_mac + e_local + e_noc + e_l2 + e_dram + e_leak;
+        let power_mw = energy_pj / (latency_s * 1e9);
+
+        Ok((
+            Ppa {
+                latency_s,
+                power_mw,
+                area_mm2: area,
+                energy_pj,
+            },
+            EvalBreakdown {
+                compute_cycles,
+                noc_cycles,
+                dram_cycles,
+                total_cycles,
+                utilization,
+                noc_bytes,
+                dram_bytes,
+                active_pes,
+            },
+        ))
+    }
+
+    /// Evaluates PPA for one `(hardware, mapping, loop nest)` triple.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalyticalModel::evaluate_detailed`].
+    pub fn evaluate(
+        &self,
+        hw: &HwConfig,
+        mapping: &Mapping,
+        nest: &LoopNest,
+    ) -> Result<Ppa, EvalError> {
+        self.evaluate_detailed(hw, mapping, nest).map(|(p, _)| p)
+    }
+}
+
+/// Which scalar the software-mapping search minimizes (the paper's
+/// §2.1: "minimizing an objective (e.g. latency and/or
+/// energy-delay-product)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MappingObjective {
+    /// End-to-end latency (default).
+    #[default]
+    Latency,
+    /// Energy-delay product.
+    Edp,
+}
+
+/// A [`MappingCost`] adapter binding the analytical model to a fixed
+/// hardware configuration and loop nest.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundSpatialCost<'a> {
+    model: &'a AnalyticalModel,
+    hw: HwConfig,
+    nest: LoopNest,
+    eval_cost_s: f64,
+    objective: MappingObjective,
+}
+
+impl<'a> BoundSpatialCost<'a> {
+    /// Binds `model` to `(hw, nest)` with the latency objective;
+    /// `eval_cost_s` is the simulated wall-clock cost charged per
+    /// evaluation.
+    pub fn new(model: &'a AnalyticalModel, hw: HwConfig, nest: LoopNest, eval_cost_s: f64) -> Self {
+        BoundSpatialCost {
+            model,
+            hw,
+            nest,
+            eval_cost_s,
+            objective: MappingObjective::Latency,
+        }
+    }
+
+    /// Selects the search objective.
+    pub fn with_objective(mut self, objective: MappingObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+}
+
+impl MappingCost for BoundSpatialCost<'_> {
+    fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome> {
+        match self.model.evaluate(&self.hw, mapping, &self.nest) {
+            Ok(ppa) => Some(MappingOutcome {
+                loss: match self.objective {
+                    MappingObjective::Latency => ppa.latency_s,
+                    MappingObjective::Edp => ppa.edp(),
+                },
+                latency_s: ppa.latency_s,
+                power_mw: ppa.power_mw,
+            }),
+            Err(_) => None,
+        }
+    }
+
+    fn eval_cost_seconds(&self) -> f64 {
+        self.eval_cost_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unico_workloads::TensorOp;
+
+    fn model() -> AnalyticalModel {
+        AnalyticalModel::new(TechParams::default())
+    }
+
+    fn nest() -> LoopNest {
+        TensorOp::Conv2d {
+            n: 1,
+            k: 64,
+            c: 64,
+            y: 28,
+            x: 28,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest()
+    }
+
+    /// A mapping with modest tiles that fits small configurations.
+    fn small_mapping(n: &LoopNest) -> Mapping {
+        let mut l2 = n.extents();
+        l2[Dim::C.index()] = 16;
+        let mut l1 = [1u64; 7];
+        l1[Dim::K.index()] = 8;
+        l1[Dim::Y.index()] = 8;
+        l1[Dim::X.index()] = 4;
+        l1[Dim::C.index()] = 4;
+        Mapping::new(n, l2, l1, Dim::ALL, (Dim::K, Dim::Y))
+    }
+
+    fn hw(pe: u32, l1: u64, l2_kb: u64) -> HwConfig {
+        HwConfig::new(pe, pe, l1, l2_kb * 1024, 128, Dataflow::WeightStationary)
+    }
+
+    #[test]
+    fn evaluates_feasible_mapping() {
+        let n = nest();
+        let m = small_mapping(&n);
+        let (ppa, bd) = model()
+            .evaluate_detailed(&hw(8, 4096, 512), &m, &n)
+            .unwrap();
+        assert!(ppa.latency_s > 0.0);
+        assert!(ppa.power_mw > 0.0);
+        assert!(ppa.area_mm2 > 0.0);
+        assert!(bd.utilization > 0.0 && bd.utilization <= 1.0);
+        assert!(bd.total_cycles >= bd.compute_cycles);
+    }
+
+    #[test]
+    fn l1_overflow_detected() {
+        let n = nest();
+        let m = Mapping::identity(&n); // whole nest in one L1 tile
+        let err = model().evaluate(&hw(2, 256, 4096), &m, &n).unwrap_err();
+        assert!(matches!(err, EvalError::L1Overflow { .. }));
+    }
+
+    #[test]
+    fn l2_overflow_detected() {
+        let n = nest();
+        let m = small_mapping(&n); // L2 tile ~ full feature maps
+        let err = model().evaluate(&hw(8, 4096, 16), &m, &n).unwrap_err();
+        assert!(matches!(err, EvalError::L2Overflow { .. }));
+    }
+
+    #[test]
+    fn more_pes_never_slow_compute_bound_layer() {
+        let n = nest();
+        let m = small_mapping(&n);
+        let lat = |pe: u32| {
+            model()
+                .evaluate(&hw(pe, 8192, 1024), &m, &n)
+                .unwrap()
+                .latency_s
+        };
+        assert!(lat(8) <= lat(4));
+        assert!(lat(4) <= lat(2));
+    }
+
+    #[test]
+    fn wider_noc_never_hurts() {
+        let n = nest();
+        let m = small_mapping(&n);
+        let mdl = model();
+        let narrow = HwConfig::new(8, 8, 4096, 512 * 1024, 64, Dataflow::WeightStationary);
+        let wide = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
+        let l_narrow = mdl.evaluate(&narrow, &m, &n).unwrap().latency_s;
+        let l_wide = mdl.evaluate(&wide, &m, &n).unwrap().latency_s;
+        assert!(l_wide <= l_narrow);
+    }
+
+    #[test]
+    fn dataflow_changes_energy() {
+        let n = nest();
+        let m = small_mapping(&n);
+        let mdl = model();
+        let ws = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
+        let os = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::OutputStationary);
+        let e_ws = mdl.evaluate(&ws, &m, &n).unwrap().energy_pj;
+        let e_os = mdl.evaluate(&os, &m, &n).unwrap().energy_pj;
+        assert_ne!(e_ws, e_os);
+        // For this conv the output is accessed 2 bytes x 2 (rmw) per MAC,
+        // so pinning outputs in registers saves more local energy.
+        assert!(e_os < e_ws);
+    }
+
+    #[test]
+    fn area_grows_with_resources() {
+        let mdl = model();
+        let small = mdl.area_mm2(&hw(4, 1024, 128));
+        let big = mdl.area_mm2(&hw(16, 8192, 1024));
+        assert!(big > small);
+        // Edge-class designs should land in the paper's few-mm² regime.
+        assert!((0.1..30.0).contains(&small), "area {small}");
+    }
+
+    #[test]
+    fn degenerate_spatial_rejected() {
+        let n = nest();
+        let mut l1 = [1u64; 7];
+        l1[Dim::C.index()] = 4; // spatial dims K,Y stay at 1
+        let m = Mapping::new(&n, n.extents(), l1, Dim::ALL, (Dim::K, Dim::Y));
+        let err = model().evaluate(&hw(8, 4096, 4096), &m, &n).unwrap_err();
+        assert_eq!(err, EvalError::DegenerateSpatial);
+    }
+
+    #[test]
+    fn edp_objective_changes_ranking_pressure() {
+        let n = nest();
+        let mdl = model();
+        let cost_lat = BoundSpatialCost::new(&mdl, hw(8, 4096, 512), n, 1.0);
+        let cost_edp = cost_lat.with_objective(MappingObjective::Edp);
+        let m = small_mapping(&n);
+        let o_lat = cost_lat.assess(&m).unwrap();
+        let o_edp = cost_edp.assess(&m).unwrap();
+        // Same PPA, different scalar loss.
+        assert_eq!(o_lat.latency_s, o_edp.latency_s);
+        assert_eq!(o_lat.loss, o_lat.latency_s);
+        let ppa = mdl.evaluate(&hw(8, 4096, 512), &m, &n).unwrap();
+        assert!((o_edp.loss - ppa.edp()).abs() < 1e-9);
+        assert!(o_edp.loss != o_lat.loss);
+    }
+
+    #[test]
+    fn bound_cost_adapter_filters_infeasible() {
+        let n = nest();
+        let mdl = model();
+        let cost = BoundSpatialCost::new(&mdl, hw(8, 4096, 512), n, 1.0);
+        assert!(cost.assess(&small_mapping(&n)).is_some());
+        assert!(cost.assess(&Mapping::identity(&n)).is_none());
+        assert_eq!(cost.eval_cost_seconds(), 1.0);
+    }
+
+    #[test]
+    fn latency_reasonable_for_resnet_like_layer() {
+        // 231M MACs on 64 PEs at 1 GHz: at least 3.6 ms even at full
+        // utilization; model must respect the compute bound.
+        let n = nest();
+        let m = small_mapping(&n);
+        let ppa = model().evaluate(&hw(8, 4096, 512), &m, &n).unwrap();
+        let compute_floor = n.macs() as f64 / (64.0 * 1e9);
+        assert!(ppa.latency_s >= compute_floor);
+        assert!(ppa.latency_s < 1.0, "latency {} s", ppa.latency_s);
+    }
+}

@@ -1,0 +1,394 @@
+//! The 2-D spatial accelerator hardware template and its design space.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// PE-level dataflow: which tensor stays resident in PE register files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Weights pinned in PE registers; inputs/outputs stream.
+    WeightStationary,
+    /// Output partial sums pinned in PE registers; inputs/weights stream.
+    OutputStationary,
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dataflow::WeightStationary => write!(f, "ws"),
+            Dataflow::OutputStationary => write!(f, "os"),
+        }
+    }
+}
+
+/// One point of the spatial-accelerator design space (Fig. 1): PE array
+/// shape, per-PE L1 scratchpad, global L2 memory, NoC bandwidth and
+/// dataflow style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HwConfig {
+    pe_x: u32,
+    pe_y: u32,
+    l1_bytes: u64,
+    l2_bytes: u64,
+    noc_bytes_per_cycle: u32,
+    dataflow: Dataflow,
+}
+
+impl HwConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any numeric parameter is zero.
+    pub fn new(
+        pe_x: u32,
+        pe_y: u32,
+        l1_bytes: u64,
+        l2_bytes: u64,
+        noc_bytes_per_cycle: u32,
+        dataflow: Dataflow,
+    ) -> Self {
+        assert!(pe_x > 0 && pe_y > 0, "PE array dims must be positive");
+        assert!(l1_bytes > 0 && l2_bytes > 0, "buffer sizes must be positive");
+        assert!(noc_bytes_per_cycle > 0, "NoC bandwidth must be positive");
+        HwConfig {
+            pe_x,
+            pe_y,
+            l1_bytes,
+            l2_bytes,
+            noc_bytes_per_cycle,
+            dataflow,
+        }
+    }
+
+    /// PEs along the x axis.
+    pub fn pe_x(&self) -> u32 {
+        self.pe_x
+    }
+
+    /// PEs along the y axis.
+    pub fn pe_y(&self) -> u32 {
+        self.pe_y
+    }
+
+    /// Total PE count.
+    pub fn num_pes(&self) -> u64 {
+        u64::from(self.pe_x) * u64::from(self.pe_y)
+    }
+
+    /// Per-PE L1 scratchpad bytes.
+    pub fn l1_bytes(&self) -> u64 {
+        self.l1_bytes
+    }
+
+    /// Global L2 memory bytes.
+    pub fn l2_bytes(&self) -> u64 {
+        self.l2_bytes
+    }
+
+    /// NoC bandwidth in bytes/cycle.
+    pub fn noc_bytes_per_cycle(&self) -> u32 {
+        self.noc_bytes_per_cycle
+    }
+
+    /// Dataflow style.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+}
+
+impl fmt::Display for HwConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} PEs, L1 {} B, L2 {} KB, NoC {} B/cy, {}",
+            self.pe_x,
+            self.pe_y,
+            self.l1_bytes,
+            self.l2_bytes / 1024,
+            self.noc_bytes_per_cycle,
+            self.dataflow
+        )
+    }
+}
+
+/// Generates `{2^i · 3^j}` values within `[lo, hi]`, sorted and deduped.
+fn pow23_values(lo: u64, hi: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut p2 = 1u64;
+    while p2 <= hi {
+        let mut val = p2;
+        while val <= hi {
+            if val >= lo {
+                v.push(val);
+            }
+            val *= 3;
+        }
+        p2 *= 2;
+    }
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// The enumerated hardware design space: per-parameter option lists.
+///
+/// Two presets mirror the paper's scenarios: [`HwSpace::edge`]
+/// (≈ `1e5` points) and [`HwSpace::cloud`] (≈ `1e7`+ points — the paper
+/// quotes `1e9` counting finer-grained buffer steps; the relative sizes
+/// and all qualitative behaviour are preserved).
+#[derive(Debug, Clone)]
+pub struct HwSpace {
+    pe_opts: Vec<u32>,
+    l1_opts: Vec<u64>,
+    l2_opts: Vec<u64>,
+    noc_opts: Vec<u32>,
+    dataflows: Vec<Dataflow>,
+}
+
+impl HwSpace {
+    /// The edge scenario: up to a 16×16 PE array, L1 up to 12 KiB, L2 up
+    /// to 1.5 MiB.
+    pub fn edge() -> Self {
+        HwSpace {
+            pe_opts: vec![1, 2, 3, 4, 6, 8, 10, 12, 14, 16],
+            l1_opts: pow23_values(64, 12 * 1024),
+            l2_opts: pow23_values(16 * 1024, 1536 * 1024),
+            noc_opts: vec![64, 128],
+            dataflows: vec![Dataflow::WeightStationary, Dataflow::OutputStationary],
+        }
+    }
+
+    /// The cloud scenario: up to a 24×24 PE array, L1 up to 96 KiB, L2 up
+    /// to 24 MiB.
+    pub fn cloud() -> Self {
+        HwSpace {
+            pe_opts: (1..=24).collect(),
+            l1_opts: pow23_values(32, 96 * 1024),
+            l2_opts: pow23_values(16 * 1024, 48 * 1024 * 1024),
+            noc_opts: vec![64, 128],
+            dataflows: vec![Dataflow::WeightStationary, Dataflow::OutputStationary],
+        }
+    }
+
+    /// Number of configurations in the space.
+    pub fn size(&self) -> u64 {
+        (self.pe_opts.len() as u64).pow(2)
+            * self.l1_opts.len() as u64
+            * self.l2_opts.len() as u64
+            * self.noc_opts.len() as u64
+            * self.dataflows.len() as u64
+    }
+
+    /// Number of integer genes in the genome encoding.
+    pub const GENOME_LEN: usize = 6;
+
+    /// Option-list lengths per gene, in genome order
+    /// `[pe_x, pe_y, l1, l2, noc, dataflow]`.
+    pub fn gene_cardinalities(&self) -> [usize; Self::GENOME_LEN] {
+        [
+            self.pe_opts.len(),
+            self.pe_opts.len(),
+            self.l1_opts.len(),
+            self.l2_opts.len(),
+            self.noc_opts.len(),
+            self.dataflows.len(),
+        ]
+    }
+
+    /// Decodes a genome (per-gene option indices) into a configuration;
+    /// indices are clamped into range.
+    pub fn decode(&self, genome: &[usize; Self::GENOME_LEN]) -> HwConfig {
+        let pick = |opts_len: usize, g: usize| g.min(opts_len - 1);
+        HwConfig::new(
+            self.pe_opts[pick(self.pe_opts.len(), genome[0])],
+            self.pe_opts[pick(self.pe_opts.len(), genome[1])],
+            self.l1_opts[pick(self.l1_opts.len(), genome[2])],
+            self.l2_opts[pick(self.l2_opts.len(), genome[3])],
+            self.noc_opts[pick(self.noc_opts.len(), genome[4])],
+            self.dataflows[pick(self.dataflows.len(), genome[5])],
+        )
+    }
+
+    /// Encodes a configuration back into a genome. Values not in the
+    /// option lists map to the nearest option.
+    pub fn encode_genome(&self, hw: &HwConfig) -> [usize; Self::GENOME_LEN] {
+        fn nearest<T: Copy + Into<f64>>(opts: &[T], v: f64) -> usize {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (i, o) in opts.iter().enumerate() {
+                let d = ((*o).into() - v).abs();
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            best
+        }
+        let l1: Vec<f64> = self.l1_opts.iter().map(|&v| v as f64).collect();
+        let l2: Vec<f64> = self.l2_opts.iter().map(|&v| v as f64).collect();
+        [
+            nearest(&self.pe_opts, f64::from(hw.pe_x)),
+            nearest(&self.pe_opts, f64::from(hw.pe_y)),
+            nearest(&l1, hw.l1_bytes as f64),
+            nearest(&l2, hw.l2_bytes as f64),
+            nearest(&self.noc_opts, f64::from(hw.noc_bytes_per_cycle)),
+            self.dataflows
+                .iter()
+                .position(|d| *d == hw.dataflow)
+                .unwrap_or(0),
+        ]
+    }
+
+    /// Samples a uniformly random configuration.
+    pub fn sample(&self, rng: &mut StdRng) -> HwConfig {
+        let genome = std::array::from_fn(|g| {
+            let card = self.gene_cardinalities()[g];
+            rng.gen_range(0..card)
+        });
+        self.decode(&genome)
+    }
+
+    /// Perturbs one gene by ±1..3 option steps (local move for GA /
+    /// pattern search).
+    pub fn perturb(&self, rng: &mut StdRng, hw: &HwConfig) -> HwConfig {
+        let mut genome = self.encode_genome(hw);
+        let g = rng.gen_range(0..Self::GENOME_LEN);
+        let card = self.gene_cardinalities()[g] as i64;
+        let step = rng.gen_range(1..=3i64) * if rng.gen_bool(0.5) { 1 } else { -1 };
+        genome[g] = (genome[g] as i64 + step).clamp(0, card - 1) as usize;
+        self.decode(&genome)
+    }
+
+    /// Uniform crossover of two configurations at the genome level.
+    pub fn crossover(&self, rng: &mut StdRng, a: &HwConfig, b: &HwConfig) -> HwConfig {
+        let ga = self.encode_genome(a);
+        let gb = self.encode_genome(b);
+        let genome = std::array::from_fn(|i| if rng.gen_bool(0.5) { ga[i] } else { gb[i] });
+        self.decode(&genome)
+    }
+
+    /// Encodes a configuration as normalized features in `[0, 1]^6` for
+    /// the GP surrogate: PE dims linearly, buffer sizes and NoC
+    /// logarithmically, dataflow one-hot-ish as `{0, 1}`.
+    pub fn features(&self, hw: &HwConfig) -> Vec<f64> {
+        let pe_max = f64::from(*self.pe_opts.last().expect("non-empty pe options"));
+        let l1_lo = (*self.l1_opts.first().unwrap() as f64).ln();
+        let l1_hi = (*self.l1_opts.last().unwrap() as f64).ln();
+        let l2_lo = (*self.l2_opts.first().unwrap() as f64).ln();
+        let l2_hi = (*self.l2_opts.last().unwrap() as f64).ln();
+        let lerp = |v: f64, lo: f64, hi: f64| {
+            if hi > lo {
+                ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        vec![
+            f64::from(hw.pe_x) / pe_max,
+            f64::from(hw.pe_y) / pe_max,
+            lerp((hw.l1_bytes as f64).ln(), l1_lo, l1_hi),
+            lerp((hw.l2_bytes as f64).ln(), l2_lo, l2_hi),
+            if hw.noc_bytes_per_cycle >= 128 { 1.0 } else { 0.0 },
+            match hw.dataflow {
+                Dataflow::WeightStationary => 0.0,
+                Dataflow::OutputStationary => 1.0,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pow23_structure() {
+        let v = pow23_values(1, 24);
+        assert_eq!(v, vec![1, 2, 3, 4, 6, 8, 9, 12, 16, 18, 24]);
+    }
+
+    #[test]
+    fn edge_space_magnitude() {
+        let s = HwSpace::edge();
+        let size = s.size() as f64;
+        assert!(
+            (4.0..6.5).contains(&size.log10()),
+            "edge space 10^{:.2}",
+            size.log10()
+        );
+    }
+
+    #[test]
+    fn cloud_space_larger_than_edge() {
+        assert!(HwSpace::cloud().size() > 15 * HwSpace::edge().size());
+    }
+
+    #[test]
+    fn genome_roundtrip() {
+        let s = HwSpace::edge();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let hw = s.sample(&mut rng);
+            let g = s.encode_genome(&hw);
+            assert_eq!(s.decode(&g), hw);
+        }
+    }
+
+    #[test]
+    fn features_in_unit_box() {
+        let s = HwSpace::cloud();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let hw = s.sample(&mut rng);
+            let f = s.features(&hw);
+            assert_eq!(f.len(), 6);
+            assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn perturb_stays_in_space() {
+        let s = HwSpace::edge();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hw = s.sample(&mut rng);
+        for _ in 0..200 {
+            hw = s.perturb(&mut rng, &hw);
+            let g = s.encode_genome(&hw);
+            assert_eq!(s.decode(&g), hw, "perturbed config must be in-space");
+        }
+    }
+
+    #[test]
+    fn crossover_mixes_genes() {
+        let s = HwSpace::edge();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = s.decode(&[0, 0, 0, 0, 0, 0]);
+        let b = s.decode(&[9, 9, 20, 20, 1, 1]);
+        let mut saw_mix = false;
+        for _ in 0..50 {
+            let c = s.crossover(&mut rng, &a, &b);
+            if c != a && c != b {
+                saw_mix = true;
+            }
+        }
+        assert!(saw_mix);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let hw = HwConfig::new(4, 8, 1024, 65536, 64, Dataflow::OutputStationary);
+        assert_eq!(hw.num_pes(), 32);
+        assert_eq!(hw.dataflow(), Dataflow::OutputStationary);
+        assert!(hw.to_string().contains("4x8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pe_panics() {
+        let _ = HwConfig::new(0, 1, 1, 1, 1, Dataflow::WeightStationary);
+    }
+}

@@ -1,0 +1,384 @@
+//! The `Platform` abstraction: everything the co-optimizer needs to know
+//! about a target accelerator family.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unico_mapping::{
+    AnnealingSearch, GeneticConfig, GeneticSearch, MappingCost, MappingSearcher, MappingSpace,
+    QLearningSearch,
+};
+use unico_workloads::LoopNest;
+
+use crate::analytical::{AnalyticalModel, BoundSpatialCost, MappingObjective};
+use crate::hw::{HwConfig, HwSpace};
+use crate::loopcentric::{BoundLoopCentricCost, LoopCentricModel};
+use crate::tech::TechParams;
+
+/// A co-design target: a hardware design space plus the machinery to
+/// evaluate mappings on any of its configurations.
+///
+/// The UNICO algorithm, HASCO-like baseline, NSGA-II and MOBOHB are all
+/// generic over this trait, so swapping the open-source spatial template
+/// for the Ascend-like cycle-accurate platform changes nothing in the
+/// search code.
+pub trait Platform: Sync {
+    /// A hardware configuration of this platform.
+    type Hw: Clone + Send + Sync + PartialEq + std::fmt::Debug;
+
+    /// Human-readable platform name.
+    fn name(&self) -> &str;
+
+    /// Dimensionality of the surrogate feature encoding.
+    fn feature_dim(&self) -> usize;
+
+    /// Encodes a configuration as features in `[0, 1]^d` for the GP.
+    fn encode(&self, hw: &Self::Hw) -> Vec<f64>;
+
+    /// Samples a uniformly random configuration.
+    fn sample_hw(&self, rng: &mut StdRng) -> Self::Hw;
+
+    /// A local perturbation of `hw` (GA mutation / pattern search move).
+    fn perturb_hw(&self, rng: &mut StdRng, hw: &Self::Hw) -> Self::Hw;
+
+    /// Recombines two configurations (GA crossover).
+    fn crossover_hw(&self, rng: &mut StdRng, a: &Self::Hw, b: &Self::Hw) -> Self::Hw;
+
+    /// Silicon area of a configuration, mm².
+    fn area_mm2(&self, hw: &Self::Hw) -> f64;
+
+    /// Cardinality of the hardware design space.
+    fn hw_space_size(&self) -> u64;
+
+    /// Binds a PPA cost oracle to `(hw, nest)` for mapping search.
+    fn bind<'a>(&'a self, hw: &Self::Hw, nest: &LoopNest)
+        -> Box<dyn MappingCost + Send + Sync + 'a>;
+
+    /// Creates this platform's software-mapping search tool for
+    /// `(hw, nest)` (e.g. FlexTensor-style annealing for the spatial
+    /// template, depth-first fusion search for the Ascend-like core).
+    fn make_searcher(
+        &self,
+        hw: &Self::Hw,
+        nest: &LoopNest,
+        seed: u64,
+    ) -> Box<dyn MappingSearcher + Send>;
+
+    /// Simulated wall-clock seconds one PPA evaluation costs.
+    fn eval_cost_seconds(&self) -> f64;
+
+    /// One-line description of a configuration.
+    fn describe(&self, hw: &Self::Hw) -> String;
+}
+
+/// Which analytical PPA engine backs the platform (the paper names both
+/// MAESTRO and TimeLoop as interchangeable prototyping engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PpaEngine {
+    /// MAESTRO-flavoured data-centric model (default).
+    #[default]
+    DataCentric,
+    /// TimeLoop-flavoured loop-centric model with an explicit L2 port.
+    LoopCentric,
+}
+
+/// Which software-mapping search tool the platform hands to the
+/// co-optimizer (the paper evaluates FlexTensor and mentions GAMMA as an
+/// alternative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MappingTool {
+    /// FlexTensor-style simulated annealing (default).
+    #[default]
+    Annealing,
+    /// GAMMA-style genetic search.
+    Genetic,
+    /// FlexTensor's Q-learning policy variant.
+    QLearning,
+}
+
+/// The open-source 2-D spatial accelerator platform: analytical model +
+/// enumerated [`HwSpace`] + a configurable mapping search tool.
+#[derive(Debug, Clone)]
+pub struct SpatialPlatform {
+    name: String,
+    model: AnalyticalModel,
+    space: HwSpace,
+    eval_cost_s: f64,
+    tool: MappingTool,
+    objective: MappingObjective,
+    engine: PpaEngine,
+    loop_centric: LoopCentricModel,
+}
+
+impl SpatialPlatform {
+    /// The edge scenario (power-constrained small configurations).
+    pub fn edge() -> Self {
+        SpatialPlatform {
+            name: "spatial-edge".to_string(),
+            model: AnalyticalModel::new(TechParams::default()),
+            space: HwSpace::edge(),
+            eval_cost_s: 1.0,
+            tool: MappingTool::Annealing,
+            objective: MappingObjective::Latency,
+            engine: PpaEngine::DataCentric,
+            loop_centric: LoopCentricModel::new(TechParams::default()),
+        }
+    }
+
+    /// The cloud scenario.
+    pub fn cloud() -> Self {
+        SpatialPlatform {
+            name: "spatial-cloud".to_string(),
+            model: AnalyticalModel::new(TechParams::cloud()),
+            space: HwSpace::cloud(),
+            eval_cost_s: 1.0,
+            tool: MappingTool::Annealing,
+            objective: MappingObjective::Latency,
+            engine: PpaEngine::DataCentric,
+            loop_centric: LoopCentricModel::new(TechParams::cloud()),
+        }
+    }
+
+    /// Overrides the simulated per-evaluation cost.
+    pub fn with_eval_cost(mut self, seconds: f64) -> Self {
+        self.eval_cost_s = seconds;
+        self
+    }
+
+    /// Selects the software-mapping search tool.
+    pub fn with_mapping_tool(mut self, tool: MappingTool) -> Self {
+        self.tool = tool;
+        self
+    }
+
+    /// Selects the software-mapping search objective (latency or EDP).
+    pub fn with_objective(mut self, objective: MappingObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Selects the analytical PPA engine.
+    pub fn with_engine(mut self, engine: PpaEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured PPA engine.
+    pub fn engine(&self) -> PpaEngine {
+        self.engine
+    }
+
+    /// The configured mapping tool.
+    pub fn mapping_tool(&self) -> MappingTool {
+        self.tool
+    }
+
+    /// The underlying analytical model.
+    pub fn model(&self) -> &AnalyticalModel {
+        &self.model
+    }
+
+    /// The hardware design space.
+    pub fn space(&self) -> &HwSpace {
+        &self.space
+    }
+}
+
+impl Platform for SpatialPlatform {
+    type Hw = HwConfig;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn feature_dim(&self) -> usize {
+        6
+    }
+
+    fn encode(&self, hw: &HwConfig) -> Vec<f64> {
+        self.space.features(hw)
+    }
+
+    fn sample_hw(&self, rng: &mut StdRng) -> HwConfig {
+        self.space.sample(rng)
+    }
+
+    fn perturb_hw(&self, rng: &mut StdRng, hw: &HwConfig) -> HwConfig {
+        self.space.perturb(rng, hw)
+    }
+
+    fn crossover_hw(&self, rng: &mut StdRng, a: &HwConfig, b: &HwConfig) -> HwConfig {
+        self.space.crossover(rng, a, b)
+    }
+
+    fn area_mm2(&self, hw: &HwConfig) -> f64 {
+        self.model.area_mm2(hw)
+    }
+
+    fn hw_space_size(&self) -> u64 {
+        self.space.size()
+    }
+
+    fn bind<'a>(
+        &'a self,
+        hw: &HwConfig,
+        nest: &LoopNest,
+    ) -> Box<dyn MappingCost + Send + Sync + 'a> {
+        match self.engine {
+            PpaEngine::DataCentric => Box::new(
+                BoundSpatialCost::new(&self.model, *hw, *nest, self.eval_cost_s)
+                    .with_objective(self.objective),
+            ),
+            PpaEngine::LoopCentric => Box::new(
+                BoundLoopCentricCost::new(&self.loop_centric, *hw, *nest, self.eval_cost_s)
+                    .with_objective(self.objective),
+            ),
+        }
+    }
+
+    fn make_searcher(
+        &self,
+        _hw: &HwConfig,
+        nest: &LoopNest,
+        seed: u64,
+    ) -> Box<dyn MappingSearcher + Send> {
+        let space = MappingSpace::new(nest);
+        let rng = StdRng::seed_from_u64(seed);
+        match self.tool {
+            MappingTool::Annealing => Box::new(AnnealingSearch::new(space, rng)),
+            MappingTool::Genetic => {
+                Box::new(GeneticSearch::new(space, rng, GeneticConfig::default()))
+            }
+            MappingTool::QLearning => Box::new(QLearningSearch::new(space, rng)),
+        }
+    }
+
+    fn eval_cost_seconds(&self) -> f64 {
+        self.eval_cost_s
+    }
+
+    fn describe(&self, hw: &HwConfig) -> String {
+        hw.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unico_workloads::TensorOp;
+
+    #[test]
+    fn platform_end_to_end_mapping_search() {
+        let p = SpatialPlatform::edge();
+        let mut rng = StdRng::seed_from_u64(11);
+        let nest = TensorOp::Conv2d {
+            n: 1,
+            k: 32,
+            c: 16,
+            y: 14,
+            x: 14,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest();
+        // Find a config for which at least some mappings are feasible.
+        let mut done = false;
+        for _ in 0..50 {
+            let hw = p.sample_hw(&mut rng);
+            let cost = p.bind(&hw, &nest);
+            let mut s = p.make_searcher(&hw, &nest, 7);
+            s.run_until(cost.as_ref(), 60);
+            if s.best().is_some() {
+                assert!(s.history().terminal_value().is_finite());
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "no feasible mapping found on any sampled config");
+    }
+
+    #[test]
+    fn encode_matches_feature_dim() {
+        let p = SpatialPlatform::cloud();
+        let mut rng = StdRng::seed_from_u64(1);
+        let hw = p.sample_hw(&mut rng);
+        assert_eq!(p.encode(&hw).len(), p.feature_dim());
+        assert!(p.hw_space_size() > 1_000_000);
+        assert!(!p.describe(&hw).is_empty());
+        assert_eq!(p.name(), "spatial-cloud");
+    }
+
+    #[test]
+    fn all_mapping_tools_search_successfully() {
+        let nest = TensorOp::Conv2d {
+            n: 1,
+            k: 32,
+            c: 16,
+            y: 14,
+            x: 14,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest();
+        for tool in [MappingTool::Annealing, MappingTool::Genetic, MappingTool::QLearning] {
+            let p = SpatialPlatform::edge().with_mapping_tool(tool);
+            assert_eq!(p.mapping_tool(), tool);
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut found = false;
+            for _ in 0..30 {
+                let hw = p.sample_hw(&mut rng);
+                let cost = p.bind(&hw, &nest);
+                let mut s = p.make_searcher(&hw, &nest, 9);
+                s.run_until(cost.as_ref(), 80);
+                assert_eq!(s.history().spent(), 80);
+                if s.best().is_some() {
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found, "{tool:?} found no feasible mapping");
+        }
+    }
+
+    #[test]
+    fn loop_centric_engine_prices_mappings() {
+        let p = SpatialPlatform::edge().with_engine(PpaEngine::LoopCentric);
+        assert_eq!(p.engine(), PpaEngine::LoopCentric);
+        let nest = TensorOp::Conv2d {
+            n: 1,
+            k: 32,
+            c: 16,
+            y: 14,
+            x: 14,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut found = false;
+        for _ in 0..30 {
+            let hw = p.sample_hw(&mut rng);
+            let cost = p.bind(&hw, &nest);
+            let mut s = p.make_searcher(&hw, &nest, 13);
+            s.run_until(cost.as_ref(), 60);
+            if s.best().is_some() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "loop-centric engine found no feasible mapping");
+    }
+
+    #[test]
+    fn eval_cost_override() {
+        let p = SpatialPlatform::edge().with_eval_cost(3.5);
+        assert_eq!(p.eval_cost_seconds(), 3.5);
+        let nest = TensorOp::Gemm { m: 8, n: 8, k: 8 }.to_loop_nest();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hw = p.sample_hw(&mut rng);
+        assert_eq!(p.bind(&hw, &nest).eval_cost_seconds(), 3.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! PPA result and evaluation error types.
+
+use std::fmt;
+
+/// Power / performance / area estimate for one `(hardware, mapping,
+//  workload)` triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ppa {
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Average power in milliwatts.
+    pub power_mw: f64,
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Total energy in picojoules.
+    pub energy_pj: f64,
+}
+
+impl Ppa {
+    /// Energy-delay product in `pJ·s`.
+    pub fn edp(&self) -> f64 {
+        self.energy_pj * self.latency_s
+    }
+
+    /// Component-wise sum, used when aggregating per-layer results
+    /// (latency and energy add; power is recomputed by the caller; area
+    /// is configuration-wide so the max is kept).
+    pub fn accumulate(&mut self, other: &Ppa, repeat: u32) {
+        let r = f64::from(repeat);
+        self.latency_s += other.latency_s * r;
+        self.energy_pj += other.energy_pj * r;
+        self.area_mm2 = self.area_mm2.max(other.area_mm2);
+        self.power_mw = if self.latency_s > 0.0 {
+            self.energy_pj / (self.latency_s * 1e9) // pJ/ns = mW
+        } else {
+            0.0
+        };
+    }
+
+    /// A zero PPA accumulator.
+    pub fn zero() -> Ppa {
+        Ppa {
+            latency_s: 0.0,
+            power_mw: 0.0,
+            area_mm2: 0.0,
+            energy_pj: 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4e} s, {:.1} mW, {:.2} mm²",
+            self.latency_s, self.power_mw, self.area_mm2
+        )
+    }
+}
+
+/// Why a `(hardware, mapping)` pair could not be evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// The per-PE L1 working set exceeds the L1 scratchpad.
+    L1Overflow {
+        /// Required bytes per PE (double-buffered).
+        required: u64,
+        /// Available bytes.
+        available: u64,
+    },
+    /// The L2 working set exceeds global memory.
+    L2Overflow {
+        /// Required bytes (double-buffered).
+        required: u64,
+        /// Available bytes.
+        available: u64,
+    },
+    /// A spatially unrolled dimension has extent 1 on an axis with more
+    /// than one PE, wasting the array (rejected to prune degenerate
+    /// mappings).
+    DegenerateSpatial,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::L1Overflow {
+                required,
+                available,
+            } => write!(f, "l1 overflow: need {required} B/PE, have {available} B"),
+            EvalError::L2Overflow {
+                required,
+                available,
+            } => write!(f, "l2 overflow: need {required} B, have {available} B"),
+            EvalError::DegenerateSpatial => write!(f, "degenerate spatial unrolling"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_adds_latency_and_energy() {
+        let mut acc = Ppa::zero();
+        let layer = Ppa {
+            latency_s: 1e-3,
+            power_mw: 100.0,
+            area_mm2: 3.0,
+            energy_pj: 1e5,
+        };
+        acc.accumulate(&layer, 2);
+        assert!((acc.latency_s - 2e-3).abs() < 1e-15);
+        assert!((acc.energy_pj - 2e5).abs() < 1e-6);
+        assert_eq!(acc.area_mm2, 3.0);
+        // power = 2e5 pJ / 2e6 ns = 0.1 mW
+        assert!((acc.power_mw - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edp_math() {
+        let p = Ppa {
+            latency_s: 2.0,
+            power_mw: 1.0,
+            area_mm2: 1.0,
+            energy_pj: 5.0,
+        };
+        assert_eq!(p.edp(), 10.0);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = EvalError::L1Overflow {
+            required: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("l1 overflow"));
+        assert!(EvalError::DegenerateSpatial.to_string().contains("degenerate"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Technology parameters: event energies, area coefficients, clock and
+//! DRAM bandwidth.
+//!
+//! Calibrated so that typical edge-scale configurations land in the same
+//! PPA ranges the paper's tables report (hundreds of mW, a few mm²) —
+//! absolute values are representative of a 16 nm-class process, and only
+//! the *relative* structure matters to the search experiments.
+
+/// Process/technology constants of the analytical model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Clock frequency, Hz.
+    pub clock_hz: f64,
+    /// DRAM bandwidth, bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Energy per MAC, pJ.
+    pub e_mac_pj: f64,
+    /// Energy per byte read from a PE register file, pJ.
+    pub e_reg_pj_per_byte: f64,
+    /// Energy per byte accessed in an L1 scratchpad, pJ.
+    pub e_l1_pj_per_byte: f64,
+    /// Energy per byte traversing the NoC, pJ.
+    pub e_noc_pj_per_byte: f64,
+    /// Energy per byte accessed in L2 global memory, pJ.
+    pub e_l2_pj_per_byte: f64,
+    /// Energy per byte moved from DRAM, pJ.
+    pub e_dram_pj_per_byte: f64,
+    /// Static leakage power per mm², mW.
+    pub leakage_mw_per_mm2: f64,
+    /// Fixed die overhead (I/O ring, host interface, control), mm².
+    pub area_base_mm2: f64,
+    /// Area per PE (MAC + register file), mm².
+    pub area_pe_mm2: f64,
+    /// Area per KiB of L1 SRAM, mm².
+    pub area_l1_mm2_per_kb: f64,
+    /// Area per KiB of L2 SRAM, mm².
+    pub area_l2_mm2_per_kb: f64,
+    /// NoC area per PE per 64 B/cycle of bandwidth, mm².
+    pub area_noc_mm2_per_pe_64b: f64,
+    /// Bytes per tensor element (fp16).
+    pub bytes_per_elem: u64,
+    /// Pipeline ramp-up cycles charged per L2 tile.
+    pub tile_overhead_cycles: f64,
+    /// Fixed kernel-launch cycles per layer.
+    pub launch_overhead_cycles: f64,
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams {
+            clock_hz: 1.0e9,
+            dram_bytes_per_cycle: 24.0,
+            e_mac_pj: 0.6,
+            e_reg_pj_per_byte: 0.03,
+            e_l1_pj_per_byte: 0.22,
+            e_noc_pj_per_byte: 0.12,
+            e_l2_pj_per_byte: 0.9,
+            e_dram_pj_per_byte: 10.0,
+            leakage_mw_per_mm2: 4.0,
+            area_base_mm2: 0.8,
+            area_pe_mm2: 0.0022,
+            area_l1_mm2_per_kb: 0.0045,
+            area_l2_mm2_per_kb: 0.0022,
+            area_noc_mm2_per_pe_64b: 0.00035,
+            bytes_per_elem: 2,
+            tile_overhead_cycles: 24.0,
+            launch_overhead_cycles: 2000.0,
+        }
+    }
+}
+
+impl TechParams {
+    /// Technology parameters for the cloud scenario: wider DRAM interface,
+    /// slightly higher clock.
+    pub fn cloud() -> Self {
+        TechParams {
+            clock_hz: 1.2e9,
+            dram_bytes_per_cycle: 64.0,
+            ..TechParams::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let t = TechParams::default();
+        assert!(t.clock_hz > 0.0);
+        assert!(t.e_dram_pj_per_byte > t.e_l2_pj_per_byte);
+        assert!(t.e_l2_pj_per_byte > t.e_l1_pj_per_byte);
+        assert!(t.e_l1_pj_per_byte > t.e_reg_pj_per_byte);
+    }
+
+    #[test]
+    fn cloud_has_more_dram_bandwidth() {
+        assert!(TechParams::cloud().dram_bytes_per_cycle > TechParams::default().dram_bytes_per_cycle);
+    }
+}

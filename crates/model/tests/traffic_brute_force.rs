@@ -1,0 +1,116 @@
+//! Validates the analytical tile re-fetch formula against a brute-force
+//! simulation of the tile loop nest.
+//!
+//! The brute-force oracle walks the full temporal loop nest in the given
+//! order, tracks which tile of each tensor is resident (capacity-1
+//! cache per tensor, which is exactly the single-tile-resident model the
+//! formula assumes), and counts actual fetch events. `tensor_loads` must
+//! match this count exactly for every loop order and trip-count vector.
+
+use proptest::prelude::*;
+
+use unico_model::{tensor_loads, TensorKind};
+use unico_workloads::{Dim, LoopNest, TensorOp, DIM_COUNT};
+
+/// Brute-force fetch count: iterate the nest in `order`, fetch whenever
+/// the tensor's dependent index tuple changes from the resident one.
+fn brute_force_loads(
+    tensor: TensorKind,
+    nest: &LoopNest,
+    trips: &[u64; DIM_COUNT],
+    order: &[Dim; DIM_COUNT],
+) -> u64 {
+    let deps = tensor.dependent_dims(nest);
+    let mut idx = [0u64; DIM_COUNT];
+    let mut resident: Option<Vec<u64>> = None;
+    let mut loads = 0u64;
+    loop {
+        let key: Vec<u64> = deps.iter().map(|d| idx[d.index()]).collect();
+        if resident.as_ref() != Some(&key) {
+            loads += 1;
+            resident = Some(key);
+        }
+        // Advance the multi-index in `order` (innermost = last).
+        let mut pos = DIM_COUNT;
+        loop {
+            if pos == 0 {
+                return loads;
+            }
+            pos -= 1;
+            let d = order[pos].index();
+            idx[d] += 1;
+            if idx[d] < trips[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+fn small_trips() -> impl Strategy<Value = [u64; DIM_COUNT]> {
+    proptest::array::uniform7(1u64..=3)
+}
+
+fn arb_order() -> impl Strategy<Value = [Dim; DIM_COUNT]> {
+    Just(Dim::ALL).prop_shuffle()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn formula_matches_brute_force_dense(trips in small_trips(), order in arb_order()) {
+        let nest = TensorOp::Conv2d {
+            n: 4, k: 4, c: 4, y: 4, x: 4, r: 4, s: 4, stride: 1,
+        }
+        .to_loop_nest();
+        for tensor in TensorKind::ALL {
+            let expected = brute_force_loads(tensor, &nest, &trips, &order);
+            let got = tensor_loads(tensor, &nest, &trips, &order);
+            prop_assert_eq!(got, expected, "{:?} trips {:?} order {:?}", tensor, trips, order);
+        }
+    }
+
+    #[test]
+    fn formula_matches_brute_force_depthwise(trips in small_trips(), order in arb_order()) {
+        let nest = TensorOp::DepthwiseConv2d {
+            n: 4, c: 4, y: 4, x: 4, r: 4, s: 4, stride: 1,
+        }
+        .to_loop_nest();
+        for tensor in TensorKind::ALL {
+            let expected = brute_force_loads(tensor, &nest, &trips, &order);
+            let got = tensor_loads(tensor, &nest, &trips, &order);
+            prop_assert_eq!(got, expected, "{:?} trips {:?} order {:?}", tensor, trips, order);
+        }
+    }
+}
+
+#[test]
+fn brute_force_oracle_sanity() {
+    let nest = TensorOp::Conv2d {
+        n: 2,
+        k: 2,
+        c: 2,
+        y: 2,
+        x: 2,
+        r: 1,
+        s: 1,
+        stride: 1,
+    }
+    .to_loop_nest();
+    // Single iteration: exactly one fetch.
+    assert_eq!(
+        brute_force_loads(TensorKind::Weight, &nest, &[1; 7], &Dim::ALL),
+        1
+    );
+    // Weight depends on K only among these trips; K=2 outermost-ish.
+    let mut trips = [1u64; 7];
+    trips[Dim::K.index()] = 2;
+    trips[Dim::Y.index()] = 3;
+    // Y inside K: weight fetched twice.
+    let order = [Dim::N, Dim::K, Dim::C, Dim::R, Dim::S, Dim::X, Dim::Y];
+    assert_eq!(brute_force_loads(TensorKind::Weight, &nest, &trips, &order), 2);
+    // Y outside K: weight refetched per (Y, K) pair = 6.
+    let order2 = [Dim::Y, Dim::K, Dim::C, Dim::R, Dim::S, Dim::X, Dim::N];
+    assert_eq!(brute_force_loads(TensorKind::Weight, &nest, &trips, &order2), 6);
+}

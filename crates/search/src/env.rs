@@ -1,0 +1,427 @@
+//! The shared co-search evaluation environment.
+//!
+//! A [`CoSearchEnv`] fixes the platform, the (reduced) workload set and
+//! the evaluation policy. For each hardware candidate it opens a
+//! [`HwSession`] holding one resumable mapping-search *job* per
+//! `(network, layer)` pair — the unit the paper distributes across slave
+//! machines. Sessions advance to any budget and can be assessed at any
+//! past budget, which is exactly the interface successive halving and the
+//! high-fidelity surrogate update need.
+
+use unico_mapping::{MappingCost, MappingSearcher, SearchHistory};
+use unico_model::Platform;
+use unico_workloads::Network;
+
+/// Evaluation policy of a [`CoSearchEnv`].
+#[derive(Debug, Clone, Copy)]
+pub struct EnvConfig {
+    /// Keep only the `n` highest-MAC layers of each network (bounds
+    /// inner-loop cost while keeping the layers that dominate PPA).
+    pub max_layers_per_network: usize,
+    /// Hardware whose aggregated power exceeds this cap is infeasible
+    /// (the paper's edge/cloud power constraints).
+    pub power_cap_mw: Option<f64>,
+    /// Hardware whose area exceeds this cap is infeasible (the paper's
+    /// 200 mm² Ascend constraint).
+    pub area_cap_mm2: Option<f64>,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            max_layers_per_network: 4,
+            power_cap_mw: None,
+            area_cap_mm2: None,
+        }
+    }
+}
+
+/// Aggregated assessment of one hardware candidate at some budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assessment {
+    /// Geometric-mean across networks of summed per-layer best latency.
+    pub latency_s: f64,
+    /// Energy-weighted average power across all jobs.
+    pub power_mw: f64,
+    /// Silicon area of the configuration.
+    pub area_mm2: f64,
+}
+
+impl Assessment {
+    /// The PPA objective vector `(latency, power, area)` for
+    /// minimization.
+    pub fn objectives(&self) -> Vec<f64> {
+        vec![self.latency_s, self.power_mw, self.area_mm2]
+    }
+}
+
+/// The fixed context of a co-search run.
+#[derive(Debug)]
+pub struct CoSearchEnv<'p, P: Platform> {
+    platform: &'p P,
+    networks: Vec<Network>,
+    cfg: EnvConfig,
+}
+
+impl<'p, P: Platform> CoSearchEnv<'p, P> {
+    /// Creates an environment over `networks`, reduced to their dominant
+    /// layers per [`EnvConfig::max_layers_per_network`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `networks` is empty.
+    pub fn new(platform: &'p P, networks: &[Network], cfg: EnvConfig) -> Self {
+        assert!(!networks.is_empty(), "co-search needs at least one network");
+        let networks = networks
+            .iter()
+            .map(|n| n.dominant_layers(cfg.max_layers_per_network))
+            .collect();
+        CoSearchEnv {
+            platform,
+            networks,
+            cfg,
+        }
+    }
+
+    /// The target platform.
+    pub fn platform(&self) -> &'p P {
+        self.platform
+    }
+
+    /// The (reduced) workload set.
+    pub fn networks(&self) -> &[Network] {
+        &self.networks
+    }
+
+    /// The evaluation policy.
+    pub fn config(&self) -> &EnvConfig {
+        &self.cfg
+    }
+
+    /// Number of mapping-search jobs per hardware candidate.
+    pub fn num_jobs(&self) -> usize {
+        self.networks.iter().map(Network::len).sum()
+    }
+
+    /// Opens a session for one hardware candidate; `seed` derives each
+    /// job's searcher seed deterministically.
+    pub fn session(&self, hw: P::Hw, seed: u64) -> HwSession<'_, P> {
+        let mut jobs = Vec::with_capacity(self.num_jobs());
+        let area = self.platform.area_mm2(&hw);
+        for (net_idx, net) in self.networks.iter().enumerate() {
+            for (layer_idx, layer) in net.layers().iter().enumerate() {
+                let nest = layer.op().to_loop_nest();
+                let job_seed = seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((net_idx as u64) << 32 | layer_idx as u64);
+                jobs.push(Job {
+                    net_idx,
+                    repeat: layer.repeat(),
+                    cost: self.platform.bind(&hw, &nest),
+                    searcher: self.platform.make_searcher(&hw, &nest, job_seed),
+                });
+            }
+        }
+        HwSession {
+            hw,
+            area_mm2: area,
+            num_networks: self.networks.len(),
+            power_cap_mw: self.cfg.power_cap_mw,
+            area_cap_mm2: self.cfg.area_cap_mm2,
+            jobs,
+        }
+    }
+}
+
+struct Job<'e> {
+    net_idx: usize,
+    repeat: u32,
+    cost: Box<dyn MappingCost + Send + Sync + 'e>,
+    searcher: Box<dyn MappingSearcher + Send>,
+}
+
+impl std::fmt::Debug for Job<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("net_idx", &self.net_idx)
+            .field("repeat", &self.repeat)
+            .field("spent", &self.searcher.history().spent())
+            .finish()
+    }
+}
+
+/// One hardware candidate's live mapping-search state: a resumable
+/// searcher per `(network, layer)` job.
+#[derive(Debug)]
+pub struct HwSession<'e, P: Platform> {
+    hw: P::Hw,
+    area_mm2: f64,
+    num_networks: usize,
+    power_cap_mw: Option<f64>,
+    area_cap_mm2: Option<f64>,
+    jobs: Vec<Job<'e>>,
+}
+
+impl<P: Platform> HwSession<'_, P> {
+    /// The hardware candidate.
+    pub fn hw(&self) -> &P::Hw {
+        &self.hw
+    }
+
+    /// Configuration area, mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area_mm2
+    }
+
+    /// Advances every job's mapping search to `budget` total steps.
+    pub fn advance_to(&mut self, budget: u64) {
+        for job in &mut self.jobs {
+            job.searcher.run_until(job.cost.as_ref(), budget);
+        }
+    }
+
+    /// Per-job budget already consumed (max over jobs).
+    pub fn spent(&self) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.searcher.history().spent())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Simulated CPU seconds consumed by this session so far.
+    pub fn cost_seconds(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| j.searcher.history().spent() as f64 * j.cost.eval_cost_seconds())
+            .sum()
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The per-job search histories (for robustness metrics and
+    /// high-fidelity assessment at past budgets).
+    pub fn job_histories(&self) -> Vec<&SearchHistory> {
+        self.jobs.iter().map(|j| j.searcher.history()).collect()
+    }
+
+    /// Assesses the candidate using the best mappings found within the
+    /// first `budget` steps of every job. Returns `None` if any job has
+    /// no feasible mapping by then, or a power/area cap is violated.
+    pub fn assess_at(&self, budget: u64) -> Option<Assessment> {
+        if let Some(cap) = self.area_cap_mm2 {
+            if self.area_mm2 > cap {
+                return None;
+            }
+        }
+        let mut net_latency = vec![0.0f64; self.num_networks];
+        let mut total_energy_mj = 0.0f64; // mW * s
+        let mut total_latency = 0.0f64;
+        for job in &self.jobs {
+            let best = job.searcher.history().best_at(budget)?;
+            let lat = best.latency_s * f64::from(job.repeat);
+            net_latency[job.net_idx] += lat;
+            total_energy_mj += best.power_mw * lat;
+            total_latency += lat;
+        }
+        let latency_s = geometric_mean(&net_latency);
+        let power_mw = if total_latency > 0.0 {
+            total_energy_mj / total_latency
+        } else {
+            0.0
+        };
+        if let Some(cap) = self.power_cap_mw {
+            if power_mw > cap {
+                return None;
+            }
+        }
+        Some(Assessment {
+            latency_s,
+            power_mw,
+            area_mm2: self.area_mm2,
+        })
+    }
+
+    /// Assessment at the current budget.
+    pub fn assess(&self) -> Option<Assessment> {
+        self.assess_at(self.spent())
+    }
+
+    /// Scalar terminal value for successive halving (aggregated latency;
+    /// `INFINITY` when infeasible).
+    pub fn terminal_value(&self) -> f64 {
+        self.assess().map_or(f64::INFINITY, |a| a.latency_s)
+    }
+
+    /// Mean convergence-rate AUC across jobs within `budget` steps.
+    pub fn auc_at(&self, budget: u64) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .map(|j| j.searcher.history().auc(budget))
+            .sum::<f64>()
+            / self.jobs.len() as f64
+    }
+}
+
+fn geometric_mean(values: &[f64]) -> f64 {
+    let positive: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = positive.iter().map(|v| v.ln()).sum();
+    (log_sum / positive.len() as f64).exp()
+}
+
+/// Advances the selected sessions to `budget` in parallel (one thread
+/// per session — the paper's per-job multiprocessing).
+pub fn advance_parallel<P: Platform>(
+    sessions: &mut [HwSession<'_, P>],
+    select: &[bool],
+    budget: u64,
+) where
+    P::Hw: Send,
+{
+    assert_eq!(sessions.len(), select.len(), "selection mask length");
+    crossbeam::thread::scope(|scope| {
+        for (sess, &on) in sessions.iter_mut().zip(select) {
+            if on {
+                scope.spawn(move |_| sess.advance_to(budget));
+            }
+        }
+    })
+    .expect("session worker panicked");
+}
+
+/// Evaluates a batch of hardware candidates at a fixed full budget (no
+/// early stopping): opens a session per candidate, advances all in
+/// parallel, and returns `(hw, assessment)` pairs plus the CPU seconds
+/// consumed and the parallel width of the phase.
+#[allow(clippy::type_complexity)]
+pub fn evaluate_batch<P: Platform>(
+    env: &CoSearchEnv<'_, P>,
+    hws: Vec<P::Hw>,
+    budget: u64,
+    seed: u64,
+) -> (Vec<(P::Hw, Option<Assessment>)>, f64, u32)
+where
+    P::Hw: Send,
+{
+    let mut sessions: Vec<HwSession<'_, P>> = hws
+        .into_iter()
+        .enumerate()
+        .map(|(i, hw)| env.session(hw, seed.wrapping_add(i as u64)))
+        .collect();
+    let select = vec![true; sessions.len()];
+    advance_parallel(&mut sessions, &select, budget);
+    let cpu: f64 = sessions.iter().map(HwSession::cost_seconds).sum();
+    let width = (sessions.len() * env.num_jobs()) as u32;
+    let out = sessions
+        .into_iter()
+        .map(|s| {
+            let a = s.assess();
+            (s.hw, a)
+        })
+        .collect();
+    (out, cpu, width.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unico_model::SpatialPlatform;
+    use unico_workloads::zoo;
+
+    fn env(platform: &SpatialPlatform) -> CoSearchEnv<'_, SpatialPlatform> {
+        CoSearchEnv::new(
+            platform,
+            &[zoo::mobilenet_v1()],
+            EnvConfig {
+                max_layers_per_network: 2,
+                power_cap_mw: None,
+                area_cap_mm2: None,
+            },
+        )
+    }
+
+    #[test]
+    fn session_assessment_monotone_in_budget() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let mut rng = rand::SeedableRng::seed_from_u64(3);
+        // Find a hardware for which all jobs become feasible.
+        for attempt in 0..40 {
+            let hw = e.platform().sample_hw(&mut rng);
+            let mut s = e.session(hw, attempt);
+            s.advance_to(120);
+            if let Some(a_full) = s.assess() {
+                let a_half = s.assess_at(60);
+                if let Some(a_half) = a_half {
+                    assert!(a_full.latency_s <= a_half.latency_s + 1e-12);
+                }
+                assert!(a_full.power_mw > 0.0);
+                assert!(a_full.area_mm2 > 0.0);
+                assert_eq!(s.spent(), 120);
+                assert!(s.cost_seconds() > 0.0);
+                return;
+            }
+        }
+        panic!("no feasible hardware found in 40 samples");
+    }
+
+    #[test]
+    fn power_cap_marks_infeasible() {
+        let p = SpatialPlatform::edge();
+        let cfg = EnvConfig {
+            max_layers_per_network: 1,
+            power_cap_mw: Some(1e-9), // nothing passes
+            ..EnvConfig::default()
+        };
+        let e = CoSearchEnv::new(&p, &[zoo::mobilenet_v1()], cfg);
+        let mut rng = rand::SeedableRng::seed_from_u64(5);
+        let hw = e.platform().sample_hw(&mut rng);
+        let mut s = e.session(hw, 0);
+        s.advance_to(60);
+        assert!(s.assess().is_none());
+        assert_eq!(s.terminal_value(), f64::INFINITY);
+    }
+
+    #[test]
+    fn parallel_advance_matches_serial_budgets() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let mut rng = rand::SeedableRng::seed_from_u64(7);
+        let mut sessions: Vec<_> = (0..4)
+            .map(|i| e.session(e.platform().sample_hw(&mut rng), i))
+            .collect();
+        let select = vec![true, false, true, true];
+        advance_parallel(&mut sessions, &select, 30);
+        assert_eq!(sessions[0].spent(), 30);
+        assert_eq!(sessions[1].spent(), 0);
+        assert_eq!(sessions[2].spent(), 30);
+    }
+
+    #[test]
+    fn job_count_matches_reduced_networks() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        assert_eq!(e.num_jobs(), 2);
+        assert_eq!(e.networks().len(), 1);
+        let mut rng = rand::SeedableRng::seed_from_u64(9);
+        let s = e.session(e.platform().sample_hw(&mut rng), 0);
+        assert_eq!(s.num_jobs(), 2);
+        assert_eq!(s.job_histories().len(), 2);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Bounded worker pool for software-mapping jobs (the paper's §3.5
+//! master/slave execution model, Fig. 6).
+//!
+//! The master (the outer MOBO loop) enqueues *jobs* — "advance this
+//! hardware session to budget `b`" — and at most `workers` threads drain
+//! the queue concurrently, exactly like the paper's slave machines
+//! pulling SW-mapping jobs. [`advance_pooled`] is the bounded-parallelism
+//! counterpart of [`crate::advance_parallel`]; with `workers ≥ jobs` the
+//! two are equivalent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use unico_model::Platform;
+
+use crate::env::HwSession;
+
+/// Advances the selected sessions to `budget` using at most `workers`
+/// concurrent threads (work-stealing over an atomic cursor).
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, if the mask length mismatches, or if a
+/// worker thread panics.
+pub fn advance_pooled<P: Platform>(
+    sessions: &mut [HwSession<'_, P>],
+    select: &[bool],
+    budget: u64,
+    workers: usize,
+) where
+    P::Hw: Send,
+{
+    assert!(workers > 0, "worker pool needs at least one worker");
+    assert_eq!(sessions.len(), select.len(), "selection mask length");
+    // Collect the selected sessions as independent &mut cells the
+    // workers can claim through an atomic cursor.
+    let queue: Vec<&mut HwSession<'_, P>> = sessions
+        .iter_mut()
+        .zip(select)
+        .filter_map(|(s, &on)| if on { Some(s) } else { None })
+        .collect();
+    if queue.is_empty() {
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let n_workers = workers.min(queue.len());
+    // Hand each worker access to the whole queue through a Mutex-free
+    // claim protocol: the atomic cursor yields each index exactly once.
+    let slots: Vec<parking_lot::Mutex<&mut HwSession<'_, P>>> =
+        queue.into_iter().map(parking_lot::Mutex::new).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                // Exactly one worker reaches each index, so the lock is
+                // always immediately available; it exists to satisfy
+                // aliasing rules, not for contention.
+                let mut session = slots[i].lock();
+                session.advance_to(budget);
+            });
+        }
+    })
+    .expect("mapping-search worker panicked");
+}
+
+/// A reusable handle describing the compute topology of a deployment:
+/// how many mapping-search workers ("slaves") the master may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeTopology {
+    /// Concurrent mapping-search jobs.
+    pub workers: usize,
+}
+
+impl Default for ComputeTopology {
+    fn default() -> Self {
+        ComputeTopology { workers: 16 }
+    }
+}
+
+impl ComputeTopology {
+    /// A single-machine topology with `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn local(workers: usize) -> Self {
+        assert!(workers > 0, "topology needs at least one worker");
+        ComputeTopology { workers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{CoSearchEnv, EnvConfig};
+    use rand::SeedableRng;
+    use unico_model::SpatialPlatform;
+    use unico_workloads::zoo;
+
+    fn sessions<'e>(
+        env: &'e CoSearchEnv<'e, SpatialPlatform>,
+        n: usize,
+    ) -> Vec<HwSession<'e, SpatialPlatform>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        (0..n)
+            .map(|i| env.session(env.platform().sample_hw(&mut rng), i as u64))
+            .collect()
+    }
+
+    fn env(p: &SpatialPlatform) -> CoSearchEnv<'_, SpatialPlatform> {
+        CoSearchEnv::new(
+            p,
+            &[zoo::mobilenet_v1()],
+            EnvConfig {
+                max_layers_per_network: 1,
+                power_cap_mw: None,
+                area_cap_mm2: None,
+            },
+        )
+    }
+
+    #[test]
+    fn pooled_advance_reaches_budget_for_all_selected() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        for workers in [1usize, 2, 7, 32] {
+            let mut ss = sessions(&e, 9);
+            let select: Vec<bool> = (0..9).map(|i| i % 3 != 1).collect();
+            advance_pooled(&mut ss, &select, 25, workers);
+            for (s, &on) in ss.iter().zip(&select) {
+                assert_eq!(s.spent(), if on { 25 } else { 0 }, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_matches_unbounded_results() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        // Same seeds -> identical searcher streams regardless of which
+        // worker runs them.
+        let mut a = sessions(&e, 6);
+        let mut b = sessions(&e, 6);
+        let select = vec![true; 6];
+        advance_pooled(&mut a, &select, 40, 2);
+        crate::env::advance_parallel(&mut b, &select, 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spent(), y.spent());
+            assert_eq!(
+                x.assess().map(|v| v.latency_s),
+                y.assess().map(|v| v.latency_s),
+                "pooled and unbounded execution must be deterministic-equal"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_selection_is_noop() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let mut ss = sessions(&e, 3);
+        advance_pooled(&mut ss, &[false, false, false], 10, 4);
+        assert!(ss.iter().all(|s| s.spent() == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let mut ss = sessions(&e, 1);
+        advance_pooled(&mut ss, &[true], 10, 0);
+    }
+
+    #[test]
+    fn topology_constructors() {
+        assert_eq!(ComputeTopology::default().workers, 16);
+        assert_eq!(ComputeTopology::local(4).workers, 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Successive halving (SH) and the paper's modified successive halving
+//! (MSH) over hardware sessions.
+//!
+//! Given a batch of `N` hardware candidates, mapping search proceeds in
+//! `⌈log₂ N⌉` rounds of doubling per-job budget; after each round only a
+//! fraction of candidates survives. Plain SH promotes the best `k = N/2`
+//! by terminal value (TV). MSH reserves `p = ⌊0.15·N⌋` of those slots for
+//! the steepest convergers by AUC (Fig. 4), giving fast-improving
+//! candidates a second chance.
+
+use unico_model::Platform;
+
+use crate::env::HwSession;
+use crate::pool::advance_pooled;
+
+/// Configuration of a successive-halving run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShConfig {
+    /// Maximum per-job mapping-search budget (`b_max`).
+    pub b_max: u64,
+    /// Fraction of each round's survivor slots reserved for AUC-based
+    /// promotion (`p/N`). `0.0` recovers plain SH; UNICO uses `0.15`.
+    pub auc_fraction: f64,
+    /// Lower bound on any round's budget.
+    pub min_budget: u64,
+    /// Concurrent mapping-search workers draining the round's job queue
+    /// (the paper's slave pool, Fig. 6).
+    pub workers: usize,
+}
+
+impl ShConfig {
+    /// Plain successive halving with the given maximum budget.
+    pub fn plain(b_max: u64) -> Self {
+        ShConfig {
+            b_max,
+            auc_fraction: 0.0,
+            min_budget: 8,
+            workers: 16,
+        }
+    }
+
+    /// The paper's modified successive halving (`p = 0.15 N`).
+    pub fn modified(b_max: u64) -> Self {
+        ShConfig {
+            b_max,
+            auc_fraction: 0.15,
+            min_budget: 8,
+            workers: 16,
+        }
+    }
+}
+
+/// Outcome of one SH/MSH run.
+#[derive(Debug, Clone)]
+pub struct ShOutcome {
+    /// Indices of the sessions that survived to the final budget.
+    pub finalists: Vec<usize>,
+    /// The budget each round ran to (last = `b_max`).
+    pub round_budgets: Vec<u64>,
+}
+
+/// Runs SH/MSH over `sessions`, advancing survivors in parallel each
+/// round. All sessions retain their (partial) histories so the caller
+/// can still assess early-stopped candidates.
+///
+/// # Panics
+///
+/// Panics if `sessions` is empty.
+pub fn run<P: Platform>(sessions: &mut [HwSession<'_, P>], cfg: &ShConfig) -> ShOutcome
+where
+    P::Hw: Send,
+{
+    assert!(!sessions.is_empty(), "successive halving needs candidates");
+    let n = sessions.len();
+    let rounds = (usize::BITS - (n - 1).leading_zeros()).max(1); // ceil(log2 n)
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut round_budgets = Vec::new();
+
+    for j in 1..=rounds {
+        let budget = (cfg.b_max >> (rounds - j)).max(cfg.min_budget).max(1);
+        round_budgets.push(budget);
+        advance_pooled(sessions, &alive, budget, cfg.workers);
+        if j == rounds {
+            break;
+        }
+        let survivors: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+        let selected = select_survivors(sessions, &survivors, budget, cfg.auc_fraction);
+        for flag in alive.iter_mut() {
+            *flag = false;
+        }
+        for &i in &selected {
+            alive[i] = true;
+        }
+    }
+
+    ShOutcome {
+        finalists: (0..n).filter(|&i| alive[i]).collect(),
+        round_budgets,
+    }
+}
+
+/// The TV ∪ AUC promotion rule: `k − p` slots by terminal value, `p`
+/// slots by AUC (skipping candidates already chosen by TV).
+fn select_survivors<P: Platform>(
+    sessions: &[HwSession<'_, P>],
+    candidates: &[usize],
+    budget: u64,
+    auc_fraction: f64,
+) -> Vec<usize> {
+    let n = candidates.len();
+    let k = (n / 2).max(1);
+    let p = ((auc_fraction * n as f64).floor() as usize).min(k.saturating_sub(1));
+
+    let tv = |i: usize| {
+        sessions[i]
+            .assess_at(budget)
+            .map_or(f64::INFINITY, |a| a.latency_s)
+    };
+    let mut by_tv: Vec<usize> = candidates.to_vec();
+    by_tv.sort_by(|&a, &b| tv(a).partial_cmp(&tv(b)).unwrap_or(std::cmp::Ordering::Equal));
+    let mut selected: Vec<usize> = by_tv.iter().copied().take(k - p).collect();
+
+    if p > 0 {
+        let mut by_auc: Vec<usize> = candidates.to_vec();
+        by_auc.sort_by(|&a, &b| {
+            sessions[b]
+                .auc_at(budget)
+                .partial_cmp(&sessions[a].auc_at(budget))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for i in by_auc {
+            if selected.len() >= k {
+                break;
+            }
+            if !selected.contains(&i) {
+                selected.push(i);
+            }
+        }
+        // Top up from TV order if AUC produced duplicates only.
+        for i in by_tv {
+            if selected.len() >= k {
+                break;
+            }
+            if !selected.contains(&i) {
+                selected.push(i);
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{CoSearchEnv, EnvConfig};
+    use rand::SeedableRng;
+    use unico_model::SpatialPlatform;
+    use unico_workloads::zoo;
+
+    fn sessions<'e>(
+        env: &'e CoSearchEnv<'e, SpatialPlatform>,
+        n: usize,
+    ) -> Vec<HwSession<'e, SpatialPlatform>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        (0..n)
+            .map(|i| env.session(env.platform().sample_hw(&mut rng), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn sh_halves_down_to_final_budget() {
+        let p = SpatialPlatform::edge();
+        let env = CoSearchEnv::new(
+            &p,
+            &[zoo::mobilenet_v1()],
+            EnvConfig {
+                max_layers_per_network: 1,
+                power_cap_mw: None,
+                area_cap_mm2: None,
+            },
+        );
+        let mut ss = sessions(&env, 8);
+        let out = run(&mut ss, &ShConfig::plain(64));
+        assert_eq!(out.round_budgets.len(), 3);
+        assert_eq!(*out.round_budgets.last().unwrap(), 64);
+        // 8 -> 4 -> 2 survivors reach the final round.
+        assert_eq!(out.finalists.len(), 2);
+        for &i in &out.finalists {
+            assert_eq!(ss[i].spent(), 64);
+        }
+        // Early-stopped sessions keep partial histories.
+        let stopped: Vec<usize> = (0..8).filter(|i| !out.finalists.contains(i)).collect();
+        assert!(stopped.iter().any(|&i| ss[i].spent() < 64));
+        assert!(stopped.iter().all(|&i| ss[i].spent() > 0));
+    }
+
+    #[test]
+    fn msh_promotes_by_auc_too() {
+        let p = SpatialPlatform::edge();
+        let env = CoSearchEnv::new(
+            &p,
+            &[zoo::mobilenet_v1()],
+            EnvConfig {
+                max_layers_per_network: 1,
+                power_cap_mw: None,
+                area_cap_mm2: None,
+            },
+        );
+        let mut ss = sessions(&env, 8);
+        let out = run(&mut ss, &ShConfig::modified(64));
+        assert_eq!(out.finalists.len(), 2);
+    }
+
+    #[test]
+    fn single_candidate_goes_straight_to_bmax() {
+        let p = SpatialPlatform::edge();
+        let env = CoSearchEnv::new(
+            &p,
+            &[zoo::mobilenet_v1()],
+            EnvConfig {
+                max_layers_per_network: 1,
+                power_cap_mw: None,
+                area_cap_mm2: None,
+            },
+        );
+        let mut ss = sessions(&env, 1);
+        let out = run(&mut ss, &ShConfig::plain(32));
+        assert_eq!(out.finalists, vec![0]);
+        assert_eq!(ss[0].spent(), 32);
+    }
+
+    #[test]
+    fn plain_vs_modified_config() {
+        assert_eq!(ShConfig::plain(100).auc_fraction, 0.0);
+        assert!((ShConfig::modified(100).auc_fraction - 0.15).abs() < 1e-12);
+    }
+}

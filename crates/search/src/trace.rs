@@ -1,0 +1,152 @@
+//! Simulated wall-clock accounting and convergence traces.
+
+/// Simulated wall clock for co-search cost accounting.
+///
+/// Every PPA evaluation charges its model's per-call cost in *CPU
+/// seconds*; the clock converts CPU seconds into wall-clock seconds by
+/// dividing by how many of the `workers` cores the charging phase
+/// actually kept busy. This reproduces the paper's cost axis (wall-clock
+/// hours on one server) without a testbed.
+#[derive(Debug, Clone, Copy)]
+pub struct SimClock {
+    workers: u32,
+    seconds: f64,
+}
+
+impl SimClock {
+    /// Creates a clock with `workers` parallel workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: u32) -> Self {
+        assert!(workers > 0, "workers must be positive");
+        SimClock {
+            workers,
+            seconds: 0.0,
+        }
+    }
+
+    /// Charges `cpu_seconds` of work that was spread over `width`
+    /// concurrent tasks.
+    pub fn charge(&mut self, cpu_seconds: f64, width: u32) {
+        let eff = width.clamp(1, self.workers) as f64;
+        self.seconds += cpu_seconds / eff;
+    }
+
+    /// Charges purely sequential overhead (surrogate fitting etc.).
+    pub fn charge_sequential(&mut self, seconds: f64) {
+        self.seconds += seconds;
+    }
+
+    /// Wall-clock seconds elapsed.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Wall-clock hours elapsed.
+    pub fn hours(&self) -> f64 {
+        self.seconds / 3600.0
+    }
+
+    /// Number of parallel workers.
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+}
+
+/// One snapshot of a search: elapsed wall-clock and the PPA Pareto front
+/// at that instant.
+#[derive(Debug, Clone)]
+pub struct TracePoint {
+    /// Simulated wall-clock seconds.
+    pub seconds: f64,
+    /// Pareto-front objective vectors `(latency, power, area)`.
+    pub front: Vec<Vec<f64>>,
+}
+
+/// Pareto-front-over-time trace of one co-search run.
+#[derive(Debug, Clone, Default)]
+pub struct SearchTrace {
+    points: Vec<TracePoint>,
+}
+
+impl SearchTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a snapshot.
+    pub fn record(&mut self, seconds: f64, front: Vec<Vec<f64>>) {
+        self.points.push(TracePoint { seconds, front });
+    }
+
+    /// All snapshots in time order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// The final front, if any snapshot was recorded.
+    pub fn final_front(&self) -> Option<&[Vec<f64>]> {
+        self.points.last().map(|p| p.front.as_slice())
+    }
+
+    /// Hypervolume-difference series against a reference front: for each
+    /// snapshot, `(seconds, HV(reference) − HV(front))`.
+    pub fn hv_difference_series(
+        &self,
+        reference_front: &[Vec<f64>],
+        reference_point: &[f64],
+    ) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.seconds,
+                    unico_surrogate::hypervolume::hypervolume_difference(
+                        &p.front,
+                        reference_front,
+                        reference_point,
+                    ),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_divides_by_effective_width() {
+        let mut c = SimClock::new(4);
+        c.charge(40.0, 8); // only 4 workers -> 10 s
+        assert!((c.seconds() - 10.0).abs() < 1e-12);
+        c.charge(4.0, 1);
+        assert!((c.seconds() - 14.0).abs() < 1e-12);
+        c.charge_sequential(1.0);
+        assert!((c.seconds() - 15.0).abs() < 1e-12);
+        assert!((c.hours() - 15.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_panics() {
+        let _ = SimClock::new(0);
+    }
+
+    #[test]
+    fn trace_hv_series_decreases_for_improving_fronts() {
+        let mut t = SearchTrace::new();
+        t.record(1.0, vec![vec![0.8, 0.8]]);
+        t.record(2.0, vec![vec![0.5, 0.5]]);
+        let reference = vec![vec![0.5, 0.5]];
+        let series = t.hv_difference_series(&reference, &[1.0, 1.0]);
+        assert_eq!(series.len(), 2);
+        assert!(series[0].1 > series[1].1);
+        assert!(series[1].1.abs() < 1e-12);
+        assert_eq!(t.final_front().unwrap().len(), 1);
+    }
+}

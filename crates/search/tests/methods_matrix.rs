@@ -1,0 +1,160 @@
+//! Cross-method integration test: every outer-loop search driver runs on
+//! the same tiny environment and produces structurally valid results.
+
+use unico_model::{Platform, SpatialPlatform};
+use unico_search::{
+    run_hasco, run_hyperband, run_mobohb, run_nsga2, CoSearchEnv, CoSearchResult, EnvConfig,
+    HascoConfig, HyperbandConfig, MobohbConfig, Nsga2Config,
+};
+use unico_workloads::zoo;
+
+fn env(p: &SpatialPlatform) -> CoSearchEnv<'_, SpatialPlatform> {
+    CoSearchEnv::new(
+        p,
+        &[zoo::mobilenet_v1()],
+        EnvConfig {
+            max_layers_per_network: 1,
+            power_cap_mw: Some(2_000.0),
+            area_cap_mm2: None,
+        },
+    )
+}
+
+fn check(name: &str, res: &CoSearchResult<unico_model::HwConfig>, p: &SpatialPlatform) {
+    assert!(res.hw_evals > 0, "{name}: no evaluations");
+    assert!(res.wall_clock_s > 0.0, "{name}: no cost charged");
+    assert!(!res.trace.points().is_empty(), "{name}: empty trace");
+    // Cost axis is monotone.
+    let secs: Vec<f64> = res.trace.points().iter().map(|pt| pt.seconds).collect();
+    assert!(
+        secs.windows(2).all(|w| w[1] >= w[0]),
+        "{name}: time went backwards"
+    );
+    // Front entries respect the power cap and are mutually non-dominated.
+    let objs = res.front.objectives();
+    for y in &objs {
+        assert_eq!(y.len(), 3, "{name}: objective dim");
+        assert!(y[1] <= 2_000.0, "{name}: power cap violated");
+    }
+    for i in 0..objs.len() {
+        for j in 0..objs.len() {
+            if i != j {
+                assert!(
+                    !unico_surrogate::pareto::dominates(&objs[i], &objs[j]),
+                    "{name}: dominated point on front"
+                );
+            }
+        }
+    }
+    // Every front payload is a real in-space configuration.
+    for (_, hw) in res.front.iter() {
+        let g = p.space().encode_genome(hw);
+        assert_eq!(p.space().decode(&g), *hw, "{name}: off-space design");
+        assert!(p.area_mm2(hw) > 0.0);
+    }
+}
+
+#[test]
+fn all_baselines_produce_valid_results() {
+    let p = SpatialPlatform::edge();
+    let e = env(&p);
+
+    let hasco = run_hasco(
+        &e,
+        &HascoConfig {
+            iterations: 6,
+            inner_budget: 24,
+            candidate_pool: 16,
+            warmup: 2,
+            ..HascoConfig::default()
+        },
+    );
+    check("hasco", &hasco, &p);
+    assert_eq!(hasco.hw_evals, 6);
+
+    let nsga = run_nsga2(
+        &e,
+        &Nsga2Config {
+            population: 6,
+            generations: 2,
+            inner_budget: 24,
+            ..Nsga2Config::default()
+        },
+    );
+    check("nsga2", &nsga, &p);
+
+    let mobohb = run_mobohb(
+        &e,
+        &MobohbConfig {
+            iterations: 2,
+            batch: 6,
+            b_max: 24,
+            candidate_pool: 16,
+            ..MobohbConfig::default()
+        },
+    );
+    check("mobohb", &mobohb, &p);
+
+    let hb = run_hyperband(
+        &e,
+        &HyperbandConfig {
+            b_max: 9,
+            eta: 3,
+            rounds: 1,
+            ..HyperbandConfig::default()
+        },
+    );
+    check("hyperband", &hb, &p);
+
+    // Cost ordering: HASCO's full-budget sequential loop is the most
+    // expensive per hardware evaluation.
+    let per_eval = |r: &CoSearchResult<unico_model::HwConfig>| r.wall_clock_s / r.hw_evals as f64;
+    assert!(
+        per_eval(&hasco) > per_eval(&mobohb),
+        "SH must make MOBOHB cheaper per eval than HASCO"
+    );
+    assert!(
+        per_eval(&hasco) > per_eval(&hb),
+        "Hyperband brackets must be cheaper per eval than HASCO"
+    );
+}
+
+#[test]
+fn mapping_tool_choice_flows_through_the_env() {
+    use unico_model::MappingTool;
+    for tool in [MappingTool::Annealing, MappingTool::Genetic, MappingTool::QLearning] {
+        let p = SpatialPlatform::edge().with_mapping_tool(tool);
+        let e = env(&p);
+        let res = run_mobohb(
+            &e,
+            &MobohbConfig {
+                iterations: 1,
+                batch: 4,
+                b_max: 24,
+                candidate_pool: 8,
+                random_fraction: 1.0,
+                ..MobohbConfig::default()
+            },
+        );
+        assert_eq!(res.hw_evals, 4, "{tool:?}");
+    }
+}
+
+#[test]
+fn edp_objective_flows_through_the_env() {
+    use unico_model::MappingObjective;
+    let p = SpatialPlatform::edge().with_objective(MappingObjective::Edp);
+    let e = env(&p);
+    let res = run_mobohb(
+        &e,
+        &MobohbConfig {
+            iterations: 1,
+            batch: 6,
+            b_max: 32,
+            candidate_pool: 8,
+            random_fraction: 1.0,
+            ..MobohbConfig::default()
+        },
+    );
+    check("mobohb-edp", &res, &p);
+}

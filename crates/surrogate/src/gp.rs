@@ -1,0 +1,351 @@
+//! Gaussian-process regression with marginal-likelihood hyperparameter
+//! fitting.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::kernel::{Kernel, KernelKind};
+use crate::linalg::{LinalgError, Matrix};
+
+/// Errors from Gaussian-process fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpError {
+    /// No training data was supplied.
+    EmptyTrainingSet,
+    /// Input feature vectors had inconsistent dimension.
+    DimensionMismatch {
+        /// Expected feature dimension.
+        expected: usize,
+        /// Offending dimension.
+        got: usize,
+    },
+    /// The kernel matrix could not be factorized even at maximum jitter.
+    Factorization(LinalgError),
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::EmptyTrainingSet => write!(f, "empty training set"),
+            GpError::DimensionMismatch { expected, got } => {
+                write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+            }
+            GpError::Factorization(e) => write!(f, "kernel factorization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// A Gaussian-process regressor over `[0, 1]^d` features.
+///
+/// Targets are standardized internally (zero mean, unit variance), and
+/// kernel hyperparameters (length scale, signal variance, noise) are
+/// selected by random multi-start search maximizing the log marginal
+/// likelihood — cheap, dependency-free, and entirely adequate for the
+/// few-hundred-point training sets a co-optimization run produces.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kind: KernelKind,
+    dim: usize,
+    kernel: Kernel,
+    noise: f64,
+    x: Vec<Vec<f64>>,
+    /// Standardized targets (including hallucinated ones).
+    y_norm: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    chol: Option<Matrix>,
+    alpha: Vec<f64>,
+}
+
+impl GaussianProcess {
+    /// Creates an unfitted GP for `dim`-dimensional features.
+    pub fn new(kind: KernelKind, dim: usize) -> Self {
+        GaussianProcess {
+            kind,
+            dim,
+            kernel: Kernel::new(kind, 0.3, 1.0),
+            noise: 1e-4,
+            x: Vec::new(),
+            y_norm: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+            chol: None,
+            alpha: Vec::new(),
+        }
+    }
+
+    /// Number of training points currently absorbed.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the GP has no training data.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn kernel_matrix(&self, kernel: &Kernel, noise: f64) -> Matrix {
+        let n = self.x.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.eval(&self.x[i], &self.x[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] += noise;
+        }
+        k
+    }
+
+    fn log_marginal(&self, kernel: &Kernel, noise: f64, y: &[f64]) -> Option<f64> {
+        let k = self.kernel_matrix(kernel, noise);
+        let l = k.cholesky().ok()?;
+        let mut alpha = l.solve_lower(y);
+        alpha = l.solve_lower_transpose(&alpha);
+        let fit: f64 = y.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let n = y.len() as f64;
+        Some(-0.5 * fit - 0.5 * l.cholesky_log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
+    }
+
+    /// Fits the GP to `(xs, ys)`, selecting hyperparameters by random
+    /// multi-start maximum marginal likelihood.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `xs` is empty, dimensions mismatch, or no
+    /// hyperparameter setting yields a factorizable kernel matrix.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<(), GpError> {
+        if xs.is_empty() {
+            return Err(GpError::EmptyTrainingSet);
+        }
+        if let Some(bad) = xs.iter().find(|x| x.len() != self.dim) {
+            return Err(GpError::DimensionMismatch {
+                expected: self.dim,
+                got: bad.len(),
+            });
+        }
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        self.x = xs.to_vec();
+        // Standardize targets.
+        let n = ys.len() as f64;
+        self.y_mean = ys.iter().sum::<f64>() / n;
+        let var = ys.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / n;
+        self.y_std = var.sqrt().max(1e-12);
+        self.y_norm = ys.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+        let y_norm = self.y_norm.clone();
+
+        // Multi-start hyperparameter search.
+        let mut best: Option<(f64, Kernel, f64)> = None;
+        let consider = |ls: f64, var: f64, noise: f64, gp: &GaussianProcess| {
+            let kernel = Kernel::new(gp.kind, ls, var);
+            gp.log_marginal(&kernel, noise, &y_norm).map(|lml| (lml, kernel, noise))
+        };
+        // Deterministic coarse grid plus random refinement.
+        let mut candidates: Vec<(f64, f64, f64)> = Vec::new();
+        for &ls in &[0.05, 0.1, 0.2, 0.4, 0.8, 1.6] {
+            for &noise in &[1e-6, 1e-4, 1e-2] {
+                candidates.push((ls, 1.0, noise));
+            }
+        }
+        for _ in 0..24 {
+            let ls = 10f64.powf(rng.gen_range(-1.6..0.4));
+            let var = 10f64.powf(rng.gen_range(-0.5..0.7));
+            let noise = 10f64.powf(rng.gen_range(-6.0..-1.0));
+            candidates.push((ls, var, noise));
+        }
+        for (ls, var, noise) in candidates {
+            if let Some(cand) = consider(ls, var, noise, self) {
+                if best.as_ref().is_none_or(|(b, _, _)| cand.0 > *b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, kernel, noise) = best.ok_or(GpError::Factorization(
+            LinalgError::NotPositiveDefinite { pivot: 0 },
+        ))?;
+        self.kernel = kernel;
+        self.noise = noise;
+
+        // Final factorization with jitter escalation for numerical safety.
+        let mut jitter = self.noise;
+        for _ in 0..8 {
+            let k = self.kernel_matrix(&self.kernel, jitter);
+            match k.cholesky() {
+                Ok(l) => {
+                    let mut alpha = l.solve_lower(&y_norm);
+                    alpha = l.solve_lower_transpose(&alpha);
+                    self.chol = Some(l);
+                    self.alpha = alpha;
+                    self.noise = jitter;
+                    return Ok(());
+                }
+                Err(_) => jitter = (jitter * 10.0).max(1e-8),
+            }
+        }
+        Err(GpError::Factorization(LinalgError::NotPositiveDefinite {
+            pivot: 0,
+        }))
+    }
+
+    /// Posterior mean and variance at `x` (in original target units).
+    ///
+    /// For an unfitted GP returns the prior `(0, kernel variance)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.dim, "prediction dimension mismatch");
+        let Some(l) = &self.chol else {
+            return (self.y_mean, self.kernel.variance() * self.y_std * self.y_std);
+        };
+        let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean_norm: f64 = kx.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let v = l.solve_lower(&kx);
+        let var_norm = (self.kernel.eval(x, x) + self.noise
+            - v.iter().map(|u| u * u).sum::<f64>())
+        .max(0.0);
+        (
+            mean_norm * self.y_std + self.y_mean,
+            var_norm * self.y_std * self.y_std,
+        )
+    }
+
+    /// Adds a hallucinated observation (kriging believer) without
+    /// refitting hyperparameters. Used for batch acquisition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the augmented kernel matrix cannot be
+    /// factorized.
+    pub fn hallucinate(&mut self, x: Vec<f64>, y: f64) -> Result<(), GpError> {
+        if x.len() != self.dim {
+            return Err(GpError::DimensionMismatch {
+                expected: self.dim,
+                got: x.len(),
+            });
+        }
+        self.x.push(x);
+        self.y_norm.push((y - self.y_mean) / self.y_std);
+        let mut jitter = self.noise;
+        for _ in 0..8 {
+            let k = self.kernel_matrix(&self.kernel, jitter);
+            match k.cholesky() {
+                Ok(l) => {
+                    let mut alpha = l.solve_lower(&self.y_norm);
+                    alpha = l.solve_lower_transpose(&alpha);
+                    self.chol = Some(l);
+                    self.alpha = alpha;
+                    self.noise = jitter;
+                    return Ok(());
+                }
+                Err(_) => jitter = (jitter * 10.0).max(1e-8),
+            }
+        }
+        Err(GpError::Factorization(LinalgError::NotPositiveDefinite {
+            pivot: self.x.len() - 1,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+        let mut gp = GaussianProcess::new(KernelKind::Matern52, 1);
+        gp.fit(&xs, &ys, &mut rng()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 0.15, "mean {m} vs {y}");
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.4], vec![0.5], vec![0.6]];
+        let ys = vec![1.0, 1.1, 0.9];
+        let mut gp = GaussianProcess::new(KernelKind::SquaredExponential, 1);
+        gp.fit(&xs, &ys, &mut rng()).unwrap();
+        let (_, v_near) = gp.predict(&[0.5]);
+        let (_, v_far) = gp.predict(&[0.0]);
+        assert!(v_far > v_near);
+    }
+
+    #[test]
+    fn empty_fit_errors() {
+        let mut gp = GaussianProcess::new(KernelKind::Matern52, 2);
+        assert_eq!(
+            gp.fit(&[], &[], &mut rng()),
+            Err(GpError::EmptyTrainingSet)
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let mut gp = GaussianProcess::new(KernelKind::Matern52, 2);
+        let err = gp.fit(&[vec![0.1]], &[1.0], &mut rng()).unwrap_err();
+        assert!(matches!(err, GpError::DimensionMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn prior_prediction_before_fit() {
+        let gp = GaussianProcess::new(KernelKind::Matern52, 3);
+        let (m, v) = gp.predict(&[0.1, 0.2, 0.3]);
+        assert_eq!(m, 0.0);
+        assert!(v > 0.0);
+        assert!(gp.is_empty());
+    }
+
+    #[test]
+    fn constant_targets_do_not_blow_up() {
+        let xs = vec![vec![0.1], vec![0.5], vec![0.9]];
+        let ys = vec![2.0, 2.0, 2.0];
+        let mut gp = GaussianProcess::new(KernelKind::Matern52, 1);
+        gp.fit(&xs, &ys, &mut rng()).unwrap();
+        let (m, v) = gp.predict(&[0.3]);
+        assert!((m - 2.0).abs() < 1e-6);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        let xs = vec![vec![0.5], vec![0.5], vec![0.5], vec![0.2]];
+        let ys = vec![1.0, 1.0, 1.0, 0.0];
+        let mut gp = GaussianProcess::new(KernelKind::SquaredExponential, 1);
+        gp.fit(&xs, &ys, &mut rng()).unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn hallucination_shifts_posterior() {
+        let xs = vec![vec![0.2], vec![0.8]];
+        let ys = vec![1.0, 1.0];
+        let mut gp = GaussianProcess::new(KernelKind::Matern52, 1);
+        gp.fit(&xs, &ys, &mut rng()).unwrap();
+        let (_, v_before) = gp.predict(&[0.5]);
+        gp.hallucinate(vec![0.5], 1.0).unwrap();
+        let (_, v_after) = gp.predict(&[0.5]);
+        assert!(v_after < v_before, "hallucination should reduce variance");
+    }
+}

@@ -1,0 +1,145 @@
+//! Covariance kernels for Gaussian-process regression.
+
+use std::fmt;
+
+/// Which kernel family a [`Kernel`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Squared-exponential (RBF) kernel — infinitely smooth.
+    SquaredExponential,
+    /// Matérn-5/2 kernel — twice differentiable, the usual BO default.
+    Matern52,
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelKind::SquaredExponential => write!(f, "rbf"),
+            KernelKind::Matern52 => write!(f, "matern52"),
+        }
+    }
+}
+
+/// A stationary covariance kernel with an isotropic length scale and a
+/// signal variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kernel {
+    kind: KernelKind,
+    length_scale: f64,
+    variance: f64,
+}
+
+impl Kernel {
+    /// Creates a kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_scale` or `variance` is not strictly positive.
+    pub fn new(kind: KernelKind, length_scale: f64, variance: f64) -> Self {
+        assert!(
+            length_scale > 0.0 && length_scale.is_finite(),
+            "length scale must be positive"
+        );
+        assert!(
+            variance > 0.0 && variance.is_finite(),
+            "variance must be positive"
+        );
+        Kernel {
+            kind,
+            length_scale,
+            variance,
+        }
+    }
+
+    /// The kernel family.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Length scale.
+    pub fn length_scale(&self) -> f64 {
+        self.length_scale
+    }
+
+    /// Signal variance (`k(x, x)`).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Evaluates `k(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `a` and `b` have different lengths.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let d2: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = (x - y) / self.length_scale;
+                d * d
+            })
+            .sum();
+        match self.kind {
+            KernelKind::SquaredExponential => self.variance * (-0.5 * d2).exp(),
+            KernelKind::Matern52 => {
+                let d = d2.sqrt();
+                let s5 = 5f64.sqrt() * d;
+                self.variance * (1.0 + s5 + 5.0 * d2 / 3.0) * (-s5).exp()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_at_zero_distance_is_variance() {
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let k = Kernel::new(kind, 0.5, 2.5);
+            let x = vec![0.3, 0.7];
+            assert!((k.eval(&x, &x) - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_decays_with_distance() {
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let k = Kernel::new(kind, 1.0, 1.0);
+            let near = k.eval(&[0.0], &[0.1]);
+            let far = k.eval(&[0.0], &[2.0]);
+            assert!(near > far);
+            assert!(far > 0.0);
+        }
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        let k = Kernel::new(KernelKind::Matern52, 0.7, 1.3);
+        let a = vec![0.1, 0.9, 0.4];
+        let b = vec![0.6, 0.2, 0.8];
+        assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn shorter_length_scale_decays_faster() {
+        let tight = Kernel::new(KernelKind::SquaredExponential, 0.1, 1.0);
+        let loose = Kernel::new(KernelKind::SquaredExponential, 2.0, 1.0);
+        assert!(tight.eval(&[0.0], &[0.5]) < loose.eval(&[0.0], &[0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length scale")]
+    fn zero_length_scale_panics() {
+        let _ = Kernel::new(KernelKind::Matern52, 0.0, 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(KernelKind::Matern52.to_string(), "matern52");
+        assert_eq!(KernelKind::SquaredExponential.to_string(), "rbf");
+    }
+}

@@ -1,0 +1,278 @@
+//! Minimal dense linear algebra: just enough for Gaussian-process
+//! regression (symmetric positive-definite systems via Cholesky).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a nested row representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "ragged rows in matrix construction"
+        );
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// In-place Cholesky factorization of a symmetric positive-definite
+    /// matrix; returns the lower-triangular factor `L` with `L Lᵀ = A`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(LinalgError::NotPositiveDefinite)` if a non-positive
+    /// pivot is encountered.
+    pub fn cholesky(&self) -> Result<Matrix, LinalgError> {
+        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, i)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `L x = b` for lower-triangular `L` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, self.cols);
+        assert_eq!(b.len(), self.rows, "solve_lower dimension mismatch");
+        let n = self.rows;
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self[(i, k)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `Lᵀ x = b` for lower-triangular `L` (backward substitution
+    /// on the transpose).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn solve_lower_transpose(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, self.cols);
+        assert_eq!(b.len(), self.rows, "solve_lower_transpose mismatch");
+        let n = self.rows;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in i + 1..n {
+                sum -= self[(k, i)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Log-determinant of `A = L Lᵀ` given this Cholesky factor `L`
+    /// (`2 Σ log L_ii`).
+    pub fn cholesky_log_det(&self) -> f64 {
+        (0..self.rows).map(|i| self[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Errors from linear-algebra routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix was not positive definite at the given pivot.
+    NotPositiveDefinite {
+        /// Pivot index at which factorization failed.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite at pivot {pivot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Euclidean dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for a fixed B is SPD.
+        Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = a.cholesky().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += l[(i, k)] * l[(j, k)];
+                }
+                assert!((v - a[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solves_invert_cholesky() {
+        let a = spd3();
+        let l = a.cholesky().unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        // Solve A x = b via L then Lᵀ.
+        let y = l.solve_lower(&b);
+        let x = l.solve_lower_transpose(&y);
+        let back = a.matvec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalue -1
+        assert!(matches!(
+            m.cholesky(),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn log_det_matches_identity() {
+        let l = Matrix::identity(4).cholesky().unwrap();
+        assert!(l.cholesky_log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let i = Matrix::identity(3);
+        let v = vec![3.0, -1.0, 2.0];
+        assert_eq!(i.matvec(&v), v);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

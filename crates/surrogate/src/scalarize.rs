@@ -1,0 +1,137 @@
+//! ParEGO-style scalarization of objective vectors (the paper's Eq. 1).
+
+use rand::Rng;
+
+/// Augmented-Tchebycheff scalarization
+/// `v = max_j(w_j · y_j) + ρ · Σ_j w_j · y_j` (the paper's Eq. 1 with
+/// `ρ = 0.2` by default).
+///
+/// Objectives should be normalized to comparable scales before calling;
+/// weights must lie on the probability simplex.
+///
+/// # Panics
+///
+/// Panics if `objectives` and `weights` differ in length or are empty.
+pub fn parego(objectives: &[f64], weights: &[f64], rho: f64) -> f64 {
+    assert_eq!(
+        objectives.len(),
+        weights.len(),
+        "objective/weight length mismatch"
+    );
+    assert!(!objectives.is_empty(), "empty objective vector");
+    let weighted: Vec<f64> = objectives.iter().zip(weights).map(|(y, w)| y * w).collect();
+    let max = weighted.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = weighted.iter().sum();
+    max + rho * sum
+}
+
+/// The default augmentation coefficient used by UNICO.
+pub const DEFAULT_RHO: f64 = 0.2;
+
+/// Samples a uniformly random weight vector on the probability simplex.
+pub fn sample_simplex<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vec<f64> {
+    assert!(dim > 0, "simplex dimension must be positive");
+    // Exponential spacing trick.
+    let mut w: Vec<f64> = (0..dim)
+        .map(|_| -(rng.gen_range(1e-12..1.0f64)).ln())
+        .collect();
+    let s: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= s;
+    }
+    w
+}
+
+/// Min-max normalizes each objective column of `rows` to `[0, 1]`.
+/// Columns with zero range map to `0`.
+pub fn normalize_columns(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let Some(first) = rows.first() else {
+        return Vec::new();
+    };
+    let d = first.len();
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for r in rows {
+        assert_eq!(r.len(), d, "ragged objective rows");
+        for j in 0..d {
+            lo[j] = lo[j].min(r[j]);
+            hi[j] = hi[j].max(r[j]);
+        }
+    }
+    rows.iter()
+        .map(|r| {
+            (0..d)
+                .map(|j| {
+                    let range = hi[j] - lo[j];
+                    if range > 0.0 {
+                        (r[j] - lo[j]) / range
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parego_prefers_dominating_point() {
+        let w = vec![0.25; 4];
+        let good = parego(&[0.1, 0.1, 0.1, 0.1], &w, DEFAULT_RHO);
+        let bad = parego(&[0.9, 0.9, 0.9, 0.9], &w, DEFAULT_RHO);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn parego_matches_hand_computation() {
+        let v = parego(&[1.0, 2.0], &[0.5, 0.5], 0.2);
+        // max(0.5, 1.0) + 0.2*(0.5+1.0) = 1.0 + 0.3
+        assert!((v - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parego_rho_zero_is_pure_tchebycheff() {
+        let v = parego(&[3.0, 1.0], &[0.5, 0.5], 0.0);
+        assert!((v - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dim in 1..=6 {
+            let w = sample_simplex(&mut rng, dim);
+            assert_eq!(w.len(), dim);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_box() {
+        let rows = vec![vec![10.0, 1.0], vec![20.0, 3.0], vec![15.0, 2.0]];
+        let n = normalize_columns(&rows);
+        assert_eq!(n[0], vec![0.0, 0.0]);
+        assert_eq!(n[1], vec![1.0, 1.0]);
+        assert_eq!(n[2], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn degenerate_column_is_zero() {
+        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let n = normalize_columns(&rows);
+        assert_eq!(n[0][0], 0.0);
+        assert_eq!(n[1][0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn length_mismatch_panics() {
+        let _ = parego(&[1.0], &[0.5, 0.5], 0.2);
+    }
+}

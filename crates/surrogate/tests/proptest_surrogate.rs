@@ -1,0 +1,100 @@
+//! Property-based tests of the surrogate stack: GP posterior sanity,
+//! scalarization monotonicity, and hypervolume cross-checked against a
+//! Monte-Carlo estimator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unico_surrogate::hypervolume::hypervolume;
+use unico_surrogate::pareto::dominates;
+use unico_surrogate::scalarize::{normalize_columns, parego, sample_simplex};
+use unico_surrogate::{GaussianProcess, KernelKind};
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<[f64; 3]>> {
+    proptest::collection::vec(proptest::array::uniform3(0.0f64..1.0), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hypervolume agrees with a deterministic Monte-Carlo estimate.
+    #[test]
+    fn hypervolume_matches_monte_carlo(pts in arb_points(12)) {
+        let cloud: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        let reference = vec![1.0, 1.0, 1.0];
+        let exact = hypervolume(&cloud, &reference);
+
+        // Low-discrepancy grid sampling of the unit cube.
+        const G: usize = 24;
+        let mut hits = 0usize;
+        for i in 0..G {
+            for j in 0..G {
+                for k in 0..G {
+                    let q = [
+                        (i as f64 + 0.5) / G as f64,
+                        (j as f64 + 0.5) / G as f64,
+                        (k as f64 + 0.5) / G as f64,
+                    ];
+                    if cloud.iter().any(|p| p.iter().zip(&q).all(|(a, b)| a <= b)) {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        let mc = hits as f64 / (G * G * G) as f64;
+        prop_assert!((exact - mc).abs() < 0.05, "exact {exact} vs mc {mc}");
+    }
+
+    /// ParEGO never prefers a dominated point (positive weights).
+    #[test]
+    fn parego_respects_dominance(
+        a in proptest::array::uniform4(0.0f64..1.0),
+        shift in proptest::array::uniform4(0.0f64..0.5),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = sample_simplex(&mut rng, 4);
+        let b: Vec<f64> = a.iter().zip(&shift).map(|(x, s)| x + s).collect();
+        let va = parego(&a, &w, 0.2);
+        let vb = parego(&b, &w, 0.2);
+        prop_assert!(va <= vb + 1e-12, "dominating point must score ≤");
+    }
+
+    /// Column normalization is idempotent on already-normalized data and
+    /// preserves dominance relations.
+    #[test]
+    fn normalization_preserves_dominance(pts in arb_points(10)) {
+        let rows: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        let norm = normalize_columns(&rows);
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                if dominates(&rows[i], &rows[j]) {
+                    // Normalized i must not be dominated by normalized j.
+                    prop_assert!(!dominates(&norm[j], &norm[i]));
+                }
+            }
+        }
+    }
+
+    /// GP posterior: non-negative variance everywhere; approximate
+    /// interpolation at training points for smooth targets.
+    #[test]
+    fn gp_posterior_sanity(seed in 0u64..50, n in 4usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).cos()).collect();
+        let mut gp = GaussianProcess::new(KernelKind::Matern52, 1);
+        gp.fit(&xs, &ys, &mut rng).expect("fit");
+        for q in 0..=20 {
+            let x = q as f64 / 20.0;
+            let (m, v) = gp.predict(&[x]);
+            prop_assert!(v >= 0.0, "variance must be non-negative");
+            prop_assert!(m.is_finite());
+        }
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, _) = gp.predict(x);
+            prop_assert!((m - y).abs() < 0.35, "poor interpolation: {m} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Named layers: a tensor operator with a name and repeat count.
+
+use std::fmt;
+
+use crate::ops::TensorOp;
+
+/// A named layer of a network: one tensor operator, possibly repeated
+/// (identical blocks are stored once with a `repeat` count).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layer {
+    name: String,
+    op: TensorOp,
+    repeat: u32,
+}
+
+impl Layer {
+    /// Creates a layer executed once.
+    pub fn new(name: impl Into<String>, op: TensorOp) -> Self {
+        Self::repeated(name, op, 1)
+    }
+
+    /// Creates a layer executed `repeat` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeat == 0`.
+    pub fn repeated(name: impl Into<String>, op: TensorOp, repeat: u32) -> Self {
+        assert!(repeat > 0, "layer repeat count must be positive");
+        Layer {
+            name: name.into(),
+            op,
+            repeat,
+        }
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tensor operator.
+    pub fn op(&self) -> &TensorOp {
+        &self.op
+    }
+
+    /// How many times this layer executes in one network inference.
+    pub fn repeat(&self) -> u32 {
+        self.repeat
+    }
+
+    /// Total MACs contributed by this layer (op MACs × repeat).
+    pub fn total_macs(&self) -> u64 {
+        self.op.macs() * u64::from(self.repeat)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.repeat > 1 {
+            write!(f, "{} x{}: {}", self.name, self.repeat, self.op)
+        } else {
+            write!(f, "{}: {}", self.name, self.op)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_scales_macs() {
+        let op = TensorOp::Gemm { m: 4, n: 4, k: 4 };
+        let l = Layer::repeated("ffn", op, 12);
+        assert_eq!(l.total_macs(), 64 * 12);
+        assert_eq!(l.repeat(), 12);
+        assert_eq!(l.name(), "ffn");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_repeat_panics() {
+        let _ = Layer::repeated("bad", TensorOp::Gemm { m: 1, n: 1, k: 1 }, 0);
+    }
+
+    #[test]
+    fn display_shows_repeat() {
+        let op = TensorOp::Gemm { m: 4, n: 4, k: 4 };
+        assert!(format!("{}", Layer::repeated("a", op, 2)).contains("x2"));
+        assert!(!format!("{}", Layer::new("a", op)).contains("x1"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Canonical 7-D loop-nest representation of a tensor operator.
+
+use std::fmt;
+
+/// Number of dimensions in the canonical convolution loop nest.
+pub const DIM_COUNT: usize = 7;
+
+/// A dimension of the canonical 7-D convolution loop nest
+/// `for n, k, c, y, x, r, s: O[n,k,y,x] += W[k,c,r,s] * I[n,c,y+r,x+s]`.
+///
+/// General matrix multiply is expressed in the same nest with
+/// `Y = M`, `X = 1`, `R = S = 1`, `K = N_gemm`, `C = K_gemm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dim {
+    /// Batch.
+    N,
+    /// Output channels (or GEMM output columns).
+    K,
+    /// Input channels (reduction).
+    C,
+    /// Output rows.
+    Y,
+    /// Output columns.
+    X,
+    /// Filter rows (reduction).
+    R,
+    /// Filter columns (reduction).
+    S,
+}
+
+impl Dim {
+    /// All dimensions in canonical order `[N, K, C, Y, X, R, S]`.
+    pub const ALL: [Dim; DIM_COUNT] = [Dim::N, Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S];
+
+    /// Index of this dimension in the canonical order.
+    pub fn index(self) -> usize {
+        match self {
+            Dim::N => 0,
+            Dim::K => 1,
+            Dim::C => 2,
+            Dim::Y => 3,
+            Dim::X => 4,
+            Dim::R => 5,
+            Dim::S => 6,
+        }
+    }
+
+    /// Whether iterating this dimension re-reads the output tensor
+    /// (i.e. it is a reduction dimension).
+    pub fn is_reduction(self) -> bool {
+        matches!(self, Dim::C | Dim::R | Dim::S)
+    }
+
+    /// Dimension from canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= DIM_COUNT`.
+    pub fn from_index(idx: usize) -> Dim {
+        Dim::ALL[idx]
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Dim::N => 'N',
+            Dim::K => 'K',
+            Dim::C => 'C',
+            Dim::Y => 'Y',
+            Dim::X => 'X',
+            Dim::R => 'R',
+            Dim::S => 'S',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A concrete 7-D loop nest: the extent of each canonical dimension,
+/// plus convolution strides.
+///
+/// This is the lingua franca between workloads, cost models and mapping
+/// searchers: every [`crate::TensorOp`] lowers to a `LoopNest`, and every
+/// mapping is expressed as a tiling/ordering of these seven loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopNest {
+    dims: [u64; DIM_COUNT],
+    stride_y: u64,
+    stride_x: u64,
+    /// Depthwise convolutions share the channel index between input and
+    /// output; modelled as `K` groups with `C = 1` and flagged here so
+    /// cost models can account input reuse correctly.
+    depthwise: bool,
+}
+
+impl LoopNest {
+    /// Creates a dense loop nest with unit strides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn new(dims: [u64; DIM_COUNT]) -> Self {
+        Self::with_strides(dims, 1, 1)
+    }
+
+    /// Creates a loop nest with explicit output strides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent or stride is zero.
+    pub fn with_strides(dims: [u64; DIM_COUNT], stride_y: u64, stride_x: u64) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "loop nest extents must be positive, got {dims:?}"
+        );
+        assert!(stride_y > 0 && stride_x > 0, "strides must be positive");
+        LoopNest {
+            dims,
+            stride_y,
+            stride_x,
+            depthwise: false,
+        }
+    }
+
+    /// Marks the nest as a depthwise convolution (input channel == output
+    /// channel group).
+    pub fn into_depthwise(mut self) -> Self {
+        self.depthwise = true;
+        self
+    }
+
+    /// Whether this nest represents a depthwise convolution.
+    pub fn is_depthwise(&self) -> bool {
+        self.depthwise
+    }
+
+    /// Extent of a dimension.
+    pub fn extent(&self, dim: Dim) -> u64 {
+        self.dims[dim.index()]
+    }
+
+    /// All seven extents in canonical order.
+    pub fn extents(&self) -> [u64; DIM_COUNT] {
+        self.dims
+    }
+
+    /// Convolution stride along `Y`.
+    pub fn stride_y(&self) -> u64 {
+        self.stride_y
+    }
+
+    /// Convolution stride along `X`.
+    pub fn stride_x(&self) -> u64 {
+        self.stride_x
+    }
+
+    /// Total multiply-accumulate operations in the nest.
+    pub fn macs(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Number of output elements (`N*K*Y*X`).
+    pub fn output_elems(&self) -> u64 {
+        self.extent(Dim::N) * self.extent(Dim::K) * self.extent(Dim::Y) * self.extent(Dim::X)
+    }
+
+    /// Number of weight elements (`K*C*R*S`).
+    pub fn weight_elems(&self) -> u64 {
+        self.extent(Dim::K) * self.extent(Dim::C) * self.extent(Dim::R) * self.extent(Dim::S)
+    }
+
+    /// Number of input elements touched
+    /// (`N*C*((Y-1)*stride_y + R)*((X-1)*stride_x + S)`), where for a
+    /// depthwise nest the channel count is `K` instead of `C`.
+    pub fn input_elems(&self) -> u64 {
+        let h = (self.extent(Dim::Y) - 1) * self.stride_y + self.extent(Dim::R);
+        let w = (self.extent(Dim::X) - 1) * self.stride_x + self.extent(Dim::S);
+        let ch = if self.depthwise {
+            self.extent(Dim::K)
+        } else {
+            self.extent(Dim::C)
+        };
+        self.extent(Dim::N) * ch * h * w
+    }
+
+    /// Input patch height for a given output-row tile extent.
+    pub fn input_rows_for(&self, y_tile: u64, r_tile: u64) -> u64 {
+        (y_tile.max(1) - 1) * self.stride_y + r_tile.max(1)
+    }
+
+    /// Input patch width for a given output-column tile extent.
+    pub fn input_cols_for(&self, x_tile: u64, s_tile: u64) -> u64 {
+        (x_tile.max(1) - 1) * self.stride_x + s_tile.max(1)
+    }
+
+    /// Arithmetic intensity assuming each operand byte is read once
+    /// (MACs per element of total tensor footprint). Used for
+    /// roofline-style sanity checks.
+    pub fn ideal_arithmetic_intensity(&self) -> f64 {
+        let traffic = self.input_elems() + self.weight_elems() + self.output_elems();
+        self.macs() as f64 / traffic as f64
+    }
+}
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N{} K{} C{} Y{} X{} R{} S{}",
+            self.dims[0],
+            self.dims[1],
+            self.dims[2],
+            self.dims[3],
+            self.dims[4],
+            self.dims[5],
+            self.dims[6]
+        )?;
+        if self.stride_y != 1 || self.stride_x != 1 {
+            write!(f, " /({},{})", self.stride_y, self.stride_x)?;
+        }
+        if self.depthwise {
+            write!(f, " dw")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_roundtrip() {
+        for (i, d) in Dim::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Dim::from_index(i), *d);
+        }
+    }
+
+    #[test]
+    fn reduction_dims() {
+        assert!(Dim::C.is_reduction());
+        assert!(Dim::R.is_reduction());
+        assert!(Dim::S.is_reduction());
+        assert!(!Dim::N.is_reduction());
+        assert!(!Dim::K.is_reduction());
+        assert!(!Dim::Y.is_reduction());
+        assert!(!Dim::X.is_reduction());
+    }
+
+    #[test]
+    fn macs_and_footprints() {
+        // 1x8x4x6x6x3x3 conv
+        let nest = LoopNest::new([1, 8, 4, 6, 6, 3, 3]);
+        assert_eq!(nest.macs(), 8 * 4 * 6 * 6 * 9);
+        assert_eq!(nest.output_elems(), 8 * 36);
+        assert_eq!(nest.weight_elems(), 8 * 4 * 9);
+        assert_eq!(nest.input_elems(), 4 * 8 * 8);
+    }
+
+    #[test]
+    fn strided_input_footprint() {
+        let nest = LoopNest::with_strides([1, 1, 1, 4, 4, 3, 3], 2, 2);
+        // (4-1)*2 + 3 = 9
+        assert_eq!(nest.input_elems(), 81);
+        assert_eq!(nest.input_rows_for(4, 3), 9);
+        assert_eq!(nest.input_cols_for(2, 3), 5);
+    }
+
+    #[test]
+    fn depthwise_channels() {
+        let nest = LoopNest::new([1, 32, 1, 10, 10, 3, 3]).into_depthwise();
+        assert!(nest.is_depthwise());
+        assert_eq!(nest.input_elems(), 32 * 12 * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        let _ = LoopNest::new([0, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let nest = LoopNest::with_strides([1, 2, 3, 4, 5, 6, 7], 2, 1);
+        let s = format!("{nest}");
+        assert!(s.contains("N1"));
+        assert!(s.contains("/(2,1)"));
+        assert_eq!(format!("{}", Dim::K), "K");
+    }
+
+    #[test]
+    fn intensity_positive() {
+        let nest = LoopNest::new([1, 64, 64, 14, 14, 3, 3]);
+        assert!(nest.ideal_arithmetic_intensity() > 1.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Whole-network layer tables.
+
+use std::fmt;
+
+use crate::layer::Layer;
+use crate::nest::LoopNest;
+
+/// A neural network expressed as an ordered table of [`Layer`]s.
+///
+/// Networks are pure data: co-optimization treats each layer's loop nest as
+/// an independent tensor workload and aggregates per-layer results
+/// (weighted by repeat count) into network-level PPA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from a layer table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "network must have at least one layer");
+        Network {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Network name (matches the paper's table labels).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer table.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of distinct layer entries.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the layer table is empty (never true for a constructed
+    /// network).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total MACs for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::total_macs).sum()
+    }
+
+    /// Iterator over `(loop nest, repeat)` pairs, the form consumed by the
+    /// co-optimizer.
+    pub fn nests(&self) -> impl Iterator<Item = (LoopNest, u32)> + '_ {
+        self.layers
+            .iter()
+            .map(|l| (l.op().to_loop_nest(), l.repeat()))
+    }
+
+    /// MAC share of each operator kind: `(conv, dwconv, gemm)` fractions
+    /// summing to 1. Used to characterize how compute-heavy vs
+    /// memory-bound a network's layer mix is.
+    pub fn op_mix(&self) -> (f64, f64, f64) {
+        let total = self.total_macs() as f64;
+        let mut conv = 0.0;
+        let mut dw = 0.0;
+        let mut gemm = 0.0;
+        for l in &self.layers {
+            let share = l.total_macs() as f64 / total;
+            match l.op().kind() {
+                "conv" => conv += share,
+                "dwconv" => dw += share,
+                _ => gemm += share,
+            }
+        }
+        (conv, dw, gemm)
+    }
+
+    /// A reduced workload consisting of the `count` layers with the largest
+    /// MAC contribution. Co-search drivers use this to bound inner-loop
+    /// cost while keeping the layers that dominate end-to-end PPA.
+    pub fn dominant_layers(&self, count: usize) -> Network {
+        let mut idx: Vec<usize> = (0..self.layers.len()).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(self.layers[i].total_macs()));
+        idx.truncate(count.max(1));
+        idx.sort_unstable();
+        Network {
+            name: self.name.clone(),
+            layers: idx.into_iter().map(|i| self.layers[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} layer entries, {:.2} GMACs)",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9
+        )?;
+        for l in &self.layers {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::TensorOp;
+
+    fn toy() -> Network {
+        Network::new(
+            "toy",
+            vec![
+                Layer::new("a", TensorOp::Gemm { m: 8, n: 8, k: 8 }),
+                Layer::repeated("b", TensorOp::Gemm { m: 2, n: 2, k: 2 }, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let net = toy();
+        assert_eq!(net.total_macs(), 512 + 8 * 3);
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn nests_iterate_with_repeat() {
+        let net = toy();
+        let v: Vec<_> = net.nests().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1].1, 3);
+    }
+
+    #[test]
+    fn op_mix_sums_to_one() {
+        let net = Network::new(
+            "mix",
+            vec![
+                Layer::new("c", TensorOp::pointwise(1, 8, 8, 4, 4)),
+                Layer::new(
+                    "d",
+                    TensorOp::DepthwiseConv2d {
+                        n: 1,
+                        c: 8,
+                        y: 4,
+                        x: 4,
+                        r: 3,
+                        s: 3,
+                        stride: 1,
+                    },
+                ),
+                Layer::new("g", TensorOp::Gemm { m: 8, n: 8, k: 8 }),
+            ],
+        );
+        let (c, d, g) = net.op_mix();
+        assert!((c + d + g - 1.0).abs() < 1e-12);
+        assert!(c > 0.0 && d > 0.0 && g > 0.0);
+    }
+
+    #[test]
+    fn op_mix_pure_gemm_network() {
+        let net = toy();
+        let (c, d, g) = net.op_mix();
+        assert_eq!((c, d), (0.0, 0.0));
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_layers_picks_heaviest() {
+        let net = toy();
+        let d = net.dominant_layers(1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.layers()[0].name(), "a");
+    }
+
+    #[test]
+    fn dominant_layers_keeps_order() {
+        let net = Network::new(
+            "t",
+            vec![
+                Layer::new("small", TensorOp::Gemm { m: 1, n: 1, k: 1 }),
+                Layer::new("big", TensorOp::Gemm { m: 9, n: 9, k: 9 }),
+                Layer::new("mid", TensorOp::Gemm { m: 4, n: 4, k: 4 }),
+            ],
+        );
+        let d = net.dominant_layers(2);
+        assert_eq!(d.layers()[0].name(), "big");
+        assert_eq!(d.layers()[1].name(), "mid");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_panics() {
+        let _ = Network::new("empty", vec![]);
+    }
+}

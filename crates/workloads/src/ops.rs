@@ -1,0 +1,192 @@
+//! Tensor operators and their lowering to the canonical loop nest.
+
+use std::fmt;
+
+use crate::nest::LoopNest;
+
+/// A tensor operator as it appears in a DNN layer table.
+///
+/// Every variant lowers to the canonical 7-D [`LoopNest`] via
+/// [`TensorOp::to_loop_nest`]; cost models and mapping searchers never see
+/// the operator kind directly (except through the depthwise flag carried by
+/// the nest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TensorOp {
+    /// Dense 2-D convolution producing `n × k × y × x` outputs from
+    /// `c` input channels with an `r × s` filter.
+    Conv2d {
+        /// Batch size.
+        n: u64,
+        /// Output channels.
+        k: u64,
+        /// Input channels.
+        c: u64,
+        /// Output height.
+        y: u64,
+        /// Output width.
+        x: u64,
+        /// Filter height.
+        r: u64,
+        /// Filter width.
+        s: u64,
+        /// Spatial stride (same in both axes).
+        stride: u64,
+    },
+    /// Depthwise 2-D convolution: one filter per channel.
+    DepthwiseConv2d {
+        /// Batch size.
+        n: u64,
+        /// Channels (input == output).
+        c: u64,
+        /// Output height.
+        y: u64,
+        /// Output width.
+        x: u64,
+        /// Filter height.
+        r: u64,
+        /// Filter width.
+        s: u64,
+        /// Spatial stride.
+        stride: u64,
+    },
+    /// General matrix multiply `C[m,n] += A[m,k] * B[k,n]`.
+    Gemm {
+        /// Output rows.
+        m: u64,
+        /// Output columns.
+        n: u64,
+        /// Reduction depth.
+        k: u64,
+    },
+}
+
+impl TensorOp {
+    /// Convenience constructor for a pointwise (1×1) convolution.
+    pub fn pointwise(n: u64, k: u64, c: u64, y: u64, x: u64) -> Self {
+        TensorOp::Conv2d {
+            n,
+            k,
+            c,
+            y,
+            x,
+            r: 1,
+            s: 1,
+            stride: 1,
+        }
+    }
+
+    /// Lowers the operator to the canonical 7-D loop nest.
+    pub fn to_loop_nest(&self) -> LoopNest {
+        match *self {
+            TensorOp::Conv2d {
+                n,
+                k,
+                c,
+                y,
+                x,
+                r,
+                s,
+                stride,
+            } => LoopNest::with_strides([n, k, c, y, x, r, s], stride, stride),
+            TensorOp::DepthwiseConv2d {
+                n,
+                c,
+                y,
+                x,
+                r,
+                s,
+                stride,
+            } => LoopNest::with_strides([n, c, 1, y, x, r, s], stride, stride).into_depthwise(),
+            TensorOp::Gemm { m, n, k } => LoopNest::new([1, n, k, m, 1, 1, 1]),
+        }
+    }
+
+    /// Total multiply-accumulate operations.
+    pub fn macs(&self) -> u64 {
+        self.to_loop_nest().macs()
+    }
+
+    /// Short human-readable kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TensorOp::Conv2d { .. } => "conv",
+            TensorOp::DepthwiseConv2d { .. } => "dwconv",
+            TensorOp::Gemm { .. } => "gemm",
+        }
+    }
+}
+
+impl fmt::Display for TensorOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.kind(), self.to_loop_nest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::Dim;
+
+    #[test]
+    fn conv_lowering() {
+        let op = TensorOp::Conv2d {
+            n: 1,
+            k: 64,
+            c: 3,
+            y: 112,
+            x: 112,
+            r: 7,
+            s: 7,
+            stride: 2,
+        };
+        let nest = op.to_loop_nest();
+        assert_eq!(nest.extent(Dim::K), 64);
+        assert_eq!(nest.stride_y(), 2);
+        assert_eq!(op.macs(), 64 * 3 * 112 * 112 * 49);
+    }
+
+    #[test]
+    fn gemm_lowering() {
+        let op = TensorOp::Gemm {
+            m: 128,
+            n: 768,
+            k: 768,
+        };
+        let nest = op.to_loop_nest();
+        assert_eq!(nest.extent(Dim::Y), 128);
+        assert_eq!(nest.extent(Dim::K), 768);
+        assert_eq!(nest.extent(Dim::C), 768);
+        assert_eq!(nest.extent(Dim::X), 1);
+        assert_eq!(op.macs(), 128 * 768 * 768);
+    }
+
+    #[test]
+    fn depthwise_lowering() {
+        let op = TensorOp::DepthwiseConv2d {
+            n: 1,
+            c: 32,
+            y: 56,
+            x: 56,
+            r: 3,
+            s: 3,
+            stride: 1,
+        };
+        let nest = op.to_loop_nest();
+        assert!(nest.is_depthwise());
+        assert_eq!(nest.extent(Dim::C), 1);
+        assert_eq!(op.macs(), 32 * 56 * 56 * 9);
+    }
+
+    #[test]
+    fn pointwise_helper() {
+        let op = TensorOp::pointwise(1, 256, 128, 14, 14);
+        assert_eq!(op.macs(), 256 * 128 * 14 * 14);
+        assert_eq!(op.kind(), "conv");
+    }
+
+    #[test]
+    fn display_contains_kind() {
+        let op = TensorOp::Gemm { m: 2, n: 3, k: 4 };
+        assert!(format!("{op}").starts_with("gemm"));
+    }
+}

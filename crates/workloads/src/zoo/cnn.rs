@@ -1,0 +1,261 @@
+//! Classic convolutional classifiers: ResNet-50, VGG-16, Xception,
+//! ConvNeXt-Tiny.
+
+use super::net;
+use crate::{Layer, Network, TensorOp};
+
+#[allow(clippy::too_many_arguments)]
+fn conv(n: u64, k: u64, c: u64, y: u64, x: u64, r: u64, s: u64, stride: u64) -> TensorOp {
+    TensorOp::Conv2d {
+        n,
+        k,
+        c,
+        y,
+        x,
+        r,
+        s,
+        stride,
+    }
+}
+
+fn dw(c: u64, y: u64, x: u64, r: u64, s: u64, stride: u64) -> TensorOp {
+    TensorOp::DepthwiseConv2d {
+        n: 1,
+        c,
+        y,
+        x,
+        r,
+        s,
+        stride,
+    }
+}
+
+/// ResNet-50 for 224×224 ImageNet inference (≈4.1 GMACs).
+pub fn resnet50() -> Network {
+    let mut layers = vec![Layer::new("conv1", conv(1, 64, 3, 112, 112, 7, 7, 2))];
+    // (stage, spatial, mid channels, out channels, blocks)
+    let stages: [(u32, u64, u64, u64, u32); 4] = [
+        (2, 56, 64, 256, 3),
+        (3, 28, 128, 512, 4),
+        (4, 14, 256, 1024, 6),
+        (5, 7, 512, 2048, 3),
+    ];
+    let mut in_ch = 64;
+    for (stage, hw, mid, out, blocks) in stages {
+        // Projection shortcut on the first block of each stage.
+        layers.push(Layer::new(
+            format!("s{stage}_proj"),
+            TensorOp::pointwise(1, out, in_ch, hw, hw),
+        ));
+        layers.push(Layer::new(
+            format!("s{stage}_b1_reduce"),
+            TensorOp::pointwise(1, mid, in_ch, hw, hw),
+        ));
+        layers.push(Layer::new(
+            format!("s{stage}_b1_conv3"),
+            conv(1, mid, mid, hw, hw, 3, 3, 1),
+        ));
+        layers.push(Layer::new(
+            format!("s{stage}_b1_expand"),
+            TensorOp::pointwise(1, out, mid, hw, hw),
+        ));
+        if blocks > 1 {
+            layers.push(Layer::repeated(
+                format!("s{stage}_reduce"),
+                TensorOp::pointwise(1, mid, out, hw, hw),
+                blocks - 1,
+            ));
+            layers.push(Layer::repeated(
+                format!("s{stage}_conv3"),
+                conv(1, mid, mid, hw, hw, 3, 3, 1),
+                blocks - 1,
+            ));
+            layers.push(Layer::repeated(
+                format!("s{stage}_expand"),
+                TensorOp::pointwise(1, out, mid, hw, hw),
+                blocks - 1,
+            ));
+        }
+        in_ch = out;
+    }
+    layers.push(Layer::new(
+        "fc",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 2048,
+        },
+    ));
+    net("ResNet", layers)
+}
+
+/// VGG-16 for 224×224 inference (≈15.5 GMACs).
+pub fn vgg16() -> Network {
+    let blocks: [(u64, u64, u64, u32); 5] = [
+        (64, 3, 224, 1),
+        (128, 64, 112, 1),
+        (256, 128, 56, 2),
+        (512, 256, 28, 2),
+        (512, 512, 14, 2),
+    ];
+    let mut layers = Vec::new();
+    for (i, (k, c, hw, extra)) in blocks.into_iter().enumerate() {
+        layers.push(Layer::new(
+            format!("b{}_conv_in", i + 1),
+            conv(1, k, c, hw, hw, 3, 3, 1),
+        ));
+        layers.push(Layer::repeated(
+            format!("b{}_conv", i + 1),
+            conv(1, k, k, hw, hw, 3, 3, 1),
+            extra,
+        ));
+    }
+    layers.push(Layer::new(
+        "fc6",
+        TensorOp::Gemm {
+            m: 1,
+            n: 4096,
+            k: 512 * 49,
+        },
+    ));
+    layers.push(Layer::new(
+        "fc7",
+        TensorOp::Gemm {
+            m: 1,
+            n: 4096,
+            k: 4096,
+        },
+    ));
+    layers.push(Layer::new(
+        "fc8",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 4096,
+        },
+    ));
+    net("VGG", layers)
+}
+
+/// Xception for 299×299 inference (≈4.6 GMACs), separable convolutions.
+pub fn xception() -> Network {
+    let mut layers = vec![
+        Layer::new("entry_conv1", conv(1, 32, 3, 149, 149, 3, 3, 2)),
+        Layer::new("entry_conv2", conv(1, 64, 32, 147, 147, 3, 3, 1)),
+    ];
+    // Entry flow separable blocks: (channels_in, channels_out, spatial).
+    let entry: [(u64, u64, u64); 3] = [(64, 128, 147), (128, 256, 74), (256, 728, 37)];
+    for (i, (cin, cout, hw)) in entry.into_iter().enumerate() {
+        layers.push(Layer::new(format!("entry_b{}_dw1", i + 1), dw(cin, hw, hw, 3, 3, 1)));
+        layers.push(Layer::new(
+            format!("entry_b{}_pw1", i + 1),
+            TensorOp::pointwise(1, cout, cin, hw, hw),
+        ));
+        layers.push(Layer::new(format!("entry_b{}_dw2", i + 1), dw(cout, hw, hw, 3, 3, 1)));
+        layers.push(Layer::new(
+            format!("entry_b{}_pw2", i + 1),
+            TensorOp::pointwise(1, cout, cout, hw, hw),
+        ));
+        layers.push(Layer::new(
+            format!("entry_b{}_skip", i + 1),
+            conv(1, cout, cin, hw / 2, hw / 2, 1, 1, 1),
+        ));
+    }
+    // Middle flow: 8 identical blocks of 3 separable convs at 19×19×728.
+    layers.push(Layer::repeated("mid_dw", dw(728, 19, 19, 3, 3, 1), 24));
+    layers.push(Layer::repeated(
+        "mid_pw",
+        TensorOp::pointwise(1, 728, 728, 19, 19),
+        24,
+    ));
+    // Exit flow.
+    layers.push(Layer::new("exit_dw1", dw(728, 19, 19, 3, 3, 1)));
+    layers.push(Layer::new("exit_pw1", TensorOp::pointwise(1, 1024, 728, 19, 19)));
+    layers.push(Layer::new("exit_dw2", dw(1024, 10, 10, 3, 3, 1)));
+    layers.push(Layer::new("exit_pw2", TensorOp::pointwise(1, 1536, 1024, 10, 10)));
+    layers.push(Layer::new("exit_dw3", dw(1536, 10, 10, 3, 3, 1)));
+    layers.push(Layer::new("exit_pw3", TensorOp::pointwise(1, 2048, 1536, 10, 10)));
+    layers.push(Layer::new(
+        "fc",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 2048,
+        },
+    ));
+    net("Xception", layers)
+}
+
+/// ConvNeXt-Tiny for 224×224 inference (≈2.2 GMACs).
+pub fn convnext_tiny() -> Network {
+    let mut layers = vec![Layer::new("stem", conv(1, 96, 3, 56, 56, 4, 4, 4))];
+    // (stage, dim, spatial, depth)
+    let stages: [(u32, u64, u64, u32); 4] = [(1, 96, 56, 3), (2, 192, 28, 3), (3, 384, 14, 9), (4, 768, 7, 3)];
+    let mut prev_dim = 96;
+    for (stage, dim, hw, depth) in stages {
+        if stage > 1 {
+            layers.push(Layer::new(
+                format!("s{stage}_downsample"),
+                conv(1, dim, prev_dim, hw, hw, 2, 2, 2),
+            ));
+        }
+        layers.push(Layer::repeated(
+            format!("s{stage}_dw7"),
+            dw(dim, hw, hw, 7, 7, 1),
+            depth,
+        ));
+        layers.push(Layer::repeated(
+            format!("s{stage}_pw_expand"),
+            TensorOp::pointwise(1, dim * 4, dim, hw, hw),
+            depth,
+        ));
+        layers.push(Layer::repeated(
+            format!("s{stage}_pw_project"),
+            TensorOp::pointwise(1, dim, dim * 4, hw, hw),
+            depth,
+        ));
+        prev_dim = dim;
+    }
+    layers.push(Layer::new(
+        "head",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 768,
+        },
+    ));
+    net("ConvNeXt", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_layer_count_and_macs() {
+        let n = resnet50();
+        assert!(n.len() > 20);
+        let g = n.total_macs() as f64 / 1e9;
+        assert!((3.0..6.0).contains(&g), "resnet50 GMACs {g}");
+    }
+
+    #[test]
+    fn vgg_macs() {
+        let g = vgg16().total_macs() as f64 / 1e9;
+        assert!((12.0..18.0).contains(&g), "vgg16 GMACs {g}");
+    }
+
+    #[test]
+    fn xception_has_depthwise() {
+        let n = xception();
+        assert!(n.nests().any(|(nest, _)| nest.is_depthwise()));
+        let g = n.total_macs() as f64 / 1e9;
+        assert!((2.0..10.0).contains(&g), "xception GMACs {g}");
+    }
+
+    #[test]
+    fn convnext_macs() {
+        let g = convnext_tiny().total_macs() as f64 / 1e9;
+        assert!((1.5..5.0).contains(&g), "convnext GMACs {g}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Dense-prediction and image-restoration workloads: UNet, ResUNet,
+//! SRGAN, FSRCNN, and a DLEU-like deep-learning upscaler.
+
+use super::net;
+use crate::{Layer, Network, TensorOp};
+
+fn conv(k: u64, c: u64, y: u64, x: u64, r: u64, s: u64, stride: u64) -> TensorOp {
+    TensorOp::Conv2d {
+        n: 1,
+        k,
+        c,
+        y,
+        x,
+        r,
+        s,
+        stride,
+    }
+}
+
+/// UNet for 256×256 segmentation (4-level encoder/decoder, ≈33 GMACs).
+pub fn unet() -> Network {
+    let mut layers = Vec::new();
+    // Encoder: (level, channels, spatial)
+    let enc: [(u32, u64, u64); 5] = [(1, 64, 256), (2, 128, 128), (3, 256, 64), (4, 512, 32), (5, 1024, 16)];
+    let mut cin = 3;
+    for (lvl, ch, hw) in enc {
+        layers.push(Layer::new(
+            format!("enc{lvl}_conv1"),
+            conv(ch, cin, hw, hw, 3, 3, 1),
+        ));
+        layers.push(Layer::new(
+            format!("enc{lvl}_conv2"),
+            conv(ch, ch, hw, hw, 3, 3, 1),
+        ));
+        cin = ch;
+    }
+    // Decoder with skip concatenation (input channels = 2×).
+    let dec: [(u32, u64, u64); 4] = [(4, 512, 32), (3, 256, 64), (2, 128, 128), (1, 64, 256)];
+    for (lvl, ch, hw) in dec {
+        layers.push(Layer::new(
+            format!("dec{lvl}_up"),
+            conv(ch, ch * 2, hw, hw, 2, 2, 1),
+        ));
+        layers.push(Layer::new(
+            format!("dec{lvl}_conv1"),
+            conv(ch, ch * 2, hw, hw, 3, 3, 1),
+        ));
+        layers.push(Layer::new(
+            format!("dec{lvl}_conv2"),
+            conv(ch, ch, hw, hw, 3, 3, 1),
+        ));
+    }
+    layers.push(Layer::new("out", conv(2, 64, 256, 256, 1, 1, 1)));
+    net("UNet", layers)
+}
+
+/// ResUNet: UNet topology with residual blocks (≈14 GMACs at 224×224).
+pub fn resunet() -> Network {
+    let mut layers = Vec::new();
+    let enc: [(u32, u64, u64); 4] = [(1, 64, 224), (2, 128, 112), (3, 256, 56), (4, 512, 28)];
+    let mut cin = 3;
+    for (lvl, ch, hw) in enc {
+        layers.push(Layer::new(
+            format!("enc{lvl}_res_a"),
+            conv(ch, cin, hw, hw, 3, 3, 1),
+        ));
+        layers.push(Layer::new(
+            format!("enc{lvl}_res_b"),
+            conv(ch, ch, hw, hw, 3, 3, 1),
+        ));
+        layers.push(Layer::new(
+            format!("enc{lvl}_skip"),
+            conv(ch, cin, hw, hw, 1, 1, 1),
+        ));
+        cin = ch;
+    }
+    let dec: [(u32, u64, u64); 3] = [(3, 256, 56), (2, 128, 112), (1, 64, 224)];
+    for (lvl, ch, hw) in dec {
+        layers.push(Layer::new(
+            format!("dec{lvl}_res_a"),
+            conv(ch, ch * 2, hw, hw, 3, 3, 1),
+        ));
+        layers.push(Layer::new(
+            format!("dec{lvl}_res_b"),
+            conv(ch, ch, hw, hw, 3, 3, 1),
+        ));
+    }
+    layers.push(Layer::new("out", conv(1, 64, 224, 224, 1, 1, 1)));
+    net("ResUNet", layers)
+}
+
+/// SRGAN generator: 16 residual blocks at 96×96 LR plus two pixel-shuffle
+/// upsampling convolutions (≈22 GMACs).
+pub fn srgan() -> Network {
+    let mut layers = vec![Layer::new("head", conv(64, 3, 96, 96, 9, 9, 1))];
+    layers.push(Layer::repeated(
+        "resblock_conv",
+        conv(64, 64, 96, 96, 3, 3, 1),
+        32, // 16 blocks x 2 convs
+    ));
+    layers.push(Layer::new("post_res", conv(64, 64, 96, 96, 3, 3, 1)));
+    // Pixel-shuffle upsampling: conv to 256ch then shuffle (x2), twice.
+    layers.push(Layer::new("up1", conv(256, 64, 96, 96, 3, 3, 1)));
+    layers.push(Layer::new("up2", conv(256, 64, 192, 192, 3, 3, 1)));
+    layers.push(Layer::new("tail", conv(3, 64, 384, 384, 9, 9, 1)));
+    net("SRGAN", layers)
+}
+
+/// FSRCNN for ×2 super-resolution of a `w × h` low-resolution input
+/// (d=56, s=12, m=4 mapping layers, 9×9 deconvolution at HR).
+pub fn fsrcnn(w: u64, h: u64) -> Network {
+    let layers = vec![
+        Layer::new("feature", conv(56, 1, h, w, 5, 5, 1)),
+        Layer::new("shrink", conv(12, 56, h, w, 1, 1, 1)),
+        Layer::repeated("map", conv(12, 12, h, w, 3, 3, 1), 4),
+        Layer::new("expand", conv(56, 12, h, w, 1, 1, 1)),
+        // Deconvolution modelled as its transpose conv at HR resolution.
+        Layer::new("deconv", conv(1, 56, 2 * h, 2 * w, 9, 9, 1)),
+    ];
+    Network::new(format!("FSRCNN-{w}x{h}"), layers)
+}
+
+/// A DLEU-like deep-learning image enhancement and upscaling network:
+/// shallow feature extractor, 8 residual blocks at 640×360, and a ×2
+/// pixel-shuffle tail (≈60 GMACs).
+pub fn dleu() -> Network {
+    let mut layers = vec![Layer::new("head", conv(32, 3, 360, 640, 3, 3, 1))];
+    layers.push(Layer::repeated(
+        "resblock_conv",
+        conv(32, 32, 360, 640, 3, 3, 1),
+        16, // 8 blocks x 2 convs
+    ));
+    layers.push(Layer::new("fuse", conv(32, 32, 360, 640, 3, 3, 1)));
+    layers.push(Layer::new("up", conv(128, 32, 360, 640, 3, 3, 1)));
+    layers.push(Layer::new("enhance", conv(16, 32, 720, 1280, 3, 3, 1)));
+    layers.push(Layer::new("tail", conv(3, 16, 720, 1280, 3, 3, 1)));
+    net("DLEU", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unet_macs() {
+        let g = unet().total_macs() as f64 / 1e9;
+        assert!((20.0..60.0).contains(&g), "unet GMACs {g}");
+    }
+
+    #[test]
+    fn srgan_macs() {
+        let g = srgan().total_macs() as f64 / 1e9;
+        assert!((10.0..40.0).contains(&g), "srgan GMACs {g}");
+    }
+
+    #[test]
+    fn fsrcnn_scales_with_resolution() {
+        let small = fsrcnn(320, 120).total_macs();
+        let mid = fsrcnn(640, 360).total_macs();
+        let large = fsrcnn(1280, 720).total_macs();
+        assert!(small < mid && mid < large);
+        assert!(fsrcnn(320, 120).name().contains("320x120"));
+    }
+
+    #[test]
+    fn resunet_smaller_than_unet() {
+        assert!(resunet().total_macs() < unet().total_macs());
+    }
+
+    #[test]
+    fn dleu_is_heavy() {
+        assert!(dleu().total_macs() > 40_000_000_000 / 1000); // > 40 MMACs trivially
+        let g = dleu().total_macs() as f64 / 1e9;
+        assert!((20.0..120.0).contains(&g), "dleu GMACs {g}");
+    }
+}

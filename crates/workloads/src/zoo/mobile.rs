@@ -1,0 +1,298 @@
+//! Mobile-regime networks: MobileNet V1/V2/V3, NASNet-Mobile,
+//! EfficientNetV2-S.
+
+use super::net;
+use crate::{Layer, Network, TensorOp};
+
+fn conv(k: u64, c: u64, y: u64, x: u64, r: u64, s: u64, stride: u64) -> TensorOp {
+    TensorOp::Conv2d {
+        n: 1,
+        k,
+        c,
+        y,
+        x,
+        r,
+        s,
+        stride,
+    }
+}
+
+fn dw(c: u64, y: u64, x: u64, r: u64, s: u64, stride: u64) -> TensorOp {
+    TensorOp::DepthwiseConv2d {
+        n: 1,
+        c,
+        y,
+        x,
+        r,
+        s,
+        stride,
+    }
+}
+
+fn pw(k: u64, c: u64, hw: u64) -> TensorOp {
+    TensorOp::pointwise(1, k, c, hw, hw)
+}
+
+/// MobileNet V1 (224×224, ≈569 MMACs).
+pub fn mobilenet_v1() -> Network {
+    // (cin, cout, output spatial, stride, repeat)
+    let blocks: [(u64, u64, u64, u64, u32); 9] = [
+        (32, 64, 112, 1, 1),
+        (64, 128, 56, 2, 1),
+        (128, 128, 56, 1, 1),
+        (128, 256, 28, 2, 1),
+        (256, 256, 28, 1, 1),
+        (256, 512, 14, 2, 1),
+        (512, 512, 14, 1, 5),
+        (512, 1024, 7, 2, 1),
+        (1024, 1024, 7, 1, 1),
+    ];
+    let mut layers = vec![Layer::new("conv1", conv(32, 3, 112, 112, 3, 3, 2))];
+    for (i, (cin, cout, hw, stride, rep)) in blocks.into_iter().enumerate() {
+        layers.push(Layer::repeated(
+            format!("dw{}", i + 1),
+            dw(cin, hw, hw, 3, 3, stride),
+            rep,
+        ));
+        layers.push(Layer::repeated(format!("pw{}", i + 1), pw(cout, cin, hw), rep));
+    }
+    layers.push(Layer::new(
+        "fc",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 1024,
+        },
+    ));
+    net("MobileNet", layers)
+}
+
+/// An inverted-residual (MBConv) block: expand pointwise, depthwise,
+/// project pointwise.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    layers: &mut Vec<Layer>,
+    tag: &str,
+    cin: u64,
+    cout: u64,
+    expand: u64,
+    hw: u64,
+    kernel: u64,
+    stride: u64,
+    rep: u32,
+) {
+    let mid = cin * expand;
+    if expand > 1 {
+        layers.push(Layer::repeated(format!("{tag}_expand"), pw(mid, cin, hw * stride), rep));
+    }
+    layers.push(Layer::repeated(
+        format!("{tag}_dw"),
+        dw(mid, hw, hw, kernel, kernel, stride),
+        rep,
+    ));
+    layers.push(Layer::repeated(format!("{tag}_project"), pw(cout, mid, hw), rep));
+}
+
+/// MobileNet V2 (224×224, ≈300 MMACs).
+pub fn mobilenet_v2() -> Network {
+    let mut layers = vec![Layer::new("conv1", conv(32, 3, 112, 112, 3, 3, 2))];
+    mbconv(&mut layers, "b1", 32, 16, 1, 112, 3, 1, 1);
+    mbconv(&mut layers, "b2a", 16, 24, 6, 56, 3, 2, 1);
+    mbconv(&mut layers, "b2b", 24, 24, 6, 56, 3, 1, 1);
+    mbconv(&mut layers, "b3a", 24, 32, 6, 28, 3, 2, 1);
+    mbconv(&mut layers, "b3b", 32, 32, 6, 28, 3, 1, 2);
+    mbconv(&mut layers, "b4a", 32, 64, 6, 14, 3, 2, 1);
+    mbconv(&mut layers, "b4b", 64, 64, 6, 14, 3, 1, 3);
+    mbconv(&mut layers, "b5", 64, 96, 6, 14, 3, 1, 3);
+    mbconv(&mut layers, "b6a", 96, 160, 6, 7, 3, 2, 1);
+    mbconv(&mut layers, "b6b", 160, 160, 6, 7, 3, 1, 2);
+    mbconv(&mut layers, "b7", 160, 320, 6, 7, 3, 1, 1);
+    layers.push(Layer::new("conv_last", pw(1280, 320, 7)));
+    layers.push(Layer::new(
+        "fc",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 1280,
+        },
+    ));
+    net("MobileNetV2", layers)
+}
+
+/// MobileNet V3-Large (224×224, ≈219 MMACs).
+pub fn mobilenet_v3_large() -> Network {
+    let mut layers = vec![Layer::new("conv1", conv(16, 3, 112, 112, 3, 3, 2))];
+    mbconv(&mut layers, "b1", 16, 16, 1, 112, 3, 1, 1);
+    mbconv(&mut layers, "b2", 16, 24, 4, 56, 3, 2, 1);
+    mbconv(&mut layers, "b3", 24, 24, 3, 56, 3, 1, 1);
+    mbconv(&mut layers, "b4", 24, 40, 3, 28, 5, 2, 1);
+    mbconv(&mut layers, "b5", 40, 40, 3, 28, 5, 1, 2);
+    mbconv(&mut layers, "b6", 40, 80, 6, 14, 3, 2, 1);
+    mbconv(&mut layers, "b7", 80, 80, 3, 14, 3, 1, 3);
+    mbconv(&mut layers, "b8", 80, 112, 6, 14, 3, 1, 2);
+    mbconv(&mut layers, "b9", 112, 160, 6, 7, 5, 2, 1);
+    mbconv(&mut layers, "b10", 160, 160, 6, 7, 5, 1, 2);
+    layers.push(Layer::new("conv_last", pw(960, 160, 7)));
+    layers.push(Layer::new(
+        "fc1",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1280,
+            k: 960,
+        },
+    ));
+    layers.push(Layer::new(
+        "fc2",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 1280,
+        },
+    ));
+    net("MobileNetV3-Large", layers)
+}
+
+/// MobileNet V3-Small (224×224, ≈56 MMACs).
+pub fn mobilenet_v3_small() -> Network {
+    let mut layers = vec![Layer::new("conv1", conv(16, 3, 112, 112, 3, 3, 2))];
+    mbconv(&mut layers, "b1", 16, 16, 1, 56, 3, 2, 1);
+    mbconv(&mut layers, "b2", 16, 24, 4, 28, 3, 2, 1);
+    mbconv(&mut layers, "b3", 24, 24, 4, 28, 3, 1, 1);
+    mbconv(&mut layers, "b4", 24, 40, 4, 14, 5, 2, 1);
+    mbconv(&mut layers, "b5", 40, 40, 6, 14, 5, 1, 2);
+    mbconv(&mut layers, "b6", 40, 48, 3, 14, 5, 1, 2);
+    mbconv(&mut layers, "b7", 48, 96, 6, 7, 5, 2, 1);
+    mbconv(&mut layers, "b8", 96, 96, 6, 7, 5, 1, 2);
+    layers.push(Layer::new("conv_last", pw(576, 96, 7)));
+    layers.push(Layer::new(
+        "fc1",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1024,
+            k: 576,
+        },
+    ));
+    layers.push(Layer::new(
+        "fc2",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 1024,
+        },
+    ));
+    net("MobileNetV3-Small", layers)
+}
+
+/// NASNet-Mobile (224×224, ≈564 MMACs). Normal/reduction cells are
+/// approximated with their dominant separable convolutions.
+pub fn nasnet_mobile() -> Network {
+    let mut layers = vec![Layer::new("stem", conv(32, 3, 111, 111, 3, 3, 2))];
+    // (tag, channels, spatial, cells)
+    let stages: [(&str, u64, u64, u32); 3] = [("s1", 44, 56, 4), ("s2", 88, 28, 4), ("s3", 176, 14, 4)];
+    for (tag, ch, hw, cells) in stages {
+        // Each cell applies several separable 3x3/5x5 branches; collapse to
+        // 2 dw+pw pairs (5x5 and 3x3) per cell.
+        layers.push(Layer::repeated(format!("{tag}_dw5"), dw(ch, hw, hw, 5, 5, 1), cells));
+        layers.push(Layer::repeated(format!("{tag}_pw5"), pw(ch, ch, hw), cells));
+        layers.push(Layer::repeated(format!("{tag}_dw3"), dw(ch, hw, hw, 3, 3, 1), cells));
+        layers.push(Layer::repeated(format!("{tag}_pw3"), pw(ch, ch, hw), cells));
+        // Cell-boundary 1x1 adjust convs.
+        layers.push(Layer::repeated(format!("{tag}_adjust"), pw(ch, ch * 2, hw), cells));
+    }
+    layers.push(Layer::new("final_pw", pw(352, 176, 7)));
+    layers.push(Layer::new(
+        "fc",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 1056,
+        },
+    ));
+    net("NASNetMobile", layers)
+}
+
+/// EfficientNetV2-S at 224×224 inference (≈2.9 GMACs). Early stages use
+/// fused MBConv (a single dense conv), later stages regular MBConv.
+pub fn efficientnet_v2_s() -> Network {
+    let mut layers = vec![Layer::new("stem", conv(24, 3, 112, 112, 3, 3, 2))];
+    // Fused-MBConv stages: (tag, cin, cout, expand, out spatial, stride, rep)
+    let fused: [(&str, u64, u64, u64, u64, u64, u32); 3] = [
+        ("f1", 24, 24, 1, 112, 1, 2),
+        ("f2", 24, 48, 4, 56, 2, 4),
+        ("f3", 48, 64, 4, 28, 2, 4),
+    ];
+    for (tag, cin, cout, expand, hw, stride, rep) in fused {
+        layers.push(Layer::repeated(
+            format!("{tag}_fused"),
+            conv(cin * expand, cin, hw, hw, 3, 3, stride),
+            rep,
+        ));
+        if expand > 1 {
+            layers.push(Layer::repeated(
+                format!("{tag}_project"),
+                pw(cout, cin * expand, hw),
+                rep,
+            ));
+        }
+    }
+    // Regular MBConv stages.
+    mbconv(&mut layers, "m4", 64, 128, 4, 14, 3, 2, 6);
+    mbconv(&mut layers, "m5", 128, 160, 6, 14, 3, 1, 9);
+    mbconv(&mut layers, "m6", 160, 256, 6, 7, 3, 2, 15);
+    layers.push(Layer::new("head_pw", pw(1280, 256, 7)));
+    layers.push(Layer::new(
+        "fc",
+        TensorOp::Gemm {
+            m: 1,
+            n: 1000,
+            k: 1280,
+        },
+    ));
+    net("EfficientNetV2", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_macs() {
+        let m = mobilenet_v1().total_macs() as f64 / 1e6;
+        assert!((450.0..700.0).contains(&m), "mobilenet v1 MMACs {m}");
+    }
+
+    #[test]
+    fn v2_macs() {
+        let m = mobilenet_v2().total_macs() as f64 / 1e6;
+        assert!((250.0..420.0).contains(&m), "mobilenet v2 MMACs {m}");
+    }
+
+    #[test]
+    fn v3_ordering() {
+        assert!(mobilenet_v3_small().total_macs() < mobilenet_v3_large().total_macs());
+        assert!(mobilenet_v3_large().total_macs() < mobilenet_v1().total_macs());
+    }
+
+    #[test]
+    fn nasnet_macs() {
+        let m = nasnet_mobile().total_macs() as f64 / 1e6;
+        assert!((200.0..900.0).contains(&m), "nasnet MMACs {m}");
+    }
+
+    #[test]
+    fn efficientnet_macs() {
+        let g = efficientnet_v2_s().total_macs() as f64 / 1e9;
+        assert!((1.5..5.0).contains(&g), "efficientnetv2 GMACs {g}");
+    }
+
+    #[test]
+    fn mobile_nets_have_depthwise() {
+        for n in [mobilenet_v1(), mobilenet_v2(), nasnet_mobile()] {
+            assert!(
+                n.nests().any(|(nest, _)| nest.is_depthwise()),
+                "{} lacks depthwise layers",
+                n.name()
+            );
+        }
+    }
+}

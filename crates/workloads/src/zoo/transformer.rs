@@ -1,0 +1,101 @@
+//! Transformer workloads: BERT-Base and ViT-Base/16.
+
+use super::net;
+use crate::{Layer, Network, TensorOp};
+
+fn gemm(m: u64, n: u64, k: u64) -> TensorOp {
+    TensorOp::Gemm { m, n, k }
+}
+
+/// One transformer encoder stack: `layers` blocks of multi-head attention
+/// (fused QKV + per-head score/context GEMMs + output projection) and a
+/// two-layer feed-forward network.
+fn encoder_stack(
+    prefix: &str,
+    seq: u64,
+    hidden: u64,
+    ffn: u64,
+    heads: u64,
+    blocks: u32,
+) -> Vec<Layer> {
+    let head_dim = hidden / heads;
+    vec![
+        Layer::repeated(format!("{prefix}_qkv"), gemm(seq, 3 * hidden, hidden), blocks),
+        // Attention scores Q·Kᵀ per head: (seq × seq × head_dim) × heads,
+        // folded into a single batched GEMM of depth head_dim and width
+        // heads*seq.
+        Layer::repeated(
+            format!("{prefix}_scores"),
+            gemm(seq, heads * seq, head_dim),
+            blocks,
+        ),
+        // Context A·V per head.
+        Layer::repeated(
+            format!("{prefix}_context"),
+            gemm(seq, heads * head_dim, seq),
+            blocks,
+        ),
+        Layer::repeated(format!("{prefix}_attn_out"), gemm(seq, hidden, hidden), blocks),
+        Layer::repeated(format!("{prefix}_ffn_up"), gemm(seq, ffn, hidden), blocks),
+        Layer::repeated(format!("{prefix}_ffn_down"), gemm(seq, hidden, ffn), blocks),
+    ]
+}
+
+/// BERT-Base (12 layers, hidden 768, sequence length 128, ≈11 GMACs).
+pub fn bert_base() -> Network {
+    let mut layers = encoder_stack("enc", 128, 768, 3072, 12, 12);
+    layers.push(Layer::new("pooler", gemm(1, 768, 768)));
+    net("Bert", layers)
+}
+
+/// ViT-Base/16 at 224×224 (197 tokens, 12 layers, ≈17 GMACs).
+pub fn vit_base() -> Network {
+    let mut layers = vec![Layer::new(
+        "patch_embed",
+        TensorOp::Conv2d {
+            n: 1,
+            k: 768,
+            c: 3,
+            y: 14,
+            x: 14,
+            r: 16,
+            s: 16,
+            stride: 16,
+        },
+    )];
+    layers.extend(encoder_stack("enc", 197, 768, 3072, 12, 12));
+    layers.push(Layer::new("head", gemm(1, 1000, 768)));
+    net("VIT", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_macs() {
+        let g = bert_base().total_macs() as f64 / 1e9;
+        assert!((9.0..16.0).contains(&g), "bert GMACs {g}");
+    }
+
+    #[test]
+    fn vit_macs() {
+        let g = vit_base().total_macs() as f64 / 1e9;
+        assert!((13.0..25.0).contains(&g), "vit GMACs {g}");
+    }
+
+    #[test]
+    fn vit_has_patch_conv() {
+        let n = vit_base();
+        assert_eq!(n.layers()[0].name(), "patch_embed");
+        assert_eq!(n.layers()[0].op().kind(), "conv");
+    }
+
+    #[test]
+    fn encoder_block_counts() {
+        // 12 blocks x 6 gemm kinds, collapsed into 6 repeated entries.
+        let stack = encoder_stack("e", 128, 768, 3072, 12, 12);
+        assert_eq!(stack.len(), 6);
+        assert!(stack.iter().all(|l| l.repeat() == 12));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of workload lowering and footprint arithmetic.
+
+use proptest::prelude::*;
+
+use unico_workloads::{Dim, Layer, Network, TensorOp};
+
+fn arb_conv() -> impl Strategy<Value = TensorOp> {
+    (
+        1u64..=4,
+        1u64..=256,
+        1u64..=256,
+        1u64..=64,
+        1u64..=64,
+        1u64..=7,
+        1u64..=7,
+        1u64..=3,
+    )
+        .prop_map(|(n, k, c, y, x, r, s, stride)| TensorOp::Conv2d {
+            n,
+            k,
+            c,
+            y,
+            x,
+            r,
+            s,
+            stride,
+        })
+}
+
+fn arb_gemm() -> impl Strategy<Value = TensorOp> {
+    (1u64..=2048, 1u64..=2048, 1u64..=2048).prop_map(|(m, n, k)| TensorOp::Gemm { m, n, k })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lowering preserves MAC counts for convolutions by construction.
+    #[test]
+    fn conv_macs_match_closed_form(op in arb_conv()) {
+        if let TensorOp::Conv2d { n, k, c, y, x, r, s, .. } = op {
+            prop_assert_eq!(op.macs(), n * k * c * y * x * r * s);
+        }
+        let nest = op.to_loop_nest();
+        prop_assert_eq!(nest.macs(), op.macs());
+    }
+
+    /// GEMM lowering: M·N·K MACs, output M·N, reduction on C.
+    #[test]
+    fn gemm_lowering_invariants(op in arb_gemm()) {
+        if let TensorOp::Gemm { m, n, k } = op {
+            let nest = op.to_loop_nest();
+            prop_assert_eq!(nest.macs(), m * n * k);
+            prop_assert_eq!(nest.output_elems(), m * n);
+            prop_assert_eq!(nest.extent(Dim::C), k);
+            prop_assert!(!nest.is_depthwise());
+        }
+    }
+
+    /// The input footprint always covers at least the output spatial
+    /// extent (halo can only add) and scales linearly in batch.
+    #[test]
+    fn input_footprint_bounds(op in arb_conv()) {
+        let nest = op.to_loop_nest();
+        let per_pixel_min = nest.extent(Dim::N) * nest.extent(Dim::C);
+        prop_assert!(nest.input_elems() >= per_pixel_min);
+        // Halo arithmetic: input rows for the full extent equals the
+        // closed form.
+        let y = nest.extent(Dim::Y);
+        let r = nest.extent(Dim::R);
+        prop_assert_eq!(
+            nest.input_rows_for(y, r),
+            (y - 1) * nest.stride_y() + r
+        );
+    }
+
+    /// Layer repetition scales MACs linearly and network totals add up.
+    #[test]
+    fn network_macs_are_additive(
+        ops in proptest::collection::vec(arb_gemm(), 1..6),
+        reps in proptest::collection::vec(1u32..5, 1..6),
+    ) {
+        let layers: Vec<Layer> = ops
+            .iter()
+            .zip(&reps)
+            .enumerate()
+            .map(|(i, (op, &r))| Layer::repeated(format!("l{i}"), *op, r))
+            .collect();
+        let expected: u64 = layers.iter().map(Layer::total_macs).sum();
+        let net = Network::new("prop", layers);
+        prop_assert_eq!(net.total_macs(), expected);
+        // Dominant-layer reduction never increases totals.
+        let reduced = net.dominant_layers(2);
+        prop_assert!(reduced.total_macs() <= net.total_macs());
+        prop_assert!(reduced.len() <= 2);
+    }
+
+    /// Arithmetic intensity is maximized when reuse is possible: a GEMM
+    /// with larger M and N at fixed footprint has higher intensity than
+    /// a skinny one of the same MACs.
+    #[test]
+    fn square_gemm_beats_skinny_intensity(side in 8u64..64) {
+        let square = TensorOp::Gemm { m: side, n: side, k: side }.to_loop_nest();
+        let skinny = TensorOp::Gemm { m: side * side, n: 1, k: side }.to_loop_nest();
+        prop_assert_eq!(square.macs(), skinny.macs());
+        prop_assert!(
+            square.ideal_arithmetic_intensity() > skinny.ideal_arithmetic_intensity()
+        );
+    }
+}

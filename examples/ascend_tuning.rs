@@ -1,0 +1,104 @@
+//! Industrial deployment: tune the Ascend-like architecture for a
+//! super-resolution workload with the cycle-level simulator, and compare
+//! the found configuration against the expert default — a miniature of
+//! the paper's Fig. 11 study.
+//!
+//! The CAModel regime makes every PPA evaluation cost minutes of
+//! *simulated* wall-clock, so watch the reported search cost: sample
+//! efficiency is everything here.
+//!
+//! ```sh
+//! cargo run --release --example ascend_tuning
+//! ```
+
+use unico::prelude::*;
+use unico_core::experiments::validate_on_network;
+use unico_search::EnvConfig;
+
+fn main() {
+    let platform = AscendPlatform::new();
+    let workload = zoo::fsrcnn(320, 120);
+    println!(
+        "tuning Ascend-like core for {} ({:.2} GMACs)",
+        workload.name(),
+        workload.total_macs() as f64 / 1e9
+    );
+
+    let env = CoSearchEnv::new(
+        &platform,
+        std::slice::from_ref(&workload),
+        EnvConfig {
+            max_layers_per_network: 2,
+            power_cap_mw: None,
+            area_cap_mm2: Some(200.0), // the paper's edge-chip area budget
+        },
+    );
+
+    // The paper's industrial configuration: N = 8, b_max = 200, scaled
+    // down in iterations for a fast demo.
+    let result = Unico::new(UnicoConfig {
+        max_iter: 5,
+        batch: 8,
+        b_max: 60,
+        seed: 11,
+        ..UnicoConfig::default()
+    })
+    .run(&env);
+    println!(
+        "evaluated {} configurations, simulated search cost {:.1} h",
+        result.hw_evals,
+        result.wall_clock_s / 3600.0
+    );
+
+    let default_hw = AscendConfig::expert_default();
+    // Select the design minimizing the worst (latency, power) ratio to
+    // the default, i.e. prefer designs that beat the default on both.
+    let default_ppa = validate_on_network(&platform, default_hw, &workload, 2, 60, 0);
+    let found = result
+        .evaluations
+        .iter()
+        .filter_map(|r| r.assessment.map(|a| (r.hw, a)))
+        .min_by(|(_, a), (_, b)| {
+            let score = |x: &unico_search::Assessment| match &default_ppa {
+                Some(d) => (x.latency_s / d.latency_s).max(x.power_mw / d.power_mw),
+                None => x.latency_s,
+            };
+            score(a).partial_cmp(&score(b)).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(hw, _)| hw)
+        .unwrap_or(default_hw);
+    println!("\nexpert default: {default_hw}");
+    println!("UNICO found:    {found}");
+
+    // Head-to-head with fresh depth-first fusion mapping searches.
+    let d = validate_on_network(&platform, default_hw, &workload, 2, 60, 1);
+    let u = validate_on_network(&platform, found, &workload, 2, 60, 2);
+    match (d, u) {
+        (Some(d), Some(u)) => {
+            println!(
+                "\n{:<16} {:>12} {:>12} {:>10}",
+                "", "latency (ms)", "power (mW)", "area (mm²)"
+            );
+            println!(
+                "{:<16} {:>12.3} {:>12.1} {:>10.1}",
+                "expert default",
+                d.latency_s * 1e3,
+                d.power_mw,
+                d.area_mm2
+            );
+            println!(
+                "{:<16} {:>12.3} {:>12.1} {:>10.1}",
+                "UNICO",
+                u.latency_s * 1e3,
+                u.power_mw,
+                u.area_mm2
+            );
+            println!(
+                "\nlatency saving {:+.1}%, power saving {:+.1}%",
+                (d.latency_s - u.latency_s) / d.latency_s * 100.0,
+                (d.power_mw - u.power_mw) / d.power_mw * 100.0
+            );
+        }
+        _ => println!("a design had no feasible mapping at this tiny budget"),
+    }
+}

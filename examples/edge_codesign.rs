@@ -1,0 +1,96 @@
+//! Edge co-design bake-off: UNICO vs the HASCO-like and NSGA-II
+//! baselines on a vision workload, reporting Pareto quality and
+//! simulated search cost side by side — a miniature of the paper's
+//! Table 1.
+//!
+//! ```sh
+//! cargo run --release --example edge_codesign
+//! ```
+
+use unico::prelude::*;
+use unico_search::{run_hasco, run_nsga2, EnvConfig, HascoConfig, Nsga2Config};
+use unico_surrogate::hypervolume::hypervolume;
+use unico_surrogate::scalarize::normalize_columns;
+
+fn main() {
+    let platform = SpatialPlatform::edge();
+    let workload = zoo::resnet50();
+    println!("workload: {} on spatial-edge", workload.name());
+
+    let env = CoSearchEnv::new(
+        &platform,
+        &[workload],
+        EnvConfig {
+            max_layers_per_network: 2,
+            power_cap_mw: Some(2_000.0),
+            area_cap_mm2: None,
+        },
+    );
+
+    let b_max = 96;
+    let unico = Unico::new(UnicoConfig {
+        max_iter: 8,
+        batch: 12,
+        b_max,
+        seed: 1,
+        ..UnicoConfig::default()
+    })
+    .run(&env);
+    let hasco = run_hasco(
+        &env,
+        &HascoConfig {
+            iterations: 32,
+            inner_budget: b_max,
+            seed: 1,
+            ..HascoConfig::default()
+        },
+    );
+    let nsga = run_nsga2(
+        &env,
+        &Nsga2Config {
+            population: 12,
+            generations: 6,
+            inner_budget: b_max,
+            seed: 1,
+            ..Nsga2Config::default()
+        },
+    );
+
+    // Compare by hypervolume in a common normalized space.
+    let mut all: Vec<Vec<f64>> = Vec::new();
+    let fronts = [
+        ("UNICO", unico.front.objectives(), unico.wall_clock_s),
+        ("HASCO", hasco.front.objectives(), hasco.wall_clock_s),
+        ("NSGAII", nsga.front.objectives(), nsga.wall_clock_s),
+    ];
+    for (_, f, _) in &fronts {
+        all.extend(f.iter().cloned());
+    }
+    let normalized_all = normalize_columns(&all);
+    let mut offset = 0;
+    println!("\n{:<8} {:>8} {:>12} {:>10}", "method", "designs", "hypervolume", "cost (h)");
+    for (name, f, secs) in &fronts {
+        let pts: Vec<Vec<f64>> = normalized_all[offset..offset + f.len()].to_vec();
+        offset += f.len();
+        let hv = hypervolume(&pts, &[1.1, 1.1, 1.1]);
+        println!(
+            "{:<8} {:>8} {:>12.4} {:>10.2}",
+            name,
+            f.len(),
+            hv,
+            secs / 3600.0
+        );
+    }
+
+    println!("\nUNICO knee design:");
+    if let Some(rec) = unico.min_euclidean_record() {
+        let a = rec.assessment.expect("knee is feasible");
+        println!(
+            "  {:?}\n  latency {:.3} ms, power {:.1} mW, area {:.2} mm²",
+            rec.hw,
+            a.latency_s * 1e3,
+            a.power_mw,
+            a.area_mm2
+        );
+    }
+}

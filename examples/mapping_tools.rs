@@ -1,0 +1,101 @@
+//! Mapping-tool comparison: random vs FlexTensor-style annealing vs
+//! GAMMA-style genetic vs Q-learning search on one convolution layer of
+//! a fixed accelerator — the inner loop of co-optimization in isolation.
+//!
+//! Also prints the best-so-far curves' AUC, the convergence-rate signal
+//! UNICO's modified successive halving promotes on.
+//!
+//! ```sh
+//! cargo run --release --example mapping_tools
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unico::prelude::*;
+use unico_mapping::{
+    AnnealingSearch, GeneticConfig, GeneticSearch, QLearningSearch, RandomSearch,
+};
+use unico_model::BoundSpatialCost;
+
+fn main() {
+    // A mid-size ResNet conv layer on a fixed edge configuration.
+    let nest = TensorOp::Conv2d {
+        n: 1,
+        k: 128,
+        c: 128,
+        y: 28,
+        x: 28,
+        r: 3,
+        s: 3,
+        stride: 1,
+    }
+    .to_loop_nest();
+    let platform = SpatialPlatform::edge();
+    let hw = HwConfig::new(12, 12, 4096, 1024 * 1024, 128, Dataflow::WeightStationary);
+    let cost = BoundSpatialCost::new(platform.model(), hw, nest, 1.0);
+    let budget = 400u64;
+
+    println!("layer: {nest}");
+    println!("hardware: {hw}");
+    println!("budget: {budget} evaluations per tool\n");
+    println!(
+        "{:<12} {:>14} {:>10} {:>10} {:>8}",
+        "tool", "best latency", "feasible", "AUC", "@half"
+    );
+
+    let tools: Vec<(&str, Box<dyn unico_mapping::MappingSearcher>)> = vec![
+        (
+            "random",
+            Box::new(RandomSearch::new(
+                MappingSpace::new(&nest),
+                StdRng::seed_from_u64(1),
+            )),
+        ),
+        (
+            "annealing",
+            Box::new(AnnealingSearch::new(
+                MappingSpace::new(&nest),
+                StdRng::seed_from_u64(1),
+            )),
+        ),
+        (
+            "genetic",
+            Box::new(GeneticSearch::new(
+                MappingSpace::new(&nest),
+                StdRng::seed_from_u64(1),
+                GeneticConfig::default(),
+            )),
+        ),
+        (
+            "q-learning",
+            Box::new(QLearningSearch::new(
+                MappingSpace::new(&nest),
+                StdRng::seed_from_u64(1),
+            )),
+        ),
+    ];
+
+    for (name, mut tool) in tools {
+        tool.run_until(&cost, budget);
+        let h = tool.history();
+        let best = h.terminal_value();
+        let at_half = h
+            .best_at(budget / 2)
+            .map(|r| format!("{:.3}ms", r.loss * 1e3))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<12} {:>11.3} ms {:>9}/{budget} {:>10.4} {:>8}",
+            name,
+            best * 1e3,
+            h.evaluations(),
+            h.auc(budget),
+            at_half
+        );
+    }
+
+    println!(
+        "\nhigher AUC = steeper convergence; UNICO's MSH reserves p = 0.15N\n\
+         promotion slots for exactly this signal (paper Fig. 4)."
+    );
+}

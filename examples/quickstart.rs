@@ -1,0 +1,69 @@
+//! Quickstart: co-optimize an edge accelerator for MobileNet in a few
+//! seconds and print the Pareto front.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use unico::prelude::*;
+use unico_search::EnvConfig as SearchEnvConfig;
+
+fn main() {
+    // 1. Pick a platform: the open-source 2-D spatial template under the
+    //    edge power envelope.
+    let platform = SpatialPlatform::edge();
+
+    // 2. Pick the workload(s) to co-optimize for.
+    let workload = zoo::mobilenet_v1();
+    println!(
+        "co-optimizing for {} ({:.2} GMACs, {} layer entries)",
+        workload.name(),
+        workload.total_macs() as f64 / 1e9,
+        workload.len()
+    );
+
+    // 3. Build the co-search environment: dominant layers only, and the
+    //    paper's 2 W edge power cap.
+    let env = CoSearchEnv::new(
+        &platform,
+        &[workload],
+        SearchEnvConfig {
+            max_layers_per_network: 2,
+            power_cap_mw: Some(2_000.0),
+            area_cap_mm2: None,
+        },
+    );
+
+    // 4. Run UNICO at a small scale (a few seconds of real time).
+    let config = UnicoConfig {
+        max_iter: 6,
+        batch: 10,
+        b_max: 64,
+        seed: 7,
+        ..UnicoConfig::default()
+    };
+    let result = Unico::new(config).run(&env);
+
+    // 5. Inspect the Pareto front.
+    println!(
+        "\nevaluated {} hardware configurations in {:.2} simulated hours",
+        result.hw_evals,
+        result.wall_clock_s / 3600.0
+    );
+    println!("Pareto front ({} designs):", result.front.len());
+    for (objectives, &idx) in result.front.iter() {
+        let rec = &result.evaluations[idx];
+        println!(
+            "  latency {:>10.4} ms | power {:>7.1} mW | area {:>5.2} mm² | R {:>6.4} | {:?}",
+            objectives[0] * 1e3,
+            objectives[1],
+            objectives[2],
+            rec.robustness.unwrap_or(f64::NAN),
+            rec.hw
+        );
+    }
+
+    if let Some(best) = result.min_euclidean_record() {
+        println!("\nrecommended design (min-Euclidean knee): {:?}", best.hw);
+    }
+}

@@ -1,0 +1,50 @@
+//! UNICO — unified hardware–software co-optimization for robust neural
+//! network acceleration.
+//!
+//! This facade crate re-exports the whole stack so applications can
+//! depend on a single crate:
+//!
+//! * [`workloads`] — tensor operators, loop nests and DNN layer tables;
+//! * [`model`] — the analytical spatial-accelerator PPA model and HW
+//!   design space;
+//! * [`camodel`] — the cycle-level Ascend-like simulator;
+//! * [`mapping`] — software mapping space and mapping searchers;
+//! * [`surrogate`] — GP surrogate, acquisitions, Pareto & hypervolume;
+//! * [`search`] — the co-search environment, SH/MSH, and the HASCO /
+//!   NSGA-II / MOBOHB baselines;
+//! * [`core`] — the UNICO algorithm, robustness metric and experiment
+//!   drivers.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use unico::prelude::*;
+//!
+//! let platform = SpatialPlatform::edge();
+//! let env = CoSearchEnv::new(&platform, &[zoo::mobilenet_v1()], EnvConfig::default());
+//! let result = Unico::new(UnicoConfig::default()).run(&env);
+//! if let Some(best) = result.min_euclidean_record() {
+//!     println!("best design: {:?}", best.hw);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use unico_camodel as camodel;
+pub use unico_core as core;
+pub use unico_mapping as mapping;
+pub use unico_model as model;
+pub use unico_search as search;
+pub use unico_surrogate as surrogate;
+pub use unico_workloads as workloads;
+
+/// One-stop imports for typical co-optimization applications.
+pub mod prelude {
+    pub use unico_camodel::{AscendConfig, AscendPlatform};
+    pub use unico_core::{experiments::Scale, Unico, UnicoConfig, UnicoResult};
+    pub use unico_mapping::{Mapping, MappingSearcher, MappingSpace};
+    pub use unico_model::{Dataflow, HwConfig, HwSpace, Platform, SpatialPlatform};
+    pub use unico_search::{CoSearchEnv, EnvConfig};
+    pub use unico_workloads::{zoo, Network, TensorOp};
+}

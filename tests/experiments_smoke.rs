@@ -1,0 +1,93 @@
+//! Smoke tests of every experiment driver at tiny scale: the same code
+//! paths the paper-scale binaries execute, checked for structural
+//! soundness in seconds.
+
+use unico_core::experiments::ablation::run_ablation;
+use unico_core::experiments::ascend::run_ascend;
+use unico_core::experiments::generalization::run_generalization;
+use unico_core::experiments::hv_trace::{final_hv_differences, run_hv_trace};
+use unico_core::experiments::robust_pairs::run_robust_pairs;
+use unico_core::experiments::table::{compare_on_network, render, Scenario};
+use unico_core::experiments::Scale;
+use unico_workloads::zoo;
+
+#[test]
+fn table_comparison_smoke() {
+    let c = compare_on_network(Scenario::Edge, &zoo::xception(), &Scale::smoke(), 5);
+    assert_eq!(c.rows.len(), 3);
+    assert!(c.rows.iter().any(|r| r.ppa.is_some()));
+    // UNICO is the cheapest of the three at equal-ish quality budgets.
+    let cost = |m: &str| {
+        c.rows
+            .iter()
+            .find(|r| r.method == m)
+            .expect("method present")
+            .cost_h
+    };
+    assert!(cost("UNICO") < cost("HASCO"), "UNICO must be cheaper than HASCO");
+    let md = render(Scenario::Edge, &[c]);
+    assert!(md.contains("Xception"));
+}
+
+#[test]
+fn cloud_scenario_smoke() {
+    let c = compare_on_network(Scenario::Cloud, &zoo::mobilenet_v1(), &Scale::smoke(), 6);
+    for r in &c.rows {
+        if let Some((_, p, _)) = r.ppa {
+            assert!(p <= 20_000.0, "cloud power cap violated");
+        }
+    }
+}
+
+#[test]
+fn hv_trace_smoke() {
+    let res = run_hv_trace(Scenario::Edge, &[zoo::unet()], &Scale::smoke(), 7);
+    assert_eq!(res.methods.len(), 4);
+    let finals = final_hv_differences(&res);
+    assert!(finals.iter().all(|&(_, d)| d.is_finite()));
+}
+
+#[test]
+fn ablation_smoke() {
+    let res = run_ablation(&Scale::smoke(), 8);
+    assert_eq!(res.rows.len(), 4);
+    assert_eq!(res.rows[0].variant, "HASCO");
+    assert_eq!(res.rows[0].vs_hasco_pct, 0.0);
+    assert!(res.rows.iter().all(|r| r.hypervolume >= 0.0));
+}
+
+#[test]
+fn robust_pairs_smoke() {
+    // A generous similarity threshold so tiny fronts still yield pairs.
+    let res = run_robust_pairs(&Scale::smoke(), 9, 2, 0.8);
+    assert!(res.front_size >= 1);
+    for p in &res.pairs {
+        assert!(p.robustness.0 >= 0.0 && p.robustness.1 >= 0.0);
+        assert!(p.validation_latency_s.0 > 0.0 && p.validation_latency_s.1 > 0.0);
+    }
+}
+
+#[test]
+fn generalization_smoke() {
+    let res = run_generalization(&Scale::smoke(), 10);
+    assert_eq!(res.rows.len(), 8, "eight unseen networks");
+    // Hypervolumes are finite and at least half the networks have
+    // non-empty validated fronts for both methods at smoke scale.
+    let populated = res
+        .rows
+        .iter()
+        .filter(|r| r.unico_hv > 0.0 && r.hasco_hv > 0.0)
+        .count();
+    assert!(populated >= 4, "only {populated}/8 networks populated");
+    assert!(res.mean_gain().is_some());
+}
+
+#[test]
+fn ascend_smoke() {
+    let suite = vec![zoo::fsrcnn(160, 60)];
+    let res = run_ascend(&Scale::smoke(), 11, Some(suite));
+    assert_eq!(res.rows.len(), 1);
+    assert!(res.search_cost_h > 0.0);
+    // Default config must be evaluable.
+    assert!(res.rows[0].default.is_some());
+}

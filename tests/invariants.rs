@@ -1,0 +1,198 @@
+//! Property-based integration tests of the cross-crate invariants the
+//! co-optimizer relies on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unico::prelude::*;
+use unico_mapping::{MappingCost, MappingOutcome};
+use unico_model::{AnalyticalModel, TechParams};
+use unico_surrogate::hypervolume::hypervolume;
+use unico_surrogate::pareto::{dominates, non_dominated_indices};
+
+fn arb_nest() -> impl Strategy<Value = unico_workloads::LoopNest> {
+    (
+        1u64..=4,
+        1u64..=64,
+        1u64..=64,
+        1u64..=32,
+        1u64..=32,
+        1u64..=5,
+        1u64..=5,
+        1u64..=2,
+    )
+        .prop_map(|(n, k, c, y, x, r, s, stride)| {
+            TensorOp::Conv2d {
+                n,
+                k,
+                c,
+                y,
+                x,
+                r,
+                s,
+                stride,
+            }
+            .to_loop_nest()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any mapping the space produces is legal for its nest, and the
+    /// analytical model either prices it or rejects it — never panics.
+    #[test]
+    fn model_total_on_space_samples(nest in arb_nest(), seed in 0u64..1000) {
+        let space = MappingSpace::new(&nest);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = AnalyticalModel::new(TechParams::default());
+        let hw = HwSpace::edge().sample(&mut rng);
+        for _ in 0..10 {
+            let m = space.sample(&mut rng);
+            if let Ok(ppa) = model.evaluate(&hw, &m, &nest) {
+                prop_assert!(ppa.latency_s > 0.0);
+                prop_assert!(ppa.power_mw > 0.0);
+                prop_assert!(ppa.energy_pj > 0.0);
+                // Latency respects the compute bound.
+                let floor = nest.macs() as f64
+                    / (hw.num_pes() as f64 * model.tech().clock_hz);
+                prop_assert!(ppa.latency_s >= floor * 0.99);
+            }
+        }
+    }
+
+    /// Shrink chains always terminate in a feasible or minimal mapping,
+    /// and never grow any tile.
+    #[test]
+    fn shrink_is_monotone(nest in arb_nest(), seed in 0u64..1000) {
+        let space = MappingSpace::new(&nest);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = space.sample(&mut rng);
+        for _ in 0..64 {
+            let next = space.shrink(&mut rng, &m);
+            let grew = next
+                .l1_tile()
+                .iter()
+                .zip(m.l1_tile())
+                .any(|(a, b)| *a > b)
+                && next
+                    .l2_tile()
+                    .iter()
+                    .zip(m.l2_tile())
+                    .any(|(a, b)| *a > b);
+            prop_assert!(!grew, "shrink grew both tile levels");
+            m = next;
+        }
+        // After many shrinks the working set is tiny.
+        prop_assert!(m.l1_tile_macs() <= 4096);
+    }
+
+    /// The best-so-far curve of any searcher is monotone non-increasing
+    /// and budget accounting is exact.
+    #[test]
+    fn search_histories_are_monotone(seed in 0u64..500) {
+        let nest = TensorOp::Conv2d {
+            n: 1, k: 32, c: 16, y: 16, x: 16, r: 3, s: 3, stride: 1,
+        }.to_loop_nest();
+        struct Quadratic;
+        impl MappingCost for Quadratic {
+            fn assess(&self, m: &Mapping) -> Option<MappingOutcome> {
+                let t = m.l1_tile();
+                if t[1] > 16 { return None; }
+                let loss = (t[1] as f64 - 8.0).powi(2) + t[2] as f64;
+                Some(MappingOutcome { loss, latency_s: loss, power_mw: 1.0 })
+            }
+        }
+        let mut s = unico_mapping::AnnealingSearch::new(
+            MappingSpace::new(&nest),
+            StdRng::seed_from_u64(seed),
+        );
+        s.run_until(&Quadratic, 120);
+        prop_assert_eq!(s.history().spent(), 120);
+        let mut prev = f64::INFINITY;
+        for b in 1..=120 {
+            if let Some(best) = s.history().best_at(b) {
+                prop_assert!(best.loss <= prev + 1e-12);
+                prev = best.loss;
+            }
+        }
+    }
+
+    /// The two analytical engines (data-centric / loop-centric) agree on
+    /// feasibility and area, and price feasible mappings within a small
+    /// factor of each other — the property that makes them
+    /// interchangeable prototyping oracles.
+    #[test]
+    fn analytical_engines_are_consistent(nest in arb_nest(), seed in 0u64..400) {
+        use unico_model::{AnalyticalModel, LoopCentricModel};
+        let dc = AnalyticalModel::new(TechParams::default());
+        let lc = LoopCentricModel::new(TechParams::default());
+        let space = MappingSpace::new(&nest);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hw = HwSpace::edge().sample(&mut rng);
+        for _ in 0..6 {
+            let m = space.sample(&mut rng);
+            let a = dc.evaluate(&hw, &m, &nest);
+            let b = lc.evaluate(&hw, &m, &nest);
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "feasibility must agree");
+            if let (Ok(a), Ok(b)) = (a, b) {
+                prop_assert_eq!(a.area_mm2, b.area_mm2, "area must be identical");
+                let ratio = a.latency_s / b.latency_s;
+                prop_assert!(
+                    (0.05..20.0).contains(&ratio),
+                    "engines diverge wildly: {} vs {}",
+                    a.latency_s,
+                    b.latency_s
+                );
+            }
+        }
+    }
+
+    /// Pareto front + hypervolume invariants on random point clouds.
+    #[test]
+    fn pareto_hypervolume_invariants(
+        pts in proptest::collection::vec(
+            proptest::array::uniform3(0.0f64..1.0), 1..40)
+    ) {
+        let cloud: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        let nd = non_dominated_indices(&cloud);
+        prop_assert!(!nd.is_empty());
+        // Non-dominated subset has the same hypervolume as the cloud.
+        let reference = vec![1.1, 1.1, 1.1];
+        let hv_all = hypervolume(&cloud, &reference);
+        let front: Vec<Vec<f64>> = nd.iter().map(|&i| cloud[i].clone()).collect();
+        let hv_front = hypervolume(&front, &reference);
+        prop_assert!((hv_all - hv_front).abs() < 1e-9);
+        // No front member dominates another.
+        for i in 0..front.len() {
+            for j in 0..front.len() {
+                if i != j {
+                    prop_assert!(!dominates(&front[i], &front[j]));
+                }
+            }
+        }
+    }
+
+    /// The robustness metric stays within its analytic bounds
+    /// `(1 + min F)·Δ ≤ R ≤ 3Δ` on arbitrary optimal/sub-optimal pairs.
+    /// The paper's polynomial dips slightly below zero at its vertex
+    /// (`θ* = 5π/12`, `F(θ*) = 1 − 25/24 ≈ −0.0417`), so the exact lower
+    /// bound is `(1 − 25/24 + 1)·Δ = (23/24)·Δ`.
+    #[test]
+    fn robustness_bounds(
+        lat in 0.01f64..10.0,
+        pow in 1.0f64..1000.0,
+        dlat in 0.0f64..5.0,
+        dpow in -0.9f64..5.0,
+    ) {
+        let sub_lat = lat * (1.0 + dlat);
+        let sub_pow = pow * (1.0 + dpow);
+        let r = unico_core::robustness::robustness_from_points(lat, pow, sub_lat, sub_pow);
+        let dx = dlat;
+        let dy = dpow;
+        let delta = (dx * dx + dy * dy).sqrt();
+        prop_assert!(r >= (23.0 / 24.0) * delta - 1e-9, "R {} vs 23Δ/24 {}", r, delta);
+        prop_assert!(r <= 3.0 * delta + 1e-9);
+    }
+}
