@@ -1,10 +1,10 @@
 //! Mapping-space and mapping-search micro-benchmarks: per-step cost of
 //! the inner loop that dominates total co-search CPU time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use unico_bench::microbench::MicroBench;
 use unico_mapping::{AnnealingSearch, MappingSearcher, MappingSpace};
 use unico_model::{AnalyticalModel, BoundSpatialCost, Dataflow, HwConfig, TechParams};
 use unico_workloads::TensorOp;
@@ -23,35 +23,35 @@ fn nest() -> unico_workloads::LoopNest {
     .to_loop_nest()
 }
 
-fn bench_space_ops(c: &mut Criterion) {
+fn bench_space_ops(b: &mut MicroBench) {
     let n = nest();
     let space = MappingSpace::new(&n);
     let mut rng = StdRng::seed_from_u64(1);
-    c.bench_function("space_sample", |b| b.iter(|| space.sample(&mut rng)));
+    b.run("space_sample", || space.sample(&mut rng));
     let m = space.sample(&mut rng);
-    c.bench_function("space_mutate", |b| b.iter(|| space.mutate(&mut rng, &m)));
-    c.bench_function("space_shrink", |b| b.iter(|| space.shrink(&mut rng, &m)));
+    b.run("space_mutate", || space.mutate(&mut rng, &m));
+    b.run("space_shrink", || space.shrink(&mut rng, &m));
     let m2 = space.sample(&mut rng);
-    c.bench_function("space_crossover", |b| {
-        b.iter(|| space.crossover(&mut rng, &m, &m2))
-    });
+    b.run("space_crossover", || space.crossover(&mut rng, &m, &m2));
 }
 
-fn bench_annealing_steps(c: &mut Criterion) {
+fn bench_annealing_steps(b: &mut MicroBench) {
     let n = nest();
     let model = AnalyticalModel::new(TechParams::default());
     let hw = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
     let cost = BoundSpatialCost::new(&model, hw, n, 1.0);
-    c.bench_function("annealing_100_steps", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut s = AnnealingSearch::new(MappingSpace::new(&n), StdRng::seed_from_u64(seed));
-            s.run_until(&cost, 100);
-            s.history().terminal_value()
-        })
+    let mut seed = 0u64;
+    b.run("annealing_100_steps", || {
+        seed += 1;
+        let mut s = AnnealingSearch::new(MappingSpace::new(&n), StdRng::seed_from_u64(seed));
+        s.run_until(&cost, 100);
+        s.history().terminal_value()
     });
 }
 
-criterion_group!(benches, bench_space_ops, bench_annealing_steps);
-criterion_main!(benches);
+fn main() {
+    let mut b = MicroBench::new();
+    bench_space_ops(&mut b);
+    bench_annealing_steps(&mut b);
+    println!("\n{}", b.to_markdown());
+}

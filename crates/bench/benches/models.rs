@@ -3,8 +3,7 @@
 //! oracle). The gap between the two is the regime the paper's cost
 //! analysis is built on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use unico_bench::microbench::MicroBench;
 use unico_camodel::{AscendConfig, AscendModel, DepthFirstFusionSearch};
 use unico_mapping::Mapping;
 use unico_model::{AnalyticalModel, Dataflow, HwConfig, LoopCentricModel, TechParams};
@@ -35,35 +34,30 @@ fn spatial_mapping(nest: &unico_workloads::LoopNest) -> Mapping {
     Mapping::new(nest, l2, l1, Dim::ALL, (Dim::K, Dim::Y))
 }
 
-fn bench_analytical(c: &mut Criterion) {
+fn main() {
+    let mut b = MicroBench::new();
+
     let model = AnalyticalModel::new(TechParams::default());
     let hw = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
     let nest = conv_nest();
     let mapping = spatial_mapping(&nest);
-    c.bench_function("analytical_eval", |b| {
-        b.iter(|| model.evaluate(&hw, &mapping, &nest).expect("feasible"))
+    b.run("analytical_eval", || {
+        model.evaluate(&hw, &mapping, &nest).expect("feasible")
     });
-}
 
-fn bench_loop_centric(c: &mut Criterion) {
-    let model = LoopCentricModel::new(TechParams::default());
-    let hw = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
-    let nest = conv_nest();
-    let mapping = spatial_mapping(&nest);
-    c.bench_function("loop_centric_eval", |b| {
-        b.iter(|| model.evaluate(&hw, &mapping, &nest).expect("feasible"))
+    let loop_model = LoopCentricModel::new(TechParams::default());
+    b.run("loop_centric_eval", || {
+        loop_model.evaluate(&hw, &mapping, &nest).expect("feasible")
     });
-}
 
-fn bench_camodel(c: &mut Criterion) {
-    let model = AscendModel::default();
-    let hw = AscendConfig::expert_default();
-    let nest = conv_nest();
-    let mapping = DepthFirstFusionSearch::seed_mapping(&hw, &nest);
-    c.bench_function("camodel_eval", |b| {
-        b.iter(|| model.evaluate(&hw, &mapping, &nest).expect("feasible"))
+    let ca_model = AscendModel::default();
+    let ca_hw = AscendConfig::expert_default();
+    let ca_mapping = DepthFirstFusionSearch::seed_mapping(&ca_hw, &nest);
+    b.run("camodel_eval", || {
+        ca_model
+            .evaluate(&ca_hw, &ca_mapping, &nest)
+            .expect("feasible")
     });
-}
 
-criterion_group!(benches, bench_analytical, bench_loop_centric, bench_camodel);
-criterion_main!(benches);
+    println!("\n{}", b.to_markdown());
+}

@@ -1,14 +1,19 @@
 //! Outer-loop benchmarks: one UNICO MOBO iteration, one NSGA-II
-//! generation, and a full successive-halving round over a batch of
-//! hardware sessions.
+//! generation, a full successive-halving round over a batch of hardware
+//! sessions, and the pool-setup comparison between the persistent
+//! mapping engine and respawn-per-round execution.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use unico_bench::microbench::MicroBench;
 use unico_core::{Unico, UnicoConfig};
 use unico_model::{Platform, SpatialPlatform};
 use unico_search::sh::{self, ShConfig};
-use unico_search::{run_nsga2, CoSearchEnv, EnvConfig, Nsga2Config};
+use unico_search::{
+    advance_pooled, advance_with_engine, run_nsga2, CoSearchEnv, EnvConfig, HwSession,
+    MappingEngine, Nsga2Config,
+};
 use unico_workloads::zoo;
 
 fn env(platform: &SpatialPlatform) -> CoSearchEnv<'_, SpatialPlatform> {
@@ -23,62 +28,116 @@ fn env(platform: &SpatialPlatform) -> CoSearchEnv<'_, SpatialPlatform> {
     )
 }
 
-fn bench_sh_round(c: &mut Criterion) {
-    let platform = SpatialPlatform::edge();
-    let e = env(&platform);
-    c.bench_function("msh_batch8_b64", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let mut sessions: Vec<_> = (0..8)
-                .map(|i| e.session(e.platform().sample_hw(&mut rng), i))
-                .collect();
-            sh::run(&mut sessions, &ShConfig::modified(64))
-        })
+fn sessions<'e>(
+    e: &'e CoSearchEnv<'e, SpatialPlatform>,
+    n: usize,
+    seed: u64,
+) -> Vec<HwSession<'e, SpatialPlatform>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| e.session(e.platform().sample_hw(&mut rng), i as u64))
+        .collect()
+}
+
+fn bench_sh_round(b: &mut MicroBench, e: &CoSearchEnv<'_, SpatialPlatform>) {
+    let mut seed = 0u64;
+    b.run("msh_batch8_b64", || {
+        seed += 1;
+        let mut ss = sessions(e, 8, seed);
+        sh::run(&mut ss, &ShConfig::modified(64))
     });
 }
 
-fn bench_unico_iteration(c: &mut Criterion) {
-    let platform = SpatialPlatform::edge();
-    let e = env(&platform);
-    c.bench_function("unico_1iter_batch8", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            Unico::new(UnicoConfig {
-                max_iter: 1,
-                batch: 8,
-                b_max: 64,
+/// The acceptance comparison for the persistent engine: identical
+/// mapping work (N=8 sessions through doubling rounds to b_max=64),
+/// once on a pool spawned a single time and once respawning `workers`
+/// threads every round — the seed's per-round behavior.
+fn bench_pool_setup(b: &mut MicroBench, e: &CoSearchEnv<'_, SpatialPlatform>) {
+    const WORKERS: usize = 8;
+    const ROUNDS: [u64; 4] = [8, 16, 32, 64];
+
+    let engine = MappingEngine::new(WORKERS);
+    let mut seed = 0u64;
+    b.run("rounds_engine_n8_b64", || {
+        seed += 1;
+        let mut ss = sessions(e, 8, seed);
+        let select = vec![true; 8];
+        for budget in ROUNDS {
+            advance_with_engine(&engine, &mut ss, &select, budget);
+        }
+    });
+
+    let mut seed = 0u64;
+    b.run("rounds_respawn_n8_b64", || {
+        seed += 1;
+        let mut ss = sessions(e, 8, seed);
+        let select = vec![true; 8];
+        for budget in ROUNDS {
+            advance_pooled(&mut ss, &select, budget, WORKERS);
+        }
+    });
+}
+
+fn bench_unico_iteration(b: &mut MicroBench, e: &CoSearchEnv<'_, SpatialPlatform>) {
+    let mut seed = 0u64;
+    b.run("unico_1iter_batch8", || {
+        seed += 1;
+        Unico::new(UnicoConfig {
+            max_iter: 1,
+            batch: 8,
+            b_max: 64,
+            seed,
+            candidate_pool: 64,
+            ..UnicoConfig::default()
+        })
+        .run(e)
+    });
+}
+
+fn bench_nsga_generation(b: &mut MicroBench, e: &CoSearchEnv<'_, SpatialPlatform>) {
+    let mut seed = 0u64;
+    b.run("nsga2_1gen_pop8", || {
+        seed += 1;
+        run_nsga2(
+            e,
+            &Nsga2Config {
+                population: 8,
+                generations: 1,
+                inner_budget: 64,
                 seed,
-                candidate_pool: 64,
-                ..UnicoConfig::default()
-            })
-            .run(&e)
-        })
+                ..Nsga2Config::default()
+            },
+        )
     });
 }
 
-fn bench_nsga_generation(c: &mut Criterion) {
+fn main() {
     let platform = SpatialPlatform::edge();
     let e = env(&platform);
-    c.bench_function("nsga2_1gen_pop8", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            run_nsga2(
-                &e,
-                &Nsga2Config {
-                    population: 8,
-                    generations: 1,
-                    inner_budget: 64,
-                    seed,
-                    ..Nsga2Config::default()
-                },
-            )
-        })
-    });
-}
+    let mut b = MicroBench::new();
+    bench_sh_round(&mut b, &e);
+    bench_pool_setup(&mut b, &e);
+    bench_unico_iteration(&mut b, &e);
+    bench_nsga_generation(&mut b, &e);
+    println!("\n{}", b.to_markdown());
 
-criterion_group!(benches, bench_sh_round, bench_unico_iteration, bench_nsga_generation);
-criterion_main!(benches);
+    let engine = b
+        .rows()
+        .iter()
+        .find(|r| r.name == "rounds_engine_n8_b64")
+        .map(|r| r.median_ns);
+    let respawn = b
+        .rows()
+        .iter()
+        .find(|r| r.name == "rounds_respawn_n8_b64")
+        .map(|r| r.median_ns);
+    if let (Some(engine), Some(respawn)) = (engine, respawn) {
+        println!(
+            "pool setup: persistent engine {:.3} ms vs respawn {:.3} ms per 4-round advance \
+             ({:+.1}% delta)",
+            engine / 1e6,
+            respawn / 1e6,
+            100.0 * (respawn - engine) / engine
+        );
+    }
+}

@@ -2,10 +2,10 @@
 //! scaling and hypervolume computation — the sequential overheads the
 //! outer MOBO loop pays every iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use unico_bench::microbench::MicroBench;
 use unico_surrogate::hypervolume::hypervolume;
 use unico_surrogate::scalarize::{parego, sample_simplex};
 use unico_surrogate::{GaussianProcess, KernelKind};
@@ -21,51 +21,46 @@ fn training_set(n: usize, dim: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f
     (xs, ys)
 }
 
-fn bench_gp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gp");
+fn bench_gp(b: &mut MicroBench) {
     for &n in &[50usize, 150, 300] {
         let mut rng = StdRng::seed_from_u64(1);
         let (xs, ys) = training_set(n, 6, &mut rng);
-        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
-            b.iter(|| {
-                let mut gp = GaussianProcess::new(KernelKind::Matern52, 6);
-                gp.fit(&xs, &ys, &mut rng).expect("fit");
-                gp
-            })
+        b.run(&format!("gp_fit/{n}"), || {
+            let mut gp = GaussianProcess::new(KernelKind::Matern52, 6);
+            gp.fit(&xs, &ys, &mut rng).expect("fit");
+            gp
         });
         let mut gp = GaussianProcess::new(KernelKind::Matern52, 6);
         gp.fit(&xs, &ys, &mut rng).expect("fit");
-        group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
-            let x = vec![0.3; 6];
-            b.iter(|| gp.predict(&x))
-        });
+        let x = vec![0.3; 6];
+        b.run(&format!("gp_predict/{n}"), || gp.predict(&x));
     }
-    group.finish();
 }
 
-fn bench_hypervolume(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hypervolume");
+fn bench_hypervolume(b: &mut MicroBench) {
     let mut rng = StdRng::seed_from_u64(2);
     for &(d, n) in &[(2usize, 50usize), (3, 50), (4, 30)] {
         let pts: Vec<Vec<f64>> = (0..n)
             .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
             .collect();
         let reference = vec![1.1; d];
-        group.bench_with_input(
-            BenchmarkId::new(format!("{d}d"), n),
-            &n,
-            |b, _| b.iter(|| hypervolume(&pts, &reference)),
-        );
+        b.run(&format!("hypervolume/{d}d/{n}"), || {
+            hypervolume(&pts, &reference)
+        });
     }
-    group.finish();
 }
 
-fn bench_scalarization(c: &mut Criterion) {
+fn bench_scalarization(b: &mut MicroBench) {
     let mut rng = StdRng::seed_from_u64(3);
     let w = sample_simplex(&mut rng, 4);
     let y = vec![0.2, 0.5, 0.7, 0.1];
-    c.bench_function("parego_scalar", |b| b.iter(|| parego(&y, &w, 0.2)));
+    b.run("parego_scalar", || parego(&y, &w, 0.2));
 }
 
-criterion_group!(benches, bench_gp, bench_hypervolume, bench_scalarization);
-criterion_main!(benches);
+fn main() {
+    let mut b = MicroBench::new();
+    bench_gp(&mut b);
+    bench_hypervolume(&mut b);
+    bench_scalarization(&mut b);
+    println!("\n{}", b.to_markdown());
+}

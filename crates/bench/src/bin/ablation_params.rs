@@ -17,7 +17,10 @@ use unico_workloads::zoo;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("ablation_params: scale={}, seed={}", cli.scale_name, cli.seed);
+    eprintln!(
+        "ablation_params: scale={}, seed={}",
+        cli.scale_name, cli.seed
+    );
     let platform = Scenario::Edge.platform();
     let networks = vec![zoo::unet(), zoo::bert_base()];
     let env = scenario_env(
@@ -66,8 +69,7 @@ fn main() {
             (name, res.trace)
         })
         .collect();
-    let refs: Vec<(String, &SearchTrace)> =
-        runs.iter().map(|(n, t)| (n.clone(), t)).collect();
+    let refs: Vec<(String, &SearchTrace)> = runs.iter().map(|(n, t)| (n.clone(), t)).collect();
     let rows = hypervolumes(&refs);
 
     let mut t = Table::new(vec!["Variant", "Hypervolume", "vs default"]);
@@ -83,7 +85,12 @@ fn main() {
             r.variant, r.hypervolume, r.vs_hasco_pct
         ));
     }
-    println!("Parameter ablations (baseline = paper defaults)\n{}", t.to_markdown());
+    println!(
+        "Parameter ablations (baseline = paper defaults)\n{}",
+        t.to_markdown()
+    );
     let path = cli.write_artifact("ablation_params.csv", &csv);
     eprintln!("wrote {}", path.display());
+    let report = cli.write_run_report("ablation_params");
+    eprintln!("wrote {}", report.display());
 }

@@ -39,4 +39,6 @@ fn main() {
     println!("Fig. 10 (ablation)\n{}", t.to_markdown());
     let path = cli.write_artifact("fig10_ablation.csv", &csv);
     eprintln!("wrote {}", path.display());
+    let report = cli.write_run_report("fig10");
+    eprintln!("wrote {}", report.display());
 }

@@ -18,7 +18,10 @@ fn main() {
     let mut t = Table::new(vec!["Network", "Latency saving", "Power saving"]);
     let mut csv = String::from("network,latency_saving_pct,power_saving_pct\n");
     for r in &res.rows {
-        let cell = |v: Option<f64>| v.map(|x| format!("{x:+.1}%")).unwrap_or_else(|| "n/a".into());
+        let cell = |v: Option<f64>| {
+            v.map(|x| format!("{x:+.1}%"))
+                .unwrap_or_else(|| "n/a".into())
+        };
         t.row(vec![
             r.network.clone(),
             cell(r.latency_saving_pct),
@@ -27,8 +30,12 @@ fn main() {
         csv.push_str(&format!(
             "{},{},{}\n",
             r.network,
-            r.latency_saving_pct.map(|v| format!("{v:.3}")).unwrap_or_default(),
-            r.power_saving_pct.map(|v| format!("{v:.3}")).unwrap_or_default()
+            r.latency_saving_pct
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_default(),
+            r.power_saving_pct
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_default()
         ));
     }
     println!("Fig. 11 (Ascend-like deployment)\n{}", t.to_markdown());
@@ -37,4 +44,6 @@ fn main() {
     }
     let path = cli.write_artifact("fig11_savings.csv", &csv);
     eprintln!("wrote {}", path.display());
+    let report = cli.write_run_report("fig11");
+    eprintln!("wrote {}", report.display());
 }

@@ -54,4 +54,6 @@ fn main() {
             }
         }
     }
+    let report = cli.write_run_report("fig7");
+    eprintln!("wrote {}", report.display());
 }

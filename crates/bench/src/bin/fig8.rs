@@ -58,4 +58,6 @@ fn main() {
     );
     let path = cli.write_artifact("fig8_pairs.csv", &csv);
     eprintln!("wrote {}", path.display());
+    let report = cli.write_run_report("fig8");
+    eprintln!("wrote {}", report.display());
 }

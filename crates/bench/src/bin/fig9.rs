@@ -28,7 +28,10 @@ fn main() {
         ]);
         csv.push_str(&format!(
             "{},{:.6},{:.6},{:.6}\n",
-            row.network, row.unico_hv, row.hasco_hv, row.gain()
+            row.network,
+            row.unico_hv,
+            row.hasco_hv,
+            row.gain()
         ));
     }
     println!("{}", t.to_markdown());
@@ -66,12 +69,21 @@ fn main() {
         ]);
         csv2.push_str(&format!(
             "{},{:.6},{:.6},{:.6}\n",
-            row.network, row.unico_hv, row.hasco_hv, row.gain()
+            row.network,
+            row.unico_hv,
+            row.hasco_hv,
+            row.gain()
         ));
     }
-    println!("\nRobustness-objective ablation (same UNICO config, R on vs off)\n{}", t2.to_markdown());
+    println!(
+        "\nRobustness-objective ablation (same UNICO config, R on vs off)\n{}",
+        t2.to_markdown()
+    );
     if let Some(m) = ab.mean_gain() {
-        println!("mean per-network validation-HV gain from R: {:+.1}%", m * 100.0);
+        println!(
+            "mean per-network validation-HV gain from R: {:+.1}%",
+            m * 100.0
+        );
     }
     println!(
         "suite-aggregate validation-HV gain from R:  {:+.1}%",
@@ -81,12 +93,10 @@ fn main() {
         let gains = across_seeds(cli.seed, cli.repeats, |s| {
             run_r_ablation(&cli.scale, s).aggregate_gain()
         });
-        println!(
-            "R-gain over {} seeds: {}",
-            cli.repeats,
-            Stats::of(&gains)
-        );
+        println!("R-gain over {} seeds: {}", cli.repeats, Stats::of(&gains));
     }
     let path2 = cli.write_artifact("fig9_r_ablation.csv", &csv2);
     eprintln!("wrote {}", path2.display());
+    let report = cli.write_run_report("fig9");
+    eprintln!("wrote {}", report.display());
 }

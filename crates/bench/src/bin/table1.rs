@@ -28,4 +28,6 @@ fn main() {
         );
         eprintln!("wrote {}", path.display());
     }
+    let report = cli.write_run_report("table1");
+    eprintln!("wrote {}", report.display());
 }

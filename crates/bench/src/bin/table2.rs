@@ -25,4 +25,6 @@ fn main() {
     }
     let path = cli.write_artifact("table2.csv", &csv);
     eprintln!("wrote {}", path.display());
+    let report = cli.write_run_report("table2");
+    eprintln!("wrote {}", report.display());
 }

@@ -1,18 +1,24 @@
-//! Shared plumbing for the experiment binaries: CLI parsing and output
-//! management.
+//! Shared plumbing for the experiment binaries: CLI parsing, output
+//! management, run-report emission, and a dependency-free wall-clock
+//! micro-benchmark harness.
 //!
 //! Every binary regenerates one table or figure of the paper and accepts
 //! `--scale smoke|quick|paper` (default `quick`), `--seed <u64>` and
 //! `--out <dir>` (default `results/`). Outputs are written both to
-//! stdout (markdown) and as CSV files for plotting.
+//! stdout (markdown) and as CSV files for plotting; every binary also
+//! writes a structured JSON run-report (`<name>.report.json`, schema
+//! `unico.run_report.v1`) next to its CSVs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod microbench;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use unico_core::experiments::Scale;
+use unico_search::Telemetry;
 
 /// Parsed command-line options common to all experiment binaries.
 #[derive(Debug, Clone)]
@@ -107,6 +113,18 @@ impl Cli {
         fs::write(&path, contents).expect("write artifact");
         path
     }
+
+    /// Snapshots the process-wide [`Telemetry`] into a JSON run-report
+    /// and writes it as `<name>.report.json` next to the CSV artifacts;
+    /// returns the written path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors.
+    pub fn write_run_report(&self, name: &str) -> PathBuf {
+        let report = Telemetry::global().report(name);
+        self.write_artifact(&format!("{name}.report.json"), &report.to_json())
+    }
 }
 
 /// Writes `contents` to `path`, creating parent directories.
@@ -141,7 +159,14 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let c = Cli::parse_from(args(&[
-            "--scale", "smoke", "--seed", "42", "--out", "/tmp/x", "--repeats", "3",
+            "--scale",
+            "smoke",
+            "--seed",
+            "42",
+            "--out",
+            "/tmp/x",
+            "--repeats",
+            "3",
         ]));
         assert_eq!(c.scale_name, "smoke");
         assert_eq!(c.seed, 42);
@@ -174,6 +199,25 @@ mod tests {
         };
         let p = c.write_artifact("t.csv", "a,b\n1,2\n");
         assert!(p.exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn run_report_written_as_json() {
+        let dir = std::env::temp_dir().join("unico-bench-report-test");
+        let c = Cli {
+            scale: Scale::smoke(),
+            scale_name: "smoke".into(),
+            seed: 0,
+            repeats: 1,
+            out_dir: dir.clone(),
+        };
+        let p = c.write_run_report("unit");
+        assert_eq!(p.file_name().unwrap(), "unit.report.json");
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.contains("\"schema\":\"unico.run_report.v1\""));
+        assert!(body.contains("\"phases_s\""));
+        assert!(body.contains("\"counters\""));
         std::fs::remove_dir_all(dir).ok();
     }
 }

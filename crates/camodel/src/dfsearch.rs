@@ -53,21 +53,29 @@ impl DepthFirstFusionSearch {
     /// Builds one ladder candidate: `n_mult` cube-N columns per tile,
     /// `k_mult` cube-K reduction blocks per tile, `depth_div` divides the
     /// fused row extent staged in L1.
-    fn build(hw: &AscendConfig, nest: &LoopNest, n_mult: u64, k_mult: u64, depth_div: u64) -> Mapping {
+    fn build(
+        hw: &AscendConfig,
+        nest: &LoopNest,
+        n_mult: u64,
+        k_mult: u64,
+        depth_div: u64,
+    ) -> Mapping {
         let ext = nest.extents();
         let mut l1 = [1u64; DIM_COUNT];
         l1[Dim::R.index()] = ext[Dim::R.index()];
         l1[Dim::S.index()] = ext[Dim::S.index()];
         l1[Dim::K.index()] = (u64::from(hw.cube_n) * n_mult).min(ext[Dim::K.index()]);
-        let k_budget = (u64::from(hw.cube_k) * k_mult)
-            .max(ext[Dim::R.index()] * ext[Dim::S.index()]);
+        let k_budget =
+            (u64::from(hw.cube_k) * k_mult).max(ext[Dim::R.index()] * ext[Dim::S.index()]);
         l1[Dim::C.index()] =
             (k_budget / (ext[Dim::R.index()] * ext[Dim::S.index()])).clamp(1, ext[Dim::C.index()]);
         // Fill the M side of L0A / L0C with output pixels.
         let k_tile = l1[Dim::C.index()] * l1[Dim::R.index()] * l1[Dim::S.index()];
         let n_tile = l1[Dim::K.index()];
-        let m_from_a = (u64::from(hw.l0a_kb) * 1024 / u64::from(hw.l0a_banks)) / (k_tile * 2).max(1);
-        let m_from_c = (u64::from(hw.l0c_kb) * 1024 / u64::from(hw.l0c_banks)) / (n_tile * 4).max(1);
+        let m_from_a =
+            (u64::from(hw.l0a_kb) * 1024 / u64::from(hw.l0a_banks)) / (k_tile * 2).max(1);
+        let m_from_c =
+            (u64::from(hw.l0c_kb) * 1024 / u64::from(hw.l0c_banks)) / (n_tile * 4).max(1);
         let m_from_ub = (u64::from(hw.ub_kb) * 1024) / (n_tile * 4).max(1);
         let m_budget = m_from_a.min(m_from_c).min(m_from_ub).max(1);
         l1[Dim::X.index()] = ext[Dim::X.index()].min(m_budget);
@@ -75,7 +83,9 @@ impl DepthFirstFusionSearch {
         // Fusion (L2) tile: full tensor but output rows split depth-first
         // so the working set fits L1.
         let mut l2 = ext;
-        l2[Dim::Y.index()] = (ext[Dim::Y.index()] / depth_div).max(l1[Dim::Y.index()]).max(1);
+        l2[Dim::Y.index()] = (ext[Dim::Y.index()] / depth_div)
+            .max(l1[Dim::Y.index()])
+            .max(1);
         // Depth-first order: fused rows outermost, reduction innermost.
         let order = [Dim::N, Dim::Y, Dim::X, Dim::K, Dim::C, Dim::R, Dim::S];
         let mut mapping = Mapping::new(nest, l2, l1, order, (Dim::K, Dim::Y));
@@ -253,9 +263,7 @@ mod tests {
         };
         let m_small = DepthFirstFusionSearch::seed_mapping(&small, &n);
         let m_big = DepthFirstFusionSearch::seed_mapping(&big, &n);
-        let mtile = |m: &Mapping| {
-            m.l1_tile()[Dim::Y.index()] * m.l1_tile()[Dim::X.index()]
-        };
+        let mtile = |m: &Mapping| m.l1_tile()[Dim::Y.index()] * m.l1_tile()[Dim::X.index()];
         assert!(mtile(&m_big) >= mtile(&m_small));
     }
 }

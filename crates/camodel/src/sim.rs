@@ -293,11 +293,12 @@ impl AscendModel {
         let macs = nest.macs() as f64;
         // Cube beats waste energy on padding when tile dims don't divide
         // the intrinsic.
-        let cube_energy =
-            (cube_beats - t.cube_pipe_depth) * hw.cube_macs() as f64 * t.e_mac_pj
-                * total_tiles as f64;
-        let l0_bytes = ((fp1.input + fp1.weight) as f64 + (g.m * g.n * 4) as f64)
+        let cube_energy = (cube_beats - t.cube_pipe_depth)
+            * hw.cube_macs() as f64
+            * t.e_mac_pj
             * total_tiles as f64;
+        let l0_bytes =
+            ((fp1.input + fp1.weight) as f64 + (g.m * g.n * 4) as f64) * total_tiles as f64;
         let l1_bytes = (fp1.total() * total_tiles) as f64 + dram_bytes_total;
         let area = self.area_mm2(hw);
         let energy_pj = cube_energy.max(macs * t.e_mac_pj)
@@ -392,7 +393,11 @@ mod tests {
             .unwrap();
         assert!(ppa.latency_s > 0.0);
         assert!(ppa.power_mw > 0.0);
-        assert!((5.0..200.0).contains(&ppa.area_mm2), "area {}", ppa.area_mm2);
+        assert!(
+            (5.0..200.0).contains(&ppa.area_mm2),
+            "area {}",
+            ppa.area_mm2
+        );
     }
 
     #[test]
@@ -475,7 +480,11 @@ mod tests {
         }
         .to_loop_nest();
         assert!(m.eval_cost_seconds(&big) > cost);
-        assert_eq!(m.eval_cost_seconds(&big), 600.0, "huge workloads cap at 10 min");
+        assert_eq!(
+            m.eval_cost_seconds(&big),
+            600.0,
+            "huge workloads cap at 10 min"
+        );
     }
 
     #[test]
@@ -499,11 +508,7 @@ mod tests {
         for u in bd.stage_utilization {
             assert!((0.0..=1.0).contains(&u), "utilization {u}");
         }
-        let max = bd
-            .stage_utilization
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let max = bd.stage_utilization.iter().copied().fold(0.0f64, f64::max);
         assert!((bd.bottleneck_utilization - max).abs() < 1e-9);
         assert!(["mte2", "mte1", "cube", "fixp", "vec"].contains(&bd.bottleneck));
     }

@@ -41,7 +41,12 @@ pub struct AblationResult {
 pub fn run_ablation(scale: &Scale, seed: u64) -> AblationResult {
     let platform = Scenario::Edge.platform();
     let networks = vec![zoo::unet(), zoo::srgan(), zoo::bert_base(), zoo::vit_base()];
-    let env = scenario_env(&platform, &networks, scale, Some(Scenario::Edge.power_cap_mw()));
+    let env = scenario_env(
+        &platform,
+        &networks,
+        scale,
+        Some(Scenario::Edge.power_cap_mw()),
+    );
 
     let base_cfg = UnicoConfig {
         max_iter: scale.max_iter,
@@ -120,7 +125,8 @@ pub fn hypervolumes(traces: &[(String, &SearchTrace)]) -> Vec<AblationRow> {
         * 0.25;
     let hv_at_cutoff = |t: &SearchTrace| -> f64 {
         t.points()
-            .iter().rfind(|p| p.seconds <= cutoff + 1e-9)
+            .iter()
+            .rfind(|p| p.seconds <= cutoff + 1e-9)
             .map(|p| hv_of_front(&p.front))
             .unwrap_or(0.0)
     };
@@ -170,8 +176,7 @@ mod tests {
         let mut b = SearchTrace::new();
         b.record(0.1, vec![vec![1.0, 1.0, 1.0]]);
         b.record(1.0, vec![vec![1.0, 1.0, 1.0]]);
-        let traces: Vec<(String, &SearchTrace)> =
-            vec![("base".into(), &a), ("better".into(), &b)];
+        let traces: Vec<(String, &SearchTrace)> = vec![("base".into(), &a), ("better".into(), &b)];
         let rows = hypervolumes(&traces);
         assert_eq!(rows[0].vs_hasco_pct, 0.0);
         assert!(rows[1].vs_hasco_pct > 0.0);

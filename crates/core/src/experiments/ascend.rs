@@ -46,7 +46,11 @@ impl AscendResult {
     /// Mean power saving over the networks where both designs are
     /// feasible.
     pub fn mean_power_saving_pct(&self) -> Option<f64> {
-        let v: Vec<f64> = self.rows.iter().filter_map(|r| r.power_saving_pct).collect();
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.power_saving_pct)
+            .collect();
         if v.is_empty() {
             None
         } else {
@@ -148,11 +152,9 @@ pub fn run_ascend(scale: &Scale, seed: u64, networks: Option<Vec<Network>>) -> A
             );
             let saving = |d: Option<&Assessment>,
                           u: Option<&Assessment>,
-                          f: fn(&Assessment) -> f64| {
-                match (d, u) {
-                    (Some(d), Some(u)) => Some((f(d) - f(u)) / f(d) * 100.0),
-                    _ => None,
-                }
+                          f: fn(&Assessment) -> f64| match (d, u) {
+                (Some(d), Some(u)) => Some((f(d) - f(u)) / f(d) * 100.0),
+                _ => None,
             };
             AscendRow {
                 network: net.name().to_string(),

@@ -97,7 +97,12 @@ impl GeneralizationResult {
 pub fn run_generalization(scale: &Scale, seed: u64) -> GeneralizationResult {
     let platform = Scenario::Edge.platform();
     let train = zoo::generalization_train_suite();
-    let env = scenario_env(&platform, &train, scale, Some(Scenario::Edge.power_cap_mw()));
+    let env = scenario_env(
+        &platform,
+        &train,
+        scale,
+        Some(Scenario::Edge.power_cap_mw()),
+    );
 
     let unico_res = Unico::new(UnicoConfig {
         max_iter: scale.max_iter,
@@ -139,13 +144,7 @@ pub fn run_generalization(scale: &Scale, seed: u64) -> GeneralizationResult {
             .map(|(y, &idx)| (y[0], unico_res.evaluations[idx].hw))
             .collect(),
     );
-    let hasco_front = spread_sample(
-        hasco_res
-            .front
-            .iter()
-            .map(|(y, hw)| (y[0], *hw))
-            .collect(),
-    );
+    let hasco_front = spread_sample(hasco_res.front.iter().map(|(y, hw)| (y[0], *hw)).collect());
 
     compare_design_sets(
         &platform,
@@ -184,10 +183,7 @@ fn paired_hv(a: &[Vec<f64>], b: &[Vec<f64>]) -> (f64, f64) {
     let norm = normalize_columns(&all);
     let (an, bn) = norm.split_at(a.len());
     let reference = vec![1.1, 1.1];
-    (
-        hypervolume(an, &reference),
-        hypervolume(bn, &reference),
-    )
+    (hypervolume(an, &reference), hypervolume(bn, &reference))
 }
 
 /// Validates both design sets on every validation network once, then
@@ -304,7 +300,12 @@ fn compare_design_sets(
 pub fn run_r_ablation(scale: &Scale, seed: u64) -> GeneralizationResult {
     let platform = Scenario::Edge.platform();
     let train = zoo::generalization_train_suite();
-    let env = scenario_env(&platform, &train, scale, Some(Scenario::Edge.power_cap_mw()));
+    let env = scenario_env(
+        &platform,
+        &train,
+        scale,
+        Some(Scenario::Edge.power_cap_mw()),
+    );
     let base = UnicoConfig {
         max_iter: scale.max_iter,
         batch: scale.batch,
@@ -368,8 +369,22 @@ mod tests {
     #[test]
     fn mean_gain_averages_rows() {
         let res = GeneralizationResult {
-            unico_hw: HwConfig::new(2, 2, 512, 65536, 64, unico_model::Dataflow::WeightStationary),
-            hasco_hw: HwConfig::new(2, 2, 512, 65536, 64, unico_model::Dataflow::WeightStationary),
+            unico_hw: HwConfig::new(
+                2,
+                2,
+                512,
+                65536,
+                64,
+                unico_model::Dataflow::WeightStationary,
+            ),
+            hasco_hw: HwConfig::new(
+                2,
+                2,
+                512,
+                65536,
+                64,
+                unico_model::Dataflow::WeightStationary,
+            ),
             rows: vec![row(1.1, 1.0), row(0.9, 1.0)],
             unico_aggregate_hv: 1.2,
             hasco_aggregate_hv: 1.0,

@@ -178,12 +178,7 @@ mod tests {
 
     #[test]
     fn smoke_hv_trace() {
-        let res = run_hv_trace(
-            Scenario::Edge,
-            &[zoo::mobilenet_v1()],
-            &Scale::smoke(),
-            11,
-        );
+        let res = run_hv_trace(Scenario::Edge, &[zoo::mobilenet_v1()], &Scale::smoke(), 11);
         assert_eq!(res.methods.len(), 4);
         for m in &res.methods {
             assert!(!m.series.is_empty(), "{} trace empty", m.method);

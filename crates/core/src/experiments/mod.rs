@@ -170,9 +170,7 @@ mod tests {
         // Try a few configs until one is feasible on the tiny workload.
         for i in 0..30 {
             let hw = p.sample_hw(&mut rng);
-            if let Some(a) =
-                validate_on_network(&p, hw, &zoo::mobilenet_v1(), 1, 24, i)
-            {
+            if let Some(a) = validate_on_network(&p, hw, &zoo::mobilenet_v1(), 1, 24, i) {
                 assert!(a.latency_s > 0.0);
                 return;
             }

@@ -62,7 +62,12 @@ pub fn run_robust_pairs(
 ) -> RobustPairsResult {
     let platform = Scenario::Edge.platform();
     let train = zoo::robustness_train_suite();
-    let env = scenario_env(&platform, &train, scale, Some(Scenario::Edge.power_cap_mw()));
+    let env = scenario_env(
+        &platform,
+        &train,
+        scale,
+        Some(Scenario::Edge.power_cap_mw()),
+    );
 
     // Step 1: UNICO without the sensitivity objective.
     let result = Unico::new(
@@ -193,8 +198,22 @@ mod tests {
         let p = RobustPair {
             ids: (0, 1),
             hw: (
-                HwConfig::new(2, 2, 512, 65536, 64, unico_model::Dataflow::WeightStationary),
-                HwConfig::new(4, 4, 512, 65536, 64, unico_model::Dataflow::WeightStationary),
+                HwConfig::new(
+                    2,
+                    2,
+                    512,
+                    65536,
+                    64,
+                    unico_model::Dataflow::WeightStationary,
+                ),
+                HwConfig::new(
+                    4,
+                    4,
+                    512,
+                    65536,
+                    64,
+                    unico_model::Dataflow::WeightStationary,
+                ),
             ),
             robustness: (0.1, 0.5),
             train_latency_s: (1.0, 1.0),

@@ -222,12 +222,7 @@ mod tests {
 
     #[test]
     fn smoke_comparison_on_one_network() {
-        let c = compare_on_network(
-            Scenario::Edge,
-            &zoo::mobilenet_v1(),
-            &Scale::smoke(),
-            7,
-        );
+        let c = compare_on_network(Scenario::Edge, &zoo::mobilenet_v1(), &Scale::smoke(), 7);
         assert_eq!(c.rows.len(), 3);
         assert_eq!(c.rows[2].method, "UNICO");
         // Every method consumed simulated time.

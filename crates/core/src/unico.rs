@@ -5,7 +5,10 @@ use rand::{Rng, SeedableRng};
 
 use unico_model::Platform;
 use unico_search::sh::{self, ShConfig};
-use unico_search::{Assessment, CoSearchEnv, HwSession, SearchTrace, SimClock};
+use unico_search::{
+    Assessment, CoSearchEnv, Counter, HwSession, MappingEngine, RunReport, SearchTrace, SimClock,
+    Telemetry,
+};
 use unico_surrogate::pareto::ParetoFront;
 use unico_surrogate::scalarize::{normalize_columns, parego, sample_simplex};
 use unico_surrogate::{select_batch, AcquisitionKind, GaussianProcess, KernelKind};
@@ -130,6 +133,9 @@ pub struct UnicoResult<H> {
     pub wall_clock_s: f64,
     /// Number of hardware configurations evaluated.
     pub hw_evals: usize,
+    /// Structured telemetry snapshot of this run: phase wall-clock
+    /// timers and evaluation counters (schema `unico.run_report.v1`).
+    pub report: RunReport,
 }
 
 impl<H> UnicoResult<H> {
@@ -218,6 +224,11 @@ impl Unico {
         let obj_dim = if cfg.robustness_objective { 4 } else { 3 };
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut clock = SimClock::new(cfg.workers);
+        // One persistent worker pool for the whole run: every SH round of
+        // every MOBO iteration queues jobs here instead of respawning
+        // threads.
+        let telemetry = Telemetry::new();
+        let engine = MappingEngine::new((cfg.workers as usize).max(1));
         let mut trace = SearchTrace::new();
         let mut front: ParetoFront<usize> = ParetoFront::new();
         let mut evaluations: Vec<HwRecord<P::Hw>> = Vec::new();
@@ -238,8 +249,11 @@ impl Unico {
                 .iter()
                 .map(|(_, &idx)| evaluations[idx].hw.clone())
                 .collect();
-            let batch_hw =
-                self.sample_batch(env, &hf_xs, &hf_ys, &front_hw, &mut rng, &mut clock);
+            let batch_hw = telemetry.time("sampling", || {
+                self.sample_batch(
+                    env, &hf_xs, &hf_ys, &front_hw, &mut rng, &mut clock, &telemetry,
+                )
+            });
 
             // ---- Lines 5–9: adaptive SW mapping search with MSH. ----
             let mut sessions: Vec<HwSession<'_, P>> = batch_hw
@@ -255,7 +269,14 @@ impl Unico {
                 min_budget: 8,
                 workers: cfg.workers as usize,
             };
-            sh::run(&mut sessions, &sh_cfg);
+            telemetry.time("mapping_search", || {
+                sh::run_with_engine(&mut sessions, &sh_cfg, &engine, &telemetry)
+            });
+            telemetry.add(
+                Counter::MappingEvals,
+                sessions.iter().map(HwSession::total_steps).sum(),
+            );
+            telemetry.add(Counter::HwEvals, sessions.len() as u64);
             let cpu: f64 = sessions.iter().map(HwSession::cost_seconds).sum();
             clock.charge(cpu, (sessions.len() * env.num_jobs()) as u32);
 
@@ -321,6 +342,9 @@ impl Unico {
                             hf_ys.push(all_ys[ys_idx].clone());
                             evaluations[rec_idx].fed_surrogate = true;
                             new_d.push(d);
+                            telemetry.add(Counter::UulAccepted, 1);
+                        } else {
+                            telemetry.add(Counter::UulRejected, 1);
                         }
                     }
                     accepted_d.extend(new_d);
@@ -333,14 +357,11 @@ impl Unico {
                         hf_xs.drain(..drop);
                         hf_ys.drain(..drop);
                     }
-                } else if let Some(&(rec_idx, ys_idx)) = feasible_batch
-                    .iter()
-                    .min_by(|a, b| {
-                        scalars[a.1]
-                            .partial_cmp(&scalars[b.1])
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                {
+                } else if let Some(&(rec_idx, ys_idx)) = feasible_batch.iter().min_by(|a, b| {
+                    scalars[a.1]
+                        .partial_cmp(&scalars[b.1])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                }) {
                     // Champion update: only the batch-best sample.
                     hf_xs.push(all_xs[ys_idx].clone());
                     hf_ys.push(all_ys[ys_idx].clone());
@@ -352,12 +373,21 @@ impl Unico {
             trace.record(clock.seconds(), front.objectives());
         }
 
+        let m = engine.metrics();
+        telemetry.add(Counter::EngineJobs, m.jobs_executed);
+        telemetry.add(Counter::EngineBatches, m.batches);
+        telemetry.add(Counter::EnginePanics, m.panics_contained);
+        telemetry.add(Counter::EngineThreadsSpawned, m.threads_spawned);
+        let report = telemetry.report("unico.run");
+        Telemetry::global().absorb(&telemetry);
+
         UnicoResult {
             front,
             evaluations,
             trace,
             wall_clock_s: clock.seconds(),
             hw_evals: self.cfg.max_iter * self.cfg.batch,
+            report,
         }
     }
 
@@ -366,6 +396,7 @@ impl Unico {
     /// candidate pool mixes uniform samples with local perturbations of
     /// current Pareto designs so the acquisition can exploit the
     /// incumbent region.
+    #[allow(clippy::too_many_arguments)]
     fn sample_batch<P: Platform>(
         &self,
         env: &CoSearchEnv<'_, P>,
@@ -374,6 +405,7 @@ impl Unico {
         front_hw: &[P::Hw],
         rng: &mut StdRng,
         clock: &mut SimClock,
+        telemetry: &Telemetry,
     ) -> Vec<P::Hw> {
         let cfg = &self.cfg;
         let n_random = ((cfg.batch as f64) * cfg.random_fraction).ceil() as usize;
@@ -389,7 +421,9 @@ impl Unico {
                 .collect();
             let best = targets.iter().copied().fold(f64::INFINITY, f64::min);
             let mut gp = GaussianProcess::new(KernelKind::Matern52, env.platform().feature_dim());
-            if gp.fit(hf_xs, &targets, rng).is_ok() {
+            let fitted = telemetry.time("gp_fit", || gp.fit(hf_xs, &targets, rng).is_ok());
+            telemetry.add(Counter::GpFits, 1);
+            if fitted {
                 clock.charge_sequential(2.0);
                 let n_local = if front_hw.is_empty() {
                     0
@@ -408,13 +442,15 @@ impl Unico {
                     pool.push(cand);
                 }
                 let feats: Vec<Vec<f64>> = pool.iter().map(|h| env.platform().encode(h)).collect();
-                let picks = select_batch(
-                    gp,
-                    &feats,
-                    best,
-                    AcquisitionKind::ExpectedImprovement,
-                    n_model,
-                );
+                let picks = telemetry.time("acquisition", || {
+                    select_batch(
+                        gp,
+                        &feats,
+                        best,
+                        AcquisitionKind::ExpectedImprovement,
+                        n_model,
+                    )
+                });
                 for i in picks {
                     batch.push(pool[i].clone());
                 }
@@ -537,6 +573,26 @@ mod tests {
         assert!(mshc.auc_fraction > 0.0);
         assert!(!mshc.high_fidelity);
         assert!(!c.without_robustness().robustness_objective);
+    }
+
+    #[test]
+    fn run_report_carries_phases_and_counters() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let res = Unico::new(smoke_cfg()).run(&e);
+        let r = &res.report;
+        assert_eq!(r.name, "unico.run");
+        assert_eq!(r.counters["hw_evals"], 18);
+        assert!(r.counters["mapping_evals"] > 0);
+        assert!(r.counters["sh_rounds"] > 0);
+        assert_eq!(
+            r.counters["engine_threads_spawned"], 16,
+            "one pool for the whole run, spawned once"
+        );
+        assert!(r.counters["engine_batches"] >= r.counters["sh_rounds"]);
+        assert!(r.phases_s.contains_key("sampling"));
+        assert!(r.phases_s.contains_key("mapping_search"));
+        assert!(r.to_json().contains("unico.run_report.v1"));
     }
 
     #[test]

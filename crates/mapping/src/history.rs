@@ -1,6 +1,8 @@
 //! Search histories: monotone best-so-far curves, AUC, and the loss
 //! statistics the robustness metric consumes.
 
+use std::cell::Cell;
+
 use crate::cost::MappingOutcome;
 
 /// One evaluated (feasible) mapping in a search history.
@@ -30,6 +32,10 @@ pub struct SearchHistory {
     /// `(step, record)` improvements: records that strictly lowered the
     /// best loss.
     improvements: Vec<EvalRecord>,
+    /// Single-entry `(budget, auc)` memo: successive-halving promotion
+    /// asks for the AUC of the same round budget repeatedly, and the
+    /// scan it caches is O(budget). Invalidated by any mutation.
+    auc_memo: Cell<Option<(u64, f64)>>,
 }
 
 impl SearchHistory {
@@ -56,11 +62,13 @@ impl SearchHistory {
     /// Registers one consumed budget step with an infeasible candidate.
     pub fn push_infeasible(&mut self) {
         self.spent += 1;
+        self.auc_memo.set(None);
     }
 
     /// Registers one consumed budget step with a feasible outcome.
     pub fn push(&mut self, outcome: MappingOutcome) {
         self.spent += 1;
+        self.auc_memo.set(None);
         let rec = EvalRecord {
             step: self.spent,
             loss: outcome.loss,
@@ -111,6 +119,18 @@ impl SearchHistory {
     /// promotion rule's intent.
     pub fn auc(&self, budget: u64) -> f64 {
         let budget = budget.min(self.spent);
+        if let Some((memo_budget, memo_auc)) = self.auc_memo.get() {
+            if memo_budget == budget {
+                return memo_auc;
+            }
+        }
+        let auc = self.compute_auc(budget);
+        self.auc_memo.set(Some((budget, auc)));
+        auc
+    }
+
+    /// Uncached AUC scan; see [`SearchHistory::auc`].
+    fn compute_auc(&self, budget: u64) -> f64 {
         if budget == 0 || self.improvements.is_empty() {
             return 0.0;
         }
@@ -156,6 +176,7 @@ impl SearchHistory {
     pub fn absorb(&mut self, other: &SearchHistory) {
         let offset = self.spent;
         self.spent += other.spent;
+        self.auc_memo.set(None);
         for r in &other.records {
             let rec = EvalRecord {
                 step: r.step + offset,
@@ -240,6 +261,41 @@ mod tests {
         }
         let a = h.auc(5);
         assert!((0.0..=1.0).contains(&a), "auc {a}");
+    }
+
+    #[test]
+    fn auc_memo_survives_repeats_and_invalidates_on_mutation() {
+        let mut h = SearchHistory::new();
+        for l in [10.0, 5.0, 2.0] {
+            h.push(out(l));
+        }
+        let first = h.auc(3);
+        assert_eq!(h.auc(3), first, "repeated query must hit the memo");
+        // Different budget recomputes correctly.
+        let at_two = h.auc(2);
+        assert!(at_two <= first);
+
+        // push invalidates.
+        h.push(out(1.0));
+        let mut fresh = SearchHistory::new();
+        for l in [10.0, 5.0, 2.0, 1.0] {
+            fresh.push(out(l));
+        }
+        assert_eq!(h.auc(4), fresh.auc(4));
+
+        // absorb invalidates.
+        let mut tail = SearchHistory::new();
+        tail.push(out(0.5));
+        h.absorb(&tail);
+        fresh.push(out(0.5));
+        assert_eq!(h.auc(5), fresh.auc(5));
+
+        // push_infeasible invalidates (spent grows, curve extends).
+        let before = h.auc(h.spent());
+        h.push_infeasible();
+        fresh.push_infeasible();
+        assert_eq!(h.auc(h.spent()), fresh.auc(fresh.spent()));
+        assert!(h.auc(h.spent()) >= before * 0.9);
     }
 
     #[test]

@@ -55,7 +55,5 @@ pub use cost::{MappingCost, MappingOutcome};
 pub use history::{EvalRecord, SearchHistory};
 pub use mapping::{Footprint, Mapping};
 pub use qlearning::QLearningSearch;
-pub use search::{
-    AnnealingSearch, GeneticConfig, GeneticSearch, MappingSearcher, RandomSearch,
-};
+pub use search::{AnnealingSearch, GeneticConfig, GeneticSearch, MappingSearcher, RandomSearch};
 pub use space::MappingSpace;

@@ -174,10 +174,7 @@ impl MappingSearcher for AnnealingSearch {
                         // During warm-up the walk always tracks the
                         // incumbent so annealing starts from the best
                         // random sample.
-                        self.current = self
-                            .incumbent
-                            .get()
-                            .map(|(m, b)| (m.clone(), b.loss));
+                        self.current = self.incumbent.get().map(|(m, b)| (m.clone(), b.loss));
                     } else if accept {
                         self.current = Some((candidate.clone(), o.loss));
                     }
@@ -198,10 +195,7 @@ impl MappingSearcher for AnnealingSearch {
             }
             if self.since_improvement >= self.restart_after {
                 // Restart the walk from the incumbent (or fresh if none).
-                self.current = self
-                    .incumbent
-                    .get()
-                    .map(|(m, o)| (m.clone(), o.loss));
+                self.current = self.incumbent.get().map(|(m, o)| (m.clone(), o.loss));
                 self.since_improvement = 0;
             }
         }
@@ -418,11 +412,8 @@ mod tests {
 
     #[test]
     fn genetic_makes_progress() {
-        let mut ga = GeneticSearch::new(
-            space(),
-            StdRng::seed_from_u64(9),
-            GeneticConfig::default(),
-        );
+        let mut ga =
+            GeneticSearch::new(space(), StdRng::seed_from_u64(9), GeneticConfig::default());
         ga.run_until(&Structured, 200);
         assert_eq!(ga.history().spent(), 200);
         let (m, o) = ga.best().expect("feasible best");

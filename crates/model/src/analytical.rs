@@ -116,8 +116,7 @@ impl AnalyticalModel {
             * e2.div_ceil(u64::from(hw.pe_y())) as f64
             * serial as f64;
         let compute_cycles = t2 * t1 * cycles_per_l1_tile;
-        let utilization =
-            nest.macs() as f64 / (compute_cycles * hw.num_pes() as f64).max(1.0);
+        let utilization = nest.macs() as f64 / (compute_cycles * hw.num_pes() as f64).max(1.0);
 
         // --- NoC traffic: L2 -> L1 per L2 tile, summed over L2 tiles. ---
         let l1_trips = mapping.l1_trip_counts();

@@ -51,7 +51,10 @@ impl HwConfig {
         dataflow: Dataflow,
     ) -> Self {
         assert!(pe_x > 0 && pe_y > 0, "PE array dims must be positive");
-        assert!(l1_bytes > 0 && l2_bytes > 0, "buffer sizes must be positive");
+        assert!(
+            l1_bytes > 0 && l2_bytes > 0,
+            "buffer sizes must be positive"
+        );
         assert!(noc_bytes_per_cycle > 0, "NoC bandwidth must be positive");
         HwConfig {
             pe_x,
@@ -291,7 +294,11 @@ impl HwSpace {
             f64::from(hw.pe_y) / pe_max,
             lerp((hw.l1_bytes as f64).ln(), l1_lo, l1_hi),
             lerp((hw.l2_bytes as f64).ln(), l2_lo, l2_hi),
-            if hw.noc_bytes_per_cycle >= 128 { 1.0 } else { 0.0 },
+            if hw.noc_bytes_per_cycle >= 128 {
+                1.0
+            } else {
+                0.0
+            },
             match hw.dataflow {
                 Dataflow::WeightStationary => 0.0,
                 Dataflow::OutputStationary => 1.0,

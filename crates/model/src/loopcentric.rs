@@ -196,13 +196,23 @@ impl LoopCentricModel {
             if tensor == stationary {
                 continue; // served from the register file
             }
-            let per_mac = if tensor == TensorKind::Output { 2.0 } else { 1.0 };
+            let per_mac = if tensor == TensorKind::Output {
+                2.0
+            } else {
+                1.0
+            };
             l1_read += macs * bf * per_mac;
         }
         l1_write += macs * bf; // output updates land in L1 eventually
 
         // Register file: the stationary tensor's per-MAC traffic.
-        let rf_read = macs * bf * if stationary == TensorKind::Output { 2.0 } else { 1.0 };
+        let rf_read = macs
+            * bf
+            * if stationary == TensorKind::Output {
+                2.0
+            } else {
+                1.0
+            };
         let rf_write = macs * bf * 0.25; // periodic refills
 
         // ---- Per-level cycle bounds. ----
@@ -216,7 +226,11 @@ impl LoopCentricModel {
         let levels = [
             mk(dram_read, dram_write, t.dram_bytes_per_cycle),
             mk(l2_read, l2_write, self.l2_bytes_per_cycle),
-            mk(l1_read, l1_write, noc_bw.max(1.0) * active_pes as f64 / hw.num_pes() as f64 + rf_bw),
+            mk(
+                l1_read,
+                l1_write,
+                noc_bw.max(1.0) * active_pes as f64 / hw.num_pes() as f64 + rf_bw,
+            ),
             mk(rf_read, rf_write, rf_bw),
         ];
 
@@ -241,8 +255,7 @@ impl LoopCentricModel {
                 bottleneck = i;
             }
         }
-        let total_cycles =
-            worst + t2 * t.tile_overhead_cycles + t.launch_overhead_cycles;
+        let total_cycles = worst + t2 * t.tile_overhead_cycles + t.launch_overhead_cycles;
         let latency_s = total_cycles / t.clock_hz;
 
         // ---- Energy: per-level per-byte + MACs + leakage. ----

@@ -51,8 +51,11 @@ pub trait Platform: Sync {
     fn hw_space_size(&self) -> u64;
 
     /// Binds a PPA cost oracle to `(hw, nest)` for mapping search.
-    fn bind<'a>(&'a self, hw: &Self::Hw, nest: &LoopNest)
-        -> Box<dyn MappingCost + Send + Sync + 'a>;
+    fn bind<'a>(
+        &'a self,
+        hw: &Self::Hw,
+        nest: &LoopNest,
+    ) -> Box<dyn MappingCost + Send + Sync + 'a>;
 
     /// Creates this platform's software-mapping search tool for
     /// `(hw, nest)` (e.g. FlexTensor-style annealing for the spatial
@@ -322,7 +325,11 @@ mod tests {
             stride: 1,
         }
         .to_loop_nest();
-        for tool in [MappingTool::Annealing, MappingTool::Genetic, MappingTool::QLearning] {
+        for tool in [
+            MappingTool::Annealing,
+            MappingTool::Genetic,
+            MappingTool::QLearning,
+        ] {
             let p = SpatialPlatform::edge().with_mapping_tool(tool);
             assert_eq!(p.mapping_tool(), tool);
             let mut rng = StdRng::seed_from_u64(21);

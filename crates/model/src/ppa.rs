@@ -138,6 +138,8 @@ mod tests {
             available: 5,
         };
         assert!(e.to_string().contains("l1 overflow"));
-        assert!(EvalError::DegenerateSpatial.to_string().contains("degenerate"));
+        assert!(EvalError::DegenerateSpatial
+            .to_string()
+            .contains("degenerate"));
     }
 }

@@ -96,6 +96,8 @@ mod tests {
 
     #[test]
     fn cloud_has_more_dram_bandwidth() {
-        assert!(TechParams::cloud().dram_bytes_per_cycle > TechParams::default().dram_bytes_per_cycle);
+        assert!(
+            TechParams::cloud().dram_bytes_per_cycle > TechParams::default().dram_bytes_per_cycle
+        );
     }
 }

@@ -80,11 +80,7 @@ pub fn tensor_loads(
 
 /// Minimal possible number of fetches of a tensor: the number of its
 /// distinct tiles (product of dependent trip counts).
-pub fn tensor_min_loads(
-    tensor: TensorKind,
-    nest: &LoopNest,
-    trips: &[u64; DIM_COUNT],
-) -> u64 {
+pub fn tensor_min_loads(tensor: TensorKind, nest: &LoopNest, trips: &[u64; DIM_COUNT]) -> u64 {
     tensor
         .dependent_dims(nest)
         .iter()

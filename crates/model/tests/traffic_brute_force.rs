@@ -109,8 +109,14 @@ fn brute_force_oracle_sanity() {
     trips[Dim::Y.index()] = 3;
     // Y inside K: weight fetched twice.
     let order = [Dim::N, Dim::K, Dim::C, Dim::R, Dim::S, Dim::X, Dim::Y];
-    assert_eq!(brute_force_loads(TensorKind::Weight, &nest, &trips, &order), 2);
+    assert_eq!(
+        brute_force_loads(TensorKind::Weight, &nest, &trips, &order),
+        2
+    );
     // Y outside K: weight refetched per (Y, K) pair = 6.
     let order2 = [Dim::Y, Dim::K, Dim::C, Dim::R, Dim::S, Dim::X, Dim::N];
-    assert_eq!(brute_force_loads(TensorKind::Weight, &nest, &trips, &order2), 6);
+    assert_eq!(
+        brute_force_loads(TensorKind::Weight, &nest, &trips, &order2),
+        6
+    );
 }

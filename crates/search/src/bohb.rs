@@ -14,8 +14,10 @@ use unico_surrogate::pareto::ParetoFront;
 use unico_surrogate::scalarize::{normalize_columns, parego, sample_simplex, DEFAULT_RHO};
 use unico_surrogate::{select_batch, AcquisitionKind, GaussianProcess, KernelKind};
 
+use crate::engine::MappingEngine;
 use crate::env::{CoSearchEnv, HwSession};
 use crate::sh::{self, ShConfig};
+use crate::telemetry::Telemetry;
 use crate::trace::{SearchTrace, SimClock};
 use crate::CoSearchResult;
 
@@ -73,6 +75,8 @@ where
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<Vec<f64>> = Vec::new();
     let mut hw_evals = 0usize;
+    // One worker pool for all iterations; SH rounds reuse its threads.
+    let engine = MappingEngine::new((cfg.workers as usize).max(1));
 
     for iter in 0..cfg.iterations {
         // --- Assemble the batch: model-guided + random shares. ---
@@ -93,8 +97,7 @@ where
                 let pool: Vec<P::Hw> = (0..cfg.candidate_pool)
                     .map(|_| env.platform().sample_hw(&mut rng))
                     .collect();
-                let feats: Vec<Vec<f64>> =
-                    pool.iter().map(|h| env.platform().encode(h)).collect();
+                let feats: Vec<Vec<f64>> = pool.iter().map(|h| env.platform().encode(h)).collect();
                 let picks = select_batch(
                     gp,
                     &feats,
@@ -117,7 +120,12 @@ where
             .enumerate()
             .map(|(i, hw)| env.session(hw, cfg.seed.wrapping_add((iter * 131 + i) as u64)))
             .collect();
-        sh::run(&mut sessions, &ShConfig::plain(cfg.b_max));
+        sh::run_with_engine(
+            &mut sessions,
+            &ShConfig::plain(cfg.b_max),
+            &engine,
+            Telemetry::global(),
+        );
         let cpu: f64 = sessions.iter().map(HwSession::cost_seconds).sum();
         clock.charge(cpu, (cfg.batch * env.num_jobs()) as u32);
         hw_evals += sessions.len();

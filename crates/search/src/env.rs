@@ -128,6 +128,7 @@ impl<'p, P: Platform> CoSearchEnv<'p, P> {
             num_networks: self.networks.len(),
             power_cap_mw: self.cfg.power_cap_mw,
             area_cap_mm2: self.cfg.area_cap_mm2,
+            poisoned: false,
             jobs,
         }
     }
@@ -159,6 +160,7 @@ pub struct HwSession<'e, P: Platform> {
     num_networks: usize,
     power_cap_mw: Option<f64>,
     area_cap_mm2: Option<f64>,
+    poisoned: bool,
     jobs: Vec<Job<'e>>,
 }
 
@@ -178,6 +180,19 @@ impl<P: Platform> HwSession<'_, P> {
         for job in &mut self.jobs {
             job.searcher.run_until(job.cost.as_ref(), budget);
         }
+    }
+
+    /// Marks the session infeasible because its mapping search died
+    /// (e.g. a worker panic contained by the execution engine). A
+    /// poisoned session assesses as infeasible at every budget but
+    /// keeps its partial histories for debugging.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Whether [`HwSession::poison`] was called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Per-job budget already consumed (max over jobs).
@@ -212,6 +227,9 @@ impl<P: Platform> HwSession<'_, P> {
     /// first `budget` steps of every job. Returns `None` if any job has
     /// no feasible mapping by then, or a power/area cap is violated.
     pub fn assess_at(&self, budget: u64) -> Option<Assessment> {
+        if self.poisoned {
+            return None;
+        }
         if let Some(cap) = self.area_cap_mm2 {
             if self.area_mm2 > cap {
                 return None;
@@ -256,9 +274,15 @@ impl<P: Platform> HwSession<'_, P> {
         self.assess().map_or(f64::INFINITY, |a| a.latency_s)
     }
 
+    /// Total budget steps consumed across all jobs (the session's
+    /// mapping-evaluation count for telemetry).
+    pub fn total_steps(&self) -> u64 {
+        self.jobs.iter().map(|j| j.searcher.history().spent()).sum()
+    }
+
     /// Mean convergence-rate AUC across jobs within `budget` steps.
     pub fn auc_at(&self, budget: u64) -> f64 {
-        if self.jobs.is_empty() {
+        if self.jobs.is_empty() || self.poisoned {
             return 0.0;
         }
         self.jobs
@@ -280,6 +304,11 @@ fn geometric_mean(values: &[f64]) -> f64 {
 
 /// Advances the selected sessions to `budget` in parallel (one thread
 /// per session — the paper's per-job multiprocessing).
+///
+/// This is the *transient* path: it spawns one scoped thread per
+/// selected session and joins them before returning. Steady-state
+/// callers should prefer [`crate::advance_with_engine`] on a persistent
+/// [`crate::MappingEngine`] instead.
 pub fn advance_parallel<P: Platform>(
     sessions: &mut [HwSession<'_, P>],
     select: &[bool],
@@ -288,14 +317,13 @@ pub fn advance_parallel<P: Platform>(
     P::Hw: Send,
 {
     assert_eq!(sessions.len(), select.len(), "selection mask length");
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (sess, &on) in sessions.iter_mut().zip(select) {
             if on {
-                scope.spawn(move |_| sess.advance_to(budget));
+                scope.spawn(move || sess.advance_to(budget));
             }
         }
-    })
-    .expect("session worker panicked");
+    });
 }
 
 /// Evaluates a batch of hardware candidates at a fixed full budget (no
@@ -320,6 +348,12 @@ where
     let select = vec![true; sessions.len()];
     advance_parallel(&mut sessions, &select, budget);
     let cpu: f64 = sessions.iter().map(HwSession::cost_seconds).sum();
+    let global = crate::telemetry::Telemetry::global();
+    global.add(
+        crate::telemetry::Counter::MappingEvals,
+        sessions.iter().map(HwSession::total_steps).sum(),
+    );
+    global.add(crate::telemetry::Counter::HwEvals, sessions.len() as u64);
     let width = (sessions.len() * env.num_jobs()) as u32;
     let out = sessions
         .into_iter()

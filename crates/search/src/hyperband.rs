@@ -12,8 +12,10 @@ use rand::SeedableRng;
 use unico_model::Platform;
 use unico_surrogate::pareto::ParetoFront;
 
+use crate::engine::MappingEngine;
 use crate::env::{CoSearchEnv, HwSession};
 use crate::sh::{self, ShConfig};
+use crate::telemetry::Telemetry;
 use crate::trace::{SearchTrace, SimClock};
 use crate::CoSearchResult;
 
@@ -73,6 +75,8 @@ where
     let mut trace = SearchTrace::new();
     let mut front: ParetoFront<P::Hw> = ParetoFront::new();
     let mut hw_evals = 0usize;
+    // One worker pool for every bracket of every round.
+    let engine = MappingEngine::new((cfg.workers as usize).max(1));
 
     let brackets = num_brackets(cfg);
     for round in 0..cfg.rounds {
@@ -82,7 +86,10 @@ where
             let mut sessions: Vec<HwSession<'_, P>> = (0..n)
                 .map(|i| {
                     let hw = env.platform().sample_hw(&mut rng);
-                    env.session(hw, cfg.seed.wrapping_add((round * 7919 + s * 131 + i) as u64))
+                    env.session(
+                        hw,
+                        cfg.seed.wrapping_add((round * 7919 + s * 131 + i) as u64),
+                    )
                 })
                 .collect();
             let sh_cfg = ShConfig {
@@ -91,7 +98,7 @@ where
                 min_budget: (cfg.b_max / u64::from(cfg.eta).pow(s as u32)).max(4),
                 workers: cfg.workers as usize,
             };
-            sh::run(&mut sessions, &sh_cfg);
+            sh::run_with_engine(&mut sessions, &sh_cfg, &engine, Telemetry::global());
             let cpu: f64 = sessions.iter().map(HwSession::cost_seconds).sum();
             clock.charge(cpu, (n * env.num_jobs()) as u32);
             hw_evals += sessions.len();

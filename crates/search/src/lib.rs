@@ -23,23 +23,30 @@
 //!   hypervolume plots.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the single allowed exception is the
+// documented lifetime erasure inside `engine` (scoped-threadpool
+// pattern: `execute` blocks until every borrowed job has completed).
+#![deny(unsafe_code)]
 
 mod bohb;
+pub mod engine;
 mod env;
 mod hasco;
 mod hyperband;
 mod nsga2;
 pub mod pool;
 pub mod sh;
+pub mod telemetry;
 mod trace;
 
 pub use bohb::{run_mobohb, MobohbConfig};
+pub use engine::{EngineMetrics, MappingEngine};
 pub use env::{advance_parallel, evaluate_batch, Assessment, CoSearchEnv, EnvConfig, HwSession};
 pub use hasco::{run_hasco, HascoConfig};
 pub use hyperband::{run_hyperband, HyperbandConfig};
 pub use nsga2::{run_nsga2, Nsga2Config};
-pub use pool::{advance_pooled, ComputeTopology};
+pub use pool::{advance_pooled, advance_with_engine, ComputeTopology};
+pub use telemetry::{Counter, RunReport, Telemetry};
 pub use trace::{SearchTrace, SimClock, TracePoint};
 
 /// Result common to all outer-loop searches: the PPA Pareto front of

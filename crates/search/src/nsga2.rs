@@ -54,10 +54,7 @@ type Individual<H> = (H, Option<Assessment>);
 /// # Panics
 ///
 /// Panics if `population < 2`.
-pub fn run_nsga2<P: Platform>(
-    env: &CoSearchEnv<'_, P>,
-    cfg: &Nsga2Config,
-) -> CoSearchResult<P::Hw>
+pub fn run_nsga2<P: Platform>(env: &CoSearchEnv<'_, P>, cfg: &Nsga2Config) -> CoSearchResult<P::Hw>
 where
     P::Hw: Send,
 {
@@ -75,8 +72,12 @@ where
                     hw_evals: &mut usize|
      -> Vec<Individual<P::Hw>> {
         let n = hws.len();
-        let (evald, cpu, width) =
-            evaluate_batch(env, hws, cfg.inner_budget, cfg.seed.wrapping_add(gen * 7919));
+        let (evald, cpu, width) = evaluate_batch(
+            env,
+            hws,
+            cfg.inner_budget,
+            cfg.seed.wrapping_add(gen * 7919),
+        );
         clock.charge(cpu, width);
         *hw_evals += n;
         for (hw, a) in &evald {
@@ -109,7 +110,13 @@ where
             };
             offspring_hw.push(child);
         }
-        let offspring = evaluate(offspring_hw, gen as u64, &mut clock, &mut front, &mut hw_evals);
+        let offspring = evaluate(
+            offspring_hw,
+            gen as u64,
+            &mut clock,
+            &mut front,
+            &mut hw_evals,
+        );
         clock.charge_sequential(1.0); // selection overhead
 
         // Environmental selection over parents + offspring.
@@ -266,8 +273,12 @@ mod tests {
             power_mw: 1.0,
             area_mm2: 1.0,
         };
-        let combined: Vec<Individual<u8>> =
-            vec![(0, Some(mk(5.0))), (1, Some(mk(1.0))), (2, None), (3, Some(mk(3.0)))];
+        let combined: Vec<Individual<u8>> = vec![
+            (0, Some(mk(5.0))),
+            (1, Some(mk(1.0))),
+            (2, None),
+            (3, Some(mk(3.0))),
+        ];
         let next = environmental_selection(combined, 2);
         let ids: Vec<u8> = next.iter().map(|(h, _)| *h).collect();
         assert!(ids.contains(&1));

@@ -1,21 +1,68 @@
-//! Bounded worker pool for software-mapping jobs (the paper's §3.5
+//! Bounded execution of software-mapping jobs (the paper's §3.5
 //! master/slave execution model, Fig. 6).
 //!
-//! The master (the outer MOBO loop) enqueues *jobs* — "advance this
-//! hardware session to budget `b`" — and at most `workers` threads drain
-//! the queue concurrently, exactly like the paper's slave machines
-//! pulling SW-mapping jobs. [`advance_pooled`] is the bounded-parallelism
-//! counterpart of [`crate::advance_parallel`]; with `workers ≥ jobs` the
-//! two are equivalent.
+//! Two paths advance a batch of [`HwSession`]s:
+//!
+//! * [`advance_with_engine`] — the steady-state path: jobs are queued on
+//!   a persistent [`MappingEngine`] whose workers were spawned once for
+//!   the whole co-search. A job that panics is contained and its
+//!   session is poisoned (assessed infeasible) instead of aborting the
+//!   run.
+//! * [`advance_pooled`] — the transient path kept for one-shot callers
+//!   and as the respawn-per-call baseline the pool-setup benchmark
+//!   compares against: it spawns at most `workers` scoped threads,
+//!   drains the batch through an atomic cursor, and joins them before
+//!   returning.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use unico_model::Platform;
 
+use crate::engine::{MappingEngine, ScopedJob};
 use crate::env::HwSession;
+
+/// Advances the selected sessions to `budget` on a persistent engine.
+///
+/// Each selected session becomes one queued job. A panicking job is
+/// contained by the worker and additionally marks its session as
+/// poisoned (see [`HwSession::poison`]), so the batch and the enclosing
+/// run keep going. Returns the number of contained panics.
+///
+/// # Panics
+///
+/// Panics if the mask length mismatches.
+pub fn advance_with_engine<P: Platform>(
+    engine: &MappingEngine,
+    sessions: &mut [HwSession<'_, P>],
+    select: &[bool],
+    budget: u64,
+) -> u64
+where
+    P::Hw: Send,
+{
+    assert_eq!(sessions.len(), select.len(), "selection mask length");
+    let jobs: Vec<ScopedJob<'_>> = sessions
+        .iter_mut()
+        .zip(select)
+        .filter(|&(_, &on)| on)
+        .map(|(session, _)| {
+            Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| session.advance_to(budget)));
+                if outcome.is_err() {
+                    session.poison();
+                }
+            }) as ScopedJob<'_>
+        })
+        .collect();
+    engine.execute(jobs)
+}
 
 /// Advances the selected sessions to `budget` using at most `workers`
 /// concurrent threads (work-stealing over an atomic cursor).
+///
+/// Spawns and joins threads on every call; prefer
+/// [`advance_with_engine`] in loops.
 ///
 /// # Panics
 ///
@@ -33,36 +80,37 @@ pub fn advance_pooled<P: Platform>(
     assert_eq!(sessions.len(), select.len(), "selection mask length");
     // Collect the selected sessions as independent &mut cells the
     // workers can claim through an atomic cursor.
-    let queue: Vec<&mut HwSession<'_, P>> = sessions
+    let queue: Vec<std::sync::Mutex<&mut HwSession<'_, P>>> = sessions
         .iter_mut()
         .zip(select)
-        .filter_map(|(s, &on)| if on { Some(s) } else { None })
+        .filter_map(|(s, &on)| {
+            if on {
+                Some(std::sync::Mutex::new(s))
+            } else {
+                None
+            }
+        })
         .collect();
     if queue.is_empty() {
         return;
     }
     let cursor = AtomicUsize::new(0);
     let n_workers = workers.min(queue.len());
-    // Hand each worker access to the whole queue through a Mutex-free
-    // claim protocol: the atomic cursor yields each index exactly once.
-    let slots: Vec<parking_lot::Mutex<&mut HwSession<'_, P>>> =
-        queue.into_iter().map(parking_lot::Mutex::new).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..n_workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
+                if i >= queue.len() {
                     break;
                 }
                 // Exactly one worker reaches each index, so the lock is
                 // always immediately available; it exists to satisfy
                 // aliasing rules, not for contention.
-                let mut session = slots[i].lock();
+                let mut session = queue[i].lock().expect("unshared session slot");
                 session.advance_to(budget);
             });
         }
-    })
-    .expect("mapping-search worker panicked");
+    });
 }
 
 /// A reusable handle describing the compute topology of a deployment:
@@ -88,6 +136,12 @@ impl ComputeTopology {
     pub fn local(workers: usize) -> Self {
         assert!(workers > 0, "topology needs at least one worker");
         ComputeTopology { workers }
+    }
+
+    /// Spawns a persistent [`MappingEngine`] with this topology's
+    /// worker count.
+    pub fn spawn_engine(&self) -> MappingEngine {
+        MappingEngine::new(self.workers)
     }
 }
 
@@ -136,22 +190,64 @@ mod tests {
     }
 
     #[test]
-    fn pooled_matches_unbounded_results() {
+    fn engine_advance_reaches_budget_for_all_selected() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let engine = MappingEngine::new(4);
+        let mut ss = sessions(&e, 9);
+        let select: Vec<bool> = (0..9).map(|i| i % 3 != 1).collect();
+        let panics = advance_with_engine(&engine, &mut ss, &select, 25);
+        assert_eq!(panics, 0);
+        for (s, &on) in ss.iter().zip(&select) {
+            assert_eq!(s.spent(), if on { 25 } else { 0 });
+            assert!(!s.is_poisoned());
+        }
+    }
+
+    #[test]
+    fn engine_reuse_across_rounds_spawns_once() {
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let engine = MappingEngine::new(3);
+        let mut ss = sessions(&e, 6);
+        let select = vec![true; 6];
+        // Successive-halving-like doubling rounds on one engine.
+        for budget in [8u64, 16, 32, 64] {
+            advance_with_engine(&engine, &mut ss, &select, budget);
+        }
+        assert!(ss.iter().all(|s| s.spent() == 64));
+        let m = engine.metrics();
+        assert_eq!(m.threads_spawned, 3, "workers spawned once, not per round");
+        assert_eq!(m.batches, 4);
+        assert_eq!(m.jobs_executed, 24);
+    }
+
+    #[test]
+    fn engine_matches_pooled_and_unbounded_results() {
         let p = SpatialPlatform::edge();
         let e = env(&p);
         // Same seeds -> identical searcher streams regardless of which
         // worker runs them.
         let mut a = sessions(&e, 6);
         let mut b = sessions(&e, 6);
+        let mut c = sessions(&e, 6);
         let select = vec![true; 6];
-        advance_pooled(&mut a, &select, 40, 2);
-        crate::env::advance_parallel(&mut b, &select, 40);
-        for (x, y) in a.iter().zip(&b) {
+        let engine = MappingEngine::new(2);
+        advance_with_engine(&engine, &mut a, &select, 40);
+        advance_pooled(&mut b, &select, 40, 2);
+        crate::env::advance_parallel(&mut c, &select, 40);
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
             assert_eq!(x.spent(), y.spent());
+            assert_eq!(x.spent(), z.spent());
             assert_eq!(
                 x.assess().map(|v| v.latency_s),
                 y.assess().map(|v| v.latency_s),
-                "pooled and unbounded execution must be deterministic-equal"
+                "engine and pooled execution must be deterministic-equal"
+            );
+            assert_eq!(
+                x.assess().map(|v| v.latency_s),
+                z.assess().map(|v| v.latency_s),
+                "engine and unbounded execution must be deterministic-equal"
             );
         }
     }
@@ -162,6 +258,8 @@ mod tests {
         let e = env(&p);
         let mut ss = sessions(&e, 3);
         advance_pooled(&mut ss, &[false, false, false], 10, 4);
+        let engine = MappingEngine::new(2);
+        advance_with_engine(&engine, &mut ss, &[false, false, false], 10);
         assert!(ss.iter().all(|s| s.spent() == 0));
     }
 
@@ -178,5 +276,6 @@ mod tests {
     fn topology_constructors() {
         assert_eq!(ComputeTopology::default().workers, 16);
         assert_eq!(ComputeTopology::local(4).workers, 4);
+        assert_eq!(ComputeTopology::local(2).spawn_engine().workers(), 2);
     }
 }

@@ -1,0 +1,317 @@
+//! Lightweight run telemetry: per-phase wall-clock timers, monotonic
+//! counters, and a structured JSON run-report.
+//!
+//! A [`Telemetry`] is cheap to create, internally synchronized (atomics
+//! for counters, a mutex only around the phase map), and therefore
+//! shareable by reference across the master loop and the worker pool.
+//! At the end of a run it renders into a [`RunReport`] that
+//! `unico-core` attaches to its results and the `unico-bench` binaries
+//! write next to their CSV artifacts (see `EXPERIMENTS.md` for the
+//! JSON schema).
+//!
+//! A process-wide instance ([`Telemetry::global`]) accumulates across
+//! every run in the process; drivers that return aggregated results
+//! without threading a telemetry handle still contribute to it, which
+//! is what the experiment binaries report.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Monotonic counters tracked by [`Telemetry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Mapping-search budget steps consumed (per-job evaluations).
+    MappingEvals,
+    /// Gaussian-process fits performed.
+    GpFits,
+    /// Successive-halving survivors promoted by terminal value.
+    ShPromotionsTv,
+    /// Successive-halving survivors promoted through the AUC-reserved
+    /// slots (the MSH second chance).
+    ShPromotionsAuc,
+    /// Successive-halving rounds executed.
+    ShRounds,
+    /// Samples accepted into the surrogate by the Upper Update Limit.
+    UulAccepted,
+    /// Samples rejected by the Upper Update Limit.
+    UulRejected,
+    /// Jobs executed by the persistent mapping engine.
+    EngineJobs,
+    /// Job batches submitted to the persistent mapping engine.
+    EngineBatches,
+    /// Worker panics contained by the engine (sessions poisoned).
+    EnginePanics,
+    /// Worker threads spawned (stays at the pool width for the whole
+    /// lifetime of a persistent engine — the "no per-round respawn"
+    /// witness).
+    EngineThreadsSpawned,
+    /// Hardware configurations fully evaluated.
+    HwEvals,
+}
+
+impl Counter {
+    /// Every counter, in report order.
+    pub const ALL: [Counter; 12] = [
+        Counter::MappingEvals,
+        Counter::GpFits,
+        Counter::ShPromotionsTv,
+        Counter::ShPromotionsAuc,
+        Counter::ShRounds,
+        Counter::UulAccepted,
+        Counter::UulRejected,
+        Counter::EngineJobs,
+        Counter::EngineBatches,
+        Counter::EnginePanics,
+        Counter::EngineThreadsSpawned,
+        Counter::HwEvals,
+    ];
+
+    /// Stable snake_case name used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MappingEvals => "mapping_evals",
+            Counter::GpFits => "gp_fits",
+            Counter::ShPromotionsTv => "sh_promotions_tv",
+            Counter::ShPromotionsAuc => "sh_promotions_auc",
+            Counter::ShRounds => "sh_rounds",
+            Counter::UulAccepted => "uul_accepted",
+            Counter::UulRejected => "uul_rejected",
+            Counter::EngineJobs => "engine_jobs",
+            Counter::EngineBatches => "engine_batches",
+            Counter::EnginePanics => "engine_panics",
+            Counter::EngineThreadsSpawned => "engine_threads_spawned",
+            Counter::HwEvals => "hw_evals",
+        }
+    }
+
+    fn index(self) -> usize {
+        Counter::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("counter listed in ALL")
+    }
+}
+
+/// Thread-safe phase timers and counters for one run (or one process,
+/// for [`Telemetry::global`]).
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    counters: [AtomicU64; Counter::ALL.len()],
+    phases: Mutex<BTreeMap<String, f64>>,
+}
+
+impl Telemetry {
+    /// A fresh, empty telemetry sink.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// The process-wide sink. Every instrumented run also accumulates
+    /// here (via [`Telemetry::absorb`] or direct counting), so binaries
+    /// can report without threading handles through driver signatures.
+    pub fn global() -> &'static Telemetry {
+        static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+        GLOBAL.get_or_init(Telemetry::new)
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Runs `f`, charging its wall-clock time to `phase`.
+    pub fn time<T>(&self, phase: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add_phase_secs(phase, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Adds raw seconds to a phase timer.
+    pub fn add_phase_secs(&self, phase: &str, secs: f64) {
+        let mut phases = self.phases.lock().expect("phase map lock");
+        *phases.entry(phase.to_string()).or_insert(0.0) += secs;
+    }
+
+    /// Seconds accumulated under `phase` so far.
+    pub fn phase_secs(&self, phase: &str) -> f64 {
+        self.phases
+            .lock()
+            .expect("phase map lock")
+            .get(phase)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Accumulates another telemetry's counters and phase timers into
+    /// this one (used to roll per-run telemetry into the global sink).
+    pub fn absorb(&self, other: &Telemetry) {
+        for c in Counter::ALL {
+            self.add(c, other.get(c));
+        }
+        let other_phases = other.phases.lock().expect("phase map lock");
+        for (phase, secs) in other_phases.iter() {
+            self.add_phase_secs(phase, *secs);
+        }
+    }
+
+    /// Snapshots into a named [`RunReport`].
+    pub fn report(&self, name: &str) -> RunReport {
+        let phases = self.phases.lock().expect("phase map lock").clone();
+        let counters = Counter::ALL
+            .iter()
+            .map(|c| (c.name().to_string(), self.get(*c)))
+            .collect();
+        RunReport {
+            name: name.to_string(),
+            phases_s: phases,
+            counters,
+        }
+    }
+}
+
+/// A structured snapshot of one run's telemetry, serializable to JSON
+/// (schema `unico.run_report.v1`, documented in `EXPERIMENTS.md`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Run identifier (binary or experiment name).
+    pub name: String,
+    /// Per-phase wall-clock seconds.
+    pub phases_s: BTreeMap<String, f64>,
+    /// Monotonic counters by stable name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunReport {
+    /// Renders the report as a self-describing JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"schema\":\"unico.run_report.v1\",");
+        out.push_str(&format!("\"name\":{},", json_string(&self.name)));
+        out.push_str("\"phases_s\":{");
+        let mut first = true;
+        for (k, v) in &self.phases_s {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{}:{}", json_string(k), json_number(*v)));
+        }
+        out.push_str("},\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{}:{v}", json_string(k)));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number literal; non-finite values (which JSON cannot express)
+/// degrade to `null`.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let t = Telemetry::new();
+        t.add(Counter::MappingEvals, 10);
+        t.add(Counter::MappingEvals, 5);
+        t.add(Counter::GpFits, 2);
+        assert_eq!(t.get(Counter::MappingEvals), 15);
+        assert_eq!(t.get(Counter::GpFits), 2);
+        let r = t.report("unit");
+        assert_eq!(r.counters["mapping_evals"], 15);
+        assert_eq!(r.counters["gp_fits"], 2);
+        assert_eq!(r.counters.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn phases_time_and_merge() {
+        let t = Telemetry::new();
+        let v = t.time("sampling", || 41 + 1);
+        assert_eq!(v, 42);
+        t.add_phase_secs("sampling", 1.0);
+        assert!(t.phase_secs("sampling") >= 1.0);
+
+        let sink = Telemetry::new();
+        sink.absorb(&t);
+        sink.absorb(&t);
+        assert!(sink.phase_secs("sampling") >= 2.0);
+        assert_eq!(sink.get(Counter::MappingEvals), 0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let t = Telemetry::new();
+        t.add(Counter::ShPromotionsAuc, 3);
+        t.add_phase_secs("mapping_search", 0.25);
+        let json = t.report("bench \"quoted\"\n").to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema\":\"unico.run_report.v1\""));
+        assert!(json.contains("\"sh_promotions_auc\":3"));
+        assert!(json.contains("\"mapping_search\":0.25"));
+        assert!(json.contains("\\\"quoted\\\"\\n"));
+        // Balanced braces and no raw control characters.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(!json.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    #[test]
+    fn json_number_guards_non_finite() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+}

@@ -122,7 +122,11 @@ fn all_baselines_produce_valid_results() {
 #[test]
 fn mapping_tool_choice_flows_through_the_env() {
     use unico_model::MappingTool;
-    for tool in [MappingTool::Annealing, MappingTool::Genetic, MappingTool::QLearning] {
+    for tool in [
+        MappingTool::Annealing,
+        MappingTool::Genetic,
+        MappingTool::QLearning,
+    ] {
         let p = SpatialPlatform::edge().with_mapping_tool(tool);
         let e = env(&p);
         let res = run_mobohb(

@@ -152,13 +152,7 @@ mod tests {
         let mut gp = GaussianProcess::new(KernelKind::Matern52, 1);
         gp.fit(&xs, &ys, &mut StdRng::seed_from_u64(3)).unwrap();
         let pool: Vec<Vec<f64>> = (0..21).map(|i| vec![i as f64 / 20.0]).collect();
-        let picks = select_batch(
-            gp,
-            &pool,
-            0.0,
-            AcquisitionKind::ExpectedImprovement,
-            4,
-        );
+        let picks = select_batch(gp, &pool, 0.0, AcquisitionKind::ExpectedImprovement, 4);
         assert_eq!(picks.len(), 4);
         let mut uniq = picks.clone();
         uniq.sort_unstable();
@@ -170,7 +164,13 @@ mod tests {
     fn batch_capped_at_pool_size() {
         let gp = GaussianProcess::new(KernelKind::Matern52, 1);
         let pool = vec![vec![0.1], vec![0.9]];
-        let picks = select_batch(gp, &pool, 1.0, AcquisitionKind::LowerConfidenceBound { beta: 1.0 }, 5);
+        let picks = select_batch(
+            gp,
+            &pool,
+            1.0,
+            AcquisitionKind::LowerConfidenceBound { beta: 1.0 },
+            5,
+        );
         assert_eq!(picks.len(), 2);
     }
 }

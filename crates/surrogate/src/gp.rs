@@ -30,7 +30,10 @@ impl fmt::Display for GpError {
         match self {
             GpError::EmptyTrainingSet => write!(f, "empty training set"),
             GpError::DimensionMismatch { expected, got } => {
-                write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, got {got}"
+                )
             }
             GpError::Factorization(e) => write!(f, "kernel factorization failed: {e}"),
         }
@@ -148,7 +151,8 @@ impl GaussianProcess {
         let mut best: Option<(f64, Kernel, f64)> = None;
         let consider = |ls: f64, var: f64, noise: f64, gp: &GaussianProcess| {
             let kernel = Kernel::new(gp.kind, ls, var);
-            gp.log_marginal(&kernel, noise, &y_norm).map(|lml| (lml, kernel, noise))
+            gp.log_marginal(&kernel, noise, &y_norm)
+                .map(|lml| (lml, kernel, noise))
         };
         // Deterministic coarse grid plus random refinement.
         let mut candidates: Vec<(f64, f64, f64)> = Vec::new();
@@ -170,9 +174,10 @@ impl GaussianProcess {
                 }
             }
         }
-        let (_, kernel, noise) = best.ok_or(GpError::Factorization(
-            LinalgError::NotPositiveDefinite { pivot: 0 },
-        ))?;
+        let (_, kernel, noise) =
+            best.ok_or(GpError::Factorization(LinalgError::NotPositiveDefinite {
+                pivot: 0,
+            }))?;
         self.kernel = kernel;
         self.noise = noise;
 
@@ -207,14 +212,16 @@ impl GaussianProcess {
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
         assert_eq!(x.len(), self.dim, "prediction dimension mismatch");
         let Some(l) = &self.chol else {
-            return (self.y_mean, self.kernel.variance() * self.y_std * self.y_std);
+            return (
+                self.y_mean,
+                self.kernel.variance() * self.y_std * self.y_std,
+            );
         };
         let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
         let mean_norm: f64 = kx.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
         let v = l.solve_lower(&kx);
-        let var_norm = (self.kernel.eval(x, x) + self.noise
-            - v.iter().map(|u| u * u).sum::<f64>())
-        .max(0.0);
+        let var_norm =
+            (self.kernel.eval(x, x) + self.noise - v.iter().map(|u| u * u).sum::<f64>()).max(0.0);
         (
             mean_norm * self.y_std + self.y_mean,
             var_norm * self.y_std * self.y_std,
@@ -294,17 +301,20 @@ mod tests {
     #[test]
     fn empty_fit_errors() {
         let mut gp = GaussianProcess::new(KernelKind::Matern52, 2);
-        assert_eq!(
-            gp.fit(&[], &[], &mut rng()),
-            Err(GpError::EmptyTrainingSet)
-        );
+        assert_eq!(gp.fit(&[], &[], &mut rng()), Err(GpError::EmptyTrainingSet));
     }
 
     #[test]
     fn dimension_mismatch_errors() {
         let mut gp = GaussianProcess::new(KernelKind::Matern52, 2);
         let err = gp.fit(&[vec![0.1]], &[1.0], &mut rng()).unwrap_err();
-        assert!(matches!(err, GpError::DimensionMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            GpError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]

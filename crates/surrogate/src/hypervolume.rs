@@ -36,10 +36,7 @@ fn hv_rec(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
     match d {
         0 => 0.0,
         1 => {
-            let min = points
-                .iter()
-                .map(|p| p[0])
-                .fold(f64::INFINITY, f64::min);
+            let min = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
             (reference[0] - min).max(0.0)
         }
         2 => {
@@ -75,10 +72,8 @@ fn hv_rec(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
                 if height <= 0.0 {
                     continue;
                 }
-                let mut active: Vec<Vec<f64>> = points[..=i]
-                    .iter()
-                    .map(|p| p[..d - 1].to_vec())
-                    .collect();
+                let mut active: Vec<Vec<f64>> =
+                    points[..=i].iter().map(|p| p[..d - 1].to_vec()).collect();
                 let keep = non_dominated_indices(&active);
                 active = keep.into_iter().map(|k| active[k].clone()).collect();
                 hv += hv_rec(&mut active, sub_ref) * height;

@@ -261,7 +261,12 @@ mod tests {
 
     #[test]
     fn crowding_boundaries_infinite() {
-        let pts = vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.0]];
+        let pts = vec![
+            vec![0.0, 3.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 0.0],
+        ];
         let d = crowding_distance(&pts);
         assert_eq!(d[0], f64::INFINITY);
         assert_eq!(d[3], f64::INFINITY);

@@ -28,8 +28,8 @@
 #![forbid(unsafe_code)]
 
 mod layer;
-mod network;
 mod nest;
+mod network;
 mod ops;
 pub mod zoo;
 

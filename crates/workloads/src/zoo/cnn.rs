@@ -146,12 +146,18 @@ pub fn xception() -> Network {
     // Entry flow separable blocks: (channels_in, channels_out, spatial).
     let entry: [(u64, u64, u64); 3] = [(64, 128, 147), (128, 256, 74), (256, 728, 37)];
     for (i, (cin, cout, hw)) in entry.into_iter().enumerate() {
-        layers.push(Layer::new(format!("entry_b{}_dw1", i + 1), dw(cin, hw, hw, 3, 3, 1)));
+        layers.push(Layer::new(
+            format!("entry_b{}_dw1", i + 1),
+            dw(cin, hw, hw, 3, 3, 1),
+        ));
         layers.push(Layer::new(
             format!("entry_b{}_pw1", i + 1),
             TensorOp::pointwise(1, cout, cin, hw, hw),
         ));
-        layers.push(Layer::new(format!("entry_b{}_dw2", i + 1), dw(cout, hw, hw, 3, 3, 1)));
+        layers.push(Layer::new(
+            format!("entry_b{}_dw2", i + 1),
+            dw(cout, hw, hw, 3, 3, 1),
+        ));
         layers.push(Layer::new(
             format!("entry_b{}_pw2", i + 1),
             TensorOp::pointwise(1, cout, cout, hw, hw),
@@ -170,11 +176,20 @@ pub fn xception() -> Network {
     ));
     // Exit flow.
     layers.push(Layer::new("exit_dw1", dw(728, 19, 19, 3, 3, 1)));
-    layers.push(Layer::new("exit_pw1", TensorOp::pointwise(1, 1024, 728, 19, 19)));
+    layers.push(Layer::new(
+        "exit_pw1",
+        TensorOp::pointwise(1, 1024, 728, 19, 19),
+    ));
     layers.push(Layer::new("exit_dw2", dw(1024, 10, 10, 3, 3, 1)));
-    layers.push(Layer::new("exit_pw2", TensorOp::pointwise(1, 1536, 1024, 10, 10)));
+    layers.push(Layer::new(
+        "exit_pw2",
+        TensorOp::pointwise(1, 1536, 1024, 10, 10),
+    ));
     layers.push(Layer::new("exit_dw3", dw(1536, 10, 10, 3, 3, 1)));
-    layers.push(Layer::new("exit_pw3", TensorOp::pointwise(1, 2048, 1536, 10, 10)));
+    layers.push(Layer::new(
+        "exit_pw3",
+        TensorOp::pointwise(1, 2048, 1536, 10, 10),
+    ));
     layers.push(Layer::new(
         "fc",
         TensorOp::Gemm {
@@ -190,7 +205,12 @@ pub fn xception() -> Network {
 pub fn convnext_tiny() -> Network {
     let mut layers = vec![Layer::new("stem", conv(1, 96, 3, 56, 56, 4, 4, 4))];
     // (stage, dim, spatial, depth)
-    let stages: [(u32, u64, u64, u32); 4] = [(1, 96, 56, 3), (2, 192, 28, 3), (3, 384, 14, 9), (4, 768, 7, 3)];
+    let stages: [(u32, u64, u64, u32); 4] = [
+        (1, 96, 56, 3),
+        (2, 192, 28, 3),
+        (3, 384, 14, 9),
+        (4, 768, 7, 3),
+    ];
     let mut prev_dim = 96;
     for (stage, dim, hw, depth) in stages {
         if stage > 1 {

@@ -21,7 +21,13 @@ fn conv(k: u64, c: u64, y: u64, x: u64, r: u64, s: u64, stride: u64) -> TensorOp
 pub fn unet() -> Network {
     let mut layers = Vec::new();
     // Encoder: (level, channels, spatial)
-    let enc: [(u32, u64, u64); 5] = [(1, 64, 256), (2, 128, 128), (3, 256, 64), (4, 512, 32), (5, 1024, 16)];
+    let enc: [(u32, u64, u64); 5] = [
+        (1, 64, 256),
+        (2, 128, 128),
+        (3, 256, 64),
+        (4, 512, 32),
+        (5, 1024, 16),
+    ];
     let mut cin = 3;
     for (lvl, ch, hw) in enc {
         layers.push(Layer::new(

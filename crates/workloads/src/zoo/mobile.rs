@@ -54,7 +54,11 @@ pub fn mobilenet_v1() -> Network {
             dw(cin, hw, hw, 3, 3, stride),
             rep,
         ));
-        layers.push(Layer::repeated(format!("pw{}", i + 1), pw(cout, cin, hw), rep));
+        layers.push(Layer::repeated(
+            format!("pw{}", i + 1),
+            pw(cout, cin, hw),
+            rep,
+        ));
     }
     layers.push(Layer::new(
         "fc",
@@ -83,14 +87,22 @@ fn mbconv(
 ) {
     let mid = cin * expand;
     if expand > 1 {
-        layers.push(Layer::repeated(format!("{tag}_expand"), pw(mid, cin, hw * stride), rep));
+        layers.push(Layer::repeated(
+            format!("{tag}_expand"),
+            pw(mid, cin, hw * stride),
+            rep,
+        ));
     }
     layers.push(Layer::repeated(
         format!("{tag}_dw"),
         dw(mid, hw, hw, kernel, kernel, stride),
         rep,
     ));
-    layers.push(Layer::repeated(format!("{tag}_project"), pw(cout, mid, hw), rep));
+    layers.push(Layer::repeated(
+        format!("{tag}_project"),
+        pw(cout, mid, hw),
+        rep,
+    ));
 }
 
 /// MobileNet V2 (224×224, ≈300 MMACs).
@@ -188,16 +200,29 @@ pub fn mobilenet_v3_small() -> Network {
 pub fn nasnet_mobile() -> Network {
     let mut layers = vec![Layer::new("stem", conv(32, 3, 111, 111, 3, 3, 2))];
     // (tag, channels, spatial, cells)
-    let stages: [(&str, u64, u64, u32); 3] = [("s1", 44, 56, 4), ("s2", 88, 28, 4), ("s3", 176, 14, 4)];
+    let stages: [(&str, u64, u64, u32); 3] =
+        [("s1", 44, 56, 4), ("s2", 88, 28, 4), ("s3", 176, 14, 4)];
     for (tag, ch, hw, cells) in stages {
         // Each cell applies several separable 3x3/5x5 branches; collapse to
         // 2 dw+pw pairs (5x5 and 3x3) per cell.
-        layers.push(Layer::repeated(format!("{tag}_dw5"), dw(ch, hw, hw, 5, 5, 1), cells));
+        layers.push(Layer::repeated(
+            format!("{tag}_dw5"),
+            dw(ch, hw, hw, 5, 5, 1),
+            cells,
+        ));
         layers.push(Layer::repeated(format!("{tag}_pw5"), pw(ch, ch, hw), cells));
-        layers.push(Layer::repeated(format!("{tag}_dw3"), dw(ch, hw, hw, 3, 3, 1), cells));
+        layers.push(Layer::repeated(
+            format!("{tag}_dw3"),
+            dw(ch, hw, hw, 3, 3, 1),
+            cells,
+        ));
         layers.push(Layer::repeated(format!("{tag}_pw3"), pw(ch, ch, hw), cells));
         // Cell-boundary 1x1 adjust convs.
-        layers.push(Layer::repeated(format!("{tag}_adjust"), pw(ch, ch * 2, hw), cells));
+        layers.push(Layer::repeated(
+            format!("{tag}_adjust"),
+            pw(ch, ch * 2, hw),
+            cells,
+        ));
     }
     layers.push(Layer::new("final_pw", pw(352, 176, 7)));
     layers.push(Layer::new(

@@ -20,7 +20,11 @@ fn encoder_stack(
 ) -> Vec<Layer> {
     let head_dim = hidden / heads;
     vec![
-        Layer::repeated(format!("{prefix}_qkv"), gemm(seq, 3 * hidden, hidden), blocks),
+        Layer::repeated(
+            format!("{prefix}_qkv"),
+            gemm(seq, 3 * hidden, hidden),
+            blocks,
+        ),
         // Attention scores Q·Kᵀ per head: (seq × seq × head_dim) × heads,
         // folded into a single batched GEMM of depth head_dim and width
         // heads*seq.
@@ -35,7 +39,11 @@ fn encoder_stack(
             gemm(seq, heads * head_dim, seq),
             blocks,
         ),
-        Layer::repeated(format!("{prefix}_attn_out"), gemm(seq, hidden, hidden), blocks),
+        Layer::repeated(
+            format!("{prefix}_attn_out"),
+            gemm(seq, hidden, hidden),
+            blocks,
+        ),
         Layer::repeated(format!("{prefix}_ffn_up"), gemm(seq, ffn, hidden), blocks),
         Layer::repeated(format!("{prefix}_ffn_down"), gemm(seq, hidden, ffn), blocks),
     ]

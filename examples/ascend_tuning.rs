@@ -63,7 +63,9 @@ fn main() {
                 Some(d) => (x.latency_s / d.latency_s).max(x.power_mw / d.power_mw),
                 None => x.latency_s,
             };
-            score(a).partial_cmp(&score(b)).unwrap_or(std::cmp::Ordering::Equal)
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
         })
         .map(|(hw, _)| hw)
         .unwrap_or(default_hw);

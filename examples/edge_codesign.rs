@@ -68,7 +68,10 @@ fn main() {
     }
     let normalized_all = normalize_columns(&all);
     let mut offset = 0;
-    println!("\n{:<8} {:>8} {:>12} {:>10}", "method", "designs", "hypervolume", "cost (h)");
+    println!(
+        "\n{:<8} {:>8} {:>12} {:>10}",
+        "method", "designs", "hypervolume", "cost (h)"
+    );
     for (name, f, secs) in &fronts {
         let pts: Vec<Vec<f64>> = normalized_all[offset..offset + f.len()].to_vec();
         offset += f.len();

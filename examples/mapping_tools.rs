@@ -13,9 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use unico::prelude::*;
-use unico_mapping::{
-    AnnealingSearch, GeneticConfig, GeneticSearch, QLearningSearch, RandomSearch,
-};
+use unico_mapping::{AnnealingSearch, GeneticConfig, GeneticSearch, QLearningSearch, RandomSearch};
 use unico_model::BoundSpatialCost;
 
 fn main() {

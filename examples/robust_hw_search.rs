@@ -52,7 +52,10 @@ fn main() {
         .filter(|r| r.robustness.is_some() && r.assessment.is_some())
         .collect();
     let similar = |a: &unico_core::HwRecord<HwConfig>, b: &unico_core::HwRecord<HwConfig>| {
-        let (x, y) = (a.assessment.expect("filtered"), b.assessment.expect("filtered"));
+        let (x, y) = (
+            a.assessment.expect("filtered"),
+            b.assessment.expect("filtered"),
+        );
         let rel = |u: f64, v: f64| (u - v).abs() / u.max(v).max(1e-12);
         (rel(x.latency_s, y.latency_s) + rel(x.power_mw, y.power_mw) + rel(x.area_mm2, y.area_mm2))
             / 3.0
@@ -75,12 +78,11 @@ fn main() {
         println!("no similar-PPA pair on the front at this scale; rerun with a larger budget");
         return;
     };
-    let (most_robust, least_robust) =
-        if designs[i].robustness <= designs[j].robustness {
-            (designs[i], designs[j])
-        } else {
-            (designs[j], designs[i])
-        };
+    let (most_robust, least_robust) = if designs[i].robustness <= designs[j].robustness {
+        (designs[i], designs[j])
+    } else {
+        (designs[j], designs[i])
+    };
     println!(
         "\nmost robust  (R = {:.4}): {:?}",
         most_robust.robustness.expect("filtered"),
@@ -108,7 +110,10 @@ fn main() {
             }
         }
         if count > 0 {
-            println!("  {label} mean unseen latency: {:.3} ms", mean / count as f64 * 1e3);
+            println!(
+                "  {label} mean unseen latency: {:.3} ms",
+                mean / count as f64 * 1e3
+            );
         }
     }
 }

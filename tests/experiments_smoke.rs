@@ -24,7 +24,10 @@ fn table_comparison_smoke() {
             .expect("method present")
             .cost_h
     };
-    assert!(cost("UNICO") < cost("HASCO"), "UNICO must be cheaper than HASCO");
+    assert!(
+        cost("UNICO") < cost("HASCO"),
+        "UNICO must be cheaper than HASCO"
+    );
     let md = render(Scenario::Edge, &[c]);
     assert!(md.contains("Xception"));
 }
