@@ -1,0 +1,111 @@
+//! Evaluation-cache throughput: repeated-evaluation workload priced
+//! straight through the PPA engines vs. through `EvalCache`.
+//!
+//! The workload replays a small set of mappings many times — the shape
+//! successive halving produces, where survivors are re-assessed round
+//! after round. The acceptance bar is ≥ 5× cached-vs-uncached on this
+//! workload; the cycle-level Ascend model clears it by orders of
+//! magnitude (microseconds per sim vs. tens of nanoseconds per hit).
+
+use unico_bench::microbench::MicroBench;
+use unico_camodel::{ascend_eval_key, AscendConfig, AscendModel, DepthFirstFusionSearch};
+use unico_mapping::{Mapping, MappingSpace};
+use unico_model::{
+    spatial_eval_key, AnalyticalModel, Dataflow, EngineTag, EvalCache, HwConfig, MappingObjective,
+    TechParams,
+};
+use unico_workloads::TensorOp;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn conv_nest() -> unico_workloads::LoopNest {
+    TensorOp::Conv2d {
+        n: 1,
+        k: 64,
+        c: 64,
+        y: 28,
+        x: 28,
+        r: 3,
+        s: 3,
+        stride: 1,
+    }
+    .to_loop_nest()
+}
+
+fn main() {
+    let mut b = MicroBench::new();
+    let nest = conv_nest();
+
+    // A fixed pool of candidate mappings, cycled through repeatedly —
+    // every candidate after the first pass is a cache hit.
+    let space = MappingSpace::new(&nest);
+    let mut rng = StdRng::seed_from_u64(7);
+    let pool: Vec<Mapping> = (0..16).map(|_| space.sample(&mut rng)).collect();
+
+    let model = AnalyticalModel::new(TechParams::default());
+    let hw = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
+    let mut i = 0usize;
+    let uncached_analytical = b
+        .run("analytical_uncached", || {
+            i = (i + 1) % 16;
+            model.evaluate(&hw, &pool[i], &nest)
+        })
+        .median_ns;
+
+    let cache = EvalCache::new();
+    let mut j = 0usize;
+    let cached_analytical = b
+        .run("analytical_cached", || {
+            j = (j + 1) % 16;
+            let m = &pool[j];
+            cache.get_or_compute(
+                spatial_eval_key(
+                    EngineTag::DataCentric,
+                    &hw,
+                    m,
+                    &nest,
+                    MappingObjective::Latency,
+                ),
+                || model.evaluate(&hw, m, &nest),
+            )
+        })
+        .median_ns;
+
+    let ca_model = AscendModel::default();
+    let ca_hw = AscendConfig::expert_default();
+    let ca_mapping = DepthFirstFusionSearch::seed_mapping(&ca_hw, &nest);
+    let uncached_ascend = b
+        .run("ascend_uncached", || {
+            ca_model
+                .evaluate(&ca_hw, &ca_mapping, &nest)
+                .expect("feasible")
+        })
+        .median_ns;
+
+    let ca_cache = EvalCache::new();
+    let cached_ascend = b
+        .run("ascend_cached", || {
+            ca_cache.get_or_compute(ascend_eval_key(&ca_hw, &ca_mapping, &nest), || {
+                ca_model.evaluate(&ca_hw, &ca_mapping, &nest)
+            })
+        })
+        .median_ns;
+
+    println!("\n{}", b.to_markdown());
+    println!(
+        "analytical speedup (cached vs uncached): {:.1}x",
+        uncached_analytical / cached_analytical.max(1.0)
+    );
+    println!(
+        "ascend speedup (cached vs uncached): {:.1}x",
+        uncached_ascend / cached_ascend.max(1.0)
+    );
+    let s = ca_cache.stats();
+    println!(
+        "ascend cache: {} hits, {} misses, hit rate {:.3}",
+        s.hits,
+        s.misses,
+        s.hit_rate()
+    );
+}

@@ -1,9 +1,11 @@
 //! `Platform` implementation for the Ascend-like core.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 
 use unico_mapping::{MappingCost, MappingSearcher};
-use unico_model::Platform;
+use unico_model::{EvalCache, Platform};
 use unico_workloads::LoopNest;
 
 use crate::config::{AscendConfig, AscendSpace};
@@ -16,12 +18,22 @@ use crate::sim::{AscendModel, BoundAscendCost};
 pub struct AscendPlatform {
     model: AscendModel,
     space: AscendSpace,
+    cache: Option<Arc<EvalCache>>,
 }
 
 impl AscendPlatform {
     /// Creates the platform with default technology constants and space.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches an evaluation cache; every bound cost memoizes through
+    /// it. Worth far more here than on the analytical platform: one
+    /// cycle-level evaluation costs microseconds, a hit costs tens of
+    /// nanoseconds.
+    pub fn with_eval_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The underlying cycle-level model.
@@ -75,7 +87,7 @@ impl Platform for AscendPlatform {
         hw: &AscendConfig,
         nest: &LoopNest,
     ) -> Box<dyn MappingCost + Send + Sync + 'a> {
-        Box::new(BoundAscendCost::new(&self.model, *hw, *nest))
+        Box::new(BoundAscendCost::new(&self.model, *hw, *nest).with_cache(self.cache.as_deref()))
     }
 
     fn make_searcher(
@@ -95,6 +107,10 @@ impl Platform for AscendPlatform {
 
     fn describe(&self, hw: &AscendConfig) -> String {
         hw.to_string()
+    }
+
+    fn eval_cache(&self) -> Option<&EvalCache> {
+        self.cache.as_deref()
     }
 }
 

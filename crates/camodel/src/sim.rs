@@ -1,7 +1,7 @@
 //! The cycle-level Ascend-like core model.
 
 use unico_mapping::{Mapping, MappingCost, MappingOutcome};
-use unico_model::{EvalError, Ppa};
+use unico_model::{EngineTag, EvalCache, EvalError, EvalKey, EvalKeyBuilder, Ppa};
 use unico_workloads::{Dim, LoopNest};
 
 use crate::config::AscendConfig;
@@ -326,18 +326,71 @@ pub struct BoundAscendCost<'a> {
     model: &'a AscendModel,
     hw: AscendConfig,
     nest: LoopNest,
+    cache: Option<&'a EvalCache>,
 }
 
 impl<'a> BoundAscendCost<'a> {
     /// Binds the model to a configuration and loop nest.
     pub fn new(model: &'a AscendModel, hw: AscendConfig, nest: LoopNest) -> Self {
-        BoundAscendCost { model, hw, nest }
+        BoundAscendCost {
+            model,
+            hw,
+            nest,
+            cache: None,
+        }
     }
+
+    /// Memoizes evaluations in `cache`.
+    pub fn with_cache(mut self, cache: Option<&'a EvalCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    fn eval_key(&self, mapping: &Mapping) -> EvalKey {
+        ascend_eval_key(&self.hw, mapping, &self.nest)
+    }
+
+    fn evaluate_cached(&self, mapping: &Mapping) -> Result<Ppa, EvalError> {
+        match self.cache {
+            Some(cache) => cache.get_or_compute(self.eval_key(mapping), || {
+                self.model.evaluate(&self.hw, mapping, &self.nest)
+            }),
+            None => self.model.evaluate(&self.hw, mapping, &self.nest),
+        }
+    }
+}
+
+/// The canonical cache key for the Ascend-like cycle model. The model
+/// prices the L1 GEMM tile and the buffer footprints only — it never
+/// reads the temporal order or the spatial dims — so the key hashes the
+/// tile extents alone and order permutations of the same tiling hit the
+/// same entry.
+pub fn ascend_eval_key(hw: &AscendConfig, mapping: &Mapping, nest: &LoopNest) -> EvalKey {
+    let mut b = EvalKeyBuilder::new(EngineTag::Ascend);
+    for w in [
+        hw.cube_m,
+        hw.cube_n,
+        hw.cube_k,
+        hw.l0a_kb,
+        hw.l0b_kb,
+        hw.l0c_kb,
+        hw.l0a_banks,
+        hw.l0b_banks,
+        hw.l0c_banks,
+        hw.l1_kb,
+        hw.ub_kb,
+        hw.pb_kb,
+        hw.icache_kb,
+    ] {
+        b.word(u64::from(w));
+    }
+    b.nest(nest).mapping_tiles(mapping, nest);
+    b.finish()
 }
 
 impl MappingCost for BoundAscendCost<'_> {
     fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome> {
-        match self.model.evaluate(&self.hw, mapping, &self.nest) {
+        match self.evaluate_cached(mapping) {
             Ok(ppa) => Some(MappingOutcome {
                 loss: ppa.latency_s,
                 latency_s: ppa.latency_s,

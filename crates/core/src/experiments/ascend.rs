@@ -6,7 +6,10 @@
 //! parameters; the [`Scale`] scales them down for tests). The found
 //! architecture is then compared per network against the expert default.
 
+use std::sync::Arc;
+
 use unico_camodel::{AscendConfig, AscendPlatform};
+use unico_model::EvalCache;
 use unico_search::{Assessment, CoSearchEnv, EnvConfig};
 use unico_workloads::{zoo, Network};
 
@@ -73,7 +76,9 @@ impl AscendResult {
 /// Runs the Fig. 11 study. `networks` defaults to the paper's suite when
 /// `None`.
 pub fn run_ascend(scale: &Scale, seed: u64, networks: Option<Vec<Network>>) -> AscendResult {
-    let platform = AscendPlatform::new();
+    // Cycle-level evaluations are the expensive ones; memoize them for
+    // the whole study (search + both validation passes).
+    let platform = AscendPlatform::new().with_eval_cache(Arc::new(EvalCache::new()));
     let suite = networks.unwrap_or_else(zoo::ascend_suite);
     let env = CoSearchEnv::new(
         &platform,

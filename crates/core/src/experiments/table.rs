@@ -1,7 +1,9 @@
 //! Tables 1 and 2: per-network comparison of HASCO, NSGA-II and UNICO
 //! under edge / cloud power constraints.
 
-use unico_model::SpatialPlatform;
+use std::sync::Arc;
+
+use unico_model::{EvalCache, SpatialPlatform};
 use unico_search::{run_hasco, run_nsga2, HascoConfig, Nsga2Config};
 use unico_workloads::{zoo, Network};
 
@@ -20,12 +22,16 @@ pub enum Scenario {
 }
 
 impl Scenario {
-    /// The platform instance for this scenario.
+    /// The platform instance for this scenario, with a fresh evaluation
+    /// cache attached: every experiment driver that goes through
+    /// `Scenario::platform()` memoizes PPA queries and reports hit
+    /// rates in its run report.
     pub fn platform(&self) -> SpatialPlatform {
-        match self {
+        let base = match self {
             Scenario::Edge => SpatialPlatform::edge(),
             Scenario::Cloud => SpatialPlatform::cloud(),
-        }
+        };
+        base.with_eval_cache(Arc::new(EvalCache::new()))
     }
 
     /// The scenario's power constraint in milliwatts.

@@ -3,11 +3,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use unico_model::Platform;
+use unico_model::{EvalCache, Platform};
 use unico_search::sh::{self, ShConfig};
 use unico_search::{
-    Assessment, CoSearchEnv, Counter, HwSession, MappingEngine, RunReport, SearchTrace, SimClock,
-    Telemetry,
+    Assessment, CacheReport, CoSearchEnv, Counter, HwSession, MappingEngine, RunReport,
+    SearchTrace, SimClock, Telemetry,
 };
 use unico_surrogate::pareto::ParetoFront;
 use unico_surrogate::scalarize::{normalize_columns, parego, sample_simplex};
@@ -134,7 +134,8 @@ pub struct UnicoResult<H> {
     /// Number of hardware configurations evaluated.
     pub hw_evals: usize,
     /// Structured telemetry snapshot of this run: phase wall-clock
-    /// timers and evaluation counters (schema `unico.run_report.v1`).
+    /// timers, evaluation counters, and the evaluation-cache section
+    /// when a cache is attached (schema `unico.run_report.v2`).
     pub report: RunReport,
 }
 
@@ -229,6 +230,7 @@ impl Unico {
         // threads.
         let telemetry = Telemetry::new();
         let engine = MappingEngine::new((cfg.workers as usize).max(1));
+        let cache_start = env.platform().eval_cache().map(EvalCache::stats);
         let mut trace = SearchTrace::new();
         let mut front: ParetoFront<usize> = ParetoFront::new();
         let mut evaluations: Vec<HwRecord<P::Hw>> = Vec::new();
@@ -378,7 +380,16 @@ impl Unico {
         telemetry.add(Counter::EngineBatches, m.batches);
         telemetry.add(Counter::EnginePanics, m.panics_contained);
         telemetry.add(Counter::EngineThreadsSpawned, m.threads_spawned);
-        let report = telemetry.report("unico.run");
+        let cache_delta = match (env.platform().eval_cache(), cache_start) {
+            (Some(cache), Some(start)) => {
+                let d = cache.stats().delta_since(&start);
+                telemetry.add_cache_stats(d);
+                Some(d)
+            }
+            _ => None,
+        };
+        let mut report = telemetry.report("unico.run");
+        report.cache = cache_delta.map(CacheReport::from);
         Telemetry::global().absorb(&telemetry);
 
         UnicoResult {
@@ -592,7 +603,26 @@ mod tests {
         assert!(r.counters["engine_batches"] >= r.counters["sh_rounds"]);
         assert!(r.phases_s.contains_key("sampling"));
         assert!(r.phases_s.contains_key("mapping_search"));
-        assert!(r.to_json().contains("unico.run_report.v1"));
+        assert!(r.to_json().contains("unico.run_report.v2"));
+        // No cache attached to the stock edge platform here.
+        assert!(r.cache.is_none());
+        assert!(r.to_json().contains("\"cache\":null"));
+    }
+
+    #[test]
+    fn run_report_carries_cache_section_when_cache_attached() {
+        use std::sync::Arc;
+        let cache = Arc::new(EvalCache::new());
+        let p = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+        let e = env(&p);
+        let res = Unico::new(smoke_cfg()).run(&e);
+        let c = res.report.cache.expect("cache section present");
+        assert!(c.misses > 0, "first run must compute");
+        assert!(c.hits > 0, "SH re-assessments must hit");
+        assert_eq!(c.hits + c.misses, cache.stats().lookups());
+        assert_eq!(res.report.counters["cache_hits"], c.hits);
+        assert_eq!(res.report.counters["cache_misses"], c.misses);
+        assert!(res.report.to_json().contains("\"cache\":{\"hits\":"));
     }
 
     #[test]

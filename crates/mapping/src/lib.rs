@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod canon;
 mod cost;
 mod history;
 mod mapping;
@@ -51,6 +52,7 @@ mod qlearning;
 mod search;
 mod space;
 
+pub use canon::{CanonicalMapping, StableHasher};
 pub use cost::{MappingCost, MappingOutcome};
 pub use history::{EvalRecord, SearchHistory};
 pub use mapping::{Footprint, Mapping};

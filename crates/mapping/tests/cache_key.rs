@@ -1,0 +1,190 @@
+//! Property tests for evaluation-cache key canonicalization.
+//!
+//! Two families of guarantees, matching the [`CanonicalMapping`] rewrite
+//! rules:
+//!
+//! * **Soundness of normalization** — mappings that differ only in the
+//!   position of a unit loop, or by a permutation inside a contiguous
+//!   reduction run, hash to the same key.
+//! * **No spurious merging** — on a randomized corpus, mappings with
+//!   distinct canonical forms never share a 128-bit key, and key equality
+//!   exactly tracks canonical-form equality.
+
+use proptest::array;
+use proptest::prelude::*;
+
+use unico_mapping::{CanonicalMapping, Mapping, StableHasher};
+use unico_workloads::{Dim, LoopNest, TensorOp, DIM_COUNT};
+
+fn nest() -> LoopNest {
+    TensorOp::Conv2d {
+        n: 1,
+        k: 16,
+        c: 8,
+        y: 8,
+        x: 8,
+        r: 3,
+        s: 3,
+        stride: 1,
+    }
+    .to_loop_nest()
+}
+
+/// The cache key contribution of a mapping: canonicalize, then hash.
+fn key(m: &Mapping, n: &LoopNest) -> u128 {
+    let mut h = StableHasher::new();
+    CanonicalMapping::of(m, n).hash_into(&mut h);
+    h.finish128()
+}
+
+fn arb_order() -> impl Strategy<Value = [Dim; DIM_COUNT]> {
+    Just(Dim::ALL).prop_shuffle()
+}
+
+fn arb_tiles() -> impl Strategy<Value = [u64; DIM_COUNT]> {
+    // Mapping::new clamps into `1..=extent` (and `l1 ≤ l2`), so any draw
+    // yields a valid mapping.
+    array::uniform7(1u64..=16)
+}
+
+/// Two distinct spatial dims.
+fn arb_spatial() -> impl Strategy<Value = (Dim, Dim)> {
+    (0usize..DIM_COUNT, 0usize..DIM_COUNT - 1).prop_map(|(a, b)| {
+        let b = if b >= a { b + 1 } else { b };
+        (Dim::ALL[a], Dim::ALL[b])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Moving a unit loop (trip count 1 at both levels) anywhere in the
+    /// temporal order leaves the key unchanged.
+    #[test]
+    fn unit_loop_position_never_changes_key(
+        order in arb_order(),
+        l2 in arb_tiles(),
+        l1 in arb_tiles(),
+        pick in 0usize..DIM_COUNT,
+        dest in 0usize..DIM_COUNT,
+    ) {
+        let n = nest();
+        let m = Mapping::new(&n, l2, l1, order, (Dim::K, Dim::Y));
+        let l1t = m.l1_trip_counts();
+        let l2t = m.l2_trip_counts(&n);
+        let units: Vec<Dim> = Dim::ALL
+            .iter()
+            .copied()
+            .filter(|d| l1t[d.index()] == 1 && l2t[d.index()] == 1)
+            .collect();
+        if units.is_empty() {
+            return;
+        }
+        let unit = units[pick % units.len()];
+        let mut moved: Vec<Dim> =
+            m.order().iter().copied().filter(|d| *d != unit).collect();
+        moved.insert(dest % (moved.len() + 1), unit);
+        let m2 = Mapping::new(
+            &n,
+            m.l2_tile(),
+            m.l1_tile(),
+            std::array::from_fn(|i| moved[i]),
+            m.spatial(),
+        );
+        prop_assert_eq!(key(&m, &n), key(&m2, &n));
+    }
+
+    /// Swapping two adjacent reduction dims inside a contiguous run
+    /// leaves the key unchanged (non-depthwise nest: C, R, S all sort).
+    #[test]
+    fn adjacent_reduction_swap_never_changes_key(
+        order in arb_order(),
+        l2 in arb_tiles(),
+        l1 in arb_tiles(),
+        pick in 0usize..DIM_COUNT,
+    ) {
+        let n = nest();
+        let m = Mapping::new(&n, l2, l1, order, (Dim::K, Dim::Y));
+        let o = m.order();
+        let pairs: Vec<usize> = (0..DIM_COUNT - 1)
+            .filter(|&i| o[i].is_reduction() && o[i + 1].is_reduction())
+            .collect();
+        if pairs.is_empty() {
+            return;
+        }
+        let i = pairs[pick % pairs.len()];
+        let mut swapped = o;
+        swapped.swap(i, i + 1);
+        let m2 = Mapping::new(&n, m.l2_tile(), m.l1_tile(), swapped, m.spatial());
+        prop_assert_eq!(key(&m, &n), key(&m2, &n));
+    }
+
+    /// Key equality exactly tracks canonical-form equality: equal forms
+    /// always collide, distinct forms never do.
+    #[test]
+    fn key_equality_tracks_canonical_equality(
+        o1 in arb_order(), l2a in arb_tiles(), l1a in arb_tiles(), s1 in arb_spatial(),
+        o2 in arb_order(), l2b in arb_tiles(), l1b in arb_tiles(), s2 in arb_spatial(),
+    ) {
+        let n = nest();
+        let m1 = Mapping::new(&n, l2a, l1a, o1, s1);
+        let m2 = Mapping::new(&n, l2b, l1b, o2, s2);
+        let same_form = CanonicalMapping::of(&m1, &n) == CanonicalMapping::of(&m2, &n);
+        prop_assert_eq!(same_form, key(&m1, &n) == key(&m2, &n));
+    }
+}
+
+/// Exhaustive corpus sweep: every pair of distinct canonical forms gets
+/// distinct keys (128-bit collisions would be a hasher bug, not luck).
+#[test]
+fn no_collisions_on_structured_corpus() {
+    use std::collections::HashMap;
+
+    let n = nest();
+    let orders = [
+        Dim::ALL,
+        // Differs from Dim::ALL only by the position of N (extent 1):
+        // merges with it after canonicalization.
+        [Dim::K, Dim::N, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S],
+        // Differs from Dim::ALL only by the R/S swap inside a reduction
+        // run: also merges.
+        [Dim::N, Dim::K, Dim::C, Dim::Y, Dim::X, Dim::S, Dim::R],
+        [Dim::S, Dim::R, Dim::C, Dim::X, Dim::Y, Dim::K, Dim::N],
+        [Dim::C, Dim::K, Dim::Y, Dim::S, Dim::X, Dim::R, Dim::N],
+    ];
+    let spatials = [(Dim::K, Dim::Y), (Dim::Y, Dim::K), (Dim::K, Dim::X)];
+    let mut seen: HashMap<u128, CanonicalMapping> = HashMap::new();
+    let mut corpus = 0usize;
+    for order in orders {
+        for spatial in spatials {
+            for kt in [1u64, 2, 4, 8, 16] {
+                for ct in [1u64, 2, 8] {
+                    for yt in [1u64, 4, 8] {
+                        let mut l1 = [1u64; DIM_COUNT];
+                        l1[Dim::K.index()] = kt;
+                        l1[Dim::C.index()] = ct;
+                        l1[Dim::Y.index()] = yt;
+                        let m = Mapping::new(&n, n.extents(), l1, order, spatial);
+                        let c = CanonicalMapping::of(&m, &n);
+                        let k = key(&m, &n);
+                        corpus += 1;
+                        match seen.get(&k) {
+                            Some(prev) => assert_eq!(
+                                prev, &c,
+                                "key collision between distinct canonical forms"
+                            ),
+                            None => {
+                                seen.insert(k, c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The corpus really exercised merging: strictly fewer keys than
+    // raw mappings (normalization), but far more than one.
+    assert_eq!(corpus, 5 * 3 * 5 * 3 * 3);
+    assert!(seen.len() > corpus / 4, "suspiciously few distinct keys");
+    assert!(seen.len() < corpus, "normalization never merged anything");
+}

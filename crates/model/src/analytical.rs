@@ -3,6 +3,7 @@
 use unico_mapping::{Mapping, MappingCost, MappingOutcome};
 use unico_workloads::{Dim, LoopNest};
 
+use crate::evalcache::{spatial_eval_key, EngineTag, EvalCache};
 use crate::hw::{Dataflow, HwConfig};
 use crate::ppa::{EvalError, Ppa};
 use crate::tech::TechParams;
@@ -259,6 +260,7 @@ pub struct BoundSpatialCost<'a> {
     nest: LoopNest,
     eval_cost_s: f64,
     objective: MappingObjective,
+    cache: Option<&'a EvalCache>,
 }
 
 impl<'a> BoundSpatialCost<'a> {
@@ -272,6 +274,7 @@ impl<'a> BoundSpatialCost<'a> {
             nest,
             eval_cost_s,
             objective: MappingObjective::Latency,
+            cache: None,
         }
     }
 
@@ -280,11 +283,34 @@ impl<'a> BoundSpatialCost<'a> {
         self.objective = objective;
         self
     }
+
+    /// Memoizes evaluations in `cache` (keys canonicalize the mapping,
+    /// so semantically equivalent candidates share entries).
+    pub fn with_cache(mut self, cache: Option<&'a EvalCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    fn evaluate_cached(&self, mapping: &Mapping) -> Result<Ppa, EvalError> {
+        match self.cache {
+            Some(cache) => cache.get_or_compute(
+                spatial_eval_key(
+                    EngineTag::DataCentric,
+                    &self.hw,
+                    mapping,
+                    &self.nest,
+                    self.objective,
+                ),
+                || self.model.evaluate(&self.hw, mapping, &self.nest),
+            ),
+            None => self.model.evaluate(&self.hw, mapping, &self.nest),
+        }
+    }
 }
 
 impl MappingCost for BoundSpatialCost<'_> {
     fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome> {
-        match self.model.evaluate(&self.hw, mapping, &self.nest) {
+        match self.evaluate_cached(mapping) {
             Ok(ppa) => Some(MappingOutcome {
                 loss: match self.objective {
                     MappingObjective::Latency => ppa.latency_s,

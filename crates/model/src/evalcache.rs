@@ -1,0 +1,684 @@
+//! Sharded, lock-striped memoization cache for PPA evaluations, with
+//! deterministic record/replay.
+//!
+//! UNICO's outer loop prices the same `(hardware, mapping, nest)` points
+//! thousands of times across successive-halving rounds, MOBO iterations
+//! and the robustness sweep. [`EvalCache`] sits in front of the PPA
+//! engines (`AnalyticalModel`, `LoopCentricModel` and the Ascend-like
+//! cycle model) and memoizes `Result<Ppa, EvalError>` values under a
+//! canonical 128-bit key ([`EvalKey`]) derived with the stable hasher
+//! from `unico-mapping`, so keys survive process restarts and can name
+//! entries in on-disk golden traces.
+//!
+//! Keys canonicalize the mapping via
+//! [`CanonicalMapping`](unico_mapping::CanonicalMapping): unit loops are
+//! dropped and reduction runs sorted, so semantically identical mappings
+//! share one entry — which is where most of the hit rate comes from.
+//!
+//! The cache is striped over [`SHARD_COUNT`] shards, each an independent
+//! `Mutex<HashMap>` with its own hit/miss/eviction counters, so
+//! concurrent mapping-search workers rarely contend. A miss computes
+//! **while holding the shard lock**: the same key is never evaluated
+//! twice, which keeps miss counts (and therefore run reports) exactly
+//! reproducible regardless of thread interleaving.
+//!
+//! # Record / replay
+//!
+//! [`EvalCache::to_trace`] serializes every entry to a compact,
+//! line-oriented golden trace (keys in hex, floats as IEEE-754 bit
+//! patterns, entries sorted by key — byte-for-byte reproducible).
+//! [`EvalCache::from_trace`] reconstructs a cache in *replay* mode: every
+//! lookup must hit, and a miss panics with the offending key. Driving a
+//! seeded run against a replayed trace therefore proves bit-for-bit
+//! determinism of the whole search stack.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use unico_mapping::{CanonicalMapping, Mapping, StableHasher};
+use unico_workloads::LoopNest;
+
+use crate::analytical::MappingObjective;
+use crate::hw::{Dataflow, HwConfig};
+use crate::ppa::{EvalError, Ppa};
+
+/// A memoized evaluation outcome: infeasibilities are cached too, so
+/// repeated probing of an overflowing tile is as cheap as a hit.
+pub type EvalResult = Result<Ppa, EvalError>;
+
+/// Number of lock stripes. Power of two; sized for the default 16-worker
+/// mapping engine.
+pub const SHARD_COUNT: usize = 16;
+
+/// Header line of the golden-trace format.
+pub const TRACE_HEADER: &str = "unico.evaltrace.v1";
+
+/// A canonical, platform-stable 128-bit cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EvalKey(u128);
+
+impl EvalKey {
+    /// Renders the key as 32 lowercase hex digits (the trace format).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses a key from its hex form.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(EvalKey)
+    }
+
+    fn shard(self) -> usize {
+        // High bits come out of the avalanche finisher: uniformly mixed.
+        ((self.0 >> 64) as usize) % SHARD_COUNT
+    }
+}
+
+/// Which PPA engine produced the value. Part of the key: the engines
+/// disagree on purpose, and their entries must never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineTag {
+    /// `AnalyticalModel` (data-centric traffic accounting).
+    DataCentric,
+    /// `LoopCentricModel` (per-level loop-centric accounting).
+    LoopCentric,
+    /// The Ascend-like cycle model in `unico-camodel`.
+    Ascend,
+}
+
+impl EngineTag {
+    fn code(self) -> u8 {
+        match self {
+            EngineTag::DataCentric => 0,
+            EngineTag::LoopCentric => 1,
+            EngineTag::Ascend => 2,
+        }
+    }
+}
+
+/// Incremental builder for [`EvalKey`]s.
+///
+/// The spatial platforms use [`spatial_eval_key`]; the Ascend platform
+/// assembles its key manually because its hardware type lives in a
+/// downstream crate — it feeds `AscendConfig` fields through
+/// [`EvalKeyBuilder::word`] and hashes only tile extents
+/// ([`EvalKeyBuilder::mapping_tiles`]) since the cycle model is blind to
+/// temporal order and spatial placement.
+#[derive(Debug)]
+pub struct EvalKeyBuilder {
+    h: StableHasher,
+}
+
+impl EvalKeyBuilder {
+    /// Starts a key for the given engine.
+    pub fn new(tag: EngineTag) -> Self {
+        let mut h = StableHasher::new();
+        h.write_u8(tag.code());
+        EvalKeyBuilder { h }
+    }
+
+    /// Feeds one raw machine word (hardware parameters, strides, …).
+    pub fn word(&mut self, w: u64) -> &mut Self {
+        self.h.write_u64(w);
+        self
+    }
+
+    /// Feeds the loop nest: the seven extents, strides and the depthwise
+    /// flag.
+    pub fn nest(&mut self, nest: &LoopNest) -> &mut Self {
+        for e in nest.extents() {
+            self.h.write_u64(e);
+        }
+        self.h.write_u64(nest.stride_y());
+        self.h.write_u64(nest.stride_x());
+        self.h.write_bool(nest.is_depthwise());
+        self
+    }
+
+    /// Feeds the full canonical mapping (tiles, canonical order,
+    /// spatial dims) — for order-sensitive engines.
+    pub fn mapping_full(&mut self, mapping: &Mapping, nest: &LoopNest) -> &mut Self {
+        CanonicalMapping::of(mapping, nest).hash_into(&mut self.h);
+        self
+    }
+
+    /// Feeds only the tile extents — for engines blind to order and
+    /// spatial placement.
+    pub fn mapping_tiles(&mut self, mapping: &Mapping, nest: &LoopNest) -> &mut Self {
+        CanonicalMapping::of(mapping, nest).hash_tiles_into(&mut self.h);
+        self
+    }
+
+    /// Feeds the optimization objective.
+    pub fn objective(&mut self, objective: MappingObjective) -> &mut Self {
+        self.h.write_u8(match objective {
+            MappingObjective::Latency => 0,
+            MappingObjective::Edp => 1,
+        });
+        self
+    }
+
+    /// Finishes into the 128-bit key.
+    pub fn finish(&self) -> EvalKey {
+        EvalKey(self.h.finish128())
+    }
+}
+
+/// The canonical key for the 2-D spatial platform engines.
+pub fn spatial_eval_key(
+    tag: EngineTag,
+    hw: &HwConfig,
+    mapping: &Mapping,
+    nest: &LoopNest,
+    objective: MappingObjective,
+) -> EvalKey {
+    let mut b = EvalKeyBuilder::new(tag);
+    b.word(u64::from(hw.pe_x()))
+        .word(u64::from(hw.pe_y()))
+        .word(hw.l1_bytes())
+        .word(hw.l2_bytes())
+        .word(u64::from(hw.noc_bytes_per_cycle()))
+        .word(match hw.dataflow() {
+            Dataflow::WeightStationary => 0,
+            Dataflow::OutputStationary => 1,
+        })
+        .nest(nest)
+        .mapping_full(mapping, nest)
+        .objective(objective);
+    b.finish()
+}
+
+/// Aggregated cache counters (summed over shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries dropped by per-shard FIFO eviction.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+
+    /// Counter deltas since an `earlier` snapshot (entries reported
+    /// as-is: it is a level, not a counter).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Compute on miss (the normal memoization mode; also records).
+    Record,
+    /// Resolve from pre-loaded entries only; a miss panics.
+    Replay,
+}
+
+#[derive(Debug, Default)]
+struct ShardMap {
+    entries: HashMap<EvalKey, EvalResult>,
+    fifo: VecDeque<EvalKey>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<ShardMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Sharded concurrent memoization cache for PPA evaluations. See the
+/// module docs for design and determinism guarantees.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Vec<Shard>,
+    capacity_per_shard: Option<usize>,
+    mode: Mode,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
+}
+
+impl EvalCache {
+    /// An unbounded cache (the default for search runs: the working set
+    /// is a few thousand entries of ~50 bytes).
+    pub fn new() -> Self {
+        EvalCache {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            capacity_per_shard: None,
+            mode: Mode::Record,
+        }
+    }
+
+    /// Bounds every shard to `cap` entries with FIFO eviction.
+    pub fn with_capacity_per_shard(cap: usize) -> Self {
+        EvalCache {
+            capacity_per_shard: Some(cap.max(1)),
+            ..EvalCache::new()
+        }
+    }
+
+    /// `true` when the cache was loaded with [`EvalCache::from_trace`]
+    /// and resolves lookups from the trace only.
+    pub fn is_replay(&self) -> bool {
+        self.mode == Mode::Replay
+    }
+
+    /// Looks `key` up, computing and memoizing on a miss.
+    ///
+    /// The compute runs under the shard lock, so each key is evaluated
+    /// at most once per cache lifetime and the miss counter equals the
+    /// number of distinct keys seen — independent of thread timing. In
+    /// replay mode a miss panics: the golden trace does not cover the
+    /// requested evaluation.
+    pub fn get_or_compute(&self, key: EvalKey, compute: impl FnOnce() -> EvalResult) -> EvalResult {
+        let shard = &self.shards[key.shard()];
+        let mut map = shard.map.lock().expect("evalcache shard poisoned");
+        if let Some(v) = map.entries.get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return *v;
+        }
+        assert!(
+            self.mode != Mode::Replay,
+            "evalcache replay miss: key {} is not in the golden trace \
+             (the run diverged from the recorded one)",
+            key.to_hex()
+        );
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        map.entries.insert(key, v);
+        map.fifo.push_back(key);
+        if let Some(cap) = self.capacity_per_shard {
+            while map.entries.len() > cap {
+                if let Some(old) = map.fifo.pop_front() {
+                    map.entries.remove(&old);
+                    shard.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        v
+    }
+
+    /// Peeks without computing or counting a miss (hits still count).
+    pub fn get(&self, key: EvalKey) -> Option<EvalResult> {
+        let shard = &self.shards[key.shard()];
+        let map = shard.map.lock().expect("evalcache shard poisoned");
+        let v = map.entries.get(&key).copied();
+        if v.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .expect("evalcache shard poisoned")
+                    .entries
+                    .len()
+            })
+            .sum()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for shard in &self.shards {
+            s.hits += shard.hits.load(Ordering::Relaxed);
+            s.misses += shard.misses.load(Ordering::Relaxed);
+            s.evictions += shard.evictions.load(Ordering::Relaxed);
+            s.entries += shard
+                .map
+                .lock()
+                .expect("evalcache shard poisoned")
+                .entries
+                .len() as u64;
+        }
+        s
+    }
+
+    /// Serializes every entry to the golden-trace format: a header line
+    /// `unico.evaltrace.v1 <count>`, then one `<key-hex> <value>` line
+    /// per entry, sorted by key. Floats are IEEE-754 bit patterns in
+    /// hex, so the output is byte-for-byte reproducible.
+    pub fn to_trace(&self) -> String {
+        let mut entries: Vec<(EvalKey, EvalResult)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.map.lock().expect("evalcache shard poisoned");
+            entries.extend(map.entries.iter().map(|(k, v)| (*k, *v)));
+        }
+        entries.sort_by_key(|(k, _)| *k);
+        let mut out = String::with_capacity(16 + entries.len() * 120);
+        out.push_str(TRACE_HEADER);
+        out.push(' ');
+        out.push_str(&entries.len().to_string());
+        out.push('\n');
+        for (k, v) in &entries {
+            out.push_str(&k.to_hex());
+            out.push(' ');
+            encode_result(v, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Reconstructs a **replay-mode** cache from a golden trace produced
+    /// by [`EvalCache::to_trace`]. Lookups resolve from the trace only;
+    /// a miss panics.
+    pub fn from_trace(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(TraceError::MissingHeader)?;
+        let mut parts = header.split(' ');
+        if parts.next() != Some(TRACE_HEADER) {
+            return Err(TraceError::BadHeader);
+        }
+        let count: usize = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or(TraceError::BadHeader)?;
+        let mut cache = EvalCache::new();
+        cache.mode = Mode::Replay;
+        let mut loaded = 0usize;
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let (key_hex, rest) = line.split_once(' ').ok_or(TraceError::BadLine(i + 2))?;
+            let key = EvalKey::from_hex(key_hex).ok_or(TraceError::BadLine(i + 2))?;
+            let value = decode_result(rest).ok_or(TraceError::BadLine(i + 2))?;
+            let shard = &cache.shards[key.shard()];
+            let mut map = shard.map.lock().expect("evalcache shard poisoned");
+            map.entries.insert(key, value);
+            map.fifo.push_back(key);
+            loaded += 1;
+        }
+        if loaded != count {
+            return Err(TraceError::CountMismatch {
+                declared: count,
+                found: loaded,
+            });
+        }
+        Ok(cache)
+    }
+}
+
+fn encode_result(v: &EvalResult, out: &mut String) {
+    use std::fmt::Write;
+    match v {
+        Ok(p) => {
+            let _ = write!(
+                out,
+                "P {:016x} {:016x} {:016x} {:016x}",
+                p.latency_s.to_bits(),
+                p.power_mw.to_bits(),
+                p.area_mm2.to_bits(),
+                p.energy_pj.to_bits()
+            );
+        }
+        Err(EvalError::L1Overflow {
+            required,
+            available,
+        }) => {
+            let _ = write!(out, "E1 {required} {available}");
+        }
+        Err(EvalError::L2Overflow {
+            required,
+            available,
+        }) => {
+            let _ = write!(out, "E2 {required} {available}");
+        }
+        Err(EvalError::DegenerateSpatial) => out.push_str("ES"),
+    }
+}
+
+fn decode_result(s: &str) -> Option<EvalResult> {
+    let mut parts = s.split(' ');
+    match parts.next()? {
+        "P" => {
+            let mut next_f64 = || -> Option<f64> {
+                u64::from_str_radix(parts.next()?, 16)
+                    .ok()
+                    .map(f64::from_bits)
+            };
+            let latency_s = next_f64()?;
+            let power_mw = next_f64()?;
+            let area_mm2 = next_f64()?;
+            let energy_pj = next_f64()?;
+            Some(Ok(Ppa {
+                latency_s,
+                power_mw,
+                area_mm2,
+                energy_pj,
+            }))
+        }
+        "E1" => Some(Err(EvalError::L1Overflow {
+            required: parts.next()?.parse().ok()?,
+            available: parts.next()?.parse().ok()?,
+        })),
+        "E2" => Some(Err(EvalError::L2Overflow {
+            required: parts.next()?.parse().ok()?,
+            available: parts.next()?.parse().ok()?,
+        })),
+        "ES" => Some(Err(EvalError::DegenerateSpatial)),
+        _ => None,
+    }
+}
+
+/// Golden-trace parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace is empty.
+    MissingHeader,
+    /// The header line is not `unico.evaltrace.v1 <count>`.
+    BadHeader,
+    /// An entry line (1-based) failed to parse.
+    BadLine(usize),
+    /// The header count disagrees with the number of entry lines.
+    CountMismatch {
+        /// Count declared in the header.
+        declared: usize,
+        /// Entry lines actually parsed.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::MissingHeader => write!(f, "golden trace is empty"),
+            TraceError::BadHeader => {
+                write!(f, "golden trace header is not `{TRACE_HEADER} <count>`")
+            }
+            TraceError::BadLine(n) => write!(f, "golden trace line {n} failed to parse"),
+            TraceError::CountMismatch { declared, found } => write!(
+                f,
+                "golden trace declares {declared} entries but contains {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn key(n: u128) -> EvalKey {
+        EvalKey(n)
+    }
+
+    fn ppa(lat: f64) -> EvalResult {
+        Ok(Ppa {
+            latency_s: lat,
+            power_mw: 2.0 * lat,
+            area_mm2: 1.5,
+            energy_pj: 10.0 * lat,
+        })
+    }
+
+    #[test]
+    fn computes_once_per_key_and_counts() {
+        let cache = EvalCache::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_compute(key(42), || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                ppa(0.5)
+            });
+            assert_eq!(v, ppa(0.5));
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (4, 1, 1));
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_are_memoized_too() {
+        let cache = EvalCache::new();
+        let err = Err(EvalError::L1Overflow {
+            required: 100,
+            available: 64,
+        });
+        assert_eq!(cache.get_or_compute(key(7), || err), err);
+        assert_eq!(cache.get_or_compute(key(7), || panic!("recompute")), err);
+    }
+
+    #[test]
+    fn fifo_eviction_is_counted() {
+        let cache = EvalCache::with_capacity_per_shard(2);
+        // Same shard: keys differ only in low 64 bits.
+        let base = 5u128 << 64;
+        for i in 0..4u128 {
+            let _ = cache.get_or_compute(key(base | i), || ppa(i as f64 + 1.0));
+        }
+        let s = cache.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.entries, 2);
+        // Oldest two were evicted; newest two still resident.
+        assert!(cache.get(key(base)).is_none());
+        assert!(cache.get(key(base | 3)).is_some());
+    }
+
+    #[test]
+    fn trace_roundtrip_is_exact_and_sorted() {
+        let cache = EvalCache::new();
+        let _ = cache.get_or_compute(key(3), || ppa(0.25));
+        let _ = cache.get_or_compute(key(1), || {
+            Err(EvalError::L2Overflow {
+                required: 9,
+                available: 4,
+            })
+        });
+        let _ = cache.get_or_compute(key(2), || Err(EvalError::DegenerateSpatial));
+        let trace = cache.to_trace();
+        assert!(trace.starts_with("unico.evaltrace.v1 3\n"));
+        // Deterministic output regardless of insertion order.
+        assert_eq!(trace, {
+            let c2 = EvalCache::new();
+            let _ = c2.get_or_compute(key(2), || Err(EvalError::DegenerateSpatial));
+            let _ = c2.get_or_compute(key(3), || ppa(0.25));
+            let _ = c2.get_or_compute(key(1), || {
+                Err(EvalError::L2Overflow {
+                    required: 9,
+                    available: 4,
+                })
+            });
+            c2.to_trace()
+        });
+        let replay = EvalCache::from_trace(&trace).expect("parse");
+        assert!(replay.is_replay());
+        assert_eq!(replay.len(), 3);
+        assert_eq!(replay.get_or_compute(key(3), || panic!("miss")), ppa(0.25));
+        assert_eq!(
+            replay.get_or_compute(key(2), || panic!("miss")),
+            Err(EvalError::DegenerateSpatial)
+        );
+        assert_eq!(replay.to_trace(), trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay miss")]
+    fn replay_miss_panics() {
+        let replay = EvalCache::from_trace("unico.evaltrace.v1 0\n").expect("parse");
+        let _ = replay.get_or_compute(key(99), || ppa(1.0));
+    }
+
+    #[test]
+    fn trace_errors_are_reported() {
+        assert!(matches!(
+            EvalCache::from_trace(""),
+            Err(TraceError::MissingHeader)
+        ));
+        assert!(matches!(
+            EvalCache::from_trace("bogus 0\n"),
+            Err(TraceError::BadHeader)
+        ));
+        assert!(matches!(
+            EvalCache::from_trace("unico.evaltrace.v1 1\nzz bad\n"),
+            Err(TraceError::BadLine(2))
+        ));
+        assert!(matches!(
+            EvalCache::from_trace("unico.evaltrace.v1 2\n"),
+            Err(TraceError::CountMismatch {
+                declared: 2,
+                found: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn nan_latency_roundtrips_bitwise() {
+        let cache = EvalCache::new();
+        let _ = cache.get_or_compute(key(1), || ppa(f64::NAN));
+        let replay = EvalCache::from_trace(&cache.to_trace()).expect("parse");
+        let v = replay
+            .get_or_compute(key(1), || panic!("miss"))
+            .expect("ok");
+        assert!(v.latency_s.is_nan());
+        assert_eq!(v.latency_s.to_bits(), f64::NAN.to_bits());
+    }
+}

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 mod analytical;
+mod evalcache;
 mod hw;
 mod loopcentric;
 mod platform;
@@ -52,6 +53,10 @@ mod tech;
 mod traffic;
 
 pub use analytical::{AnalyticalModel, BoundSpatialCost, EvalBreakdown, MappingObjective};
+pub use evalcache::{
+    spatial_eval_key, CacheStats, EngineTag, EvalCache, EvalKey, EvalKeyBuilder, EvalResult,
+    TraceError, SHARD_COUNT, TRACE_HEADER,
+};
 pub use hw::{Dataflow, HwConfig, HwSpace};
 pub use loopcentric::{BoundLoopCentricCost, LevelBreakdown, LevelStats, LoopCentricModel};
 pub use platform::{MappingTool, Platform, PpaEngine, SpatialPlatform};

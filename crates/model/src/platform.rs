@@ -1,6 +1,8 @@
 //! The `Platform` abstraction: everything the co-optimizer needs to know
 //! about a target accelerator family.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -11,6 +13,7 @@ use unico_mapping::{
 use unico_workloads::LoopNest;
 
 use crate::analytical::{AnalyticalModel, BoundSpatialCost, MappingObjective};
+use crate::evalcache::EvalCache;
 use crate::hw::{HwConfig, HwSpace};
 use crate::loopcentric::{BoundLoopCentricCost, LoopCentricModel};
 use crate::tech::TechParams;
@@ -72,6 +75,13 @@ pub trait Platform: Sync {
 
     /// One-line description of a configuration.
     fn describe(&self, hw: &Self::Hw) -> String;
+
+    /// The evaluation cache the platform threads into every bound cost,
+    /// if one is attached. Drivers snapshot its [`EvalCache::stats`]
+    /// around a run to report hit rates.
+    fn eval_cache(&self) -> Option<&EvalCache> {
+        None
+    }
 }
 
 /// Which analytical PPA engine backs the platform (the paper names both
@@ -111,6 +121,7 @@ pub struct SpatialPlatform {
     objective: MappingObjective,
     engine: PpaEngine,
     loop_centric: LoopCentricModel,
+    cache: Option<Arc<EvalCache>>,
 }
 
 impl SpatialPlatform {
@@ -125,6 +136,7 @@ impl SpatialPlatform {
             objective: MappingObjective::Latency,
             engine: PpaEngine::DataCentric,
             loop_centric: LoopCentricModel::new(TechParams::default()),
+            cache: None,
         }
     }
 
@@ -139,6 +151,7 @@ impl SpatialPlatform {
             objective: MappingObjective::Latency,
             engine: PpaEngine::DataCentric,
             loop_centric: LoopCentricModel::new(TechParams::cloud()),
+            cache: None,
         }
     }
 
@@ -163,6 +176,13 @@ impl SpatialPlatform {
     /// Selects the analytical PPA engine.
     pub fn with_engine(mut self, engine: PpaEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Attaches an evaluation cache (or a replay-mode cache loaded from
+    /// a golden trace); every bound cost memoizes through it.
+    pub fn with_eval_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -227,14 +247,17 @@ impl Platform for SpatialPlatform {
         hw: &HwConfig,
         nest: &LoopNest,
     ) -> Box<dyn MappingCost + Send + Sync + 'a> {
+        let cache = self.cache.as_deref();
         match self.engine {
             PpaEngine::DataCentric => Box::new(
                 BoundSpatialCost::new(&self.model, *hw, *nest, self.eval_cost_s)
-                    .with_objective(self.objective),
+                    .with_objective(self.objective)
+                    .with_cache(cache),
             ),
             PpaEngine::LoopCentric => Box::new(
                 BoundLoopCentricCost::new(&self.loop_centric, *hw, *nest, self.eval_cost_s)
-                    .with_objective(self.objective),
+                    .with_objective(self.objective)
+                    .with_cache(cache),
             ),
         }
     }
@@ -262,6 +285,10 @@ impl Platform for SpatialPlatform {
 
     fn describe(&self, hw: &HwConfig) -> String {
         hw.to_string()
+    }
+
+    fn eval_cache(&self) -> Option<&EvalCache> {
+        self.cache.as_deref()
     }
 }
 

@@ -16,6 +16,11 @@
 //! * **Deterministic seeding.** Case `i` of test `t` draws from
 //!   `StdRng::seed_from_u64(fnv1a(t) ^ i)`, so failures are stable
 //!   across runs and machines.
+//! * **No `.proptest-regressions` files.** Upstream persists shrunk
+//!   failures to per-crate regression files and replays them first; this
+//!   shim neither reads nor writes them (deterministic seeding already
+//!   makes every failure reproducible), so such files next to tests are
+//!   dead weight and should not be committed.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

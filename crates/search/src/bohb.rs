@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use unico_model::Platform;
+use unico_model::{EvalCache, Platform};
 use unico_surrogate::pareto::ParetoFront;
 use unico_surrogate::scalarize::{normalize_columns, parego, sample_simplex, DEFAULT_RHO};
 use unico_surrogate::{select_batch, AcquisitionKind, GaussianProcess, KernelKind};
@@ -77,6 +77,7 @@ where
     let mut hw_evals = 0usize;
     // One worker pool for all iterations; SH rounds reuse its threads.
     let engine = MappingEngine::new((cfg.workers as usize).max(1));
+    let cache_start = env.platform().eval_cache().map(EvalCache::stats);
 
     for iter in 0..cfg.iterations {
         // --- Assemble the batch: model-guided + random shares. ---
@@ -147,6 +148,10 @@ where
             ys.drain(..drop);
         }
         trace.record(clock.seconds(), front.objectives());
+    }
+
+    if let (Some(cache), Some(start)) = (env.platform().eval_cache(), cache_start) {
+        Telemetry::global().add_cache_stats(cache.stats().delta_since(&start));
     }
 
     CoSearchResult {

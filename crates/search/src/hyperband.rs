@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use unico_model::Platform;
+use unico_model::{EvalCache, Platform};
 use unico_surrogate::pareto::ParetoFront;
 
 use crate::engine::MappingEngine;
@@ -77,6 +77,7 @@ where
     let mut hw_evals = 0usize;
     // One worker pool for every bracket of every round.
     let engine = MappingEngine::new((cfg.workers as usize).max(1));
+    let cache_start = env.platform().eval_cache().map(EvalCache::stats);
 
     let brackets = num_brackets(cfg);
     for round in 0..cfg.rounds {
@@ -109,6 +110,10 @@ where
             }
             trace.record(clock.seconds(), front.objectives());
         }
+    }
+
+    if let (Some(cache), Some(start)) = (env.platform().eval_cache(), cache_start) {
+        Telemetry::global().add_cache_stats(cache.stats().delta_since(&start));
     }
 
     CoSearchResult {

@@ -46,8 +46,14 @@ pub use hasco::{run_hasco, HascoConfig};
 pub use hyperband::{run_hyperband, HyperbandConfig};
 pub use nsga2::{run_nsga2, Nsga2Config};
 pub use pool::{advance_pooled, advance_with_engine, ComputeTopology};
-pub use telemetry::{Counter, RunReport, Telemetry};
+pub use telemetry::{CacheReport, Counter, RunReport, Telemetry};
 pub use trace::{SearchTrace, SimClock, TracePoint};
+// The evaluation cache itself lives in `unico-model` (the crate every
+// PPA engine sees); re-exported here because the search drivers are
+// what record and replay it.
+pub use unico_model::{
+    spatial_eval_key, CacheStats, EngineTag, EvalCache, EvalKey, EvalKeyBuilder, TraceError,
+};
 
 /// Result common to all outer-loop searches: the PPA Pareto front of
 /// hardware configurations, the convergence trace, and eval statistics.

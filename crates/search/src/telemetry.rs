@@ -49,11 +49,17 @@ pub enum Counter {
     EngineThreadsSpawned,
     /// Hardware configurations fully evaluated.
     HwEvals,
+    /// PPA evaluations answered from the evaluation cache.
+    CacheHits,
+    /// PPA evaluations that missed the cache and were computed.
+    CacheMisses,
+    /// Cache entries dropped by per-shard FIFO eviction.
+    CacheEvictions,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 15] = [
         Counter::MappingEvals,
         Counter::GpFits,
         Counter::ShPromotionsTv,
@@ -66,6 +72,9 @@ impl Counter {
         Counter::EnginePanics,
         Counter::EngineThreadsSpawned,
         Counter::HwEvals,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheEvictions,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -83,6 +92,9 @@ impl Counter {
             Counter::EnginePanics => "engine_panics",
             Counter::EngineThreadsSpawned => "engine_threads_spawned",
             Counter::HwEvals => "hw_evals",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::CacheEvictions => "cache_evictions",
         }
     }
 
@@ -162,23 +174,89 @@ impl Telemetry {
         }
     }
 
+    /// Adds an evaluation-cache stats delta to the three cache
+    /// counters (drivers snapshot [`unico_model::EvalCache::stats`]
+    /// around a run and record the difference).
+    pub fn add_cache_stats(&self, d: unico_model::CacheStats) {
+        self.add(Counter::CacheHits, d.hits);
+        self.add(Counter::CacheMisses, d.misses);
+        self.add(Counter::CacheEvictions, d.evictions);
+    }
+
     /// Snapshots into a named [`RunReport`].
+    ///
+    /// When any cache counter is nonzero the report carries a `cache`
+    /// section aggregated from the counters, with `entries` derived as
+    /// `misses - evictions` (exact for the unbounded caches the
+    /// experiment drivers attach; a lower bound under FIFO-capped
+    /// caches that were pre-populated). Callers with a live
+    /// [`unico_model::EvalCache`] at hand (e.g. `Unico::run`) overwrite
+    /// the section with the per-run delta instead.
     pub fn report(&self, name: &str) -> RunReport {
         let phases = self.phases.lock().expect("phase map lock").clone();
-        let counters = Counter::ALL
+        let counters: std::collections::BTreeMap<String, u64> = Counter::ALL
             .iter()
             .map(|c| (c.name().to_string(), self.get(*c)))
             .collect();
+        let (hits, misses, evictions) = (
+            self.get(Counter::CacheHits),
+            self.get(Counter::CacheMisses),
+            self.get(Counter::CacheEvictions),
+        );
+        let cache = (hits + misses + evictions > 0).then(|| CacheReport {
+            hits,
+            misses,
+            evictions,
+            entries: misses.saturating_sub(evictions),
+        });
         RunReport {
             name: name.to_string(),
             phases_s: phases,
             counters,
+            cache,
+        }
+    }
+}
+
+/// Evaluation-cache counters attached to a [`RunReport`] (the `cache`
+/// section of `unico.run_report.v2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheReport {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that computed (one per distinct key).
+    pub misses: u64,
+    /// Entries dropped by FIFO eviction.
+    pub evictions: u64,
+    /// Entries resident at snapshot time.
+    pub entries: u64,
+}
+
+impl CacheReport {
+    /// Hit rate in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.hits + self.misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+impl From<unico_model::CacheStats> for CacheReport {
+    fn from(s: unico_model::CacheStats) -> Self {
+        CacheReport {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            entries: s.entries,
         }
     }
 }
 
 /// A structured snapshot of one run's telemetry, serializable to JSON
-/// (schema `unico.run_report.v1`, documented in `EXPERIMENTS.md`).
+/// (schema `unico.run_report.v2`, documented in `EXPERIMENTS.md`).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
     /// Run identifier (binary or experiment name).
@@ -187,24 +265,41 @@ pub struct RunReport {
     pub phases_s: BTreeMap<String, f64>,
     /// Monotonic counters by stable name.
     pub counters: BTreeMap<String, u64>,
+    /// Evaluation-cache section (`null` when no cache was attached).
+    pub cache: Option<CacheReport>,
 }
 
 impl RunReport {
     /// Renders the report as a self-describing JSON object.
     pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// Renders the report without the wall-clock `phases_s` section —
+    /// the only field that varies between two otherwise identical
+    /// seeded runs. The determinism gate compares this form
+    /// byte-for-byte.
+    pub fn deterministic_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, include_phases: bool) -> String {
         let mut out = String::from("{");
-        out.push_str("\"schema\":\"unico.run_report.v1\",");
+        out.push_str("\"schema\":\"unico.run_report.v2\",");
         out.push_str(&format!("\"name\":{},", json_string(&self.name)));
-        out.push_str("\"phases_s\":{");
-        let mut first = true;
-        for (k, v) in &self.phases_s {
-            if !first {
-                out.push(',');
+        if include_phases {
+            out.push_str("\"phases_s\":{");
+            let mut first = true;
+            for (k, v) in &self.phases_s {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{}:{}", json_string(k), json_number(*v)));
             }
-            first = false;
-            out.push_str(&format!("{}:{}", json_string(k), json_number(*v)));
+            out.push_str("},");
         }
-        out.push_str("},\"counters\":{");
+        out.push_str("\"counters\":{");
         let mut first = true;
         for (k, v) in &self.counters {
             if !first {
@@ -213,7 +308,19 @@ impl RunReport {
             first = false;
             out.push_str(&format!("{}:{v}", json_string(k)));
         }
-        out.push_str("}}");
+        out.push_str("},\"cache\":");
+        match &self.cache {
+            None => out.push_str("null"),
+            Some(c) => out.push_str(&format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"hit_rate\":{}}}",
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.entries,
+                json_number(c.hit_rate())
+            )),
+        }
+        out.push('}');
         out
     }
 }
@@ -287,9 +394,10 @@ mod tests {
         t.add_phase_secs("mapping_search", 0.25);
         let json = t.report("bench \"quoted\"\n").to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema\":\"unico.run_report.v1\""));
+        assert!(json.contains("\"schema\":\"unico.run_report.v2\""));
         assert!(json.contains("\"sh_promotions_auc\":3"));
         assert!(json.contains("\"mapping_search\":0.25"));
+        assert!(json.contains("\"cache\":null"));
         assert!(json.contains("\\\"quoted\\\"\\n"));
         // Balanced braces and no raw control characters.
         assert_eq!(
@@ -305,6 +413,31 @@ mod tests {
         assert_eq!(json_number(1.5), "1.5");
         assert_eq!(json_number(f64::INFINITY), "null");
         assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn cache_section_and_deterministic_json() {
+        let t = Telemetry::new();
+        t.add(Counter::CacheHits, 30);
+        t.add(Counter::CacheMisses, 10);
+        t.add_phase_secs("sampling", 0.5);
+        // Nonzero cache counters auto-populate the section, with
+        // entries derived as misses - evictions.
+        let r = t.report("cached");
+        let c = r.cache.expect("auto-populated from counters");
+        assert_eq!((c.hits, c.misses, c.evictions, c.entries), (30, 10, 0, 10));
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+        let json = r.to_json();
+        assert!(json.contains("\"cache\":{\"hits\":30,\"misses\":10,"));
+        assert!(json.contains("\"hit_rate\":0.75"));
+        assert!(json.contains("\"cache_hits\":30"));
+        // The deterministic form drops only the wall-clock phases.
+        let det = r.deterministic_json();
+        assert!(!det.contains("phases_s"));
+        assert!(det.contains("\"cache_hits\":30"));
+        assert!(det.contains("\"hit_rate\":0.75"));
+        // Zero-lookup reports divide safely.
+        assert_eq!(CacheReport::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod prelude {
     pub use unico_camodel::{AscendConfig, AscendPlatform};
     pub use unico_core::{experiments::Scale, Unico, UnicoConfig, UnicoResult};
     pub use unico_mapping::{Mapping, MappingSearcher, MappingSpace};
-    pub use unico_model::{Dataflow, HwConfig, HwSpace, Platform, SpatialPlatform};
-    pub use unico_search::{CoSearchEnv, EnvConfig};
+    pub use unico_model::{Dataflow, EvalCache, HwConfig, HwSpace, Platform, SpatialPlatform};
+    pub use unico_search::{CacheReport, CoSearchEnv, EnvConfig};
     pub use unico_workloads::{zoo, Network, TensorOp};
 }
