@@ -7,7 +7,7 @@
 //! `--out <dir>` (default `results/`). Outputs are written both to
 //! stdout (markdown) and as CSV files for plotting; every binary also
 //! writes a structured JSON run-report (`<name>.report.json`, schema
-//! `unico.run_report.v2`) next to its CSVs.
+//! `unico.run_report.v3`) next to its CSVs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -215,7 +215,7 @@ mod tests {
         let p = c.write_run_report("unit");
         assert_eq!(p.file_name().unwrap(), "unit.report.json");
         let body = std::fs::read_to_string(&p).unwrap();
-        assert!(body.contains("\"schema\":\"unico.run_report.v2\""));
+        assert!(body.contains("\"schema\":\"unico.run_report.v3\""));
         assert!(body.contains("\"phases_s\""));
         assert!(body.contains("\"counters\""));
         assert!(body.contains("\"cache_hits\""));

@@ -112,6 +112,54 @@ impl Platform for AscendPlatform {
     fn eval_cache(&self) -> Option<&EvalCache> {
         self.cache.as_deref()
     }
+
+    fn hw_words(&self, hw: &AscendConfig) -> Option<Vec<u64>> {
+        Some(
+            [
+                hw.cube_m,
+                hw.cube_n,
+                hw.cube_k,
+                hw.l0a_kb,
+                hw.l0b_kb,
+                hw.l0c_kb,
+                hw.l0a_banks,
+                hw.l0b_banks,
+                hw.l0c_banks,
+                hw.l1_kb,
+                hw.ub_kb,
+                hw.pb_kb,
+                hw.icache_kb,
+            ]
+            .iter()
+            .map(|&w| w as u64)
+            .collect(),
+        )
+    }
+
+    fn hw_from_words(&self, words: &[u64]) -> Option<AscendConfig> {
+        if words.len() != 13 {
+            return None;
+        }
+        let mut w = [0u32; 13];
+        for (dst, &src) in w.iter_mut().zip(words) {
+            *dst = u32::try_from(src).ok()?;
+        }
+        Some(AscendConfig {
+            cube_m: w[0],
+            cube_n: w[1],
+            cube_k: w[2],
+            l0a_kb: w[3],
+            l0b_kb: w[4],
+            l0c_kb: w[5],
+            l0a_banks: w[6],
+            l0b_banks: w[7],
+            l0c_banks: w[8],
+            l1_kb: w[9],
+            ub_kb: w[10],
+            pb_kb: w[11],
+            icache_kb: w[12],
+        })
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +178,20 @@ mod tests {
         assert!(p.hw_space_size() as f64 > 1e7);
         assert!(p.eval_cost_seconds() >= 120.0);
         assert_eq!(p.name(), "ascend-like");
+    }
+
+    #[test]
+    fn hw_words_round_trip_exactly() {
+        let p = AscendPlatform::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..32 {
+            let hw = p.sample_hw(&mut rng);
+            let words = p.hw_words(&hw).expect("ascend supports checkpointing");
+            let back = p.hw_from_words(&words).expect("words round-trip");
+            assert_eq!(back, hw);
+        }
+        assert!(p.hw_from_words(&[1, 2]).is_none());
+        assert!(p.hw_from_words(&[u64::MAX; 13]).is_none());
     }
 
     #[test]

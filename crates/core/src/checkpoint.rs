@@ -1,0 +1,1010 @@
+//! Crash-safe checkpointing of an in-flight UNICO run.
+//!
+//! A [`Checkpoint`] is a pure-data snapshot of everything the MOBO outer
+//! loop carries across iterations: the run configuration, RNG state,
+//! simulated clock, Pareto archive, evaluation records (hardware encoded
+//! through `Platform::hw_words`), the surrogate training sets, the UUL
+//! threshold state, telemetry counters, and — when an evaluation cache
+//! is attached — its counters plus the full golden trace needed to
+//! rebuild it.
+//!
+//! The on-disk format is a single JSON object with schema
+//! `unico.checkpoint.v1`. **Every `f64` is stored as its IEEE-754 bit
+//! pattern** (a decimal `u64`), so a restore is bit-exact and the
+//! resume-equivalence oracle can compare fronts and reports
+//! byte-for-byte; it also means non-finite values (the initial
+//! `uul = +inf`) round-trip without special cases. Writes are atomic:
+//! the file is staged as `<path>.tmp`, synced, then renamed over the
+//! destination, so a crash mid-write never corrupts the previous
+//! checkpoint.
+//!
+//! Serialization lives here; conversion to and from the live loop state
+//! is `unico.rs`'s job, keeping this module free of search/platform
+//! types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::unico::UnicoConfig;
+
+/// Schema identifier embedded in (and required of) every checkpoint.
+pub const SCHEMA: &str = "unico.checkpoint.v1";
+
+/// When and where the outer loop writes checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Destination file (written atomically via `<path>.tmp` + rename).
+    pub path: PathBuf,
+    /// Write every `every` completed iterations (and always at the final
+    /// one). `1` checkpoints every boundary.
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints to `path` at every iteration boundary.
+    ///
+    /// # Panics
+    ///
+    /// Never; `every` defaults to 1.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            every: 1,
+        }
+    }
+
+    /// Sets the cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn with_every(mut self, every: usize) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.every = every;
+        self
+    }
+
+    /// Builds a policy from the environment: `UNICO_CHECKPOINT` names
+    /// the file (absent → `None`), `UNICO_CHECKPOINT_EVERY` the cadence
+    /// (absent or unparsable → 1).
+    pub fn from_env() -> Option<Self> {
+        let path = std::env::var_os("UNICO_CHECKPOINT")?;
+        if path.is_empty() {
+            return None;
+        }
+        let every = std::env::var("UNICO_CHECKPOINT_EVERY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&e| e > 0)
+            .unwrap_or(1);
+        Some(CheckpointPolicy::new(PathBuf::from(path)).with_every(every))
+    }
+}
+
+/// Why a checkpoint could not be read or written.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not well-formed checkpoint JSON.
+    Parse(String),
+    /// The file parses but violates the schema (wrong version, missing
+    /// or mistyped field, or a platform that cannot rebuild its
+    /// hardware words).
+    Schema(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(m) => write!(f, "checkpoint parse error: {m}"),
+            CheckpointError::Schema(m) => write!(f, "checkpoint schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// One Pareto-archive entry: objectives plus the index of its
+/// evaluation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontEntry {
+    /// Objective vector.
+    pub y: Vec<f64>,
+    /// Index into [`Checkpoint::evaluations`].
+    pub idx: usize,
+}
+
+/// One evaluated hardware configuration, platform-agnostic: the
+/// configuration itself is the integer-word encoding produced by
+/// `Platform::hw_words`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalSnapshot {
+    /// `Platform::hw_words` encoding of the configuration.
+    pub hw_words: Vec<u64>,
+    /// `(latency_s, power_mw, area_mm2)`, or `None` if infeasible.
+    pub assessment: Option<[f64; 3]>,
+    /// Aggregated robustness `R`, if computable.
+    pub robustness: Option<f64>,
+    /// Mapping-search budget consumed.
+    pub spent: u64,
+    /// Iteration the candidate was evaluated in.
+    pub iteration: usize,
+    /// Whether the sample fed the surrogate.
+    pub fed: bool,
+}
+
+/// One convergence-trace snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSnapshot {
+    /// Simulated wall-clock seconds.
+    pub seconds: f64,
+    /// Front objective vectors at that instant.
+    pub front: Vec<Vec<f64>>,
+}
+
+/// Informational per-network summary (names and reduced layer counts of
+/// the workload set the run was launched with).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSnapshot {
+    /// Network name.
+    pub name: String,
+    /// Number of (reduced) layers co-searched per candidate.
+    pub layers: usize,
+}
+
+/// Evaluation-cache state carried by a checkpoint: the run-so-far
+/// counter deltas plus the full golden trace used to rebuild the cache
+/// contents on resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Hits since the (original) run started.
+    pub hits: u64,
+    /// Misses since the (original) run started.
+    pub misses: u64,
+    /// Evictions since the (original) run started.
+    pub evictions: u64,
+    /// `EvalCache::to_trace` dump of the cache contents.
+    pub trace: String,
+}
+
+/// A complete snapshot of the UNICO outer loop at an iteration
+/// boundary (schema [`SCHEMA`]).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The run configuration (a resumed run must re-use it verbatim).
+    pub config: UnicoConfig,
+    /// `Platform::name` of the platform the run targets; resume refuses
+    /// a mismatched platform.
+    pub platform: String,
+    /// Completed MOBO iterations.
+    pub iterations_done: usize,
+    /// xoshiro256++ RNG state words.
+    pub rng: [u64; 4],
+    /// Simulated wall-clock seconds elapsed.
+    pub clock_seconds: f64,
+    /// Current Upper Update Limit (starts at `+inf`).
+    pub uul: f64,
+    /// Accepted ParEGO-distance set `D`.
+    pub accepted_d: Vec<f64>,
+    /// Pareto archive in insertion order.
+    pub front: Vec<FrontEntry>,
+    /// Every evaluation record so far, in evaluation order.
+    pub evaluations: Vec<EvalSnapshot>,
+    /// Feature vectors of all feasible samples.
+    pub all_xs: Vec<Vec<f64>>,
+    /// Objective vectors of all feasible samples.
+    pub all_ys: Vec<Vec<f64>>,
+    /// High-fidelity GP training features.
+    pub hf_xs: Vec<Vec<f64>>,
+    /// High-fidelity GP training objectives.
+    pub hf_ys: Vec<Vec<f64>>,
+    /// Convergence trace so far.
+    pub trace: Vec<TraceSnapshot>,
+    /// Per-network workload summaries (informational).
+    pub networks: Vec<NetworkSnapshot>,
+    /// Telemetry counter totals at the boundary, by stable name. The
+    /// `checkpoints_written` entry counts the write carrying it, and
+    /// `engine_threads_spawned` is excluded (a resumed run spawns its
+    /// own pool).
+    pub counters: BTreeMap<String, u64>,
+    /// Evaluation-cache state, when a cache is attached.
+    pub cache: Option<CacheSnapshot>,
+}
+
+impl Checkpoint {
+    /// Renders the checkpoint as its on-disk JSON form.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        o.push('{');
+        o.push_str(&format!("\"schema\":{},", string(SCHEMA)));
+        let c = &self.config;
+        o.push_str(&format!(
+            "\"config\":{{\"max_iter\":{},\"batch\":{},\"b_max\":{},\"auc_fraction\":{},\
+             \"high_fidelity\":{},\"robustness_objective\":{},\"alpha\":{},\"rho\":{},\
+             \"random_fraction\":{},\"candidate_pool\":{},\"uul_percentile\":{},\"seed\":{},\
+             \"workers\":{}}},",
+            c.max_iter,
+            c.batch,
+            c.b_max,
+            bits(c.auc_fraction),
+            c.high_fidelity,
+            c.robustness_objective,
+            bits(c.alpha),
+            bits(c.rho),
+            bits(c.random_fraction),
+            c.candidate_pool,
+            bits(c.uul_percentile),
+            c.seed,
+            c.workers
+        ));
+        o.push_str(&format!("\"platform\":{},", string(&self.platform)));
+        o.push_str(&format!("\"iterations_done\":{},", self.iterations_done));
+        o.push_str(&format!(
+            "\"rng\":[{},{},{},{}],",
+            self.rng[0], self.rng[1], self.rng[2], self.rng[3]
+        ));
+        o.push_str(&format!("\"clock_seconds\":{},", bits(self.clock_seconds)));
+        o.push_str(&format!("\"uul\":{},", bits(self.uul)));
+        o.push_str(&format!("\"accepted_d\":{},", bits_array(&self.accepted_d)));
+        o.push_str("\"front\":[");
+        push_joined(&mut o, &self.front, |o, e| {
+            o.push_str(&format!("{{\"y\":{},\"idx\":{}}}", bits_array(&e.y), e.idx))
+        });
+        o.push_str("],\"evaluations\":[");
+        push_joined(&mut o, &self.evaluations, |o, e| {
+            o.push_str("{\"hw\":[");
+            push_joined(o, &e.hw_words, |o, w| o.push_str(&w.to_string()));
+            o.push_str("],\"assessment\":");
+            match &e.assessment {
+                None => o.push_str("null"),
+                Some(a) => o.push_str(&format!("[{},{},{}]", bits(a[0]), bits(a[1]), bits(a[2]))),
+            }
+            o.push_str(",\"robustness\":");
+            match e.robustness {
+                None => o.push_str("null"),
+                Some(r) => o.push_str(&bits(r).to_string()),
+            }
+            o.push_str(&format!(
+                ",\"spent\":{},\"iteration\":{},\"fed\":{}}}",
+                e.spent, e.iteration, e.fed
+            ))
+        });
+        o.push(']');
+        for (key, rows) in [
+            ("all_xs", &self.all_xs),
+            ("all_ys", &self.all_ys),
+            ("hf_xs", &self.hf_xs),
+            ("hf_ys", &self.hf_ys),
+        ] {
+            o.push_str(&format!(",\"{key}\":["));
+            push_joined(&mut o, rows, |o, row| o.push_str(&bits_array(row)));
+            o.push(']');
+        }
+        o.push_str(",\"trace\":[");
+        push_joined(&mut o, &self.trace, |o, p| {
+            o.push_str(&format!("{{\"seconds\":{},\"front\":[", bits(p.seconds)));
+            push_joined(o, &p.front, |o, row| o.push_str(&bits_array(row)));
+            o.push_str("]}")
+        });
+        o.push_str("],\"networks\":[");
+        push_joined(&mut o, &self.networks, |o, n| {
+            o.push_str(&format!(
+                "{{\"name\":{},\"layers\":{}}}",
+                string(&n.name),
+                n.layers
+            ))
+        });
+        o.push_str("],\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            o.push_str(&format!("{}:{v}", string(k)));
+        }
+        o.push_str("},\"cache\":");
+        match &self.cache {
+            None => o.push_str("null"),
+            Some(c) => o.push_str(&format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"trace\":{}}}",
+                c.hits,
+                c.misses,
+                c.evictions,
+                string(&c.trace)
+            )),
+        }
+        o.push('}');
+        o
+    }
+
+    /// Parses the on-disk JSON form.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Parse`] for malformed JSON,
+    /// [`CheckpointError::Schema`] for a wrong schema string or a
+    /// missing/mistyped field.
+    pub fn from_json(text: &str) -> Result<Self, CheckpointError> {
+        let v = parse_json(text).map_err(CheckpointError::Parse)?;
+        let top = v.as_obj("checkpoint")?;
+        let schema = get(top, "schema")?.as_str("schema")?;
+        if schema != SCHEMA {
+            return Err(CheckpointError::Schema(format!(
+                "unsupported schema {schema:?} (expected {SCHEMA:?})"
+            )));
+        }
+        let c = get(top, "config")?.as_obj("config")?;
+        let config = UnicoConfig {
+            max_iter: get(c, "max_iter")?.as_usize("max_iter")?,
+            batch: get(c, "batch")?.as_usize("batch")?,
+            b_max: get(c, "b_max")?.as_u64("b_max")?,
+            auc_fraction: get(c, "auc_fraction")?.as_f64_bits("auc_fraction")?,
+            high_fidelity: get(c, "high_fidelity")?.as_bool("high_fidelity")?,
+            robustness_objective: get(c, "robustness_objective")?
+                .as_bool("robustness_objective")?,
+            alpha: get(c, "alpha")?.as_f64_bits("alpha")?,
+            rho: get(c, "rho")?.as_f64_bits("rho")?,
+            random_fraction: get(c, "random_fraction")?.as_f64_bits("random_fraction")?,
+            candidate_pool: get(c, "candidate_pool")?.as_usize("candidate_pool")?,
+            uul_percentile: get(c, "uul_percentile")?.as_f64_bits("uul_percentile")?,
+            seed: get(c, "seed")?.as_u64("seed")?,
+            workers: get(c, "workers")?.as_u64("workers")? as u32,
+        };
+        let rng_v = get(top, "rng")?.as_arr("rng")?;
+        if rng_v.len() != 4 {
+            return Err(CheckpointError::Schema("rng must have 4 words".into()));
+        }
+        let mut rng = [0u64; 4];
+        for (dst, v) in rng.iter_mut().zip(rng_v) {
+            *dst = v.as_u64("rng word")?;
+        }
+        let front = get(top, "front")?
+            .as_arr("front")?
+            .iter()
+            .map(|e| {
+                let e = e.as_obj("front entry")?;
+                Ok(FrontEntry {
+                    y: f64_rows_one(get(e, "y")?, "front y")?,
+                    idx: get(e, "idx")?.as_usize("front idx")?,
+                })
+            })
+            .collect::<Result<Vec<_>, CheckpointError>>()?;
+        let evaluations = get(top, "evaluations")?
+            .as_arr("evaluations")?
+            .iter()
+            .map(|e| {
+                let e = e.as_obj("evaluation")?;
+                let hw_words = get(e, "hw")?
+                    .as_arr("hw")?
+                    .iter()
+                    .map(|w| w.as_u64("hw word"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let assessment = match get(e, "assessment")? {
+                    Json::Null => None,
+                    v => {
+                        let a = f64_rows_one(v, "assessment")?;
+                        if a.len() != 3 {
+                            return Err(CheckpointError::Schema(
+                                "assessment must have 3 objectives".into(),
+                            ));
+                        }
+                        Some([a[0], a[1], a[2]])
+                    }
+                };
+                let robustness = match get(e, "robustness")? {
+                    Json::Null => None,
+                    v => Some(v.as_f64_bits("robustness")?),
+                };
+                Ok(EvalSnapshot {
+                    hw_words,
+                    assessment,
+                    robustness,
+                    spent: get(e, "spent")?.as_u64("spent")?,
+                    iteration: get(e, "iteration")?.as_usize("iteration")?,
+                    fed: get(e, "fed")?.as_bool("fed")?,
+                })
+            })
+            .collect::<Result<Vec<_>, CheckpointError>>()?;
+        let trace = get(top, "trace")?
+            .as_arr("trace")?
+            .iter()
+            .map(|p| {
+                let p = p.as_obj("trace point")?;
+                Ok(TraceSnapshot {
+                    seconds: get(p, "seconds")?.as_f64_bits("seconds")?,
+                    front: f64_rows(get(p, "front")?, "trace front")?,
+                })
+            })
+            .collect::<Result<Vec<_>, CheckpointError>>()?;
+        let networks = get(top, "networks")?
+            .as_arr("networks")?
+            .iter()
+            .map(|n| {
+                let n = n.as_obj("network")?;
+                Ok(NetworkSnapshot {
+                    name: get(n, "name")?.as_str("network name")?.to_string(),
+                    layers: get(n, "layers")?.as_usize("network layers")?,
+                })
+            })
+            .collect::<Result<Vec<_>, CheckpointError>>()?;
+        let mut counters = BTreeMap::new();
+        for (k, v) in get(top, "counters")?.as_obj("counters")? {
+            counters.insert(k.clone(), v.as_u64("counter")?);
+        }
+        let cache = match get(top, "cache")? {
+            Json::Null => None,
+            v => {
+                let c = v.as_obj("cache")?;
+                Some(CacheSnapshot {
+                    hits: get(c, "hits")?.as_u64("cache hits")?,
+                    misses: get(c, "misses")?.as_u64("cache misses")?,
+                    evictions: get(c, "evictions")?.as_u64("cache evictions")?,
+                    trace: get(c, "trace")?.as_str("cache trace")?.to_string(),
+                })
+            }
+        };
+        Ok(Checkpoint {
+            config,
+            platform: get(top, "platform")?.as_str("platform")?.to_string(),
+            iterations_done: get(top, "iterations_done")?.as_usize("iterations_done")?,
+            rng,
+            clock_seconds: get(top, "clock_seconds")?.as_f64_bits("clock_seconds")?,
+            uul: get(top, "uul")?.as_f64_bits("uul")?,
+            accepted_d: f64_rows_one(get(top, "accepted_d")?, "accepted_d")?,
+            front,
+            evaluations,
+            all_xs: f64_rows(get(top, "all_xs")?, "all_xs")?,
+            all_ys: f64_rows(get(top, "all_ys")?, "all_ys")?,
+            hf_xs: f64_rows(get(top, "hf_xs")?, "hf_xs")?,
+            hf_ys: f64_rows(get(top, "hf_ys")?, "hf_ys")?,
+            trace,
+            networks,
+            counters,
+            cache,
+        })
+    }
+
+    /// Atomically writes the checkpoint to `path`: the JSON is staged
+    /// as `<path>.tmp`, synced to disk, then renamed over the
+    /// destination, so a crash mid-write leaves any previous checkpoint
+    /// intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// Reads and parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// See [`Checkpoint::from_json`]; filesystem failures surface as
+    /// [`CheckpointError::Io`].
+    pub fn read(path: &Path) -> Result<Self, CheckpointError> {
+        Checkpoint::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+fn bits(v: f64) -> u64 {
+    v.to_bits()
+}
+
+fn bits_array(vs: &[f64]) -> String {
+    let mut o = String::from("[");
+    push_joined(&mut o, vs, |o, v| o.push_str(&bits(*v).to_string()));
+    o.push(']');
+    o
+}
+
+fn push_joined<T>(out: &mut String, items: &[T], mut f: impl FnMut(&mut String, &T)) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        f(out, item);
+    }
+}
+
+fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader for the checkpoint dialect: objects, arrays,
+// strings, `true`/`false`/`null`, and *unsigned decimal integers* (the
+// writer stores every float as its u64 bit pattern, so signs, fractions
+// and exponents never occur and are rejected).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], CheckpointError> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            v => Err(mistyped(what, "object", v)),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], CheckpointError> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            v => Err(mistyped(what, "array", v)),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, CheckpointError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            v => Err(mistyped(what, "string", v)),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, CheckpointError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            v => Err(mistyped(what, "bool", v)),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, CheckpointError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            v => Err(mistyped(what, "number", v)),
+        }
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize, CheckpointError> {
+        usize::try_from(self.as_u64(what)?)
+            .map_err(|_| CheckpointError::Schema(format!("{what} overflows usize")))
+    }
+
+    fn as_f64_bits(&self, what: &str) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.as_u64(what)?))
+    }
+}
+
+fn mistyped(what: &str, want: &str, got: &Json) -> CheckpointError {
+    CheckpointError::Schema(format!(
+        "{what}: expected {want}, found {}",
+        got.type_name()
+    ))
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, CheckpointError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| CheckpointError::Schema(format!("missing field {key:?}")))
+}
+
+fn f64_rows_one(v: &Json, what: &str) -> Result<Vec<f64>, CheckpointError> {
+    v.as_arr(what)?
+        .iter()
+        .map(|b| b.as_f64_bits(what))
+        .collect()
+}
+
+fn f64_rows(v: &Json, what: &str) -> Result<Vec<Vec<f64>>, CheckpointError> {
+    v.as_arr(what)?
+        .iter()
+        .map(|r| f64_rows_one(r, what))
+        .collect()
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            Some(_) if self.eat_literal("null") => Ok(Json::Null),
+            Some(_) if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(_) if self.eat_literal("false") => Ok(Json::Bool(false)),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+            return Err(format!(
+                "non-integer number at byte {start} (checkpoint floats are bit patterns)"
+            ));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
+        s.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| format!("number out of u64 range at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "non-ascii \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "\\u escape not a scalar".to_string())?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control character at byte {}", self.pos))
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            config: UnicoConfig {
+                max_iter: 3,
+                batch: 6,
+                seed: 7,
+                ..UnicoConfig::default()
+            },
+            platform: "spatial-edge".to_string(),
+            iterations_done: 2,
+            rng: [1, 2, 3, u64::MAX],
+            clock_seconds: 1234.5678,
+            uul: f64::INFINITY,
+            accepted_d: vec![0.25, 0.5, f64::NAN],
+            front: vec![FrontEntry {
+                y: vec![1.5, -2.5, 0.0],
+                idx: 4,
+            }],
+            evaluations: vec![
+                EvalSnapshot {
+                    hw_words: vec![4, 8, 1024, 65536, 64, 1],
+                    assessment: Some([0.001, 120.0, 3.25]),
+                    robustness: Some(0.125),
+                    spent: 32,
+                    iteration: 0,
+                    fed: true,
+                },
+                EvalSnapshot {
+                    hw_words: vec![2, 2, 512, 32768, 32, 0],
+                    assessment: None,
+                    robustness: None,
+                    spent: 8,
+                    iteration: 1,
+                    fed: false,
+                },
+            ],
+            all_xs: vec![vec![0.1, 0.2]],
+            all_ys: vec![vec![1.0, 2.0, 3.0]],
+            hf_xs: vec![],
+            hf_ys: vec![],
+            trace: vec![TraceSnapshot {
+                seconds: 10.0,
+                front: vec![vec![1.0, 2.0, 3.0]],
+            }],
+            networks: vec![NetworkSnapshot {
+                name: "mobilenet_v1".to_string(),
+                layers: 1,
+            }],
+            counters: [("hw_evals".to_string(), 12), ("gp_fits".to_string(), 2)]
+                .into_iter()
+                .collect(),
+            cache: Some(CacheSnapshot {
+                hits: 5,
+                misses: 7,
+                evictions: 0,
+                trace: "unico.evalcache.trace.v1\ncount 0\n".to_string(),
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let ck = sample();
+        let json = ck.to_json();
+        let back = Checkpoint::from_json(&json).expect("round trip parses");
+        // NaN forbids a direct PartialEq; byte-compare the re-render.
+        assert_eq!(back.to_json(), json);
+        assert_eq!(back.iterations_done, 2);
+        assert_eq!(back.rng, [1, 2, 3, u64::MAX]);
+        assert!(back.uul.is_infinite());
+        assert!(back.accepted_d[2].is_nan());
+        assert_eq!(back.evaluations[1].assessment, None);
+        assert_eq!(back.config.seed, 7);
+        assert_eq!(back.cache.as_ref().unwrap().misses, 7);
+    }
+
+    #[test]
+    fn empty_collections_round_trip() {
+        let mut ck = sample();
+        ck.front.clear();
+        ck.evaluations.clear();
+        ck.accepted_d.clear();
+        ck.trace.clear();
+        ck.networks.clear();
+        ck.counters.clear();
+        ck.cache = None;
+        let json = ck.to_json();
+        let back = Checkpoint::from_json(&json).expect("parses");
+        assert_eq!(back.to_json(), json);
+        assert!(back.cache.is_none());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let json = sample()
+            .to_json()
+            .replace("unico.checkpoint.v1", "unico.checkpoint.v9");
+        match Checkpoint::from_json(&json) {
+            Err(CheckpointError::Schema(m)) => assert!(m.contains("v9")),
+            other => panic!("expected schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"schema\":}",
+            "nope",
+            "{\"schema\":\"unico.checkpoint.v1\"} trailing",
+            "{\"a\":1.5}",
+            "{\"a\":-3}",
+        ] {
+            assert!(
+                matches!(Checkpoint::from_json(bad), Err(CheckpointError::Parse(_))),
+                "{bad:?} must be a parse error"
+            );
+        }
+        // Well-formed JSON with a missing field is a schema error.
+        assert!(matches!(
+            Checkpoint::from_json("{\"schema\":\"unico.checkpoint.v1\"}"),
+            Err(CheckpointError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join("unico-ckpt-test");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("atomic_write_then_read.checkpoint");
+        let ck = sample();
+        ck.write_atomic(&path).expect("write");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists(), "staging file renamed away");
+        let back = Checkpoint::read(&path).expect("read back");
+        assert_eq!(back.to_json(), ck.to_json());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let p = PathBuf::from("/nonexistent/unico.checkpoint");
+        assert!(matches!(Checkpoint::read(&p), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn policy_cadence_validation() {
+        let p = CheckpointPolicy::new("/tmp/x.ck");
+        assert_eq!(p.every, 1);
+        assert_eq!(p.clone().with_every(5).every, 5);
+        let e = CheckpointError::Parse("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cadence_panics() {
+        let _ = CheckpointPolicy::new("/tmp/x.ck").with_every(0);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut ck = sample();
+        ck.platform = "weird \"name\"\n\twith\\escapes \u{1F600} \u{0001}".to_string();
+        let back = Checkpoint::from_json(&ck.to_json()).expect("parses");
+        assert_eq!(back.platform, ck.platform);
+    }
+}

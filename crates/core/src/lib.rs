@@ -43,9 +43,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod report;
 pub mod robustness;
 mod unico;
 
-pub use unico::{HwRecord, Unico, UnicoConfig, UnicoResult};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
+pub use unico::{HwRecord, RunOptions, Unico, UnicoConfig, UnicoResult};

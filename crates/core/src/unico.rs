@@ -1,18 +1,25 @@
 //! The UNICO co-optimization algorithm (paper Algorithm 1).
 
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use unico_model::{EvalCache, Platform};
 use unico_search::sh::{self, ShConfig};
 use unico_search::{
-    Assessment, CacheReport, CoSearchEnv, Counter, HwSession, MappingEngine, RunReport,
-    SearchTrace, SimClock, Telemetry,
+    Assessment, CacheReport, CacheStats, CoSearchEnv, Counter, FaultContext, HwSession,
+    MappingEngine, RunReport, SearchTrace, SimClock, Telemetry, TracePoint,
 };
 use unico_surrogate::pareto::ParetoFront;
 use unico_surrogate::scalarize::{normalize_columns, parego, sample_simplex};
 use unico_surrogate::{select_batch, AcquisitionKind, GaussianProcess, KernelKind};
 
+use crate::checkpoint::{
+    CacheSnapshot, Checkpoint, CheckpointError, CheckpointPolicy, EvalSnapshot, FrontEntry,
+    NetworkSnapshot, TraceSnapshot,
+};
 use crate::robustness::aggregate_robustness;
 
 /// Configuration of a UNICO run. The defaults match the paper's
@@ -135,7 +142,7 @@ pub struct UnicoResult<H> {
     pub hw_evals: usize,
     /// Structured telemetry snapshot of this run: phase wall-clock
     /// timers, evaluation counters, and the evaluation-cache section
-    /// when a cache is attached (schema `unico.run_report.v2`).
+    /// when a cache is attached (schema `unico.run_report.v3`).
     pub report: RunReport,
 }
 
@@ -192,6 +199,277 @@ impl<H> UnicoResult<H> {
     }
 }
 
+/// Optional run machinery around the MOBO loop: crash-safe
+/// checkpointing, deterministic fault injection, and the kill-switch
+/// test hook the resume-equivalence oracle uses.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions<'a> {
+    /// Write [`Checkpoint`]s per this policy (`None` disables).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Thread a deterministic fault plan through every mapping-search
+    /// round (`None` runs fault-free).
+    pub faults: Option<&'a FaultContext>,
+    /// Test hook: panic at this checkpoint boundary *after* the
+    /// snapshot is armed but *before* the periodic write, so the
+    /// panic-guard flush is what lands on disk. Ignored when
+    /// `checkpoint` is `None`.
+    pub kill_after: Option<usize>,
+}
+
+impl RunOptions<'_> {
+    /// Builds options from the environment: `UNICO_CHECKPOINT` names
+    /// the checkpoint file and `UNICO_CHECKPOINT_EVERY` the cadence
+    /// (see [`CheckpointPolicy::from_env`]). Faults and the kill hook
+    /// are never enabled from the environment.
+    pub fn from_env() -> Self {
+        RunOptions {
+            checkpoint: CheckpointPolicy::from_env(),
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// Everything the MOBO outer loop carries across iterations, split out
+/// of `run` so a checkpoint can snapshot it and a resume can rebuild
+/// it.
+struct LoopState<H> {
+    start_iter: usize,
+    rng: StdRng,
+    clock: SimClock,
+    trace: SearchTrace,
+    front: ParetoFront<usize>,
+    evaluations: Vec<HwRecord<H>>,
+    all_xs: Vec<Vec<f64>>,
+    all_ys: Vec<Vec<f64>>,
+    hf_xs: Vec<Vec<f64>>,
+    hf_ys: Vec<Vec<f64>>,
+    accepted_d: Vec<f64>,
+    uul: f64,
+    /// Counter totals restored from a checkpoint (empty on a fresh
+    /// run); seeded into the run's telemetry before the loop starts.
+    baseline_counters: BTreeMap<String, u64>,
+    /// `(hits, misses, evictions)` of the evaluation cache accumulated
+    /// before the checkpoint, so the final report can present
+    /// whole-run totals.
+    cache_baseline: Option<(u64, u64, u64)>,
+}
+
+impl<H> LoopState<H> {
+    fn fresh(cfg: &UnicoConfig) -> Self {
+        LoopState {
+            start_iter: 0,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            clock: SimClock::new(cfg.workers),
+            trace: SearchTrace::new(),
+            front: ParetoFront::new(),
+            evaluations: Vec::new(),
+            all_xs: Vec::new(),
+            all_ys: Vec::new(),
+            hf_xs: Vec::new(),
+            hf_ys: Vec::new(),
+            accepted_d: Vec::new(),
+            uul: f64::INFINITY,
+            baseline_counters: BTreeMap::new(),
+            cache_baseline: None,
+        }
+    }
+}
+
+fn restore_state<P: Platform>(
+    env: &CoSearchEnv<'_, P>,
+    ck: &Checkpoint,
+) -> Result<LoopState<P::Hw>, CheckpointError> {
+    let platform = env.platform();
+    let mut evaluations = Vec::with_capacity(ck.evaluations.len());
+    for e in &ck.evaluations {
+        let hw = platform.hw_from_words(&e.hw_words).ok_or_else(|| {
+            CheckpointError::Schema(format!(
+                "platform {:?} cannot rebuild hardware words {:?}",
+                platform.name(),
+                e.hw_words
+            ))
+        })?;
+        evaluations.push(HwRecord {
+            hw,
+            assessment: e
+                .assessment
+                .map(|[latency_s, power_mw, area_mm2]| Assessment {
+                    latency_s,
+                    power_mw,
+                    area_mm2,
+                }),
+            robustness: e.robustness,
+            budget_spent: e.spent,
+            iteration: e.iteration,
+            fed_surrogate: e.fed,
+        });
+    }
+    for f in &ck.front {
+        if f.idx >= evaluations.len() {
+            return Err(CheckpointError::Schema(format!(
+                "front index {} out of bounds ({} evaluations)",
+                f.idx,
+                evaluations.len()
+            )));
+        }
+    }
+    Ok(LoopState {
+        start_iter: ck.iterations_done,
+        rng: StdRng::from_state(ck.rng),
+        clock: SimClock::resumed(ck.config.workers, ck.clock_seconds),
+        trace: SearchTrace::from_points(
+            ck.trace
+                .iter()
+                .map(|p| TracePoint {
+                    seconds: p.seconds,
+                    front: p.front.clone(),
+                })
+                .collect(),
+        ),
+        front: ParetoFront::from_entries(ck.front.iter().map(|f| (f.y.clone(), f.idx)).collect()),
+        evaluations,
+        all_xs: ck.all_xs.clone(),
+        all_ys: ck.all_ys.clone(),
+        hf_xs: ck.hf_xs.clone(),
+        hf_ys: ck.hf_ys.clone(),
+        accepted_d: ck.accepted_d.clone(),
+        uul: ck.uul,
+        baseline_counters: ck.counters.clone(),
+        cache_baseline: ck.cache.as_ref().map(|c| (c.hits, c.misses, c.evictions)),
+    })
+}
+
+/// Snapshots the loop at the boundary after `done` completed
+/// iterations. Counter totals fold in the live engine metrics and the
+/// cache delta (which the uninterrupted run only adds to telemetry at
+/// the end), count the checkpoint write carrying the snapshot, and
+/// exclude `engine_threads_spawned` (a resumed run spawns its own
+/// pool), so a resumed run's totals line up exactly with an
+/// uninterrupted run's.
+fn build_checkpoint<P: Platform>(
+    cfg: &UnicoConfig,
+    env: &CoSearchEnv<'_, P>,
+    done: usize,
+    st: &LoopState<P::Hw>,
+    telemetry: &Telemetry,
+    engine: &MappingEngine,
+    cache_start: Option<&CacheStats>,
+) -> Checkpoint {
+    let platform = env.platform();
+    let cache_delta = match (platform.eval_cache(), cache_start) {
+        (Some(c), Some(start)) => Some((c.stats().delta_since(start), c.to_trace())),
+        _ => None,
+    };
+    let m = engine.metrics();
+    let mut counters = BTreeMap::new();
+    for c in Counter::ALL {
+        if c == Counter::EngineThreadsSpawned {
+            continue;
+        }
+        let extra = match c {
+            Counter::EngineJobs => m.jobs_executed,
+            Counter::EngineBatches => m.batches,
+            Counter::EnginePanics => m.panics_contained,
+            Counter::CheckpointsWritten => 1,
+            Counter::CacheHits => cache_delta.as_ref().map_or(0, |(d, _)| d.hits),
+            Counter::CacheMisses => cache_delta.as_ref().map_or(0, |(d, _)| d.misses),
+            Counter::CacheEvictions => cache_delta.as_ref().map_or(0, |(d, _)| d.evictions),
+            _ => 0,
+        };
+        counters.insert(c.name().to_string(), telemetry.get(c) + extra);
+    }
+    let (base_h, base_m, base_e) = st.cache_baseline.unwrap_or((0, 0, 0));
+    Checkpoint {
+        config: *cfg,
+        platform: platform.name().to_string(),
+        iterations_done: done,
+        rng: st.rng.state(),
+        clock_seconds: st.clock.seconds(),
+        uul: st.uul,
+        accepted_d: st.accepted_d.clone(),
+        front: st
+            .front
+            .iter()
+            .map(|(y, &idx)| FrontEntry { y: y.to_vec(), idx })
+            .collect(),
+        evaluations: st
+            .evaluations
+            .iter()
+            .map(|r| EvalSnapshot {
+                hw_words: platform
+                    .hw_words(&r.hw)
+                    .expect("checkpointing requires Platform::hw_words support"),
+                assessment: r
+                    .assessment
+                    .as_ref()
+                    .map(|a| [a.latency_s, a.power_mw, a.area_mm2]),
+                robustness: r.robustness,
+                spent: r.budget_spent,
+                iteration: r.iteration,
+                fed: r.fed_surrogate,
+            })
+            .collect(),
+        all_xs: st.all_xs.clone(),
+        all_ys: st.all_ys.clone(),
+        hf_xs: st.hf_xs.clone(),
+        hf_ys: st.hf_ys.clone(),
+        trace: st
+            .trace
+            .points()
+            .iter()
+            .map(|p| TraceSnapshot {
+                seconds: p.seconds,
+                front: p.front.clone(),
+            })
+            .collect(),
+        networks: env
+            .networks()
+            .iter()
+            .map(|n| NetworkSnapshot {
+                name: n.name().to_string(),
+                layers: n.layers().len(),
+            })
+            .collect(),
+        counters,
+        cache: cache_delta.map(|(d, trace)| CacheSnapshot {
+            hits: base_h + d.hits,
+            misses: base_m + d.misses,
+            evictions: base_e + d.evictions,
+            trace,
+        }),
+    }
+}
+
+/// Holds the latest boundary snapshot and flushes it to disk if the
+/// loop unwinds (worker panic, kill hook) before the next periodic
+/// write, so a crash never loses a completed iteration boundary.
+#[derive(Default)]
+struct CheckpointGuard {
+    armed: Option<(Checkpoint, PathBuf)>,
+}
+
+impl CheckpointGuard {
+    fn arm(&mut self, ck: Checkpoint, path: PathBuf) {
+        self.armed = Some((ck, path));
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self.armed.take() {
+            Some((ck, path)) => ck.write_atomic(&path),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for CheckpointGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Unwinding already: best-effort flush, errors unreportable.
+            let _ = self.flush();
+        }
+    }
+}
+
 /// The UNICO co-optimizer.
 #[derive(Debug, Clone)]
 pub struct Unico {
@@ -217,43 +495,143 @@ impl Unico {
 
     /// Runs Algorithm 1 on the environment and returns the Pareto front
     /// of hardware configurations with full evaluation records.
+    ///
+    /// Honors the crash-safety environment variables: `UNICO_CHECKPOINT`
+    /// (+ `UNICO_CHECKPOINT_EVERY`) enables periodic checkpointing, and
+    /// `UNICO_RESUME=<path>` restores an interrupted run from that
+    /// checkpoint instead of starting fresh (the configuration,
+    /// including the seed, then comes from the checkpoint file). Use
+    /// [`Unico::run_with_options`] to bypass the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `UNICO_RESUME` names a checkpoint that cannot be
+    /// restored against `env`.
     pub fn run<P: Platform>(&self, env: &CoSearchEnv<'_, P>) -> UnicoResult<P::Hw>
+    where
+        P::Hw: Send,
+    {
+        let opts = RunOptions::from_env();
+        if let Some(path) = std::env::var_os("UNICO_RESUME") {
+            let path = PathBuf::from(path);
+            return Self::resume_with_options(env, &path, &opts)
+                .unwrap_or_else(|e| panic!("UNICO_RESUME={}: {e}", path.display()));
+        }
+        self.run_with_options(env, &opts)
+    }
+
+    /// [`Unico::run`] with checkpointing, fault injection, or the kill
+    /// hook enabled (see [`RunOptions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a due checkpoint cannot be written, or when
+    /// `kill_after` fires.
+    pub fn run_with_options<P: Platform>(
+        &self,
+        env: &CoSearchEnv<'_, P>,
+        opts: &RunOptions<'_>,
+    ) -> UnicoResult<P::Hw>
+    where
+        P::Hw: Send,
+    {
+        self.run_loop(env, LoopState::fresh(&self.cfg), opts)
+    }
+
+    /// Restores an interrupted run from a checkpoint file and drives it
+    /// to completion. The configuration (including the seed) comes from
+    /// the checkpoint; `env` must target the same platform (by name)
+    /// and workload set. If the platform has an evaluation cache
+    /// attached, it is pre-populated from the checkpoint's embedded
+    /// trace so the resumed run's hit/miss stream matches an
+    /// uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] if the file cannot be read or parsed, names
+    /// a different platform, or holds hardware words the platform
+    /// cannot rebuild.
+    pub fn resume<P: Platform>(
+        env: &CoSearchEnv<'_, P>,
+        path: impl AsRef<Path>,
+    ) -> Result<UnicoResult<P::Hw>, CheckpointError>
+    where
+        P::Hw: Send,
+    {
+        Self::resume_with_options(env, path, &RunOptions::default())
+    }
+
+    /// [`Unico::resume`] with further checkpointing or fault injection
+    /// enabled for the remainder of the run.
+    ///
+    /// # Errors
+    ///
+    /// See [`Unico::resume`].
+    pub fn resume_with_options<P: Platform>(
+        env: &CoSearchEnv<'_, P>,
+        path: impl AsRef<Path>,
+        opts: &RunOptions<'_>,
+    ) -> Result<UnicoResult<P::Hw>, CheckpointError>
+    where
+        P::Hw: Send,
+    {
+        let ck = Checkpoint::read(path.as_ref())?;
+        if ck.platform != env.platform().name() {
+            return Err(CheckpointError::Schema(format!(
+                "checkpoint targets platform {:?}, environment is {:?}",
+                ck.platform,
+                env.platform().name()
+            )));
+        }
+        if let (Some(cache), Some(snap)) = (env.platform().eval_cache(), &ck.cache) {
+            cache
+                .load_trace(&snap.trace)
+                .map_err(|e| CheckpointError::Schema(format!("embedded cache trace: {e}")))?;
+        }
+        let state = restore_state(env, &ck)?;
+        Ok(Unico::new(ck.config).run_loop(env, state, opts))
+    }
+
+    fn run_loop<P: Platform>(
+        &self,
+        env: &CoSearchEnv<'_, P>,
+        mut st: LoopState<P::Hw>,
+        opts: &RunOptions<'_>,
+    ) -> UnicoResult<P::Hw>
     where
         P::Hw: Send,
     {
         let cfg = &self.cfg;
         let obj_dim = if cfg.robustness_objective { 4 } else { 3 };
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut clock = SimClock::new(cfg.workers);
         // One persistent worker pool for the whole run: every SH round of
         // every MOBO iteration queues jobs here instead of respawning
         // threads.
         let telemetry = Telemetry::new();
+        for (name, v) in &st.baseline_counters {
+            if let Some(c) = Counter::from_name(name) {
+                telemetry.add(c, *v);
+            }
+        }
         let engine = MappingEngine::new((cfg.workers as usize).max(1));
         let cache_start = env.platform().eval_cache().map(EvalCache::stats);
-        let mut trace = SearchTrace::new();
-        let mut front: ParetoFront<usize> = ParetoFront::new();
-        let mut evaluations: Vec<HwRecord<P::Hw>> = Vec::new();
+        let mut guard = CheckpointGuard::default();
 
-        // All feasible samples (for v_best recomputation) and the
-        // high-fidelity surrogate training subset.
-        let mut all_xs: Vec<Vec<f64>> = Vec::new();
-        let mut all_ys: Vec<Vec<f64>> = Vec::new();
-        let mut hf_xs: Vec<Vec<f64>> = Vec::new();
-        let mut hf_ys: Vec<Vec<f64>> = Vec::new();
-        // Accepted ParEGO-distance set D and its adaptive threshold.
-        let mut accepted_d: Vec<f64> = Vec::new();
-        let mut uul = f64::INFINITY;
-
-        for iteration in 0..cfg.max_iter {
+        for iteration in st.start_iter..cfg.max_iter {
             // ---- Line 4: sample a batch of N hardware configurations. ----
-            let front_hw: Vec<P::Hw> = front
+            let front_hw: Vec<P::Hw> = st
+                .front
                 .iter()
-                .map(|(_, &idx)| evaluations[idx].hw.clone())
+                .map(|(_, &idx)| st.evaluations[idx].hw.clone())
                 .collect();
             let batch_hw = telemetry.time("sampling", || {
                 self.sample_batch(
-                    env, &hf_xs, &hf_ys, &front_hw, &mut rng, &mut clock, &telemetry,
+                    env,
+                    &st.hf_xs,
+                    &st.hf_ys,
+                    &front_hw,
+                    &mut st.rng,
+                    &mut st.clock,
+                    &telemetry,
                 )
             });
 
@@ -272,7 +650,13 @@ impl Unico {
                 workers: cfg.workers as usize,
             };
             telemetry.time("mapping_search", || {
-                sh::run_with_engine(&mut sessions, &sh_cfg, &engine, &telemetry)
+                sh::run_with_engine_faulted(
+                    &mut sessions,
+                    &sh_cfg,
+                    &engine,
+                    &telemetry,
+                    opts.faults,
+                )
             });
             telemetry.add(
                 Counter::MappingEvals,
@@ -280,24 +664,25 @@ impl Unico {
             );
             telemetry.add(Counter::HwEvals, sessions.len() as u64);
             let cpu: f64 = sessions.iter().map(HwSession::cost_seconds).sum();
-            clock.charge(cpu, (sessions.len() * env.num_jobs()) as u32);
+            st.clock
+                .charge(cpu, (sessions.len() * env.num_jobs()) as u32);
 
             // ---- Assess the batch: PPA + robustness. ----
             let mut batch_records: Vec<usize> = Vec::with_capacity(sessions.len());
             for s in &sessions {
                 let assessment = s.assess();
                 let robustness = aggregate_robustness(&s.job_histories(), cfg.alpha);
-                let idx = evaluations.len();
+                let idx = st.evaluations.len();
                 if let Some(a) = &assessment {
-                    front.offer(a.objectives(), idx);
+                    st.front.offer(a.objectives(), idx);
                     let mut y = a.objectives();
                     if cfg.robustness_objective {
                         y.push(robustness.unwrap_or(0.0));
                     }
-                    all_xs.push(env.platform().encode(s.hw()));
-                    all_ys.push(y);
+                    st.all_xs.push(env.platform().encode(s.hw()));
+                    st.all_ys.push(y);
                 }
-                evaluations.push(HwRecord {
+                st.evaluations.push(HwRecord {
                     hw: s.hw().clone(),
                     assessment,
                     robustness,
@@ -309,9 +694,9 @@ impl Unico {
             }
 
             // ---- Lines 10–11: high-fidelity surrogate update. ----
-            if !all_ys.is_empty() {
-                let weights = sample_simplex(&mut rng, obj_dim);
-                let normalized = normalize_columns(&all_ys);
+            if !st.all_ys.is_empty() {
+                let weights = sample_simplex(&mut st.rng, obj_dim);
+                let normalized = normalize_columns(&st.all_ys);
                 let scalars: Vec<f64> = normalized
                     .iter()
                     .map(|y| parego(y, &weights, cfg.rho))
@@ -319,15 +704,15 @@ impl Unico {
                 let v_best = scalars.iter().copied().fold(f64::INFINITY, f64::min);
                 // Map feasible batch members to their position in all_ys.
                 let feasible_batch: Vec<(usize, usize)> = {
-                    let mut pos = all_ys.len();
+                    let mut pos = st.all_ys.len();
                     let feasible_count = batch_records
                         .iter()
-                        .filter(|&&i| evaluations[i].assessment.is_some())
+                        .filter(|&&i| st.evaluations[i].assessment.is_some())
                         .count();
                     pos -= feasible_count;
                     batch_records
                         .iter()
-                        .filter(|&&i| evaluations[i].assessment.is_some())
+                        .filter(|&&i| st.evaluations[i].assessment.is_some())
                         .map(|&i| {
                             let p = pos;
                             pos += 1;
@@ -339,25 +724,26 @@ impl Unico {
                     let mut new_d = Vec::new();
                     for &(rec_idx, ys_idx) in &feasible_batch {
                         let d = (scalars[ys_idx] - v_best).abs();
-                        if d <= uul {
-                            hf_xs.push(all_xs[ys_idx].clone());
-                            hf_ys.push(all_ys[ys_idx].clone());
-                            evaluations[rec_idx].fed_surrogate = true;
+                        if d <= st.uul {
+                            st.hf_xs.push(st.all_xs[ys_idx].clone());
+                            st.hf_ys.push(st.all_ys[ys_idx].clone());
+                            st.evaluations[rec_idx].fed_surrogate = true;
                             new_d.push(d);
                             telemetry.add(Counter::UulAccepted, 1);
                         } else {
                             telemetry.add(Counter::UulRejected, 1);
                         }
                     }
-                    accepted_d.extend(new_d);
-                    uul = percentile(&accepted_d, cfg.uul_percentile).unwrap_or(f64::INFINITY);
+                    st.accepted_d.extend(new_d);
+                    st.uul =
+                        percentile(&st.accepted_d, cfg.uul_percentile).unwrap_or(f64::INFINITY);
                     // Bound the GP training set (keep the newest points —
                     // UUL already biases selection toward high quality).
                     const HF_CAP: usize = 400;
-                    if hf_xs.len() > HF_CAP {
-                        let drop = hf_xs.len() - HF_CAP;
-                        hf_xs.drain(..drop);
-                        hf_ys.drain(..drop);
+                    if st.hf_xs.len() > HF_CAP {
+                        let drop = st.hf_xs.len() - HF_CAP;
+                        st.hf_xs.drain(..drop);
+                        st.hf_ys.drain(..drop);
                     }
                 } else if let Some(&(rec_idx, ys_idx)) = feasible_batch.iter().min_by(|a, b| {
                     scalars[a.1]
@@ -365,14 +751,36 @@ impl Unico {
                         .unwrap_or(std::cmp::Ordering::Equal)
                 }) {
                     // Champion update: only the batch-best sample.
-                    hf_xs.push(all_xs[ys_idx].clone());
-                    hf_ys.push(all_ys[ys_idx].clone());
-                    evaluations[rec_idx].fed_surrogate = true;
+                    st.hf_xs.push(st.all_xs[ys_idx].clone());
+                    st.hf_ys.push(st.all_ys[ys_idx].clone());
+                    st.evaluations[rec_idx].fed_surrogate = true;
                 }
             }
 
             // ---- Line 12: update HW Pareto front snapshot. ----
-            trace.record(clock.seconds(), front.objectives());
+            st.trace.record(st.clock.seconds(), st.front.objectives());
+
+            // ---- Checkpoint boundary. ----
+            if let Some(policy) = opts.checkpoint.as_ref() {
+                let done = iteration + 1;
+                let snap = build_checkpoint(
+                    cfg,
+                    env,
+                    done,
+                    &st,
+                    &telemetry,
+                    &engine,
+                    cache_start.as_ref(),
+                );
+                guard.arm(snap, policy.path.clone());
+                if opts.kill_after == Some(done) {
+                    panic!("unico: kill_after test hook fired at checkpoint boundary {done}");
+                }
+                if done % policy.every == 0 || done == cfg.max_iter {
+                    guard.flush().expect("checkpoint write failed");
+                    telemetry.add(Counter::CheckpointsWritten, 1);
+                }
+            }
         }
 
         let m = engine.metrics();
@@ -384,7 +792,16 @@ impl Unico {
             (Some(cache), Some(start)) => {
                 let d = cache.stats().delta_since(&start);
                 telemetry.add_cache_stats(d);
-                Some(d)
+                // A resumed run reports whole-run totals: the restored
+                // baseline plus its own delta (entries is a level, not
+                // a counter, so the live value is already the total).
+                let (base_h, base_m, base_e) = st.cache_baseline.unwrap_or((0, 0, 0));
+                Some(CacheStats {
+                    hits: base_h + d.hits,
+                    misses: base_m + d.misses,
+                    evictions: base_e + d.evictions,
+                    entries: d.entries,
+                })
             }
             _ => None,
         };
@@ -393,10 +810,10 @@ impl Unico {
         Telemetry::global().absorb(&telemetry);
 
         UnicoResult {
-            front,
-            evaluations,
-            trace,
-            wall_clock_s: clock.seconds(),
+            front: st.front,
+            evaluations: st.evaluations,
+            trace: st.trace,
+            wall_clock_s: st.clock.seconds(),
             hw_evals: self.cfg.max_iter * self.cfg.batch,
             report,
         }
@@ -603,7 +1020,7 @@ mod tests {
         assert!(r.counters["engine_batches"] >= r.counters["sh_rounds"]);
         assert!(r.phases_s.contains_key("sampling"));
         assert!(r.phases_s.contains_key("mapping_search"));
-        assert!(r.to_json().contains("unico.run_report.v2"));
+        assert!(r.to_json().contains("unico.run_report.v3"));
         // No cache attached to the stock edge platform here.
         assert!(r.cache.is_none());
         assert!(r.to_json().contains("\"cache\":null"));

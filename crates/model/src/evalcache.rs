@@ -441,6 +441,34 @@ impl EvalCache {
         }
         Ok(cache)
     }
+
+    /// Pre-populates this cache with every entry of a golden trace,
+    /// leaving the mode and all hit/miss/eviction counters untouched
+    /// (entries the cache already holds are kept as-is). Checkpoint
+    /// resume uses this to rebuild a *record-mode* cache through an
+    /// existing `Arc`: the resumed run re-hits exactly the entries the
+    /// interrupted run had computed, so its hit/miss deltas line up with
+    /// the uninterrupted run's.
+    ///
+    /// Returns the number of entries inserted.
+    pub fn load_trace(&self, text: &str) -> Result<usize, TraceError> {
+        let loaded = EvalCache::from_trace(text)?;
+        let mut inserted = 0usize;
+        for shard in &loaded.shards {
+            let map = shard.map.lock().expect("evalcache shard poisoned");
+            for (k, v) in map.entries.iter() {
+                let dst = &self.shards[k.shard()];
+                let mut dst_map = dst.map.lock().expect("evalcache shard poisoned");
+                if dst_map.entries.contains_key(k) {
+                    continue;
+                }
+                dst_map.entries.insert(*k, *v);
+                dst_map.fifo.push_back(*k);
+                inserted += 1;
+            }
+        }
+        Ok(inserted)
+    }
 }
 
 fn encode_result(v: &EvalResult, out: &mut String) {

@@ -14,7 +14,7 @@ use unico_workloads::LoopNest;
 
 use crate::analytical::{AnalyticalModel, BoundSpatialCost, MappingObjective};
 use crate::evalcache::EvalCache;
-use crate::hw::{HwConfig, HwSpace};
+use crate::hw::{Dataflow, HwConfig, HwSpace};
 use crate::loopcentric::{BoundLoopCentricCost, LoopCentricModel};
 use crate::tech::TechParams;
 
@@ -80,6 +80,20 @@ pub trait Platform: Sync {
     /// if one is attached. Drivers snapshot its [`EvalCache::stats`]
     /// around a run to report hit rates.
     fn eval_cache(&self) -> Option<&EvalCache> {
+        None
+    }
+
+    /// Losslessly serializes a configuration as integer words for
+    /// checkpointing, or `None` if the platform does not support it.
+    /// Must round-trip exactly through [`Platform::hw_from_words`].
+    fn hw_words(&self, _hw: &Self::Hw) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Rebuilds a configuration from [`Platform::hw_words`] output.
+    /// Returns `None` for malformed words or on platforms without
+    /// checkpoint support.
+    fn hw_from_words(&self, _words: &[u64]) -> Option<Self::Hw> {
         None
     }
 }
@@ -290,6 +304,42 @@ impl Platform for SpatialPlatform {
     fn eval_cache(&self) -> Option<&EvalCache> {
         self.cache.as_deref()
     }
+
+    fn hw_words(&self, hw: &HwConfig) -> Option<Vec<u64>> {
+        Some(vec![
+            hw.pe_x() as u64,
+            hw.pe_y() as u64,
+            hw.l1_bytes(),
+            hw.l2_bytes(),
+            hw.noc_bytes_per_cycle() as u64,
+            match hw.dataflow() {
+                Dataflow::WeightStationary => 0,
+                Dataflow::OutputStationary => 1,
+            },
+        ])
+    }
+
+    fn hw_from_words(&self, words: &[u64]) -> Option<HwConfig> {
+        let &[pe_x, pe_y, l1, l2, noc, df] = words else {
+            return None;
+        };
+        let dataflow = match df {
+            0 => Dataflow::WeightStationary,
+            1 => Dataflow::OutputStationary,
+            _ => return None,
+        };
+        if pe_x == 0 || pe_y == 0 || l1 == 0 || l2 == 0 || noc == 0 {
+            return None;
+        }
+        Some(HwConfig::new(
+            u32::try_from(pe_x).ok()?,
+            u32::try_from(pe_y).ok()?,
+            l1,
+            l2,
+            u32::try_from(noc).ok()?,
+            dataflow,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +454,21 @@ mod tests {
             }
         }
         assert!(found, "loop-centric engine found no feasible mapping");
+    }
+
+    #[test]
+    fn hw_words_round_trip_exactly() {
+        let p = SpatialPlatform::edge();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..32 {
+            let hw = p.sample_hw(&mut rng);
+            let words = p.hw_words(&hw).expect("spatial supports checkpointing");
+            let back = p.hw_from_words(&words).expect("words round-trip");
+            assert_eq!(back, hw);
+        }
+        assert!(p.hw_from_words(&[1, 2, 3]).is_none());
+        assert!(p.hw_from_words(&[4, 8, 1024, 65536, 64, 7]).is_none());
+        assert!(p.hw_from_words(&[0, 8, 1024, 65536, 64, 0]).is_none());
     }
 
     #[test]

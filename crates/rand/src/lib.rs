@@ -172,6 +172,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing a generator
+        /// mid-stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::state`]; the restored generator continues the
+        /// original stream exactly.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the state is all-zero (the one state xoshiro256++
+        /// cannot leave).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s.iter().any(|&w| w != 0), "xoshiro state must be nonzero");
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++
@@ -295,6 +316,24 @@ mod tests {
         assert!(v.choose(&mut rng).is_some());
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..37 {
+            let _ = a.gen_range(0u64..1000);
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u64..1 << 50), b.gen_range(0u64..1 << 50));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn all_zero_state_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]

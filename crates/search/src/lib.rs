@@ -31,6 +31,7 @@
 mod bohb;
 pub mod engine;
 mod env;
+pub mod fault;
 mod hasco;
 mod hyperband;
 mod nsga2;
@@ -42,11 +43,12 @@ mod trace;
 pub use bohb::{run_mobohb, MobohbConfig};
 pub use engine::{EngineMetrics, MappingEngine};
 pub use env::{advance_parallel, evaluate_batch, Assessment, CoSearchEnv, EnvConfig, HwSession};
+pub use fault::{FaultContext, FaultKind, FaultPlan, RetryPolicy};
 pub use hasco::{run_hasco, HascoConfig};
 pub use hyperband::{run_hyperband, HyperbandConfig};
 pub use nsga2::{run_nsga2, Nsga2Config};
-pub use pool::{advance_pooled, advance_with_engine, ComputeTopology};
-pub use telemetry::{CacheReport, Counter, RunReport, Telemetry};
+pub use pool::{advance_pooled, advance_with_engine, advance_with_engine_faulted, ComputeTopology};
+pub use telemetry::{CacheReport, CheckpointReport, Counter, FaultReport, RunReport, Telemetry};
 pub use trace::{SearchTrace, SimClock, TracePoint};
 // The evaluation cache itself lives in `unico-model` (the crate every
 // PPA engine sees); re-exported here because the search drivers are

@@ -16,11 +16,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use unico_model::Platform;
 
 use crate::engine::{MappingEngine, ScopedJob};
 use crate::env::HwSession;
+use crate::fault::{FaultContext, FaultKind};
+use crate::telemetry::{Counter, Telemetry};
 
 /// Advances the selected sessions to `budget` on a persistent engine.
 ///
@@ -56,6 +59,151 @@ where
         })
         .collect();
     engine.execute(jobs)
+}
+
+/// Fault-aware variant of [`advance_with_engine`]: consults `ctx`'s
+/// [`FaultPlan`](crate::fault::FaultPlan) per *(batch, session,
+/// attempt)* site and applies bounded retry-with-backoff.
+///
+/// Semantics per injected [`FaultKind`]:
+///
+/// * `WorkerPanic` — the job poisons its session and then panics inside
+///   the engine worker; the engine contains it (counted in the return
+///   value and the engine's `panics_contained` metric) and the poisoned
+///   session assesses infeasible. No retry: a panic is not transient.
+/// * `EvalError` — the advance makes no progress this attempt and the
+///   session is retried after backoff, up to
+///   [`RetryPolicy::max_retries`](crate::fault::RetryPolicy) times; a
+///   session still failing is quarantined (poisoned) and the round goes
+///   on without it.
+/// * `Stall` — the job sleeps `stall_ms`; when that exceeds
+///   `deadline_ms` the attempt counts as failed (retry/quarantine like
+///   an error), otherwise the advance completes normally after the nap.
+///   Deadline misses are decided from the configured durations, never
+///   from wall clock, so fault schedules replay deterministically.
+///
+/// Counters recorded into `telemetry`: `faults_injected`,
+/// `fault_errors` / `fault_panics` / `fault_stalls`, `fault_retries`
+/// (one per retried session per attempt) and `fault_quarantines`.
+/// Returns the number of worker panics the engine contained.
+///
+/// # Panics
+///
+/// Panics if the mask length mismatches.
+pub fn advance_with_engine_faulted<P: Platform>(
+    engine: &MappingEngine,
+    sessions: &mut [HwSession<'_, P>],
+    select: &[bool],
+    budget: u64,
+    ctx: &FaultContext,
+    telemetry: &Telemetry,
+) -> u64
+where
+    P::Hw: Send,
+{
+    assert_eq!(sessions.len(), select.len(), "selection mask length");
+    let batch = ctx.next_batch();
+    let policy = ctx.policy();
+    let stall_fails = policy.stall_misses_deadline();
+    // Selected sessions keep their stable index in `sessions` across
+    // retry attempts — fault sites are addressed by that index.
+    let mut pending: Vec<(usize, &mut HwSession<'_, P>)> = sessions
+        .iter_mut()
+        .zip(select)
+        .enumerate()
+        .filter(|(_, (_, &on))| on)
+        .map(|(i, (s, _))| (i, s))
+        .collect();
+    let mut contained = 0u64;
+    let mut attempt = 0u32;
+    loop {
+        let decisions: Vec<Option<FaultKind>> = pending
+            .iter()
+            .map(|(i, _)| ctx.plan().fault_at(batch, *i, attempt))
+            .collect();
+        for d in decisions.iter().flatten() {
+            telemetry.add(Counter::FaultsInjected, 1);
+            telemetry.add(
+                match d {
+                    FaultKind::EvalError => Counter::FaultErrors,
+                    FaultKind::WorkerPanic => Counter::FaultPanics,
+                    FaultKind::Stall => Counter::FaultStalls,
+                },
+                1,
+            );
+        }
+        let jobs: Vec<ScopedJob<'_>> = pending
+            .iter_mut()
+            .zip(&decisions)
+            .map(|(slot, d)| {
+                let idx = slot.0;
+                let session: &mut HwSession<'_, P> = &mut *slot.1;
+                let d = *d;
+                Box::new(move || match d {
+                    Some(FaultKind::WorkerPanic) => {
+                        // Poison before unwinding: the panic escapes this
+                        // job, is contained by the engine worker, and the
+                        // session still ends up infeasible.
+                        session.poison();
+                        panic!("unico-fault: injected worker panic (batch {batch}, session {idx})");
+                    }
+                    Some(FaultKind::EvalError) => {
+                        // The platform evaluation errored: no progress.
+                    }
+                    Some(FaultKind::Stall) => {
+                        std::thread::sleep(Duration::from_millis(policy.stall_ms));
+                        if !stall_fails {
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| session.advance_to(budget)));
+                            if outcome.is_err() {
+                                session.poison();
+                            }
+                        }
+                    }
+                    None => {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| session.advance_to(budget)));
+                        if outcome.is_err() {
+                            session.poison();
+                        }
+                    }
+                }) as ScopedJob<'_>
+            })
+            .collect();
+        contained += engine.execute(jobs);
+
+        let failed: Vec<bool> = decisions
+            .iter()
+            .map(|d| {
+                matches!(d, Some(FaultKind::EvalError))
+                    || (matches!(d, Some(FaultKind::Stall)) && stall_fails)
+            })
+            .collect();
+        if !failed.iter().any(|&f| f) {
+            break;
+        }
+        if attempt >= policy.max_retries {
+            for ((_, session), &f) in pending.iter_mut().zip(&failed) {
+                if f {
+                    session.poison();
+                    telemetry.add(Counter::FaultQuarantines, 1);
+                }
+            }
+            break;
+        }
+        pending = pending
+            .into_iter()
+            .zip(&failed)
+            .filter_map(|(slot, &f)| f.then_some(slot))
+            .collect();
+        attempt += 1;
+        telemetry.add(Counter::FaultRetries, pending.len() as u64);
+        if policy.backoff_ms > 0 {
+            // Exponential backoff, capped so chaos tests stay fast.
+            let wait = policy.backoff_ms << (attempt - 1).min(6);
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+    }
+    contained
 }
 
 /// Advances the selected sessions to `budget` using at most `workers`

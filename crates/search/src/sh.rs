@@ -17,7 +17,8 @@ use unico_model::Platform;
 
 use crate::engine::MappingEngine;
 use crate::env::HwSession;
-use crate::pool::advance_with_engine;
+use crate::fault::FaultContext;
+use crate::pool::{advance_with_engine, advance_with_engine_faulted};
 use crate::telemetry::{Counter, Telemetry};
 
 /// Configuration of a successive-halving run.
@@ -103,6 +104,29 @@ pub fn run_with_engine<P: Platform>(
 where
     P::Hw: Send,
 {
+    run_with_engine_faulted(sessions, cfg, engine, telemetry, None)
+}
+
+/// [`run_with_engine`] with an optional deterministic fault-injection
+/// context: every round's advance goes through
+/// [`advance_with_engine_faulted`], which retries transient failures and
+/// quarantines sessions that exhaust their retries. Poisoned sessions
+/// stay in the candidate set but assess as infeasible, so promotion
+/// naturally drops them.
+///
+/// # Panics
+///
+/// Panics if `sessions` is empty.
+pub fn run_with_engine_faulted<P: Platform>(
+    sessions: &mut [HwSession<'_, P>],
+    cfg: &ShConfig,
+    engine: &MappingEngine,
+    telemetry: &Telemetry,
+    faults: Option<&FaultContext>,
+) -> ShOutcome
+where
+    P::Hw: Send,
+{
     assert!(!sessions.is_empty(), "successive halving needs candidates");
     let n = sessions.len();
     let rounds = (usize::BITS - (n - 1).leading_zeros()).max(1); // ceil(log2 n)
@@ -113,7 +137,12 @@ where
     for j in 1..=rounds {
         let budget = (cfg.b_max >> (rounds - j)).max(cfg.min_budget).max(1);
         round_budgets.push(budget);
-        contained_panics += advance_with_engine(engine, sessions, &alive, budget);
+        contained_panics += match faults {
+            Some(ctx) => {
+                advance_with_engine_faulted(engine, sessions, &alive, budget, ctx, telemetry)
+            }
+            None => advance_with_engine(engine, sessions, &alive, budget),
+        };
         telemetry.add(Counter::ShRounds, 1);
         if j == rounds {
             break;

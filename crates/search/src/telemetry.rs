@@ -55,11 +55,26 @@ pub enum Counter {
     CacheMisses,
     /// Cache entries dropped by per-shard FIFO eviction.
     CacheEvictions,
+    /// Faults injected by a deterministic fault plan (all kinds).
+    FaultsInjected,
+    /// Injected evaluation errors.
+    FaultErrors,
+    /// Injected worker panics (each also contained by the engine).
+    FaultPanics,
+    /// Injected stalls (sleeps; only those past the deadline fail).
+    FaultStalls,
+    /// Retry attempts issued after a failed (error/stalled) advance.
+    FaultRetries,
+    /// Sessions quarantined (poisoned) after exhausting retries.
+    FaultQuarantines,
+    /// Checkpoints written to disk (periodic, final, and panic-guard
+    /// flushes all count).
+    CheckpointsWritten,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 22] = [
         Counter::MappingEvals,
         Counter::GpFits,
         Counter::ShPromotionsTv,
@@ -75,6 +90,13 @@ impl Counter {
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheEvictions,
+        Counter::FaultsInjected,
+        Counter::FaultErrors,
+        Counter::FaultPanics,
+        Counter::FaultStalls,
+        Counter::FaultRetries,
+        Counter::FaultQuarantines,
+        Counter::CheckpointsWritten,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -95,7 +117,20 @@ impl Counter {
             Counter::CacheHits => "cache_hits",
             Counter::CacheMisses => "cache_misses",
             Counter::CacheEvictions => "cache_evictions",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FaultErrors => "fault_errors",
+            Counter::FaultPanics => "fault_panics",
+            Counter::FaultStalls => "fault_stalls",
+            Counter::FaultRetries => "fault_retries",
+            Counter::FaultQuarantines => "fault_quarantines",
+            Counter::CheckpointsWritten => "checkpoints_written",
         }
+    }
+
+    /// The counter with the given stable name, if any — the inverse of
+    /// [`Counter::name`], used to restore counters from a checkpoint.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.iter().copied().find(|c| c.name() == name)
     }
 
     fn index(self) -> usize {
@@ -209,17 +244,65 @@ impl Telemetry {
             evictions,
             entries: misses.saturating_sub(evictions),
         });
+        let faults = FaultReport {
+            injected: self.get(Counter::FaultsInjected),
+            errors: self.get(Counter::FaultErrors),
+            panics: self.get(Counter::FaultPanics),
+            stalls: self.get(Counter::FaultStalls),
+            retries: self.get(Counter::FaultRetries),
+            quarantines: self.get(Counter::FaultQuarantines),
+        };
+        let written = self.get(Counter::CheckpointsWritten);
         RunReport {
             name: name.to_string(),
             phases_s: phases,
             counters,
             cache,
+            faults: faults.any().then_some(faults),
+            checkpoint: (written > 0).then_some(CheckpointReport { written }),
         }
     }
 }
 
+/// Fault-injection counters attached to a [`RunReport`] (the `faults`
+/// section of `unico.run_report.v3`); rendered as `null` when no fault
+/// plan fired, so fault-free runs stay byte-identical to reports from
+/// builds without a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Faults injected (all kinds).
+    pub injected: u64,
+    /// Injected evaluation errors.
+    pub errors: u64,
+    /// Injected worker panics.
+    pub panics: u64,
+    /// Injected stalls.
+    pub stalls: u64,
+    /// Retry attempts after failed advances.
+    pub retries: u64,
+    /// Sessions quarantined after exhausting retries.
+    pub quarantines: u64,
+}
+
+impl FaultReport {
+    /// `true` when any fault counter is nonzero.
+    pub fn any(&self) -> bool {
+        self.injected + self.errors + self.panics + self.stalls + self.retries + self.quarantines
+            > 0
+    }
+}
+
+/// Checkpoint counters attached to a [`RunReport`] (the `checkpoint`
+/// section of `unico.run_report.v3`); `null` when checkpointing was
+/// disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointReport {
+    /// Checkpoints written to disk.
+    pub written: u64,
+}
+
 /// Evaluation-cache counters attached to a [`RunReport`] (the `cache`
-/// section of `unico.run_report.v2`).
+/// section of `unico.run_report.v3`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheReport {
     /// Lookups answered from the cache.
@@ -256,7 +339,7 @@ impl From<unico_model::CacheStats> for CacheReport {
 }
 
 /// A structured snapshot of one run's telemetry, serializable to JSON
-/// (schema `unico.run_report.v2`, documented in `EXPERIMENTS.md`).
+/// (schema `unico.run_report.v3`, documented in `EXPERIMENTS.md`).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
     /// Run identifier (binary or experiment name).
@@ -267,6 +350,10 @@ pub struct RunReport {
     pub counters: BTreeMap<String, u64>,
     /// Evaluation-cache section (`null` when no cache was attached).
     pub cache: Option<CacheReport>,
+    /// Fault-injection section (`null` when no fault plan fired).
+    pub faults: Option<FaultReport>,
+    /// Checkpoint section (`null` when checkpointing was disabled).
+    pub checkpoint: Option<CheckpointReport>,
 }
 
 impl RunReport {
@@ -285,7 +372,7 @@ impl RunReport {
 
     fn render_json(&self, include_phases: bool) -> String {
         let mut out = String::from("{");
-        out.push_str("\"schema\":\"unico.run_report.v2\",");
+        out.push_str("\"schema\":\"unico.run_report.v3\",");
         out.push_str(&format!("\"name\":{},", json_string(&self.name)));
         if include_phases {
             out.push_str("\"phases_s\":{");
@@ -319,6 +406,20 @@ impl RunReport {
                 c.entries,
                 json_number(c.hit_rate())
             )),
+        }
+        out.push_str(",\"faults\":");
+        match &self.faults {
+            None => out.push_str("null"),
+            Some(f) => out.push_str(&format!(
+                "{{\"injected\":{},\"errors\":{},\"panics\":{},\"stalls\":{},\
+                 \"retries\":{},\"quarantines\":{}}}",
+                f.injected, f.errors, f.panics, f.stalls, f.retries, f.quarantines
+            )),
+        }
+        out.push_str(",\"checkpoint\":");
+        match &self.checkpoint {
+            None => out.push_str("null"),
+            Some(c) => out.push_str(&format!("{{\"written\":{}}}", c.written)),
         }
         out.push('}');
         out
@@ -394,10 +495,12 @@ mod tests {
         t.add_phase_secs("mapping_search", 0.25);
         let json = t.report("bench \"quoted\"\n").to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema\":\"unico.run_report.v2\""));
+        assert!(json.contains("\"schema\":\"unico.run_report.v3\""));
         assert!(json.contains("\"sh_promotions_auc\":3"));
         assert!(json.contains("\"mapping_search\":0.25"));
         assert!(json.contains("\"cache\":null"));
+        assert!(json.contains("\"faults\":null"));
+        assert!(json.contains("\"checkpoint\":null"));
         assert!(json.contains("\\\"quoted\\\"\\n"));
         // Balanced braces and no raw control characters.
         assert_eq!(
@@ -446,5 +549,39 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn counter_from_name_inverts_name() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Counter::from_name("no_such_counter"), None);
+    }
+
+    #[test]
+    fn fault_and_checkpoint_sections_render_when_counted() {
+        let t = Telemetry::new();
+        t.add(Counter::FaultsInjected, 4);
+        t.add(Counter::FaultErrors, 2);
+        t.add(Counter::FaultRetries, 3);
+        t.add(Counter::FaultQuarantines, 1);
+        t.add(Counter::CheckpointsWritten, 5);
+        let r = t.report("chaos");
+        let f = r.faults.expect("fault section populated from counters");
+        assert_eq!(
+            (f.injected, f.errors, f.retries, f.quarantines),
+            (4, 2, 3, 1)
+        );
+        assert_eq!(r.checkpoint, Some(CheckpointReport { written: 5 }));
+        let json = r.deterministic_json();
+        assert!(json.contains(
+            "\"faults\":{\"injected\":4,\"errors\":2,\"panics\":0,\"stalls\":0,\
+             \"retries\":3,\"quarantines\":1}"
+        ));
+        assert!(json.contains("\"checkpoint\":{\"written\":5}"));
+        // A fault-free report stays null in both sections.
+        let clean = Telemetry::new().report("clean");
+        assert!(clean.faults.is_none() && clean.checkpoint.is_none());
     }
 }

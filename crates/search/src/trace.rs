@@ -44,6 +44,17 @@ impl SimClock {
         self.seconds
     }
 
+    /// A clock resumed at `seconds` elapsed (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn resumed(workers: u32, seconds: f64) -> Self {
+        let mut c = SimClock::new(workers);
+        c.seconds = seconds;
+        c
+    }
+
     /// Wall-clock hours elapsed.
     pub fn hours(&self) -> f64 {
         self.seconds / 3600.0
@@ -80,6 +91,12 @@ impl SearchTrace {
     /// Records a snapshot.
     pub fn record(&mut self, seconds: f64, front: Vec<Vec<f64>>) {
         self.points.push(TracePoint { seconds, front });
+    }
+
+    /// Rebuilds a trace from previously recorded points (checkpoint
+    /// restore); order is preserved as given.
+    pub fn from_points(points: Vec<TracePoint>) -> Self {
+        SearchTrace { points }
     }
 
     /// All snapshots in time order.
@@ -135,6 +152,21 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_workers_panics() {
         let _ = SimClock::new(0);
+    }
+
+    #[test]
+    fn resumed_clock_and_trace_continue() {
+        let mut c = SimClock::resumed(4, 12.5);
+        assert_eq!(c.seconds(), 12.5);
+        c.charge_sequential(0.5);
+        assert!((c.seconds() - 13.0).abs() < 1e-12);
+
+        let mut t = SearchTrace::new();
+        t.record(1.0, vec![vec![0.5, 0.5]]);
+        let mut resumed = SearchTrace::from_points(t.points().to_vec());
+        resumed.record(2.0, vec![vec![0.25, 0.25]]);
+        assert_eq!(resumed.points().len(), 2);
+        assert_eq!(resumed.points()[0].seconds, 1.0);
     }
 
     #[test]

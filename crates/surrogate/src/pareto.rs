@@ -129,6 +129,30 @@ impl<T> ParetoFront<T> {
         Self::default()
     }
 
+    /// Rebuilds a front from `(objectives, payload)` entries captured by
+    /// iterating an earlier front (checkpoint restore). Entry order is
+    /// preserved exactly — [`ParetoFront::objectives`] on the restored
+    /// front is byte-identical to the original's.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the entries are not mutually
+    /// non-dominated — a front serialized by this crate always is.
+    pub fn from_entries(entries: Vec<(Vec<f64>, T)>) -> Self {
+        #[cfg(debug_assertions)]
+        for (i, (a, _)) in entries.iter().enumerate() {
+            for (j, (b, _)) in entries.iter().enumerate() {
+                if i != j {
+                    debug_assert!(
+                        !dominates(a, b),
+                        "restored front entries must be mutually non-dominated"
+                    );
+                }
+            }
+        }
+        ParetoFront { entries }
+    }
+
     /// Number of points currently on the front.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -298,6 +322,19 @@ mod tests {
         f.offer(vec![2.0, 2.0], "knee");
         let (_, who) = f.min_euclidean().unwrap();
         assert_eq!(*who, "knee");
+    }
+
+    #[test]
+    fn from_entries_preserves_order() {
+        let mut f = ParetoFront::new();
+        f.offer(vec![1.0, 4.0], 0usize);
+        f.offer(vec![4.0, 1.0], 1usize);
+        f.offer(vec![2.0, 2.0], 2usize);
+        let entries: Vec<(Vec<f64>, usize)> = f.iter().map(|(y, &t)| (y.to_vec(), t)).collect();
+        let restored = ParetoFront::from_entries(entries);
+        assert_eq!(restored.objectives(), f.objectives());
+        let payloads: Vec<usize> = restored.iter().map(|(_, &t)| t).collect();
+        assert_eq!(payloads, vec![0, 1, 2]);
     }
 
     #[test]

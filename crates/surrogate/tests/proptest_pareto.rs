@@ -1,0 +1,108 @@
+//! Property tests of the incrementally maintained [`ParetoFront`]: the
+//! archive invariants the checkpoint/resume machinery depends on. The
+//! front must stay mutually non-dominated under arbitrary insertion
+//! streams, its hypervolume must grow monotonically as points are
+//! offered, and the *set* of points it converges to must not depend on
+//! the order the stream arrived in.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use unico_surrogate::hypervolume::hypervolume;
+use unico_surrogate::pareto::{dominates, non_dominated_indices, ParetoFront};
+
+fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<[f64; 3]>> {
+    proptest::collection::vec(proptest::array::uniform3(0.0f64..1.0), 1..max)
+}
+
+/// The front's objective vectors as an order-insensitive, bit-exact set.
+fn front_set(front: &ParetoFront<usize>) -> Vec<Vec<u64>> {
+    let mut set: Vec<Vec<u64>> = front
+        .objectives()
+        .iter()
+        .map(|y| y.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    set.sort();
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any stream of offers the archive is mutually non-dominated,
+    /// duplicate-free, and exactly the non-dominated subset of the
+    /// offered cloud.
+    #[test]
+    fn front_stays_non_dominated_under_arbitrary_inserts(pts in arb_cloud(24)) {
+        let mut front = ParetoFront::new();
+        for (i, p) in pts.iter().enumerate() {
+            front.offer(p.to_vec(), i);
+        }
+        let members = front.objectives();
+        for (i, a) in members.iter().enumerate() {
+            for (j, b) in members.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(a, b), "front member {a:?} dominates {b:?}");
+                    prop_assert!(a != b, "duplicate objective vector on the front");
+                }
+            }
+        }
+        // Oracle: batch non-dominated filtering of the whole cloud
+        // (deduplicated) must agree with the incremental archive.
+        let cloud: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        let mut expect: Vec<Vec<u64>> = non_dominated_indices(&cloud)
+            .into_iter()
+            .map(|i| cloud[i].iter().map(|v| v.to_bits()).collect())
+            .collect();
+        expect.sort();
+        prop_assert_eq!(front_set(&front), expect);
+    }
+
+    /// Offering one more point never shrinks the dominated hypervolume,
+    /// and the maintained front preserves the whole cloud's hypervolume.
+    #[test]
+    fn hypervolume_is_monotone_under_insertion(pts in arb_cloud(16)) {
+        let reference = vec![1.0, 1.0, 1.0];
+        let mut front = ParetoFront::new();
+        let mut last = 0.0f64;
+        for (i, p) in pts.iter().enumerate() {
+            front.offer(p.to_vec(), i);
+            let hv = hypervolume(&front.objectives(), &reference);
+            prop_assert!(
+                hv >= last - 1e-12,
+                "hypervolume shrank after an insert: {last} -> {hv}"
+            );
+            last = hv;
+        }
+        // Evicted (dominated) points never carried exclusive volume.
+        let cloud: Vec<Vec<f64>> = pts.iter().map(|p| p.to_vec()).collect();
+        let full = hypervolume(&cloud, &reference);
+        prop_assert!((last - full).abs() < 1e-12, "front lost volume: {last} vs {full}");
+    }
+
+    /// The converged front is a *set* invariant: any permutation of the
+    /// insertion stream yields bit-identical membership.
+    #[test]
+    fn front_membership_is_insertion_order_independent(
+        original in arb_cloud(20),
+        seed in 0u64..1_000,
+    ) {
+        // Seed-driven Fisher–Yates permutation of the stream.
+        let mut shuffled = original.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let mut a = ParetoFront::new();
+        for (i, p) in original.iter().enumerate() {
+            a.offer(p.to_vec(), i);
+        }
+        let mut b = ParetoFront::new();
+        for (i, p) in shuffled.iter().enumerate() {
+            b.offer(p.to_vec(), i);
+        }
+        prop_assert_eq!(front_set(&a), front_set(&b));
+    }
+}

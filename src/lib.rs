@@ -42,9 +42,14 @@ pub use unico_workloads as workloads;
 /// One-stop imports for typical co-optimization applications.
 pub mod prelude {
     pub use unico_camodel::{AscendConfig, AscendPlatform};
-    pub use unico_core::{experiments::Scale, Unico, UnicoConfig, UnicoResult};
+    pub use unico_core::{
+        experiments::Scale, Checkpoint, CheckpointError, CheckpointPolicy, RunOptions, Unico,
+        UnicoConfig, UnicoResult,
+    };
     pub use unico_mapping::{Mapping, MappingSearcher, MappingSpace};
     pub use unico_model::{Dataflow, EvalCache, HwConfig, HwSpace, Platform, SpatialPlatform};
-    pub use unico_search::{CacheReport, CoSearchEnv, EnvConfig};
+    pub use unico_search::{
+        CacheReport, CoSearchEnv, EnvConfig, FaultContext, FaultKind, FaultPlan, RetryPolicy,
+    };
     pub use unico_workloads::{zoo, Network, TensorOp};
 }

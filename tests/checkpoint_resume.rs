@@ -1,0 +1,237 @@
+//! The resume-equivalence oracle: killing a seeded run at *every*
+//! checkpoint boundary and resuming it must reproduce an uninterrupted
+//! same-seed run bit-for-bit — same Pareto-front bit patterns, same
+//! deterministic run-report JSON, and the same evaluation-cache trace.
+//!
+//! The kill is a real panic: `RunOptions::kill_after` fires at the
+//! boundary *after* the snapshot is armed but *before* the periodic
+//! write, so the file the resume reads is the one flushed by the
+//! panic-guard `Drop` — the crash path, not the happy path.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use unico::prelude::*;
+use unico_core::checkpoint;
+
+fn smoke_cfg(seed: u64) -> UnicoConfig {
+    UnicoConfig {
+        max_iter: 3,
+        batch: 6,
+        b_max: 32,
+        candidate_pool: 32,
+        seed,
+        ..UnicoConfig::default()
+    }
+}
+
+fn edge_env<'p>(
+    platform: &'p SpatialPlatform,
+    nets: &[Network],
+) -> CoSearchEnv<'p, SpatialPlatform> {
+    CoSearchEnv::new(
+        platform,
+        nets,
+        EnvConfig {
+            max_layers_per_network: 1,
+            power_cap_mw: Some(2_000.0),
+            area_cap_mm2: None,
+        },
+    )
+}
+
+fn front_bits(r: &UnicoResult<HwConfig>) -> Vec<Vec<u64>> {
+    r.front
+        .objectives()
+        .iter()
+        .map(|y| y.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("unico-resume-oracle");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+/// One uninterrupted checkpointed run: the reference the killed/resumed
+/// runs are compared against.
+fn reference_run(path: &std::path::Path) -> (UnicoResult<HwConfig>, String) {
+    let cache = Arc::new(EvalCache::new());
+    let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+    let nets = [zoo::mobilenet_v1()];
+    let env = edge_env(&platform, &nets);
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::new(path.to_path_buf())),
+        ..RunOptions::default()
+    };
+    let res = Unico::new(smoke_cfg(7)).run_with_options(&env, &opts);
+    (res, cache.to_trace())
+}
+
+#[test]
+fn kill_at_every_boundary_then_resume_matches_uninterrupted() {
+    let ref_path = scratch("reference.checkpoint");
+    let (reference, reference_trace) = reference_run(&ref_path);
+    let reference_front = front_bits(&reference);
+    let reference_json = reference.report.deterministic_json();
+    assert!(
+        reference_json.contains("\"checkpoint\":{\"written\":3}"),
+        "every=1 over 3 iterations writes 3 checkpoints: {reference_json}"
+    );
+
+    let max_iter = smoke_cfg(7).max_iter;
+    for kill_at in 1..max_iter {
+        let path = scratch(&format!("killed-at-{kill_at}.checkpoint"));
+        std::fs::remove_file(&path).ok();
+
+        // Phase 1: run with the kill hook armed; the panic guard must
+        // flush boundary `kill_at` on the way out.
+        {
+            let cache = Arc::new(EvalCache::new());
+            let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+            let nets = [zoo::mobilenet_v1()];
+            let env = edge_env(&platform, &nets);
+            let opts = RunOptions {
+                checkpoint: Some(CheckpointPolicy::new(path.clone())),
+                kill_after: Some(kill_at),
+                ..RunOptions::default()
+            };
+            let unico = Unico::new(smoke_cfg(7));
+            let outcome = catch_unwind(AssertUnwindSafe(|| unico.run_with_options(&env, &opts)));
+            assert!(outcome.is_err(), "kill hook must abort the run");
+        }
+        let flushed = checkpoint::Checkpoint::read(&path)
+            .unwrap_or_else(|e| panic!("boundary {kill_at} checkpoint unreadable: {e}"));
+        assert_eq!(flushed.iterations_done, kill_at);
+        assert_eq!(
+            flushed.counters["checkpoints_written"], kill_at as u64,
+            "guard flush counts itself"
+        );
+
+        // Phase 2: resume on a fresh platform with a fresh cache.
+        let cache = Arc::new(EvalCache::new());
+        let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+        let nets = [zoo::mobilenet_v1()];
+        let env = edge_env(&platform, &nets);
+        let opts = RunOptions {
+            checkpoint: Some(CheckpointPolicy::new(path.clone())),
+            ..RunOptions::default()
+        };
+        let resumed = Unico::resume_with_options(&env, &path, &opts)
+            .unwrap_or_else(|e| panic!("resume from boundary {kill_at} failed: {e}"));
+
+        // The oracle: bit-identical front, byte-identical deterministic
+        // report, byte-identical cache trace.
+        assert_eq!(
+            front_bits(&resumed),
+            reference_front,
+            "front diverged after kill at boundary {kill_at}"
+        );
+        assert_eq!(
+            resumed.report.deterministic_json(),
+            reference_json,
+            "report diverged after kill at boundary {kill_at}"
+        );
+        assert_eq!(
+            cache.to_trace(),
+            reference_trace,
+            "cache trace diverged after kill at boundary {kill_at}"
+        );
+        assert_eq!(resumed.evaluations.len(), reference.evaluations.len());
+        assert_eq!(resumed.wall_clock_s, reference.wall_clock_s);
+    }
+}
+
+#[test]
+fn resume_refuses_mismatched_platform() {
+    let path = scratch("platform-mismatch.checkpoint");
+    let cache = Arc::new(EvalCache::new());
+    let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+    let nets = [zoo::mobilenet_v1()];
+    let env = edge_env(&platform, &nets);
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::new(path.clone())),
+        ..RunOptions::default()
+    };
+    let _ = Unico::new(smoke_cfg(11)).run_with_options(&env, &opts);
+
+    let other = SpatialPlatform::cloud();
+    let other_env = CoSearchEnv::new(
+        &other,
+        &nets,
+        EnvConfig {
+            max_layers_per_network: 1,
+            power_cap_mw: Some(2_000.0),
+            area_cap_mm2: None,
+        },
+    );
+    match Unico::resume(&other_env, &path) {
+        Err(CheckpointError::Schema(m)) => {
+            assert!(m.contains("spatial-edge") && m.contains("spatial-cloud"))
+        }
+        other => panic!("expected platform mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn resume_of_completed_run_returns_final_state_without_rerunning() {
+    let path = scratch("completed.checkpoint");
+    let cache = Arc::new(EvalCache::new());
+    let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+    let nets = [zoo::mobilenet_v1()];
+    let env = edge_env(&platform, &nets);
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::new(path.clone())),
+        ..RunOptions::default()
+    };
+    let full = Unico::new(smoke_cfg(7)).run_with_options(&env, &opts);
+
+    let cache2 = Arc::new(EvalCache::new());
+    let platform2 = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache2));
+    let env2 = edge_env(&platform2, &nets);
+    let resumed = Unico::resume(&env2, &path).expect("resume completed run");
+    assert_eq!(front_bits(&resumed), front_bits(&full));
+    assert_eq!(resumed.evaluations.len(), full.evaluations.len());
+    // No new iterations ran: the resumed run evaluated nothing.
+    assert_eq!(resumed.report.counters["hw_evals"], 18);
+}
+
+#[test]
+fn coarser_cadence_still_recovers_from_last_written_boundary() {
+    // every=2 over 3 iterations writes at boundaries 2 and 3. Killing at
+    // boundary 1 leaves the guard-flushed boundary-1 snapshot; resume
+    // completes the run with a correct front.
+    let path = scratch("cadence-2.checkpoint");
+    std::fs::remove_file(&path).ok();
+    let nets = [zoo::mobilenet_v1()];
+    {
+        let cache = Arc::new(EvalCache::new());
+        let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+        let env = edge_env(&platform, &nets);
+        let opts = RunOptions {
+            checkpoint: Some(CheckpointPolicy::new(path.clone()).with_every(2)),
+            kill_after: Some(1),
+            ..RunOptions::default()
+        };
+        let unico = Unico::new(smoke_cfg(7));
+        assert!(catch_unwind(AssertUnwindSafe(|| unico.run_with_options(&env, &opts))).is_err());
+    }
+    let flushed = checkpoint::Checkpoint::read(&path).expect("guard flushed boundary 1");
+    assert_eq!(flushed.iterations_done, 1);
+
+    let cache = Arc::new(EvalCache::new());
+    let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+    let env = edge_env(&platform, &nets);
+    let resumed = Unico::resume(&env, &path).expect("resume");
+    // Same final front as a plain run (report counters differ: the
+    // cadence changes how many checkpoints are written).
+    let reference = {
+        let cache = Arc::new(EvalCache::new());
+        let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+        let env = edge_env(&platform, &nets);
+        Unico::new(smoke_cfg(7)).run(&env)
+    };
+    assert_eq!(front_bits(&resumed), front_bits(&reference));
+}

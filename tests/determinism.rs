@@ -25,6 +25,11 @@ const GOLDEN_TRACE: &str = concat!(
     "/tests/golden/unico_smoke.trace"
 );
 
+const GOLDEN_CHECKPOINT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/unico_resume.checkpoint"
+);
+
 fn smoke_cfg(seed: u64) -> UnicoConfig {
     UnicoConfig {
         max_iter: 3,
@@ -134,6 +139,71 @@ fn replay_resolves_run_from_trace_with_zero_misses() {
     // The replayed run reproduces the recorded run bit-for-bit.
     let recorded = smoke_run(Arc::new(EvalCache::new()));
     assert_eq!(front_bits(&replayed), front_bits(&recorded));
+}
+
+/// The committed mid-run checkpoint (`unico.checkpoint.v1`, captured by
+/// the crash path at boundary 2 of the 3-iteration seed-7 smoke run)
+/// must still resume into a final state bit-identical to an
+/// uninterrupted smoke run — pinning the checkpoint format itself, not
+/// just in-process round trips. Re-record alongside the golden trace
+/// with `UNICO_RECORD_GOLDEN=1`.
+#[test]
+fn resume_from_committed_checkpoint_reproduces_smoke_run() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    if std::env::var("UNICO_RECORD_GOLDEN").is_ok() {
+        // Record: crash the smoke run at boundary 2 with the checkpoint
+        // pointed at the golden path; the panic guard flushes the
+        // boundary-2 snapshot — the exact file a real crash leaves.
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_CHECKPOINT).parent().unwrap())
+            .expect("create tests/golden");
+        std::fs::remove_file(GOLDEN_CHECKPOINT).ok();
+        let cache = Arc::new(EvalCache::new());
+        let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+        let nets = [zoo::mobilenet_v1()];
+        let env = edge_env(&platform, &nets);
+        let opts = RunOptions {
+            checkpoint: Some(CheckpointPolicy::new(std::path::PathBuf::from(
+                GOLDEN_CHECKPOINT,
+            ))),
+            kill_after: Some(2),
+            ..RunOptions::default()
+        };
+        let unico = Unico::new(smoke_cfg(7));
+        let outcome = catch_unwind(AssertUnwindSafe(|| unico.run_with_options(&env, &opts)));
+        assert!(outcome.is_err(), "recording kill must fire");
+        let ck =
+            Checkpoint::read(std::path::Path::new(GOLDEN_CHECKPOINT)).expect("recorded checkpoint");
+        assert_eq!(ck.iterations_done, 2);
+        return;
+    }
+
+    let ck = Checkpoint::read(std::path::Path::new(GOLDEN_CHECKPOINT))
+        .expect("golden checkpoint missing; record with UNICO_RECORD_GOLDEN=1");
+    assert_eq!(ck.iterations_done, 2, "golden snapshot sits at boundary 2");
+
+    let cache = Arc::new(EvalCache::new());
+    let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache));
+    let nets = [zoo::mobilenet_v1()];
+    let env = edge_env(&platform, &nets);
+    let resumed = Unico::resume(&env, std::path::Path::new(GOLDEN_CHECKPOINT)).expect(
+        "golden checkpoint diverged from the current format; \
+                 if the change is intentional, re-record with \
+                 UNICO_RECORD_GOLDEN=1",
+    );
+
+    let reference_cache = Arc::new(EvalCache::new());
+    let reference = smoke_run(Arc::clone(&reference_cache));
+    assert_eq!(
+        front_bits(&resumed),
+        front_bits(&reference),
+        "resumed front diverged from the uninterrupted smoke run"
+    );
+    assert_eq!(resumed.evaluations.len(), reference.evaluations.len());
+    assert_eq!(resumed.wall_clock_s, reference.wall_clock_s);
+    // The resumed cache (restored trace + post-resume evaluations) saw
+    // the exact evaluation stream of the uninterrupted run.
+    assert_eq!(cache.to_trace(), reference_cache.to_trace());
 }
 
 /// Fig. 9-style MOBOHB baseline: at realistic per-session mapping

@@ -1,0 +1,152 @@
+//! The fault matrix: every fault kind (eval error, worker panic,
+//! stall-past-deadline) injected at the first, middle, and last SH
+//! round of the smoke run. Every cell must complete the run without
+//! aborting, and the v3 run report must surface the injection, retry,
+//! and quarantine counters.
+//!
+//! Batch numbering: the smoke configuration runs 3 MOBO iterations of
+//! 3 SH rounds each (`ceil(log2 6)` with `batch = 6`), so advance
+//! batches 0..=8 cover the run; 0 is the first round, 4 the middle,
+//! 8 the last. A fault planted at `(batch, session)` only fires if
+//! that session is still selected in that round, so each cell plants
+//! its fault on every session index — whichever survivors the round
+//! actually advances get hit.
+
+use std::sync::Arc;
+
+use unico::prelude::*;
+
+const BATCH: usize = 6;
+const FIRST: u64 = 0;
+const MIDDLE: u64 = 4;
+const LAST: u64 = 8;
+
+fn smoke_cfg(seed: u64) -> UnicoConfig {
+    UnicoConfig {
+        max_iter: 3,
+        batch: BATCH,
+        b_max: 32,
+        candidate_pool: 32,
+        seed,
+        ..UnicoConfig::default()
+    }
+}
+
+fn run_with_plan(plan: FaultPlan) -> UnicoResult<HwConfig> {
+    let cache = Arc::new(EvalCache::new());
+    let platform = SpatialPlatform::edge().with_eval_cache(cache);
+    let nets = [zoo::mobilenet_v1()];
+    let env = CoSearchEnv::new(
+        &platform,
+        &nets,
+        EnvConfig {
+            max_layers_per_network: 1,
+            power_cap_mw: Some(2_000.0),
+            area_cap_mm2: None,
+        },
+    );
+    let ctx = FaultContext::new(plan, RetryPolicy::default());
+    let opts = RunOptions {
+        faults: Some(&ctx),
+        ..RunOptions::default()
+    };
+    Unico::new(smoke_cfg(7)).run_with_options(&env, &opts)
+}
+
+fn plan_for_all_sessions(batch: u64, kind: FaultKind) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for session in 0..BATCH {
+        plan = plan.with_fault(batch, session, kind);
+    }
+    plan
+}
+
+#[test]
+fn fault_matrix_completes_every_cell() {
+    for kind in [
+        FaultKind::EvalError,
+        FaultKind::WorkerPanic,
+        FaultKind::Stall,
+    ] {
+        for batch in [FIRST, MIDDLE, LAST] {
+            let res = run_with_plan(plan_for_all_sessions(batch, kind));
+            // The run ran to completion: every iteration evaluated its
+            // full batch and the trace recorded every boundary.
+            assert_eq!(res.evaluations.len(), 18, "{kind:?}@{batch}");
+            assert_eq!(res.trace.points().len(), 3, "{kind:?}@{batch}");
+            let f = res
+                .report
+                .faults
+                .unwrap_or_else(|| panic!("{kind:?}@{batch}: fault section missing"));
+            assert!(f.injected > 0, "{kind:?}@{batch}: nothing injected");
+            let kind_count = match kind {
+                FaultKind::EvalError => f.errors,
+                FaultKind::WorkerPanic => f.panics,
+                FaultKind::Stall => f.stalls,
+            };
+            assert!(kind_count > 0, "{kind:?}@{batch}: kind counter empty");
+            let json = res.report.deterministic_json();
+            assert!(
+                json.contains("\"faults\":{\"injected\":"),
+                "{kind:?}@{batch}: report lacks faults section"
+            );
+            match kind {
+                // Single-fire errors and stalls recover on the first
+                // retry; nothing is quarantined.
+                FaultKind::EvalError | FaultKind::Stall => {
+                    assert!(f.retries > 0, "{kind:?}@{batch}: no retry issued");
+                    assert_eq!(f.quarantines, 0, "{kind:?}@{batch}");
+                }
+                // Worker panics poison the session outright (the engine
+                // contains the panic); no retry is attempted.
+                FaultKind::WorkerPanic => {
+                    assert_eq!(f.retries, 0, "{kind:?}@{batch}");
+                    assert!(
+                        res.report.counters["engine_panics"] >= f.panics,
+                        "{kind:?}@{batch}: engine must contain every injected panic"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn repeating_fault_exhausts_retries_and_quarantines() {
+    // Fire on every attempt (initial + both retries): the session must
+    // be quarantined and the round still completes.
+    let mut plan = FaultPlan::new();
+    for session in 0..BATCH {
+        plan = plan.with_repeating_fault(FIRST, session, FaultKind::EvalError, 3);
+    }
+    let res = run_with_plan(plan);
+    assert_eq!(res.evaluations.len(), 18);
+    let f = res.report.faults.expect("faults fired");
+    assert!(f.quarantines > 0, "exhausted retries must quarantine");
+    assert!(f.retries > 0);
+    // Quarantined sessions surface as infeasible records in iteration 0.
+    let infeasible_iter0 = res
+        .evaluations
+        .iter()
+        .filter(|r| r.iteration == 0 && r.assessment.is_none())
+        .count();
+    assert!(infeasible_iter0 > 0, "quarantine must score infeasible");
+}
+
+#[test]
+fn seeded_fault_plans_are_deterministic() {
+    let plan = || FaultPlan::seeded(33, 0.35);
+    let a = run_with_plan(plan());
+    let b = run_with_plan(plan());
+    assert_eq!(a.report.faults, b.report.faults, "same seed, same faults");
+    assert_eq!(a.report.deterministic_json(), b.report.deterministic_json());
+    let f = a.report.faults.expect("35% rate over 9 batches must fire");
+    assert!(f.injected > 0);
+}
+
+#[test]
+fn fault_free_plan_leaves_report_clean() {
+    let res = run_with_plan(FaultPlan::new());
+    assert!(res.report.faults.is_none());
+    assert!(res.report.deterministic_json().contains("\"faults\":null"));
+}
