@@ -68,20 +68,84 @@ impl CheckpointPolicy {
     }
 
     /// Builds a policy from the environment: `UNICO_CHECKPOINT` names
-    /// the file (absent → `None`), `UNICO_CHECKPOINT_EVERY` the cadence
-    /// (absent or unparsable → 1).
+    /// the file (absent or empty → `None`), `UNICO_CHECKPOINT_EVERY`
+    /// the cadence (absent → 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `UNICO_CHECKPOINT_EVERY`
+    /// is set but malformed (not a positive integer). A typo'd cadence
+    /// used to silently degrade to "checkpoint every iteration"; an
+    /// operator who asked for durability gets what they configured or a
+    /// loud failure, never a silent fallback.
     pub fn from_env() -> Option<Self> {
         let path = std::env::var_os("UNICO_CHECKPOINT")?;
         if path.is_empty() {
             return None;
         }
-        let every = std::env::var("UNICO_CHECKPOINT_EVERY")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&e| e > 0)
-            .unwrap_or(1);
+        let raw = std::env::var("UNICO_CHECKPOINT_EVERY").ok();
+        let every = parse_every(raw.as_deref()).unwrap_or_else(|e| panic!("{e}"));
         Some(CheckpointPolicy::new(PathBuf::from(path)).with_every(every))
     }
+}
+
+/// Parses the `UNICO_CHECKPOINT_EVERY` value: absent means every
+/// iteration (1); anything set must be a positive decimal integer
+/// (surrounding whitespace tolerated).
+///
+/// # Errors
+///
+/// A descriptive message naming the variable and the offending value —
+/// the caller is expected to surface it loudly (panic or process exit),
+/// never to fall back to a default.
+pub fn parse_every(raw: Option<&str>) -> Result<usize, String> {
+    match raw {
+        None => Ok(1),
+        Some(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&e| e > 0)
+            .ok_or_else(|| format!("UNICO_CHECKPOINT_EVERY must be a positive integer, got {s:?}")),
+    }
+}
+
+/// What [`scan_dir`] found in a checkpoint directory.
+#[derive(Debug, Default)]
+pub struct DirScan {
+    /// Parseable checkpoints, sorted by file name for deterministic
+    /// recovery order.
+    pub resumable: Vec<(PathBuf, Checkpoint)>,
+    /// Files with the checkpoint extension that failed to parse, with
+    /// the reason (a daemon reports these instead of crashing on them).
+    pub corrupt: Vec<(PathBuf, CheckpointError)>,
+}
+
+/// Scans `dir` for `*.checkpoint` files — the crash-recovery sweep a
+/// daemon runs at boot to find interrupted runs to hand to
+/// [`Unico::resume`](crate::Unico::resume). Stale `*.tmp` staging files
+/// (a crash mid-[`Checkpoint::write_atomic`]) are ignored: the rename
+/// never happened, so the previous checkpoint, if any, is the truth.
+///
+/// # Errors
+///
+/// Propagates filesystem errors reading the directory itself; an
+/// unreadable or unparsable individual file lands in
+/// [`DirScan::corrupt`] instead.
+pub fn scan_dir(dir: &Path) -> std::io::Result<DirScan> {
+    let mut scan = DirScan::default();
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "checkpoint"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        match Checkpoint::read(&path) {
+            Ok(ck) => scan.resumable.push((path, ck)),
+            Err(e) => scan.corrupt.push((path, e)),
+        }
+    }
+    Ok(scan)
 }
 
 /// Why a checkpoint could not be read or written.
@@ -998,6 +1062,51 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cadence_panics() {
         let _ = CheckpointPolicy::new("/tmp/x.ck").with_every(0);
+    }
+
+    #[test]
+    fn parse_every_accepts_positive_integers_only() {
+        assert_eq!(parse_every(None), Ok(1));
+        assert_eq!(parse_every(Some("1")), Ok(1));
+        assert_eq!(parse_every(Some("25")), Ok(25));
+        assert_eq!(parse_every(Some(" 3\n")), Ok(3), "whitespace tolerated");
+        for bad in ["", "0", "-2", "2.5", "five", "1e3", "3 iterations"] {
+            let err = parse_every(Some(bad)).expect_err(bad);
+            assert!(
+                err.contains("UNICO_CHECKPOINT_EVERY") && err.contains(bad),
+                "error must name the variable and the value: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_dir_sorts_resumable_and_isolates_corrupt() {
+        let dir = std::env::temp_dir().join("unico-ckpt-scan-test");
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).expect("mkdir");
+        let ck = sample();
+        ck.write_atomic(&dir.join("b.checkpoint")).expect("write b");
+        ck.write_atomic(&dir.join("a.checkpoint")).expect("write a");
+        fs::write(dir.join("broken.checkpoint"), "{not json").expect("write corrupt");
+        // Non-checkpoint files and stale staging files are ignored.
+        fs::write(dir.join("c.checkpoint.tmp"), "partial").expect("write tmp");
+        fs::write(dir.join("notes.txt"), "irrelevant").expect("write txt");
+        let scan = scan_dir(&dir).expect("scan");
+        let names: Vec<_> = scan
+            .resumable
+            .iter()
+            .map(|(p, _)| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a.checkpoint", "b.checkpoint"]);
+        assert_eq!(scan.resumable[0].1.iterations_done, 2);
+        assert_eq!(scan.corrupt.len(), 1);
+        assert!(scan.corrupt[0].0.ends_with("broken.checkpoint"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_dir_missing_directory_is_io_error() {
+        assert!(scan_dir(Path::new("/nonexistent/unico-ckpts")).is_err());
     }
 
     #[test]

@@ -49,5 +49,7 @@ pub mod report;
 pub mod robustness;
 mod unico;
 
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
-pub use unico::{HwRecord, RunOptions, Unico, UnicoConfig, UnicoResult};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, DirScan};
+pub use unico::{
+    HwRecord, IterationUpdate, RunObserver, RunOptions, Unico, UnicoConfig, UnicoResult,
+};

@@ -1,6 +1,7 @@
 //! The UNICO co-optimization algorithm (paper Algorithm 1).
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 use rand::rngs::StdRng;
@@ -140,6 +141,11 @@ pub struct UnicoResult<H> {
     pub wall_clock_s: f64,
     /// Number of hardware configurations evaluated.
     pub hw_evals: usize,
+    /// Iterations actually completed (equals `max_iter` unless the run
+    /// was cancelled through a [`RunObserver`]).
+    pub iterations_done: usize,
+    /// `true` when a [`RunObserver`] stopped the run before `max_iter`.
+    pub cancelled: bool,
     /// Structured telemetry snapshot of this run: phase wall-clock
     /// timers, evaluation counters, and the evaluation-cache section
     /// when a cache is attached (schema `unico.run_report.v3`).
@@ -199,10 +205,50 @@ impl<H> UnicoResult<H> {
     }
 }
 
+/// Live progress hooks for an in-flight run.
+///
+/// An observer is polled at every iteration boundary, which is where
+/// the loop state is consistent (and, when checkpointing is on, right
+/// after the boundary snapshot was armed). `unico-serve` uses this to
+/// stream per-iteration telemetry deltas to HTTP clients and to
+/// deliver cooperative job cancellation; both methods default to
+/// no-ops so plain runs pay nothing.
+pub trait RunObserver: Sync {
+    /// Called after every completed iteration with a consistent view of
+    /// the loop.
+    fn on_iteration(&self, _update: &IterationUpdate<'_>) {}
+
+    /// Polled before each iteration starts; returning `true` stops the
+    /// run cooperatively. A stopped run still returns a well-formed
+    /// [`UnicoResult`] (with [`UnicoResult::cancelled`] set), and any
+    /// checkpoint written at an earlier boundary remains resumable.
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// What a [`RunObserver`] sees at an iteration boundary.
+#[derive(Debug)]
+pub struct IterationUpdate<'a> {
+    /// Completed iterations (1-based; resumed runs continue counting).
+    pub iteration: usize,
+    /// Total iterations the run will execute (`max_iter`).
+    pub max_iter: usize,
+    /// Current Pareto-front size.
+    pub front_size: usize,
+    /// Evaluations recorded so far (including restored ones).
+    pub evaluations: usize,
+    /// Simulated wall-clock seconds elapsed.
+    pub wall_clock_s: f64,
+    /// The run's live telemetry; snapshot/diff it for deltas.
+    pub telemetry: &'a Telemetry,
+}
+
 /// Optional run machinery around the MOBO loop: crash-safe
-/// checkpointing, deterministic fault injection, and the kill-switch
-/// test hook the resume-equivalence oracle uses.
-#[derive(Debug, Clone, Default)]
+/// checkpointing, deterministic fault injection, live observation /
+/// cancellation, and the kill-switch test hook the resume-equivalence
+/// oracle uses.
+#[derive(Clone, Default)]
 pub struct RunOptions<'a> {
     /// Write [`Checkpoint`]s per this policy (`None` disables).
     pub checkpoint: Option<CheckpointPolicy>,
@@ -214,6 +260,19 @@ pub struct RunOptions<'a> {
     /// panic-guard flush is what lands on disk. Ignored when
     /// `checkpoint` is `None`.
     pub kill_after: Option<usize>,
+    /// Progress/cancellation hooks (`None` runs unobserved).
+    pub observer: Option<&'a dyn RunObserver>,
+}
+
+impl fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("checkpoint", &self.checkpoint)
+            .field("faults", &self.faults)
+            .field("kill_after", &self.kill_after)
+            .field("observer", &self.observer.map(|_| "dyn RunObserver"))
+            .finish()
+    }
 }
 
 impl RunOptions<'_> {
@@ -615,8 +674,14 @@ impl Unico {
         let engine = MappingEngine::new((cfg.workers as usize).max(1));
         let cache_start = env.platform().eval_cache().map(EvalCache::stats);
         let mut guard = CheckpointGuard::default();
+        let mut iterations_done = st.start_iter;
+        let mut cancelled = false;
 
         for iteration in st.start_iter..cfg.max_iter {
+            if opts.observer.is_some_and(|o| o.cancelled()) {
+                cancelled = true;
+                break;
+            }
             // ---- Line 4: sample a batch of N hardware configurations. ----
             let front_hw: Vec<P::Hw> = st
                 .front
@@ -759,6 +824,7 @@ impl Unico {
 
             // ---- Line 12: update HW Pareto front snapshot. ----
             st.trace.record(st.clock.seconds(), st.front.objectives());
+            iterations_done = iteration + 1;
 
             // ---- Checkpoint boundary. ----
             if let Some(policy) = opts.checkpoint.as_ref() {
@@ -780,6 +846,17 @@ impl Unico {
                     guard.flush().expect("checkpoint write failed");
                     telemetry.add(Counter::CheckpointsWritten, 1);
                 }
+            }
+
+            if let Some(observer) = opts.observer {
+                observer.on_iteration(&IterationUpdate {
+                    iteration: iteration + 1,
+                    max_iter: cfg.max_iter,
+                    front_size: st.front.len(),
+                    evaluations: st.evaluations.len(),
+                    wall_clock_s: st.clock.seconds(),
+                    telemetry: &telemetry,
+                });
             }
         }
 
@@ -810,11 +887,13 @@ impl Unico {
         Telemetry::global().absorb(&telemetry);
 
         UnicoResult {
+            hw_evals: st.evaluations.len(),
             front: st.front,
             evaluations: st.evaluations,
             trace: st.trace,
             wall_clock_s: st.clock.seconds(),
-            hw_evals: self.cfg.max_iter * self.cfg.batch,
+            iterations_done,
+            cancelled,
             report,
         }
     }
@@ -1040,6 +1119,77 @@ mod tests {
         assert_eq!(res.report.counters["cache_hits"], c.hits);
         assert_eq!(res.report.counters["cache_misses"], c.misses);
         assert!(res.report.to_json().contains("\"cache\":{\"hits\":"));
+    }
+
+    #[test]
+    fn observer_sees_every_iteration_boundary() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Recorder {
+            seen: Mutex<Vec<(usize, usize, usize)>>,
+        }
+        impl RunObserver for Recorder {
+            fn on_iteration(&self, u: &IterationUpdate<'_>) {
+                assert!(u.telemetry.get(unico_search::Counter::HwEvals) > 0);
+                assert!(u.wall_clock_s > 0.0);
+                self.seen
+                    .lock()
+                    .unwrap()
+                    .push((u.iteration, u.front_size, u.evaluations));
+            }
+        }
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let rec = Recorder::default();
+        let opts = RunOptions {
+            observer: Some(&rec),
+            ..RunOptions::default()
+        };
+        let res = Unico::new(smoke_cfg()).run_with_options(&e, &opts);
+        let seen = rec.seen.lock().unwrap();
+        assert_eq!(
+            seen.iter().map(|s| s.0).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "one update per iteration, in order"
+        );
+        assert_eq!(seen.last().unwrap().2, 18);
+        assert!(!res.cancelled);
+        assert_eq!(res.iterations_done, 3);
+        // The debug form names the observer without requiring Debug on it.
+        assert!(format!("{opts:?}").contains("dyn RunObserver"));
+    }
+
+    #[test]
+    fn observer_cancellation_stops_the_run_cooperatively() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct StopAfter {
+            boundary: usize,
+            seen: AtomicUsize,
+        }
+        impl RunObserver for StopAfter {
+            fn on_iteration(&self, u: &IterationUpdate<'_>) {
+                self.seen.store(u.iteration, Ordering::SeqCst);
+            }
+            fn cancelled(&self) -> bool {
+                self.seen.load(Ordering::SeqCst) >= self.boundary
+            }
+        }
+        let p = SpatialPlatform::edge();
+        let e = env(&p);
+        let stop = StopAfter {
+            boundary: 1,
+            seen: AtomicUsize::new(0),
+        };
+        let opts = RunOptions {
+            observer: Some(&stop),
+            ..RunOptions::default()
+        };
+        let res = Unico::new(smoke_cfg()).run_with_options(&e, &opts);
+        assert!(res.cancelled);
+        assert_eq!(res.iterations_done, 1);
+        assert_eq!(res.hw_evals, 6, "one batch evaluated before the stop");
+        assert_eq!(res.evaluations.len(), 6);
+        assert_eq!(res.trace.points().len(), 1);
     }
 
     #[test]

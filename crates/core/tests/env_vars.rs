@@ -1,0 +1,78 @@
+//! Loud-failure semantics of the crash-safety environment variables.
+//!
+//! `UNICO_CHECKPOINT_EVERY` used to silently fall back to "every
+//! iteration" when malformed; an operator who fat-fingers a cadence must
+//! get a crash naming the variable, not a silently different durability
+//! policy. These tests mutate the process environment, so they live in
+//! their own integration-test binary and serialize on a mutex.
+
+use std::panic::catch_unwind;
+use std::sync::Mutex;
+
+use unico_core::checkpoint::CheckpointPolicy;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the two checkpoint variables set as given (None clears)
+/// and restores a clean slate afterwards.
+fn with_env<T>(path: Option<&str>, every: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    match path {
+        Some(v) => std::env::set_var("UNICO_CHECKPOINT", v),
+        None => std::env::remove_var("UNICO_CHECKPOINT"),
+    }
+    match every {
+        Some(v) => std::env::set_var("UNICO_CHECKPOINT_EVERY", v),
+        None => std::env::remove_var("UNICO_CHECKPOINT_EVERY"),
+    }
+    let out = f();
+    std::env::remove_var("UNICO_CHECKPOINT");
+    std::env::remove_var("UNICO_CHECKPOINT_EVERY");
+    out
+}
+
+#[test]
+fn unset_checkpoint_var_disables_checkpointing() {
+    assert!(with_env(None, None, CheckpointPolicy::from_env).is_none());
+    assert!(with_env(None, Some("5"), CheckpointPolicy::from_env).is_none());
+    assert!(with_env(Some(""), None, CheckpointPolicy::from_env).is_none());
+}
+
+#[test]
+fn valid_vars_build_the_policy() {
+    let p = with_env(
+        Some("/tmp/run.checkpoint"),
+        None,
+        CheckpointPolicy::from_env,
+    )
+    .expect("path set builds a policy");
+    assert_eq!(p.every, 1);
+    assert_eq!(p.path.to_string_lossy(), "/tmp/run.checkpoint");
+
+    let p = with_env(
+        Some("/tmp/run.checkpoint"),
+        Some("7"),
+        CheckpointPolicy::from_env,
+    )
+    .expect("policy with cadence");
+    assert_eq!(p.every, 7);
+}
+
+#[test]
+fn malformed_cadence_panics_loudly_instead_of_defaulting() {
+    for bad in ["zero", "0", "-1", "1.5", ""] {
+        let outcome = with_env(Some("/tmp/run.checkpoint"), Some(bad), || {
+            catch_unwind(CheckpointPolicy::from_env)
+        });
+        let panic = outcome.expect_err(bad);
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("UNICO_CHECKPOINT_EVERY"),
+            "panic must name the variable, got {msg:?}"
+        );
+    }
+}

@@ -282,6 +282,19 @@ impl EvalCache {
         }
     }
 
+    /// The process-wide shared cache, created on first use.
+    ///
+    /// Keys are engine-tagged and platform-stable, so one cache safely
+    /// serves evaluations from every platform in the process — the
+    /// spatial analytical engines and the Ascend-like cycle model never
+    /// alias. `unico-served` attaches this (or its own instance) to
+    /// every job's platform so identical `(hw, mapping)` points
+    /// submitted by different users are priced once.
+    pub fn process_shared() -> std::sync::Arc<EvalCache> {
+        static SHARED: std::sync::OnceLock<std::sync::Arc<EvalCache>> = std::sync::OnceLock::new();
+        std::sync::Arc::clone(SHARED.get_or_init(|| std::sync::Arc::new(EvalCache::new())))
+    }
+
     /// Bounds every shard to `cap` entries with FIFO eviction.
     pub fn with_capacity_per_shard(cap: usize) -> Self {
         EvalCache {
@@ -585,6 +598,18 @@ mod tests {
             area_mm2: 1.5,
             energy_pj: 10.0 * lat,
         })
+    }
+
+    #[test]
+    fn process_shared_returns_one_instance() {
+        let a = EvalCache::process_shared();
+        let b = EvalCache::process_shared();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        // Entries inserted through one handle are visible through the
+        // other (same underlying cache).
+        let probe = key(0x5eed_cafe);
+        a.get_or_compute(probe, || ppa(0.25)).unwrap();
+        assert_eq!(b.get(probe), Some(ppa(0.25)));
     }
 
     #[test]

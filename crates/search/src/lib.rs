@@ -48,7 +48,9 @@ pub use hasco::{run_hasco, HascoConfig};
 pub use hyperband::{run_hyperband, HyperbandConfig};
 pub use nsga2::{run_nsga2, Nsga2Config};
 pub use pool::{advance_pooled, advance_with_engine, advance_with_engine_faulted, ComputeTopology};
-pub use telemetry::{CacheReport, CheckpointReport, Counter, FaultReport, RunReport, Telemetry};
+pub use telemetry::{
+    CacheReport, CheckpointReport, Counter, FaultReport, RunReport, Telemetry, TelemetrySnapshot,
+};
 pub use trace::{SearchTrace, SimClock, TracePoint};
 // The evaluation cache itself lives in `unico-model` (the crate every
 // PPA engine sees); re-exported here because the search drivers are

@@ -218,6 +218,19 @@ impl Telemetry {
         self.add(Counter::CacheEvictions, d.evictions);
     }
 
+    /// Captures the current counter and phase-timer totals as a
+    /// [`TelemetrySnapshot`] — the unit the service layer diffs to
+    /// stream per-iteration telemetry deltas over NDJSON.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: Counter::ALL
+                .iter()
+                .map(|c| (c.name().to_string(), self.get(*c)))
+                .collect(),
+            phases_s: self.phases.lock().expect("phase map lock").clone(),
+        }
+    }
+
     /// Snapshots into a named [`RunReport`].
     ///
     /// When any cache counter is nonzero the report carries a `cache`
@@ -261,6 +274,77 @@ impl Telemetry {
             faults: faults.any().then_some(faults),
             checkpoint: (written > 0).then_some(CheckpointReport { written }),
         }
+    }
+}
+
+/// A point-in-time copy of a [`Telemetry`]'s counters and phase timers.
+///
+/// Two snapshots of the same telemetry diff into a *delta*
+/// ([`TelemetrySnapshot::delta_since`]); rendering a delta with
+/// [`TelemetrySnapshot::to_json`] keeps only the counters that moved,
+/// which is what `unico-serve` streams as one NDJSON event per MOBO
+/// iteration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter totals by stable name (every counter, including zeros).
+    pub counters: BTreeMap<String, u64>,
+    /// Per-phase wall-clock seconds.
+    pub phases_s: BTreeMap<String, f64>,
+}
+
+impl TelemetrySnapshot {
+    /// The change between `earlier` and `self`: counters subtract
+    /// (saturating, so an absorbed-baseline reset can never underflow)
+    /// and phase timers subtract clamped at zero.
+    pub fn delta_since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let base = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(base))
+            })
+            .collect();
+        let phases_s = self
+            .phases_s
+            .iter()
+            .map(|(k, v)| {
+                let base = earlier.phases_s.get(k).copied().unwrap_or(0.0);
+                (k.clone(), (v - base).max(0.0))
+            })
+            .collect();
+        TelemetrySnapshot { counters, phases_s }
+    }
+
+    /// `true` when every counter and phase timer is zero.
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(|&v| v == 0) && self.phases_s.values().all(|&v| v == 0.0)
+    }
+
+    /// Renders the snapshot as a compact JSON object
+    /// (`{"counters":{...},"phases_s":{...}}`), dropping zero-valued
+    /// counters and phases so per-iteration deltas stay one short line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (k, v) in self.counters.iter().filter(|(_, &v)| v > 0) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{}:{v}", json_string(k)));
+        }
+        out.push_str("},\"phases_s\":{");
+        first = true;
+        for (k, v) in self.phases_s.iter().filter(|(_, &v)| v > 0.0) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{}:{}", json_string(k), json_number(*v)));
+        }
+        out.push_str("}}");
+        out
     }
 }
 
@@ -541,6 +625,39 @@ mod tests {
         assert!(det.contains("\"hit_rate\":0.75"));
         // Zero-lookup reports divide safely.
         assert_eq!(CacheReport::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_delta_and_compact_json() {
+        let t = Telemetry::new();
+        t.add(Counter::MappingEvals, 100);
+        t.add(Counter::HwEvals, 6);
+        t.add_phase_secs("mapping_search", 0.5);
+        let a = t.snapshot();
+        assert_eq!(a.counters["mapping_evals"], 100);
+        assert_eq!(a.counters.len(), Counter::ALL.len());
+
+        t.add(Counter::MappingEvals, 40);
+        t.add_phase_secs("mapping_search", 0.25);
+        t.add_phase_secs("gp_fit", 0.125);
+        let b = t.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.counters["mapping_evals"], 40);
+        assert_eq!(d.counters["hw_evals"], 0);
+        assert!((d.phases_s["mapping_search"] - 0.25).abs() < 1e-9);
+        assert!((d.phases_s["gp_fit"] - 0.125).abs() < 1e-9);
+        assert!(!d.is_empty());
+        // Zero counters and phases are dropped from the JSON rendering.
+        let json = d.to_json();
+        assert!(json.contains("\"mapping_evals\":40"));
+        assert!(!json.contains("hw_evals"));
+        assert!(json.contains("\"gp_fit\":0.125"));
+        // A no-op interval is an empty delta.
+        let e = t.snapshot().delta_since(&b);
+        assert!(e.is_empty());
+        assert_eq!(e.to_json(), "{\"counters\":{},\"phases_s\":{}}");
+        // Deltas never underflow even against a later snapshot.
+        assert_eq!(a.delta_since(&b).counters["mapping_evals"], 0);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! The UNICO job-service daemon.
+//!
+//! Configuration comes from the environment (all optional, malformed
+//! values abort the boot):
+//!
+//! * `UNICO_SERVE_ADDR` — listen address (default `127.0.0.1:8787`).
+//! * `UNICO_SERVE_WORKERS` — worker threads (default 2).
+//! * `UNICO_SERVE_STATE_DIR` — manifests/checkpoints/results
+//!   directory (default `unico-serve-state`).
+//! * `UNICO_SERVE_MAX_BODY` — request-body cap in bytes (default 1 MiB).
+//!
+//! On boot the daemon scans the state directory and requeues every job
+//! whose manifest is not terminal; jobs with a surviving checkpoint
+//! resume from it instead of restarting.
+
+use std::sync::Arc;
+
+use unico_model::EvalCache;
+use unico_serve::{Scheduler, ServeConfig, Server};
+
+fn main() {
+    let cfg = ServeConfig::from_env();
+    let sched = Scheduler::start(&cfg, EvalCache::process_shared())
+        .unwrap_or_else(|e| panic!("unico-served: state dir {}: {e}", cfg.state_dir.display()));
+    let server = Server::serve(&cfg, Arc::clone(&sched))
+        .unwrap_or_else(|e| panic!("unico-served: bind {}: {e}", cfg.addr));
+    println!("unico-served listening on {}", server.addr());
+    println!(
+        "unico-served state dir {} ({} workers)",
+        cfg.state_dir.display(),
+        cfg.workers
+    );
+    // Serve until killed; durability is the whole point — recovery
+    // happens on the next boot, not on the way down.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,382 @@
+//! Hand-rolled HTTP/1.1 message layer.
+//!
+//! The daemon serves a handful of JSON endpoints plus one streaming
+//! route; it does not need (and the air-gapped build cannot take) a
+//! full web framework. The parser here is deliberately incremental:
+//! [`parse_request`] is called on the connection's accumulated read
+//! buffer and either yields a complete request plus the number of
+//! bytes it consumed, asks for more bytes, or rejects the message.
+//! Re-parsing from the buffer keeps split reads (a header straddling
+//! two TCP segments) and pipelined requests (two messages in one
+//! segment) on the exact same code path, which the property tests
+//! exercise directly.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+/// Upper bounds on message size, applied before any allocation grows
+/// unboundedly on attacker input.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes in the request line + headers (431 beyond this).
+    pub max_head: usize,
+    /// Maximum bytes in the body (413 beyond this).
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head: 16 * 1024,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// A fully received request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, without query string.
+    pub path: String,
+    /// Query string after `?`, empty if absent.
+    pub query: String,
+    /// Headers with lowercased names; later duplicates overwrite.
+    pub headers: BTreeMap<String, String>,
+    /// Request body (empty unless Content-Length was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Header lookup by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(|s| s.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed; each maps to one status code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HttpError {
+    /// Malformed request line, header, or Content-Length value → 400.
+    Bad(String),
+    /// Body-bearing method without Content-Length → 411.
+    LengthRequired,
+    /// Declared body exceeds [`HttpLimits::max_body`] → 413.
+    BodyTooLarge,
+    /// Head exceeds [`HttpLimits::max_head`] → 431.
+    HeadTooLarge,
+    /// Transfer-Encoding requests we do not implement → 501.
+    Unsupported(String),
+}
+
+impl HttpError {
+    /// The HTTP status code this parse failure is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Bad(_) => 400,
+            HttpError::LengthRequired => 411,
+            HttpError::BodyTooLarge => 413,
+            HttpError::HeadTooLarge => 431,
+            HttpError::Unsupported(_) => 501,
+        }
+    }
+
+    /// Human-readable reason, embedded in the error response body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::Bad(m) => format!("bad request: {m}"),
+            HttpError::LengthRequired => "length required".into(),
+            HttpError::BodyTooLarge => "body too large".into(),
+            HttpError::HeadTooLarge => "request head too large".into(),
+            HttpError::Unsupported(m) => format!("not implemented: {m}"),
+        }
+    }
+}
+
+/// Attempts to parse one request from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when a complete message is
+/// available (the caller drains `consumed` bytes and may find another
+/// pipelined message behind it), `Ok(None)` when more bytes are
+/// needed, and `Err` when the message is invalid and the connection
+/// should be failed.
+pub fn parse_request(
+    buf: &[u8],
+    limits: &HttpLimits,
+) -> Result<Option<(Request, usize)>, HttpError> {
+    let head_end = match find_head_end(buf) {
+        Some(end) => end,
+        None => {
+            // Partial head: still enforce the cap so a client cannot
+            // feed headers forever.
+            if buf.len() > limits.max_head {
+                return Err(HttpError::HeadTooLarge);
+            }
+            return Ok(None);
+        }
+    };
+    if head_end > limits.max_head {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Bad("head is not utf-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Bad(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Bad(format!("unsupported version {version:?}")));
+    }
+
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad(format!("malformed header {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Bad(format!("malformed header name {name:?}")));
+        }
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    if let Some(te) = headers.get("transfer-encoding") {
+        return Err(HttpError::Unsupported(format!("transfer-encoding {te:?}")));
+    }
+
+    let body_len = match headers.get("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Bad(format!("bad content-length {v:?}")))?,
+        None if matches!(method, "POST" | "PUT" | "PATCH") => {
+            return Err(HttpError::LengthRequired)
+        }
+        None => 0,
+    };
+    if body_len > limits.max_body {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let total = head_end + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(Some((
+        Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        total,
+    )))
+}
+
+/// Byte offset just past the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Reason phrase for the status codes the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete, Content-Length-framed response.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes the head of a chunked streaming response; follow with
+/// [`write_chunk`] calls and one [`write_chunk_end`].
+pub fn write_stream_head(w: &mut impl Write, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+    )?;
+    w.flush()
+}
+
+/// Writes one non-empty chunk in chunked transfer encoding.
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked stream.
+pub fn write_chunk_end(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> HttpLimits {
+        HttpLimits::default()
+    }
+
+    #[test]
+    fn parses_a_get_with_query_and_headers() {
+        let raw = b"GET /v1/jobs/abc?events=1 HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+        let (req, used) = parse_request(raw, &limits()).unwrap().unwrap();
+        assert_eq!(used, raw.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/jobs/abc");
+        assert_eq!(req.query, "events=1");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn needs_more_bytes_until_the_message_completes() {
+        let raw = b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody";
+        for cut in 0..raw.len() {
+            assert_eq!(
+                parse_request(&raw[..cut], &limits()).unwrap(),
+                None,
+                "prefix of {cut} bytes must ask for more"
+            );
+        }
+        let (req, used) = parse_request(raw, &limits()).unwrap().unwrap();
+        assert_eq!(used, raw.len());
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn pipelined_messages_consume_exactly_one_each() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let (first, used) = parse_request(raw, &limits()).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        let (second, used2) = parse_request(&raw[used..], &limits()).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(second.wants_close());
+        assert_eq!(used + used2, raw.len());
+    }
+
+    #[test]
+    fn error_statuses_match_the_failure() {
+        let post_no_len = b"POST /v1/jobs HTTP/1.1\r\n\r\n";
+        assert_eq!(
+            parse_request(post_no_len, &limits()).unwrap_err(),
+            HttpError::LengthRequired
+        );
+
+        let huge = b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n";
+        assert_eq!(parse_request(huge, &limits()).unwrap_err().status(), 413);
+
+        let tiny = HttpLimits {
+            max_head: 16,
+            max_body: 16,
+        };
+        let long_head = b"GET /averylongpathindeed HTTP/1.1\r\nx: y\r\n\r\n";
+        assert_eq!(parse_request(long_head, &tiny).unwrap_err().status(), 431);
+        // Even an unterminated head trips the cap.
+        assert_eq!(
+            parse_request(&[b'a'; 64], &tiny).unwrap_err(),
+            HttpError::HeadTooLarge
+        );
+
+        let chunked = b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+        assert_eq!(parse_request(chunked, &limits()).unwrap_err().status(), 501);
+
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET / HTTP/2.0\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\ncontent-length: many\r\n\r\n"[..],
+        ] {
+            assert_eq!(parse_request(bad, &limits()).unwrap_err().status(), 400);
+        }
+    }
+
+    #[test]
+    fn responses_and_chunks_are_well_framed() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            404,
+            "application/json",
+            b"{\"error\":\"x\"}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("content-length: 13\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"error\":\"x\"}"));
+
+        let mut out = Vec::new();
+        write_stream_head(&mut out, "application/x-ndjson").unwrap();
+        write_chunk(&mut out, b"{\"event\":\"iteration\"}\n").unwrap();
+        write_chunk(&mut out, b"").unwrap();
+        write_chunk_end(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(text.contains("16\r\n{\"event\":\"iteration\"}\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,508 @@
+//! Job state, event streaming, and on-disk persistence.
+//!
+//! Every job owns three files under the daemon's state directory, all
+//! written atomically (tmp + rename, the checkpoint convention):
+//!
+//! * `<id>.job.json` — the manifest: spec + lifecycle state. This is
+//!   what crash recovery reads; a manifest still saying `running`
+//!   after a daemon death means the job must be requeued.
+//! * `<id>.checkpoint` — the optimizer's own `unico.checkpoint.v1`
+//!   file, written by the run itself at the job's cadence.
+//! * `<id>.result.json` — the outcome, written exactly once on
+//!   completion.
+//!
+//! Pareto-front objective values are serialized as decimal IEEE-754
+//! bit patterns in JSON *strings* (u64 exceeds the double-exact range,
+//! so bare numbers would not survive generic JSON clients).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::json;
+use crate::spec::JobSpec;
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is driving the run.
+    Running,
+    /// Finished; a result file exists.
+    Completed,
+    /// The run panicked (other than the kill-hook emulation).
+    Failed,
+    /// Cancelled via the API before completing.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Result<Self, String> {
+        match s {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "completed" => Ok(JobState::Completed),
+            "failed" => Ok(JobState::Failed),
+            "cancelled" => Ok(JobState::Cancelled),
+            other => Err(format!("unknown job state {other:?}")),
+        }
+    }
+
+    /// Whether the job can still change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// What a finished run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Pareto-front objective vectors as IEEE-754 bit patterns.
+    pub front_bits: Vec<Vec<u64>>,
+    /// Full v3 run report (includes wall-clock phases).
+    pub report_json: String,
+    /// Deterministic run report (phases excluded) — byte-identical
+    /// across a killed-and-resumed run and an uninterrupted one.
+    pub deterministic_report_json: String,
+    /// Iterations the run completed.
+    pub iterations_done: usize,
+    /// Hardware evaluations recorded.
+    pub hw_evals: usize,
+    /// Whether the run stopped on a cancellation request.
+    pub cancelled: bool,
+}
+
+impl JobOutcome {
+    /// The seed-determined portion of the outcome: compare this across
+    /// runs to assert resume equivalence.
+    pub fn deterministic_json(&self) -> String {
+        format!(
+            "{{\"front_bits\":{},\"report\":{}}}",
+            render_bits(&self.front_bits),
+            self.deterministic_report_json
+        )
+    }
+
+    /// The full result document persisted as `<id>.result.json`.
+    pub fn to_json(&self, id: &str) -> String {
+        format!(
+            "{{\"schema\":\"unico.job_result.v1\",\"id\":{},\"iterations_done\":{},\"hw_evals\":{},\"cancelled\":{},\"front_bits\":{},\"report\":{}}}",
+            json::escape(id),
+            self.iterations_done,
+            self.hw_evals,
+            self.cancelled,
+            render_bits(&self.front_bits),
+            self.report_json
+        )
+    }
+}
+
+fn render_bits(front: &[Vec<u64>]) -> String {
+    let rows: Vec<String> = front
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|b| format!("\"{b}\"")).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// An append-only NDJSON event log with blocking tail support.
+///
+/// Producers push complete JSON lines; consumers wait for lines past a
+/// cursor. Closing the log wakes all waiters and marks the stream
+/// finished (the HTTP layer then emits the terminating `done` event's
+/// chunk and ends the response).
+#[derive(Debug, Default)]
+pub struct EventLog {
+    inner: Mutex<EventLogInner>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct EventLogInner {
+    lines: Vec<String>,
+    closed: bool,
+}
+
+impl EventLog {
+    /// Appends one event (a complete JSON document, no newline).
+    pub fn push(&self, line: String) {
+        debug_assert!(json::parse(&line).is_ok(), "event must be valid JSON");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if !inner.closed {
+            inner.lines.push(line);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Closes the log; no further events will be appended.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Returns events past `cursor` plus whether the log is closed,
+    /// blocking up to `timeout` when nothing new is available yet.
+    pub fn wait_past(&self, cursor: usize, timeout: Duration) -> (Vec<String>, bool) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.lines.len() <= cursor && !inner.closed {
+            let (guard, _) = self
+                .cond
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+        (
+            inner.lines.get(cursor..).unwrap_or_default().to_vec(),
+            inner.closed,
+        )
+    }
+
+    /// All events so far (non-blocking), plus whether the log is closed.
+    pub fn snapshot(&self) -> (Vec<String>, bool) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (inner.lines.clone(), inner.closed)
+    }
+}
+
+/// One job tracked by the scheduler.
+#[derive(Debug)]
+pub struct Job {
+    /// Stable identifier (`job-NNNNNN`), also the file-name stem.
+    pub id: String,
+    /// The validated submission.
+    pub spec: JobSpec,
+    state: Mutex<JobState>,
+    /// Error message for failed jobs.
+    error: Mutex<Option<String>>,
+    /// Outcome for completed jobs.
+    outcome: Mutex<Option<JobOutcome>>,
+    /// Per-iteration NDJSON telemetry stream.
+    pub events: EventLog,
+    /// Cooperative cancellation flag, polled by the run observer.
+    pub cancel: AtomicBool,
+    /// Whether this job was recovered from a checkpoint after a
+    /// daemon restart (surfaced in status responses and metrics).
+    pub resumed: AtomicBool,
+}
+
+impl Job {
+    /// Creates a queued job.
+    pub fn new(id: String, spec: JobSpec) -> Self {
+        Job {
+            id,
+            spec,
+            state: Mutex::new(JobState::Queued),
+            error: Mutex::new(None),
+            outcome: Mutex::new(None),
+            events: EventLog::default(),
+            cancel: AtomicBool::new(false),
+            resumed: AtomicBool::new(false),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Moves to `next` unless already terminal; returns whether the
+    /// transition happened.
+    pub fn set_state(&self, next: JobState) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.is_terminal() {
+            return false;
+        }
+        *st = next;
+        true
+    }
+
+    /// Records the failure message.
+    pub fn set_error(&self, msg: String) {
+        *self.error.lock().unwrap_or_else(|e| e.into_inner()) = Some(msg);
+    }
+
+    /// The failure message, if any.
+    pub fn error(&self) -> Option<String> {
+        self.error.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Stores the outcome of a completed run.
+    pub fn set_outcome(&self, outcome: JobOutcome) {
+        *self.outcome.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+    }
+
+    /// The outcome, if the job completed.
+    pub fn outcome(&self) -> Option<JobOutcome> {
+        self.outcome
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The status document served by `GET /v1/jobs/{id}`.
+    pub fn status_json(&self) -> String {
+        let state = self.state();
+        let mut out = format!(
+            "{{\"id\":{},\"state\":{},\"resumed\":{},\"spec\":{}",
+            json::escape(&self.id),
+            json::escape(state.name()),
+            self.resumed.load(Ordering::Relaxed),
+            self.spec.to_json()
+        );
+        if let Some(err) = self.error() {
+            out.push_str(&format!(",\"error\":{}", json::escape(&err)));
+        }
+        if let Some(outcome) = self.outcome() {
+            out.push_str(&format!(
+                ",\"iterations_done\":{},\"hw_evals\":{},\"cancelled\":{},\"front_bits\":{},\"report\":{}",
+                outcome.iterations_done,
+                outcome.hw_evals,
+                outcome.cancelled,
+                render_bits(&outcome.front_bits),
+                outcome.report_json
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Paths a job's files live at.
+#[derive(Debug, Clone)]
+pub struct JobPaths {
+    /// `<id>.job.json`.
+    pub manifest: PathBuf,
+    /// `<id>.checkpoint`.
+    pub checkpoint: PathBuf,
+    /// `<id>.result.json`.
+    pub result: PathBuf,
+}
+
+impl JobPaths {
+    /// The canonical file layout for `id` under `state_dir`.
+    pub fn new(state_dir: &Path, id: &str) -> Self {
+        JobPaths {
+            manifest: state_dir.join(format!("{id}.job.json")),
+            checkpoint: state_dir.join(format!("{id}.checkpoint")),
+            result: state_dir.join(format!("{id}.result.json")),
+        }
+    }
+}
+
+/// Writes `contents` to `path` atomically (tmp + rename), fsyncing the
+/// data like the checkpoint writer does.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Persists the job manifest (spec + state) for crash recovery.
+pub fn write_manifest(paths: &JobPaths, job: &Job) -> std::io::Result<()> {
+    let state = job.state();
+    let mut doc = format!(
+        "{{\"schema\":\"unico.job_manifest.v1\",\"id\":{},\"state\":{},\"spec\":{}",
+        json::escape(&job.id),
+        json::escape(state.name()),
+        job.spec.to_json()
+    );
+    if let Some(err) = job.error() {
+        doc.push_str(&format!(",\"error\":{}", json::escape(&err)));
+    }
+    doc.push('}');
+    atomic_write(&paths.manifest, &doc)
+}
+
+/// A manifest read back during crash recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Job identifier.
+    pub id: String,
+    /// State at the last persisted transition.
+    pub state: JobState,
+    /// The original submission.
+    pub spec: JobSpec,
+}
+
+/// Parses a manifest document.
+///
+/// # Errors
+///
+/// A message describing the syntax or schema violation.
+pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
+    let v = json::parse(text)?;
+    let schema = v
+        .get("schema")
+        .ok_or("manifest: schema field missing")?
+        .as_str("schema")?;
+    if schema != "unico.job_manifest.v1" {
+        return Err(format!("manifest: unsupported schema {schema:?}"));
+    }
+    Ok(Manifest {
+        id: v
+            .get("id")
+            .ok_or("manifest: id field missing")?
+            .as_str("id")?
+            .to_string(),
+        state: JobState::from_name(
+            v.get("state")
+                .ok_or("manifest: state field missing")?
+                .as_str("state")?,
+        )?,
+        spec: JobSpec::from_json(v.get("spec").ok_or("manifest: spec field missing")?)?,
+    })
+}
+
+/// Scans `state_dir` for job manifests, sorted by id for deterministic
+/// recovery order. Unreadable manifests are reported, not dropped.
+pub fn scan_manifests(
+    state_dir: &Path,
+) -> std::io::Result<(Vec<Manifest>, BTreeMap<PathBuf, String>)> {
+    let mut manifests = Vec::new();
+    let mut corrupt = BTreeMap::new();
+    let mut entries: Vec<PathBuf> = fs::read_dir(state_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".job.json"))
+        })
+        .collect();
+    entries.sort();
+    for path in entries {
+        match fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| parse_manifest(&t))
+        {
+            Ok(m) => manifests.push(m),
+            Err(e) => {
+                corrupt.insert(path, e);
+            }
+        }
+    }
+    Ok((manifests, corrupt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::spec::parse_submission;
+
+    fn spec() -> JobSpec {
+        parse_submission(br#"{"platform": "spatial-edge", "workloads": ["mobilenet"], "seed": 7}"#)
+            .expect("valid spec")
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("unico-serve-job-tests")
+            .join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn state_machine_respects_terminal_states() {
+        let job = Job::new("job-000001".into(), spec());
+        assert_eq!(job.state(), JobState::Queued);
+        assert!(job.set_state(JobState::Running));
+        assert!(job.set_state(JobState::Completed));
+        assert!(!job.set_state(JobState::Cancelled), "terminal is sticky");
+        assert_eq!(job.state(), JobState::Completed);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_recovery_scan_sorts() {
+        let dir = scratch("manifests");
+        for id in ["job-000002", "job-000001"] {
+            let job = Job::new(id.into(), spec());
+            job.set_state(JobState::Running);
+            write_manifest(&JobPaths::new(&dir, id), &job).expect("write");
+        }
+        std::fs::write(dir.join("job-000003.job.json"), "{broken").expect("corrupt file");
+        std::fs::write(dir.join("README.txt"), "ignored").expect("other file");
+
+        let (manifests, corrupt) = scan_manifests(&dir).expect("scan");
+        let ids: Vec<&str> = manifests.iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(ids, ["job-000001", "job-000002"]);
+        assert!(manifests.iter().all(|m| m.state == JobState::Running));
+        assert_eq!(manifests[0].spec, spec());
+        assert_eq!(corrupt.len(), 1);
+    }
+
+    #[test]
+    fn event_log_tail_wakes_on_push_and_close() {
+        let log = std::sync::Arc::new(EventLog::default());
+        log.push("{\"event\":\"iteration\",\"iteration\":1}".into());
+        let (lines, closed) = log.wait_past(0, Duration::from_millis(10));
+        assert_eq!(lines.len(), 1);
+        assert!(!closed);
+
+        let tail = {
+            let log = std::sync::Arc::clone(&log);
+            std::thread::spawn(move || log.wait_past(1, Duration::from_secs(5)))
+        };
+        log.push("{\"event\":\"iteration\",\"iteration\":2}".into());
+        log.close();
+        let (lines, closed) = tail.join().expect("tail thread");
+        assert!(!lines.is_empty());
+        assert!(closed || lines.len() == 1);
+
+        // Closed log drops further pushes.
+        log.push("{\"event\":\"late\"}".into());
+        let (all, closed) = log.snapshot();
+        assert_eq!(all.len(), 2);
+        assert!(closed);
+    }
+
+    #[test]
+    fn outcome_json_quotes_bit_patterns() {
+        let outcome = JobOutcome {
+            front_bits: vec![vec![u64::MAX, 1], vec![4607182418800017408]],
+            report_json: "{\"v\":3}".into(),
+            deterministic_report_json: "{\"v\":3}".into(),
+            iterations_done: 3,
+            hw_evals: 18,
+            cancelled: false,
+        };
+        let doc = outcome.to_json("job-000009");
+        let v = json::parse(&doc).expect("result parses as JSON");
+        let rows = v.get("front_bits").unwrap().as_arr("front_bits").unwrap();
+        assert_eq!(
+            rows[0].as_arr("row").unwrap()[0],
+            Json::Str(u64::MAX.to_string()),
+            "bits beyond 2^53 must be strings"
+        );
+        assert!(outcome.deterministic_json().contains("\"front_bits\""));
+    }
+}

@@ -1,0 +1,55 @@
+//! `unico-served`: a durable co-optimization job service.
+//!
+//! This crate turns the UNICO optimizer into a long-running daemon:
+//! clients submit job specifications over a small HTTP/1.1 + JSON API,
+//! a bounded worker pool drives [`unico_core::Unico`] runs, and every
+//! job checkpoints to disk so a killed daemon resumes its in-flight
+//! work on the next boot — bit-for-bit, thanks to the resume-
+//! equivalence guarantees of `unico-core`'s checkpoint format. All
+//! jobs share one process-wide [`unico_model::EvalCache`], so
+//! submissions over the same workload warm each other's PPA
+//! evaluations.
+//!
+//! Everything is hand-rolled on `std` (TCP, HTTP parsing, JSON,
+//! Prometheus exposition): the build stays dependency-free and
+//! air-gap friendly.
+//!
+//! # API
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/jobs` | Submit a job spec; returns the job id. |
+//! | `GET /v1/jobs` | List jobs and states. |
+//! | `GET /v1/jobs/{id}` | Status + Pareto front + run report. |
+//! | `GET /v1/jobs/{id}/events` | Chunked NDJSON stream of per-iteration telemetry deltas, terminated by a `done` event. |
+//! | `DELETE /v1/jobs/{id}` | Cancel (cooperative at iteration boundaries). |
+//! | `GET /metrics` | Prometheus text exposition. |
+//! | `GET /healthz` | Liveness probe. |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use unico_serve::{Scheduler, Server, ServeConfig};
+//!
+//! let cfg = ServeConfig::default();
+//! let sched = Scheduler::start(&cfg, unico_model::EvalCache::process_shared()).unwrap();
+//! let server = Server::serve(&cfg, Arc::clone(&sched)).unwrap();
+//! println!("listening on {}", server.addr());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod scheduler;
+pub mod server;
+pub mod spec;
+
+pub use job::{EventLog, Job, JobOutcome, JobState};
+pub use scheduler::Scheduler;
+pub use server::Server;
+pub use spec::{JobSpec, PlatformKind, ServeConfig};

@@ -1,0 +1,696 @@
+//! The bounded worker-pool scheduler behind the HTTP API.
+//!
+//! Jobs queue FIFO and run on a fixed number of worker threads. All
+//! jobs share one process-wide [`EvalCache`], so two jobs over the
+//! same workload warm each other's PPA evaluations — the cross-job
+//! hit counters surface in `/metrics`.
+//!
+//! Durability: every job checkpoints to its own file at the cadence
+//! its spec asks for, and every lifecycle transition is persisted to
+//! the job manifest *before* it becomes observable. On boot the
+//! scheduler scans the state directory; manifests still in `queued`
+//! or `running` are requeued, and a job whose checkpoint file survived
+//! resumes from it (`Unico::resume`) instead of starting over.
+//!
+//! The `kill_after` spec field is the durability test hook: the run
+//! panics at that checkpoint boundary and the worker deliberately
+//! leaves the manifest saying `running` — exactly the on-disk state a
+//! SIGKILLed daemon leaves behind — so a restarted scheduler exercises
+//! the genuine recovery path.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use unico_camodel::AscendPlatform;
+use unico_core::checkpoint::{self, CheckpointPolicy};
+use unico_core::{IterationUpdate, RunObserver, RunOptions, Unico, UnicoResult};
+use unico_model::{EvalCache, Platform, SpatialPlatform};
+use unico_search::{CoSearchEnv, TelemetrySnapshot};
+use unico_workloads::{zoo, Network};
+
+use crate::job::{self, Job, JobOutcome, JobPaths, JobState, Manifest};
+use crate::spec::{JobSpec, PlatformKind, ServeConfig};
+
+/// Monotonic scheduler-level counters exported via `/metrics`.
+#[derive(Debug, Default)]
+pub struct SchedulerCounters {
+    /// Jobs accepted through the API or recovered from disk.
+    pub submitted: AtomicU64,
+    /// Jobs that finished with a result.
+    pub completed: AtomicU64,
+    /// Jobs that panicked.
+    pub failed: AtomicU64,
+    /// Jobs cancelled before finishing.
+    pub cancelled: AtomicU64,
+    /// Jobs resumed from a checkpoint after a restart.
+    pub resumed: AtomicU64,
+    /// Jobs requeued by the boot-time recovery scan.
+    pub recovered: AtomicU64,
+    /// Simulated hard kills (`kill_after` hook firings).
+    pub kills_simulated: AtomicU64,
+}
+
+/// The job scheduler. Create with [`Scheduler::start`]; drop after
+/// [`Scheduler::shutdown`].
+pub struct Scheduler {
+    state_dir: PathBuf,
+    cache: Arc<EvalCache>,
+    jobs: Mutex<BTreeMap<String, Arc<Job>>>,
+    queue: Mutex<VecDeque<String>>,
+    queue_cond: Condvar,
+    next_id: AtomicU64,
+    stopping: AtomicBool,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Scheduler lifecycle counters.
+    pub counters: SchedulerCounters,
+    /// Sum of every finished job's final telemetry snapshot (counters
+    /// and phase timers), for the `/metrics` exposition.
+    telemetry_totals: Mutex<TelemetrySnapshot>,
+}
+
+impl Scheduler {
+    /// Boots a scheduler: creates the state directory, runs the crash
+    /// recovery scan, and starts `cfg.workers` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or scanning the state directory.
+    pub fn start(cfg: &ServeConfig, cache: Arc<EvalCache>) -> std::io::Result<Arc<Self>> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        let sched = Arc::new(Scheduler {
+            state_dir: cfg.state_dir.clone(),
+            cache,
+            jobs: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cond: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            stopping: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+            counters: SchedulerCounters::default(),
+            telemetry_totals: Mutex::new(TelemetrySnapshot::default()),
+        });
+        sched.recover()?;
+        let mut workers = sched.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for i in 0..cfg.workers.max(1) {
+            let me = Arc::clone(&sched);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("unico-serve-worker-{i}"))
+                    .spawn(move || me.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        drop(workers);
+        Ok(sched)
+    }
+
+    /// The shared evaluation cache.
+    pub fn cache(&self) -> &Arc<EvalCache> {
+        &self.cache
+    }
+
+    /// Scans the state directory and re-registers every job found.
+    /// Non-terminal jobs are requeued in manifest order.
+    fn recover(&self) -> std::io::Result<()> {
+        let (manifests, corrupt) = job::scan_manifests(&self.state_dir)?;
+        for (path, err) in &corrupt {
+            eprintln!(
+                "unico-served: ignoring corrupt manifest {}: {err}",
+                path.display()
+            );
+        }
+        // The checkpoint scan is advisory here (manifests drive the
+        // requeue), but it rejects checkpoints that would fail later.
+        let scan = checkpoint::scan_dir(&self.state_dir)?;
+        for (path, err) in &scan.corrupt {
+            eprintln!("unico-served: corrupt checkpoint {}: {err}", path.display());
+        }
+        let mut max_id = 0u64;
+        for m in manifests {
+            if let Some(n) =
+                m.id.strip_prefix("job-")
+                    .and_then(|s| s.parse::<u64>().ok())
+            {
+                max_id = max_id.max(n);
+            }
+            self.register_recovered(m);
+        }
+        self.next_id.store(max_id + 1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn register_recovered(&self, m: Manifest) {
+        let job = Arc::new(Job::new(m.id.clone(), m.spec));
+        match m.state {
+            JobState::Queued | JobState::Running => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                self.counters.recovered.fetch_add(1, Ordering::Relaxed);
+                self.jobs
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(m.id.clone(), Arc::clone(&job));
+                self.enqueue(m.id);
+            }
+            terminal => {
+                // Terminal jobs stay visible (state + spec); their
+                // result file, if any, remains on disk.
+                job.set_state(terminal);
+                if terminal == JobState::Completed {
+                    // Keep the terminal event stream well-formed for
+                    // late subscribers.
+                    job.events
+                        .push("{\"event\":\"recovered\",\"state\":\"completed\"}".to_string());
+                }
+                job.events.close();
+                self.jobs
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(m.id, job);
+            }
+        }
+    }
+
+    /// Accepts a validated spec: assigns an id, persists the manifest,
+    /// and queues the job.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors persisting the manifest (the job is then *not*
+    /// queued — no unrecoverable work is ever accepted).
+    pub fn submit(&self, spec: JobSpec) -> std::io::Result<Arc<Job>> {
+        let id = format!("job-{:06}", self.next_id.fetch_add(1, Ordering::SeqCst));
+        let job = Arc::new(Job::new(id.clone(), spec));
+        job::write_manifest(&self.paths(&id), &job)?;
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id.clone(), Arc::clone(&job));
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.enqueue(id);
+        Ok(job)
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: &str) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    /// All jobs in id order.
+    pub fn jobs(&self) -> Vec<Arc<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Requests cancellation; queued jobs die immediately, running
+    /// jobs stop cooperatively at the next iteration boundary.
+    /// Returns the state observed at the time of the request.
+    pub fn cancel(&self, id: &str) -> Option<JobState> {
+        let job = self.get(id)?;
+        let before = job.state();
+        job.cancel.store(true, Ordering::SeqCst);
+        if before == JobState::Queued && job.set_state(JobState::Cancelled) {
+            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = job::write_manifest(&self.paths(&job.id), &job);
+            job.events
+                .push("{\"event\":\"done\",\"state\":\"cancelled\"}".to_string());
+            job.events.close();
+        }
+        Some(before)
+    }
+
+    /// Jobs currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Jobs currently in `Running`.
+    pub fn running_count(&self) -> usize {
+        self.jobs()
+            .iter()
+            .filter(|j| j.state() == JobState::Running)
+            .count()
+    }
+
+    /// Aggregate of finished jobs' telemetry (counters + phase timers).
+    pub fn telemetry_totals(&self) -> TelemetrySnapshot {
+        self.telemetry_totals
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Stops accepting queue pops and joins all workers. Running jobs
+    /// are cancelled cooperatively first.
+    pub fn shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        for job in self.jobs() {
+            job.cancel.store(true, Ordering::SeqCst);
+        }
+        self.queue_cond.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn paths(&self, id: &str) -> JobPaths {
+        JobPaths::new(&self.state_dir, id)
+    }
+
+    fn enqueue(&self, id: String) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(id);
+        self.queue_cond.notify_one();
+    }
+
+    fn pop_job(&self) -> Option<String> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.stopping.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(id) = queue.pop_front() {
+                return Some(id);
+            }
+            queue = self
+                .queue_cond
+                .wait(queue)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn worker_loop(&self) {
+        while let Some(id) = self.pop_job() {
+            let Some(job) = self.get(&id) else { continue };
+            self.drive(&job);
+        }
+    }
+
+    /// Runs one job to a terminal state (or leaves it `running` on a
+    /// simulated kill).
+    fn drive(&self, job: &Arc<Job>) {
+        let paths = self.paths(&job.id);
+        if job.cancel.load(Ordering::SeqCst) {
+            if job.set_state(JobState::Cancelled) {
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                let _ = job::write_manifest(&paths, job);
+                job.events
+                    .push("{\"event\":\"done\",\"state\":\"cancelled\"}".to_string());
+                job.events.close();
+            }
+            return;
+        }
+        if !job.set_state(JobState::Running) {
+            return;
+        }
+        if job::write_manifest(&paths, job).is_err() {
+            // A state dir that stopped being writable will fail the run
+            // too; let the panic path below report it.
+        }
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute(&job.spec, &paths, Arc::clone(&self.cache), job)
+        }));
+        match outcome {
+            Ok((outcome, final_telemetry)) => {
+                {
+                    let mut totals = self
+                        .telemetry_totals
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    *totals = merge_snapshots(&totals, &final_telemetry);
+                }
+                let state = if outcome.cancelled {
+                    JobState::Cancelled
+                } else {
+                    JobState::Completed
+                };
+                let _ = job::atomic_write(&paths.result, &outcome.to_json(&job.id));
+                job.set_outcome(outcome);
+                if job.set_state(state) {
+                    match state {
+                        JobState::Cancelled => &self.counters.cancelled,
+                        _ => &self.counters.completed,
+                    }
+                    .fetch_add(1, Ordering::Relaxed);
+                    if job.resumed.load(Ordering::SeqCst) {
+                        self.counters.resumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = job::write_manifest(&paths, job);
+                    job.events.push(format!(
+                        "{{\"event\":\"done\",\"state\":\"{}\"}}",
+                        state.name()
+                    ));
+                    job.events.close();
+                }
+            }
+            Err(panic) => {
+                let msg = panic_message(panic.as_ref());
+                if msg.contains("kill_after") {
+                    // Simulated hard kill: leave the manifest saying
+                    // `running` and the checkpoint on disk, exactly as
+                    // a SIGKILL would. Only the in-process event stream
+                    // is terminated.
+                    self.counters
+                        .kills_simulated
+                        .fetch_add(1, Ordering::Relaxed);
+                    job.events
+                        .push("{\"event\":\"kill-simulated\"}".to_string());
+                    job.events.close();
+                } else {
+                    job.set_error(msg);
+                    if job.set_state(JobState::Failed) {
+                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = job::write_manifest(&paths, job);
+                        job.events
+                            .push("{\"event\":\"done\",\"state\":\"failed\"}".to_string());
+                    }
+                    job.events.close();
+                }
+            }
+        }
+    }
+}
+
+/// Per-job run observer: streams iteration deltas into the event log
+/// and carries the cancellation flag into the optimizer loop.
+struct JobObserver<'a> {
+    job: &'a Job,
+    last: Mutex<TelemetrySnapshot>,
+}
+
+impl RunObserver for JobObserver<'_> {
+    fn on_iteration(&self, u: &IterationUpdate<'_>) {
+        let snap = u.telemetry.snapshot();
+        let delta = {
+            let mut last = self.last.lock().unwrap_or_else(|e| e.into_inner());
+            let delta = snap.delta_since(&last);
+            *last = snap;
+            delta
+        };
+        self.job.events.push(format!(
+            "{{\"event\":\"iteration\",\"iteration\":{},\"max_iter\":{},\"front_size\":{},\"evaluations\":{},\"delta\":{}}}",
+            u.iteration,
+            u.max_iter,
+            u.front_size,
+            u.evaluations,
+            delta.to_json()
+        ));
+    }
+
+    fn cancelled(&self) -> bool {
+        self.job.cancel.load(Ordering::SeqCst)
+    }
+}
+
+/// Builds the platform + environment a spec asks for and runs (or
+/// resumes) the job. Returns the outcome plus the run's final
+/// telemetry snapshot for scheduler-level aggregation.
+fn execute(
+    spec: &JobSpec,
+    paths: &JobPaths,
+    cache: Arc<EvalCache>,
+    job: &Job,
+) -> (JobOutcome, TelemetrySnapshot) {
+    let networks: Vec<Network> = spec
+        .workloads
+        .iter()
+        .map(|n| zoo::by_name(n).expect("spec validated at submit time"))
+        .collect();
+    match spec.platform {
+        PlatformKind::SpatialEdge => run_on(
+            SpatialPlatform::edge().with_eval_cache(cache),
+            spec,
+            &networks,
+            paths,
+            job,
+        ),
+        PlatformKind::SpatialCloud => run_on(
+            SpatialPlatform::cloud().with_eval_cache(cache),
+            spec,
+            &networks,
+            paths,
+            job,
+        ),
+        PlatformKind::Ascend => run_on(
+            AscendPlatform::new().with_eval_cache(cache),
+            spec,
+            &networks,
+            paths,
+            job,
+        ),
+    }
+}
+
+fn run_on<P: Platform>(
+    platform: P,
+    spec: &JobSpec,
+    networks: &[Network],
+    paths: &JobPaths,
+    job: &Job,
+) -> (JobOutcome, TelemetrySnapshot)
+where
+    P::Hw: Send,
+{
+    let env = CoSearchEnv::new(&platform, networks, spec.env_config());
+    let observer = JobObserver {
+        job,
+        last: Mutex::new(TelemetrySnapshot::default()),
+    };
+    let opts = RunOptions {
+        checkpoint: Some(
+            CheckpointPolicy::new(paths.checkpoint.clone()).with_every(spec.checkpoint_every),
+        ),
+        kill_after: spec.kill_after,
+        observer: Some(&observer),
+        ..RunOptions::default()
+    };
+    let result = if paths.checkpoint.exists() {
+        job.resumed.store(true, Ordering::SeqCst);
+        job.events.push(format!(
+            "{{\"event\":\"resume\",\"checkpoint\":{}}}",
+            crate::json::escape(&paths.checkpoint.display().to_string())
+        ));
+        match Unico::resume_with_options(&env, &paths.checkpoint, &opts) {
+            Ok(r) => r,
+            Err(e) => panic!("resume from {} failed: {e}", paths.checkpoint.display()),
+        }
+    } else {
+        Unico::new(spec.unico_config()).run_with_options(&env, &opts)
+    };
+    let final_telemetry = observer
+        .last
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    (outcome_from(result), final_telemetry)
+}
+
+fn outcome_from<H>(result: UnicoResult<H>) -> JobOutcome {
+    JobOutcome {
+        front_bits: result
+            .front
+            .objectives()
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_bits()).collect())
+            .collect(),
+        report_json: result.report.to_json(),
+        deterministic_report_json: result.report.deterministic_json(),
+        iterations_done: result.iterations_done,
+        hw_evals: result.hw_evals,
+        cancelled: result.cancelled,
+    }
+}
+
+fn merge_snapshots(a: &TelemetrySnapshot, b: &TelemetrySnapshot) -> TelemetrySnapshot {
+    let mut out = a.clone();
+    for (k, v) in &b.counters {
+        *out.counters.entry(k.clone()).or_insert(0) += v;
+    }
+    for (k, v) in &b.phases_s {
+        *out.phases_s.entry(k.clone()).or_insert(0.0) += v;
+    }
+    out
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "unknown panic".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_submission;
+    use std::time::Duration;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("unico-serve-sched-tests")
+            .join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn cfg(dir: PathBuf) -> ServeConfig {
+        ServeConfig {
+            state_dir: dir,
+            workers: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn tiny_spec(seed: u64) -> JobSpec {
+        parse_submission(
+            format!(
+                r#"{{"platform": "spatial-edge", "workloads": ["mobilenet"],
+                     "max_iter": 2, "batch": 3, "b_max": 16, "candidate_pool": 16,
+                     "power_cap_mw": 2000, "seed": {seed}}}"#
+            )
+            .as_bytes(),
+        )
+        .expect("valid spec")
+    }
+
+    fn wait_terminal(job: &Arc<Job>) -> JobState {
+        for _ in 0..600 {
+            let st = job.state();
+            if st.is_terminal() {
+                return st;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("job {} never reached a terminal state", job.id);
+    }
+
+    #[test]
+    fn runs_a_job_to_completion_with_events_and_result_file() {
+        let dir = scratch("complete");
+        let sched = Scheduler::start(&cfg(dir.clone()), Arc::new(EvalCache::new())).expect("boot");
+        let job = sched.submit(tiny_spec(3)).expect("submit");
+        assert_eq!(wait_terminal(&job), JobState::Completed);
+
+        let (events, closed) = job.events.snapshot();
+        assert!(closed);
+        assert!(events.iter().all(|l| crate::json::parse(l).is_ok()));
+        assert_eq!(
+            events.last().map(String::as_str),
+            Some("{\"event\":\"done\",\"state\":\"completed\"}")
+        );
+        let iterations: Vec<&String> = events
+            .iter()
+            .filter(|l| l.contains("\"event\":\"iteration\""))
+            .collect();
+        assert_eq!(iterations.len(), 2, "one event per iteration: {events:?}");
+
+        let paths = JobPaths::new(&dir, &job.id);
+        assert!(paths.result.exists());
+        assert!(paths.checkpoint.exists());
+        let outcome = job.outcome().expect("outcome stored");
+        assert_eq!(outcome.iterations_done, 2);
+        assert!(!sched.telemetry_totals().is_empty());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_never_runs_it() {
+        let dir = scratch("cancel-queued");
+        // Zero-worker pool: nothing ever pops the queue.
+        let mut c = cfg(dir);
+        c.workers = 1;
+        let sched = Scheduler::start(&c, Arc::new(EvalCache::new())).expect("boot");
+        // Block the only worker with a long job, then cancel a queued one.
+        let blocker = sched.submit(tiny_spec(1)).expect("submit blocker");
+        let victim = sched.submit(tiny_spec(2)).expect("submit victim");
+        let observed = sched.cancel(&victim.id).expect("cancel");
+        assert!(
+            matches!(observed, JobState::Queued | JobState::Running),
+            "victim was {observed:?}"
+        );
+        assert_eq!(wait_terminal(&victim), JobState::Cancelled);
+        let _ = wait_terminal(&blocker);
+        sched.shutdown();
+        assert!(victim.outcome().is_none());
+    }
+
+    #[test]
+    fn kill_hook_leaves_running_manifest_and_restart_resumes() {
+        let dir = scratch("kill-restart");
+        // Daemon 1: the job dies at checkpoint boundary 1.
+        let mut spec = tiny_spec(7);
+        spec.kill_after = Some(1);
+        let sched = Scheduler::start(&cfg(dir.clone()), Arc::new(EvalCache::new())).expect("boot");
+        let job = sched.submit(spec).expect("submit");
+        // Terminal never comes; wait for the event stream to close.
+        for _ in 0..600 {
+            if job.events.snapshot().1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(job.events.snapshot().1, "kill must close the stream");
+        assert_eq!(job.state(), JobState::Running, "no terminal transition");
+        assert_eq!(sched.counters.kills_simulated.load(Ordering::Relaxed), 1);
+        sched.shutdown();
+
+        // The manifest on disk still says running — the SIGKILL shape.
+        let (manifests, _) = job::scan_manifests(&dir).expect("scan");
+        assert_eq!(manifests.len(), 1);
+        assert_eq!(manifests[0].state, JobState::Running);
+
+        // Daemon 2: recovery requeues and resumes the job. kill_after
+        // still sits in the persisted spec, but the boundary is already
+        // past the restored iteration count, so it cannot re-fire.
+        let sched2 = Scheduler::start(&cfg(dir.clone()), Arc::new(EvalCache::new())).expect("boot");
+        let recovered = sched2.get(&job.id).expect("job recovered");
+        assert_eq!(wait_terminal(&recovered), JobState::Completed);
+        assert!(recovered.resumed.load(Ordering::SeqCst));
+        assert_eq!(sched2.counters.recovered.load(Ordering::Relaxed), 1);
+        assert_eq!(sched2.counters.resumed.load(Ordering::Relaxed), 1);
+        let outcome = recovered.outcome().expect("outcome");
+        assert_eq!(outcome.iterations_done, 2);
+        sched2.shutdown();
+    }
+
+    #[test]
+    fn two_jobs_sharing_a_workload_hit_the_shared_cache() {
+        let dir = scratch("shared-cache");
+        let cache = Arc::new(EvalCache::new());
+        let mut c = cfg(dir);
+        c.workers = 1; // serialize so the second job sees the first's entries
+        let sched = Scheduler::start(&c, Arc::clone(&cache)).expect("boot");
+        let a = sched.submit(tiny_spec(5)).expect("submit a");
+        let b = sched.submit(tiny_spec(5)).expect("submit b");
+        assert_eq!(wait_terminal(&a), JobState::Completed);
+        assert_eq!(wait_terminal(&b), JobState::Completed);
+        sched.shutdown();
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "identical seeds must replay cached evaluations: {stats:?}"
+        );
+    }
+}

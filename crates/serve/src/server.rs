@@ -1,0 +1,353 @@
+//! The TCP accept loop and request router.
+//!
+//! Thread-per-connection with keep-alive: the connection task reads
+//! into a growing buffer and repeatedly asks [`crate::http::parse_request`]
+//! for the next complete message, so pipelined requests and requests
+//! split across arbitrary read boundaries follow the same path. The
+//! events route upgrades the connection to a chunked NDJSON stream and
+//! closes it when the job's event log does.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{self, HttpError, HttpLimits, Request};
+use crate::json;
+use crate::metrics;
+use crate::scheduler::Scheduler;
+use crate::spec::{self, ServeConfig};
+
+/// A running HTTP front-end over a [`Scheduler`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listen address.
+    pub fn serve(cfg: &ServeConfig, sched: Arc<Scheduler>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let limits = HttpLimits {
+            max_body: cfg.max_body,
+            ..HttpLimits::default()
+        };
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("unico-serve-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    let sched = Arc::clone(&sched);
+                    let stop = Arc::clone(&accept_stop);
+                    let _ = std::thread::Builder::new()
+                        .name("unico-serve-conn".to_string())
+                        .spawn(move || {
+                            let _ = handle_connection(conn, &sched, &limits, &stop);
+                        });
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// In-flight connection threads drain on their own (they observe
+    /// the stop flag at their next read timeout).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// How long one read may block before the connection re-checks the
+/// stop flag (and how often streams poll their event log).
+const READ_TICK: Duration = Duration::from_millis(200);
+/// Idle ticks before a keep-alive connection is dropped.
+const MAX_IDLE_TICKS: u32 = 300;
+
+fn handle_connection(
+    mut conn: TcpStream,
+    sched: &Arc<Scheduler>,
+    limits: &HttpLimits,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    conn.set_read_timeout(Some(READ_TICK))?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 8192];
+    let mut idle_ticks = 0u32;
+    loop {
+        match http::parse_request(&buf, limits) {
+            Ok(Some((req, used))) => {
+                buf.drain(..used);
+                idle_ticks = 0;
+                let close = req.wants_close();
+                match route(&req, sched, &mut conn, stop) {
+                    Ok(Handled::KeepAlive) if !close => continue,
+                    _ => return Ok(()),
+                }
+            }
+            Ok(None) => match conn.read(&mut tmp) {
+                Ok(0) => return Ok(()),
+                Ok(n) => {
+                    buf.extend_from_slice(&tmp[..n]);
+                    idle_ticks = 0;
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    idle_ticks += 1;
+                    if stop.load(Ordering::SeqCst) || idle_ticks > MAX_IDLE_TICKS {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            },
+            Err(e) => {
+                respond_error(&mut conn, &e)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+enum Handled {
+    KeepAlive,
+    Close,
+}
+
+fn respond_error(conn: &mut TcpStream, e: &HttpError) -> io::Result<()> {
+    let body = format!("{{\"error\":{}}}", json::escape(&e.message()));
+    http::write_response(conn, e.status(), "application/json", body.as_bytes(), true)
+}
+
+fn json_response(conn: &mut TcpStream, status: u16, body: &str) -> io::Result<Handled> {
+    http::write_response(conn, status, "application/json", body.as_bytes(), false)?;
+    Ok(Handled::KeepAlive)
+}
+
+fn error_response(conn: &mut TcpStream, status: u16, msg: &str) -> io::Result<Handled> {
+    json_response(
+        conn,
+        status,
+        &format!("{{\"error\":{}}}", json::escape(msg)),
+    )
+}
+
+fn route(
+    req: &Request,
+    sched: &Arc<Scheduler>,
+    conn: &mut TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<Handled> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => json_response(conn, 200, "{\"ok\":true}"),
+        ("GET", ["metrics"]) => {
+            let text = metrics::render(sched);
+            http::write_response(
+                conn,
+                200,
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+                false,
+            )?;
+            Ok(Handled::KeepAlive)
+        }
+        ("POST", ["v1", "jobs"]) => match spec::parse_submission(&req.body) {
+            Ok(spec) => match sched.submit(spec) {
+                Ok(job) => json_response(
+                    conn,
+                    201,
+                    &format!(
+                        "{{\"id\":{},\"state\":{}}}",
+                        json::escape(&job.id),
+                        json::escape(job.state().name())
+                    ),
+                ),
+                Err(e) => error_response(conn, 500, &format!("persisting job: {e}")),
+            },
+            Err(e) => error_response(conn, 422, &e),
+        },
+        ("GET", ["v1", "jobs"]) => {
+            let items: Vec<String> = sched
+                .jobs()
+                .iter()
+                .map(|j| {
+                    format!(
+                        "{{\"id\":{},\"state\":{}}}",
+                        json::escape(&j.id),
+                        json::escape(j.state().name())
+                    )
+                })
+                .collect();
+            json_response(conn, 200, &format!("{{\"jobs\":[{}]}}", items.join(",")))
+        }
+        ("GET", ["v1", "jobs", id]) => match sched.get(id) {
+            Some(job) => json_response(conn, 200, &job.status_json()),
+            None => error_response(conn, 404, &format!("no job {id:?}")),
+        },
+        ("DELETE", ["v1", "jobs", id]) => match sched.cancel(id) {
+            Some(observed) => json_response(
+                conn,
+                202,
+                &format!(
+                    "{{\"id\":{},\"state_observed\":{}}}",
+                    json::escape(id),
+                    json::escape(observed.name())
+                ),
+            ),
+            None => error_response(conn, 404, &format!("no job {id:?}")),
+        },
+        ("GET", ["v1", "jobs", id, "events"]) => match sched.get(id) {
+            Some(job) => stream_events(conn, &job, stop).map(|()| Handled::Close),
+            None => error_response(conn, 404, &format!("no job {id:?}")),
+        },
+        (_, ["v1", "jobs", ..]) | (_, ["metrics"]) | (_, ["healthz"]) => {
+            error_response(conn, 405, "method not allowed")
+        }
+        _ => error_response(conn, 404, &format!("no route {}", req.path)),
+    }
+}
+
+/// Streams the job's NDJSON event log as a chunked response. The
+/// stream always terminates with a `{"event":"done",...}` line — the
+/// log's own terminal event when there is one, or a synthesized one
+/// (simulated-kill streams and server shutdown close logs without a
+/// terminal transition).
+fn stream_events(conn: &mut TcpStream, job: &crate::job::Job, stop: &AtomicBool) -> io::Result<()> {
+    http::write_stream_head(conn, "application/x-ndjson")?;
+    let mut cursor = 0usize;
+    let mut saw_done = false;
+    loop {
+        let (lines, closed) = job.events.wait_past(cursor, READ_TICK);
+        for line in &lines {
+            saw_done = saw_done || line.starts_with("{\"event\":\"done\"");
+            http::write_chunk(conn, format!("{line}\n").as_bytes())?;
+        }
+        cursor += lines.len();
+        if closed || stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    if !saw_done {
+        let line = format!(
+            "{{\"event\":\"done\",\"state\":{}}}\n",
+            json::escape(job.state().name())
+        );
+        http::write_chunk(conn, line.as_bytes())?;
+    }
+    http::write_chunk_end(conn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+    use unico_model::EvalCache;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("unico-serve-server-tests")
+            .join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn boot(name: &str) -> (Server, Arc<Scheduler>) {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            state_dir: scratch(name),
+            ..ServeConfig::default()
+        };
+        let sched = Scheduler::start(&cfg, Arc::new(EvalCache::new())).expect("boot scheduler");
+        let server = Server::serve(&cfg, Arc::clone(&sched)).expect("boot server");
+        (server, sched)
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(raw.as_bytes()).expect("send");
+        let mut out = String::new();
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        conn.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn health_metrics_and_unknown_routes() {
+        let (server, sched) = boot("routes");
+        let addr = server.addr();
+
+        let health = request(addr, "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("{\"ok\":true}"));
+
+        let m = request(addr, "GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n");
+        let body = m.split("\r\n\r\n").nth(1).expect("body");
+        metrics::validate_exposition(body).expect("valid exposition over HTTP");
+
+        let missing = request(addr, "GET /nope HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let wrong = request(
+            addr,
+            "PUT /metrics HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n",
+        );
+        assert!(wrong.starts_with("HTTP/1.1 405"), "{wrong}");
+
+        let unknown_job = request(
+            addr,
+            "GET /v1/jobs/job-999999 HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        assert!(unknown_job.starts_with("HTTP/1.1 404"), "{unknown_job}");
+
+        server.shutdown();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn submission_validation_maps_to_422() {
+        let (server, sched) = boot("submit-422");
+        let body = r#"{"platform": "spatial-edge", "workloads": ["not-a-net"]}"#;
+        let raw = format!(
+            "POST /v1/jobs HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let resp = request(server.addr(), &raw);
+        assert!(resp.starts_with("HTTP/1.1 422"), "{resp}");
+        assert!(resp.contains("unknown network"), "{resp}");
+        server.shutdown();
+        sched.shutdown();
+    }
+}

@@ -1,0 +1,411 @@
+//! Job specifications and daemon configuration.
+//!
+//! A [`JobSpec`] is the client's description of one co-optimization
+//! run: which platform, which workloads, which budgets, which seed.
+//! It round-trips through JSON (the submit body and the persisted job
+//! manifest share the same encoding) and validates eagerly so a typo
+//! is a 422 at submit time, not a worker panic an hour later.
+//!
+//! [`ServeConfig`] is the daemon's own configuration, read from
+//! `UNICO_SERVE_*` environment variables with the repo's loud-failure
+//! convention: a malformed value crashes the daemon at boot naming the
+//! variable, it never silently falls back to a default.
+
+use std::path::PathBuf;
+
+use unico_core::UnicoConfig;
+use unico_search::EnvConfig;
+use unico_workloads::zoo;
+
+use crate::json::{self, Json};
+
+/// Which hardware platform model a job targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformKind {
+    /// `SpatialPlatform::edge()` — the paper's open-source edge setting.
+    SpatialEdge,
+    /// `SpatialPlatform::cloud()` — the open-source cloud setting.
+    SpatialCloud,
+    /// `AscendPlatform::new()` — the cycle-accurate Ascend-like model.
+    Ascend,
+}
+
+impl PlatformKind {
+    /// The wire name, identical to `Platform::name()` of the model it
+    /// selects (so checkpoints and manifests agree on the string).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformKind::SpatialEdge => "spatial-edge",
+            PlatformKind::SpatialCloud => "spatial-cloud",
+            PlatformKind::Ascend => "ascend-like",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "spatial-edge" => Ok(PlatformKind::SpatialEdge),
+            "spatial-cloud" => Ok(PlatformKind::SpatialCloud),
+            "ascend-like" => Ok(PlatformKind::Ascend),
+            other => Err(format!(
+                "platform: unknown {other:?} (expected spatial-edge, spatial-cloud or ascend-like)"
+            )),
+        }
+    }
+}
+
+/// A validated job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Target platform model.
+    pub platform: PlatformKind,
+    /// Workload names from the model zoo (validated at parse time).
+    pub workloads: Vec<String>,
+    /// MOBO iterations (`MaxIter`).
+    pub max_iter: usize,
+    /// Hardware batch size per iteration (`N`).
+    pub batch: usize,
+    /// Maximum per-job mapping-search budget (`b_max`).
+    pub b_max: u64,
+    /// Acquisition candidate-pool size.
+    pub candidate_pool: usize,
+    /// RNG seed; fixed seed + fixed spec ⇒ deterministic result.
+    pub seed: u64,
+    /// Keep only the `n` highest-MAC layers per network.
+    pub max_layers_per_network: usize,
+    /// Optional power cap in milliwatts.
+    pub power_cap_mw: Option<f64>,
+    /// Optional area cap in square millimeters.
+    pub area_cap_mm2: Option<f64>,
+    /// Checkpoint cadence in iterations.
+    pub checkpoint_every: usize,
+    /// Test hook: panic at this checkpoint boundary, emulating a hard
+    /// daemon kill mid-run (exercised by the durability oracle).
+    pub kill_after: Option<usize>,
+}
+
+impl JobSpec {
+    /// Parses and validates a submission body.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending field: unknown platform or
+    /// workload, zero budgets, or wrong JSON types.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        v.as_obj("job spec")?;
+        let platform = PlatformKind::from_name(
+            v.get("platform")
+                .ok_or("platform: required field missing")?
+                .as_str("platform")?,
+        )?;
+        let workloads: Vec<String> = match v.get("workloads") {
+            Some(arr) => arr
+                .as_arr("workloads")?
+                .iter()
+                .map(|w| w.as_str("workloads[]").map(str::to_string))
+                .collect::<Result<_, _>>()?,
+            None => return Err("workloads: required field missing".into()),
+        };
+        if workloads.is_empty() {
+            return Err("workloads: must name at least one network".into());
+        }
+        for name in &workloads {
+            if zoo::by_name(name).is_none() {
+                let nets = zoo::all();
+                let known: Vec<&str> = nets.iter().map(|n| n.name()).collect();
+                return Err(format!(
+                    "workloads: unknown network {name:?} (known: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+
+        let get_usize = |key: &str, default: usize| -> Result<usize, String> {
+            v.get(key).map_or(Ok(default), |j| j.as_usize(key))
+        };
+        let spec = JobSpec {
+            platform,
+            workloads,
+            max_iter: get_usize("max_iter", 3)?,
+            batch: get_usize("batch", 6)?,
+            b_max: v.get("b_max").map_or(Ok(32), |j| j.as_u64("b_max"))?,
+            candidate_pool: get_usize("candidate_pool", 32)?,
+            seed: v.get("seed").map_or(Ok(0), |j| j.as_u64("seed"))?,
+            max_layers_per_network: get_usize("max_layers_per_network", 1)?,
+            power_cap_mw: v
+                .get("power_cap_mw")
+                .map(|j| j.as_f64("power_cap_mw"))
+                .transpose()?,
+            area_cap_mm2: v
+                .get("area_cap_mm2")
+                .map(|j| j.as_f64("area_cap_mm2"))
+                .transpose()?,
+            checkpoint_every: get_usize("checkpoint_every", 1)?,
+            kill_after: v
+                .get("kill_after")
+                .map(|j| j.as_usize("kill_after"))
+                .transpose()?,
+        };
+        for (field, value) in [
+            ("max_iter", spec.max_iter),
+            ("batch", spec.batch),
+            ("candidate_pool", spec.candidate_pool),
+            ("checkpoint_every", spec.checkpoint_every),
+        ] {
+            if value == 0 {
+                return Err(format!("{field}: must be positive"));
+            }
+        }
+        if spec.b_max == 0 {
+            return Err("b_max: must be positive".into());
+        }
+        Ok(spec)
+    }
+
+    /// Renders the spec back to JSON (manifest persistence; parses
+    /// back via [`JobSpec::from_json`] to the identical value).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "platform".to_string(),
+                Json::Str(self.platform.name().to_string()),
+            ),
+            (
+                "workloads".to_string(),
+                Json::Arr(self.workloads.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("max_iter".to_string(), Json::Num(self.max_iter as f64)),
+            ("batch".to_string(), Json::Num(self.batch as f64)),
+            ("b_max".to_string(), Json::Num(self.b_max as f64)),
+            (
+                "candidate_pool".to_string(),
+                Json::Num(self.candidate_pool as f64),
+            ),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            (
+                "max_layers_per_network".to_string(),
+                Json::Num(self.max_layers_per_network as f64),
+            ),
+            (
+                "checkpoint_every".to_string(),
+                Json::Num(self.checkpoint_every as f64),
+            ),
+        ];
+        if let Some(p) = self.power_cap_mw {
+            fields.push(("power_cap_mw".to_string(), Json::Num(p)));
+        }
+        if let Some(a) = self.area_cap_mm2 {
+            fields.push(("area_cap_mm2".to_string(), Json::Num(a)));
+        }
+        if let Some(k) = self.kill_after {
+            fields.push(("kill_after".to_string(), Json::Num(k as f64)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// The optimizer configuration this spec selects.
+    pub fn unico_config(&self) -> UnicoConfig {
+        UnicoConfig {
+            max_iter: self.max_iter,
+            batch: self.batch,
+            b_max: self.b_max,
+            candidate_pool: self.candidate_pool,
+            seed: self.seed,
+            ..UnicoConfig::default()
+        }
+    }
+
+    /// The evaluation-environment configuration this spec selects.
+    pub fn env_config(&self) -> EnvConfig {
+        EnvConfig {
+            max_layers_per_network: self.max_layers_per_network,
+            power_cap_mw: self.power_cap_mw,
+            area_cap_mm2: self.area_cap_mm2,
+        }
+    }
+
+    /// A stable fingerprint of the evaluation-relevant parts of the
+    /// spec (used to recognize "same workload" across jobs in metrics).
+    pub fn workload_key(&self) -> String {
+        format!("{}:{}", self.platform.name(), self.workloads.join("+"))
+    }
+}
+
+/// Daemon configuration, from `UNICO_SERVE_*` environment variables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`UNICO_SERVE_ADDR`, default `127.0.0.1:8787`;
+    /// use port 0 to let the OS pick).
+    pub addr: String,
+    /// Worker threads running jobs (`UNICO_SERVE_WORKERS`, default 2).
+    pub workers: usize,
+    /// Directory for job manifests, checkpoints and results
+    /// (`UNICO_SERVE_STATE_DIR`, default `unico-serve-state`).
+    pub state_dir: PathBuf,
+    /// Maximum request-body bytes (`UNICO_SERVE_MAX_BODY`, default 1 MiB).
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8787".to_string(),
+            workers: 2,
+            state_dir: PathBuf::from("unico-serve-state"),
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the configuration from the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message naming the variable on any malformed
+    /// value — the daemon must not boot with a silently different
+    /// configuration than the operator asked for.
+    pub fn from_env() -> Self {
+        let d = ServeConfig::default();
+        ServeConfig {
+            addr: std::env::var("UNICO_SERVE_ADDR").unwrap_or(d.addr),
+            workers: parse_positive(
+                "UNICO_SERVE_WORKERS",
+                env_raw("UNICO_SERVE_WORKERS").as_deref(),
+            )
+            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or(d.workers),
+            state_dir: std::env::var_os("UNICO_SERVE_STATE_DIR")
+                .map(PathBuf::from)
+                .unwrap_or(d.state_dir),
+            max_body: parse_positive(
+                "UNICO_SERVE_MAX_BODY",
+                env_raw("UNICO_SERVE_MAX_BODY").as_deref(),
+            )
+            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or(d.max_body),
+        }
+    }
+}
+
+fn env_raw(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// Strict positive-integer parser for the `UNICO_SERVE_*` variables:
+/// `None` (unset) means "use the default", anything else must be a
+/// positive integer or the daemon refuses to boot.
+pub fn parse_positive(name: &str, raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|v| *v > 0)
+            .map(Some)
+            .ok_or_else(|| format!("{name} must be a positive integer, got {s:?}")),
+    }
+}
+
+/// Parses the body of a submit request into a spec.
+///
+/// # Errors
+///
+/// Syntax errors from the JSON layer or validation errors from
+/// [`JobSpec::from_json`], both suitable for a 400/422 response body.
+pub fn parse_submission(body: &[u8]) -> Result<JobSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let v = json::parse(text)?;
+    JobSpec::from_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> String {
+        r#"{"platform": "spatial-edge", "workloads": ["mobilenet"]}"#.to_string()
+    }
+
+    #[test]
+    fn minimal_submission_gets_defaults() {
+        let spec = parse_submission(minimal().as_bytes()).expect("valid");
+        assert_eq!(spec.platform, PlatformKind::SpatialEdge);
+        assert_eq!(spec.max_iter, 3);
+        assert_eq!(spec.batch, 6);
+        assert_eq!(spec.checkpoint_every, 1);
+        assert_eq!(spec.kill_after, None);
+        let cfg = spec.unico_config();
+        assert_eq!((cfg.max_iter, cfg.batch, cfg.b_max), (3, 6, 32));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let body = r#"{
+            "platform": "ascend-like",
+            "workloads": ["resnet50", "bert-base"],
+            "max_iter": 5, "batch": 8, "b_max": 64, "candidate_pool": 48,
+            "seed": 42, "max_layers_per_network": 2,
+            "power_cap_mw": 2000.5, "area_cap_mm2": 200,
+            "checkpoint_every": 2, "kill_after": 1
+        }"#;
+        let spec = match parse_submission(body.as_bytes()) {
+            Ok(s) => s,
+            // Zoo names differ per suite; fall back to whatever exists.
+            Err(e) => panic!("{e}"),
+        };
+        let back = JobSpec::from_json(&spec.to_json()).expect("round-trip");
+        assert_eq!(back, spec);
+        assert_eq!(spec.workload_key(), "ascend-like:resnet50+bert-base");
+    }
+
+    #[test]
+    fn bad_submissions_name_the_field() {
+        for (body, needle) in [
+            (r#"{"workloads": ["mobilenet"]}"#, "platform"),
+            (
+                r#"{"platform": "tpu", "workloads": ["mobilenet"]}"#,
+                "platform",
+            ),
+            (r#"{"platform": "spatial-edge"}"#, "workloads"),
+            (
+                r#"{"platform": "spatial-edge", "workloads": []}"#,
+                "workloads",
+            ),
+            (
+                r#"{"platform": "spatial-edge", "workloads": ["not-a-net"]}"#,
+                "unknown network",
+            ),
+            (
+                r#"{"platform": "spatial-edge", "workloads": ["mobilenet"], "max_iter": 0}"#,
+                "max_iter",
+            ),
+            (
+                r#"{"platform": "spatial-edge", "workloads": ["mobilenet"], "seed": -1}"#,
+                "seed",
+            ),
+            ("not json", "byte"),
+        ] {
+            let err = parse_submission(body.as_bytes()).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_env_parser_is_strict() {
+        assert_eq!(parse_positive("UNICO_SERVE_WORKERS", None), Ok(None));
+        assert_eq!(
+            parse_positive("UNICO_SERVE_WORKERS", Some("4")),
+            Ok(Some(4))
+        );
+        assert_eq!(
+            parse_positive("UNICO_SERVE_WORKERS", Some(" 8 ")),
+            Ok(Some(8))
+        );
+        for bad in ["0", "-2", "two", "1.5", ""] {
+            let err = parse_positive("UNICO_SERVE_WORKERS", Some(bad)).expect_err(bad);
+            assert!(err.contains("UNICO_SERVE_WORKERS"), "{err}");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests of the HTTP message layer and the NDJSON stream
+//! framing.
+//!
+//! The incremental parser's contract: for any valid message, feeding
+//! any prefix yields "need more bytes", feeding the whole buffer
+//! yields the same request as one-shot parsing, and pipelined
+//! messages pop off the front one at a time with exact byte
+//! accounting. Size limits must trip (413/431) for any oversized
+//! message, never a hang or a partial parse.
+
+use proptest::prelude::*;
+
+use unico_serve::http::{
+    parse_request, write_chunk, write_chunk_end, write_stream_head, HttpError, HttpLimits,
+};
+use unico_serve::json;
+
+/// A generated request: method/target/headers/body, rendered to wire
+/// bytes. Header names cycle through a fixed alphabet; values and the
+/// body come from the generator.
+fn render(method_idx: usize, path_len: usize, header_vals: &[u8], body: &[u8]) -> Vec<u8> {
+    let methods = ["GET", "POST", "DELETE", "PUT"];
+    let method = methods[method_idx % methods.len()];
+    let path = "a".repeat(1 + path_len % 24);
+    let mut raw = format!("{method} /{path} HTTP/1.1\r\n");
+    for (i, v) in header_vals.iter().enumerate() {
+        raw.push_str(&format!("x-h{i}: v{v}\r\n"));
+    }
+    // Body-bearing methods must declare a length; harmless on GET.
+    raw.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    let mut bytes = raw.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+fn limits() -> HttpLimits {
+    HttpLimits::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any strict prefix parses to "need more"; the full buffer parses
+    /// to the same request as any other split schedule, consuming
+    /// exactly the message's bytes.
+    #[test]
+    fn split_reads_never_change_the_parse(
+        method_idx in 0usize..4,
+        path_len in 0usize..32,
+        header_vals in proptest::collection::vec(0u8..255, 0..6),
+        body in proptest::collection::vec(0u8..255, 0..48),
+        cut in 0usize..4096,
+    ) {
+        let raw = render(method_idx, path_len, &header_vals, &body);
+        let (reference, used) = parse_request(&raw, &limits())
+            .expect("generated message is valid")
+            .expect("complete message parses");
+        prop_assert_eq!(used, raw.len());
+        prop_assert_eq!(&reference.body, &body);
+
+        // A strict prefix — cut anywhere, including inside the head,
+        // on the \r\n\r\n boundary, or mid-body — always asks for more.
+        let cut = cut % raw.len();
+        prop_assert_eq!(parse_request(&raw[..cut], &limits()).expect("prefix is not an error"), None);
+
+        // Simulated arbitrary read schedule: grow the buffer byte by
+        // byte past the cut; the first complete parse is at the end
+        // and matches the one-shot reference.
+        let mut first_complete = None;
+        for end in cut..=raw.len() {
+            if let Some((req, n)) = parse_request(&raw[..end], &limits()).expect("no error mid-stream") {
+                first_complete = Some((req, n, end));
+                break;
+            }
+        }
+        let (req, n, end) = first_complete.expect("message eventually completes");
+        prop_assert_eq!(end, raw.len());
+        prop_assert_eq!(n, raw.len());
+        prop_assert_eq!(req, reference);
+    }
+
+    /// Pipelined messages parse front-to-back with exact byte
+    /// accounting, regardless of how many are concatenated.
+    #[test]
+    fn pipelined_messages_pop_one_at_a_time(
+        specs in proptest::collection::vec((0usize..4, 0usize..16, proptest::collection::vec(0u8..255, 0..12)), 1..5),
+    ) {
+        let mut wire = Vec::new();
+        let mut expected_paths = Vec::new();
+        for (m, p, body) in &specs {
+            let raw = render(*m, *p, &[], body);
+            let (req, _) = parse_request(&raw, &limits()).unwrap().unwrap();
+            expected_paths.push(req.path);
+            wire.extend_from_slice(&raw);
+        }
+        let mut parsed_paths = Vec::new();
+        let mut offset = 0;
+        while offset < wire.len() {
+            let (req, used) = parse_request(&wire[offset..], &limits())
+                .expect("pipelined stream is valid")
+                .expect("complete message at the front");
+            parsed_paths.push(req.path);
+            offset += used;
+        }
+        prop_assert_eq!(offset, wire.len());
+        prop_assert_eq!(parsed_paths, expected_paths);
+    }
+
+    /// Any declared body length beyond the limit is a 413 as soon as
+    /// the head completes, before any body bytes arrive.
+    #[test]
+    fn oversized_bodies_are_rejected_with_413(excess in 1usize..1_000_000) {
+        let tiny = HttpLimits { max_head: 16 * 1024, max_body: 4096 };
+        let head = format!(
+            "POST /v1/jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            tiny.max_body + excess
+        );
+        let err = parse_request(head.as_bytes(), &tiny).expect_err("over the cap");
+        prop_assert_eq!(err.status(), 413);
+        prop_assert_eq!(err, HttpError::BodyTooLarge);
+    }
+
+    /// Heads that never terminate within the cap are a 431, whether or
+    /// not the terminator ever arrives.
+    #[test]
+    fn oversized_heads_are_rejected_with_431(pad in 0usize..4096) {
+        let tiny = HttpLimits { max_head: 256, max_body: 4096 };
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+            "p".repeat(tiny.max_head + pad)
+        );
+        let err = parse_request(raw.as_bytes(), &tiny).expect_err("over the cap");
+        prop_assert_eq!(err.status(), 431);
+        // Same outcome even before the head terminator shows up.
+        let partial = &raw.as_bytes()[..raw.len() - 4];
+        prop_assert_eq!(
+            parse_request(partial, &tiny).expect_err("partial over the cap").status(),
+            431
+        );
+    }
+
+    /// Chunked NDJSON framing: however the event lines are sliced into
+    /// chunks, the decoded stream is newline-delimited JSON, one
+    /// document per line, ending with a `done` event.
+    #[test]
+    fn ndjson_streams_decode_to_valid_json_lines(
+        iterations in 1usize..12,
+        chunk_stride in 1usize..64,
+    ) {
+        let mut lines: Vec<String> = (1..=iterations)
+            .map(|i| format!("{{\"event\":\"iteration\",\"iteration\":{i},\"delta\":{{\"counters\":{{\"x\":{i}}}}}}}"))
+            .collect();
+        lines.push("{\"event\":\"done\",\"state\":\"completed\"}".to_string());
+        let payload: String = lines.iter().map(|l| format!("{l}\n")).collect();
+
+        // Frame the payload into chunks of arbitrary stride.
+        let mut wire = Vec::new();
+        write_stream_head(&mut wire, "application/x-ndjson").unwrap();
+        for piece in payload.as_bytes().chunks(chunk_stride) {
+            write_chunk(&mut wire, piece).unwrap();
+        }
+        write_chunk_end(&mut wire).unwrap();
+
+        let text = String::from_utf8(wire).expect("stream is utf-8");
+        let (head, framed) = text.split_once("\r\n\r\n").expect("head terminator");
+        prop_assert!(head.contains("transfer-encoding: chunked"));
+
+        let decoded = decode_chunked(framed).expect("well-formed chunked framing");
+        prop_assert_eq!(&decoded, &payload);
+        let decoded_lines: Vec<&str> = decoded.lines().collect();
+        prop_assert_eq!(decoded_lines.len(), iterations + 1);
+        for line in &decoded_lines {
+            prop_assert!(json::parse(line).is_ok(), "invalid NDJSON line {line:?}");
+        }
+        let last = json::parse(decoded_lines.last().unwrap()).unwrap();
+        prop_assert_eq!(last.get("event").unwrap().as_str("event").unwrap(), "done");
+    }
+}
+
+/// Minimal chunked-transfer decoder (test-side oracle).
+fn decode_chunked(mut framed: &str) -> Result<String, String> {
+    let mut out = String::new();
+    loop {
+        let (size_line, rest) = framed.split_once("\r\n").ok_or("missing chunk size line")?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+        if size == 0 {
+            return if rest == "\r\n" || rest.is_empty() {
+                Ok(out)
+            } else {
+                Err(format!("trailing bytes after terminal chunk: {rest:?}"))
+            };
+        }
+        if rest.len() < size + 2 {
+            return Err("truncated chunk".to_string());
+        }
+        out.push_str(&rest[..size]);
+        if &rest[size..size + 2] != "\r\n" {
+            return Err("chunk not CRLF-terminated".to_string());
+        }
+        framed = &rest[size + 2..];
+    }
+}

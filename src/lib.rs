@@ -13,7 +13,9 @@
 //! * [`search`] — the co-search environment, SH/MSH, and the HASCO /
 //!   NSGA-II / MOBOHB baselines;
 //! * [`core`] — the UNICO algorithm, robustness metric and experiment
-//!   drivers.
+//!   drivers;
+//! * [`serve`] — the `unico-served` job-service daemon: HTTP/JSON API,
+//!   bounded worker pool, shared evaluation cache, crash recovery.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@ pub use unico_core as core;
 pub use unico_mapping as mapping;
 pub use unico_model as model;
 pub use unico_search as search;
+pub use unico_serve as serve;
 pub use unico_surrogate as surrogate;
 pub use unico_workloads as workloads;
 
@@ -43,13 +46,15 @@ pub use unico_workloads as workloads;
 pub mod prelude {
     pub use unico_camodel::{AscendConfig, AscendPlatform};
     pub use unico_core::{
-        experiments::Scale, Checkpoint, CheckpointError, CheckpointPolicy, RunOptions, Unico,
-        UnicoConfig, UnicoResult,
+        experiments::Scale, Checkpoint, CheckpointError, CheckpointPolicy, IterationUpdate,
+        RunObserver, RunOptions, Unico, UnicoConfig, UnicoResult,
     };
     pub use unico_mapping::{Mapping, MappingSearcher, MappingSpace};
     pub use unico_model::{Dataflow, EvalCache, HwConfig, HwSpace, Platform, SpatialPlatform};
     pub use unico_search::{
         CacheReport, CoSearchEnv, EnvConfig, FaultContext, FaultKind, FaultPlan, RetryPolicy,
+        TelemetrySnapshot,
     };
+    pub use unico_serve::{JobSpec, JobState, Scheduler, ServeConfig, Server};
     pub use unico_workloads::{zoo, Network, TensorOp};
 }
