@@ -1,13 +1,19 @@
 //! The UNICO job-service daemon.
 //!
 //! Configuration comes from the environment (all optional, malformed
-//! values abort the boot):
+//! values abort the boot with a diagnostic and a nonzero exit):
 //!
 //! * `UNICO_SERVE_ADDR` — listen address (default `127.0.0.1:8787`).
 //! * `UNICO_SERVE_WORKERS` — worker threads (default 2).
 //! * `UNICO_SERVE_STATE_DIR` — manifests/checkpoints/results
 //!   directory (default `unico-serve-state`).
 //! * `UNICO_SERVE_MAX_BODY` — request-body cap in bytes (default 1 MiB).
+//! * `UNICO_SERVE_HEAD_TIMEOUT_MS` — slowloris guard: total time a
+//!   client gets to deliver one request (default 10000).
+//! * `UNICO_SERVE_IDLE_TIMEOUT_MS` — idle keep-alive lifetime
+//!   (default 60000).
+//! * `UNICO_SERVE_SUBSCRIBER_QUEUE` — per-`/events`-subscriber queue
+//!   bound in bytes (default 262144).
 //!
 //! On boot the daemon scans the state directory and requeues every job
 //! whose manifest is not terminal; jobs with a surviving checkpoint
@@ -16,14 +22,19 @@
 use std::sync::Arc;
 
 use unico_model::EvalCache;
-use unico_serve::{Scheduler, ServeConfig, Server};
+use unico_serve::{BootError, Scheduler, ServeConfig, Server};
 
-fn main() {
-    let cfg = ServeConfig::from_env();
-    let sched = Scheduler::start(&cfg, EvalCache::process_shared())
-        .unwrap_or_else(|e| panic!("unico-served: state dir {}: {e}", cfg.state_dir.display()));
-    let server = Server::serve(&cfg, Arc::clone(&sched))
-        .unwrap_or_else(|e| panic!("unico-served: bind {}: {e}", cfg.addr));
+fn run() -> Result<(), BootError> {
+    let cfg = ServeConfig::try_from_env().map_err(BootError::Config)?;
+    let sched =
+        Scheduler::start(&cfg, EvalCache::process_shared()).map_err(|e| BootError::Scheduler {
+            state_dir: cfg.state_dir.clone(),
+            source: e,
+        })?;
+    let server = Server::serve(&cfg, Arc::clone(&sched)).map_err(|e| BootError::Bind {
+        addr: cfg.addr.clone(),
+        source: e,
+    })?;
     println!("unico-served listening on {}", server.addr());
     println!(
         "unico-served state dir {} ({} workers)",
@@ -34,5 +45,12 @@ fn main() {
     // happens on the next boot, not on the way down.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("unico-served: {e}");
+        std::process::exit(1);
     }
 }

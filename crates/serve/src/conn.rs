@@ -1,0 +1,517 @@
+//! Per-connection state for the event-driven server core.
+//!
+//! Under the readiness poller every connection is a small state
+//! object, not a thread: it accumulates request bytes, owns an
+//! outbound byte queue, and (for `/events` subscribers) tails a job's
+//! [`EventLog`] through a *bounded* per-connection queue. The poller
+//! thread drives all of them; nothing here blocks.
+//!
+//! Lifecycle: `Reading` (accumulating the next request, slowloris
+//! deadline armed while a partial message is pending, idle deadline
+//! while the buffer is empty) → `Streaming` (NDJSON subscriber; no
+//! deadline while healthy, tailing the log as the run produces events)
+//! → `Closing` (drain the outbound queue under a flush deadline, then
+//! drop). Plain request/response exchanges bounce between `Reading`
+//! and a non-empty outbound queue without ever leaving `Reading`.
+//!
+//! Backpressure: a subscriber that stops reading fills its kernel
+//! send buffer, writes start returning `WouldBlock`, and the queued
+//! backlog grows. Once the backlog exceeds the configured bound the
+//! subscriber is disconnected — pending events are dropped, a terminal
+//! NDJSON `error` line plus the chunked-encoding terminator are queued
+//! while the socket may still drain, and the drop is counted in
+//! [`NetStats`]. The job's iteration callback never waits on any of
+//! this: `EventLog::push` is a mutex'd vector append.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::http;
+use crate::job::Job;
+use crate::poll::{Interest, Token};
+
+/// Poller-thread network counters and gauges, exported via `/metrics`.
+///
+/// Gauges (`open_connections`, `event_subscribers`,
+/// `subscriber_queue_bytes`) are maintained by the poller thread;
+/// counters are monotonic.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections currently registered with the poller.
+    pub open_connections: AtomicU64,
+    /// Connections accepted since boot.
+    pub accepted_total: AtomicU64,
+    /// Requests parsed and routed since boot.
+    pub requests_total: AtomicU64,
+    /// Connections currently streaming `/events`.
+    pub event_subscribers: AtomicU64,
+    /// Bytes queued towards subscribers, summed over connections.
+    pub subscriber_queue_bytes: AtomicU64,
+    /// Subscribers disconnected for not keeping up with their queue.
+    pub slow_subscribers_dropped_total: AtomicU64,
+    /// Event lines dropped on slow-subscriber disconnects.
+    pub subscriber_events_dropped_total: AtomicU64,
+    /// Connections reaped by the idle or header-read deadline.
+    pub connection_timeouts_total: AtomicU64,
+}
+
+/// Outbound byte queue with a send cursor.
+///
+/// Handlers append complete HTTP frames; the poller drains it into the
+/// socket as writability allows. `io::Write` is implemented (append
+/// semantics) so the `http` serializers work on it unchanged.
+#[derive(Debug, Default)]
+pub struct OutBuf {
+    buf: Vec<u8>,
+    sent: usize,
+}
+
+/// Compact the buffer once the dead prefix crosses this threshold.
+const COMPACT_AT: usize = 8 * 1024;
+
+impl OutBuf {
+    /// Bytes queued but not yet written to the socket.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.sent
+    }
+
+    /// Writes as much queued data as the socket accepts right now.
+    /// Returns whether the queue fully drained (`false` = the socket
+    /// would block and write interest should be armed).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors other than `WouldBlock`; the connection is dead.
+    pub fn flush_into(&mut self, sock: &mut TcpStream) -> io::Result<bool> {
+        while self.sent < self.buf.len() {
+            match sock.write(&self.buf[self.sent..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.sent += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.compact();
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.sent = 0;
+        Ok(true)
+    }
+
+    fn compact(&mut self) {
+        if self.sent >= COMPACT_AT {
+            self.buf.drain(..self.sent);
+            self.sent = 0;
+        }
+    }
+}
+
+impl Write for OutBuf {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// NDJSON subscriber state: which job, how far into its log, and
+/// whether the terminal chunk has been queued.
+#[derive(Debug)]
+pub struct Stream {
+    /// The job whose [`EventLog`](crate::job::EventLog) is tailed.
+    pub job: Arc<Job>,
+    /// Log lines already queued.
+    pub cursor: usize,
+    /// A `done` event passed through (no synthetic one needed).
+    pub saw_done: bool,
+    /// Terminal chunk queued; drain the queue, then close.
+    pub finished: bool,
+}
+
+/// Where a connection is in its lifecycle.
+#[derive(Debug)]
+pub enum ConnState {
+    /// Waiting for (more of) the next request.
+    Reading,
+    /// Streaming a job's event log as chunked NDJSON.
+    Streaming(Stream),
+    /// Drain the outbound queue, then drop the connection.
+    Closing,
+}
+
+/// One poller-owned connection.
+#[derive(Debug)]
+pub struct Connection {
+    /// The nonblocking socket.
+    pub sock: TcpStream,
+    /// Poller registration token.
+    pub token: Token,
+    /// Accumulated inbound bytes (the incremental parser's buffer).
+    pub buf: Vec<u8>,
+    /// Outbound byte queue.
+    pub out: OutBuf,
+    /// Lifecycle state.
+    pub state: ConnState,
+    /// When the current phase times out: header-read deadline while a
+    /// partial request is buffered, idle deadline between requests,
+    /// flush deadline while closing. `None` for healthy streams.
+    pub deadline: Option<Instant>,
+    /// Interest currently registered with the poller.
+    pub interest: Interest,
+    /// The last write attempt would have blocked; wait for a
+    /// writability event instead of retrying every tick.
+    pub write_blocked: bool,
+}
+
+/// Cap on bytes pulled off one socket per readiness event, so a
+/// flooding client cannot monopolize the poller thread.
+const READ_QUANTUM: usize = 256 * 1024;
+
+/// What one read pass observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Bytes were appended (or the socket simply had none left).
+    Progress,
+    /// Orderly EOF from the peer.
+    Eof,
+    /// The socket errored; drop the connection.
+    Broken,
+}
+
+impl Connection {
+    /// Wraps an accepted socket (already set nonblocking).
+    pub fn new(sock: TcpStream, token: Token, idle_deadline: Instant) -> Connection {
+        Connection {
+            sock,
+            token,
+            buf: Vec::new(),
+            out: OutBuf::default(),
+            state: ConnState::Reading,
+            deadline: Some(idle_deadline),
+            interest: Interest::READABLE,
+            write_blocked: false,
+        }
+    }
+
+    /// Whether this connection is an `/events` subscriber.
+    pub fn is_subscriber(&self) -> bool {
+        matches!(self.state, ConnState::Streaming(_))
+    }
+
+    /// Reads whatever the socket has ready (up to the per-event
+    /// quantum) into the inbound buffer.
+    pub fn fill_read_buf(&mut self) -> ReadOutcome {
+        let mut tmp = [0u8; 8 * 1024];
+        let mut total = 0;
+        loop {
+            match self.sock.read(&mut tmp) {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(n) => {
+                    // Only a Reading connection accumulates input.
+                    // Streams and closing connections discard it — the
+                    // read serves EOF/error detection, and buffering
+                    // would let a flooding client grow memory on a
+                    // connection that will never parse again.
+                    if matches!(self.state, ConnState::Reading) {
+                        self.buf.extend_from_slice(&tmp[..n]);
+                    }
+                    total += n;
+                    if total >= READ_QUANTUM {
+                        return ReadOutcome::Progress;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadOutcome::Progress,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Broken,
+            }
+        }
+    }
+
+    /// Flushes the outbound queue; on `WouldBlock` marks the
+    /// connection write-blocked so the poller arms write interest.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; the connection should be dropped.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let drained = self.out.flush_into(&mut self.sock)?;
+        self.write_blocked = !drained;
+        Ok(())
+    }
+
+    /// Appends new event-log lines to a streaming connection's queue,
+    /// enforcing the backlog bound. Returns `true` when the stream
+    /// state changed in a way that needs a flush attempt.
+    ///
+    /// On overflow the pending events are dropped and a terminal
+    /// NDJSON `error` line plus the chunk terminator are queued (the
+    /// socket may still be writable even though the reader is slow);
+    /// the connection then drains and closes under `flush_deadline`.
+    pub fn pump_stream(
+        &mut self,
+        queue_max: usize,
+        stats: &NetStats,
+        flush_deadline: Instant,
+    ) -> bool {
+        let ConnState::Streaming(st) = &mut self.state else {
+            return false;
+        };
+        if st.finished {
+            return false;
+        }
+        let (lines, closed) = st.job.events.read_past(st.cursor);
+        let mut queued_any = false;
+        let mut dropped = 0u64;
+        for (i, line) in lines.iter().enumerate() {
+            if self.out.pending() > queue_max {
+                dropped = (lines.len() - i) as u64;
+                break;
+            }
+            st.cursor += 1;
+            st.saw_done = st.saw_done || line.starts_with("{\"event\":\"done\"");
+            let _ = http::write_chunk(&mut self.out, format!("{line}\n").as_bytes());
+            queued_any = true;
+        }
+        if dropped > 0 {
+            stats
+                .slow_subscribers_dropped_total
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            stats
+                .subscriber_events_dropped_total
+                .fetch_add(dropped, std::sync::atomic::Ordering::Relaxed);
+            let notice = format!(
+                "{{\"event\":\"error\",\"reason\":\"subscriber too slow\",\"dropped\":{dropped}}}\n"
+            );
+            let _ = http::write_chunk(&mut self.out, notice.as_bytes());
+            let _ = http::write_chunk_end(&mut self.out);
+            st.finished = true;
+            self.deadline = Some(flush_deadline);
+            return true;
+        }
+        if closed {
+            if !st.saw_done {
+                let line = format!(
+                    "{{\"event\":\"done\",\"state\":{}}}\n",
+                    crate::json::escape(st.job.state().name())
+                );
+                let _ = http::write_chunk(&mut self.out, line.as_bytes());
+            }
+            let _ = http::write_chunk_end(&mut self.out);
+            st.finished = true;
+            self.deadline = Some(flush_deadline);
+            return true;
+        }
+        queued_any
+    }
+
+    /// The poller interest this connection wants right now.
+    pub fn desired_interest(&self) -> Interest {
+        let writable = self.out.pending() > 0;
+        match self.state {
+            // Keep reading while closing too: draining the peer's
+            // final bytes avoids RST-on-close eating our response.
+            ConnState::Reading | ConnState::Streaming(_) | ConnState::Closing => Interest {
+                readable: true,
+                writable,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::EventLog;
+    use crate::spec::parse_submission;
+    use std::net::TcpListener;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    fn test_job() -> Arc<Job> {
+        let spec = parse_submission(
+            br#"{"platform": "spatial-edge", "workloads": ["mobilenet"], "seed": 1}"#,
+        )
+        .expect("spec");
+        Arc::new(Job::new("job-000001".into(), spec))
+    }
+
+    fn streaming_conn(job: Arc<Job>) -> (Connection, TcpStream) {
+        let (client, server) = socket_pair();
+        let now = Instant::now();
+        let mut conn = Connection::new(server, Token(1), now + Duration::from_secs(60));
+        conn.state = ConnState::Streaming(Stream {
+            job,
+            cursor: 0,
+            saw_done: false,
+            finished: false,
+        });
+        (conn, client)
+    }
+
+    #[test]
+    fn outbuf_tracks_pending_and_drains() {
+        let (mut client, mut server) = socket_pair();
+        let mut out = OutBuf::default();
+        out.write_all(b"hello ").unwrap();
+        out.write_all(b"world").unwrap();
+        assert_eq!(out.pending(), 11);
+        assert!(out.flush_into(&mut server).expect("flush"));
+        assert_eq!(out.pending(), 0);
+        std::thread::sleep(Duration::from_millis(20));
+        let mut got = [0u8; 16];
+        let n = client.read(&mut got).expect("read");
+        assert_eq!(&got[..n], b"hello world");
+    }
+
+    #[test]
+    fn pump_tails_the_log_and_synthesizes_done_on_close() {
+        let job = test_job();
+        let (mut conn, client) = streaming_conn(Arc::clone(&job));
+        let stats = NetStats::default();
+        let deadline = Instant::now() + Duration::from_secs(5);
+
+        job.events
+            .push("{\"event\":\"iteration\",\"iteration\":1}".into());
+        assert!(conn.pump_stream(64 * 1024, &stats, deadline));
+        assert!(conn.out.pending() > 0);
+        assert!(!matches!(
+            &conn.state,
+            ConnState::Streaming(st) if st.finished
+        ));
+
+        job.events.close();
+        conn.pump_stream(64 * 1024, &stats, deadline);
+        let ConnState::Streaming(st) = &conn.state else {
+            panic!("still streaming")
+        };
+        assert!(st.finished);
+        // Queued bytes decode to: iteration line, synthesized done,
+        // chunk terminator.
+        conn.flush().expect("flush");
+        drop(conn);
+        let mut text = String::new();
+        let mut client = client;
+        client.set_nonblocking(false).unwrap();
+        client.read_to_string(&mut text).expect("read");
+        assert!(text.contains("\"event\":\"iteration\""), "{text}");
+        assert!(text.contains("\"event\":\"done\""), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+        assert_eq!(
+            stats.slow_subscribers_dropped_total.load(Ordering::Relaxed),
+            0
+        );
+    }
+
+    #[test]
+    fn pump_does_not_synthesize_done_when_the_log_ends_with_one() {
+        let job = test_job();
+        let (mut conn, client) = streaming_conn(Arc::clone(&job));
+        let stats = NetStats::default();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        job.events
+            .push("{\"event\":\"done\",\"state\":\"completed\"}".into());
+        job.events.close();
+        conn.pump_stream(64 * 1024, &stats, deadline);
+        conn.flush().expect("flush");
+        drop(conn);
+        let mut text = String::new();
+        let mut client = client;
+        client.set_nonblocking(false).unwrap();
+        client.read_to_string(&mut text).expect("read");
+        assert_eq!(
+            text.matches("\"event\":\"done\"").count(),
+            1,
+            "no duplicate done: {text}"
+        );
+    }
+
+    #[test]
+    fn overflowing_subscriber_queue_drops_the_stream_with_an_error_line() {
+        let job = test_job();
+        let (mut conn, _client) = streaming_conn(Arc::clone(&job));
+        let stats = NetStats::default();
+        let deadline = Instant::now() + Duration::from_secs(5);
+
+        // Fill past a tiny bound without ever flushing (the "reader
+        // never drains" shape).
+        for i in 0..64 {
+            job.events
+                .push(format!("{{\"event\":\"iteration\",\"iteration\":{i}}}"));
+        }
+        assert!(conn.pump_stream(256, &stats, deadline));
+        assert_eq!(
+            stats.slow_subscribers_dropped_total.load(Ordering::Relaxed),
+            1
+        );
+        assert!(
+            stats
+                .subscriber_events_dropped_total
+                .load(Ordering::Relaxed)
+                > 0
+        );
+        let ConnState::Streaming(st) = &conn.state else {
+            panic!("still streaming")
+        };
+        assert!(st.finished, "overflow must finish the stream");
+        assert!(conn.deadline.is_some(), "flush deadline armed");
+
+        // The queued tail is a valid terminal: error line + terminator.
+        let queued = String::from_utf8_lossy(&conn.out.buf).to_string();
+        assert!(queued.contains("\"event\":\"error\""), "{queued}");
+        assert!(queued.ends_with("0\r\n\r\n"), "{queued}");
+
+        // Pumping again is a no-op: the stream is finished.
+        let before = conn.out.pending();
+        assert!(!conn.pump_stream(256, &stats, deadline));
+        assert_eq!(conn.out.pending(), before);
+    }
+
+    #[test]
+    fn subscriber_inbound_bytes_are_discarded_but_eof_is_seen() {
+        let job = test_job();
+        let (mut conn, mut client) = streaming_conn(job);
+        client.set_nonblocking(false).unwrap();
+        client.write_all(b"GET /sneaky HTTP/1.1\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(conn.fill_read_buf(), ReadOutcome::Progress);
+        assert!(conn.buf.is_empty(), "subscriber input must be discarded");
+        drop(client);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(conn.fill_read_buf(), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn event_log_read_past_is_non_blocking() {
+        let log = EventLog::default();
+        let start = Instant::now();
+        let (lines, closed) = log.read_past(0);
+        assert!(lines.is_empty());
+        assert!(!closed);
+        assert!(start.elapsed() < Duration::from_millis(50));
+        log.push("{\"event\":\"iteration\"}".into());
+        log.close();
+        let (lines, closed) = log.read_past(0);
+        assert_eq!(lines.len(), 1);
+        assert!(closed);
+        let (lines, closed) = log.read_past(1);
+        assert!(lines.is_empty());
+        assert!(closed);
+    }
+}

@@ -42,7 +42,10 @@ pub struct Request {
     pub path: String,
     /// Query string after `?`, empty if absent.
     pub query: String,
-    /// Headers with lowercased names; later duplicates overwrite.
+    /// Headers with lowercased names; later duplicates overwrite —
+    /// except `Content-Length`, where a duplicate (even a repeated
+    /// identical value) rejects the whole message as
+    /// request-smuggling-shaped.
     pub headers: BTreeMap<String, String>,
     /// Request body (empty unless Content-Length was given).
     pub body: Vec<u8>,
@@ -156,7 +159,15 @@ pub fn parse_request(
         if name.is_empty() || name.contains(' ') {
             return Err(HttpError::Bad(format!("malformed header name {name:?}")));
         }
-        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+        let name = name.to_ascii_lowercase();
+        // Two Content-Length headers is the classic smuggling shape:
+        // two parsers picking different values see two different
+        // message boundaries. Reject even agreeing duplicates — a
+        // legitimate client has no reason to send them.
+        if name == "content-length" && headers.contains_key(&name) {
+            return Err(HttpError::Bad("duplicate content-length".into()));
+        }
+        headers.insert(name, value.trim().to_string());
     }
 
     if let Some(te) = headers.get("transfer-encoding") {
@@ -164,9 +175,17 @@ pub fn parse_request(
     }
 
     let body_len = match headers.get("content-length") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::Bad(format!("bad content-length {v:?}")))?,
+        Some(v) => {
+            // Digits only: no sign, no whitespace, no comma-joined
+            // value lists ("5, 5" is a folded duplicate — the same
+            // smuggling shape as two headers). Overflow of usize is a
+            // parse error and rejects too.
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::Bad(format!("bad content-length {v:?}")));
+            }
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Bad(format!("content-length overflows: {v:?}")))?
+        }
         None if matches!(method, "POST" | "PUT" | "PATCH") => {
             return Err(HttpError::LengthRequired)
         }
@@ -209,6 +228,7 @@ fn reason(status: u16) -> &'static str {
         202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         405 => "Method Not Allowed",
         409 => "Conflict",
         411 => "Length Required",
@@ -350,6 +370,50 @@ mod tests {
         ] {
             assert_eq!(parse_request(bad, &limits()).unwrap_err().status(), 400);
         }
+    }
+
+    #[test]
+    fn smuggling_shaped_content_lengths_are_rejected() {
+        // Conflicting duplicates: two parsers could disagree on the
+        // message boundary.
+        let conflicting =
+            b"POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 11\r\n\r\nbodybodybod";
+        assert_eq!(
+            parse_request(conflicting, &limits()).unwrap_err().status(),
+            400
+        );
+        // Agreeing duplicates are rejected too — no legitimate client
+        // sends them.
+        let agreeing = b"POST / HTTP/1.1\r\nContent-Length: 4\r\ncontent-length: 4\r\n\r\nbody";
+        assert_eq!(
+            parse_request(agreeing, &limits()).unwrap_err(),
+            HttpError::Bad("duplicate content-length".into())
+        );
+        // Folded value lists, signs, inner whitespace, empty: not
+        // digits. (Leading/trailing OWS is trimmed before the check —
+        // that much is legal HTTP.)
+        for bad in ["4, 4", "+4", "4 4", "0x4", "4.0", ""] {
+            let raw = format!("POST / HTTP/1.1\r\ncontent-length: {bad}\r\n\r\nbody");
+            assert_eq!(
+                parse_request(raw.as_bytes(), &limits())
+                    .unwrap_err()
+                    .status(),
+                400,
+                "content-length {bad:?} must be rejected"
+            );
+        }
+        // usize overflow is a 400, not a huge allocation.
+        let huge = format!("POST / HTTP/1.1\r\ncontent-length: {}0\r\n\r\n", usize::MAX);
+        assert_eq!(
+            parse_request(huge.as_bytes(), &limits())
+                .unwrap_err()
+                .status(),
+            400
+        );
+        // A single well-formed Content-Length still parses.
+        let ok = b"POST / HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody";
+        let (req, _) = parse_request(ok, &limits()).unwrap().unwrap();
+        assert_eq!(req.body, b"body");
     }
 
     #[test]

@@ -186,6 +186,21 @@ impl EventLog {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         (inner.lines.clone(), inner.closed)
     }
+
+    /// Events past `cursor` plus whether the log is closed, without
+    /// ever blocking — the poller thread's tail primitive. Returns an
+    /// empty vector (no allocation of line clones) when nothing new
+    /// has arrived.
+    pub fn read_past(&self, cursor: usize) -> (Vec<String>, bool) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.lines.len() <= cursor {
+            return (Vec::new(), inner.closed);
+        }
+        (
+            inner.lines.get(cursor..).unwrap_or_default().to_vec(),
+            inner.closed,
+        )
+    }
 }
 
 /// One job tracked by the scheduler.

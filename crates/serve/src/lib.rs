@@ -39,17 +39,24 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Deny rather than forbid: the readiness poller in `poll.rs` needs two
+// documented `#[allow(unsafe_code)]` FFI blocks (epoll/poll syscalls
+// over raw fds, the same vendored-shim policy as `unico-search`).
+// Everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 
+pub mod conn;
 pub mod http;
 pub mod job;
 pub mod json;
 pub mod metrics;
+pub mod poll;
 pub mod scheduler;
 pub mod server;
 pub mod spec;
 
+pub use conn::NetStats;
 pub use job::{EventLog, Job, JobOutcome, JobState};
 pub use scheduler::Scheduler;
-pub use server::Server;
+pub use server::{BootError, Server};
 pub use spec::{JobSpec, PlatformKind, ServeConfig};

@@ -10,10 +10,12 @@
 
 use std::sync::atomic::Ordering;
 
+use crate::conn::NetStats;
 use crate::scheduler::Scheduler;
 
-/// Renders the daemon's metrics in Prometheus text format.
-pub fn render(sched: &Scheduler) -> String {
+/// Renders the daemon's metrics in Prometheus text format: scheduler
+/// state plus the poller thread's connection-layer gauges/counters.
+pub fn render(sched: &Scheduler, net: &NetStats) -> String {
     let mut out = String::new();
     let mut gauge = |name: &str, help: &str, value: f64| {
         out.push_str(&format!(
@@ -30,9 +32,49 @@ pub fn render(sched: &Scheduler) -> String {
         "Jobs currently executing.",
         sched.running_count() as f64,
     );
+    gauge(
+        "unico_serve_open_connections",
+        "Connections registered with the poller.",
+        net.open_connections.load(Ordering::Relaxed) as f64,
+    );
+    gauge(
+        "unico_serve_event_subscribers",
+        "Connections currently streaming /events.",
+        net.event_subscribers.load(Ordering::Relaxed) as f64,
+    );
+    gauge(
+        "unico_serve_subscriber_queue_bytes",
+        "Bytes queued towards /events subscribers, summed over connections.",
+        net.subscriber_queue_bytes.load(Ordering::Relaxed) as f64,
+    );
 
     let c = &sched.counters;
     for (name, help, value) in [
+        (
+            "unico_serve_connections_accepted_total",
+            "Connections accepted since boot.",
+            net.accepted_total.load(Ordering::Relaxed),
+        ),
+        (
+            "unico_serve_requests_total",
+            "Requests parsed and routed since boot.",
+            net.requests_total.load(Ordering::Relaxed),
+        ),
+        (
+            "unico_serve_slow_subscribers_dropped_total",
+            "Subscribers disconnected for not draining their event queue.",
+            net.slow_subscribers_dropped_total.load(Ordering::Relaxed),
+        ),
+        (
+            "unico_serve_subscriber_events_dropped_total",
+            "Event lines dropped on slow-subscriber disconnects.",
+            net.subscriber_events_dropped_total.load(Ordering::Relaxed),
+        ),
+        (
+            "unico_serve_connection_timeouts_total",
+            "Connections reaped by the idle or header-read deadline.",
+            net.connection_timeouts_total.load(Ordering::Relaxed),
+        ),
         (
             "unico_serve_jobs_submitted_total",
             "Jobs accepted via the API or recovered from disk.",
@@ -199,11 +241,23 @@ mod tests {
             ..ServeConfig::default()
         };
         let sched = Scheduler::start(&cfg, Arc::new(EvalCache::new())).expect("boot");
-        let text = render(&sched);
+        let text = render(&sched, &NetStats::default());
         let samples = validate_exposition(&text).expect("valid exposition");
-        assert!(samples >= 10, "expected the full catalog, got {samples}");
+        assert!(samples >= 15, "expected the full catalog, got {samples}");
         assert!(text.contains("unico_serve_queue_depth 0\n"));
         assert!(text.contains("unico_serve_cache_hit_rate"));
+        for conn_metric in [
+            "unico_serve_open_connections 0\n",
+            "unico_serve_event_subscribers 0\n",
+            "unico_serve_subscriber_queue_bytes 0\n",
+            "unico_serve_connections_accepted_total 0\n",
+            "unico_serve_requests_total 0\n",
+            "unico_serve_slow_subscribers_dropped_total 0\n",
+            "unico_serve_subscriber_events_dropped_total 0\n",
+            "unico_serve_connection_timeouts_total 0\n",
+        ] {
+            assert!(text.contains(conn_metric), "missing {conn_metric:?}");
+        }
         sched.shutdown();
     }
 

@@ -95,14 +95,25 @@ impl Scheduler {
         });
         sched.recover()?;
         let mut workers = sched.workers.lock().unwrap_or_else(|e| e.into_inner());
-        for i in 0..cfg.workers.max(1) {
+        // Honor the config exactly: env-sourced configs reject zero
+        // loudly in `try_from_env`, and a zero-worker scheduler (jobs
+        // queue but never run) is a legitimate test harness.
+        for i in 0..cfg.workers {
             let me = Arc::clone(&sched);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("unico-serve-worker-{i}"))
-                    .spawn(move || me.worker_loop())
-                    .expect("spawn worker"),
-            );
+            match std::thread::Builder::new()
+                .name(format!("unico-serve-worker-{i}"))
+                .spawn(move || me.worker_loop())
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Boot must be all-or-nothing: join the workers
+                    // already spawned and report the failure instead
+                    // of limping along with a smaller pool.
+                    drop(workers);
+                    sched.shutdown();
+                    return Err(e);
+                }
+            }
         }
         drop(workers);
         Ok(sched)

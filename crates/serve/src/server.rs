@@ -1,69 +1,149 @@
-//! The TCP accept loop and request router.
+//! The event-driven server core: one poller thread, many connections.
 //!
-//! Thread-per-connection with keep-alive: the connection task reads
-//! into a growing buffer and repeatedly asks [`crate::http::parse_request`]
-//! for the next complete message, so pipelined requests and requests
-//! split across arbitrary read boundaries follow the same path. The
-//! events route upgrades the connection to a chunked NDJSON stream and
-//! closes it when the job's event log does.
+//! Instead of thread-per-connection, a single thread owns a readiness
+//! poller ([`crate::poll::Poller`]) plus every connection as a small
+//! state object ([`crate::conn::Connection`]). Sockets are
+//! non-blocking; the loop accepts, reads, parses (re-using the
+//! incremental [`crate::http::parse_request`] buffer model, so split
+//! reads and pipelined requests follow the exact same path as before),
+//! routes, and drains outbound queues as writability allows. `/events`
+//! subscribers tail their job's [`crate::job::EventLog`] through a
+//! bounded per-connection queue — thousands of idle watchers cost one
+//! fd each, and a slow subscriber is disconnected rather than ever
+//! back-pressuring the job's iteration callback.
+//!
+//! Lifecycle deadlines (all config-tunable via [`ServeConfig`]):
+//!
+//! * **header-read deadline** — once the first byte of a request
+//!   arrives, the complete message must follow within `head_timeout`
+//!   (the slowloris guard); the connection gets a best-effort 408 and
+//!   is reaped.
+//! * **idle deadline** — a keep-alive connection with no buffered
+//!   bytes is dropped after `idle_timeout`.
+//! * **drain deadline** — closing connections (including dropped-slow
+//!   subscribers) get `head_timeout` to take their final bytes.
 
-use std::io::{self, Read};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::http::{self, HttpError, HttpLimits, Request};
+use crate::conn::{ConnState, Connection, NetStats, OutBuf, ReadOutcome, Stream};
+use crate::http::{self, HttpLimits, Request};
 use crate::json;
 use crate::metrics;
+use crate::poll::{Event, Poller, Token};
 use crate::scheduler::Scheduler;
 use crate::spec::{self, ServeConfig};
+
+/// Why the daemon failed to boot. Each variant carries enough context
+/// for a one-line operator diagnostic; the binary prints it and exits
+/// nonzero instead of panicking.
+#[derive(Debug)]
+pub enum BootError {
+    /// A malformed `UNICO_SERVE_*` environment variable.
+    Config(String),
+    /// The scheduler could not create or scan its state directory, or
+    /// could not spawn its worker pool.
+    Scheduler {
+        /// The configured state directory.
+        state_dir: PathBuf,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+    /// The listen address could not be bound (or the poller thread
+    /// could not start).
+    Bind {
+        /// The configured listen address.
+        addr: String,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootError::Config(msg) => write!(f, "configuration: {msg}"),
+            BootError::Scheduler { state_dir, source } => {
+                write!(
+                    f,
+                    "scheduler boot over state dir {}: {source}",
+                    state_dir.display()
+                )
+            }
+            BootError::Bind { addr, source } => write!(f, "bind {addr}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BootError::Config(_) => None,
+            BootError::Scheduler { source, .. } | BootError::Bind { source, .. } => Some(source),
+        }
+    }
+}
 
 /// A running HTTP front-end over a [`Scheduler`].
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    stats: Arc<NetStats>,
+    poller_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `cfg.addr` and starts accepting connections.
+    /// Binds `cfg.addr` and starts the poller thread.
     ///
     /// # Errors
     ///
-    /// I/O errors binding the listen address.
+    /// I/O errors binding the listen address, registering it with the
+    /// poller, or spawning the poller thread — no panic on any boot
+    /// path.
     pub fn serve(cfg: &ServeConfig, sched: Arc<Scheduler>) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let limits = HttpLimits {
-            max_body: cfg.max_body,
-            ..HttpLimits::default()
+        let stats = Arc::new(NetStats::default());
+        let mut poller = Poller::new()?;
+        poller.register(
+            listener.as_raw_fd(),
+            LISTENER,
+            crate::poll::Interest::READABLE,
+        )?;
+        let mut event_loop = EventLoop {
+            listener,
+            poller,
+            sched,
+            stop: Arc::clone(&stop),
+            stats: Arc::clone(&stats),
+            limits: HttpLimits {
+                max_body: cfg.max_body,
+                ..HttpLimits::default()
+            },
+            head_timeout: cfg.head_timeout,
+            idle_timeout: cfg.idle_timeout,
+            queue_max: cfg.subscriber_queue_max,
+            conns: HashMap::new(),
+            next_token: LISTENER.0 + 1,
         };
-        let accept_stop = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
-            .name("unico-serve-accept".to_string())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(conn) = conn else { continue };
-                    let sched = Arc::clone(&sched);
-                    let stop = Arc::clone(&accept_stop);
-                    let _ = std::thread::Builder::new()
-                        .name("unico-serve-conn".to_string())
-                        .spawn(move || {
-                            let _ = handle_connection(conn, &sched, &limits, &stop);
-                        });
-                }
-            })
-            .expect("spawn accept thread");
+        let poller_thread = std::thread::Builder::new()
+            .name("unico-serve-poller".to_string())
+            .spawn(move || event_loop.run())?;
         Ok(Server {
             addr,
             stop,
-            accept_thread: Some(accept_thread),
+            stats,
+            poller_thread: Some(poller_thread),
         })
     }
 
@@ -72,118 +152,408 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread.
-    /// In-flight connection threads drain on their own (they observe
-    /// the stop flag at their next read timeout).
+    /// The poller thread's connection-layer counters and gauges.
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops the poller thread and joins it. Open streams receive a
+    /// synthesized terminal `done` event and the chunk terminator
+    /// (best-effort) before their sockets close.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
+        // Wake the poller out of its wait with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.poller_thread.take() {
             let _ = t.join();
         }
     }
 }
 
-/// How long one read may block before the connection re-checks the
-/// stop flag (and how often streams poll their event log).
-const READ_TICK: Duration = Duration::from_millis(200);
-/// Idle ticks before a keep-alive connection is dropped.
-const MAX_IDLE_TICKS: u32 = 300;
+/// The listening socket's poller token; connections count up from 1.
+const LISTENER: Token = Token(0);
 
-fn handle_connection(
-    mut conn: TcpStream,
-    sched: &Arc<Scheduler>,
-    limits: &HttpLimits,
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    conn.set_read_timeout(Some(READ_TICK))?;
-    let mut buf: Vec<u8> = Vec::new();
-    let mut tmp = [0u8; 8192];
-    let mut idle_ticks = 0u32;
-    loop {
-        match http::parse_request(&buf, limits) {
-            Ok(Some((req, used))) => {
-                buf.drain(..used);
-                idle_ticks = 0;
-                let close = req.wants_close();
-                match route(&req, sched, &mut conn, stop) {
-                    Ok(Handled::KeepAlive) if !close => continue,
-                    _ => return Ok(()),
+/// Poll tick while at least one healthy stream is open (how quickly
+/// new event-log lines reach subscribers).
+const STREAM_TICK: Duration = Duration::from_millis(25);
+/// Poll tick with no streams: only deadlines need servicing.
+const IDLE_TICK: Duration = Duration::from_millis(200);
+
+struct EventLoop {
+    listener: TcpListener,
+    poller: Poller,
+    sched: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+    limits: HttpLimits,
+    head_timeout: Duration,
+    idle_timeout: Duration,
+    queue_max: usize,
+    conns: HashMap<u64, Connection>,
+    next_token: u64,
+}
+
+/// What routing one request decided for the connection. (Whether to
+/// close afterwards is the client's call via `connection: close`;
+/// routing itself never forces one.)
+enum Routed {
+    /// Response queued; await the next request.
+    KeepAlive,
+    /// Upgrade to a chunked NDJSON stream of this job's events.
+    Stream(Arc<crate::job::Job>),
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = self.wait_timeout();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                self.drain_on_shutdown();
+                return;
+            }
+            let tokens: Vec<(u64, bool)> = events
+                .iter()
+                .map(|ev| (ev.token.0, ev.readable || ev.hangup))
+                .collect();
+            for (token, readable) in tokens {
+                if token == LISTENER.0 {
+                    self.accept_ready();
+                } else {
+                    self.service(token, readable);
                 }
             }
-            Ok(None) => match conn.read(&mut tmp) {
-                Ok(0) => return Ok(()),
-                Ok(n) => {
-                    buf.extend_from_slice(&tmp[..n]);
-                    idle_ticks = 0;
-                }
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    idle_ticks += 1;
-                    if stop.load(Ordering::SeqCst) || idle_ticks > MAX_IDLE_TICKS {
-                        return Ok(());
+            self.pump_streams();
+            self.reap_deadlines();
+            self.refresh_gauges();
+        }
+    }
+
+    /// How long the poller may sleep this iteration: the stream tick
+    /// when subscribers are waiting on new events, bounded by the
+    /// nearest connection deadline.
+    fn wait_timeout(&self) -> Duration {
+        let streaming = self
+            .conns
+            .values()
+            .any(|c| matches!(&c.state, ConnState::Streaming(st) if !st.finished));
+        let mut timeout = if streaming { STREAM_TICK } else { IDLE_TICK };
+        let now = Instant::now();
+        for conn in self.conns.values() {
+            if let Some(deadline) = conn.deadline {
+                timeout = timeout.min(deadline.saturating_duration_since(now));
+            }
+        }
+        timeout
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((sock, _)) => {
+                    if sock.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = Token(self.next_token);
+                    self.next_token += 1;
+                    let conn = Connection::new(sock, token, Instant::now() + self.idle_timeout);
+                    if self
+                        .poller
+                        .register(conn.sock.as_raw_fd(), token, conn.interest)
+                        .is_ok()
+                    {
+                        self.stats.accepted_total.fetch_add(1, Ordering::Relaxed);
+                        self.stats.open_connections.fetch_add(1, Ordering::Relaxed);
+                        self.conns.insert(token.0, conn);
                     }
                 }
-                Err(e) => return Err(e),
-            },
-            Err(e) => {
-                respond_error(&mut conn, &e)?;
-                return Ok(());
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
             }
+        }
+    }
+
+    /// Services one readiness event on a connection: read, parse,
+    /// route, flush.
+    fn service(&mut self, token: u64, readable: bool) {
+        let mut dead = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if readable {
+                let had_partial = !conn.buf.is_empty();
+                match conn.fill_read_buf() {
+                    ReadOutcome::Progress => {
+                        if matches!(conn.state, ConnState::Reading) {
+                            Self::process_buffer(
+                                conn,
+                                &self.sched,
+                                &self.stats,
+                                &self.limits,
+                                self.head_timeout,
+                                self.idle_timeout,
+                                self.queue_max,
+                                had_partial,
+                            );
+                        }
+                    }
+                    ReadOutcome::Eof | ReadOutcome::Broken => dead = true,
+                }
+            } else {
+                // Writability: the socket drained some of its send
+                // buffer.
+                conn.write_blocked = false;
+            }
+        } else {
+            return;
+        }
+        if dead {
+            self.close(token);
+            return;
+        }
+        self.flush_and_update(token);
+    }
+
+    /// Parses and routes every complete request in the buffer (the
+    /// pipelining loop), then arms the appropriate deadline.
+    #[allow(clippy::too_many_arguments)]
+    fn process_buffer(
+        conn: &mut Connection,
+        sched: &Arc<Scheduler>,
+        stats: &NetStats,
+        limits: &HttpLimits,
+        head_timeout: Duration,
+        idle_timeout: Duration,
+        queue_max: usize,
+        had_partial: bool,
+    ) {
+        loop {
+            if !matches!(conn.state, ConnState::Reading) {
+                return;
+            }
+            match http::parse_request(&conn.buf, limits) {
+                Ok(Some((req, used))) => {
+                    conn.buf.drain(..used);
+                    stats.requests_total.fetch_add(1, Ordering::Relaxed);
+                    let wants_close = req.wants_close();
+                    match route(&req, sched, stats, &mut conn.out) {
+                        Routed::Stream(job) => {
+                            let _ = http::write_stream_head(&mut conn.out, "application/x-ndjson");
+                            conn.state = ConnState::Streaming(Stream {
+                                job,
+                                cursor: 0,
+                                saw_done: false,
+                                finished: false,
+                            });
+                            // Healthy streams have no deadline; EOF or
+                            // queue overflow ends them.
+                            conn.deadline = None;
+                            stats.event_subscribers.fetch_add(1, Ordering::Relaxed);
+                            let _ =
+                                conn.pump_stream(queue_max, stats, Instant::now() + head_timeout);
+                            return;
+                        }
+                        Routed::KeepAlive if !wants_close => {
+                            conn.deadline = Some(Instant::now() + idle_timeout);
+                        }
+                        Routed::KeepAlive => {
+                            conn.state = ConnState::Closing;
+                            conn.deadline = Some(Instant::now() + head_timeout);
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => {
+                    if conn.buf.is_empty() {
+                        conn.deadline = Some(Instant::now() + idle_timeout);
+                    } else if !had_partial {
+                        // First bytes of a new message: the slowloris
+                        // clock starts now and is NOT reset by later
+                        // trickle — the whole head+body must land
+                        // within the window.
+                        conn.deadline = Some(Instant::now() + head_timeout);
+                    }
+                    return;
+                }
+                Err(e) => {
+                    let body = format!("{{\"error\":{}}}", json::escape(&e.message()));
+                    let _ = http::write_response(
+                        &mut conn.out,
+                        e.status(),
+                        "application/json",
+                        body.as_bytes(),
+                        true,
+                    );
+                    conn.state = ConnState::Closing;
+                    conn.deadline = Some(Instant::now() + head_timeout);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Tails every healthy stream's event log into its bounded queue.
+    fn pump_streams(&mut self) {
+        let flush_deadline = Instant::now() + self.head_timeout;
+        let tokens: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(&c.state, ConnState::Streaming(st) if !st.finished))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.pump_stream(self.queue_max, &self.stats, flush_deadline);
+            }
+            self.flush_and_update(token);
+        }
+    }
+
+    /// Flushes a connection's outbound queue, closes it when done and
+    /// closing, and re-registers poller interest if it changed.
+    fn flush_and_update(&mut self, token: u64) {
+        let mut remove = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if !conn.write_blocked && conn.flush().is_err() {
+                remove = true;
+            } else {
+                let drained = conn.out.pending() == 0;
+                let finished_stream =
+                    matches!(&conn.state, ConnState::Streaming(st) if st.finished);
+                if drained && (finished_stream || matches!(conn.state, ConnState::Closing)) {
+                    remove = true;
+                } else {
+                    let desired = conn.desired_interest();
+                    if desired != conn.interest {
+                        conn.interest = desired;
+                        let _ = self
+                            .poller
+                            .modify(conn.sock.as_raw_fd(), conn.token, desired);
+                    }
+                }
+            }
+        }
+        if remove {
+            self.close(token);
+        }
+    }
+
+    /// Reaps connections whose deadline expired: slowloris partials
+    /// get a best-effort 408, idle keep-alives and stuck drains are
+    /// dropped silently.
+    fn reap_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.deadline.is_some_and(|d| d <= now))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in expired {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            self.stats
+                .connection_timeouts_total
+                .fetch_add(1, Ordering::Relaxed);
+            if matches!(conn.state, ConnState::Reading) && !conn.buf.is_empty() {
+                // Half-delivered request: tell the client why, if the
+                // socket will take it.
+                let _ = http::write_response(
+                    &mut conn.out,
+                    408,
+                    "application/json",
+                    b"{\"error\":\"request timeout\"}",
+                    true,
+                );
+                let _ = conn.flush();
+            }
+            self.close(token);
+        }
+    }
+
+    fn refresh_gauges(&self) {
+        let queued: u64 = self
+            .conns
+            .values()
+            .filter(|c| c.is_subscriber())
+            .map(|c| c.out.pending() as u64)
+            .sum();
+        self.stats
+            .subscriber_queue_bytes
+            .store(queued, Ordering::Relaxed);
+    }
+
+    /// Deregisters and drops one connection, maintaining the gauges.
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if conn.is_subscriber() {
+                self.stats.event_subscribers.fetch_sub(1, Ordering::Relaxed);
+            }
+            self.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+            let _ = self.poller.deregister(conn.sock.as_raw_fd());
+        }
+    }
+
+    /// On shutdown: terminate open streams with a synthesized `done`
+    /// plus the chunk terminator, flush everything best-effort, drop
+    /// all connections.
+    fn drain_on_shutdown(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if let ConnState::Streaming(st) = &mut conn.state {
+                    if !st.finished {
+                        if !st.saw_done {
+                            let line = format!(
+                                "{{\"event\":\"done\",\"state\":{}}}\n",
+                                json::escape(st.job.state().name())
+                            );
+                            let _ = http::write_chunk(&mut conn.out, line.as_bytes());
+                        }
+                        let _ = http::write_chunk_end(&mut conn.out);
+                        st.finished = true;
+                    }
+                }
+                let _ = conn.flush();
+            }
+            self.close(token);
         }
     }
 }
 
-enum Handled {
-    KeepAlive,
-    Close,
+fn json_response(out: &mut OutBuf, status: u16, body: &str) -> Routed {
+    let _ = http::write_response(out, status, "application/json", body.as_bytes(), false);
+    Routed::KeepAlive
 }
 
-fn respond_error(conn: &mut TcpStream, e: &HttpError) -> io::Result<()> {
-    let body = format!("{{\"error\":{}}}", json::escape(&e.message()));
-    http::write_response(conn, e.status(), "application/json", body.as_bytes(), true)
+fn error_response(out: &mut OutBuf, status: u16, msg: &str) -> Routed {
+    json_response(out, status, &format!("{{\"error\":{}}}", json::escape(msg)))
 }
 
-fn json_response(conn: &mut TcpStream, status: u16, body: &str) -> io::Result<Handled> {
-    http::write_response(conn, status, "application/json", body.as_bytes(), false)?;
-    Ok(Handled::KeepAlive)
-}
-
-fn error_response(conn: &mut TcpStream, status: u16, msg: &str) -> io::Result<Handled> {
-    json_response(
-        conn,
-        status,
-        &format!("{{\"error\":{}}}", json::escape(msg)),
-    )
-}
-
-fn route(
-    req: &Request,
-    sched: &Arc<Scheduler>,
-    conn: &mut TcpStream,
-    stop: &AtomicBool,
-) -> io::Result<Handled> {
+/// Routes one parsed request, queueing the response bytes; returns
+/// what should happen to the connection afterwards.
+fn route(req: &Request, sched: &Arc<Scheduler>, stats: &NetStats, out: &mut OutBuf) -> Routed {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => json_response(conn, 200, "{\"ok\":true}"),
+        ("GET", ["healthz"]) => json_response(out, 200, "{\"ok\":true}"),
         ("GET", ["metrics"]) => {
-            let text = metrics::render(sched);
-            http::write_response(
-                conn,
+            let text = metrics::render(sched, stats);
+            let _ = http::write_response(
+                out,
                 200,
                 "text/plain; version=0.0.4",
                 text.as_bytes(),
                 false,
-            )?;
-            Ok(Handled::KeepAlive)
+            );
+            Routed::KeepAlive
         }
         ("POST", ["v1", "jobs"]) => match spec::parse_submission(&req.body) {
             Ok(spec) => match sched.submit(spec) {
                 Ok(job) => json_response(
-                    conn,
+                    out,
                     201,
                     &format!(
                         "{{\"id\":{},\"state\":{}}}",
@@ -191,9 +561,9 @@ fn route(
                         json::escape(job.state().name())
                     ),
                 ),
-                Err(e) => error_response(conn, 500, &format!("persisting job: {e}")),
+                Err(e) => error_response(out, 500, &format!("persisting job: {e}")),
             },
-            Err(e) => error_response(conn, 422, &e),
+            Err(e) => error_response(out, 422, &e),
         },
         ("GET", ["v1", "jobs"]) => {
             let items: Vec<String> = sched
@@ -207,15 +577,15 @@ fn route(
                     )
                 })
                 .collect();
-            json_response(conn, 200, &format!("{{\"jobs\":[{}]}}", items.join(",")))
+            json_response(out, 200, &format!("{{\"jobs\":[{}]}}", items.join(",")))
         }
         ("GET", ["v1", "jobs", id]) => match sched.get(id) {
-            Some(job) => json_response(conn, 200, &job.status_json()),
-            None => error_response(conn, 404, &format!("no job {id:?}")),
+            Some(job) => json_response(out, 200, &job.status_json()),
+            None => error_response(out, 404, &format!("no job {id:?}")),
         },
         ("DELETE", ["v1", "jobs", id]) => match sched.cancel(id) {
             Some(observed) => json_response(
-                conn,
+                out,
                 202,
                 &format!(
                     "{{\"id\":{},\"state_observed\":{}}}",
@@ -223,53 +593,23 @@ fn route(
                     json::escape(observed.name())
                 ),
             ),
-            None => error_response(conn, 404, &format!("no job {id:?}")),
+            None => error_response(out, 404, &format!("no job {id:?}")),
         },
         ("GET", ["v1", "jobs", id, "events"]) => match sched.get(id) {
-            Some(job) => stream_events(conn, &job, stop).map(|()| Handled::Close),
-            None => error_response(conn, 404, &format!("no job {id:?}")),
+            Some(job) => Routed::Stream(job),
+            None => error_response(out, 404, &format!("no job {id:?}")),
         },
         (_, ["v1", "jobs", ..]) | (_, ["metrics"]) | (_, ["healthz"]) => {
-            error_response(conn, 405, "method not allowed")
+            error_response(out, 405, "method not allowed")
         }
-        _ => error_response(conn, 404, &format!("no route {}", req.path)),
+        _ => error_response(out, 404, &format!("no route {}", req.path)),
     }
-}
-
-/// Streams the job's NDJSON event log as a chunked response. The
-/// stream always terminates with a `{"event":"done",...}` line — the
-/// log's own terminal event when there is one, or a synthesized one
-/// (simulated-kill streams and server shutdown close logs without a
-/// terminal transition).
-fn stream_events(conn: &mut TcpStream, job: &crate::job::Job, stop: &AtomicBool) -> io::Result<()> {
-    http::write_stream_head(conn, "application/x-ndjson")?;
-    let mut cursor = 0usize;
-    let mut saw_done = false;
-    loop {
-        let (lines, closed) = job.events.wait_past(cursor, READ_TICK);
-        for line in &lines {
-            saw_done = saw_done || line.starts_with("{\"event\":\"done\"");
-            http::write_chunk(conn, format!("{line}\n").as_bytes())?;
-        }
-        cursor += lines.len();
-        if closed || stop.load(Ordering::SeqCst) {
-            break;
-        }
-    }
-    if !saw_done {
-        let line = format!(
-            "{{\"event\":\"done\",\"state\":{}}}\n",
-            json::escape(job.state().name())
-        );
-        http::write_chunk(conn, line.as_bytes())?;
-    }
-    http::write_chunk_end(conn)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Write;
+    use std::io::{Read, Write};
     use std::path::PathBuf;
     use unico_model::EvalCache;
 
@@ -316,6 +656,7 @@ mod tests {
         let m = request(addr, "GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n");
         let body = m.split("\r\n\r\n").nth(1).expect("body");
         metrics::validate_exposition(body).expect("valid exposition over HTTP");
+        assert!(body.contains("unico_serve_open_connections"), "{body}");
 
         let missing = request(addr, "GET /nope HTTP/1.1\r\nconnection: close\r\n\r\n");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
@@ -349,5 +690,85 @@ mod tests {
         assert!(resp.contains("unknown network"), "{resp}");
         server.shutdown();
         sched.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_and_pipelined_requests() {
+        let (server, sched) = boot("keep-alive");
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+
+        // Two sequential requests on one connection.
+        for _ in 0..2 {
+            conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut buf = [0u8; 1024];
+            let mut got = String::new();
+            while !got.contains("{\"ok\":true}") {
+                let n = conn.read(&mut buf).expect("read");
+                assert!(n > 0, "server closed a keep-alive connection");
+                got.push_str(&String::from_utf8_lossy(&buf[..n]));
+            }
+            assert!(got.contains("connection: keep-alive"), "{got}");
+        }
+
+        // Two pipelined requests in one write; the second closes.
+        conn.write_all(
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut rest = String::new();
+        conn.read_to_string(&mut rest).expect("read to close");
+        assert_eq!(
+            rest.matches("{\"ok\":true}").count(),
+            2,
+            "both pipelined responses must arrive: {rest}"
+        );
+        server.shutdown();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn startup_errors_are_typed_not_panics() {
+        // Bind failure: the port is already taken.
+        let taken = TcpListener::bind("127.0.0.1:0").expect("hold a port");
+        let cfg = ServeConfig {
+            addr: taken.local_addr().unwrap().to_string(),
+            workers: 1,
+            state_dir: scratch("boot-bind"),
+            ..ServeConfig::default()
+        };
+        let sched = Scheduler::start(&cfg, Arc::new(EvalCache::new())).expect("boot scheduler");
+        let err = Server::serve(&cfg, Arc::clone(&sched))
+            .err()
+            .expect("bind must fail");
+        let boot = BootError::Bind {
+            addr: cfg.addr.clone(),
+            source: err,
+        };
+        assert!(boot.to_string().contains(&cfg.addr), "{boot}");
+        assert!(std::error::Error::source(&boot).is_some());
+        sched.shutdown();
+
+        // Scheduler-boot failure: the state dir path is a file.
+        let dir = scratch("boot-state");
+        let file = dir.join("not-a-dir");
+        std::fs::write(&file, b"x").unwrap();
+        let cfg = ServeConfig {
+            state_dir: file.clone(),
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let err = Scheduler::start(&cfg, Arc::new(EvalCache::new()))
+            .err()
+            .expect("boot must fail");
+        let boot = BootError::Scheduler {
+            state_dir: file.clone(),
+            source: err,
+        };
+        assert!(
+            boot.to_string().contains("not-a-dir"),
+            "diagnostic names the path: {boot}"
+        );
     }
 }

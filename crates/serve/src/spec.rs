@@ -12,6 +12,7 @@
 //! variable, it never silently falls back to a default.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use unico_core::UnicoConfig;
 use unico_search::EnvConfig;
@@ -244,6 +245,18 @@ pub struct ServeConfig {
     pub state_dir: PathBuf,
     /// Maximum request-body bytes (`UNICO_SERVE_MAX_BODY`, default 1 MiB).
     pub max_body: usize,
+    /// Total time a client gets to deliver one complete request head +
+    /// body once its first byte arrived — the slowloris guard
+    /// (`UNICO_SERVE_HEAD_TIMEOUT_MS`, default 10 s). Also bounds the
+    /// final drain of a closing connection.
+    pub head_timeout: Duration,
+    /// How long an idle keep-alive connection is retained between
+    /// requests (`UNICO_SERVE_IDLE_TIMEOUT_MS`, default 60 s).
+    pub idle_timeout: Duration,
+    /// Maximum bytes queued towards one `/events` subscriber before it
+    /// is disconnected as too slow (`UNICO_SERVE_SUBSCRIBER_QUEUE`,
+    /// default 256 KiB).
+    pub subscriber_queue_max: usize,
 }
 
 impl Default for ServeConfig {
@@ -253,6 +266,9 @@ impl Default for ServeConfig {
             workers: 2,
             state_dir: PathBuf::from("unico-serve-state"),
             max_body: 1024 * 1024,
+            head_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            subscriber_queue_max: 256 * 1024,
         }
     }
 }
@@ -260,31 +276,42 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Reads the configuration from the environment.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a message naming the variable on any malformed
-    /// value — the daemon must not boot with a silently different
-    /// configuration than the operator asked for.
-    pub fn from_env() -> Self {
+    /// A message naming the variable on any malformed value — the
+    /// daemon must not boot with a silently different configuration
+    /// than the operator asked for.
+    pub fn try_from_env() -> Result<Self, String> {
         let d = ServeConfig::default();
-        ServeConfig {
+        let positive = |name: &str| parse_positive(name, env_raw(name).as_deref());
+        let millis = |name: &str, default: Duration| -> Result<Duration, String> {
+            Ok(positive(name)?
+                .map(|ms| Duration::from_millis(ms as u64))
+                .unwrap_or(default))
+        };
+        Ok(ServeConfig {
             addr: std::env::var("UNICO_SERVE_ADDR").unwrap_or(d.addr),
-            workers: parse_positive(
-                "UNICO_SERVE_WORKERS",
-                env_raw("UNICO_SERVE_WORKERS").as_deref(),
-            )
-            .unwrap_or_else(|e| panic!("{e}"))
-            .unwrap_or(d.workers),
+            workers: positive("UNICO_SERVE_WORKERS")?.unwrap_or(d.workers),
             state_dir: std::env::var_os("UNICO_SERVE_STATE_DIR")
                 .map(PathBuf::from)
                 .unwrap_or(d.state_dir),
-            max_body: parse_positive(
-                "UNICO_SERVE_MAX_BODY",
-                env_raw("UNICO_SERVE_MAX_BODY").as_deref(),
-            )
-            .unwrap_or_else(|e| panic!("{e}"))
-            .unwrap_or(d.max_body),
-        }
+            max_body: positive("UNICO_SERVE_MAX_BODY")?.unwrap_or(d.max_body),
+            head_timeout: millis("UNICO_SERVE_HEAD_TIMEOUT_MS", d.head_timeout)?,
+            idle_timeout: millis("UNICO_SERVE_IDLE_TIMEOUT_MS", d.idle_timeout)?,
+            subscriber_queue_max: positive("UNICO_SERVE_SUBSCRIBER_QUEUE")?
+                .unwrap_or(d.subscriber_queue_max),
+        })
+    }
+
+    /// [`ServeConfig::try_from_env`], panicking on malformed values
+    /// (kept for tests and embedders; the daemon binary reports the
+    /// error and exits nonzero instead).
+    ///
+    /// # Panics
+    ///
+    /// On any malformed `UNICO_SERVE_*` value.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -407,5 +434,13 @@ mod tests {
             let err = parse_positive("UNICO_SERVE_WORKERS", Some(bad)).expect_err(bad);
             assert!(err.contains("UNICO_SERVE_WORKERS"), "{err}");
         }
+    }
+
+    #[test]
+    fn serve_config_defaults_cover_the_connection_lifecycle() {
+        let d = ServeConfig::default();
+        assert_eq!(d.head_timeout, Duration::from_secs(10));
+        assert_eq!(d.idle_timeout, Duration::from_secs(60));
+        assert_eq!(d.subscriber_queue_max, 256 * 1024);
     }
 }

@@ -139,6 +139,48 @@ proptest! {
         );
     }
 
+    /// Request smuggling: a message carrying two Content-Length
+    /// headers is rejected with 400 for EVERY pair of values —
+    /// agreeing, conflicting, zero, whatever — and for every placement
+    /// relative to other headers. No value pair may ever parse.
+    #[test]
+    fn duplicate_content_lengths_always_reject(
+        first in 0usize..64,
+        second in 0usize..64,
+        pad_headers in 0usize..4,
+    ) {
+        let body = "x".repeat(first.max(second));
+        let mut raw = String::from("POST /v1/jobs HTTP/1.1\r\n");
+        for i in 0..pad_headers {
+            raw.push_str(&format!("x-pad{i}: y\r\n"));
+        }
+        raw.push_str(&format!(
+            "content-length: {first}\r\ncontent-length: {second}\r\n\r\n{body}"
+        ));
+        let err = parse_request(raw.as_bytes(), &limits()).expect_err("duplicate CL must reject");
+        prop_assert_eq!(err.status(), 400);
+    }
+
+    /// Request smuggling: any non-digit byte inside a Content-Length
+    /// value (signs, separators, hex prefixes, folded lists) is a 400,
+    /// as is any value that overflows usize.
+    #[test]
+    fn malformed_content_lengths_always_reject(
+        n in 0usize..1000,
+        junk_idx in 0usize..7,
+    ) {
+        let junk = ["+", "-", " 1, ", ",", "0x", "e3", "."];
+        let value = format!("{n}{}{n}", junk[junk_idx % junk.len()]);
+        let raw = format!("POST / HTTP/1.1\r\ncontent-length: {value}\r\n\r\n");
+        let err = parse_request(raw.as_bytes(), &limits()).expect_err("non-digit CL must reject");
+        prop_assert_eq!(err.status(), 400);
+
+        // Overflowing usize is a 400, not a capacity panic.
+        let overflow = format!("POST / HTTP/1.1\r\ncontent-length: {}{n:03}\r\n\r\n", usize::MAX);
+        let err = parse_request(overflow.as_bytes(), &limits()).expect_err("overflow CL");
+        prop_assert_eq!(err.status(), 400);
+    }
+
     /// Chunked NDJSON framing: however the event lines are sliced into
     /// chunks, the decoded stream is newline-delimited JSON, one
     /// document per line, ending with a `done` event.
