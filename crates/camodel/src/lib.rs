@@ -55,4 +55,6 @@ pub use config::{AscendConfig, AscendSpace};
 pub use dfsearch::DepthFirstFusionSearch;
 pub use pipeline::{PipelineSim, StageSpec};
 pub use platform::AscendPlatform;
-pub use sim::{ascend_eval_key, AscendBreakdown, AscendModel, AscendTech, BoundAscendCost};
+pub use sim::{
+    ascend_eval_key, ascend_key_prefix, AscendBreakdown, AscendModel, AscendTech, BoundAscendCost,
+};

@@ -327,6 +327,7 @@ pub struct BoundAscendCost<'a> {
     hw: AscendConfig,
     nest: LoopNest,
     cache: Option<&'a EvalCache>,
+    batch_eval: bool,
 }
 
 impl<'a> BoundAscendCost<'a> {
@@ -337,12 +338,20 @@ impl<'a> BoundAscendCost<'a> {
             hw,
             nest,
             cache: None,
+            batch_eval: true,
         }
     }
 
     /// Memoizes evaluations in `cache`.
     pub fn with_cache(mut self, cache: Option<&'a EvalCache>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Enables or disables the batched cache path (`true` by default;
+    /// see `UNICO_BATCH_EVAL`).
+    pub fn with_batch_eval(mut self, enabled: bool) -> Self {
+        self.batch_eval = enabled;
         self
     }
 
@@ -366,6 +375,16 @@ impl<'a> BoundAscendCost<'a> {
 /// tile extents alone and order permutations of the same tiling hit the
 /// same entry.
 pub fn ascend_eval_key(hw: &AscendConfig, mapping: &Mapping, nest: &LoopNest) -> EvalKey {
+    let mut b = ascend_key_prefix(hw, nest);
+    b.mapping_tiles(mapping, nest);
+    b.finish()
+}
+
+/// The hardware + nest prefix of [`ascend_eval_key`], shared by every
+/// mapping of one `(hw, nest)` binding. Batch lookups clone it per
+/// candidate instead of re-hashing the 13 configuration words and the
+/// nest each time.
+pub fn ascend_key_prefix(hw: &AscendConfig, nest: &LoopNest) -> EvalKeyBuilder {
     let mut b = EvalKeyBuilder::new(EngineTag::Ascend);
     for w in [
         hw.cube_m,
@@ -384,20 +403,49 @@ pub fn ascend_eval_key(hw: &AscendConfig, mapping: &Mapping, nest: &LoopNest) ->
     ] {
         b.word(u64::from(w));
     }
-    b.nest(nest).mapping_tiles(mapping, nest);
-    b.finish()
+    b.nest(nest);
+    b
+}
+
+fn outcome(r: Result<Ppa, EvalError>) -> Option<MappingOutcome> {
+    match r {
+        Ok(ppa) => Some(MappingOutcome {
+            loss: ppa.latency_s,
+            latency_s: ppa.latency_s,
+            power_mw: ppa.power_mw,
+        }),
+        Err(_) => None,
+    }
 }
 
 impl MappingCost for BoundAscendCost<'_> {
     fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome> {
-        match self.evaluate_cached(mapping) {
-            Ok(ppa) => Some(MappingOutcome {
-                loss: ppa.latency_s,
-                latency_s: ppa.latency_s,
-                power_mw: ppa.power_mw,
-            }),
-            Err(_) => None,
-        }
+        outcome(self.evaluate_cached(mapping))
+    }
+
+    fn assess_batch(&self, mappings: &[Mapping]) -> Vec<Option<MappingOutcome>> {
+        let Some(cache) = self.cache.filter(|_| self.batch_eval) else {
+            // Without a cache there is nothing to amortize for the cycle
+            // model (it reads the Mapping struct directly), so fall back
+            // to the scalar loop — bitwise the same by definition.
+            return mappings.iter().map(|m| self.assess(m)).collect();
+        };
+        let prefix = ascend_key_prefix(&self.hw, &self.nest);
+        let keys: Vec<EvalKey> = mappings
+            .iter()
+            .map(|m| {
+                let mut kb = prefix.clone();
+                kb.mapping_tiles(m, &self.nest);
+                kb.finish()
+            })
+            .collect();
+        cache
+            .get_or_compute_batch(&keys, |i| {
+                self.model.evaluate(&self.hw, &mappings[i], &self.nest)
+            })
+            .into_iter()
+            .map(outcome)
+            .collect()
     }
 
     fn eval_cost_seconds(&self) -> f64 {

@@ -242,6 +242,25 @@ pub struct CacheSnapshot {
     pub trace: String,
 }
 
+/// Surrogate hyperparameter state carried by a checkpoint: enough for a
+/// resumed run to rebuild the GP factorization with
+/// `fit_with_hypers` (zero RNG draws) bit-identical to the
+/// incrementally grown factor of an uninterrupted run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpHypers {
+    /// Kernel length scale of the last accepted fit.
+    pub length_scale: f64,
+    /// Kernel signal variance of the last accepted fit.
+    pub variance: f64,
+    /// Observation-noise/jitter level of the current factorization
+    /// (post jitter-escalation, so a rebuild starts where the live
+    /// factor ended).
+    pub noise: f64,
+    /// Training-set size at the last **full** (hyper-search) fit; the
+    /// outer loop re-runs a full fit once the set doubles past this.
+    pub fitted_n: usize,
+}
+
 /// A complete snapshot of the UNICO outer loop at an iteration
 /// boundary (schema [`SCHEMA`]).
 #[derive(Debug, Clone)]
@@ -284,6 +303,10 @@ pub struct Checkpoint {
     pub counters: BTreeMap<String, u64>,
     /// Evaluation-cache state, when a cache is attached.
     pub cache: Option<CacheSnapshot>,
+    /// Surrogate hyperparameter state, when a GP fit has been accepted.
+    /// Absent in checkpoints written before the field existed; such
+    /// files still parse (the resumed run simply performs a full fit).
+    pub gp: Option<GpHypers>,
 }
 
 impl Checkpoint {
@@ -387,6 +410,17 @@ impl Checkpoint {
                 c.misses,
                 c.evictions,
                 string(&c.trace)
+            )),
+        }
+        o.push_str(",\"gp\":");
+        match &self.gp {
+            None => o.push_str("null"),
+            Some(g) => o.push_str(&format!(
+                "{{\"length_scale\":{},\"variance\":{},\"noise\":{},\"fitted_n\":{}}}",
+                bits(g.length_scale),
+                bits(g.variance),
+                bits(g.noise),
+                g.fitted_n
             )),
         }
         o.push('}');
@@ -519,6 +553,20 @@ impl Checkpoint {
                 })
             }
         };
+        // Lenient lookup: checkpoints written before the `gp` field
+        // existed omit it entirely and must keep parsing.
+        let gp = match top.iter().find(|(k, _)| k == "gp").map(|(_, v)| v) {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let g = v.as_obj("gp")?;
+                Some(GpHypers {
+                    length_scale: get(g, "length_scale")?.as_f64_bits("gp length_scale")?,
+                    variance: get(g, "variance")?.as_f64_bits("gp variance")?,
+                    noise: get(g, "noise")?.as_f64_bits("gp noise")?,
+                    fitted_n: get(g, "fitted_n")?.as_usize("gp fitted_n")?,
+                })
+            }
+        };
         Ok(Checkpoint {
             config,
             platform: get(top, "platform")?.as_str("platform")?.to_string(),
@@ -537,6 +585,7 @@ impl Checkpoint {
             networks,
             counters,
             cache,
+            gp,
         })
     }
 
@@ -959,6 +1008,12 @@ mod tests {
                 evictions: 0,
                 trace: "unico.evalcache.trace.v1\ncount 0\n".to_string(),
             }),
+            gp: Some(GpHypers {
+                length_scale: 0.75,
+                variance: 1.25,
+                noise: 1e-5,
+                fitted_n: 16,
+            }),
         }
     }
 
@@ -976,6 +1031,20 @@ mod tests {
         assert_eq!(back.evaluations[1].assessment, None);
         assert_eq!(back.config.seed, 7);
         assert_eq!(back.cache.as_ref().unwrap().misses, 7);
+        let gp = back.gp.expect("gp hypers survive the round trip");
+        assert_eq!(gp.length_scale.to_bits(), 0.75f64.to_bits());
+        assert_eq!(gp.noise.to_bits(), 1e-5f64.to_bits());
+        assert_eq!(gp.fitted_n, 16);
+    }
+
+    #[test]
+    fn checkpoint_without_gp_field_still_parses() {
+        // Files written before the `gp` field existed omit it entirely.
+        let mut ck = sample();
+        ck.gp = None;
+        let json = ck.to_json().replace(",\"gp\":null", "");
+        let back = Checkpoint::from_json(&json).expect("legacy checkpoint parses");
+        assert!(back.gp.is_none());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod report;
 pub mod robustness;
 mod unico;
 
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, DirScan};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, DirScan, GpHypers};
 pub use unico::{
     HwRecord, IterationUpdate, RunObserver, RunOptions, Unico, UnicoConfig, UnicoResult,
 };

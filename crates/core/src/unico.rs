@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use unico_model::{EvalCache, Platform};
+use unico_model::{BatchStats, EvalCache, Platform};
 use unico_search::sh::{self, ShConfig};
 use unico_search::{
     Assessment, CacheReport, CacheStats, CoSearchEnv, Counter, FaultContext, HwSession,
@@ -19,7 +19,7 @@ use unico_surrogate::{select_batch, AcquisitionKind, GaussianProcess, KernelKind
 
 use crate::checkpoint::{
     CacheSnapshot, Checkpoint, CheckpointError, CheckpointPolicy, EvalSnapshot, FrontEntry,
-    NetworkSnapshot, TraceSnapshot,
+    GpHypers, NetworkSnapshot, TraceSnapshot,
 };
 use crate::robustness::aggregate_robustness;
 
@@ -304,6 +304,16 @@ struct LoopState<H> {
     hf_ys: Vec<Vec<f64>>,
     accepted_d: Vec<f64>,
     uul: f64,
+    /// Live surrogate carried across iterations so acquisition rounds
+    /// extend the existing Cholesky factor instead of refitting from
+    /// scratch. `None` until the first successful fit and after any
+    /// event that invalidates the factor (HF-set drain, fit failure,
+    /// resume from checkpoint).
+    gp: Option<GaussianProcess>,
+    /// Hyperparameters of the last accepted fit plus the training-set
+    /// size at the last full hyper search; drives the full-vs-
+    /// incremental decision and survives checkpoints.
+    gp_hypers: Option<GpHypers>,
     /// Counter totals restored from a checkpoint (empty on a fresh
     /// run); seeded into the run's telemetry before the loop starts.
     baseline_counters: BTreeMap<String, u64>,
@@ -328,6 +338,8 @@ impl<H> LoopState<H> {
             hf_ys: Vec::new(),
             accepted_d: Vec::new(),
             uul: f64::INFINITY,
+            gp: None,
+            gp_hypers: None,
             baseline_counters: BTreeMap::new(),
             cache_baseline: None,
         }
@@ -393,6 +405,12 @@ fn restore_state<P: Platform>(
         hf_ys: ck.hf_ys.clone(),
         accepted_d: ck.accepted_d.clone(),
         uul: ck.uul,
+        // The factorization itself is not serialized; the first
+        // acquisition round after a resume rebuilds it from the stored
+        // hypers via `fit_with_hypers` (zero RNG draws), which is
+        // bit-identical to the factor an uninterrupted run carries.
+        gp: None,
+        gp_hypers: ck.gp,
         baseline_counters: ck.counters.clone(),
         cache_baseline: ck.cache.as_ref().map(|c| (c.hits, c.misses, c.evictions)),
     })
@@ -405,6 +423,7 @@ fn restore_state<P: Platform>(
 /// exclude `engine_threads_spawned` (a resumed run spawns its own
 /// pool), so a resumed run's totals line up exactly with an
 /// uninterrupted run's.
+#[allow(clippy::too_many_arguments)]
 fn build_checkpoint<P: Platform>(
     cfg: &UnicoConfig,
     env: &CoSearchEnv<'_, P>,
@@ -413,10 +432,15 @@ fn build_checkpoint<P: Platform>(
     telemetry: &Telemetry,
     engine: &MappingEngine,
     cache_start: Option<&CacheStats>,
+    batch_start: Option<&BatchStats>,
 ) -> Checkpoint {
     let platform = env.platform();
     let cache_delta = match (platform.eval_cache(), cache_start) {
         (Some(c), Some(start)) => Some((c.stats().delta_since(start), c.to_trace())),
+        _ => None,
+    };
+    let batch_delta = match (platform.eval_cache(), batch_start) {
+        (Some(c), Some(start)) => Some(c.batch_stats().delta_since(start)),
         _ => None,
     };
     let m = engine.metrics();
@@ -433,6 +457,8 @@ fn build_checkpoint<P: Platform>(
             Counter::CacheHits => cache_delta.as_ref().map_or(0, |(d, _)| d.hits),
             Counter::CacheMisses => cache_delta.as_ref().map_or(0, |(d, _)| d.misses),
             Counter::CacheEvictions => cache_delta.as_ref().map_or(0, |(d, _)| d.evictions),
+            Counter::CacheBatchLookups => batch_delta.as_ref().map_or(0, |d| d.lookups),
+            Counter::CacheBatchKeys => batch_delta.as_ref().map_or(0, |d| d.keys),
             _ => 0,
         };
         counters.insert(c.name().to_string(), telemetry.get(c) + extra);
@@ -496,6 +522,7 @@ fn build_checkpoint<P: Platform>(
             evictions: base_e + d.evictions,
             trace,
         }),
+        gp: st.gp_hypers,
     }
 }
 
@@ -673,6 +700,7 @@ impl Unico {
         }
         let engine = MappingEngine::new((cfg.workers as usize).max(1));
         let cache_start = env.platform().eval_cache().map(EvalCache::stats);
+        let batch_start = env.platform().eval_cache().map(EvalCache::batch_stats);
         let mut guard = CheckpointGuard::default();
         let mut iterations_done = st.start_iter;
         let mut cancelled = false;
@@ -697,6 +725,8 @@ impl Unico {
                     &mut st.rng,
                     &mut st.clock,
                     &telemetry,
+                    &mut st.gp,
+                    &mut st.gp_hypers,
                 )
             });
 
@@ -809,6 +839,11 @@ impl Unico {
                         let drop = st.hf_xs.len() - HF_CAP;
                         st.hf_xs.drain(..drop);
                         st.hf_ys.drain(..drop);
+                        // Dropping leading rows invalidates the carried
+                        // Cholesky factor (it extends by appends only);
+                        // force a full refit next round.
+                        st.gp = None;
+                        st.gp_hypers = None;
                     }
                 } else if let Some(&(rec_idx, ys_idx)) = feasible_batch.iter().min_by(|a, b| {
                     scalars[a.1]
@@ -837,6 +872,7 @@ impl Unico {
                     &telemetry,
                     &engine,
                     cache_start.as_ref(),
+                    batch_start.as_ref(),
                 );
                 guard.arm(snap, policy.path.clone());
                 if opts.kill_after == Some(done) {
@@ -865,6 +901,11 @@ impl Unico {
         telemetry.add(Counter::EngineBatches, m.batches);
         telemetry.add(Counter::EnginePanics, m.panics_contained);
         telemetry.add(Counter::EngineThreadsSpawned, m.threads_spawned);
+        if let (Some(cache), Some(start)) = (env.platform().eval_cache(), batch_start) {
+            let d = cache.batch_stats().delta_since(&start);
+            telemetry.add(Counter::CacheBatchLookups, d.lookups);
+            telemetry.add(Counter::CacheBatchKeys, d.keys);
+        }
         let cache_delta = match (env.platform().eval_cache(), cache_start) {
             (Some(cache), Some(start)) => {
                 let d = cache.stats().delta_since(&start);
@@ -913,6 +954,8 @@ impl Unico {
         rng: &mut StdRng,
         clock: &mut SimClock,
         telemetry: &Telemetry,
+        gp_slot: &mut Option<GaussianProcess>,
+        gp_hypers: &mut Option<GpHypers>,
     ) -> Vec<P::Hw> {
         let cfg = &self.cfg;
         let n_random = ((cfg.batch as f64) * cfg.random_fraction).ceil() as usize;
@@ -927,9 +970,57 @@ impl Unico {
                 .map(|y| parego(y, &weights, cfg.rho))
                 .collect();
             let best = targets.iter().copied().fold(f64::INFINITY, f64::min);
-            let mut gp = GaussianProcess::new(KernelKind::Matern52, env.platform().feature_dim());
-            let fitted = telemetry.time("gp_fit", || gp.fit(hf_xs, &targets, rng).is_ok());
+            // Full hyper-search fits are only re-run once the training
+            // set has doubled since the last one; in between, rounds
+            // reuse the accepted hypers and extend the carried Cholesky
+            // factor row-by-row (or rebuild it with zero RNG draws
+            // after a resume, which is bit-identical).
+            let needs_full = gp_hypers.is_none_or(|h| hf_xs.len() >= 2 * h.fitted_n);
             telemetry.add(Counter::GpFits, 1);
+            let fitted = if needs_full {
+                let mut gp =
+                    GaussianProcess::new(KernelKind::Matern52, env.platform().feature_dim());
+                let ok = telemetry.time("gp_fit", || gp.fit(hf_xs, &targets, rng).is_ok());
+                if ok {
+                    *gp_hypers = Some(GpHypers {
+                        length_scale: gp.kernel().length_scale(),
+                        variance: gp.kernel().variance(),
+                        noise: gp.noise(),
+                        fitted_n: hf_xs.len(),
+                    });
+                    *gp_slot = Some(gp);
+                } else {
+                    *gp_slot = None;
+                    *gp_hypers = None;
+                }
+                ok
+            } else {
+                telemetry.add(Counter::GpFitsIncremental, 1);
+                let h = gp_hypers.as_mut().expect("needs_full is false");
+                let mut gp = match gp_slot.take() {
+                    Some(gp) if !gp.is_empty() => gp,
+                    _ => GaussianProcess::new(KernelKind::Matern52, env.platform().feature_dim()),
+                };
+                let ok = telemetry.time("gp_fit", || {
+                    if !gp.is_empty() {
+                        gp.fit_incremental(hf_xs, &targets).is_ok()
+                    } else {
+                        gp.fit_with_hypers(hf_xs, &targets, h.length_scale, h.variance, h.noise)
+                            .is_ok()
+                    }
+                });
+                if ok {
+                    // The jitter ladder may have escalated the noise;
+                    // store the post-fit level so a checkpoint/resume
+                    // rebuild starts where the live factor ended.
+                    h.noise = gp.noise();
+                    *gp_slot = Some(gp);
+                } else {
+                    *gp_slot = None;
+                    *gp_hypers = None;
+                }
+                ok
+            };
             if fitted {
                 clock.charge_sequential(2.0);
                 let n_local = if front_hw.is_empty() {
@@ -949,6 +1040,7 @@ impl Unico {
                     pool.push(cand);
                 }
                 let feats: Vec<Vec<f64>> = pool.iter().map(|h| env.platform().encode(h)).collect();
+                let gp = gp_slot.clone().expect("fitted implies a carried GP");
                 let picks = telemetry.time("acquisition", || {
                     select_batch(
                         gp,

@@ -121,42 +121,75 @@ impl CanonicalMapping {
     pub fn of(mapping: &Mapping, nest: &LoopNest) -> Self {
         let l1_trips = mapping.l1_trip_counts();
         let l2_trips = mapping.l2_trip_counts(nest);
+        let mut buf = [Dim::N; DIM_COUNT];
+        let len = Self::order_into(
+            &mapping.order(),
+            &l1_trips,
+            &l2_trips,
+            nest.is_depthwise(),
+            &mut buf,
+        );
+        CanonicalMapping {
+            l2_tile: mapping.l2_tile(),
+            l1_tile: mapping.l1_tile(),
+            order: buf[..len].to_vec(),
+            spatial: mapping.spatial(),
+        }
+    }
+
+    /// Computes only the canonical temporal order into a caller-provided
+    /// stack buffer, returning its length — the allocation-free core of
+    /// [`CanonicalMapping::of`], for batched cache-key building where the
+    /// trip counts are already at hand.
+    ///
+    /// `buf[..len]` holds `order` with unit loops (trip count 1 at both
+    /// levels) removed and maximal reduction runs sorted; see the module
+    /// docs for why both rewrites are engine-neutral.
+    pub fn order_into(
+        order: &[Dim; DIM_COUNT],
+        l1_trips: &[u64; DIM_COUNT],
+        l2_trips: &[u64; DIM_COUNT],
+        depthwise: bool,
+        buf: &mut [Dim; DIM_COUNT],
+    ) -> usize {
         // Unit loops: trip count 1 at both levels contributes to neither
         // the L1- nor the L2-level traffic sweep.
-        let mut order: Vec<Dim> = mapping
-            .order()
-            .iter()
-            .copied()
-            .filter(|d| l1_trips[d.index()] > 1 || l2_trips[d.index()] > 1)
-            .collect();
-        // Reduction-run sorting. For depthwise nests the input tensor
-        // depends on R/S but not C, so C is excluded from runs to keep
-        // every run homogeneous per tensor.
+        let mut len = 0usize;
+        for &d in order {
+            if l1_trips[d.index()] > 1 || l2_trips[d.index()] > 1 {
+                buf[len] = d;
+                len += 1;
+            }
+        }
+        Self::sort_reduction_runs(&mut buf[..len], depthwise);
+        len
+    }
+
+    /// Sorts maximal contiguous reduction runs of a unit-loop-free order
+    /// into canonical dim order, in place. For depthwise nests the input
+    /// tensor depends on R/S but not C, so C is excluded from runs to
+    /// keep every run homogeneous per tensor.
+    fn sort_reduction_runs(buf: &mut [Dim], depthwise: bool) {
         let sortable = |d: Dim| {
-            if nest.is_depthwise() {
+            if depthwise {
                 matches!(d, Dim::R | Dim::S)
             } else {
                 d.is_reduction()
             }
         };
+        let len = buf.len();
         let mut i = 0;
-        while i < order.len() {
-            if sortable(order[i]) {
+        while i < len {
+            if sortable(buf[i]) {
                 let mut j = i;
-                while j < order.len() && sortable(order[j]) {
+                while j < len && sortable(buf[j]) {
                     j += 1;
                 }
-                order[i..j].sort_by_key(|d| d.index());
+                buf[i..j].sort_by_key(|d| d.index());
                 i = j;
             } else {
                 i += 1;
             }
-        }
-        CanonicalMapping {
-            l2_tile: mapping.l2_tile(),
-            l1_tile: mapping.l1_tile(),
-            order,
-            spatial: mapping.spatial(),
         }
     }
 
@@ -203,6 +236,46 @@ impl CanonicalMapping {
         for t in self.l1_tile {
             h.write_u64(t);
         }
+    }
+
+    /// Allocation-free equivalent of
+    /// `CanonicalMapping::of(mapping, nest).hash_into(h)`: canonicalizes
+    /// the temporal order into a stack buffer and streams the identical
+    /// bytes. This is the hot path of cache-key building — one call per
+    /// candidate per cohort — where the `order` vec of
+    /// [`CanonicalMapping::of`] would be a per-candidate heap
+    /// allocation. Byte-equality with the materialized form is pinned
+    /// by a unit test.
+    pub fn hash_mapping_into(mapping: &Mapping, nest: &LoopNest, h: &mut StableHasher) {
+        let l2_tile = mapping.l2_tile();
+        let l1_tile = mapping.l1_tile();
+        for t in l2_tile {
+            h.write_u64(t);
+        }
+        for t in l1_tile {
+            h.write_u64(t);
+        }
+        // Unit-loop test without trip-count divisions: for b >= 1,
+        // `a.div_ceil(b) > 1` iff `a > b`, so an L1 trip count exceeds 1
+        // iff the L2 tile out-sizes the L1 tile, and an L2 trip count
+        // exceeds 1 iff the nest extent out-sizes the L2 tile.
+        let ext = nest.extents();
+        let mut buf = [Dim::N; DIM_COUNT];
+        let mut len = 0usize;
+        for &d in &mapping.order() {
+            let i = d.index();
+            if l2_tile[i] > l1_tile[i] || ext[i] > l2_tile[i] {
+                buf[len] = d;
+                len += 1;
+            }
+        }
+        Self::sort_reduction_runs(&mut buf[..len], nest.is_depthwise());
+        h.write_u64(len as u64);
+        for d in &buf[..len] {
+            h.write_u8(d.index() as u8);
+        }
+        h.write_u8(mapping.spatial().0.index() as u8);
+        h.write_u8(mapping.spatial().1.index() as u8);
     }
 }
 
@@ -257,6 +330,35 @@ mod tests {
         h2.write_u64(0);
         h2.write_u64(1);
         assert_ne!(h1.finish128(), h2.finish128());
+    }
+
+    #[test]
+    fn allocation_free_hash_matches_materialized_form() {
+        use crate::space::MappingSpace;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for n in [
+            nest(),
+            LoopNest::new([1, 8, 4, 8, 8, 3, 3]).into_depthwise(),
+        ] {
+            let space = MappingSpace::new(&n);
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..64 {
+                let m = space.sample(&mut rng);
+                let mut ha = StableHasher::new();
+                CanonicalMapping::of(&m, &n).hash_into(&mut ha);
+                let mut hb = StableHasher::new();
+                CanonicalMapping::hash_mapping_into(&m, &n, &mut hb);
+                assert_eq!(ha.finish128(), hb.finish128(), "mapping {m:?}");
+            }
+            // The identity mapping exercises the empty canonical order.
+            let m = Mapping::identity(&n);
+            let mut ha = StableHasher::new();
+            CanonicalMapping::of(&m, &n).hash_into(&mut ha);
+            let mut hb = StableHasher::new();
+            CanonicalMapping::hash_mapping_into(&m, &n, &mut hb);
+            assert_eq!(ha.finish128(), hb.finish128());
+        }
     }
 
     #[test]

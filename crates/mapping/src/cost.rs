@@ -26,6 +26,18 @@ pub trait MappingCost {
     /// Scores a mapping; `None` if infeasible on this hardware.
     fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome>;
 
+    /// Scores a whole batch of candidates, element `i` of the result
+    /// corresponding to `mappings[i]`.
+    ///
+    /// The default loops [`MappingCost::assess`]; PPA-backed adapters
+    /// override it with a structure-of-arrays path that amortizes
+    /// per-batch invariants and cache locking. Overrides must return
+    /// exactly what per-candidate `assess` calls in slice order would —
+    /// searchers rely on this for bitwise-reproducible runs.
+    fn assess_batch(&self, mappings: &[Mapping]) -> Vec<Option<MappingOutcome>> {
+        mappings.iter().map(|m| self.assess(m)).collect()
+    }
+
     /// Simulated wall-clock seconds one `assess` call costs (used for
     /// search-cost accounting). Analytical models are fractions of a
     /// second; cycle-accurate models minutes.
@@ -37,6 +49,10 @@ pub trait MappingCost {
 impl<T: MappingCost + ?Sized> MappingCost for &T {
     fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome> {
         (**self).assess(mapping)
+    }
+
+    fn assess_batch(&self, mappings: &[Mapping]) -> Vec<Option<MappingOutcome>> {
+        (**self).assess_batch(mappings)
     }
 
     fn eval_cost_seconds(&self) -> f64 {

@@ -47,6 +47,33 @@ impl Incumbent {
     }
 }
 
+/// Candidate chunk size for the batch-assessing searchers (random and
+/// genetic). Candidate *generation* consumes the RNG and assessment does
+/// not, so generating a chunk up front and batch-assessing it produces
+/// the same RNG stream, history and incumbent as the scalar interleaving
+/// — only the evaluation throughput changes.
+const ASSESS_CHUNK: usize = 64;
+
+/// Offers each `(mapping, outcome)` pair to the incumbent and pushes it
+/// onto the history, in slice order — the shared tail of scalar and
+/// batched assessment.
+fn record_outcomes(
+    candidates: &[Mapping],
+    outcomes: Vec<Option<MappingOutcome>>,
+    incumbent: &mut Incumbent,
+    history: &mut SearchHistory,
+) {
+    for (m, o) in candidates.iter().zip(outcomes) {
+        match o {
+            Some(o) => {
+                incumbent.offer(m, o);
+                history.push(o);
+            }
+            None => history.push_infeasible(),
+        }
+    }
+}
+
 /// Uniform random mapping search (the weakest sensible baseline).
 #[derive(Debug)]
 pub struct RandomSearch {
@@ -71,14 +98,18 @@ impl RandomSearch {
 impl MappingSearcher for RandomSearch {
     fn run_until(&mut self, cost: &dyn MappingCost, budget: u64) {
         while self.history.spent() < budget {
-            let m = self.space.sample(&mut self.rng);
-            match cost.assess(&m) {
-                Some(o) => {
-                    self.incumbent.offer(&m, o);
-                    self.history.push(o);
-                }
-                None => self.history.push_infeasible(),
-            }
+            let n = usize::try_from(budget - self.history.spent())
+                .unwrap_or(usize::MAX)
+                .min(ASSESS_CHUNK);
+            let candidates: Vec<Mapping> =
+                (0..n).map(|_| self.space.sample(&mut self.rng)).collect();
+            let outcomes = cost.assess_batch(&candidates);
+            record_outcomes(
+                &candidates,
+                outcomes,
+                &mut self.incumbent,
+                &mut self.history,
+            );
         }
     }
 
@@ -94,6 +125,11 @@ impl MappingSearcher for RandomSearch {
 /// FlexTensor-style simulated-annealing search: a random walk over
 /// mapping mutations with a temperature schedule, restarting from the
 /// incumbent when stuck.
+///
+/// Annealing assesses candidates one at a time by construction: each
+/// proposal and accept decision consumes RNG conditioned on the previous
+/// outcome, so there is no batch of independent candidates to hand to
+/// [`MappingCost::assess_batch`] without changing the RNG stream.
 #[derive(Debug)]
 pub struct AnnealingSearch {
     space: MappingSpace,
@@ -266,18 +302,30 @@ impl GeneticSearch {
         }
     }
 
-    fn evaluate(&mut self, m: Mapping, cost: &dyn MappingCost) -> (Mapping, f64) {
-        match cost.assess(&m) {
-            Some(o) => {
-                self.incumbent.offer(&m, o);
-                self.history.push(o);
-                (m, o.loss)
-            }
-            None => {
-                self.history.push_infeasible();
-                (m, f64::INFINITY)
-            }
-        }
+    /// Batch-assesses one generation's candidates, recording outcomes in
+    /// candidate order (identical to per-candidate assessment: the RNG is
+    /// only consumed by candidate *generation*, which happened already).
+    fn assess_generation(
+        &mut self,
+        candidates: Vec<Mapping>,
+        cost: &dyn MappingCost,
+    ) -> Vec<(Mapping, f64)> {
+        let outcomes = cost.assess_batch(&candidates);
+        candidates
+            .into_iter()
+            .zip(outcomes)
+            .map(|(m, o)| match o {
+                Some(o) => {
+                    self.incumbent.offer(&m, o);
+                    self.history.push(o);
+                    (m, o.loss)
+                }
+                None => {
+                    self.history.push_infeasible();
+                    (m, f64::INFINITY)
+                }
+            })
+            .collect()
     }
 
     fn tournament_pick(&mut self) -> Mapping {
@@ -295,11 +343,15 @@ impl GeneticSearch {
 
 impl MappingSearcher for GeneticSearch {
     fn run_until(&mut self, cost: &dyn MappingCost, budget: u64) {
-        // Seed generation.
+        // Seed generation: sample the whole missing cohort first, then
+        // batch-assess it (identical RNG stream and history order to the
+        // scalar interleaving).
         while self.population.len() < self.cfg.population && self.history.spent() < budget {
-            let m = self.space.sample(&mut self.rng);
-            let scored = self.evaluate(m, cost);
-            self.population.push(scored);
+            let n = (self.cfg.population - self.population.len())
+                .min(usize::try_from(budget - self.history.spent()).unwrap_or(usize::MAX));
+            let seeds: Vec<Mapping> = (0..n).map(|_| self.space.sample(&mut self.rng)).collect();
+            let scored = self.assess_generation(seeds, cost);
+            self.population.extend(scored);
         }
         while self.history.spent() < budget {
             // Build the next generation, spending at most the remaining
@@ -316,16 +368,25 @@ impl MappingSearcher for GeneticSearch {
                 next.push(self.population[i].clone());
             }
             while next.len() < self.cfg.population && self.history.spent() < budget {
-                let child = if self.rng.gen_bool(self.cfg.crossover_rate) {
-                    let a = self.tournament_pick();
-                    let b = self.tournament_pick();
-                    self.space.crossover(&mut self.rng, &a, &b)
-                } else {
-                    let p = self.tournament_pick();
-                    self.space.mutate(&mut self.rng, &p)
-                };
-                let scored = self.evaluate(child, cost);
-                next.push(scored);
+                // Children derive from the *previous* generation only
+                // (tournaments read `self.population`), so a whole
+                // cohort can be generated before any of it is assessed.
+                let n = (self.cfg.population - next.len())
+                    .min(usize::try_from(budget - self.history.spent()).unwrap_or(usize::MAX));
+                let children: Vec<Mapping> = (0..n)
+                    .map(|_| {
+                        if self.rng.gen_bool(self.cfg.crossover_rate) {
+                            let a = self.tournament_pick();
+                            let b = self.tournament_pick();
+                            self.space.crossover(&mut self.rng, &a, &b)
+                        } else {
+                            let p = self.tournament_pick();
+                            self.space.mutate(&mut self.rng, &p)
+                        }
+                    })
+                    .collect();
+                let scored = self.assess_generation(children, cost);
+                next.extend(scored);
             }
             if next.len() >= self.cfg.elites.max(1) {
                 self.population = next;

@@ -1,9 +1,12 @@
 //! The MAESTRO-like analytical PPA model.
 
-use unico_mapping::{Mapping, MappingCost, MappingOutcome};
+use unico_mapping::{CanonicalMapping, Mapping, MappingCost, MappingOutcome};
 use unico_workloads::{Dim, LoopNest};
 
-use crate::evalcache::{spatial_eval_key, EngineTag, EvalCache};
+use crate::batch::MappingBatch;
+use crate::evalcache::{
+    spatial_eval_key, spatial_key_prefix, EngineTag, EvalCache, EvalKey, EvalResult,
+};
 use crate::hw::{Dataflow, HwConfig};
 use crate::ppa::{EvalError, Ppa};
 use crate::tech::TechParams;
@@ -63,6 +66,10 @@ impl AnalyticalModel {
 
     /// Evaluates PPA, returning the detailed breakdown too.
     ///
+    /// Internally a batch of one: the evaluation body runs over a
+    /// [`MappingBatch`] row, so scalar and batched results are bitwise
+    /// identical by construction.
+    ///
     /// # Errors
     ///
     /// Returns [`EvalError`] when the mapping's working sets do not fit
@@ -74,11 +81,52 @@ impl AnalyticalModel {
         mapping: &Mapping,
         nest: &LoopNest,
     ) -> Result<(Ppa, EvalBreakdown), EvalError> {
-        let t = &self.tech;
-        let b = t.bytes_per_elem;
+        let batch = MappingBatch::build(std::iter::once(mapping), nest, self.tech.bytes_per_elem);
+        self.evaluate_row(hw, &batch, 0, self.area_mm2(hw), nest.macs() as f64)
+    }
 
-        let (sd1, sd2) = mapping.spatial();
-        let l1_tile = mapping.l1_tile();
+    /// Evaluates every row of a candidate batch, hoisting the
+    /// per-`(hw, nest)` invariants (silicon area, MAC count) out of the
+    /// per-candidate loop.
+    pub fn evaluate_batch(&self, hw: &HwConfig, batch: &MappingBatch) -> Vec<EvalResult> {
+        let area = self.area_mm2(hw);
+        let macs = batch.nest().macs() as f64;
+        (0..batch.len())
+            .map(|i| self.evaluate_row(hw, batch, i, area, macs).map(|(p, _)| p))
+            .collect()
+    }
+
+    /// Evaluates batch row `i` given the hoisted invariants: `area_mm2`
+    /// must be `self.area_mm2(hw)` and `macs` the nest's MAC count as
+    /// `f64` — both depend only on `(hw, nest)`, so passing them in
+    /// changes no bits relative to computing them per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Same feasibility rules as [`AnalyticalModel::evaluate_detailed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was built with a different element width than
+    /// this model's technology parameters.
+    pub fn evaluate_row(
+        &self,
+        hw: &HwConfig,
+        batch: &MappingBatch,
+        i: usize,
+        area_mm2: f64,
+        macs: f64,
+    ) -> Result<(Ppa, EvalBreakdown), EvalError> {
+        let t = &self.tech;
+        assert_eq!(
+            batch.bytes_per_elem(),
+            t.bytes_per_elem,
+            "batch built for a different element width"
+        );
+        let nest = batch.nest();
+
+        let (sd1, sd2) = batch.spatial(i);
+        let l1_tile = batch.l1_tile(i);
         let e1 = l1_tile[sd1.index()];
         let e2 = l1_tile[sd2.index()];
         if e1 == 1 && e2 == 1 && hw.num_pes() > 1 {
@@ -87,7 +135,7 @@ impl AnalyticalModel {
         let active_pes = e1.min(u64::from(hw.pe_x())) * e2.min(u64::from(hw.pe_y()));
 
         // --- Buffer feasibility (double buffered). ---
-        let fp1 = mapping.l1_footprint(nest, b);
+        let fp1 = batch.l1_footprint(i);
         let per_pe = fp1.total().div_ceil(active_pes) * 2;
         if per_pe > hw.l1_bytes() {
             return Err(EvalError::L1Overflow {
@@ -95,7 +143,7 @@ impl AnalyticalModel {
                 available: hw.l1_bytes(),
             });
         }
-        let fp2 = mapping.l2_footprint(nest, b);
+        let fp2 = batch.l2_footprint(i);
         let l2_need = fp2.total() * 2;
         if l2_need > hw.l2_bytes() {
             return Err(EvalError::L2Overflow {
@@ -105,8 +153,8 @@ impl AnalyticalModel {
         }
 
         // --- Compute time. ---
-        let t2 = mapping.num_l2_tiles(nest) as f64;
-        let t1 = mapping.num_l1_tiles_per_l2() as f64;
+        let t2 = batch.num_l2_tiles(i) as f64;
+        let t1 = batch.num_l1_tiles_per_l2(i) as f64;
         let mut serial: u64 = 1;
         for d in Dim::ALL {
             if d != sd1 && d != sd2 {
@@ -117,11 +165,11 @@ impl AnalyticalModel {
             * e2.div_ceil(u64::from(hw.pe_y())) as f64
             * serial as f64;
         let compute_cycles = t2 * t1 * cycles_per_l1_tile;
-        let utilization = nest.macs() as f64 / (compute_cycles * hw.num_pes() as f64).max(1.0);
+        let utilization = macs / (compute_cycles * hw.num_pes() as f64).max(1.0);
 
         // --- NoC traffic: L2 -> L1 per L2 tile, summed over L2 tiles. ---
-        let l1_trips = mapping.l1_trip_counts();
-        let order = mapping.order();
+        let l1_trips = batch.l1_trips(i);
+        let order = batch.order(i);
         let stationary = match hw.dataflow() {
             Dataflow::WeightStationary => TensorKind::Weight,
             Dataflow::OutputStationary => TensorKind::Output,
@@ -129,11 +177,11 @@ impl AnalyticalModel {
         let mut noc_bytes_per_l2 = 0.0f64;
         for tensor in TensorKind::ALL {
             let loads = if tensor == stationary {
-                tensor_min_loads(tensor, nest, &l1_trips)
+                tensor_min_loads(tensor, nest, l1_trips)
             } else {
-                tensor_loads(tensor, nest, &l1_trips, &order)
+                tensor_loads(tensor, nest, l1_trips, order)
             } as f64;
-            let min = tensor_min_loads(tensor, nest, &l1_trips) as f64;
+            let min = tensor_min_loads(tensor, nest, l1_trips) as f64;
             let fp = match tensor {
                 TensorKind::Input => fp1.input,
                 TensorKind::Weight => fp1.weight,
@@ -152,11 +200,11 @@ impl AnalyticalModel {
         let noc_cycles = noc_bytes / f64::from(hw.noc_bytes_per_cycle());
 
         // --- DRAM traffic: DRAM -> L2 across L2 tiles. ---
-        let l2_trips = mapping.l2_trip_counts(nest);
+        let l2_trips = batch.l2_trips(i);
         let mut dram_bytes = 0.0f64;
         for tensor in TensorKind::ALL {
-            let loads = tensor_loads(tensor, nest, &l2_trips, &order) as f64;
-            let min = tensor_min_loads(tensor, nest, &l2_trips) as f64;
+            let loads = tensor_loads(tensor, nest, l2_trips, order) as f64;
+            let min = tensor_min_loads(tensor, nest, l2_trips) as f64;
             let fp = match tensor {
                 TensorKind::Input => fp2.input,
                 TensorKind::Weight => fp2.weight,
@@ -178,8 +226,7 @@ impl AnalyticalModel {
         let latency_s = total_cycles / t.clock_hz;
 
         // --- Energy. ---
-        let macs = nest.macs() as f64;
-        let bf = b as f64;
+        let bf = t.bytes_per_elem as f64;
         let per_mac_bytes = |tensor: TensorKind| -> f64 {
             match tensor {
                 TensorKind::Input | TensorKind::Weight => bf,
@@ -195,7 +242,7 @@ impl AnalyticalModel {
             };
             e_local += macs * per_mac_bytes(tensor) * e_per_byte;
         }
-        let area = self.area_mm2(hw);
+        let area = area_mm2;
         let e_mac = macs * t.e_mac_pj;
         let e_noc = noc_bytes * t.e_noc_pj_per_byte;
         let e_l2 = (noc_bytes + dram_bytes) * t.e_l2_pj_per_byte;
@@ -251,6 +298,26 @@ pub enum MappingObjective {
     Edp,
 }
 
+/// Turns a cached/raw evaluation into a searcher outcome under the
+/// chosen objective. Shared by the scalar and batched adapter paths of
+/// both spatial engines.
+pub(crate) fn outcome_of(
+    r: Result<Ppa, EvalError>,
+    objective: MappingObjective,
+) -> Option<MappingOutcome> {
+    match r {
+        Ok(ppa) => Some(MappingOutcome {
+            loss: match objective {
+                MappingObjective::Latency => ppa.latency_s,
+                MappingObjective::Edp => ppa.edp(),
+            },
+            latency_s: ppa.latency_s,
+            power_mw: ppa.power_mw,
+        }),
+        Err(_) => None,
+    }
+}
+
 /// A [`MappingCost`] adapter binding the analytical model to a fixed
 /// hardware configuration and loop nest.
 #[derive(Debug, Clone, Copy)]
@@ -261,6 +328,7 @@ pub struct BoundSpatialCost<'a> {
     eval_cost_s: f64,
     objective: MappingObjective,
     cache: Option<&'a EvalCache>,
+    batch_eval: bool,
 }
 
 impl<'a> BoundSpatialCost<'a> {
@@ -275,6 +343,7 @@ impl<'a> BoundSpatialCost<'a> {
             eval_cost_s,
             objective: MappingObjective::Latency,
             cache: None,
+            batch_eval: true,
         }
     }
 
@@ -288,6 +357,14 @@ impl<'a> BoundSpatialCost<'a> {
     /// so semantically equivalent candidates share entries).
     pub fn with_cache(mut self, cache: Option<&'a EvalCache>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Enables or disables the structure-of-arrays batch path (the
+    /// `UNICO_BATCH_EVAL` bisection toggle); when disabled,
+    /// `assess_batch` loops the scalar path.
+    pub fn with_batch_eval(mut self, enabled: bool) -> Self {
+        self.batch_eval = enabled;
         self
     }
 
@@ -310,17 +387,58 @@ impl<'a> BoundSpatialCost<'a> {
 
 impl MappingCost for BoundSpatialCost<'_> {
     fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome> {
-        match self.evaluate_cached(mapping) {
-            Ok(ppa) => Some(MappingOutcome {
-                loss: match self.objective {
-                    MappingObjective::Latency => ppa.latency_s,
-                    MappingObjective::Edp => ppa.edp(),
-                },
-                latency_s: ppa.latency_s,
-                power_mw: ppa.power_mw,
-            }),
-            Err(_) => None,
+        outcome_of(self.evaluate_cached(mapping), self.objective)
+    }
+
+    fn assess_batch(&self, mappings: &[Mapping]) -> Vec<Option<MappingOutcome>> {
+        if !self.batch_eval || mappings.is_empty() {
+            return mappings.iter().map(|m| self.assess(m)).collect();
         }
+        let area = self.model.area_mm2(&self.hw);
+        let macs = self.nest.macs() as f64;
+        let results: Vec<EvalResult> = match self.cache {
+            Some(cache) => {
+                // Keys hash straight off the mappings (same bytes as
+                // the scalar `spatial_eval_key`, with the hw+nest
+                // prefix amortized across the batch); the SoA batch is
+                // only built if some key actually misses, so a warm
+                // cache pays for lookups alone.
+                let prefix = spatial_key_prefix(EngineTag::DataCentric, &self.hw, &self.nest);
+                let keys: Vec<EvalKey> = mappings
+                    .iter()
+                    .map(|m| {
+                        let mut kb = prefix.clone();
+                        kb.write_with(|h| CanonicalMapping::hash_mapping_into(m, &self.nest, h))
+                            .objective(self.objective);
+                        kb.finish()
+                    })
+                    .collect();
+                let batch = std::cell::OnceCell::new();
+                cache.get_or_compute_batch(&keys, |i| {
+                    let batch = batch.get_or_init(|| {
+                        MappingBatch::build(mappings, &self.nest, self.model.tech.bytes_per_elem)
+                    });
+                    self.model
+                        .evaluate_row(&self.hw, batch, i, area, macs)
+                        .map(|(p, _)| p)
+                })
+            }
+            None => {
+                let batch =
+                    MappingBatch::build(mappings, &self.nest, self.model.tech.bytes_per_elem);
+                (0..batch.len())
+                    .map(|i| {
+                        self.model
+                            .evaluate_row(&self.hw, &batch, i, area, macs)
+                            .map(|(p, _)| p)
+                    })
+                    .collect()
+            }
+        };
+        results
+            .into_iter()
+            .map(|r| outcome_of(r, self.objective))
+            .collect()
     }
 
     fn eval_cost_seconds(&self) -> f64 {

@@ -109,7 +109,12 @@ impl EngineTag {
 /// [`EvalKeyBuilder::word`] and hashes only tile extents
 /// ([`EvalKeyBuilder::mapping_tiles`]) since the cycle model is blind to
 /// temporal order and spatial placement.
-#[derive(Debug)]
+///
+/// The builder is `Clone` (the underlying hasher state is two words), so
+/// batched key building hashes the shared `(engine, hardware, nest)`
+/// prefix once and forks a copy per candidate — the byte stream, and
+/// therefore the key, is identical to building each key from scratch.
+#[derive(Debug, Clone)]
 pub struct EvalKeyBuilder {
     h: StableHasher,
 }
@@ -141,7 +146,10 @@ impl EvalKeyBuilder {
     }
 
     /// Feeds the full canonical mapping (tiles, canonical order,
-    /// spatial dims) — for order-sensitive engines.
+    /// spatial dims) — for order-sensitive engines. Materializes the
+    /// canonical form; the batched key builders stream the identical
+    /// bytes allocation-free via
+    /// [`CanonicalMapping::hash_mapping_into`] instead.
     pub fn mapping_full(&mut self, mapping: &Mapping, nest: &LoopNest) -> &mut Self {
         CanonicalMapping::of(mapping, nest).hash_into(&mut self.h);
         self
@@ -151,6 +159,15 @@ impl EvalKeyBuilder {
     /// spatial placement.
     pub fn mapping_tiles(&mut self, mapping: &Mapping, nest: &LoopNest) -> &mut Self {
         CanonicalMapping::of(mapping, nest).hash_tiles_into(&mut self.h);
+        self
+    }
+
+    /// Feeds arbitrary bytes through a caller-provided closure over the
+    /// raw hasher — the batched structure-of-arrays path hashes mapping
+    /// rows directly (see `MappingBatch::hash_full_into`) without
+    /// materializing a `CanonicalMapping`.
+    pub fn write_with(&mut self, f: impl FnOnce(&mut StableHasher)) -> &mut Self {
+        f(&mut self.h);
         self
     }
 
@@ -169,14 +186,11 @@ impl EvalKeyBuilder {
     }
 }
 
-/// The canonical key for the 2-D spatial platform engines.
-pub fn spatial_eval_key(
-    tag: EngineTag,
-    hw: &HwConfig,
-    mapping: &Mapping,
-    nest: &LoopNest,
-    objective: MappingObjective,
-) -> EvalKey {
+/// The shared `(engine, hardware, nest)` key prefix of
+/// [`spatial_eval_key`]. Batched lookups build this once per batch and
+/// clone it per candidate; the scalar path goes through it too, so the
+/// two paths hash one byte stream by construction.
+pub fn spatial_key_prefix(tag: EngineTag, hw: &HwConfig, nest: &LoopNest) -> EvalKeyBuilder {
     let mut b = EvalKeyBuilder::new(tag);
     b.word(u64::from(hw.pe_x()))
         .word(u64::from(hw.pe_y()))
@@ -187,9 +201,20 @@ pub fn spatial_eval_key(
             Dataflow::WeightStationary => 0,
             Dataflow::OutputStationary => 1,
         })
-        .nest(nest)
-        .mapping_full(mapping, nest)
-        .objective(objective);
+        .nest(nest);
+    b
+}
+
+/// The canonical key for the 2-D spatial platform engines.
+pub fn spatial_eval_key(
+    tag: EngineTag,
+    hw: &HwConfig,
+    mapping: &Mapping,
+    nest: &LoopNest,
+    objective: MappingObjective,
+) -> EvalKey {
+    let mut b = spatial_key_prefix(tag, hw, nest);
+    b.mapping_full(mapping, nest).objective(objective);
     b.finish()
 }
 
@@ -242,9 +267,40 @@ enum Mode {
     Replay,
 }
 
+/// Pass-through hasher for the shard maps. An [`EvalKey`] is already a
+/// 128-bit avalanched hash (two decorrelated fmix64 lanes), so pushing
+/// it through SipHash again is pure per-lookup overhead on both the
+/// scalar and batched paths. The map hash is the key's low 64 bits;
+/// shard selection uses the high 64, so bucket and shard indices stay
+/// decorrelated.
+#[derive(Debug, Clone, Copy, Default)]
+struct PassThroughHasher(u64);
+
+impl std::hash::Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("EvalKey hashes itself via write_u128 only");
+    }
+    fn write_u128(&mut self, n: u128) {
+        self.0 = n as u64;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PassThroughState;
+
+impl std::hash::BuildHasher for PassThroughState {
+    type Hasher = PassThroughHasher;
+    fn build_hasher(&self) -> PassThroughHasher {
+        PassThroughHasher(0)
+    }
+}
+
 #[derive(Debug, Default)]
 struct ShardMap {
-    entries: HashMap<EvalKey, EvalResult>,
+    entries: HashMap<EvalKey, EvalResult, PassThroughState>,
     fifo: VecDeque<EvalKey>,
 }
 
@@ -256,6 +312,28 @@ struct Shard {
     evictions: AtomicU64,
 }
 
+/// Counters of the batched lookup path (separate from [`CacheStats`],
+/// whose hit/miss/eviction accounting is identical across the scalar
+/// and batch paths by design).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Non-empty [`EvalCache::get_or_compute_batch`] calls served.
+    pub lookups: u64,
+    /// Keys resolved through those calls (summed batch sizes).
+    pub keys: u64,
+}
+
+impl BatchStats {
+    /// Counter increments since `earlier`.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &BatchStats) -> BatchStats {
+        BatchStats {
+            lookups: self.lookups - earlier.lookups,
+            keys: self.keys - earlier.keys,
+        }
+    }
+}
+
 /// Sharded concurrent memoization cache for PPA evaluations. See the
 /// module docs for design and determinism guarantees.
 #[derive(Debug)]
@@ -263,6 +341,8 @@ pub struct EvalCache {
     shards: Vec<Shard>,
     capacity_per_shard: Option<usize>,
     mode: Mode,
+    batch_lookups: AtomicU64,
+    batch_keys: AtomicU64,
 }
 
 impl Default for EvalCache {
@@ -279,6 +359,8 @@ impl EvalCache {
             shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             capacity_per_shard: None,
             mode: Mode::Record,
+            batch_lookups: AtomicU64::new(0),
+            batch_keys: AtomicU64::new(0),
         }
     }
 
@@ -344,6 +426,85 @@ impl EvalCache {
         v
     }
 
+    /// Resolves a whole batch of keys in **one sharded pass**: keys are
+    /// grouped by shard, each shard's lock is acquired exactly once, and
+    /// the shard's keys are processed in ascending batch order with
+    /// evict-as-you-go — so hits, misses, evictions and the resident
+    /// entry set are identical to per-key [`EvalCache::get_or_compute`]
+    /// calls in batch order (including a key recomputing after a
+    /// mid-batch eviction under capacity pressure). Counter updates are
+    /// accumulated locally and flushed with a single atomic add per
+    /// counter per shard, instead of one lock acquisition and up to two
+    /// atomic increments per candidate.
+    ///
+    /// `compute(i)` prices candidate `i`; it runs under the shard lock,
+    /// preserving the compute-once-per-key guarantee. In replay mode a
+    /// miss panics exactly as in the scalar path.
+    pub fn get_or_compute_batch(
+        &self,
+        keys: &[EvalKey],
+        mut compute: impl FnMut(usize) -> EvalResult,
+    ) -> Vec<EvalResult> {
+        if !keys.is_empty() {
+            self.batch_lookups.fetch_add(1, Ordering::Relaxed);
+            self.batch_keys
+                .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        }
+        let mut out: Vec<Option<EvalResult>> = vec![None; keys.len()];
+        let mut by_shard: [Vec<usize>; SHARD_COUNT] = std::array::from_fn(|_| Vec::new());
+        for (i, k) in keys.iter().enumerate() {
+            by_shard[k.shard()].push(i);
+        }
+        for (s, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[s];
+            let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+            let mut map = shard.map.lock().expect("evalcache shard poisoned");
+            for &i in idxs {
+                let key = keys[i];
+                if let Some(v) = map.entries.get(&key) {
+                    hits += 1;
+                    out[i] = Some(*v);
+                    continue;
+                }
+                assert!(
+                    self.mode != Mode::Replay,
+                    "evalcache replay miss: key {} is not in the golden trace \
+                     (the run diverged from the recorded one)",
+                    key.to_hex()
+                );
+                misses += 1;
+                let v = compute(i);
+                map.entries.insert(key, v);
+                map.fifo.push_back(key);
+                if let Some(cap) = self.capacity_per_shard {
+                    while map.entries.len() > cap {
+                        if let Some(old) = map.fifo.pop_front() {
+                            map.entries.remove(&old);
+                            evictions += 1;
+                        }
+                    }
+                }
+                out[i] = Some(v);
+            }
+            drop(map);
+            if hits > 0 {
+                shard.hits.fetch_add(hits, Ordering::Relaxed);
+            }
+            if misses > 0 {
+                shard.misses.fetch_add(misses, Ordering::Relaxed);
+            }
+            if evictions > 0 {
+                shard.evictions.fetch_add(evictions, Ordering::Relaxed);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("every batch key resolved"))
+            .collect()
+    }
+
     /// Peeks without computing or counting a miss (hits still count).
     pub fn get(&self, key: EvalKey) -> Option<EvalResult> {
         let shard = &self.shards[key.shard()];
@@ -389,6 +550,14 @@ impl EvalCache {
                 .len() as u64;
         }
         s
+    }
+
+    /// Counters of the batched lookup path (see [`BatchStats`]).
+    pub fn batch_stats(&self) -> BatchStats {
+        BatchStats {
+            lookups: self.batch_lookups.load(Ordering::Relaxed),
+            keys: self.batch_keys.load(Ordering::Relaxed),
+        }
     }
 
     /// Serializes every entry to the golden-trace format: a header line
@@ -654,6 +823,74 @@ mod tests {
         // Oldest two were evicted; newest two still resident.
         assert!(cache.get(key(base)).is_none());
         assert!(cache.get(key(base | 3)).is_some());
+    }
+
+    #[test]
+    fn batch_lookup_matches_scalar_counters_and_contents() {
+        // Keys spread over several shards, with duplicates inside the
+        // batch: the batched pass must produce exactly the scalar
+        // counters and resident set.
+        let keys: Vec<EvalKey> = [0u128, 1, 2, 33, 1, 0, 7, 2]
+            .iter()
+            .map(|&i| key((i << 64) | i))
+            .collect();
+        let scalar = EvalCache::new();
+        let scalar_out: Vec<EvalResult> = keys
+            .iter()
+            .map(|k| scalar.get_or_compute(*k, || ppa(1.0)))
+            .collect();
+        let batched = EvalCache::new();
+        let calls = AtomicUsize::new(0);
+        let batch_out = batched.get_or_compute_batch(&keys, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            ppa(1.0)
+        });
+        assert_eq!(scalar_out, batch_out);
+        assert_eq!(scalar.stats(), batched.stats());
+        assert_eq!(scalar.to_trace(), batched.to_trace());
+        // Compute ran once per distinct key only.
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+        assert_eq!(batched.stats().hits, 3);
+    }
+
+    /// The satellite fix: a FIFO-capped shard absorbing a whole batch
+    /// must account evictions exactly as the scalar path does — one per
+    /// evicted entry, not one per candidate — including a key that is
+    /// re-requested after being evicted mid-batch.
+    #[test]
+    fn batch_eviction_accounting_under_capacity_pressure_matches_scalar() {
+        let base = 5u128 << 64; // all on one shard
+                                // 6 inserts through a cap-2 shard, then re-request key 0 (which
+                                // was evicted mid-batch) and key 5 (still resident).
+        let seq: Vec<EvalKey> = [0u128, 1, 2, 3, 4, 5, 0, 5]
+            .iter()
+            .map(|&i| key(base | i))
+            .collect();
+
+        let scalar = EvalCache::with_capacity_per_shard(2);
+        let scalar_out: Vec<EvalResult> = seq
+            .iter()
+            .map(|k| scalar.get_or_compute(*k, || ppa(2.0)))
+            .collect();
+
+        let batched = EvalCache::with_capacity_per_shard(2);
+        let batch_out = batched.get_or_compute_batch(&seq, |_| ppa(2.0));
+
+        assert_eq!(scalar_out, batch_out);
+        let (s, b) = (scalar.stats(), batched.stats());
+        assert_eq!(s, b, "scalar {s:?} vs batched {b:?}");
+        // Pin the absolute numbers so the accounting rule itself is
+        // locked: 7 distinct computes (key 0 twice: evicted mid-batch),
+        // 1 hit (key 5), 5 evictions — NOT one per candidate.
+        assert_eq!((b.hits, b.misses, b.evictions, b.entries), (1, 7, 5, 2));
+        assert_eq!(scalar.to_trace(), batched.to_trace());
+    }
+
+    #[test]
+    #[should_panic(expected = "replay miss")]
+    fn batch_replay_miss_panics() {
+        let replay = EvalCache::from_trace("unico.evaltrace.v1 0\n").expect("parse");
+        let _ = replay.get_or_compute_batch(&[key(4)], |_| ppa(1.0));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 mod analytical;
+mod batch;
 mod evalcache;
 mod hw;
 mod loopcentric;
@@ -53,13 +54,14 @@ mod tech;
 mod traffic;
 
 pub use analytical::{AnalyticalModel, BoundSpatialCost, EvalBreakdown, MappingObjective};
+pub use batch::MappingBatch;
 pub use evalcache::{
-    spatial_eval_key, CacheStats, EngineTag, EvalCache, EvalKey, EvalKeyBuilder, EvalResult,
-    TraceError, SHARD_COUNT, TRACE_HEADER,
+    spatial_eval_key, spatial_key_prefix, BatchStats, CacheStats, EngineTag, EvalCache, EvalKey,
+    EvalKeyBuilder, EvalResult, TraceError, SHARD_COUNT, TRACE_HEADER,
 };
 pub use hw::{Dataflow, HwConfig, HwSpace};
 pub use loopcentric::{BoundLoopCentricCost, LevelBreakdown, LevelStats, LoopCentricModel};
-pub use platform::{MappingTool, Platform, PpaEngine, SpatialPlatform};
+pub use platform::{batch_eval_from_env, MappingTool, Platform, PpaEngine, SpatialPlatform};
 pub use ppa::{EvalError, Ppa};
 pub use tech::TechParams;
 pub use traffic::{tensor_loads, TensorKind};

@@ -22,11 +22,14 @@
 //! keeps them within a small factor of each other on feasible points, so
 //! either can back [`crate::SpatialPlatform`] prototyping.
 
-use unico_mapping::{Mapping, MappingCost, MappingOutcome};
+use unico_mapping::{CanonicalMapping, Mapping, MappingCost, MappingOutcome};
 use unico_workloads::{Dim, LoopNest};
 
-use crate::analytical::MappingObjective;
-use crate::evalcache::{spatial_eval_key, EngineTag, EvalCache};
+use crate::analytical::{outcome_of, MappingObjective};
+use crate::batch::MappingBatch;
+use crate::evalcache::{
+    spatial_eval_key, spatial_key_prefix, EngineTag, EvalCache, EvalKey, EvalResult,
+};
 use crate::hw::{Dataflow, HwConfig};
 use crate::ppa::{EvalError, Ppa};
 use crate::tech::TechParams;
@@ -96,6 +99,10 @@ impl LoopCentricModel {
 
     /// Evaluates PPA with the per-level breakdown.
     ///
+    /// Internally a batch of one: the evaluation body runs over a
+    /// [`MappingBatch`] row, so scalar and batched results are bitwise
+    /// identical by construction.
+    ///
     /// # Errors
     ///
     /// Returns [`EvalError`] under the same feasibility rules as the
@@ -106,11 +113,52 @@ impl LoopCentricModel {
         mapping: &Mapping,
         nest: &LoopNest,
     ) -> Result<(Ppa, LevelBreakdown), EvalError> {
-        let t = &self.tech;
-        let b = t.bytes_per_elem;
+        let batch = MappingBatch::build(std::iter::once(mapping), nest, self.tech.bytes_per_elem);
+        self.evaluate_row(hw, &batch, 0, self.area_mm2(hw), nest.macs() as f64)
+    }
 
-        let (sd1, sd2) = mapping.spatial();
-        let l1_tile = mapping.l1_tile();
+    /// Evaluates every row of a candidate batch, hoisting the
+    /// per-`(hw, nest)` invariants (silicon area, MAC count) out of the
+    /// per-candidate loop.
+    pub fn evaluate_batch(&self, hw: &HwConfig, batch: &MappingBatch) -> Vec<EvalResult> {
+        let area = self.area_mm2(hw);
+        let macs = batch.nest().macs() as f64;
+        (0..batch.len())
+            .map(|i| self.evaluate_row(hw, batch, i, area, macs).map(|(p, _)| p))
+            .collect()
+    }
+
+    /// Evaluates batch row `i` given the hoisted invariants: `area_mm2`
+    /// must be `self.area_mm2(hw)` and `macs` the nest's MAC count as
+    /// `f64` — both depend only on `(hw, nest)`, so passing them in
+    /// changes no bits relative to computing them per candidate.
+    ///
+    /// # Errors
+    ///
+    /// See [`LoopCentricModel::evaluate_detailed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was built with a different element width than
+    /// this model's technology parameters.
+    pub fn evaluate_row(
+        &self,
+        hw: &HwConfig,
+        batch: &MappingBatch,
+        i: usize,
+        area_mm2: f64,
+        macs: f64,
+    ) -> Result<(Ppa, LevelBreakdown), EvalError> {
+        let t = &self.tech;
+        assert_eq!(
+            batch.bytes_per_elem(),
+            t.bytes_per_elem,
+            "batch built for a different element width"
+        );
+        let nest = batch.nest();
+
+        let (sd1, sd2) = batch.spatial(i);
+        let l1_tile = batch.l1_tile(i);
         let e1 = l1_tile[sd1.index()];
         let e2 = l1_tile[sd2.index()];
         if e1 == 1 && e2 == 1 && hw.num_pes() > 1 {
@@ -119,7 +167,7 @@ impl LoopCentricModel {
         let active_pes = e1.min(u64::from(hw.pe_x())) * e2.min(u64::from(hw.pe_y()));
 
         // Feasibility identical to the data-centric engine.
-        let fp1 = mapping.l1_footprint(nest, b);
+        let fp1 = batch.l1_footprint(i);
         let per_pe = fp1.total().div_ceil(active_pes) * 2;
         if per_pe > hw.l1_bytes() {
             return Err(EvalError::L1Overflow {
@@ -127,7 +175,7 @@ impl LoopCentricModel {
                 available: hw.l1_bytes(),
             });
         }
-        let fp2 = mapping.l2_footprint(nest, b);
+        let fp2 = batch.l2_footprint(i);
         if fp2.total() * 2 > hw.l2_bytes() {
             return Err(EvalError::L2Overflow {
                 required: fp2.total() * 2,
@@ -136,11 +184,11 @@ impl LoopCentricModel {
         }
 
         // ---- Per-level traffic from the shared reuse analysis. ----
-        let order = mapping.order();
-        let l2_trips = mapping.l2_trip_counts(nest);
-        let l1_trips = mapping.l1_trip_counts();
-        let t2 = mapping.num_l2_tiles(nest) as f64;
-        let t1 = mapping.num_l1_tiles_per_l2() as f64;
+        let order = batch.order(i);
+        let l2_trips = batch.l2_trips(i);
+        let l1_trips = batch.l1_trips(i);
+        let t2 = batch.num_l2_tiles(i) as f64;
+        let t1 = batch.num_l1_tiles_per_l2(i) as f64;
         let stationary = match hw.dataflow() {
             Dataflow::WeightStationary => TensorKind::Weight,
             Dataflow::OutputStationary => TensorKind::Output,
@@ -156,8 +204,8 @@ impl LoopCentricModel {
         let mut dram_read = 0.0;
         let mut dram_write = 0.0;
         for tensor in TensorKind::ALL {
-            let loads = tensor_loads(tensor, nest, &l2_trips, &order) as f64;
-            let min = tensor_min_loads(tensor, nest, &l2_trips) as f64;
+            let loads = tensor_loads(tensor, nest, l2_trips, order) as f64;
+            let min = tensor_min_loads(tensor, nest, l2_trips) as f64;
             let fp = tensor_fp(fp2, tensor);
             if tensor == TensorKind::Output {
                 dram_write += fp * loads;
@@ -173,11 +221,11 @@ impl LoopCentricModel {
         let mut l2_write = dram_read; // fills
         for tensor in TensorKind::ALL {
             let loads = if tensor == stationary {
-                tensor_min_loads(tensor, nest, &l1_trips)
+                tensor_min_loads(tensor, nest, l1_trips)
             } else {
-                tensor_loads(tensor, nest, &l1_trips, &order)
+                tensor_loads(tensor, nest, l1_trips, order)
             } as f64;
-            let min = tensor_min_loads(tensor, nest, &l1_trips) as f64;
+            let min = tensor_min_loads(tensor, nest, l1_trips) as f64;
             let fp = tensor_fp(fp1, tensor);
             if tensor == TensorKind::Output {
                 l2_write += fp * loads * t2; // write-backs per L2 tile
@@ -189,8 +237,7 @@ impl LoopCentricModel {
 
         // L1 level: read once per MAC operand that is not register
         // stationary; written by NoC fills.
-        let macs = nest.macs() as f64;
-        let bf = b as f64;
+        let bf = t.bytes_per_elem as f64;
         let mut l1_read = 0.0;
         let mut l1_write = l2_read; // fills from L2
         for tensor in TensorKind::ALL {
@@ -260,7 +307,7 @@ impl LoopCentricModel {
         let latency_s = total_cycles / t.clock_hz;
 
         // ---- Energy: per-level per-byte + MACs + leakage. ----
-        let area = self.area_mm2(hw);
+        let area = area_mm2;
         let per_byte = [
             t.e_dram_pj_per_byte,
             t.e_l2_pj_per_byte,
@@ -314,6 +361,7 @@ pub struct BoundLoopCentricCost<'a> {
     eval_cost_s: f64,
     objective: MappingObjective,
     cache: Option<&'a EvalCache>,
+    batch_eval: bool,
 }
 
 impl<'a> BoundLoopCentricCost<'a> {
@@ -331,6 +379,7 @@ impl<'a> BoundLoopCentricCost<'a> {
             eval_cost_s,
             objective: MappingObjective::Latency,
             cache: None,
+            batch_eval: true,
         }
     }
 
@@ -343,6 +392,13 @@ impl<'a> BoundLoopCentricCost<'a> {
     /// Memoizes evaluations in `cache`.
     pub fn with_cache(mut self, cache: Option<&'a EvalCache>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Enables or disables the structure-of-arrays batch path (the
+    /// `UNICO_BATCH_EVAL` bisection toggle).
+    pub fn with_batch_eval(mut self, enabled: bool) -> Self {
+        self.batch_eval = enabled;
         self
     }
 
@@ -365,17 +421,56 @@ impl<'a> BoundLoopCentricCost<'a> {
 
 impl MappingCost for BoundLoopCentricCost<'_> {
     fn assess(&self, mapping: &Mapping) -> Option<MappingOutcome> {
-        match self.evaluate_cached(mapping) {
-            Ok(ppa) => Some(MappingOutcome {
-                loss: match self.objective {
-                    MappingObjective::Latency => ppa.latency_s,
-                    MappingObjective::Edp => ppa.edp(),
-                },
-                latency_s: ppa.latency_s,
-                power_mw: ppa.power_mw,
-            }),
-            Err(_) => None,
+        outcome_of(self.evaluate_cached(mapping), self.objective)
+    }
+
+    fn assess_batch(&self, mappings: &[Mapping]) -> Vec<Option<MappingOutcome>> {
+        if !self.batch_eval || mappings.is_empty() {
+            return mappings.iter().map(|m| self.assess(m)).collect();
         }
+        let area = self.model.area_mm2(&self.hw);
+        let macs = self.nest.macs() as f64;
+        let results: Vec<EvalResult> = match self.cache {
+            Some(cache) => {
+                // Same laziness as the data-centric engine: keys hash
+                // off the mappings with the prefix amortized; the SoA
+                // batch is built only when a miss needs compute.
+                let prefix = spatial_key_prefix(EngineTag::LoopCentric, &self.hw, &self.nest);
+                let keys: Vec<EvalKey> = mappings
+                    .iter()
+                    .map(|m| {
+                        let mut kb = prefix.clone();
+                        kb.write_with(|h| CanonicalMapping::hash_mapping_into(m, &self.nest, h))
+                            .objective(self.objective);
+                        kb.finish()
+                    })
+                    .collect();
+                let batch = std::cell::OnceCell::new();
+                cache.get_or_compute_batch(&keys, |i| {
+                    let batch = batch.get_or_init(|| {
+                        MappingBatch::build(mappings, &self.nest, self.model.tech.bytes_per_elem)
+                    });
+                    self.model
+                        .evaluate_row(&self.hw, batch, i, area, macs)
+                        .map(|(p, _)| p)
+                })
+            }
+            None => {
+                let batch =
+                    MappingBatch::build(mappings, &self.nest, self.model.tech.bytes_per_elem);
+                (0..batch.len())
+                    .map(|i| {
+                        self.model
+                            .evaluate_row(&self.hw, &batch, i, area, macs)
+                            .map(|(p, _)| p)
+                    })
+                    .collect()
+            }
+        };
+        results
+            .into_iter()
+            .map(|r| outcome_of(r, self.objective))
+            .collect()
     }
 
     fn eval_cost_seconds(&self) -> f64 {

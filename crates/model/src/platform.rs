@@ -7,8 +7,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use unico_mapping::{
-    AnnealingSearch, GeneticConfig, GeneticSearch, MappingCost, MappingSearcher, MappingSpace,
-    QLearningSearch,
+    AnnealingSearch, GeneticConfig, GeneticSearch, Mapping, MappingCost, MappingOutcome,
+    MappingSearcher, MappingSpace, QLearningSearch,
 };
 use unico_workloads::LoopNest;
 
@@ -60,6 +60,23 @@ pub trait Platform: Sync {
         nest: &LoopNest,
     ) -> Box<dyn MappingCost + Send + Sync + 'a>;
 
+    /// Scores a whole batch of mappings on one `(hw, nest)` pair,
+    /// element `i` corresponding to `mappings[i]`.
+    ///
+    /// The default binds a cost oracle and delegates to
+    /// [`MappingCost::assess_batch`], which PPA-backed adapters override
+    /// with a structure-of-arrays path (shared per-batch invariants, one
+    /// cache-lock acquisition per shard). Results are bitwise identical
+    /// to per-candidate `evaluate`/`assess` calls in slice order.
+    fn evaluate_batch(
+        &self,
+        hw: &Self::Hw,
+        nest: &LoopNest,
+        mappings: &[Mapping],
+    ) -> Vec<Option<MappingOutcome>> {
+        self.bind(hw, nest).assess_batch(mappings)
+    }
+
     /// Creates this platform's software-mapping search tool for
     /// `(hw, nest)` (e.g. FlexTensor-style annealing for the spatial
     /// template, depth-first fusion search for the Ascend-like core).
@@ -95,6 +112,25 @@ pub trait Platform: Sync {
     /// checkpoint support.
     fn hw_from_words(&self, _words: &[u64]) -> Option<Self::Hw> {
         None
+    }
+}
+
+/// Reads the `UNICO_BATCH_EVAL` toggle: `"1"` (or unset) enables the
+/// structure-of-arrays batch evaluation path, `"0"` forces the scalar
+/// per-candidate path (for bisecting batch-vs-scalar divergence — the
+/// two are bitwise identical by construction, so this is a debugging
+/// lever, not a semantics switch).
+///
+/// # Panics
+///
+/// Panics on any other value: a typo silently flipping the evaluation
+/// path would defeat the point of the toggle.
+pub fn batch_eval_from_env() -> bool {
+    match std::env::var("UNICO_BATCH_EVAL") {
+        Ok(v) if v == "1" => true,
+        Ok(v) if v == "0" => false,
+        Ok(v) => panic!("UNICO_BATCH_EVAL must be \"0\" or \"1\", got {v:?}"),
+        Err(_) => true,
     }
 }
 
@@ -136,6 +172,7 @@ pub struct SpatialPlatform {
     engine: PpaEngine,
     loop_centric: LoopCentricModel,
     cache: Option<Arc<EvalCache>>,
+    batch_eval: bool,
 }
 
 impl SpatialPlatform {
@@ -151,6 +188,7 @@ impl SpatialPlatform {
             engine: PpaEngine::DataCentric,
             loop_centric: LoopCentricModel::new(TechParams::default()),
             cache: None,
+            batch_eval: batch_eval_from_env(),
         }
     }
 
@@ -166,6 +204,7 @@ impl SpatialPlatform {
             engine: PpaEngine::DataCentric,
             loop_centric: LoopCentricModel::new(TechParams::cloud()),
             cache: None,
+            batch_eval: batch_eval_from_env(),
         }
     }
 
@@ -198,6 +237,19 @@ impl SpatialPlatform {
     pub fn with_eval_cache(mut self, cache: Arc<EvalCache>) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Overrides the batch-evaluation toggle (the constructors read
+    /// [`batch_eval_from_env`]). `false` forces every bound cost onto
+    /// the scalar per-candidate path.
+    pub fn with_batch_eval(mut self, enabled: bool) -> Self {
+        self.batch_eval = enabled;
+        self
+    }
+
+    /// Whether bound costs use the structure-of-arrays batch path.
+    pub fn batch_eval(&self) -> bool {
+        self.batch_eval
     }
 
     /// The configured PPA engine.
@@ -266,12 +318,14 @@ impl Platform for SpatialPlatform {
             PpaEngine::DataCentric => Box::new(
                 BoundSpatialCost::new(&self.model, *hw, *nest, self.eval_cost_s)
                     .with_objective(self.objective)
-                    .with_cache(cache),
+                    .with_cache(cache)
+                    .with_batch_eval(self.batch_eval),
             ),
             PpaEngine::LoopCentric => Box::new(
                 BoundLoopCentricCost::new(&self.loop_centric, *hw, *nest, self.eval_cost_s)
                     .with_objective(self.objective)
-                    .with_cache(cache),
+                    .with_cache(cache)
+                    .with_batch_eval(self.batch_eval),
             ),
         }
     }
@@ -469,6 +523,47 @@ mod tests {
         assert!(p.hw_from_words(&[1, 2, 3]).is_none());
         assert!(p.hw_from_words(&[4, 8, 1024, 65536, 64, 7]).is_none());
         assert!(p.hw_from_words(&[0, 8, 1024, 65536, 64, 0]).is_none());
+    }
+
+    #[test]
+    fn evaluate_batch_matches_scalar_assess_bitwise() {
+        let nest = TensorOp::Conv2d {
+            n: 1,
+            k: 32,
+            c: 16,
+            y: 14,
+            x: 14,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest();
+        for engine in [PpaEngine::DataCentric, PpaEngine::LoopCentric] {
+            for batch_on in [true, false] {
+                let p = SpatialPlatform::edge()
+                    .with_engine(engine)
+                    .with_batch_eval(batch_on);
+                assert_eq!(p.batch_eval(), batch_on);
+                let mut rng = StdRng::seed_from_u64(41);
+                let hw = p.sample_hw(&mut rng);
+                let space = MappingSpace::new(&nest);
+                let mappings: Vec<_> = (0..24).map(|_| space.sample(&mut rng)).collect();
+                let batched = p.evaluate_batch(&hw, &nest, &mappings);
+                let cost = p.bind(&hw, &nest);
+                for (m, b) in mappings.iter().zip(&batched) {
+                    let s = cost.assess(m);
+                    match (s, b) {
+                        (None, None) => {}
+                        (Some(s), Some(b)) => {
+                            assert_eq!(s.loss.to_bits(), b.loss.to_bits());
+                            assert_eq!(s.latency_s.to_bits(), b.latency_s.to_bits());
+                            assert_eq!(s.power_mw.to_bits(), b.power_mw.to_bits());
+                        }
+                        (s, b) => panic!("feasibility diverged: scalar {s:?} batch {b:?}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

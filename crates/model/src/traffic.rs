@@ -32,6 +32,17 @@ impl TensorKind {
             TensorKind::Output => &[Dim::N, Dim::K, Dim::Y, Dim::X],
         }
     }
+
+    /// [`TensorKind::dependent_dims`] as a bitmask over `Dim::index()`
+    /// — the dependence test runs ~12 times per evaluated candidate, and
+    /// a bit probe replaces a linear scan of the dim slice. Purely a
+    /// representation change: the load-counting arithmetic is untouched,
+    /// so every count stays bit-identical.
+    pub fn dependent_mask(self, nest: &LoopNest) -> u8 {
+        self.dependent_dims(nest)
+            .iter()
+            .fold(0u8, |m, d| m | 1 << d.index())
+    }
 }
 
 /// How many times the tensor's tile is fetched into the inner memory
@@ -52,8 +63,8 @@ pub fn tensor_loads(
     trips: &[u64; DIM_COUNT],
     order: &[Dim; DIM_COUNT],
 ) -> u64 {
-    let deps = tensor.dependent_dims(nest);
-    let is_dep = |d: Dim| deps.contains(&d);
+    let mask = tensor.dependent_mask(nest);
+    let is_dep = |d: Dim| mask & (1 << d.index()) != 0;
     // Position of the innermost dependent loop with trips > 1.
     let innermost_dep = order
         .iter()

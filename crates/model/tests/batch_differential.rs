@@ -1,0 +1,264 @@
+//! Differential pinning of the structure-of-arrays batch evaluation
+//! path against the scalar per-candidate path, across every PPA engine
+//! (analytical data-centric, analytical loop-centric, and the
+//! cycle-level Ascend-like simulator).
+//!
+//! For a structured grid of (hardware config, mapping) candidates the
+//! suite asserts:
+//!
+//! * `Platform::evaluate_batch` is **bitwise** identical to scoring the
+//!   same candidates one at a time through `MappingCost::assess`, in
+//!   slice order, including infeasible candidates (`None` on both
+//!   paths for the same indices);
+//! * the guarantee holds with and without an [`EvalCache`] attached,
+//!   and on repeat passes that are served from the cache;
+//! * the cache's hit/miss/eviction counters advance **exactly** as they
+//!   do on the scalar path — batching changes lock traffic, never
+//!   accounting.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use unico_camodel::AscendPlatform;
+use unico_mapping::{Mapping, MappingOutcome, MappingSpace};
+use unico_model::{EvalCache, Platform, PpaEngine, SpatialPlatform};
+use unico_workloads::{LoopNest, TensorOp};
+
+/// Structured workload grid: two conv layers sized for every engine's
+/// reference hardware plus a GEMM, so both tensor-op lowering paths are
+/// exercised.
+fn grid() -> Vec<LoopNest> {
+    vec![
+        TensorOp::Conv2d {
+            n: 1,
+            k: 16,
+            c: 8,
+            y: 14,
+            x: 14,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest(),
+        TensorOp::Conv2d {
+            n: 1,
+            k: 32,
+            c: 16,
+            y: 28,
+            x: 28,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest(),
+        TensorOp::Gemm {
+            m: 64,
+            n: 48,
+            k: 32,
+        }
+        .to_loop_nest(),
+    ]
+}
+
+/// Candidate mappings for one nest: random samples (some of which are
+/// infeasible on small configs, covering the error path), the identity
+/// mapping (whole-problem tiles — infeasible on most configs), and a
+/// duplicate of the first sample so one batch carries a repeated key.
+fn candidates(nest: &LoopNest, rng: &mut StdRng) -> Vec<Mapping> {
+    let space = MappingSpace::new(nest);
+    let mut mappings: Vec<Mapping> = (0..14).map(|_| space.sample(rng)).collect();
+    mappings.push(Mapping::identity(nest));
+    mappings.push(mappings[0].clone());
+    mappings
+}
+
+fn assert_bitwise(
+    scalar: &[Option<MappingOutcome>],
+    batched: &[Option<MappingOutcome>],
+    label: &str,
+) {
+    assert_eq!(scalar.len(), batched.len(), "{label}: length diverged");
+    for (i, (s, b)) in scalar.iter().zip(batched).enumerate() {
+        match (s, b) {
+            (None, None) => {}
+            (Some(s), Some(b)) => {
+                for (x, y, f) in [
+                    (s.loss, b.loss, "loss"),
+                    (s.latency_s, b.latency_s, "latency_s"),
+                    (s.power_mw, b.power_mw, "power_mw"),
+                ] {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{label}: candidate {i} {f} differs ({x} vs {y})"
+                    );
+                }
+            }
+            (s, b) => {
+                panic!("{label}: candidate {i} feasibility diverged: scalar {s:?} batch {b:?}")
+            }
+        }
+    }
+}
+
+/// Runs the differential over `n_configs` sampled configs of one
+/// platform family. `make(batch_eval, cache)` builds the platform; the
+/// scalar twin and the batch twin get separate caches so their counters
+/// can be compared at the end.
+fn run_differential<P: Platform>(
+    make: impl Fn(bool, Option<Arc<EvalCache>>) -> P,
+    family: &str,
+    seed: u64,
+    n_configs: usize,
+) {
+    // Phase 1: no cache attached — pure compute-path identity.
+    {
+        let scalar_p = make(false, None);
+        let batch_p = make(true, None);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (ni, nest) in grid().iter().enumerate() {
+            for ci in 0..n_configs {
+                let hw = scalar_p.sample_hw(&mut rng);
+                let mappings = candidates(nest, &mut rng);
+                let label = format!("{family} uncached nest {ni} config {ci}");
+                let cost = scalar_p.bind(&hw, nest);
+                let scalar: Vec<_> = mappings.iter().map(|m| cost.assess(m)).collect();
+                let batched = batch_p.evaluate_batch(&hw, nest, &mappings);
+                assert_bitwise(&scalar, &batched, &label);
+            }
+        }
+    }
+
+    // Phase 2: cache attached — identity must survive populate + hit
+    // passes, and the two caches must end with identical counters.
+    let scalar_cache = Arc::new(EvalCache::new());
+    let batch_cache = Arc::new(EvalCache::new());
+    let scalar_p = make(false, Some(scalar_cache.clone()));
+    let batch_p = make(true, Some(batch_cache.clone()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut feasible = 0usize;
+    let mut infeasible = 0usize;
+    for (ni, nest) in grid().iter().enumerate() {
+        for ci in 0..n_configs {
+            let hw = scalar_p.sample_hw(&mut rng);
+            let mappings = candidates(nest, &mut rng);
+            let cost = scalar_p.bind(&hw, nest);
+            // Pass 0 populates both caches; pass 1 is served from them.
+            for pass in 0..2 {
+                let label = format!("{family} cached nest {ni} config {ci} pass {pass}");
+                let scalar: Vec<_> = mappings.iter().map(|m| cost.assess(m)).collect();
+                let batched = batch_p.evaluate_batch(&hw, nest, &mappings);
+                assert_bitwise(&scalar, &batched, &label);
+                if pass == 0 {
+                    feasible += scalar.iter().flatten().count();
+                    infeasible += scalar.iter().filter(|o| o.is_none()).count();
+                }
+            }
+        }
+    }
+    assert!(
+        feasible > 0 && infeasible > 0,
+        "{family}: grid must exercise both feasible ({feasible}) and \
+         infeasible ({infeasible}) candidates"
+    );
+
+    // Batched lookups must book exactly the hits/misses/evictions the
+    // scalar per-candidate path books.
+    let s = scalar_cache.stats();
+    let b = batch_cache.stats();
+    assert_eq!(s.hits, b.hits, "{family}: hit accounting diverged");
+    assert_eq!(s.misses, b.misses, "{family}: miss accounting diverged");
+    assert_eq!(
+        s.evictions, b.evictions,
+        "{family}: eviction accounting diverged"
+    );
+    assert_eq!(s.entries, b.entries, "{family}: entry counts diverged");
+    assert!(
+        s.hits > 0,
+        "{family}: repeat passes must produce cache hits"
+    );
+    assert!(s.misses > 0, "{family}: first passes must produce misses");
+
+    // Only the batch twin went through the batched lookup entry point.
+    assert_eq!(scalar_cache.batch_stats().lookups, 0);
+    let bb = batch_cache.batch_stats();
+    assert!(
+        bb.lookups > 0,
+        "{family}: batch path must book batch lookups"
+    );
+    assert_eq!(
+        bb.keys,
+        s.hits + s.misses,
+        "{family}: every key resolved must flow through the batched lookups"
+    );
+}
+
+#[test]
+fn analytical_data_centric_batch_matches_scalar() {
+    run_differential(
+        |batch, cache| {
+            let p = SpatialPlatform::edge()
+                .with_engine(PpaEngine::DataCentric)
+                .with_batch_eval(batch);
+            match cache {
+                Some(c) => p.with_eval_cache(c),
+                None => p,
+            }
+        },
+        "data-centric",
+        101,
+        3,
+    );
+}
+
+#[test]
+fn analytical_loop_centric_batch_matches_scalar() {
+    run_differential(
+        |batch, cache| {
+            let p = SpatialPlatform::edge()
+                .with_engine(PpaEngine::LoopCentric)
+                .with_batch_eval(batch);
+            match cache {
+                Some(c) => p.with_eval_cache(c),
+                None => p,
+            }
+        },
+        "loop-centric",
+        103,
+        3,
+    );
+}
+
+#[test]
+fn ascend_cycle_level_batch_matches_scalar() {
+    run_differential(
+        |batch, cache| {
+            let p = AscendPlatform::new().with_batch_eval(batch);
+            match cache {
+                Some(c) => p.with_eval_cache(c),
+                None => p,
+            }
+        },
+        "ascend",
+        107,
+        2,
+    );
+}
+
+#[test]
+fn cloud_platform_batch_matches_scalar() {
+    run_differential(
+        |batch, cache| {
+            let p = SpatialPlatform::cloud().with_batch_eval(batch);
+            match cache {
+                Some(c) => p.with_eval_cache(c),
+                None => p,
+            }
+        },
+        "cloud",
+        109,
+        2,
+    );
+}

@@ -24,8 +24,12 @@ use std::time::Instant;
 pub enum Counter {
     /// Mapping-search budget steps consumed (per-job evaluations).
     MappingEvals,
-    /// Gaussian-process fits performed.
+    /// Gaussian-process fits performed (full and incremental).
     GpFits,
+    /// Gaussian-process fits that reused the previous factorization
+    /// (row appends / fixed-hyper refits) instead of a full
+    /// hyperparameter search — a subset of [`Counter::GpFits`].
+    GpFitsIncremental,
     /// Successive-halving survivors promoted by terminal value.
     ShPromotionsTv,
     /// Successive-halving survivors promoted through the AUC-reserved
@@ -55,6 +59,12 @@ pub enum Counter {
     CacheMisses,
     /// Cache entries dropped by per-shard FIFO eviction.
     CacheEvictions,
+    /// Batched cache lookups performed (one per `get_or_compute_batch`
+    /// call with a non-empty key set).
+    CacheBatchLookups,
+    /// Keys resolved through batched cache lookups (the summed batch
+    /// sizes; `keys / lookups` is the mean eval batch width).
+    CacheBatchKeys,
     /// Faults injected by a deterministic fault plan (all kinds).
     FaultsInjected,
     /// Injected evaluation errors.
@@ -74,9 +84,10 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::MappingEvals,
         Counter::GpFits,
+        Counter::GpFitsIncremental,
         Counter::ShPromotionsTv,
         Counter::ShPromotionsAuc,
         Counter::ShRounds,
@@ -90,6 +101,8 @@ impl Counter {
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheEvictions,
+        Counter::CacheBatchLookups,
+        Counter::CacheBatchKeys,
         Counter::FaultsInjected,
         Counter::FaultErrors,
         Counter::FaultPanics,
@@ -104,6 +117,7 @@ impl Counter {
         match self {
             Counter::MappingEvals => "mapping_evals",
             Counter::GpFits => "gp_fits",
+            Counter::GpFitsIncremental => "gp_fits_incremental",
             Counter::ShPromotionsTv => "sh_promotions_tv",
             Counter::ShPromotionsAuc => "sh_promotions_auc",
             Counter::ShRounds => "sh_rounds",
@@ -117,6 +131,8 @@ impl Counter {
             Counter::CacheHits => "cache_hits",
             Counter::CacheMisses => "cache_misses",
             Counter::CacheEvictions => "cache_evictions",
+            Counter::CacheBatchLookups => "cache_batch_lookups",
+            Counter::CacheBatchKeys => "cache_batch_keys",
             Counter::FaultsInjected => "faults_injected",
             Counter::FaultErrors => "fault_errors",
             Counter::FaultPanics => "fault_panics",

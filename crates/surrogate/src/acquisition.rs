@@ -79,6 +79,12 @@ pub fn select_batch(
     assert!(!pool.is_empty(), "empty candidate pool");
     assert!(batch > 0, "batch must be positive");
     let mut chosen: Vec<usize> = Vec::with_capacity(batch);
+    // Kernel rows k(candidate, training point) are memoized across
+    // kriging-believer rounds: each hallucination adds exactly one
+    // training point, so a candidate's row only grows by its evaluation
+    // against that point instead of being rebuilt from scratch — the
+    // prediction bits are unchanged.
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); pool.len()];
     for _ in 0..batch.min(pool.len()) {
         let mut best_idx = None;
         let mut best_score = f64::NEG_INFINITY;
@@ -86,7 +92,8 @@ pub fn select_batch(
             if chosen.contains(&i) {
                 continue;
             }
-            let (mean, var) = gp.predict(x);
+            gp.extend_kernel_row(x, &mut rows[i]);
+            let (mean, var) = gp.predict_prepared(x, &rows[i]);
             let score = match kind {
                 AcquisitionKind::ExpectedImprovement => expected_improvement(mean, var, best),
                 AcquisitionKind::LowerConfidenceBound { beta } => ucb(mean, var, beta),
@@ -98,7 +105,7 @@ pub fn select_batch(
         }
         let idx = best_idx.expect("pool larger than chosen set");
         chosen.push(idx);
-        let (mean, _) = gp.predict(&pool[idx]);
+        let (mean, _) = gp.predict_prepared(&pool[idx], &rows[idx]);
         // A failed hallucination only degrades batch diversity; keep going.
         let _ = gp.hallucinate(pool[idx].clone(), mean);
     }

@@ -96,6 +96,62 @@ impl GaussianProcess {
         self.dim
     }
 
+    /// Kernel currently in use (hyperparameters readable through its
+    /// accessors) — what a checkpoint needs to reproduce this fit.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Observation-noise/jitter level of the current factorization.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    fn standardize(&mut self, ys: &[f64]) {
+        let n = ys.len() as f64;
+        self.y_mean = ys.iter().sum::<f64>() / n;
+        let var = ys.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / n;
+        self.y_std = var.sqrt().max(1e-12);
+        self.y_norm = ys.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+    }
+
+    /// Full factorization of the current `(x, kernel, noise)` state with
+    /// jitter escalation, recomputing `alpha` against `y_norm`.
+    fn refactor(&mut self) -> Result<(), GpError> {
+        let mut jitter = self.noise;
+        for _ in 0..8 {
+            let k = self.kernel_matrix(&self.kernel, jitter);
+            match k.cholesky() {
+                Ok(l) => {
+                    let mut alpha = l.solve_lower(&self.y_norm);
+                    alpha = l.solve_lower_transpose(&alpha);
+                    self.chol = Some(l);
+                    self.alpha = alpha;
+                    self.noise = jitter;
+                    return Ok(());
+                }
+                Err(_) => jitter = (jitter * 10.0).max(1e-8),
+            }
+        }
+        Err(GpError::Factorization(LinalgError::NotPositiveDefinite {
+            pivot: 0,
+        }))
+    }
+
+    fn validate(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<(), GpError> {
+        if xs.is_empty() {
+            return Err(GpError::EmptyTrainingSet);
+        }
+        if let Some(bad) = xs.iter().find(|x| x.len() != self.dim) {
+            return Err(GpError::DimensionMismatch {
+                expected: self.dim,
+                got: bad.len(),
+            });
+        }
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        Ok(())
+    }
+
     fn kernel_matrix(&self, kernel: &Kernel, noise: f64) -> Matrix {
         let n = self.x.len();
         let mut k = Matrix::zeros(n, n);
@@ -128,23 +184,9 @@ impl GaussianProcess {
     /// Returns an error when `xs` is empty, dimensions mismatch, or no
     /// hyperparameter setting yields a factorizable kernel matrix.
     pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<(), GpError> {
-        if xs.is_empty() {
-            return Err(GpError::EmptyTrainingSet);
-        }
-        if let Some(bad) = xs.iter().find(|x| x.len() != self.dim) {
-            return Err(GpError::DimensionMismatch {
-                expected: self.dim,
-                got: bad.len(),
-            });
-        }
-        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        self.validate(xs, ys)?;
         self.x = xs.to_vec();
-        // Standardize targets.
-        let n = ys.len() as f64;
-        self.y_mean = ys.iter().sum::<f64>() / n;
-        let var = ys.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / n;
-        self.y_std = var.sqrt().max(1e-12);
-        self.y_norm = ys.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+        self.standardize(ys);
         let y_norm = self.y_norm.clone();
 
         // Multi-start hyperparameter search.
@@ -182,24 +224,96 @@ impl GaussianProcess {
         self.noise = noise;
 
         // Final factorization with jitter escalation for numerical safety.
-        let mut jitter = self.noise;
-        for _ in 0..8 {
-            let k = self.kernel_matrix(&self.kernel, jitter);
-            match k.cholesky() {
-                Ok(l) => {
-                    let mut alpha = l.solve_lower(&y_norm);
-                    alpha = l.solve_lower_transpose(&alpha);
-                    self.chol = Some(l);
-                    self.alpha = alpha;
-                    self.noise = jitter;
-                    return Ok(());
+        self.refactor()
+    }
+
+    /// Fits the GP to `(xs, ys)` with **fixed** hyperparameters,
+    /// consuming no randomness: no marginal-likelihood search runs, only
+    /// target standardization and one factorization through the same
+    /// jitter-escalation ladder as [`GaussianProcess::fit`].
+    ///
+    /// Together with [`GaussianProcess::fit_incremental`] this makes
+    /// surrogate updates reproducible across checkpoint/resume: a
+    /// resumed run rebuilds the factor from the stored hyperparameters
+    /// and lands bit-identical to the incrementally grown one (row
+    /// appends use exactly the scratch factorization's operation order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `xs` is empty, dimensions mismatch, or the
+    /// kernel matrix cannot be factorized even at maximum jitter.
+    pub fn fit_with_hypers(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        length_scale: f64,
+        variance: f64,
+        noise: f64,
+    ) -> Result<(), GpError> {
+        self.validate(xs, ys)?;
+        self.x = xs.to_vec();
+        self.standardize(ys);
+        self.kernel = Kernel::new(self.kind, length_scale, variance);
+        self.noise = noise;
+        self.refactor()
+    }
+
+    /// Extends an already-fitted GP with additional trailing samples
+    /// without re-selecting hyperparameters and without consuming
+    /// randomness. The Cholesky factor grows by one appended row per new
+    /// point (O(n²) instead of O(n³) per sample); targets are
+    /// re-standardized and `alpha` recomputed against the full vector
+    /// (they are cheap and depend on the scalarization weights, which
+    /// change every call).
+    ///
+    /// `xs[..self.len()]` must be the points already absorbed, in order.
+    /// If a row append hits a non-positive pivot, the factor is rebuilt
+    /// from scratch through the jitter ladder — exactly what a
+    /// from-scratch [`GaussianProcess::fit_with_hypers`] at the same
+    /// hyperparameters would do, so both paths stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `xs` is empty, dimensions mismatch, or the
+    /// extended kernel matrix cannot be factorized even at maximum
+    /// jitter.
+    pub fn fit_incremental(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<(), GpError> {
+        self.validate(xs, ys)?;
+        let n0 = self.x.len();
+        assert!(
+            xs.len() >= n0,
+            "fit_incremental cannot shrink the training set"
+        );
+        let (ls, var) = (self.kernel.length_scale(), self.kernel.variance());
+
+        let mut factor = self.chol.take();
+        let mut appended = factor.as_ref().is_some_and(|l| l.rows() == n0);
+        if appended {
+            let l = factor.as_mut().expect("factor present on append path");
+            for x in &xs[n0..] {
+                let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(x, xi)).collect();
+                let d = self.kernel.eval(x, x) + self.noise;
+                if l.cholesky_append_row(&kx, d).is_err() {
+                    appended = false;
+                    break;
                 }
-                Err(_) => jitter = (jitter * 10.0).max(1e-8),
+                self.x.push(x.clone());
             }
         }
-        Err(GpError::Factorization(LinalgError::NotPositiveDefinite {
-            pivot: 0,
-        }))
+        if appended {
+            self.standardize(ys);
+            let l = factor.as_ref().expect("factor present on append path");
+            let mut alpha = l.solve_lower(&self.y_norm);
+            alpha = l.solve_lower_transpose(&alpha);
+            self.chol = factor;
+            self.alpha = alpha;
+            Ok(())
+        } else {
+            // Non-positive pivot (or no factor yet): a from-scratch
+            // ladder at the stored hyperparameters, as a resumed run
+            // would perform.
+            self.fit_with_hypers(xs, ys, ls, var, self.noise)
+        }
     }
 
     /// Posterior mean and variance at `x` (in original target units).
@@ -210,6 +324,31 @@ impl GaussianProcess {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        self.predict_prepared(x, &kx)
+    }
+
+    /// Extends a memoized kernel row in place, appending
+    /// `k(self.x[i], x)` for the training points `row.len()..self.len()`
+    /// absorbed since the row was last extended. Starting from an empty
+    /// row this builds exactly the vector [`GaussianProcess::predict`]
+    /// computes internally; across kriging-believer rounds only the one
+    /// newly hallucinated point per round is evaluated.
+    pub fn extend_kernel_row(&self, x: &[f64], row: &mut Vec<f64>) {
+        for xi in &self.x[row.len()..] {
+            row.push(self.kernel.eval(xi, x));
+        }
+    }
+
+    /// [`GaussianProcess::predict`] with a precomputed kernel row (as
+    /// grown by [`GaussianProcess::extend_kernel_row`]): skips the O(n)
+    /// kernel evaluations, bit-identical result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()` or the row is stale (shorter
+    /// than the training set of a fitted GP).
+    pub fn predict_prepared(&self, x: &[f64], row: &[f64]) -> (f64, f64) {
         assert_eq!(x.len(), self.dim, "prediction dimension mismatch");
         let Some(l) = &self.chol else {
             return (
@@ -217,9 +356,9 @@ impl GaussianProcess {
                 self.kernel.variance() * self.y_std * self.y_std,
             );
         };
-        let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
-        let mean_norm: f64 = kx.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
-        let v = l.solve_lower(&kx);
+        assert_eq!(row.len(), self.x.len(), "stale kernel row");
+        let mean_norm: f64 = row.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let v = l.solve_lower(row);
         let var_norm =
             (self.kernel.eval(x, x) + self.noise - v.iter().map(|u| u * u).sum::<f64>()).max(0.0);
         (
@@ -230,6 +369,13 @@ impl GaussianProcess {
 
     /// Adds a hallucinated observation (kriging believer) without
     /// refitting hyperparameters. Used for batch acquisition.
+    ///
+    /// Grows the existing Cholesky factor by one appended row (O(n²));
+    /// the append uses the scratch factorization's exact operation
+    /// order, so the grown factor is bit-identical to the full
+    /// refactorization this method used to perform. Falls back to the
+    /// full jitter ladder when there is no factor yet or the extension
+    /// is not positive definite.
     ///
     /// # Errors
     ///
@@ -242,26 +388,28 @@ impl GaussianProcess {
                 got: x.len(),
             });
         }
+        let appended = match self.chol.as_mut() {
+            Some(l) if l.rows() == self.x.len() => {
+                let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(&x, xi)).collect();
+                let d = self.kernel.eval(&x, &x) + self.noise;
+                l.cholesky_append_row(&kx, d).is_ok()
+            }
+            _ => false,
+        };
         self.x.push(x);
         self.y_norm.push((y - self.y_mean) / self.y_std);
-        let mut jitter = self.noise;
-        for _ in 0..8 {
-            let k = self.kernel_matrix(&self.kernel, jitter);
-            match k.cholesky() {
-                Ok(l) => {
-                    let mut alpha = l.solve_lower(&self.y_norm);
-                    alpha = l.solve_lower_transpose(&alpha);
-                    self.chol = Some(l);
-                    self.alpha = alpha;
-                    self.noise = jitter;
-                    return Ok(());
-                }
-                Err(_) => jitter = (jitter * 10.0).max(1e-8),
-            }
+        if appended {
+            let l = self.chol.as_ref().expect("factor present on append path");
+            let mut alpha = l.solve_lower(&self.y_norm);
+            alpha = l.solve_lower_transpose(&alpha);
+            self.alpha = alpha;
+            return Ok(());
         }
-        Err(GpError::Factorization(LinalgError::NotPositiveDefinite {
-            pivot: self.x.len() - 1,
-        }))
+        self.refactor().map_err(|_| {
+            GpError::Factorization(LinalgError::NotPositiveDefinite {
+                pivot: self.x.len() - 1,
+            })
+        })
     }
 }
 

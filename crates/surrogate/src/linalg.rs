@@ -151,6 +151,120 @@ impl Matrix {
     pub fn cholesky_log_det(&self) -> f64 {
         (0..self.rows).map(|i| self[(i, i)].ln()).sum::<f64>() * 2.0
     }
+
+    /// Extends this Cholesky factor `L` (of an `n×n` SPD matrix `A`) to
+    /// the factor of the `(n+1)×(n+1)` matrix `[[A, k], [kᵀ, d]]` in
+    /// O(n²), appending one row in place.
+    ///
+    /// The new row is computed with exactly the operation order of
+    /// [`Matrix::cholesky`]'s row loop, so an append-grown factor is
+    /// bitwise identical to a from-scratch factorization of the
+    /// extended matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(LinalgError::NotPositiveDefinite)` with
+    /// `pivot == n` if the extended matrix is not positive definite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is not square or `k.len() != n`.
+    pub fn cholesky_append_row(&mut self, k: &[f64], d: f64) -> Result<(), LinalgError> {
+        assert_eq!(self.rows, self.cols, "cholesky_append_row needs square L");
+        let n = self.rows;
+        assert_eq!(k.len(), n, "cholesky_append_row column length mismatch");
+        // Grow to (n+1)×(n+1), shifting existing rows into the wider
+        // layout back to front so nothing is overwritten.
+        let mut grown = vec![0.0; (n + 1) * (n + 1)];
+        for i in 0..n {
+            grown[i * (n + 1)..i * (n + 1) + n].copy_from_slice(&self.data[i * n..(i + 1) * n]);
+        }
+        // New row, exactly as cholesky() computes row i = n.
+        let mut row = vec![0.0; n + 1];
+        for j in 0..n {
+            let mut sum = k[j];
+            for t in 0..j {
+                sum -= row[t] * grown[j * (n + 1) + t];
+            }
+            row[j] = sum / grown[j * (n + 1) + j];
+        }
+        let mut sum = d;
+        for r in row.iter().take(n) {
+            sum -= r * r;
+        }
+        if sum <= 0.0 || !sum.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n });
+        }
+        row[n] = sum.sqrt();
+        grown[n * (n + 1)..].copy_from_slice(&row);
+        self.rows = n + 1;
+        self.cols = n + 1;
+        self.data = grown;
+        Ok(())
+    }
+
+    /// Rank-1 **update** of a Cholesky factor: given `L` with
+    /// `L Lᵀ = A`, rewrites it in place to the factor of `A + v vᵀ` in
+    /// O(n²) (hyperbolic-rotation sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is not square or `v.len() != n`.
+    pub fn cholesky_rank1_update(&mut self, v: &[f64]) {
+        assert_eq!(self.rows, self.cols, "rank1 update needs square L");
+        let n = self.rows;
+        assert_eq!(v.len(), n, "rank1 update vector length mismatch");
+        let mut x = v.to_vec();
+        for k in 0..n {
+            let lkk = self[(k, k)];
+            let r = (lkk * lkk + x[k] * x[k]).sqrt();
+            let c = r / lkk;
+            let s = x[k] / lkk;
+            self[(k, k)] = r;
+            for i in k + 1..n {
+                let lik = (self[(i, k)] + s * x[i]) / c;
+                x[i] = c * x[i] - s * lik;
+                self[(i, k)] = lik;
+            }
+        }
+    }
+
+    /// Rank-1 **downdate** of a Cholesky factor: given `L` with
+    /// `L Lᵀ = A`, rewrites it in place to the factor of `A − v vᵀ` in
+    /// O(n²).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(LinalgError::NotPositiveDefinite)` (and leaves the
+    /// factor partially modified) if `A − v vᵀ` is not positive
+    /// definite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is not square or `v.len() != n`.
+    pub fn cholesky_rank1_downdate(&mut self, v: &[f64]) -> Result<(), LinalgError> {
+        assert_eq!(self.rows, self.cols, "rank1 downdate needs square L");
+        let n = self.rows;
+        assert_eq!(v.len(), n, "rank1 downdate vector length mismatch");
+        let mut x = v.to_vec();
+        for k in 0..n {
+            let lkk = self[(k, k)];
+            let r2 = lkk * lkk - x[k] * x[k];
+            if r2 <= 0.0 || !r2.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: k });
+            }
+            let r = r2.sqrt();
+            let c = r / lkk;
+            let s = x[k] / lkk;
+            self[(k, k)] = r;
+            for i in k + 1..n {
+                let lik = (self[(i, k)] - s * x[i]) / c;
+                x[i] = c * x[i] - s * lik;
+                self[(i, k)] = lik;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -274,5 +388,79 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_panic() {
         let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn append_row_is_bitwise_identical_to_scratch() {
+        let a4 = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6, 0.3],
+            vec![2.0, 5.0, 1.0, 0.2],
+            vec![0.6, 1.0, 3.0, 0.9],
+            vec![0.3, 0.2, 0.9, 2.5],
+        ]);
+        let mut grown = spd3().cholesky().unwrap();
+        grown
+            .cholesky_append_row(&[0.3, 0.2, 0.9], 2.5)
+            .expect("extended matrix is SPD");
+        let scratch = a4.cholesky().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    grown[(i, j)].to_bits(),
+                    scratch[(i, j)].to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_row_rejects_indefinite_extension() {
+        let mut l = spd3().cholesky().unwrap();
+        // Diagonal too small for the new column: Schur complement < 0.
+        let err = l.cholesky_append_row(&[2.0, 2.0, 1.0], 0.1).unwrap_err();
+        assert_eq!(err, LinalgError::NotPositiveDefinite { pivot: 3 });
+    }
+
+    #[test]
+    fn rank1_update_matches_explicit_sum() {
+        let a = spd3();
+        let v = [0.7, -0.4, 0.2];
+        let mut l = a.cholesky().unwrap();
+        l.cholesky_rank1_update(&v);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut got = 0.0;
+                for k in 0..3 {
+                    got += l[(i, k)] * l[(j, k)];
+                }
+                let want = a[(i, j)] + v[i] * v[j];
+                assert!((got - want).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_downdate_inverts_update() {
+        let a = spd3();
+        let v = [0.7, -0.4, 0.2];
+        let reference = a.cholesky().unwrap();
+        let mut l = reference.clone();
+        l.cholesky_rank1_update(&v);
+        l.cholesky_rank1_downdate(&v).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert!((l[(i, j)] - reference[(i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_downdate_rejects_indefinite_result() {
+        let mut l = Matrix::identity(2).cholesky().unwrap();
+        assert!(matches!(
+            l.cholesky_rank1_downdate(&[2.0, 0.0]),
+            Err(LinalgError::NotPositiveDefinite { pivot: 0 })
+        ));
     }
 }

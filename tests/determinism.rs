@@ -206,6 +206,100 @@ fn resume_from_committed_checkpoint_reproduces_smoke_run() {
     assert_eq!(cache.to_trace(), reference_cache.to_trace());
 }
 
+/// The batch evaluation path is a locking/layout optimization, not a
+/// semantics change: forcing the scalar per-candidate path (the
+/// `UNICO_BATCH_EVAL=0` bisection lever) must reproduce the batched
+/// smoke run bit-for-bit — same front bits, same cache trace, same
+/// hit/miss accounting. Only the batch-lookup counters may differ
+/// (the scalar twin books none).
+#[test]
+fn scalar_path_reproduces_batched_run_bitwise() {
+    // The genetic mapping tool scores whole GA cohorts through
+    // `assess_batch` (annealing stays scalar by design — its RNG is
+    // conditioned on each step's outcome), so it exercises the batched
+    // cache entry point end-to-end.
+    let run = |cache: Arc<EvalCache>, batch_eval: bool| {
+        let platform = SpatialPlatform::edge()
+            .with_mapping_tool(unico_model::MappingTool::Genetic)
+            .with_eval_cache(cache)
+            .with_batch_eval(batch_eval);
+        let nets = [zoo::mobilenet_v1()];
+        let env = edge_env(&platform, &nets);
+        Unico::new(smoke_cfg(7)).run(&env)
+    };
+    let batched_cache = Arc::new(EvalCache::new());
+    let batched = run(Arc::clone(&batched_cache), true);
+    let scalar_cache = Arc::new(EvalCache::new());
+    let scalar = run(Arc::clone(&scalar_cache), false);
+
+    assert_eq!(
+        front_bits(&batched),
+        front_bits(&scalar),
+        "scalar-path front diverged from the batched front"
+    );
+    assert_eq!(
+        batched_cache.to_trace(),
+        scalar_cache.to_trace(),
+        "scalar-path evaluation stream diverged from the batched stream"
+    );
+    assert_eq!(batched_cache.stats().hits, scalar_cache.stats().hits);
+    assert_eq!(batched_cache.stats().misses, scalar_cache.stats().misses);
+    // The batched run actually took the batched entry point; the scalar
+    // run never did.
+    assert!(batched_cache.batch_stats().lookups > 0);
+    assert_eq!(scalar_cache.batch_stats().lookups, 0);
+}
+
+/// `UNICO_BATCH_EVAL` is read at platform construction: `0` forces the
+/// scalar path, `1` and unset select the batched path. (Flipping the
+/// variable mid-test is benign for concurrent tests — the two paths are
+/// bitwise identical by construction, which is the point of the lever.)
+#[test]
+fn batch_eval_env_toggle_forces_scalar_path() {
+    std::env::set_var("UNICO_BATCH_EVAL", "0");
+    let forced_off = SpatialPlatform::edge();
+    std::env::set_var("UNICO_BATCH_EVAL", "1");
+    let forced_on = SpatialPlatform::edge();
+    std::env::remove_var("UNICO_BATCH_EVAL");
+    let default = SpatialPlatform::edge();
+    assert!(!forced_off.batch_eval());
+    assert!(forced_on.batch_eval());
+    assert!(default.batch_eval(), "unset must select the batched path");
+}
+
+/// Incremental GP refits are deterministic and actually exercised: two
+/// same-seed runs long enough to re-enter the surrogate after the first
+/// full hyper-search fit produce byte-identical reports and book at
+/// least one incremental fit (strictly fewer than total fits — full
+/// refits still happen when the training set doubles).
+#[test]
+fn incremental_gp_runs_are_deterministic_and_booked() {
+    let run = |cache: Arc<EvalCache>| {
+        let platform = SpatialPlatform::edge().with_eval_cache(cache);
+        let nets = [zoo::mobilenet_v1()];
+        let env = edge_env(&platform, &nets);
+        let cfg = UnicoConfig {
+            max_iter: 6,
+            ..smoke_cfg(11)
+        };
+        Unico::new(cfg).run(&env)
+    };
+    let a = run(Arc::new(EvalCache::new()));
+    let b = run(Arc::new(EvalCache::new()));
+    assert_eq!(front_bits(&a), front_bits(&b));
+    assert_eq!(a.report.deterministic_json(), b.report.deterministic_json());
+    let incremental = a.report.counters["gp_fits_incremental"];
+    let total = a.report.counters["gp_fits"];
+    assert!(
+        incremental >= 1,
+        "a 6-iteration run must reuse hypers at least once (got {incremental})"
+    );
+    assert!(
+        incremental < total,
+        "incremental fits ({incremental}) must stay below total fits ({total})"
+    );
+}
+
 /// Fig. 9-style MOBOHB baseline: at realistic per-session mapping
 /// budgets the random tiling samplers revisit mappings and successive
 /// halving re-assesses survivors, so the evaluation stream is heavily
