@@ -142,6 +142,10 @@ pub fn scan_dir(dir: &Path) -> std::io::Result<DirScan> {
     for path in paths {
         match Checkpoint::read(&path) {
             Ok(ck) => scan.resumable.push((path, ck)),
+            // A file listed a moment ago can vanish when a concurrent
+            // writer renames over it or a finished run deletes it; that
+            // is churn, not corruption.
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => scan.corrupt.push((path, e)),
         }
     }
@@ -590,23 +594,37 @@ impl Checkpoint {
     }
 
     /// Atomically writes the checkpoint to `path`: the JSON is staged
-    /// as `<path>.tmp`, synced to disk, then renamed over the
-    /// destination, so a crash mid-write leaves any previous checkpoint
-    /// intact.
+    /// as a uniquely named `<path>.<pid>-<n>.tmp` file, synced to disk,
+    /// then renamed over the destination, so a crash mid-write leaves
+    /// any previous checkpoint intact — and concurrent writers (N
+    /// workers sharing a state dir) can never interleave bytes in a
+    /// shared staging file: each rename installs one writer's complete
+    /// document.
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
     pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
+        tmp.push(format!(
+            ".{}-{}.tmp",
+            std::process::id(),
+            WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         let tmp = PathBuf::from(tmp);
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(self.to_json().as_bytes())?;
-            f.sync_all()?;
+        let res = (|| {
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(self.to_json().as_bytes())?;
+                f.sync_all()?;
+            }
+            fs::rename(&tmp, path)
+        })();
+        if res.is_err() {
+            let _ = fs::remove_file(&tmp);
         }
-        fs::rename(&tmp, path)
+        res
     }
 
     /// Reads and parses a checkpoint file.
@@ -1176,6 +1194,67 @@ mod tests {
     #[test]
     fn scan_dir_missing_directory_is_io_error() {
         assert!(scan_dir(Path::new("/nonexistent/unico-ckpts")).is_err());
+    }
+
+    /// Regression for the cluster state dir: N writers hammering the
+    /// same checkpoint path while a scanner loops over the directory.
+    /// Unique staging names mean no writer can interleave bytes in
+    /// another's tmp file, every scan must parse whatever rename was
+    /// last installed, and vanishing files (rename churn) must never be
+    /// reported as corrupt.
+    #[test]
+    fn concurrent_writers_and_scans_never_observe_torn_state() {
+        let dir = std::env::temp_dir().join(format!(
+            "unico-ckpt-concurrent-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("shared.checkpoint");
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        let mut ck = sample();
+                        ck.iterations_done = (w * 100 + i) as usize;
+                        ck.write_atomic(&path).expect("concurrent write");
+                    }
+                })
+            })
+            .collect();
+        let scanner = {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let scan = scan_dir(&dir).expect("scan during writes");
+                    assert!(
+                        scan.corrupt.is_empty(),
+                        "concurrent atomic writers must never expose a torn file: {:?}",
+                        scan.corrupt
+                    );
+                }
+            })
+        };
+        for w in writers {
+            w.join().expect("writer");
+        }
+        scanner.join().expect("scanner");
+        // The survivor is one writer's complete document.
+        let back = Checkpoint::read(&path).expect("final read");
+        assert_eq!(back.config.seed, 7);
+        // No staging litter: every tmp was renamed or cleaned up.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("list")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "staging files left behind: {leftovers:?}"
+        );
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -41,6 +41,7 @@ use unico_mapping::{CanonicalMapping, Mapping, StableHasher};
 use unico_workloads::LoopNest;
 
 use crate::analytical::MappingObjective;
+use crate::disktier::{DiskTier, DiskTierStats};
 use crate::hw::{Dataflow, HwConfig};
 use crate::ppa::{EvalError, Ppa};
 
@@ -73,7 +74,7 @@ impl EvalKey {
         u128::from_str_radix(s, 16).ok().map(EvalKey)
     }
 
-    fn shard(self) -> usize {
+    pub(crate) fn shard(self) -> usize {
         // High bits come out of the avalanche finisher: uniformly mixed.
         ((self.0 >> 64) as usize) % SHARD_COUNT
     }
@@ -274,7 +275,7 @@ enum Mode {
 /// shard selection uses the high 64, so bucket and shard indices stay
 /// decorrelated.
 #[derive(Debug, Clone, Copy, Default)]
-struct PassThroughHasher(u64);
+pub(crate) struct PassThroughHasher(u64);
 
 impl std::hash::Hasher for PassThroughHasher {
     fn finish(&self) -> u64 {
@@ -289,7 +290,7 @@ impl std::hash::Hasher for PassThroughHasher {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct PassThroughState;
+pub(crate) struct PassThroughState;
 
 impl std::hash::BuildHasher for PassThroughState {
     type Hasher = PassThroughHasher;
@@ -343,6 +344,12 @@ pub struct EvalCache {
     mode: Mode,
     batch_lookups: AtomicU64,
     batch_keys: AtomicU64,
+    /// Optional second tier: consulted on an in-memory miss before
+    /// computing, fed with every fresh compute. A disk hit still counts
+    /// as an in-memory **miss**, so [`CacheStats`] — and therefore run
+    /// reports and traces — are byte-identical with the tier cold, warm
+    /// or absent; only [`DiskTier::stats`] differs.
+    disk: Option<std::sync::Arc<DiskTier>>,
 }
 
 impl Default for EvalCache {
@@ -361,7 +368,43 @@ impl EvalCache {
             mode: Mode::Record,
             batch_lookups: AtomicU64::new(0),
             batch_keys: AtomicU64::new(0),
+            disk: None,
         }
+    }
+
+    /// Attaches an on-disk second tier (see [`DiskTier`]): in-memory
+    /// misses consult the tier before computing, and fresh computes are
+    /// recorded for its next segment flush. Replay-mode caches never
+    /// have a tier — replay resolves from the golden trace only.
+    #[must_use]
+    pub fn with_disk(mut self, tier: std::sync::Arc<DiskTier>) -> Self {
+        self.disk = Some(tier);
+        self
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk(&self) -> Option<&std::sync::Arc<DiskTier>> {
+        self.disk.as_ref()
+    }
+
+    /// Flushes the disk tier's pending entries (no-op without a tier).
+    /// Returns the number of entries written.
+    pub fn flush_disk(&self) -> usize {
+        self.disk.as_ref().map_or(0, |d| d.flush())
+    }
+
+    /// Re-scans the disk tier for segments flushed by peer workers
+    /// (no-op without a tier). Returns the number of entries merged.
+    pub fn refresh_disk(&self) -> usize {
+        self.disk
+            .as_ref()
+            .and_then(|d| d.refresh().ok())
+            .unwrap_or(0)
+    }
+
+    /// Disk-tier counters, when a tier is attached.
+    pub fn disk_stats(&self) -> Option<DiskTierStats> {
+        self.disk.as_ref().map(|d| d.stats())
     }
 
     /// The process-wide shared cache, created on first use.
@@ -412,7 +455,16 @@ impl EvalCache {
             key.to_hex()
         );
         shard.misses.fetch_add(1, Ordering::Relaxed);
-        let v = compute();
+        let v = match self.disk.as_ref().and_then(|d| d.lookup(key)) {
+            Some(v) => v,
+            None => {
+                let v = compute();
+                if let Some(d) = &self.disk {
+                    d.record(key, v);
+                }
+                v
+            }
+        };
         map.entries.insert(key, v);
         map.fifo.push_back(key);
         if let Some(cap) = self.capacity_per_shard {
@@ -476,7 +528,16 @@ impl EvalCache {
                     key.to_hex()
                 );
                 misses += 1;
-                let v = compute(i);
+                let v = match self.disk.as_ref().and_then(|d| d.lookup(key)) {
+                    Some(v) => v,
+                    None => {
+                        let v = compute(i);
+                        if let Some(d) = &self.disk {
+                            d.record(key, v);
+                        }
+                        v
+                    }
+                };
                 map.entries.insert(key, v);
                 map.fifo.push_back(key);
                 if let Some(cap) = self.capacity_per_shard {
@@ -589,37 +650,14 @@ impl EvalCache {
     /// by [`EvalCache::to_trace`]. Lookups resolve from the trace only;
     /// a miss panics.
     pub fn from_trace(text: &str) -> Result<Self, TraceError> {
-        let mut lines = text.lines();
-        let header = lines.next().ok_or(TraceError::MissingHeader)?;
-        let mut parts = header.split(' ');
-        if parts.next() != Some(TRACE_HEADER) {
-            return Err(TraceError::BadHeader);
-        }
-        let count: usize = parts
-            .next()
-            .and_then(|c| c.parse().ok())
-            .ok_or(TraceError::BadHeader)?;
+        let entries = parse_trace_entries(text)?;
         let mut cache = EvalCache::new();
         cache.mode = Mode::Replay;
-        let mut loaded = 0usize;
-        for (i, line) in lines.enumerate() {
-            if line.is_empty() {
-                continue;
-            }
-            let (key_hex, rest) = line.split_once(' ').ok_or(TraceError::BadLine(i + 2))?;
-            let key = EvalKey::from_hex(key_hex).ok_or(TraceError::BadLine(i + 2))?;
-            let value = decode_result(rest).ok_or(TraceError::BadLine(i + 2))?;
+        for (key, value) in entries {
             let shard = &cache.shards[key.shard()];
             let mut map = shard.map.lock().expect("evalcache shard poisoned");
             map.entries.insert(key, value);
             map.fifo.push_back(key);
-            loaded += 1;
-        }
-        if loaded != count {
-            return Err(TraceError::CountMismatch {
-                declared: count,
-                found: loaded,
-            });
         }
         Ok(cache)
     }
@@ -646,6 +684,13 @@ impl EvalCache {
                 }
                 dst_map.entries.insert(*k, *v);
                 dst_map.fifo.push_back(*k);
+                drop(dst_map);
+                // Resume repopulates the disk tier too: entries the
+                // interrupted run computed but never flushed become
+                // durable after the resumed run's next flush.
+                if let Some(d) = &self.disk {
+                    d.record(*k, *v);
+                }
                 inserted += 1;
             }
         }
@@ -653,7 +698,47 @@ impl EvalCache {
     }
 }
 
-fn encode_result(v: &EvalResult, out: &mut String) {
+/// Parses a full golden trace into `(key, value)` pairs, enforcing the
+/// header count. Shared by [`EvalCache::from_trace`] and the disk
+/// tier's segment loader — a truncated segment fails the count check
+/// here and is skipped by the tier.
+pub(crate) fn parse_trace_entries(text: &str) -> Result<Vec<(EvalKey, EvalResult)>, TraceError> {
+    if !text.is_empty() && !text.ends_with('\n') {
+        // Every writer terminates the last line; a missing newline is a
+        // mid-line truncation that per-field parsing cannot always
+        // catch (a shortened trailing hex field still parses).
+        return Err(TraceError::Truncated);
+    }
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(TraceError::MissingHeader)?;
+    let mut parts = header.split(' ');
+    if parts.next() != Some(TRACE_HEADER) {
+        return Err(TraceError::BadHeader);
+    }
+    let count: usize = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or(TraceError::BadHeader)?;
+    let mut entries = Vec::with_capacity(count);
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (key_hex, rest) = line.split_once(' ').ok_or(TraceError::BadLine(i + 2))?;
+        let key = EvalKey::from_hex(key_hex).ok_or(TraceError::BadLine(i + 2))?;
+        let value = decode_result(rest).ok_or(TraceError::BadLine(i + 2))?;
+        entries.push((key, value));
+    }
+    if entries.len() != count {
+        return Err(TraceError::CountMismatch {
+            declared: count,
+            found: entries.len(),
+        });
+    }
+    Ok(entries)
+}
+
+pub(crate) fn encode_result(v: &EvalResult, out: &mut String) {
     use std::fmt::Write;
     match v {
         Ok(p) => {
@@ -687,9 +772,13 @@ fn decode_result(s: &str) -> Option<EvalResult> {
     match parts.next()? {
         "P" => {
             let mut next_f64 = || -> Option<f64> {
-                u64::from_str_radix(parts.next()?, 16)
-                    .ok()
-                    .map(f64::from_bits)
+                let field = parts.next()?;
+                // Writers emit exactly 16 hex digits; anything shorter
+                // is a torn field.
+                if field.len() != 16 {
+                    return None;
+                }
+                u64::from_str_radix(field, 16).ok().map(f64::from_bits)
             };
             let latency_s = next_f64()?;
             let power_mw = next_f64()?;
@@ -724,6 +813,9 @@ pub enum TraceError {
     BadHeader,
     /// An entry line (1-based) failed to parse.
     BadLine(usize),
+    /// The text does not end in a newline: the final line was cut
+    /// mid-write (only complete, writer-terminated traces are trusted).
+    Truncated,
     /// The header count disagrees with the number of entry lines.
     CountMismatch {
         /// Count declared in the header.
@@ -741,6 +833,9 @@ impl fmt::Display for TraceError {
                 write!(f, "golden trace header is not `{TRACE_HEADER} <count>`")
             }
             TraceError::BadLine(n) => write!(f, "golden trace line {n} failed to parse"),
+            TraceError::Truncated => {
+                write!(f, "golden trace is truncated (no terminating newline)")
+            }
             TraceError::CountMismatch { declared, found } => write!(
                 f,
                 "golden trace declares {declared} entries but contains {found}"

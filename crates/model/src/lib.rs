@@ -45,6 +45,7 @@
 
 mod analytical;
 mod batch;
+mod disktier;
 mod evalcache;
 mod hw;
 mod loopcentric;
@@ -55,6 +56,7 @@ mod traffic;
 
 pub use analytical::{AnalyticalModel, BoundSpatialCost, EvalBreakdown, MappingObjective};
 pub use batch::MappingBatch;
+pub use disktier::{DiskTier, DiskTierStats};
 pub use evalcache::{
     spatial_eval_key, spatial_key_prefix, BatchStats, CacheStats, EngineTag, EvalCache, EvalKey,
     EvalKeyBuilder, EvalResult, TraceError, SHARD_COUNT, TRACE_HEADER,

@@ -1,0 +1,289 @@
+//! Differential and property oracles for the on-disk eval-cache tier.
+//!
+//! The disk tier's contract is *observational transparency*: routing an
+//! optimization's evaluations through `EvalCache + DiskTier` must
+//! produce PPA results, golden traces and in-memory hit/miss counters
+//! byte-for-byte identical to a memory-only cache — cold or warm — with
+//! only the [`DiskTierStats`] counters telling the tiers apart. The
+//! suite pins that down three ways:
+//!
+//! * **Differential:** the same evaluation schedule (feasible and
+//!   infeasible mappings, replayed for hits) through a memory-only
+//!   cache, a cold memory+disk cache, and a warm memory+disk cache over
+//!   a reopened directory. All three must agree on every result bit,
+//!   the serialized trace, and the memory-tier counters; the warm run
+//!   must additionally answer every distinct key from disk without
+//!   invoking the compute closure once.
+//! * **Property:** segments round-trip arbitrary IEEE-754 bit patterns
+//!   (NaN payloads, infinities, negative zero) exactly through
+//!   record → flush → reopen → lookup.
+//! * **Corruption:** a segment truncated behind a warm tier's back is
+//!   detected on reopen, never served, and the cache falls back to
+//!   recomputing the identical bits.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unico_mapping::Mapping;
+use unico_model::{
+    spatial_eval_key, AnalyticalModel, CacheStats, Dataflow, DiskTier, EngineTag, EvalCache,
+    EvalKey, HwConfig, MappingObjective, Ppa, TechParams,
+};
+use unico_workloads::{Dim, LoopNest, TensorOp};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "unico-disktier-diff-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// Small conv layers `(k, c, y=x)` with 3×3 kernels, sized so the
+/// 16×16 reference array finds the hand-rolled mapping feasible.
+const GRID: [(u64, u64, u64); 5] = [
+    (8, 8, 8),
+    (16, 8, 14),
+    (16, 16, 14),
+    (32, 16, 28),
+    (8, 16, 8),
+];
+
+fn layer(k: u64, c: u64, yx: u64) -> LoopNest {
+    TensorOp::Conv2d {
+        n: 1,
+        k,
+        c,
+        y: yx,
+        x: yx,
+        r: 3,
+        s: 3,
+        stride: 1,
+    }
+    .to_loop_nest()
+}
+
+/// A conservative mapping feasible for every layer in the grid —
+/// except with `oversize`, which blows the L1 tile past the scratchpad
+/// so the evaluation returns an `EvalError` (errors are cached and
+/// serialized too, and must survive the disk tier bit-for-bit).
+fn mapping(n: &LoopNest, oversize: bool) -> Mapping {
+    let mut l2 = n.extents();
+    l2[Dim::C.index()] = l2[Dim::C.index()].min(16);
+    let mut l1 = [1u64; 7];
+    if oversize {
+        l1 = n.extents();
+    } else {
+        l1[Dim::K.index()] = n.extent(Dim::K).min(8);
+        l1[Dim::Y.index()] = n.extent(Dim::Y).min(8);
+        l1[Dim::X.index()] = n.extent(Dim::X).min(4);
+        l1[Dim::C.index()] = n.extent(Dim::C).min(4);
+    }
+    Mapping::new(n, l2, l1, Dim::ALL, (Dim::K, Dim::Y))
+}
+
+/// Bit-exact fingerprint of an evaluation result (`PartialEq` would
+/// conflate NaN payloads and `-0.0`/`0.0`).
+fn fingerprint(r: &Result<Ppa, unico_model::EvalError>) -> String {
+    match r {
+        Ok(p) => format!(
+            "ok {:016x} {:016x} {:016x} {:016x}",
+            p.latency_s.to_bits(),
+            p.power_mw.to_bits(),
+            p.area_mm2.to_bits(),
+            p.energy_pj.to_bits()
+        ),
+        Err(e) => format!("err {e:?}"),
+    }
+}
+
+/// Runs the reference evaluation schedule through `cache`: every grid
+/// layer twice (miss then hit) with a feasible and an infeasible
+/// mapping. Returns the result fingerprints in schedule order and the
+/// number of times the compute closure actually ran.
+fn run_schedule(cache: &EvalCache) -> (Vec<String>, u64) {
+    let model = AnalyticalModel::new(TechParams::default());
+    let hw = HwConfig::new(16, 16, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
+    let computes = AtomicU64::new(0);
+    let mut out = Vec::new();
+    for _pass in 0..2 {
+        for (k, c, yx) in GRID {
+            for oversize in [false, true] {
+                let nest = layer(k, c, yx);
+                let m = mapping(&nest, oversize);
+                let key = spatial_eval_key(
+                    EngineTag::DataCentric,
+                    &hw,
+                    &m,
+                    &nest,
+                    MappingObjective::Latency,
+                );
+                let r = cache.get_or_compute(key, || {
+                    computes.fetch_add(1, Ordering::Relaxed);
+                    model.evaluate(&hw, &m, &nest)
+                });
+                out.push(fingerprint(&r));
+            }
+        }
+    }
+    (out, computes.load(Ordering::Relaxed))
+}
+
+fn assert_same_memory_stats(a: &CacheStats, b: &CacheStats, what: &str) {
+    assert_eq!(a.hits, b.hits, "{what}: hits diverged");
+    assert_eq!(a.misses, b.misses, "{what}: misses diverged");
+    assert_eq!(a.evictions, b.evictions, "{what}: evictions diverged");
+    assert_eq!(a.entries, b.entries, "{what}: entries diverged");
+}
+
+#[test]
+fn disk_tier_is_observationally_transparent() {
+    let dir = tmpdir("transparent");
+
+    // Reference: memory-only.
+    let mem_only = EvalCache::new();
+    let (ref_results, ref_computes) = run_schedule(&mem_only);
+    assert!(ref_computes > 0, "schedule must exercise the compute path");
+
+    // Cold disk tier: every result, the trace, and the memory counters
+    // must be indistinguishable from the memory-only run.
+    let cold = EvalCache::new().with_disk(Arc::new(DiskTier::open(&dir).expect("open cold")));
+    let (cold_results, cold_computes) = run_schedule(&cold);
+    assert_eq!(ref_results, cold_results, "cold disk changed result bits");
+    assert_eq!(
+        ref_computes, cold_computes,
+        "cold disk changed compute count"
+    );
+    assert_eq!(
+        mem_only.to_trace(),
+        cold.to_trace(),
+        "cold disk changed the serialized trace"
+    );
+    assert_same_memory_stats(&mem_only.stats(), &cold.stats(), "cold");
+    let cold_disk = cold.disk_stats().expect("cold tier attached");
+    assert_eq!(cold_disk.hits, 0, "nothing on disk yet");
+    let flushed = cold.flush_disk();
+    assert_eq!(
+        flushed as u64,
+        mem_only.stats().misses,
+        "every distinct evaluation (incl. errors) must be flushed"
+    );
+
+    // Warm tier over a reopened directory: identical observable
+    // behavior again, but now zero computes — every distinct key is
+    // answered by the disk index.
+    let warm = EvalCache::new().with_disk(Arc::new(DiskTier::open(&dir).expect("reopen warm")));
+    let (warm_results, warm_computes) = run_schedule(&warm);
+    assert_eq!(ref_results, warm_results, "warm disk changed result bits");
+    assert_eq!(warm_computes, 0, "warm disk must answer every miss");
+    assert_eq!(
+        mem_only.to_trace(),
+        warm.to_trace(),
+        "warm disk changed the serialized trace"
+    );
+    assert_same_memory_stats(&mem_only.stats(), &warm.stats(), "warm");
+    let warm_disk = warm.disk_stats().expect("warm tier attached");
+    assert_eq!(
+        warm_disk.hits,
+        mem_only.stats().misses,
+        "each distinct key must hit disk exactly once"
+    );
+    assert_eq!(warm_disk.misses, 0);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_segment_is_skipped_and_recomputed_identically() {
+    let dir = tmpdir("truncated");
+    let cold = EvalCache::new().with_disk(Arc::new(DiskTier::open(&dir).expect("open")));
+    let (ref_results, _) = run_schedule(&cold);
+    cold.flush_disk();
+
+    // Tear every segment: strip the trailing bytes (including the final
+    // newline) so the writer-terminates-with-newline invariant fails.
+    let mut torn = 0u64;
+    for shard in fs::read_dir(&dir).expect("shards") {
+        let shard = shard.expect("shard").path();
+        for seg in fs::read_dir(&shard).expect("segments") {
+            let seg = seg.expect("segment").path();
+            let text = fs::read_to_string(&seg).expect("read segment");
+            fs::write(&seg, &text[..text.len().saturating_sub(3)]).expect("truncate");
+            torn += 1;
+        }
+    }
+    assert!(torn > 0, "flush must have produced segments");
+
+    let reopened = EvalCache::new().with_disk(Arc::new(DiskTier::open(&dir).expect("reopen")));
+    let stats = reopened.disk_stats().expect("tier attached");
+    assert_eq!(stats.entries, 0, "no torn entry may be trusted");
+    assert_eq!(stats.segments_skipped, torn, "every torn segment counted");
+
+    // The cache degrades to computing — with the exact same bits.
+    let (recomputed, computes) = run_schedule(&reopened);
+    assert_eq!(ref_results, recomputed, "recomputed bits diverged");
+    assert!(computes > 0, "all entries must be recomputed");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Key/value pair with fully arbitrary bit patterns: the key is any
+/// `u128`, the four PPA fields are any `u64` bit patterns — quiet and
+/// signaling NaNs, infinities, subnormals, negative zero included.
+fn arb_entry() -> impl Strategy<Value = (u128, [u64; 4])> {
+    (
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        proptest::array::uniform4(0u64..=u64::MAX),
+    )
+        .prop_map(|(hi, lo, bits)| (((hi as u128) << 64) | lo as u128, bits))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn segments_round_trip_arbitrary_bit_patterns(entries in proptest::collection::vec(arb_entry(), 1..24)) {
+        let dir = tmpdir("proptest");
+        let tier = DiskTier::open(&dir).expect("open");
+        let mut expected: Vec<(EvalKey, [u64; 4])> = Vec::new();
+        for (kbits, vbits) in &entries {
+            let key = EvalKey::from_hex(&format!("{kbits:032x}")).expect("key hex");
+            let ppa = Ppa {
+                latency_s: f64::from_bits(vbits[0]),
+                power_mw: f64::from_bits(vbits[1]),
+                area_mm2: f64::from_bits(vbits[2]),
+                energy_pj: f64::from_bits(vbits[3]),
+            };
+            tier.record(key, Ok(ppa));
+            // First record of a key wins (duplicates in the generated
+            // vector are skipped by the tier's index).
+            if !expected.iter().any(|(k, _)| *k == key) {
+                expected.push((key, *vbits));
+            }
+        }
+        prop_assert_eq!(tier.flush(), expected.len());
+
+        let reopened = DiskTier::open(&dir).expect("reopen");
+        prop_assert_eq!(reopened.len(), expected.len());
+        for (key, vbits) in &expected {
+            let got = reopened
+                .lookup(*key)
+                .expect("entry present")
+                .expect("Ok result");
+            let got_bits = [
+                got.latency_s.to_bits(),
+                got.power_mw.to_bits(),
+                got.area_mm2.to_bits(),
+                got.energy_pj.to_bits(),
+            ];
+            prop_assert_eq!(&got_bits, vbits, "bit pattern mangled for key {}", key.to_hex());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,12 +1,25 @@
 //! The UNICO job-service daemon.
 //!
-//! Configuration comes from the environment (all optional, malformed
-//! values abort the boot with a diagnostic and a nonzero exit):
+//! Roles (first CLI argument):
+//!
+//! * *(none)* — single-process daemon: HTTP API + local worker pool.
+//! * `--coordinator` — cluster coordinator: HTTP API + `/cluster/v1/*`
+//!   lease protocol, zero local workers; `--worker` processes do the
+//!   running.
+//! * `--worker` — cluster worker: no listen socket, pulls leases from
+//!   `UNICO_CLUSTER_COORDINATOR` and runs jobs over the shared state
+//!   dir.
+//!
+//! Configuration comes from the environment (all optional unless
+//! noted, malformed values abort the boot with a diagnostic and a
+//! nonzero exit):
 //!
 //! * `UNICO_SERVE_ADDR` — listen address (default `127.0.0.1:8787`).
-//! * `UNICO_SERVE_WORKERS` — worker threads (default 2).
+//! * `UNICO_SERVE_WORKERS` — worker threads (default 2; ignored in
+//!   `--coordinator` mode, which runs zero local workers).
 //! * `UNICO_SERVE_STATE_DIR` — manifests/checkpoints/results
-//!   directory (default `unico-serve-state`).
+//!   directory (default `unico-serve-state`); cluster roles must
+//!   share it.
 //! * `UNICO_SERVE_MAX_BODY` — request-body cap in bytes (default 1 MiB).
 //! * `UNICO_SERVE_HEAD_TIMEOUT_MS` — slowloris guard: total time a
 //!   client gets to deliver one request (default 10000).
@@ -14,6 +27,15 @@
 //!   (default 60000).
 //! * `UNICO_SERVE_SUBSCRIBER_QUEUE` — per-`/events`-subscriber queue
 //!   bound in bytes (default 262144).
+//! * `UNICO_CLUSTER_MAX_QUEUE` — admission bound before 429 (default 256).
+//! * `UNICO_CLUSTER_LEASE_TIMEOUT_MS` — silence before a worker's
+//!   lease is reaped (default 10000).
+//! * `UNICO_CLUSTER_DISK_CACHE` — directory for the shared on-disk
+//!   eval-cache tier (unset: memory-only).
+//! * `UNICO_CLUSTER_COORDINATOR` — coordinator `host:port` (**required**
+//!   for `--worker`).
+//! * `UNICO_CLUSTER_WORKER_ID` — worker identity (default `worker-<pid>`).
+//! * `UNICO_CLUSTER_HEARTBEAT_MS` — heartbeat cadence (default 250).
 //!
 //! On boot the daemon scans the state directory and requeues every job
 //! whose manifest is not terminal; jobs with a surviving checkpoint
@@ -21,16 +43,30 @@
 
 use std::sync::Arc;
 
-use unico_model::EvalCache;
-use unico_serve::{BootError, Scheduler, ServeConfig, Server};
+use unico_model::{DiskTier, EvalCache};
+use unico_serve::{BootError, ClusterState, Scheduler, ServeConfig, Server, WorkerConfig};
 
-fn run() -> Result<(), BootError> {
+/// Builds the process cache, attaching the disk tier when configured.
+fn build_cache(cfg: &ServeConfig) -> Result<Arc<EvalCache>, BootError> {
+    match &cfg.disk_cache {
+        None => Ok(EvalCache::process_shared()),
+        Some(dir) => {
+            let tier = DiskTier::open(dir).map_err(|e| BootError::Scheduler {
+                state_dir: dir.clone(),
+                source: e,
+            })?;
+            Ok(Arc::new(EvalCache::new().with_disk(Arc::new(tier))))
+        }
+    }
+}
+
+fn run_single() -> Result<(), BootError> {
     let cfg = ServeConfig::try_from_env().map_err(BootError::Config)?;
-    let sched =
-        Scheduler::start(&cfg, EvalCache::process_shared()).map_err(|e| BootError::Scheduler {
-            state_dir: cfg.state_dir.clone(),
-            source: e,
-        })?;
+    let cache = build_cache(&cfg)?;
+    let sched = Scheduler::start(&cfg, cache).map_err(|e| BootError::Scheduler {
+        state_dir: cfg.state_dir.clone(),
+        source: e,
+    })?;
     let server = Server::serve(&cfg, Arc::clone(&sched)).map_err(|e| BootError::Bind {
         addr: cfg.addr.clone(),
         source: e,
@@ -41,6 +77,59 @@ fn run() -> Result<(), BootError> {
         cfg.state_dir.display(),
         cfg.workers
     );
+    sleep_forever()
+}
+
+fn run_coordinator() -> Result<(), BootError> {
+    let mut cfg = ServeConfig::try_from_env().map_err(BootError::Config)?;
+    // Remote workers do all the running; a local pool would race them
+    // for queue pops and defeat the throughput accounting.
+    cfg.workers = 0;
+    let cache = build_cache(&cfg)?;
+    let sched = Scheduler::start(&cfg, cache).map_err(|e| BootError::Scheduler {
+        state_dir: cfg.state_dir.clone(),
+        source: e,
+    })?;
+    let cluster = Arc::new(ClusterState::new(Arc::clone(&sched), cfg.lease_timeout));
+    let server = Server::serve_cluster(&cfg, Arc::clone(&sched), Some(cluster)).map_err(|e| {
+        BootError::Bind {
+            addr: cfg.addr.clone(),
+            source: e,
+        }
+    })?;
+    println!("unico-served coordinator listening on {}", server.addr());
+    println!(
+        "unico-served state dir {} (lease timeout {:?})",
+        cfg.state_dir.display(),
+        cfg.lease_timeout
+    );
+    sleep_forever()
+}
+
+fn run_worker() -> Result<(), BootError> {
+    let serve_cfg = ServeConfig::try_from_env().map_err(BootError::Config)?;
+    let cfg = WorkerConfig::try_from_env().map_err(BootError::Config)?;
+    let cache = build_cache(&serve_cfg)?;
+    let handle =
+        unico_serve::worker::spawn(cfg.clone(), cache).map_err(|e| BootError::Scheduler {
+            state_dir: cfg.state_dir.clone(),
+            source: e,
+        })?;
+    println!(
+        "unico-served worker {} pulling from {}",
+        cfg.worker_id, cfg.coordinator
+    );
+    // Block until the pull loop exits (normally never — workers run
+    // until killed; the kill hook only ends a loop in-process tests
+    // configure to die).
+    while !handle.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+    handle.stop();
+    Ok(())
+}
+
+fn sleep_forever() -> Result<(), BootError> {
     // Serve until killed; durability is the whole point — recovery
     // happens on the next boot, not on the way down.
     loop {
@@ -49,7 +138,17 @@ fn run() -> Result<(), BootError> {
 }
 
 fn main() {
-    if let Err(e) = run() {
+    let role = std::env::args().nth(1);
+    let result = match role.as_deref() {
+        None => run_single(),
+        Some("--coordinator") => run_coordinator(),
+        Some("--worker") => run_worker(),
+        Some(other) => {
+            eprintln!("unico-served: unknown role {other:?} (expected --coordinator or --worker)");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
         eprintln!("unico-served: {e}");
         std::process::exit(1);
     }

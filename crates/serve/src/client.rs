@@ -1,0 +1,145 @@
+//! A minimal blocking HTTP/1.1 client for intra-cluster calls.
+//!
+//! Workers talk to the coordinator over the same hand-rolled HTTP
+//! layer the daemon serves — one connection per request, `Connection:
+//! close`, read-to-end. That is deliberately the simplest correct
+//! thing: cluster calls are small JSON documents exchanged every few
+//! hundred milliseconds, so connection reuse buys nothing and the
+//! close semantics make response framing trivial.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Sends one request and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Any socket error, a timeout, or an unparseable response head.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// `POST` with a JSON body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(
+    addr: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body), timeout)
+}
+
+/// `GET` with no body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, None, timeout)
+}
+
+/// Parses a `Connection: close` response: status from the first line,
+/// body after the blank line (de-chunked if the server streamed).
+fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response missing head terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("head is not utf-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("unparseable status line"))?;
+    let chunked = lines.any(|l| {
+        let lower = l.to_ascii_lowercase();
+        lower.starts_with("transfer-encoding:") && lower.contains("chunked")
+    });
+    let body = &raw[head_end + 4..];
+    let text = if chunked {
+        String::from_utf8(dechunk(body)?).map_err(|_| bad("body is not utf-8"))?
+    } else {
+        String::from_utf8(body.to_vec()).map_err(|_| bad("body is not utf-8"))?
+    };
+    Ok((status, text))
+}
+
+fn dechunk(mut body: &[u8]) -> std::io::Result<Vec<u8>> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut out = Vec::new();
+    loop {
+        let line_end = body
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| bad("chunk size line missing"))?;
+        let size_str =
+            std::str::from_utf8(&body[..line_end]).map_err(|_| bad("chunk size not utf-8"))?;
+        let size =
+            usize::from_str_radix(size_str.trim(), 16).map_err(|_| bad("chunk size not hex"))?;
+        body = &body[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if body.len() < size + 2 {
+            return Err(bad("truncated chunk"));
+        }
+        out.extend_from_slice(&body[..size]);
+        body = &body[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_content_length_response() {
+        let raw = b"HTTP/1.1 201 Created\r\nContent-Type: application/json\r\nContent-Length: 11\r\n\r\n{\"ok\":true}";
+        let (status, body) = parse_response(raw).expect("parse");
+        assert_eq!(status, 201);
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn parses_chunked_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let (status, body) = parse_response(raw).expect("parse");
+        assert_eq!(status, 200);
+        assert_eq!(body, "hello world");
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        for raw in [&b"nope"[..], &b"HTTP/1.1 xx OK\r\n\r\n"[..], &b""[..]] {
+            assert!(parse_response(raw).is_err(), "{raw:?}");
+        }
+    }
+}

@@ -1,0 +1,580 @@
+//! Coordinator-side cluster state: leases, reaping, and the wire
+//! protocol handlers behind `/cluster/v1/*`.
+//!
+//! The cluster is pull-based (work stealing): workers poll
+//! `POST /cluster/v1/lease` and the coordinator hands out the next
+//! fair-queued job under a *lease* — a claim that expires unless the
+//! worker heartbeats. There is no reaper thread; expiry is checked on
+//! every lease and heartbeat call, which the fleet makes continuously.
+//! A reaped lease requeues its job (bypassing admission), and the next
+//! worker to claim it resumes from the shared-state-dir checkpoint —
+//! the same recovery path a daemon restart uses.
+//!
+//! Completion travels as a `unico.cluster_complete.v1` document whose
+//! report fields are escaped JSON *strings*, so the coordinator
+//! persists the worker's exact bytes and the byte-identical oracles
+//! hold across process boundaries.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use unico_search::TelemetrySnapshot;
+
+use crate::job::JobOutcome;
+use crate::json::{self, Json};
+use crate::scheduler::Scheduler;
+
+/// Monotonic cluster counters exported via `/metrics`.
+#[derive(Debug, Default)]
+pub struct ClusterCounters {
+    /// Leases handed to pulling workers.
+    pub leases_granted: AtomicU64,
+    /// Leases reaped after their worker went silent.
+    pub leases_expired: AtomicU64,
+    /// Jobs completed by remote workers.
+    pub remote_completions: AtomicU64,
+    /// Jobs failed by remote workers.
+    pub remote_failures: AtomicU64,
+    /// Heartbeats received.
+    pub heartbeats: AtomicU64,
+}
+
+/// A worker's self-reported cache totals (memory + disk tier), summed
+/// across the fleet for `/metrics`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WorkerCacheReport {
+    /// In-memory cache hits.
+    pub hits: u64,
+    /// In-memory cache misses.
+    pub misses: u64,
+    /// In-memory entries resident.
+    pub entries: u64,
+    /// Disk-tier hits (in-memory misses served from segments).
+    pub disk_hits: u64,
+    /// Disk-tier entries indexed.
+    pub disk_entries: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Lease {
+    job_id: String,
+    worker: String,
+    deadline: Instant,
+}
+
+/// Shared coordinator state for cluster mode.
+pub struct ClusterState {
+    sched: Arc<Scheduler>,
+    lease_timeout: Duration,
+    leases: Mutex<BTreeMap<String, Lease>>,
+    next_lease: AtomicU64,
+    worker_caches: Mutex<BTreeMap<String, WorkerCacheReport>>,
+    /// Cluster lifecycle counters.
+    pub counters: ClusterCounters,
+}
+
+impl ClusterState {
+    /// Creates cluster state over a scheduler (typically one with zero
+    /// local workers, so remote workers do all the running).
+    pub fn new(sched: Arc<Scheduler>, lease_timeout: Duration) -> Self {
+        ClusterState {
+            sched,
+            lease_timeout,
+            leases: Mutex::new(BTreeMap::new()),
+            next_lease: AtomicU64::new(1),
+            worker_caches: Mutex::new(BTreeMap::new()),
+            counters: ClusterCounters::default(),
+        }
+    }
+
+    /// The scheduler this cluster shards for.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Leases currently outstanding.
+    pub fn active_leases(&self) -> usize {
+        self.leases.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Sum of every worker's latest cache report.
+    pub fn fleet_cache(&self) -> WorkerCacheReport {
+        let caches = self.worker_caches.lock().unwrap_or_else(|e| e.into_inner());
+        let mut total = WorkerCacheReport::default();
+        for c in caches.values() {
+            total.hits += c.hits;
+            total.misses += c.misses;
+            total.entries += c.entries;
+            total.disk_hits += c.disk_hits;
+            total.disk_entries += c.disk_entries;
+        }
+        total
+    }
+
+    /// Workers that have reported in.
+    pub fn workers_seen(&self) -> usize {
+        self.worker_caches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Reaps leases whose worker went silent past the timeout,
+    /// requeueing their jobs. Called from every lease and heartbeat.
+    fn reap(&self) {
+        let now = Instant::now();
+        let expired: Vec<Lease> = {
+            let mut leases = self.leases.lock().unwrap_or_else(|e| e.into_inner());
+            let dead: Vec<String> = leases
+                .iter()
+                .filter(|(_, l)| l.deadline <= now)
+                .map(|(id, _)| id.clone())
+                .collect();
+            dead.iter().filter_map(|id| leases.remove(id)).collect()
+        };
+        for lease in expired {
+            self.counters.leases_expired.fetch_add(1, Ordering::Relaxed);
+            if let Some(job) = self.sched.get(&lease.job_id) {
+                job.events.push(format!(
+                    "{{\"event\":\"lease-reaped\",\"worker\":{}}}",
+                    json::escape(&lease.worker)
+                ));
+                self.sched.requeue(&job);
+            }
+        }
+    }
+
+    /// `POST /cluster/v1/lease` — hand the next queued job to `worker`.
+    /// 200 with `{lease, job, spec}` or 204 when the queue is idle.
+    pub fn handle_lease(&self, body: &Json) -> (u16, String) {
+        let worker = match body.get("worker").map(|w| w.as_str("worker")) {
+            Some(Ok(w)) => w.to_string(),
+            _ => return (422, "{\"error\":\"worker: required field missing\"}".into()),
+        };
+        self.reap();
+        while let Some(id) = self.sched.try_pop() {
+            let Some(job) = self.sched.get(&id) else {
+                continue;
+            };
+            // Finishes a pending cancellation instead of leasing it.
+            if !self.sched.begin_running(&job) {
+                continue;
+            }
+            let lease_id = format!(
+                "lease-{:06}",
+                self.next_lease.fetch_add(1, Ordering::SeqCst)
+            );
+            self.leases
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(
+                    lease_id.clone(),
+                    Lease {
+                        job_id: id.clone(),
+                        worker: worker.clone(),
+                        deadline: Instant::now() + self.lease_timeout,
+                    },
+                );
+            self.counters.leases_granted.fetch_add(1, Ordering::Relaxed);
+            job.events.push(format!(
+                "{{\"event\":\"leased\",\"worker\":{},\"lease\":{}}}",
+                json::escape(&worker),
+                json::escape(&lease_id)
+            ));
+            let doc = format!(
+                "{{\"lease\":{},\"job\":{},\"spec\":{}}}",
+                json::escape(&lease_id),
+                json::escape(&id),
+                job.spec.to_json()
+            );
+            return (200, doc);
+        }
+        (204, String::new())
+    }
+
+    /// `POST /cluster/v1/heartbeat` — extend a lease, relay the
+    /// worker's new events, and record its cache report. 410 when the
+    /// lease is gone (reaped or never existed): the worker must stop.
+    pub fn handle_heartbeat(&self, body: &Json) -> (u16, String) {
+        self.counters.heartbeats.fetch_add(1, Ordering::Relaxed);
+        self.reap();
+        let lease_id = match body.get("lease").map(|l| l.as_str("lease")) {
+            Some(Ok(l)) => l.to_string(),
+            _ => return (422, "{\"error\":\"lease: required field missing\"}".into()),
+        };
+        let job_id = {
+            let mut leases = self.leases.lock().unwrap_or_else(|e| e.into_inner());
+            match leases.get_mut(&lease_id) {
+                Some(lease) => {
+                    lease.deadline = Instant::now() + self.lease_timeout;
+                    lease.job_id.clone()
+                }
+                None => return (410, "{\"error\":\"lease expired\"}".into()),
+            }
+        };
+        if let (Some(Ok(worker)), Some(report)) = (
+            body.get("worker").map(|w| w.as_str("worker")),
+            body.get("cache")
+                .and_then(|c| cache_report_from_wire(c).ok()),
+        ) {
+            self.worker_caches
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(worker.to_string(), report);
+        }
+        let Some(job) = self.sched.get(&job_id) else {
+            return (410, "{\"error\":\"job unknown\"}".into());
+        };
+        relay_events(body, &job);
+        let cancel = job.cancel.load(Ordering::SeqCst) || job.state().is_terminal();
+        (200, format!("{{\"ok\":true,\"cancel\":{cancel}}}"))
+    }
+
+    /// `POST /cluster/v1/complete` — accept a finished job. An expired
+    /// lease does *not* reject the result: if the job is still
+    /// non-terminal the work is good (first completion wins; 409 for
+    /// late duplicates).
+    pub fn handle_complete(&self, body: &Json) -> (u16, String) {
+        let schema = body.get("schema").and_then(|s| s.as_str("schema").ok());
+        if schema != Some("unico.cluster_complete.v1") {
+            return (
+                422,
+                "{\"error\":\"schema: expected unico.cluster_complete.v1\"}".into(),
+            );
+        }
+        let job_id = match body.get("job").map(|j| j.as_str("job")) {
+            Some(Ok(j)) => j.to_string(),
+            _ => return (422, "{\"error\":\"job: required field missing\"}".into()),
+        };
+        let outcome = match body
+            .get("outcome")
+            .ok_or("outcome: required field missing".to_string())
+            .and_then(JobOutcome::from_wire)
+        {
+            Ok(o) => o,
+            Err(e) => return (422, format!("{{\"error\":{}}}", json::escape(&e))),
+        };
+        let telemetry = body
+            .get("telemetry")
+            .and_then(|t| telemetry_from_wire(t).ok())
+            .unwrap_or_default();
+        let resumed = body
+            .get("resumed")
+            .and_then(|r| r.as_bool("resumed").ok())
+            .unwrap_or(false);
+        self.drop_lease(body);
+        self.record_cache_report(body);
+        let Some(job) = self.sched.get(&job_id) else {
+            return (404, "{\"error\":\"job unknown\"}".into());
+        };
+        relay_events(body, &job);
+        if self.sched.complete(&job, outcome, telemetry, resumed) {
+            self.counters
+                .remote_completions
+                .fetch_add(1, Ordering::Relaxed);
+            (200, "{\"ok\":true}".into())
+        } else {
+            (409, "{\"error\":\"job already terminal\"}".into())
+        }
+    }
+
+    /// `POST /cluster/v1/fail` — a worker's run panicked (other than
+    /// the kill hook, which emulates worker death instead).
+    pub fn handle_fail(&self, body: &Json) -> (u16, String) {
+        let job_id = match body.get("job").map(|j| j.as_str("job")) {
+            Some(Ok(j)) => j.to_string(),
+            _ => return (422, "{\"error\":\"job: required field missing\"}".into()),
+        };
+        let msg = body
+            .get("error")
+            .and_then(|e| e.as_str("error").ok())
+            .unwrap_or("remote worker failure")
+            .to_string();
+        self.drop_lease(body);
+        let Some(job) = self.sched.get(&job_id) else {
+            return (404, "{\"error\":\"job unknown\"}".into());
+        };
+        relay_events(body, &job);
+        if self.sched.fail(&job, msg) {
+            self.counters
+                .remote_failures
+                .fetch_add(1, Ordering::Relaxed);
+            (200, "{\"ok\":true}".into())
+        } else {
+            (409, "{\"error\":\"job already terminal\"}".into())
+        }
+    }
+
+    /// `GET /cluster/v1/status` — the coordinator's cluster summary.
+    pub fn status_json(&self) -> String {
+        let fleet = self.fleet_cache();
+        format!(
+            "{{\"active_leases\":{},\"workers_seen\":{},\"leases_granted\":{},\"leases_expired\":{},\"remote_completions\":{},\"remote_failures\":{},\"heartbeats\":{},\"fleet_cache\":{}}}",
+            self.active_leases(),
+            self.workers_seen(),
+            self.counters.leases_granted.load(Ordering::Relaxed),
+            self.counters.leases_expired.load(Ordering::Relaxed),
+            self.counters.remote_completions.load(Ordering::Relaxed),
+            self.counters.remote_failures.load(Ordering::Relaxed),
+            self.counters.heartbeats.load(Ordering::Relaxed),
+            cache_report_to_wire(&fleet),
+        )
+    }
+
+    fn drop_lease(&self, body: &Json) {
+        if let Some(Ok(lease)) = body.get("lease").map(|l| l.as_str("lease")) {
+            self.leases
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(lease);
+        }
+    }
+
+    fn record_cache_report(&self, body: &Json) {
+        if let (Some(Ok(worker)), Some(report)) = (
+            body.get("worker").map(|w| w.as_str("worker")),
+            body.get("cache")
+                .and_then(|c| cache_report_from_wire(c).ok()),
+        ) {
+            self.worker_caches
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(worker.to_string(), report);
+        }
+    }
+}
+
+/// Pushes the `events` array of a wire document (complete JSON lines
+/// the worker's run emitted) into the coordinator's job event log.
+fn relay_events(body: &Json, job: &crate::job::Job) {
+    if let Some(Ok(events)) = body.get("events").map(|e| e.as_arr("events")) {
+        for ev in events {
+            if let Ok(line) = ev.as_str("events[]") {
+                job.events.push(line.to_string());
+            }
+        }
+    }
+}
+
+/// Renders a cache report for the wire (u64 counters as quoted decimal
+/// strings — same convention as the front bit patterns).
+pub(crate) fn cache_report_to_wire(c: &WorkerCacheReport) -> String {
+    format!(
+        "{{\"hits\":\"{}\",\"misses\":\"{}\",\"entries\":\"{}\",\"disk_hits\":\"{}\",\"disk_entries\":\"{}\"}}",
+        c.hits, c.misses, c.entries, c.disk_hits, c.disk_entries
+    )
+}
+
+pub(crate) fn cache_report_from_wire(v: &Json) -> Result<WorkerCacheReport, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        match v.get(name) {
+            None => Ok(0),
+            Some(j) => {
+                let s = j.as_str(name)?;
+                s.parse::<u64>()
+                    .map_err(|_| format!("{name}: bad counter {s:?}"))
+            }
+        }
+    };
+    Ok(WorkerCacheReport {
+        hits: field("hits")?,
+        misses: field("misses")?,
+        entries: field("entries")?,
+        disk_hits: field("disk_hits")?,
+        disk_entries: field("disk_entries")?,
+    })
+}
+
+/// Renders a telemetry snapshot for the wire. Counters and phase
+/// seconds are quoted — counters as decimals, phases as IEEE-754 bit
+/// patterns — so the document round-trips bit-exactly.
+pub(crate) fn telemetry_to_wire(t: &TelemetrySnapshot) -> String {
+    let counters: Vec<String> = t
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{}:\"{v}\"", json::escape(k)))
+        .collect();
+    let phases: Vec<String> = t
+        .phases_s
+        .iter()
+        .map(|(k, v)| format!("{}:\"{}\"", json::escape(k), v.to_bits()))
+        .collect();
+    format!(
+        "{{\"counters\":{{{}}},\"phases\":{{{}}}}}",
+        counters.join(","),
+        phases.join(",")
+    )
+}
+
+pub(crate) fn telemetry_from_wire(v: &Json) -> Result<TelemetrySnapshot, String> {
+    let mut out = TelemetrySnapshot::default();
+    if let Some(counters) = v.get("counters") {
+        for (k, j) in counters.as_obj("counters")? {
+            let s = j.as_str("counters[]")?;
+            out.counters.insert(
+                k.clone(),
+                s.parse::<u64>()
+                    .map_err(|_| format!("counters.{k}: bad value {s:?}"))?,
+            );
+        }
+    }
+    if let Some(phases) = v.get("phases") {
+        for (k, j) in phases.as_obj("phases")? {
+            let s = j.as_str("phases[]")?;
+            let bits = s
+                .parse::<u64>()
+                .map_err(|_| format!("phases.{k}: bad bit pattern {s:?}"))?;
+            out.phases_s.insert(k.clone(), f64::from_bits(bits));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{parse_submission, ServeConfig};
+    use std::path::PathBuf;
+    use unico_model::EvalCache;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("unico-serve-cluster-tests")
+            .join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn coordinator(name: &str, lease_timeout: Duration) -> (Arc<Scheduler>, ClusterState) {
+        let cfg = ServeConfig {
+            state_dir: scratch(name),
+            workers: 0, // remote workers do all the running
+            ..ServeConfig::default()
+        };
+        let sched = Scheduler::start(&cfg, Arc::new(EvalCache::new())).expect("boot");
+        let cluster = ClusterState::new(Arc::clone(&sched), lease_timeout);
+        (sched, cluster)
+    }
+
+    fn spec_json() -> Json {
+        let spec = parse_submission(
+            br#"{"platform": "spatial-edge", "workloads": ["mobilenet"], "seed": 9}"#,
+        )
+        .expect("valid");
+        spec.to_json()
+    }
+
+    fn parse(doc: &str) -> Json {
+        json::parse(doc).expect("valid JSON")
+    }
+
+    #[test]
+    fn lease_heartbeat_complete_lifecycle() {
+        let (sched, cluster) = coordinator("lifecycle", Duration::from_secs(10));
+        let spec = crate::spec::JobSpec::from_json(&spec_json()).expect("spec");
+        let job = sched.submit(spec).expect("submit");
+
+        // Idle worker gets 204 after the only job is taken.
+        let (status, body) = cluster.handle_lease(&parse(r#"{"worker":"w1"}"#));
+        assert_eq!(status, 200, "{body}");
+        let lease = parse(&body);
+        let lease_id = lease.get("lease").unwrap().as_str("lease").unwrap();
+        assert_eq!(lease.get("job").unwrap().as_str("job").unwrap(), job.id);
+        let (status, _) = cluster.handle_lease(&parse(r#"{"worker":"w2"}"#));
+        assert_eq!(status, 204);
+        assert_eq!(cluster.active_leases(), 1);
+        assert_eq!(job.state(), crate::job::JobState::Running);
+
+        // Heartbeat extends, relays events, records the cache report.
+        let hb = format!(
+            r#"{{"worker":"w1","lease":"{lease_id}","events":["{{\"event\":\"iteration\",\"iteration\":1}}"],"cache":{{"hits":"5","misses":"7","entries":"7","disk_hits":"2","disk_entries":"9"}}}}"#
+        );
+        let (status, body) = cluster.handle_heartbeat(&parse(&hb));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"cancel\":false"));
+        assert!(job
+            .events
+            .snapshot()
+            .0
+            .iter()
+            .any(|l| l.contains("iteration")));
+        assert_eq!(cluster.fleet_cache().disk_hits, 2);
+
+        // Complete with a wire outcome; the job goes terminal.
+        let outcome = JobOutcome {
+            front_bits: vec![vec![1, 2]],
+            report_json: "{\"v\":3}".into(),
+            deterministic_report_json: "{\"v\":3}".into(),
+            iterations_done: 2,
+            hw_evals: 4,
+            cancelled: false,
+        };
+        let complete = format!(
+            r#"{{"schema":"unico.cluster_complete.v1","lease":"{lease_id}","job":"{}","worker":"w1","resumed":false,"outcome":{},"telemetry":{},"events":[]}}"#,
+            job.id,
+            outcome.to_wire_json(),
+            telemetry_to_wire(&TelemetrySnapshot::default()),
+        );
+        let (status, body) = cluster.handle_complete(&parse(&complete));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(job.state(), crate::job::JobState::Completed);
+        assert_eq!(job.outcome().expect("outcome").report_json, "{\"v\":3}");
+        assert_eq!(cluster.active_leases(), 0);
+
+        // A late duplicate is a 409, not a double count.
+        let (status, _) = cluster.handle_complete(&parse(&complete));
+        assert_eq!(status, 409);
+        assert_eq!(
+            cluster.counters.remote_completions.load(Ordering::Relaxed),
+            1
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn silent_worker_lease_is_reaped_and_job_requeued() {
+        let (sched, cluster) = coordinator("reap", Duration::from_millis(20));
+        let spec = crate::spec::JobSpec::from_json(&spec_json()).expect("spec");
+        let job = sched.submit(spec).expect("submit");
+        let (status, body) = cluster.handle_lease(&parse(r#"{"worker":"w1"}"#));
+        assert_eq!(status, 200, "{body}");
+        let lease_id = parse(&body)
+            .get("lease")
+            .unwrap()
+            .as_str("lease")
+            .unwrap()
+            .to_string();
+
+        std::thread::sleep(Duration::from_millis(40));
+        // The next lease call reaps w1 and hands the same job to w2.
+        let (status, body) = cluster.handle_lease(&parse(r#"{"worker":"w2"}"#));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            parse(&body).get("job").unwrap().as_str("job").unwrap(),
+            job.id
+        );
+        assert_eq!(cluster.counters.leases_expired.load(Ordering::Relaxed), 1);
+
+        // w1's zombie heartbeat gets 410: it must abandon the run.
+        let hb = format!(r#"{{"worker":"w1","lease":"{lease_id}"}}"#);
+        let (status, _) = cluster.handle_heartbeat(&parse(&hb));
+        assert_eq!(status, 410);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn telemetry_wire_round_trips_bit_exactly() {
+        let mut t = TelemetrySnapshot::default();
+        t.counters.insert("hw_evals".into(), u64::MAX);
+        t.phases_s.insert("fit".into(), 0.1 + 0.2); // not exactly 0.3
+        t.phases_s.insert("nan".into(), f64::NAN);
+        let wire = telemetry_to_wire(&t);
+        let back = telemetry_from_wire(&parse(&wire)).expect("round-trip");
+        assert_eq!(back.counters, t.counters);
+        assert_eq!(back.phases_s["fit"].to_bits(), t.phases_s["fit"].to_bits());
+        assert_eq!(back.phases_s["nan"].to_bits(), t.phases_s["nan"].to_bits());
+    }
+}

@@ -226,11 +226,14 @@ fn reason(status: u16) -> &'static str {
         200 => "OK",
         201 => "Created",
         202 => "Accepted",
+        204 => "No Content",
         400 => "Bad Request",
         404 => "Not Found",
         408 => "Request Timeout",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        410 => "Gone",
+        429 => "Too Many Requests",
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
@@ -250,13 +253,31 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) -> io::Result<()> {
+    write_response_with_headers(w, status, content_type, &[], body, close)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`
+/// on a 429). Header names and values must already be valid token /
+/// field-value bytes; this writer does no escaping.
+pub fn write_response_with_headers(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         reason(status),
         body.len(),
         if close { "close" } else { "keep-alive" },
     )?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }

@@ -103,6 +103,56 @@ impl JobOutcome {
         )
     }
 
+    /// Renders the outcome as the embedded object of the cluster
+    /// completion document. The two report documents travel as
+    /// *escaped JSON strings* so the coordinator recovers their exact
+    /// bytes — the byte-identical oracles compare them verbatim.
+    pub fn to_wire_json(&self) -> String {
+        format!(
+            "{{\"iterations_done\":{},\"hw_evals\":{},\"cancelled\":{},\"front_bits\":{},\"report\":{},\"deterministic_report\":{}}}",
+            self.iterations_done,
+            self.hw_evals,
+            self.cancelled,
+            render_bits(&self.front_bits),
+            json::escape(&self.report_json),
+            json::escape(&self.deterministic_report_json),
+        )
+    }
+
+    /// Parses a [`JobOutcome::to_wire_json`] document back, byte-exactly.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or mistyped field.
+    pub fn from_wire(v: &json::Json) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| format!("outcome: {name} missing"))
+        };
+        let mut front_bits = Vec::new();
+        for row in field("front_bits")?.as_arr("front_bits")? {
+            let mut bits = Vec::new();
+            for cell in row.as_arr("front_bits[]")? {
+                let s = cell.as_str("front_bits[][]")?;
+                bits.push(
+                    s.parse::<u64>()
+                        .map_err(|_| format!("outcome: bad bit pattern {s:?}"))?,
+                );
+            }
+            front_bits.push(bits);
+        }
+        Ok(JobOutcome {
+            front_bits,
+            report_json: field("report")?.as_str("report")?.to_string(),
+            deterministic_report_json: field("deterministic_report")?
+                .as_str("deterministic_report")?
+                .to_string(),
+            iterations_done: field("iterations_done")?.as_usize("iterations_done")?,
+            hw_evals: field("hw_evals")?.as_usize("hw_evals")?,
+            cancelled: field("cancelled")?.as_bool("cancelled")?,
+        })
+    }
+
     /// The full result document persisted as `<id>.result.json`.
     pub fn to_json(&self, id: &str) -> String {
         format!(
@@ -329,15 +379,27 @@ impl JobPaths {
 }
 
 /// Writes `contents` to `path` atomically (tmp + rename), fsyncing the
-/// data like the checkpoint writer does.
+/// data like the checkpoint writer does. The staging name embeds the
+/// process id and a sequence number so concurrent writers (cluster
+/// workers sharing a state dir) never collide on the tmp file.
 pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)
+    use std::sync::atomic::AtomicU64;
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{}-{}.tmp", std::process::id(), seq));
+    let tmp = path.with_file_name(name);
+    let write = || -> std::io::Result<()> {
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(contents.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    };
+    write().inspect_err(|_| {
+        fs::remove_file(&tmp).ok();
+    })
 }
 
 /// Persists the job manifest (spec + state) for crash recovery.
@@ -413,10 +475,18 @@ pub fn scan_manifests(
         .collect();
     entries.sort();
     for path in entries {
-        match fs::read_to_string(&path)
-            .map_err(|e| e.to_string())
-            .and_then(|t| parse_manifest(&t))
-        {
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            // A concurrent writer's rename can make a listed file
+            // vanish between readdir and open; that is churn from a
+            // shared state dir, not corruption.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => {
+                corrupt.insert(path, e.to_string());
+                continue;
+            }
+        };
+        match parse_manifest(&text) {
             Ok(m) => manifests.push(m),
             Err(e) => {
                 corrupt.insert(path, e);
@@ -498,6 +568,76 @@ mod tests {
         let (all, closed) = log.snapshot();
         assert_eq!(all.len(), 2);
         assert!(closed);
+    }
+
+    #[test]
+    fn manifest_scan_tolerates_concurrent_writers() {
+        let dir = scratch("concurrent-manifests");
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let started = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let writers: Vec<_> = (0..3)
+            .map(|w| {
+                let dir = dir.clone();
+                let stop = std::sync::Arc::clone(&stop);
+                let started = std::sync::Arc::clone(&started);
+                std::thread::spawn(move || {
+                    let id = format!("job-{:06}", w + 1);
+                    let job = Job::new(id.clone(), spec());
+                    job.set_state(JobState::Running);
+                    let paths = JobPaths::new(&dir, &id);
+                    // First write before the started handshake, so every
+                    // writer has a manifest on disk no matter how quickly
+                    // the scanning side stores `stop`.
+                    write_manifest(&paths, &job).expect("write");
+                    started.fetch_add(1, Ordering::SeqCst);
+                    while !stop.load(Ordering::Relaxed) {
+                        write_manifest(&paths, &job).expect("write");
+                    }
+                })
+            })
+            .collect();
+        // Scan only once all writers are live: the interesting scans are
+        // the ones racing in-flight rewrites.
+        while started.load(Ordering::SeqCst) < 3 {
+            std::thread::yield_now();
+        }
+        for _ in 0..50 {
+            let (_, corrupt) = scan_manifests(&dir).expect("scan");
+            assert!(
+                corrupt.is_empty(),
+                "a scan observed torn state: {corrupt:?}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().expect("writer");
+        }
+        let (manifests, corrupt) = scan_manifests(&dir).expect("final scan");
+        assert_eq!(manifests.len(), 3);
+        assert!(corrupt.is_empty());
+        let litter: Vec<_> = fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(litter.is_empty(), "tmp litter left behind: {litter:?}");
+    }
+
+    #[test]
+    fn outcome_wire_round_trips_byte_exactly() {
+        let outcome = JobOutcome {
+            front_bits: vec![vec![u64::MAX, 1], vec![4607182418800017408]],
+            report_json: "{\"v\":3,\"phases_s\":{\"fit\":0.25}}".into(),
+            deterministic_report_json: "{\"v\":3,\"note\":\"quoted \\\"x\\\"\"}".into(),
+            iterations_done: 3,
+            hw_evals: 18,
+            cancelled: true,
+        };
+        let wire = outcome.to_wire_json();
+        let v = json::parse(&wire).expect("wire doc parses");
+        let back = JobOutcome::from_wire(&v).expect("wire doc round-trips");
+        assert_eq!(back, outcome);
+        assert_eq!(back.to_wire_json(), wire);
     }
 
     #[test]

@@ -26,6 +26,16 @@
 //! | `GET /metrics` | Prometheus text exposition. |
 //! | `GET /healthz` | Liveness probe. |
 //!
+//! # Cluster mode
+//!
+//! The daemon also runs as a *coordinator* (`unico-served
+//! --coordinator`) that admits jobs over the same API and shards them
+//! across worker processes (`unico-served --worker`) via a pull-based
+//! lease protocol under `/cluster/v1/*` — see [`cluster`] and
+//! [`worker`]. A shared on-disk eval-cache tier
+//! ([`unico_model::DiskTier`], `UNICO_CLUSTER_DISK_CACHE`) lets the
+//! warm-cache effect survive restarts and compound across the fleet.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -45,6 +55,8 @@
 // Everything else in the crate remains unsafe-free.
 #![deny(unsafe_code)]
 
+pub mod client;
+pub mod cluster;
 pub mod conn;
 pub mod http;
 pub mod job;
@@ -54,9 +66,12 @@ pub mod poll;
 pub mod scheduler;
 pub mod server;
 pub mod spec;
+pub mod worker;
 
+pub use cluster::{ClusterState, WorkerCacheReport};
 pub use conn::NetStats;
 pub use job::{EventLog, Job, JobOutcome, JobState};
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, SubmitError};
 pub use server::{BootError, Server};
 pub use spec::{JobSpec, PlatformKind, ServeConfig};
+pub use worker::{WorkerConfig, WorkerCounters, WorkerHandle};

@@ -10,12 +10,15 @@
 
 use std::sync::atomic::Ordering;
 
+use crate::cluster::ClusterState;
 use crate::conn::NetStats;
 use crate::scheduler::Scheduler;
 
 /// Renders the daemon's metrics in Prometheus text format: scheduler
 /// state plus the poller thread's connection-layer gauges/counters.
-pub fn render(sched: &Scheduler, net: &NetStats) -> String {
+/// With cluster state attached (coordinator mode), the fleet's lease
+/// counters and worker-reported cache totals are included.
+pub fn render(sched: &Scheduler, net: &NetStats, cluster: Option<&ClusterState>) -> String {
     let mut out = String::new();
     let mut gauge = |name: &str, help: &str, value: f64| {
         out.push_str(&format!(
@@ -110,6 +113,11 @@ pub fn render(sched: &Scheduler, net: &NetStats) -> String {
             "kill_after test-hook firings.",
             c.kills_simulated.load(Ordering::Relaxed),
         ),
+        (
+            "unico_serve_jobs_rejected_total",
+            "Submissions rejected by the admission bound (429).",
+            c.rejected.load(Ordering::Relaxed),
+        ),
     ] {
         out.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
@@ -133,6 +141,121 @@ pub fn render(sched: &Scheduler, net: &NetStats) -> String {
         "# HELP unico_serve_cache_hit_rate Shared eval-cache hit rate over all lookups.\n# TYPE unico_serve_cache_hit_rate gauge\nunico_serve_cache_hit_rate {}\n",
         stats.hit_rate()
     ));
+
+    if let Some(disk) = sched.cache().disk_stats() {
+        for (name, help, kind, value) in [
+            (
+                "unico_serve_disk_cache_hits_total",
+                "Disk-tier lookups that served an in-memory miss.",
+                "counter",
+                disk.hits,
+            ),
+            (
+                "unico_serve_disk_cache_misses_total",
+                "Disk-tier lookups that fell through to compute.",
+                "counter",
+                disk.misses,
+            ),
+            (
+                "unico_serve_disk_cache_entries",
+                "Disk-tier entries indexed in memory.",
+                "gauge",
+                disk.entries,
+            ),
+            (
+                "unico_serve_disk_cache_segments_loaded_total",
+                "Disk-tier segment files absorbed from peers.",
+                "counter",
+                disk.segments_loaded,
+            ),
+            (
+                "unico_serve_disk_cache_segments_skipped_total",
+                "Torn or unreadable segment files skipped, never trusted.",
+                "counter",
+                disk.segments_skipped,
+            ),
+            (
+                "unico_serve_disk_cache_entries_written_total",
+                "Entries flushed into new segment files.",
+                "counter",
+                disk.entries_written,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        }
+    }
+
+    if let Some(cs) = cluster {
+        let cc = &cs.counters;
+        out.push_str(&format!(
+            "# HELP unico_cluster_active_leases Jobs currently leased to workers.\n# TYPE unico_cluster_active_leases gauge\nunico_cluster_active_leases {}\n",
+            cs.active_leases()
+        ));
+        out.push_str(&format!(
+            "# HELP unico_cluster_workers_seen Distinct workers that have reported in.\n# TYPE unico_cluster_workers_seen gauge\nunico_cluster_workers_seen {}\n",
+            cs.workers_seen()
+        ));
+        for (name, help, value) in [
+            (
+                "unico_cluster_leases_granted_total",
+                "Leases handed to pulling workers.",
+                cc.leases_granted.load(Ordering::Relaxed),
+            ),
+            (
+                "unico_cluster_leases_expired_total",
+                "Leases reaped after their worker went silent.",
+                cc.leases_expired.load(Ordering::Relaxed),
+            ),
+            (
+                "unico_cluster_remote_completions_total",
+                "Jobs completed by remote workers.",
+                cc.remote_completions.load(Ordering::Relaxed),
+            ),
+            (
+                "unico_cluster_remote_failures_total",
+                "Jobs failed by remote workers.",
+                cc.remote_failures.load(Ordering::Relaxed),
+            ),
+            (
+                "unico_cluster_heartbeats_total",
+                "Heartbeats received from workers.",
+                cc.heartbeats.load(Ordering::Relaxed),
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        let fleet = cs.fleet_cache();
+        for (name, help, value) in [
+            (
+                "unico_cluster_cache_hits_total",
+                "Fleet-wide in-memory cache hits (workers' latest reports).",
+                fleet.hits,
+            ),
+            (
+                "unico_cluster_cache_misses_total",
+                "Fleet-wide in-memory cache misses.",
+                fleet.misses,
+            ),
+            (
+                "unico_cluster_disk_cache_hits_total",
+                "Fleet-wide disk-tier hits.",
+                fleet.disk_hits,
+            ),
+            (
+                "unico_cluster_disk_cache_entries",
+                "Fleet-wide disk-tier entries indexed.",
+                fleet.disk_entries,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+    }
 
     let totals = sched.telemetry_totals();
     out.push_str(
@@ -241,7 +364,7 @@ mod tests {
             ..ServeConfig::default()
         };
         let sched = Scheduler::start(&cfg, Arc::new(EvalCache::new())).expect("boot");
-        let text = render(&sched, &NetStats::default());
+        let text = render(&sched, &NetStats::default(), None);
         let samples = validate_exposition(&text).expect("valid exposition");
         assert!(samples >= 15, "expected the full catalog, got {samples}");
         assert!(text.contains("unico_serve_queue_depth 0\n"));
@@ -257,6 +380,32 @@ mod tests {
             "unico_serve_connection_timeouts_total 0\n",
         ] {
             assert!(text.contains(conn_metric), "missing {conn_metric:?}");
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn coordinator_exposition_includes_cluster_and_disk_metrics() {
+        let dir = scratch("coordinator");
+        let cfg = ServeConfig {
+            state_dir: dir.clone(),
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        let tier = unico_model::DiskTier::open(dir.join("disk-cache")).expect("tier");
+        let cache = Arc::new(EvalCache::new().with_disk(Arc::new(tier)));
+        let sched = Scheduler::start(&cfg, cache).expect("boot");
+        let cluster = ClusterState::new(Arc::clone(&sched), std::time::Duration::from_secs(10));
+        let text = render(&sched, &NetStats::default(), Some(&cluster));
+        validate_exposition(&text).expect("valid exposition");
+        for metric in [
+            "unico_serve_disk_cache_hits_total 0\n",
+            "unico_serve_disk_cache_segments_skipped_total 0\n",
+            "unico_cluster_active_leases 0\n",
+            "unico_cluster_leases_expired_total 0\n",
+            "unico_cluster_disk_cache_hits_total 0\n",
+        ] {
+            assert!(text.contains(metric), "missing {metric:?} in:\n{text}");
         }
         sched.shutdown();
     }

@@ -52,6 +52,82 @@ pub struct SchedulerCounters {
     pub recovered: AtomicU64,
     /// Simulated hard kills (`kill_after` hook firings).
     pub kills_simulated: AtomicU64,
+    /// Submissions rejected because the admission queue was full.
+    pub rejected: AtomicU64,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The admission queue is at capacity; the client should back off
+    /// and retry (the HTTP layer turns this into 429 + `Retry-After`).
+    QueueFull {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+    },
+    /// Persisting the manifest failed; the job was not accepted.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "admission queue full ({depth} jobs waiting)")
+            }
+            SubmitError::Io(e) => write!(f, "persisting manifest failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Per-tenant round-robin admission queue: each tenant gets one FIFO
+/// lane, and pops rotate through the lanes so one tenant flooding the
+/// daemon cannot starve another's jobs.
+#[derive(Debug, Default)]
+struct FairQueue {
+    lanes: BTreeMap<String, VecDeque<String>>,
+    /// Tenants in first-seen order; the rotation order.
+    order: Vec<String>,
+    cursor: usize,
+    len: usize,
+}
+
+impl FairQueue {
+    fn push(&mut self, tenant: &str, id: String) {
+        if !self.lanes.contains_key(tenant) {
+            self.order.push(tenant.to_string());
+        }
+        self.lanes
+            .entry(tenant.to_string())
+            .or_default()
+            .push_back(id);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<String> {
+        if self.len == 0 || self.order.is_empty() {
+            return None;
+        }
+        for _ in 0..self.order.len() {
+            let lane = &self.order[self.cursor % self.order.len()];
+            self.cursor = (self.cursor + 1) % self.order.len();
+            if let Some(id) = self
+                .lanes
+                .get_mut(lane.as_str())
+                .and_then(VecDeque::pop_front)
+            {
+                self.len -= 1;
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
 }
 
 /// The job scheduler. Create with [`Scheduler::start`]; drop after
@@ -60,8 +136,9 @@ pub struct Scheduler {
     state_dir: PathBuf,
     cache: Arc<EvalCache>,
     jobs: Mutex<BTreeMap<String, Arc<Job>>>,
-    queue: Mutex<VecDeque<String>>,
+    queue: Mutex<FairQueue>,
     queue_cond: Condvar,
+    max_queue: usize,
     next_id: AtomicU64,
     stopping: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -85,8 +162,9 @@ impl Scheduler {
             state_dir: cfg.state_dir.clone(),
             cache,
             jobs: Mutex::new(BTreeMap::new()),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(FairQueue::default()),
             queue_cond: Condvar::new(),
+            max_queue: cfg.max_queue,
             next_id: AtomicU64::new(1),
             stopping: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
@@ -186,16 +264,25 @@ impl Scheduler {
     }
 
     /// Accepts a validated spec: assigns an id, persists the manifest,
-    /// and queues the job.
+    /// and queues the job. Admission is bounded: beyond `max_queue`
+    /// waiting jobs, submissions are rejected (recovery requeues and
+    /// lease reassignments bypass the bound — accepted work is never
+    /// dropped).
     ///
     /// # Errors
     ///
-    /// I/O errors persisting the manifest (the job is then *not*
-    /// queued — no unrecoverable work is ever accepted).
-    pub fn submit(&self, spec: JobSpec) -> std::io::Result<Arc<Job>> {
+    /// [`SubmitError::QueueFull`] at capacity, or the I/O error
+    /// persisting the manifest (the job is then *not* queued — no
+    /// unrecoverable work is ever accepted).
+    pub fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, SubmitError> {
+        let depth = self.queue_depth();
+        if depth >= self.max_queue {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull { depth });
+        }
         let id = format!("job-{:06}", self.next_id.fetch_add(1, Ordering::SeqCst));
         let job = Arc::new(Job::new(id.clone(), spec));
-        job::write_manifest(&self.paths(&id), &job)?;
+        job::write_manifest(&self.paths(&id), &job).map_err(SubmitError::Io)?;
         self.jobs
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -286,10 +373,14 @@ impl Scheduler {
     }
 
     fn enqueue(&self, id: String) {
+        let tenant = self
+            .get(&id)
+            .map(|j| j.spec.tenant.clone())
+            .unwrap_or_default();
         self.queue
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push_back(id);
+            .push(&tenant, id);
         self.queue_cond.notify_one();
     }
 
@@ -299,7 +390,7 @@ impl Scheduler {
             if self.stopping.load(Ordering::SeqCst) {
                 return None;
             }
-            if let Some(id) = queue.pop_front() {
+            if let Some(id) = queue.pop() {
                 return Some(id);
             }
             queue = self
@@ -307,6 +398,12 @@ impl Scheduler {
                 .wait(queue)
                 .unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Non-blocking pop for the cluster lease path: hands the next
+    /// fair-queued job id to a pulling worker, or `None` when idle.
+    pub(crate) fn try_pop(&self) -> Option<String> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).pop()
     }
 
     fn worker_loop(&self) {
@@ -321,21 +418,11 @@ impl Scheduler {
     fn drive(&self, job: &Arc<Job>) {
         let paths = self.paths(&job.id);
         if job.cancel.load(Ordering::SeqCst) {
-            if job.set_state(JobState::Cancelled) {
-                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                let _ = job::write_manifest(&paths, job);
-                job.events
-                    .push("{\"event\":\"done\",\"state\":\"cancelled\"}".to_string());
-                job.events.close();
-            }
+            self.finish_cancelled(job);
             return;
         }
-        if !job.set_state(JobState::Running) {
+        if !self.begin_running(job) {
             return;
-        }
-        if job::write_manifest(&paths, job).is_err() {
-            // A state dir that stopped being writable will fail the run
-            // too; let the panic path below report it.
         }
 
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -343,36 +430,8 @@ impl Scheduler {
         }));
         match outcome {
             Ok((outcome, final_telemetry)) => {
-                {
-                    let mut totals = self
-                        .telemetry_totals
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner());
-                    *totals = merge_snapshots(&totals, &final_telemetry);
-                }
-                let state = if outcome.cancelled {
-                    JobState::Cancelled
-                } else {
-                    JobState::Completed
-                };
-                let _ = job::atomic_write(&paths.result, &outcome.to_json(&job.id));
-                job.set_outcome(outcome);
-                if job.set_state(state) {
-                    match state {
-                        JobState::Cancelled => &self.counters.cancelled,
-                        _ => &self.counters.completed,
-                    }
-                    .fetch_add(1, Ordering::Relaxed);
-                    if job.resumed.load(Ordering::SeqCst) {
-                        self.counters.resumed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    let _ = job::write_manifest(&paths, job);
-                    job.events.push(format!(
-                        "{{\"event\":\"done\",\"state\":\"{}\"}}",
-                        state.name()
-                    ));
-                    job.events.close();
-                }
+                let resumed = job.resumed.load(Ordering::SeqCst);
+                self.complete(job, outcome, final_telemetry, resumed);
             }
             Err(panic) => {
                 let msg = panic_message(panic.as_ref());
@@ -388,17 +447,126 @@ impl Scheduler {
                         .push("{\"event\":\"kill-simulated\"}".to_string());
                     job.events.close();
                 } else {
-                    job.set_error(msg);
-                    if job.set_state(JobState::Failed) {
-                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
-                        let _ = job::write_manifest(&paths, job);
-                        job.events
-                            .push("{\"event\":\"done\",\"state\":\"failed\"}".to_string());
-                    }
-                    job.events.close();
+                    self.fail(job, msg);
                 }
             }
         }
+    }
+
+    /// Flips a job to `Running` and persists the transition. Returns
+    /// `false` (after finishing a pending cancellation) when the job
+    /// must not run. Shared by the local worker pool and the cluster
+    /// lease path.
+    pub(crate) fn begin_running(&self, job: &Arc<Job>) -> bool {
+        if job.cancel.load(Ordering::SeqCst) {
+            self.finish_cancelled(job);
+            return false;
+        }
+        if !job.set_state(JobState::Running) {
+            return false;
+        }
+        if job::write_manifest(&self.paths(&job.id), job).is_err() {
+            // A state dir that stopped being writable will fail the run
+            // too; let the failure path report it.
+        }
+        true
+    }
+
+    /// Terminates a cancelled job: state, counter, manifest, events.
+    pub(crate) fn finish_cancelled(&self, job: &Arc<Job>) {
+        if job.set_state(JobState::Cancelled) {
+            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = job::write_manifest(&self.paths(&job.id), job);
+            job.events
+                .push("{\"event\":\"done\",\"state\":\"cancelled\"}".to_string());
+            job.events.close();
+        }
+    }
+
+    /// Records a finished run: result file, outcome, terminal state,
+    /// counters, telemetry aggregation, and the closing `done` event.
+    /// Returns `false` when the job was already terminal (a late
+    /// duplicate completion, e.g. from a reassigned-then-revived
+    /// worker — the first completion wins).
+    pub(crate) fn complete(
+        &self,
+        job: &Arc<Job>,
+        outcome: JobOutcome,
+        final_telemetry: TelemetrySnapshot,
+        resumed: bool,
+    ) -> bool {
+        if job.state().is_terminal() {
+            return false;
+        }
+        let paths = self.paths(&job.id);
+        let state = if outcome.cancelled {
+            JobState::Cancelled
+        } else {
+            JobState::Completed
+        };
+        // Result file before the state flip, same as the local path:
+        // anyone observing `completed` finds the file.
+        let _ = job::atomic_write(&paths.result, &outcome.to_json(&job.id));
+        job.set_outcome(outcome);
+        if resumed {
+            job.resumed.store(true, Ordering::SeqCst);
+        }
+        if !job.set_state(state) {
+            return false;
+        }
+        {
+            let mut totals = self
+                .telemetry_totals
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *totals = merge_snapshots(&totals, &final_telemetry);
+        }
+        match state {
+            JobState::Cancelled => &self.counters.cancelled,
+            _ => &self.counters.completed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        if job.resumed.load(Ordering::SeqCst) {
+            self.counters.resumed.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = job::write_manifest(&paths, job);
+        job.events.push(format!(
+            "{{\"event\":\"done\",\"state\":\"{}\"}}",
+            state.name()
+        ));
+        job.events.close();
+        true
+    }
+
+    /// Records a failed run. Returns `false` if the job was already
+    /// terminal.
+    pub(crate) fn fail(&self, job: &Arc<Job>, msg: String) -> bool {
+        if job.state().is_terminal() {
+            return false;
+        }
+        job.set_error(msg);
+        if job.set_state(JobState::Failed) {
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = job::write_manifest(&self.paths(&job.id), job);
+            job.events
+                .push("{\"event\":\"done\",\"state\":\"failed\"}".to_string());
+            job.events.close();
+            true
+        } else {
+            job.events.close();
+            false
+        }
+    }
+
+    /// Puts a leased-but-lost job back on the queue (lease reaping).
+    /// Bypasses admission — the job was already accepted.
+    pub(crate) fn requeue(&self, job: &Arc<Job>) {
+        if job.state().is_terminal() {
+            return;
+        }
+        job.set_state(JobState::Queued);
+        let _ = job::write_manifest(&self.paths(&job.id), job);
+        self.enqueue(job.id.clone());
     }
 }
 
@@ -436,7 +604,24 @@ impl RunObserver for JobObserver<'_> {
 /// Builds the platform + environment a spec asks for and runs (or
 /// resumes) the job. Returns the outcome plus the run's final
 /// telemetry snapshot for scheduler-level aggregation.
-fn execute(
+///
+/// When the cache carries a disk tier, peers' segments are absorbed
+/// before the run and this run's new entries are flushed after it — a
+/// kill mid-run loses the pending buffer exactly like a killed
+/// process would, which the chaos oracles rely on.
+pub(crate) fn execute(
+    spec: &JobSpec,
+    paths: &JobPaths,
+    cache: Arc<EvalCache>,
+    job: &Job,
+) -> (JobOutcome, TelemetrySnapshot) {
+    cache.refresh_disk();
+    let out = execute_inner(spec, paths, Arc::clone(&cache), job);
+    cache.flush_disk();
+    out
+}
+
+fn execute_inner(
     spec: &JobSpec,
     paths: &JobPaths,
     cache: Arc<EvalCache>,
@@ -543,7 +728,7 @@ fn merge_snapshots(a: &TelemetrySnapshot, b: &TelemetrySnapshot) -> TelemetrySna
     out
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     panic
         .downcast_ref::<String>()
         .cloned()
@@ -595,6 +780,51 @@ mod tests {
             std::thread::sleep(Duration::from_millis(50));
         }
         panic!("job {} never reached a terminal state", job.id);
+    }
+
+    #[test]
+    fn fair_queue_round_robins_tenants() {
+        let mut q = FairQueue::default();
+        for (tenant, id) in [
+            ("a", "job-1"),
+            ("a", "job-2"),
+            ("a", "job-3"),
+            ("b", "job-4"),
+            ("", "job-5"),
+        ] {
+            q.push(tenant, id.to_string());
+        }
+        assert_eq!(q.len(), 5);
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).collect();
+        // One pop per tenant per round: a, b, "" then a's backlog.
+        assert_eq!(order, ["job-1", "job-4", "job-5", "job-2", "job-3"]);
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn admission_bound_rejects_with_queue_full() {
+        let dir = scratch("admission");
+        let mut c = cfg(dir);
+        c.workers = 0; // nothing drains the queue
+        c.max_queue = 2;
+        let sched = Scheduler::start(&c, Arc::new(EvalCache::new())).expect("boot");
+        sched.submit(tiny_spec(1)).expect("first fits");
+        sched.submit(tiny_spec(2)).expect("second fits");
+        match sched.submit(tiny_spec(3)) {
+            Err(SubmitError::QueueFull { depth }) => assert_eq!(depth, 2),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(sched.counters.rejected.load(Ordering::Relaxed), 1);
+        // A lease reassignment still requeues past the bound: pop one
+        // (as the lease path does), fill the freed slot, then requeue.
+        let id = sched.try_pop().expect("queued job");
+        let job = sched.get(&id).expect("job");
+        sched.submit(tiny_spec(4)).expect("freed slot fits");
+        sched.requeue(&job);
+        assert_eq!(sched.queue_depth(), 3, "requeue bypasses admission");
+        assert_eq!(job.state(), JobState::Queued);
+        sched.shutdown();
     }
 
     #[test]

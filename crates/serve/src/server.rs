@@ -34,12 +34,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::cluster::ClusterState;
 use crate::conn::{ConnState, Connection, NetStats, OutBuf, ReadOutcome, Stream};
 use crate::http::{self, HttpLimits, Request};
 use crate::json;
 use crate::metrics;
 use crate::poll::{Event, Poller, Token};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, SubmitError};
 use crate::spec::{self, ServeConfig};
 
 /// Why the daemon failed to boot. Each variant carries enough context
@@ -109,6 +110,20 @@ impl Server {
     /// poller, or spawning the poller thread — no panic on any boot
     /// path.
     pub fn serve(cfg: &ServeConfig, sched: Arc<Scheduler>) -> io::Result<Server> {
+        Self::serve_cluster(cfg, sched, None)
+    }
+
+    /// [`Server::serve`] with cluster state attached: the `/cluster/v1/*`
+    /// routes come alive and `/metrics` gains the fleet exposition.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::serve`].
+    pub fn serve_cluster(
+        cfg: &ServeConfig,
+        sched: Arc<Scheduler>,
+        cluster: Option<Arc<ClusterState>>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -124,6 +139,7 @@ impl Server {
             listener,
             poller,
             sched,
+            cluster,
             stop: Arc::clone(&stop),
             stats: Arc::clone(&stats),
             limits: HttpLimits {
@@ -183,6 +199,7 @@ struct EventLoop {
     listener: TcpListener,
     poller: Poller,
     sched: Arc<Scheduler>,
+    cluster: Option<Arc<ClusterState>>,
     stop: Arc<AtomicBool>,
     stats: Arc<NetStats>,
     limits: HttpLimits,
@@ -290,6 +307,7 @@ impl EventLoop {
                             Self::process_buffer(
                                 conn,
                                 &self.sched,
+                                self.cluster.as_ref(),
                                 &self.stats,
                                 &self.limits,
                                 self.head_timeout,
@@ -322,6 +340,7 @@ impl EventLoop {
     fn process_buffer(
         conn: &mut Connection,
         sched: &Arc<Scheduler>,
+        cluster: Option<&Arc<ClusterState>>,
         stats: &NetStats,
         limits: &HttpLimits,
         head_timeout: Duration,
@@ -338,7 +357,7 @@ impl EventLoop {
                     conn.buf.drain(..used);
                     stats.requests_total.fetch_add(1, Ordering::Relaxed);
                     let wants_close = req.wants_close();
-                    match route(&req, sched, stats, &mut conn.out) {
+                    match route(&req, sched, cluster, stats, &mut conn.out) {
                         Routed::Stream(job) => {
                             let _ = http::write_stream_head(&mut conn.out, "application/x-ndjson");
                             conn.state = ConnState::Streaming(Stream {
@@ -535,12 +554,18 @@ fn error_response(out: &mut OutBuf, status: u16, msg: &str) -> Routed {
 
 /// Routes one parsed request, queueing the response bytes; returns
 /// what should happen to the connection afterwards.
-fn route(req: &Request, sched: &Arc<Scheduler>, stats: &NetStats, out: &mut OutBuf) -> Routed {
+fn route(
+    req: &Request,
+    sched: &Arc<Scheduler>,
+    cluster: Option<&Arc<ClusterState>>,
+    stats: &NetStats,
+    out: &mut OutBuf,
+) -> Routed {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => json_response(out, 200, "{\"ok\":true}"),
         ("GET", ["metrics"]) => {
-            let text = metrics::render(sched, stats);
+            let text = metrics::render(sched, stats, cluster.map(Arc::as_ref));
             let _ = http::write_response(
                 out,
                 200,
@@ -561,9 +586,49 @@ fn route(req: &Request, sched: &Arc<Scheduler>, stats: &NetStats, out: &mut OutB
                         json::escape(job.state().name())
                     ),
                 ),
+                Err(SubmitError::QueueFull { depth }) => {
+                    let body = format!("{{\"error\":\"admission queue full\",\"queued\":{depth}}}");
+                    let _ = http::write_response_with_headers(
+                        out,
+                        429,
+                        "application/json",
+                        &[("retry-after", "1")],
+                        body.as_bytes(),
+                        false,
+                    );
+                    Routed::KeepAlive
+                }
                 Err(e) => error_response(out, 500, &format!("persisting job: {e}")),
             },
             Err(e) => error_response(out, 422, &e),
+        },
+        ("POST", ["cluster", "v1", action]) => match cluster {
+            Some(cs) => {
+                let body = std::str::from_utf8(&req.body)
+                    .map_err(|_| "body is not utf-8".to_string())
+                    .and_then(json::parse);
+                match body {
+                    Ok(v) => {
+                        let (status, doc) = match *action {
+                            "lease" => cs.handle_lease(&v),
+                            "heartbeat" => cs.handle_heartbeat(&v),
+                            "complete" => cs.handle_complete(&v),
+                            "fail" => cs.handle_fail(&v),
+                            _ => (
+                                404,
+                                format!("{{\"error\":\"no cluster action {action:?}\"}}"),
+                            ),
+                        };
+                        json_response(out, status, &doc)
+                    }
+                    Err(e) => error_response(out, 400, &e),
+                }
+            }
+            None => error_response(out, 503, "not a coordinator"),
+        },
+        ("GET", ["cluster", "v1", "status"]) => match cluster {
+            Some(cs) => json_response(out, 200, &cs.status_json()),
+            None => error_response(out, 503, "not a coordinator"),
         },
         ("GET", ["v1", "jobs"]) => {
             let items: Vec<String> = sched

@@ -83,6 +83,13 @@ pub struct JobSpec {
     /// Test hook: panic at this checkpoint boundary, emulating a hard
     /// daemon kill mid-run (exercised by the durability oracle).
     pub kill_after: Option<usize>,
+    /// Tenant label for fair round-robin admission; jobs with the same
+    /// tenant share one queue lane, empty string is the default lane.
+    pub tenant: String,
+    /// Override for the engine's internal cost-accounting worker count
+    /// (`UnicoConfig::workers`). Part of the deterministic fingerprint:
+    /// the same spec must select the same simulated clock everywhere.
+    pub engine_workers: Option<u32>,
 }
 
 impl JobSpec {
@@ -146,7 +153,20 @@ impl JobSpec {
                 .get("kill_after")
                 .map(|j| j.as_usize("kill_after"))
                 .transpose()?,
+            tenant: v
+                .get("tenant")
+                .map(|j| j.as_str("tenant").map(str::to_string))
+                .transpose()?
+                .unwrap_or_default(),
+            engine_workers: v
+                .get("engine_workers")
+                .map(|j| j.as_usize("engine_workers"))
+                .transpose()?
+                .map(|w| w as u32),
         };
+        if spec.engine_workers == Some(0) {
+            return Err("engine_workers: must be positive".into());
+        }
         for (field, value) in [
             ("max_iter", spec.max_iter),
             ("batch", spec.batch),
@@ -201,19 +221,29 @@ impl JobSpec {
         if let Some(k) = self.kill_after {
             fields.push(("kill_after".to_string(), Json::Num(k as f64)));
         }
+        if !self.tenant.is_empty() {
+            fields.push(("tenant".to_string(), Json::Str(self.tenant.clone())));
+        }
+        if let Some(w) = self.engine_workers {
+            fields.push(("engine_workers".to_string(), Json::Num(w as f64)));
+        }
         Json::Obj(fields)
     }
 
     /// The optimizer configuration this spec selects.
     pub fn unico_config(&self) -> UnicoConfig {
-        UnicoConfig {
+        let mut cfg = UnicoConfig {
             max_iter: self.max_iter,
             batch: self.batch,
             b_max: self.b_max,
             candidate_pool: self.candidate_pool,
             seed: self.seed,
             ..UnicoConfig::default()
+        };
+        if let Some(w) = self.engine_workers {
+            cfg.workers = w;
         }
+        cfg
     }
 
     /// The evaluation-environment configuration this spec selects.
@@ -257,6 +287,16 @@ pub struct ServeConfig {
     /// is disconnected as too slow (`UNICO_SERVE_SUBSCRIBER_QUEUE`,
     /// default 256 KiB).
     pub subscriber_queue_max: usize,
+    /// Maximum queued (not yet running) jobs before submissions are
+    /// rejected with 429 (`UNICO_CLUSTER_MAX_QUEUE`, default 256).
+    pub max_queue: usize,
+    /// How long a cluster worker may go silent before its lease is
+    /// reaped and the job requeued (`UNICO_CLUSTER_LEASE_TIMEOUT_MS`,
+    /// default 10 s).
+    pub lease_timeout: Duration,
+    /// Directory for the shared on-disk eval-cache tier
+    /// (`UNICO_CLUSTER_DISK_CACHE`; unset means memory-only).
+    pub disk_cache: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -269,6 +309,9 @@ impl Default for ServeConfig {
             head_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(60),
             subscriber_queue_max: 256 * 1024,
+            max_queue: 256,
+            lease_timeout: Duration::from_secs(10),
+            disk_cache: None,
         }
     }
 }
@@ -300,6 +343,9 @@ impl ServeConfig {
             idle_timeout: millis("UNICO_SERVE_IDLE_TIMEOUT_MS", d.idle_timeout)?,
             subscriber_queue_max: positive("UNICO_SERVE_SUBSCRIBER_QUEUE")?
                 .unwrap_or(d.subscriber_queue_max),
+            max_queue: positive("UNICO_CLUSTER_MAX_QUEUE")?.unwrap_or(d.max_queue),
+            lease_timeout: millis("UNICO_CLUSTER_LEASE_TIMEOUT_MS", d.lease_timeout)?,
+            disk_cache: std::env::var_os("UNICO_CLUSTER_DISK_CACHE").map(PathBuf::from),
         })
     }
 

@@ -1,0 +1,397 @@
+//! The cluster worker: a pull loop that leases jobs from a
+//! coordinator, runs them with the shared execution path, heartbeats
+//! while running, and reports completion over the wire.
+//!
+//! Workers are deliberately dumb: no local queue, no retry state. One
+//! lease at a time, heartbeats carry the run's event stream to the
+//! coordinator, and a lost lease (410, or a dead coordinator) makes
+//! the worker *abandon* the run — cancel cooperatively, discard the
+//! result — because the coordinator has already requeued the job for
+//! someone else. Abandonment is safe precisely because runs are
+//! deterministic and checkpointed: whoever picks the job up resumes
+//! from the shared state dir and produces byte-identical results.
+//!
+//! The `kill_after` hook emulates worker death: the run panics at a
+//! checkpoint boundary and (with [`WorkerConfig::die_on_kill_hook`])
+//! the pull loop exits without reporting anything — heartbeats just
+//! stop, exactly like a SIGKILLed process, and the coordinator's lease
+//! reaper takes it from there.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use unico_model::EvalCache;
+
+use crate::client;
+use crate::cluster::{cache_report_to_wire, telemetry_to_wire, WorkerCacheReport};
+use crate::job::{Job, JobPaths};
+use crate::json;
+use crate::scheduler;
+use crate::spec::{parse_positive, JobSpec};
+
+/// How a worker connects to its coordinator and behaves under the
+/// kill hook.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub coordinator: String,
+    /// The shared state directory (checkpoints + manifests); must be
+    /// the same filesystem path the coordinator uses.
+    pub state_dir: PathBuf,
+    /// Stable worker identity, shown in leases and events.
+    pub worker_id: String,
+    /// Idle-poll interval between lease attempts.
+    pub poll_interval: Duration,
+    /// Heartbeat cadence while running a job; must be well under the
+    /// coordinator's lease timeout.
+    pub heartbeat_interval: Duration,
+    /// Whether the `kill_after` hook kills the whole pull loop
+    /// (emulating worker death) or just the one run.
+    pub die_on_kill_hook: bool,
+}
+
+impl WorkerConfig {
+    /// A worker for `coordinator` over `state_dir` with test-friendly
+    /// defaults (fast polling, death on the kill hook).
+    pub fn new(coordinator: impl Into<String>, state_dir: impl Into<PathBuf>) -> Self {
+        WorkerConfig {
+            coordinator: coordinator.into(),
+            state_dir: state_dir.into(),
+            worker_id: format!("worker-{}", std::process::id()),
+            poll_interval: Duration::from_millis(50),
+            heartbeat_interval: Duration::from_millis(250),
+            die_on_kill_hook: true,
+        }
+    }
+
+    /// Reads the worker configuration from `UNICO_CLUSTER_*` /
+    /// `UNICO_SERVE_STATE_DIR` environment variables.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the variable: `UNICO_CLUSTER_COORDINATOR` is
+    /// required, the rest must parse if set.
+    pub fn try_from_env() -> Result<Self, String> {
+        let coordinator = std::env::var("UNICO_CLUSTER_COORDINATOR")
+            .map_err(|_| "UNICO_CLUSTER_COORDINATOR must be set for --worker".to_string())?;
+        let state_dir = std::env::var_os("UNICO_SERVE_STATE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("unico-serve-state"));
+        let mut cfg = WorkerConfig::new(coordinator, state_dir);
+        if let Ok(id) = std::env::var("UNICO_CLUSTER_WORKER_ID") {
+            cfg.worker_id = id;
+        }
+        let hb = std::env::var("UNICO_CLUSTER_HEARTBEAT_MS").ok();
+        if let Some(ms) = parse_positive("UNICO_CLUSTER_HEARTBEAT_MS", hb.as_deref())? {
+            cfg.heartbeat_interval = Duration::from_millis(ms as u64);
+        }
+        // Real daemons keep running after a kill-hook job (the hook is
+        // a per-job test fixture); only in-process chaos tests die.
+        cfg.die_on_kill_hook = false;
+        Ok(cfg)
+    }
+}
+
+/// Monotonic worker counters (inspected by the chaos oracles).
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Jobs run to completion and accepted by the coordinator.
+    pub jobs_completed: AtomicU64,
+    /// Runs discarded: lost lease, unreachable coordinator, or a
+    /// completion the coordinator refused.
+    pub jobs_abandoned: AtomicU64,
+    /// Runs that panicked (reported via `/cluster/v1/fail`).
+    pub jobs_failed: AtomicU64,
+    /// `kill_after` hook firings.
+    pub kills_simulated: AtomicU64,
+    /// Heartbeats answered 410 — the lease had been reaped.
+    pub leases_lost: AtomicU64,
+}
+
+/// A running worker; stop (or let it die) then join.
+pub struct WorkerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    /// The worker's lifecycle counters.
+    pub counters: Arc<WorkerCounters>,
+}
+
+impl WorkerHandle {
+    /// Whether the pull loop has exited (worker death or stop).
+    pub fn is_finished(&self) -> bool {
+        self.thread.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    /// Signals the pull loop to stop after the current job and joins.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+enum RunEnd {
+    Continue,
+    Die,
+}
+
+/// Starts a worker pull loop on its own thread.
+///
+/// # Errors
+///
+/// Creating the state directory or spawning the thread.
+pub fn spawn(cfg: WorkerConfig, cache: Arc<EvalCache>) -> std::io::Result<WorkerHandle> {
+    std::fs::create_dir_all(&cfg.state_dir)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(WorkerCounters::default());
+    let thread = {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        std::thread::Builder::new()
+            .name(format!("unico-cluster-{}", cfg.worker_id))
+            .spawn(move || pull_loop(&cfg, &cache, &stop, &counters))?
+    };
+    Ok(WorkerHandle {
+        stop,
+        thread: Some(thread),
+        counters,
+    })
+}
+
+fn pull_loop(
+    cfg: &WorkerConfig,
+    cache: &Arc<EvalCache>,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<WorkerCounters>,
+) {
+    let timeout = Duration::from_secs(5);
+    let lease_body = format!("{{\"worker\":{}}}", json::escape(&cfg.worker_id));
+    while !stop.load(Ordering::SeqCst) {
+        match client::post(&cfg.coordinator, "/cluster/v1/lease", &lease_body, timeout) {
+            Ok((200, doc)) => {
+                if let RunEnd::Die = run_leased(cfg, cache, counters, &doc) {
+                    return;
+                }
+            }
+            // 204 (idle) and any error both mean: poll again shortly.
+            Ok(_) | Err(_) => sleep_unless(stop, cfg.poll_interval),
+        }
+    }
+}
+
+/// Runs one leased job end to end. Returns [`RunEnd::Die`] when the
+/// kill hook fired and this worker is configured to die with it.
+fn run_leased(
+    cfg: &WorkerConfig,
+    cache: &Arc<EvalCache>,
+    counters: &Arc<WorkerCounters>,
+    doc: &str,
+) -> RunEnd {
+    let Ok(v) = json::parse(doc) else {
+        return RunEnd::Continue;
+    };
+    let (Some(Ok(lease)), Some(Ok(job_id)), Some(spec_json)) = (
+        v.get("lease").map(|l| l.as_str("lease")),
+        v.get("job").map(|j| j.as_str("job")),
+        v.get("spec"),
+    ) else {
+        return RunEnd::Continue;
+    };
+    let Ok(spec) = JobSpec::from_json(spec_json) else {
+        return RunEnd::Continue;
+    };
+    let lease = lease.to_string();
+    let job = Arc::new(Job::new(job_id.to_string(), spec.clone()));
+    let paths = JobPaths::new(&cfg.state_dir, &job.id);
+
+    let abandoned = Arc::new(AtomicBool::new(false));
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let cfg = cfg.clone();
+        let lease = lease.clone();
+        let job = Arc::clone(&job);
+        let cache = Arc::clone(cache);
+        let abandoned = Arc::clone(&abandoned);
+        let cursor = Arc::clone(&cursor);
+        let hb_stop = Arc::clone(&hb_stop);
+        let counters = Arc::clone(counters);
+        std::thread::spawn(move || {
+            heartbeat_loop(
+                &cfg, &lease, &job, &cache, &cursor, &hb_stop, &abandoned, &counters,
+            )
+        })
+    };
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        scheduler::execute(&spec, &paths, Arc::clone(cache), &job)
+    }));
+    hb_stop.store(true, Ordering::SeqCst);
+    let _ = heartbeat.join();
+
+    match result {
+        Ok((outcome, telemetry)) => {
+            if abandoned.load(Ordering::SeqCst) {
+                counters.jobs_abandoned.fetch_add(1, Ordering::Relaxed);
+                return RunEnd::Continue;
+            }
+            let resumed = job.resumed.load(Ordering::SeqCst);
+            let (events, _) = job.events.read_past(cursor.load(Ordering::SeqCst));
+            let doc = format!(
+                "{{\"schema\":\"unico.cluster_complete.v1\",\"lease\":{},\"job\":{},\"worker\":{},\"resumed\":{},\"outcome\":{},\"telemetry\":{},\"events\":{},\"cache\":{}}}",
+                json::escape(&lease),
+                json::escape(&job.id),
+                json::escape(&cfg.worker_id),
+                resumed,
+                outcome.to_wire_json(),
+                telemetry_to_wire(&telemetry),
+                render_events(&events),
+                cache_report_to_wire(&cache_report(cache)),
+            );
+            let timeout = Duration::from_secs(5);
+            for attempt in 0..3 {
+                match client::post(&cfg.coordinator, "/cluster/v1/complete", &doc, timeout) {
+                    Ok((200, _)) => {
+                        counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                        return RunEnd::Continue;
+                    }
+                    // Terminal refusals: someone else's completion won.
+                    Ok((409, _)) | Ok((404, _)) | Ok((422, _)) => break,
+                    Ok(_) | Err(_) if attempt < 2 => {
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                    Ok(_) | Err(_) => {}
+                }
+            }
+            counters.jobs_abandoned.fetch_add(1, Ordering::Relaxed);
+            RunEnd::Continue
+        }
+        Err(panic) => {
+            let msg = scheduler::panic_message(panic.as_ref());
+            if msg.contains("kill_after") {
+                counters.kills_simulated.fetch_add(1, Ordering::Relaxed);
+                if cfg.die_on_kill_hook {
+                    // Simulated worker death: no fail report, no more
+                    // heartbeats. The coordinator's reaper requeues.
+                    return RunEnd::Die;
+                }
+                return RunEnd::Continue;
+            }
+            counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let doc = format!(
+                "{{\"lease\":{},\"job\":{},\"worker\":{},\"error\":{},\"events\":{}}}",
+                json::escape(&lease),
+                json::escape(&job.id),
+                json::escape(&cfg.worker_id),
+                json::escape(&msg),
+                render_events(&job.events.read_past(cursor.load(Ordering::SeqCst)).0),
+            );
+            let _ = client::post(
+                &cfg.coordinator,
+                "/cluster/v1/fail",
+                &doc,
+                Duration::from_secs(5),
+            );
+            RunEnd::Continue
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn heartbeat_loop(
+    cfg: &WorkerConfig,
+    lease: &str,
+    job: &Arc<Job>,
+    cache: &Arc<EvalCache>,
+    cursor: &Arc<AtomicUsize>,
+    hb_stop: &Arc<AtomicBool>,
+    abandoned: &Arc<AtomicBool>,
+    counters: &Arc<WorkerCounters>,
+) {
+    let timeout = Duration::from_secs(5);
+    let mut failures = 0u32;
+    loop {
+        sleep_unless(hb_stop, cfg.heartbeat_interval);
+        if hb_stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let (events, _) = job.events.read_past(cursor.load(Ordering::SeqCst));
+        cursor.fetch_add(events.len(), Ordering::SeqCst);
+        let body = format!(
+            "{{\"worker\":{},\"lease\":{},\"events\":{},\"cache\":{}}}",
+            json::escape(&cfg.worker_id),
+            json::escape(lease),
+            render_events(&events),
+            cache_report_to_wire(&cache_report(cache)),
+        );
+        match client::post(&cfg.coordinator, "/cluster/v1/heartbeat", &body, timeout) {
+            Ok((200, resp)) => {
+                failures = 0;
+                if resp.contains("\"cancel\":true") {
+                    job.cancel.store(true, Ordering::SeqCst);
+                }
+            }
+            Ok((410, _)) => {
+                // The lease was reaped: the job belongs to someone
+                // else now. Stop the run and discard its result.
+                counters.leases_lost.fetch_add(1, Ordering::Relaxed);
+                abandoned.store(true, Ordering::SeqCst);
+                job.cancel.store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(_) | Err(_) => {
+                failures += 1;
+                if failures >= 8 {
+                    // Coordinator unreachable for ~8 beats: assume it
+                    // is gone (or we are partitioned) and abandon.
+                    abandoned.store(true, Ordering::SeqCst);
+                    job.cancel.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn cache_report(cache: &EvalCache) -> WorkerCacheReport {
+    let mem = cache.stats();
+    let disk = cache.disk_stats().unwrap_or_default();
+    WorkerCacheReport {
+        hits: mem.hits,
+        misses: mem.misses,
+        entries: mem.entries,
+        disk_hits: disk.hits,
+        disk_entries: disk.entries,
+    }
+}
+
+fn render_events(events: &[String]) -> String {
+    let escaped: Vec<String> = events.iter().map(|e| json::escape(e)).collect();
+    format!("[{}]", escaped.join(","))
+}
+
+/// Sleeps up to `dur`, returning early once `stop` is set.
+fn sleep_unless(stop: &AtomicBool, dur: Duration) {
+    let step = Duration::from_millis(10).min(dur);
+    let deadline = std::time::Instant::now() + dur;
+    while std::time::Instant::now() < deadline {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(step);
+    }
+}
