@@ -1,0 +1,492 @@
+//! A small hand-rolled reverse-mode automatic-differentiation tape over
+//! `f64` scalars — no external dependencies, mirroring the vendored-shim
+//! approach of the offline `rand`/`proptest` packages.
+//!
+//! The design is the classic Wengert list: a [`Tape`] records every
+//! primitive operation as a node carrying (up to two) parent indices and
+//! the local partial derivatives evaluated at the forward values.
+//! [`Var`] is a `Copy` handle into the tape; arithmetic on `Var`s pushes
+//! nodes and [`Var::backward`] runs one reverse sweep, producing the
+//! gradient of that variable with respect to every tape entry.
+//!
+//! Two deliberate non-smooth conventions, relied on by the differentiable
+//! mapping search and documented for the gradient-check suite:
+//!
+//! * **`min`/`max` ties** route the gradient to the *first* operand, so
+//!   `a.vmax(b)` with `a == b` has `d/da = 1`, `d/db = 0`. Finite
+//!   differences disagree at the tie itself — gradient checks exclude
+//!   points within a margin of a tie.
+//! * **`ceil_ste`** is a straight-through estimator: the forward value is
+//!   the true `f64::ceil`, the backward partial is `1.0`. The forward map
+//!   is piecewise constant, so a finite-difference oracle sees a zero (or
+//!   exploding, at a jump) derivative — `ceil_ste` is therefore *excluded*
+//!   from finite-difference agreement by design and pinned by its own
+//!   op-level test instead. See `DESIGN.md` ("Gradient search") for why
+//!   the relaxed cost model keeps division smooth and reserves `ceil_ste`
+//!   for consumers that want discretization in the forward pass only.
+//!
+//! The [`Scalar`] trait abstracts the primitive set over both plain `f64`
+//! and [`Var`]; generic numeric kernels written against it (like the
+//! analytical model's `cost_core`) execute the *identical* sequence of
+//! `f64` operations in both instantiations, which is what keeps the
+//! scalar evaluation path bit-identical after the refactor.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+
+/// One recorded operation: up to two parents with the local partial
+/// derivative of the node's output with respect to each.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    parents: [usize; 2],
+    partials: [f64; 2],
+}
+
+/// A Wengert-list tape of recorded operations.
+///
+/// Create leaves with [`Tape::var`], combine them with `Var` arithmetic,
+/// then call [`Var::backward`] on the scalar output.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far (leaves included).
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Records a new leaf variable with value `v`.
+    pub fn var(&self, v: f64) -> Var<'_> {
+        let idx = self.push(Node {
+            parents: [0, 0],
+            partials: [0.0, 0.0],
+        });
+        Var {
+            tape: self,
+            idx,
+            val: v,
+        }
+    }
+
+    fn push(&self, node: Node) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(node);
+        nodes.len() - 1
+    }
+}
+
+/// A differentiable scalar: a value plus its position on a [`Tape`].
+///
+/// `Var` is `Copy`; all arithmetic borrows the tape immutably and appends
+/// nodes through interior mutability.
+#[derive(Debug, Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    idx: usize,
+    val: f64,
+}
+
+impl<'t> Var<'t> {
+    /// The forward value.
+    pub fn value(self) -> f64 {
+        self.val
+    }
+
+    /// The node index on the tape (stable for the tape's lifetime).
+    pub fn index(self) -> usize {
+        self.idx
+    }
+
+    /// The tape this variable is recorded on.
+    pub fn tape(self) -> &'t Tape {
+        self.tape
+    }
+
+    fn unary(self, val: f64, partial: f64) -> Var<'t> {
+        let idx = self.tape.push(Node {
+            parents: [self.idx, self.idx],
+            partials: [partial, 0.0],
+        });
+        Var {
+            tape: self.tape,
+            idx,
+            val,
+        }
+    }
+
+    fn binary(self, other: Var<'t>, val: f64, da: f64, db: f64) -> Var<'t> {
+        let idx = self.tape.push(Node {
+            parents: [self.idx, other.idx],
+            partials: [da, db],
+        });
+        Var {
+            tape: self.tape,
+            idx,
+            val,
+        }
+    }
+
+    /// Natural logarithm.
+    pub fn ln(self) -> Var<'t> {
+        self.unary(self.val.ln(), 1.0 / self.val)
+    }
+
+    /// Natural exponential.
+    pub fn exp(self) -> Var<'t> {
+        let v = self.val.exp();
+        self.unary(v, v)
+    }
+
+    /// Integer power (`f64::powi` forward, `n·x^(n-1)` backward).
+    pub fn powi(self, n: i32) -> Var<'t> {
+        self.unary(self.val.powi(n), f64::from(n) * self.val.powi(n - 1))
+    }
+
+    /// Element maximum; at a tie the gradient flows to `self`.
+    pub fn vmax(self, other: Var<'t>) -> Var<'t> {
+        if self.val >= other.val {
+            self.binary(other, self.val.max(other.val), 1.0, 0.0)
+        } else {
+            self.binary(other, self.val.max(other.val), 0.0, 1.0)
+        }
+    }
+
+    /// Element minimum; at a tie the gradient flows to `self`.
+    pub fn vmin(self, other: Var<'t>) -> Var<'t> {
+        if self.val <= other.val {
+            self.binary(other, self.val.min(other.val), 1.0, 0.0)
+        } else {
+            self.binary(other, self.val.min(other.val), 0.0, 1.0)
+        }
+    }
+
+    /// Ceiling with a straight-through estimator: forward `f64::ceil`,
+    /// backward identity. Excluded from finite-difference checks by
+    /// design (the forward map is piecewise constant).
+    pub fn ceil_ste(self) -> Var<'t> {
+        self.unary(self.val.ceil(), 1.0)
+    }
+
+    /// Reverse sweep: the gradient of `self` with respect to every node
+    /// recorded so far.
+    pub fn backward(self) -> Grads {
+        let nodes = self.tape.nodes.borrow();
+        let mut adj = vec![0.0f64; nodes.len()];
+        adj[self.idx] = 1.0;
+        for i in (0..=self.idx).rev() {
+            let a = adj[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = nodes[i];
+            // Leaves are self-parents with zero partials: no-ops here.
+            for p in 0..2 {
+                let contribution = a * node.partials[p];
+                if contribution != 0.0 && node.parents[p] != i {
+                    adj[node.parents[p]] += contribution;
+                }
+            }
+        }
+        Grads { adj }
+    }
+}
+
+/// Adjoints produced by [`Var::backward`], indexed by tape position.
+#[derive(Debug, Clone)]
+pub struct Grads {
+    adj: Vec<f64>,
+}
+
+impl Grads {
+    /// The gradient with respect to `v` (zero if `v` does not influence
+    /// the output).
+    pub fn wrt(&self, v: Var<'_>) -> f64 {
+        self.adj.get(v.idx).copied().unwrap_or(0.0)
+    }
+}
+
+impl<'t> std::ops::Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, o: Var<'t>) -> Var<'t> {
+        self.binary(o, self.val + o.val, 1.0, 1.0)
+    }
+}
+
+impl<'t> std::ops::Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, o: Var<'t>) -> Var<'t> {
+        self.binary(o, self.val - o.val, 1.0, -1.0)
+    }
+}
+
+impl<'t> std::ops::Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, o: Var<'t>) -> Var<'t> {
+        self.binary(o, self.val * o.val, o.val, self.val)
+    }
+}
+
+impl<'t> std::ops::Div for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, o: Var<'t>) -> Var<'t> {
+        self.binary(
+            o,
+            self.val / o.val,
+            1.0 / o.val,
+            -self.val / (o.val * o.val),
+        )
+    }
+}
+
+impl<'t> std::ops::Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Var<'t> {
+        self.unary(-self.val, -1.0)
+    }
+}
+
+/// The primitive-operation set shared by `f64` and [`Var`].
+///
+/// Generic numeric code written against `Scalar` performs the *same*
+/// `f64` operations in the same order under both instantiations: the
+/// `f64` impl is a zero-cost passthrough, and the `Var` impl additionally
+/// records each operation on the tape. Constants enter through
+/// [`Scalar::lit`], which needs an existing scalar to supply the tape
+/// context (for `f64` it is the identity on the literal).
+pub trait Scalar: Copy {
+    /// The forward value.
+    fn value(self) -> f64;
+    /// A constant in the same differentiation context as `self`
+    /// (gradients never flow into literals).
+    fn lit(self, v: f64) -> Self;
+    /// Addition.
+    fn add(self, o: Self) -> Self;
+    /// Subtraction.
+    fn sub(self, o: Self) -> Self;
+    /// Multiplication.
+    fn mul(self, o: Self) -> Self;
+    /// Division.
+    fn div(self, o: Self) -> Self;
+    /// Negation.
+    fn neg(self) -> Self;
+    /// Element maximum (tie: gradient to `self`).
+    fn vmax(self, o: Self) -> Self;
+    /// Element minimum (tie: gradient to `self`).
+    fn vmin(self, o: Self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Integer power.
+    fn powi(self, n: i32) -> Self;
+    /// Ceiling with straight-through gradient (identity backward).
+    fn ceil_ste(self) -> Self;
+}
+
+impl Scalar for f64 {
+    fn value(self) -> f64 {
+        self
+    }
+    fn lit(self, v: f64) -> Self {
+        v
+    }
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    fn sub(self, o: Self) -> Self {
+        self - o
+    }
+    fn mul(self, o: Self) -> Self {
+        self * o
+    }
+    fn div(self, o: Self) -> Self {
+        self / o
+    }
+    fn neg(self) -> Self {
+        -self
+    }
+    fn vmax(self, o: Self) -> Self {
+        self.max(o)
+    }
+    fn vmin(self, o: Self) -> Self {
+        self.min(o)
+    }
+    fn ln(self) -> Self {
+        f64::ln(self)
+    }
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    fn powi(self, n: i32) -> Self {
+        f64::powi(self, n)
+    }
+    fn ceil_ste(self) -> Self {
+        self.ceil()
+    }
+}
+
+impl<'t> Scalar for Var<'t> {
+    fn value(self) -> f64 {
+        Var::value(self)
+    }
+    fn lit(self, v: f64) -> Self {
+        self.tape.var(v)
+    }
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    fn sub(self, o: Self) -> Self {
+        self - o
+    }
+    fn mul(self, o: Self) -> Self {
+        self * o
+    }
+    fn div(self, o: Self) -> Self {
+        self / o
+    }
+    fn neg(self) -> Self {
+        -self
+    }
+    fn vmax(self, o: Self) -> Self {
+        Var::vmax(self, o)
+    }
+    fn vmin(self, o: Self) -> Self {
+        Var::vmin(self, o)
+    }
+    fn ln(self) -> Self {
+        Var::ln(self)
+    }
+    fn exp(self) -> Self {
+        Var::exp(self)
+    }
+    fn powi(self, n: i32) -> Self {
+        Var::powi(self, n)
+    }
+    fn ceil_ste(self) -> Self {
+        Var::ceil_ste(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_rule() {
+        let t = Tape::new();
+        let x = t.var(3.0);
+        let y = t.var(4.0);
+        let z = x * y + x;
+        assert_eq!(z.value(), 15.0);
+        let g = z.backward();
+        assert_eq!(g.wrt(x), 5.0); // y + 1
+        assert_eq!(g.wrt(y), 3.0); // x
+    }
+
+    #[test]
+    fn quotient_and_chain() {
+        let t = Tape::new();
+        let x = t.var(2.0);
+        let y = t.var(5.0);
+        // d/dx (x^2 / y) = 2x/y; d/dy = -x^2/y^2
+        let z = x.powi(2) / y;
+        let g = z.backward();
+        assert!((g.wrt(x) - 0.8).abs() < 1e-12);
+        assert!((g.wrt(y) + 4.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_exp_roundtrip_gradient() {
+        let t = Tape::new();
+        let x = t.var(1.7);
+        let z = x.ln().exp(); // identity
+        assert!((z.value() - 1.7).abs() < 1e-12);
+        let g = z.backward();
+        assert!((g.wrt(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_pick_branch() {
+        let t = Tape::new();
+        let a = t.var(2.0);
+        let b = t.var(3.0);
+        let g = a.vmax(b).backward();
+        assert_eq!(g.wrt(a), 0.0);
+        assert_eq!(g.wrt(b), 1.0);
+        let g = a.vmin(b).backward();
+        assert_eq!(g.wrt(a), 1.0);
+        assert_eq!(g.wrt(b), 0.0);
+    }
+
+    #[test]
+    fn tie_routes_gradient_to_first_operand() {
+        let t = Tape::new();
+        let a = t.var(2.0);
+        let b = t.var(2.0);
+        let g = a.vmax(b).backward();
+        assert_eq!(g.wrt(a), 1.0);
+        assert_eq!(g.wrt(b), 0.0);
+    }
+
+    #[test]
+    fn ceil_ste_forward_discrete_backward_identity() {
+        let t = Tape::new();
+        let x = t.var(2.3);
+        let z = x.ceil_ste() * x;
+        assert_eq!(z.value(), 3.0 * 2.3);
+        let g = z.backward();
+        // STE: d(ceil(x)*x)/dx = 1*x + ceil(x) under the estimator.
+        assert!((g.wrt(x) - (2.3 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fanout_accumulates() {
+        let t = Tape::new();
+        let x = t.var(3.0);
+        let z = x * x + x * x; // 2x^2, dz/dx = 4x
+        let g = z.backward();
+        assert_eq!(g.wrt(x), 12.0);
+    }
+
+    #[test]
+    fn generic_kernel_identical_under_both_scalars() {
+        fn kernel<S: Scalar>(x: S, y: S) -> S {
+            let c = x.lit(2.5);
+            x.mul(y).add(c).vmax(x.powi(2)).div(y.exp().add(x.lit(1.0)))
+        }
+        let xf = 1.3f64;
+        let yf = 0.7f64;
+        let plain = kernel(xf, yf);
+        let t = Tape::new();
+        let xv = t.var(xf);
+        let yv = t.var(yf);
+        let taped = kernel(xv, yv);
+        // Same op sequence, same f64 primitives: bit-identical forward.
+        assert_eq!(plain.to_bits(), taped.value().to_bits());
+    }
+
+    #[test]
+    fn unused_var_has_zero_gradient() {
+        let t = Tape::new();
+        let x = t.var(1.0);
+        let y = t.var(2.0);
+        let z = x + x;
+        let g = z.backward();
+        assert_eq!(g.wrt(y), 0.0);
+        assert_eq!(g.wrt(x), 2.0);
+    }
+}

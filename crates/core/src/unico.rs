@@ -758,6 +758,7 @@ impl Unico {
                 sessions.iter().map(HwSession::total_steps).sum(),
             );
             telemetry.add(Counter::HwEvals, sessions.len() as u64);
+            // Gradient-search counters are booked by the SH run itself.
             let cpu: f64 = sessions.iter().map(HwSession::cost_seconds).sum();
             st.clock
                 .charge(cpu, (sessions.len() * env.num_jobs()) as u32);

@@ -1,5 +1,7 @@
 //! The interface between mapping searchers and PPA cost models.
 
+use unico_workloads::DIM_COUNT;
+
 use crate::mapping::Mapping;
 
 /// Result of evaluating one mapping on one hardware configuration.
@@ -12,6 +14,33 @@ pub struct MappingOutcome {
     pub latency_s: f64,
     /// Average power in milliwatts.
     pub power_mw: f64,
+}
+
+/// A continuous relaxation of a mapping's tiling factors: per-dimension
+/// L2 and L1 tile sizes as positive reals (linear space). The loop order
+/// and spatial dims are taken from a discrete *template* mapping — only
+/// the tiles are relaxed. Produced by gradient searchers and consumed by
+/// [`MappingCost::assess_relaxed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxedPoint {
+    /// Continuous L2 tile sizes per dimension (`≥ 1`, `≤` extent).
+    pub l2: [f64; DIM_COUNT],
+    /// Continuous L1 tile sizes per dimension (`≥ 1`, `≤ l2`).
+    pub l1: [f64; DIM_COUNT],
+}
+
+/// Value and gradient of a relaxed objective at a [`RelaxedPoint`],
+/// with partial derivatives in **linear** tile space (callers working in
+/// log space apply the chain rule `dL/d ln t = t · dL/dt` themselves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxedGrad {
+    /// The relaxed objective value (objective scaled by any soft
+    /// feasibility penalties the implementation applies).
+    pub value: f64,
+    /// `∂value/∂l2[d]`.
+    pub d_l2: [f64; DIM_COUNT],
+    /// `∂value/∂l1[d]`.
+    pub d_l1: [f64; DIM_COUNT],
 }
 
 /// A cost oracle for mappings of a fixed `(workload, hardware)` pair.
@@ -44,6 +73,20 @@ pub trait MappingCost {
     fn eval_cost_seconds(&self) -> f64 {
         0.05
     }
+
+    /// Differentiable-relaxation hook: the value and tile-space gradient
+    /// of a smooth surrogate of this cost at `point`, with the loop
+    /// order and spatial dims frozen to `template`'s.
+    ///
+    /// The default returns `None` — "this cost has no differentiable
+    /// surrogate" — which makes gradient searchers fall back to random
+    /// sampling. Analytical-model adapters override it. Surrogate
+    /// evaluations are free (they consume no search budget); only exact
+    /// `assess` calls count as samples.
+    fn assess_relaxed(&self, template: &Mapping, point: &RelaxedPoint) -> Option<RelaxedGrad> {
+        let _ = (template, point);
+        None
+    }
 }
 
 impl<T: MappingCost + ?Sized> MappingCost for &T {
@@ -57,6 +100,10 @@ impl<T: MappingCost + ?Sized> MappingCost for &T {
 
     fn eval_cost_seconds(&self) -> f64 {
         (**self).eval_cost_seconds()
+    }
+
+    fn assess_relaxed(&self, template: &Mapping, point: &RelaxedPoint) -> Option<RelaxedGrad> {
+        (**self).assess_relaxed(template, point)
     }
 }
 

@@ -1,0 +1,725 @@
+//! Differentiable one-loop mapping search (DOSA-inspired).
+//!
+//! [`GradientSearcher`] relaxes the integer tiling factors of a mapping
+//! to continuous values and descends a differentiable surrogate of the
+//! cost (exposed by [`MappingCost::assess_relaxed`]) by momentum gradient
+//! descent **in log space**: the optimization variables are
+//! `z = ln(tile)`, which makes multiplicative structure additive, keeps
+//! tiles positive by construction, and equalizes step scales across
+//! dimensions spanning `1 ..= 512`.
+//!
+//! One descent iteration is: query the surrogate gradient at the current
+//! point, apply the chain rule `∂L/∂z = tile · ∂L/∂tile`, normalize,
+//! take a momentum step, and *project* back into the box
+//! `ln(floor) ≤ z1 ≤ z2 ≤ ln(extent)`. If the surrogate value got worse
+//! the step is rejected, the pre-step point restored exactly, and the
+//! learning rate halved (a backtracking line search); improvements
+//! slowly re-expand it. After every few surrogate steps the continuous
+//! point is **legalized**: nearest- and floor-rounding onto the
+//! [`MappingSpace`] option lists compete (floor never inflates a
+//! footprint across the buffer wall), the winner is *polished* by free
+//! greedy moves over the discrete neighborhood (tile option steps,
+//! correlated pair steps, order transpositions, spatial swaps), and the
+//! result is re-evaluated through the normal exact (cached `f64`) path.
+//! Because the surrogate uses straight-through-estimator rounding, its
+//! value at integer tiles reproduces the exact model's quantization
+//! cliffs, so all of that screening is trustworthy and free. Only the
+//! exact evaluations consume search budget, which is exactly the
+//! sample-efficiency claim the fig7-style comparison measures.
+//!
+//! The loop order and spatial dims are not relaxed; each trajectory
+//! starts from a surrogate-screened template — random draws on explore
+//! restarts, jittered/mutated copies of the incumbent on alternating
+//! exploit restarts — and the polish step may still swap order
+//! positions or re-point the spatial pair when that helps. Restarts
+//! trigger after several distinct legalizations without per-trajectory
+//! improvement. Costs without a differentiable surrogate
+//! (`assess_relaxed` returning `None`, e.g. the loop-centric engine)
+//! degrade to plain random sampling so the searcher stays usable
+//! everywhere.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use unico_workloads::{Dim, DIM_COUNT};
+
+use crate::cost::{MappingCost, MappingOutcome, RelaxedPoint};
+use crate::history::SearchHistory;
+use crate::mapping::Mapping;
+use crate::search::{Incumbent, MappingSearcher};
+use crate::space::MappingSpace;
+
+/// Monotonic counters a [`GradientSearcher`] accumulates; surfaced
+/// through [`MappingSearcher::gradient_stats`] and booked into the run
+/// report's telemetry by the drivers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GradientStats {
+    /// Surrogate gradient-descent steps taken (free: no budget).
+    pub gradient_steps: u64,
+    /// Continuous points legalized and exactly re-evaluated.
+    pub legalizations: u64,
+    /// Backtracking line-search rejections (step undone, rate halved).
+    pub backtracks: u64,
+    /// Trajectory restarts from a fresh random template.
+    pub restarts: u64,
+}
+
+impl GradientStats {
+    /// Element-wise sum, for aggregating across jobs/sessions.
+    pub fn absorb(&mut self, o: &GradientStats) {
+        self.gradient_steps += o.gradient_steps;
+        self.legalizations += o.legalizations;
+        self.backtracks += o.backtracks;
+        self.restarts += o.restarts;
+    }
+
+    /// Element-wise difference against an `earlier` snapshot of the same
+    /// monotone counters — what drivers book when they advance sessions
+    /// that may already carry progress from a previous round.
+    pub fn delta_since(&self, earlier: &GradientStats) -> GradientStats {
+        GradientStats {
+            gradient_steps: self.gradient_steps.saturating_sub(earlier.gradient_steps),
+            legalizations: self.legalizations.saturating_sub(earlier.legalizations),
+            backtracks: self.backtracks.saturating_sub(earlier.backtracks),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+        }
+    }
+}
+
+/// Tunables for [`GradientSearcher`].
+#[derive(Debug, Clone, Copy)]
+pub struct GradientConfig {
+    /// Initial log-space step size (on the ∞-normalized gradient).
+    pub learning_rate: f64,
+    /// Momentum coefficient on the velocity term.
+    pub momentum: f64,
+    /// Surrogate descent steps between legalizations.
+    pub steps_per_legalization: u32,
+    /// Legalizations without incumbent improvement before a restart.
+    pub restart_after: u32,
+    /// Hard cap on legalizations per trajectory (forces template
+    /// diversity even while a long descent keeps improving slowly).
+    pub max_rounds_per_trajectory: u32,
+}
+
+impl Default for GradientConfig {
+    fn default() -> Self {
+        GradientConfig {
+            learning_rate: 0.25,
+            momentum: 0.7,
+            steps_per_legalization: 8,
+            restart_after: 4,
+            max_rounds_per_trajectory: 12,
+        }
+    }
+}
+
+/// One descent trajectory: a discrete template (order + spatial dims)
+/// plus the continuous log-space tile point and optimizer state.
+#[derive(Debug, Clone)]
+struct Trajectory {
+    template: Mapping,
+    z2: [f64; DIM_COUNT],
+    z1: [f64; DIM_COUNT],
+    v2: [f64; DIM_COUNT],
+    v1: [f64; DIM_COUNT],
+    /// Pre-step point, restored verbatim on a backtrack (subtracting the
+    /// velocity would not undo a step that projection clamped).
+    prev_z2: [f64; DIM_COUNT],
+    prev_z1: [f64; DIM_COUNT],
+    lr: f64,
+    prev_value: f64,
+    rounds: u32,
+    stale_rounds: u32,
+    /// Best exact loss this trajectory has produced itself; staleness is
+    /// judged against this, not the global incumbent, so a healthy
+    /// descent is not killed for merely trailing an earlier trajectory.
+    best_loss: f64,
+    last_legal: Option<Mapping>,
+}
+
+/// Gradient-descent mapping search over a differentiable cost surrogate.
+#[derive(Debug)]
+pub struct GradientSearcher {
+    space: MappingSpace,
+    rng: StdRng,
+    cfg: GradientConfig,
+    history: SearchHistory,
+    incumbent: Incumbent,
+    stats: GradientStats,
+    traj: Option<Trajectory>,
+    /// `Some(false)` once the cost declined `assess_relaxed`; the
+    /// searcher then behaves as random sampling.
+    relaxation_supported: Option<bool>,
+}
+
+impl GradientSearcher {
+    /// Creates a gradient search with the default configuration.
+    pub fn new(space: MappingSpace, rng: StdRng) -> Self {
+        GradientSearcher::with_config(space, rng, GradientConfig::default())
+    }
+
+    /// Creates a gradient search with explicit tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps_per_legalization == 0` or rates are not finite
+    /// and positive.
+    pub fn with_config(space: MappingSpace, rng: StdRng, cfg: GradientConfig) -> Self {
+        assert!(cfg.steps_per_legalization > 0, "steps_per_legalization");
+        assert!(
+            cfg.learning_rate.is_finite() && cfg.learning_rate > 0.0,
+            "learning_rate"
+        );
+        assert!(
+            (0.0..1.0).contains(&cfg.momentum),
+            "momentum must be in [0, 1)"
+        );
+        GradientSearcher {
+            space,
+            rng,
+            cfg,
+            history: SearchHistory::new(),
+            incumbent: Incumbent::default(),
+            stats: GradientStats::default(),
+            traj: None,
+            relaxation_supported: None,
+        }
+    }
+
+    /// The accumulated gradient counters.
+    pub fn stats(&self) -> GradientStats {
+        self.stats
+    }
+
+    /// Spends one exact evaluation on `m`, recording it in the history
+    /// and offering it to the incumbent. Returns the outcome.
+    fn exact_eval(&mut self, cost: &dyn MappingCost, m: &Mapping) -> Option<MappingOutcome> {
+        match cost.assess(m) {
+            Some(o) => {
+                self.incumbent.offer(m, o);
+                self.history.push(o);
+                Some(o)
+            }
+            None => {
+                self.history.push_infeasible();
+                None
+            }
+        }
+    }
+
+    /// Starts a fresh trajectory. Candidate starting points are screened
+    /// with *free* surrogate queries: several random `(template, tiles)`
+    /// draws compete and the lowest surrogate value wins, so no exact
+    /// budget is burned on unvetted random templates. Every other
+    /// restart *exploits* instead — descent resumes from the incumbent's
+    /// discrete template (order + spatial dims) with jittered tiles,
+    /// refining the best-known region rather than starting cold.
+    fn start_trajectory(&mut self, cost: &dyn MappingCost) {
+        const SCREEN: usize = 16;
+        let ext = self.space.nest().extents();
+        let exploit = self.stats.restarts % 2 == 1;
+        let incumbent = self.incumbent.get().map(|(m, _)| m.clone());
+        let mut best: Option<(Mapping, [f64; DIM_COUNT], [f64; DIM_COUNT], f64)> = None;
+        let mut unscreened: Option<(Mapping, [f64; DIM_COUNT], [f64; DIM_COUNT])> = None;
+        for _ in 0..SCREEN {
+            let (template, mut z2, mut z1) = match &incumbent {
+                Some(m) if exploit => {
+                    // Jittered copies of the incumbent's tiles — restarting
+                    // at the exact incumbent with zero velocity would only
+                    // stall, so every candidate moves off it a little. Half
+                    // the candidates also perturb the discrete template
+                    // (order / spatial dims): free local search over the
+                    // choices the continuous descent cannot reach, screened
+                    // by the surrogate like everything else.
+                    let template = if self.rng.gen_bool(0.5) {
+                        if self.rng.gen_bool(0.5) {
+                            self.space.mutate_order(&mut self.rng, m)
+                        } else {
+                            self.space.mutate_spatial(&mut self.rng, m)
+                        }
+                    } else {
+                        m.clone()
+                    };
+                    let l2 = m.l2_tile();
+                    let l1 = m.l1_tile();
+                    let z2: [f64; DIM_COUNT] = std::array::from_fn(|i| {
+                        (l2[i] as f64).ln() + self.rng.gen_range(-0.8..0.8)
+                    });
+                    let z1: [f64; DIM_COUNT] = std::array::from_fn(|i| {
+                        (l1[i] as f64).ln() + self.rng.gen_range(-0.8..0.8)
+                    });
+                    (template, z2, z1)
+                }
+                _ => {
+                    let m = self.space.sample(&mut self.rng);
+                    let l2 = m.l2_tile();
+                    let l1 = m.l1_tile();
+                    let z2 = std::array::from_fn(|i| (l2[i] as f64).ln());
+                    let z1 = std::array::from_fn(|i| (l1[i] as f64).ln());
+                    (m, z2, z1)
+                }
+            };
+            project(&template, &mut z2, &mut z1, &ext);
+            let point = RelaxedPoint {
+                l2: z2.map(f64::exp),
+                l1: z1.map(f64::exp),
+            };
+            match cost.assess_relaxed(&template, &point) {
+                Some(g) if g.value.is_finite() => {
+                    let better = match &best {
+                        Some((_, _, _, v)) => g.value < *v,
+                        None => true,
+                    };
+                    if better {
+                        best = Some((template, z2, z1, g.value));
+                    }
+                }
+                _ => unscreened = Some((template, z2, z1)),
+            }
+        }
+        let (template, z2, z1) = match best {
+            Some((t, z2, z1, _)) => (t, z2, z1),
+            // No candidate had a finite surrogate value (no relaxation at
+            // all, or every draw degenerate): keep the last draw; the
+            // descent loop detects the missing surrogate on its first
+            // step and falls back to random sampling.
+            None => unscreened.expect("SCREEN > 0"),
+        };
+        // When exploiting, the incumbent is already paid for — seeding
+        // `last_legal` stops the first legalization from re-buying it.
+        let last_legal = if exploit { incumbent } else { None };
+        self.traj = Some(Trajectory {
+            template,
+            z2,
+            z1,
+            v2: [0.0; DIM_COUNT],
+            v1: [0.0; DIM_COUNT],
+            prev_z2: z2,
+            prev_z1: z1,
+            lr: self.cfg.learning_rate,
+            prev_value: f64::INFINITY,
+            rounds: 0,
+            stale_rounds: 0,
+            best_loss: f64::INFINITY,
+            last_legal,
+        });
+    }
+
+    /// One surrogate descent step. Returns `false` if the cost has no
+    /// differentiable surrogate.
+    fn surrogate_step(&mut self, cost: &dyn MappingCost) -> bool {
+        let ext = self.space.nest().extents();
+        let lr0 = self.cfg.learning_rate;
+        let momentum = self.cfg.momentum;
+        let Some(traj) = self.traj.as_mut() else {
+            return true;
+        };
+        let point = RelaxedPoint {
+            l2: traj.z2.map(f64::exp),
+            l1: traj.z1.map(f64::exp),
+        };
+        let Some(g) = cost.assess_relaxed(&traj.template, &point) else {
+            return false;
+        };
+        self.stats.gradient_steps += 1;
+
+        // Backtracking line search: if the last step made the surrogate
+        // worse, restore the exact pre-step point and halve the rate.
+        if g.value > traj.prev_value && traj.prev_value.is_finite() {
+            self.stats.backtracks += 1;
+            traj.z2 = traj.prev_z2;
+            traj.z1 = traj.prev_z1;
+            traj.v2 = [0.0; DIM_COUNT];
+            traj.v1 = [0.0; DIM_COUNT];
+            traj.lr = (traj.lr * 0.5).max(1e-3);
+            return true;
+        }
+        traj.prev_value = g.value;
+        traj.lr = (traj.lr * 1.1).min(lr0);
+
+        // Chain rule into log space and ∞-normalize so the step size is
+        // scale-free across objectives (seconds vs pJ·s).
+        let mut gz2 = [0.0f64; DIM_COUNT];
+        let mut gz1 = [0.0f64; DIM_COUNT];
+        let mut max_mag = 0.0f64;
+        for i in 0..DIM_COUNT {
+            gz2[i] = g.d_l2[i] * point.l2[i];
+            gz1[i] = g.d_l1[i] * point.l1[i];
+            max_mag = max_mag.max(gz2[i].abs()).max(gz1[i].abs());
+        }
+        if max_mag > 0.0 && max_mag.is_finite() {
+            traj.prev_z2 = traj.z2;
+            traj.prev_z1 = traj.z1;
+            let lr = traj.lr;
+            for i in 0..DIM_COUNT {
+                traj.v2[i] = momentum * traj.v2[i] - lr * gz2[i] / max_mag;
+                traj.v1[i] = momentum * traj.v1[i] - lr * gz1[i] / max_mag;
+                traj.z2[i] += traj.v2[i];
+                traj.z1[i] += traj.v1[i];
+            }
+        }
+        project(&traj.template, &mut traj.z2, &mut traj.z1, &ext);
+        true
+    }
+
+    /// Legalizes the current continuous point and spends one exact
+    /// evaluation on it (unless it equals the previous legalization,
+    /// which would waste budget on a duplicate). Two discretizations
+    /// compete — nearest rounding and floor rounding — screened by free
+    /// surrogate queries at their integer points: nearest rounding can
+    /// inflate a footprint across the buffer wall even when the
+    /// continuous point is feasible, and the steep feasibility penalty
+    /// makes the screen reject exactly those candidates.
+    fn legalize_and_eval(&mut self, cost: &dyn MappingCost) {
+        let legal = {
+            let Some(traj) = self.traj.as_mut() else {
+                return;
+            };
+            let l2 = traj.z2.map(f64::exp);
+            let l1 = traj.z1.map(f64::exp);
+            let order = traj.template.order();
+            let spatial = traj.template.spatial();
+            let near = self.space.legalize(&l2, &l1, order, spatial);
+            let floor = self.space.legalize_floor(&l2, &l1, order, spatial);
+            let m =
+                if near == floor || surrogate_value(cost, &near) <= surrogate_value(cost, &floor) {
+                    near
+                } else {
+                    floor
+                };
+            // Free greedy polish at the integer level: with STE rounding
+            // the surrogate value at integer tiles reproduces the exact
+            // model's quantization behavior, so discrete moves — option
+            // steps, correlated pair steps, order transpositions and
+            // spatial swaps — can all be ranked without spending budget.
+            // This is what finds PE-multiple tiles and reuse-friendly
+            // orders that plain rounding misses.
+            let m = polish(&self.space, cost, m);
+            if traj.last_legal.as_ref() == Some(&m) {
+                traj.stale_rounds += 1;
+                return;
+            }
+            // Only distinct (budget-spending) legalizations count toward
+            // the per-trajectory round cap; duplicates are free.
+            traj.rounds += 1;
+            traj.last_legal = Some(m.clone());
+            m
+        };
+        self.stats.legalizations += 1;
+        let outcome = self.exact_eval(cost, &legal);
+        let traj = self.traj.as_mut().expect("trajectory");
+        match outcome {
+            Some(o) if o.loss < traj.best_loss => {
+                traj.best_loss = o.loss;
+                traj.stale_rounds = 0;
+            }
+            _ => traj.stale_rounds += 1,
+        }
+    }
+
+    /// Random-sampling fallback for costs without a surrogate.
+    fn fallback_random(&mut self, cost: &dyn MappingCost, budget: u64) {
+        while self.history.spent() < budget {
+            let m = self.space.sample(&mut self.rng);
+            self.exact_eval(cost, &m);
+        }
+    }
+}
+
+/// Projects the log-space point into the legal box: spatial L1 tiles
+/// keep extent ≥ 2 where the dimension allows (so the PE-array
+/// unrolling never degenerates), everything else stays within
+/// `1 ≤ l1 ≤ l2 ≤ extent`.
+fn project(
+    template: &Mapping,
+    z2: &mut [f64; DIM_COUNT],
+    z1: &mut [f64; DIM_COUNT],
+    ext: &[u64; DIM_COUNT],
+) {
+    let (sa, sb) = template.spatial();
+    for d in Dim::ALL {
+        let i = d.index();
+        let z_ext = (ext[i] as f64).ln();
+        let spatial = i == sa.index() || i == sb.index();
+        let floor = if spatial && ext[i] >= 2 {
+            2f64.ln()
+        } else {
+            0.0
+        };
+        z2[i] = z2[i].clamp(floor.min(z_ext), z_ext);
+        z1[i] = z1[i].clamp(floor.min(z_ext), z2[i]);
+    }
+}
+
+/// Free surrogate query at a mapping's own integer tiles. Under STE
+/// rounding the relaxed model agrees with the exact model at integer
+/// points, so this ranks discrete candidates faithfully without
+/// spending evaluation budget. Infeasible or surrogate-less queries
+/// rank last.
+fn surrogate_value(cost: &dyn MappingCost, m: &Mapping) -> f64 {
+    let p = RelaxedPoint {
+        l2: m.l2_tile().map(|v| v as f64),
+        l1: m.l1_tile().map(|v| v as f64),
+    };
+    cost.assess_relaxed(m, &p)
+        .map_or(f64::INFINITY, |g| g.value)
+}
+
+/// Free greedy descent over the full discrete neighborhood of `m`:
+/// single-option tile steps, correlated same-level pair steps (trading
+/// one option between two dims), loop-order transpositions, and
+/// spatial-pair replacements. Every candidate is screened by
+/// [`surrogate_value`] at its own template, so order and spatial moves
+/// are ranked just as faithfully as tile moves. Sweeps repeat until a
+/// local optimum or the sweep cap; only strictly improving moves are
+/// taken, so the result is deterministic in `m`.
+fn polish(space: &MappingSpace, cost: &dyn MappingCost, mut m: Mapping) -> Mapping {
+    let mut cur = surrogate_value(cost, &m);
+    if !cur.is_finite() {
+        return m;
+    }
+    let spatial_cands = space.spatial_candidates();
+    for _ in 0..6 {
+        let mut improved = false;
+        let consider = |cand: Mapping, cur: &mut f64, m: &mut Mapping| {
+            let v = surrogate_value(cost, &cand);
+            if v < *cur {
+                *cur = v;
+                *m = cand;
+                true
+            } else {
+                false
+            }
+        };
+        // Single-coordinate option steps.
+        for d in Dim::ALL {
+            for (level2, up) in [(true, true), (true, false), (false, true), (false, false)] {
+                if let Some(cand) = space.neighbor_tile(&m, d, level2, up) {
+                    improved |= consider(cand, &mut cur, &mut m);
+                }
+            }
+        }
+        // Correlated pair steps: trade one option between two dims at
+        // the same level (e.g. rebalancing factors across the spatial
+        // pair), which single moves cannot reach without passing
+        // through a worse intermediate.
+        for a in Dim::ALL {
+            for b in Dim::ALL {
+                if a.index() >= b.index() {
+                    continue;
+                }
+                for (level2, up) in [(true, true), (true, false), (false, true), (false, false)] {
+                    let cand = space
+                        .neighbor_tile(&m, a, level2, up)
+                        .and_then(|c| space.neighbor_tile(&c, b, level2, !up));
+                    if let Some(cand) = cand {
+                        improved |= consider(cand, &mut cur, &mut m);
+                    }
+                }
+            }
+        }
+        // Loop-order transpositions: reuse is order-dependent, and the
+        // continuous descent cannot move the order at all.
+        for i in 0..DIM_COUNT {
+            for j in (i + 1)..DIM_COUNT {
+                let mut order = m.order();
+                order.swap(i, j);
+                let cand = Mapping::new(space.nest(), m.l2_tile(), m.l1_tile(), order, m.spatial());
+                improved |= consider(cand, &mut cur, &mut m);
+            }
+        }
+        // Spatial-pair replacements: re-point the PE-array unrolling at
+        // any other eligible ordered pair of dimensions.
+        if spatial_cands.len() >= 2 {
+            for &a in spatial_cands {
+                for &b in spatial_cands {
+                    if a == b || (a, b) == m.spatial() {
+                        continue;
+                    }
+                    let cand =
+                        Mapping::new(space.nest(), m.l2_tile(), m.l1_tile(), m.order(), (a, b));
+                    improved |= consider(cand, &mut cur, &mut m);
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    m
+}
+
+impl MappingSearcher for GradientSearcher {
+    fn run_until(&mut self, cost: &dyn MappingCost, budget: u64) {
+        if self.relaxation_supported == Some(false) {
+            self.fallback_random(cost, budget);
+            return;
+        }
+        while self.history.spent() < budget {
+            if self.traj.is_none() {
+                self.start_trajectory(cost);
+                continue;
+            }
+            for _ in 0..self.cfg.steps_per_legalization {
+                if !self.surrogate_step(cost) {
+                    self.relaxation_supported = Some(false);
+                    self.traj = None;
+                    self.fallback_random(cost, budget);
+                    return;
+                }
+            }
+            self.relaxation_supported = Some(true);
+            self.legalize_and_eval(cost);
+            let traj = self.traj.as_ref().expect("trajectory");
+            if traj.stale_rounds >= self.cfg.restart_after
+                || traj.rounds >= self.cfg.max_rounds_per_trajectory
+            {
+                self.stats.restarts += 1;
+                self.traj = None;
+            }
+        }
+    }
+
+    fn history(&self) -> &SearchHistory {
+        &self.history
+    }
+
+    fn best(&self) -> Option<(&Mapping, MappingOutcome)> {
+        self.incumbent.get()
+    }
+
+    fn gradient_stats(&self) -> Option<GradientStats> {
+        Some(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::RelaxedGrad;
+    use rand::SeedableRng;
+    use unico_workloads::TensorOp;
+
+    fn space() -> MappingSpace {
+        let nest = TensorOp::Conv2d {
+            n: 1,
+            k: 64,
+            c: 32,
+            y: 28,
+            x: 28,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest();
+        MappingSpace::new(&nest)
+    }
+
+    /// A smooth toy cost with a differentiable surrogate: loss is the
+    /// squared log-distance of every tile from a target size, so the
+    /// gradient points straight at the optimum.
+    struct Quadratic {
+        target: f64,
+    }
+
+    impl Quadratic {
+        fn loss_of(&self, l2: &[f64; DIM_COUNT], l1: &[f64; DIM_COUNT]) -> f64 {
+            let t = self.target.ln();
+            let mut s = 1.0;
+            for i in 0..DIM_COUNT {
+                s += (l2[i].ln() - t).powi(2) + (l1[i].ln() - t).powi(2);
+            }
+            s
+        }
+    }
+
+    impl MappingCost for Quadratic {
+        fn assess(&self, m: &Mapping) -> Option<MappingOutcome> {
+            let l2 = m.l2_tile().map(|v| v as f64);
+            let l1 = m.l1_tile().map(|v| v as f64);
+            let loss = self.loss_of(&l2, &l1);
+            Some(MappingOutcome {
+                loss,
+                latency_s: loss,
+                power_mw: 1.0,
+            })
+        }
+
+        fn assess_relaxed(&self, _t: &Mapping, p: &RelaxedPoint) -> Option<RelaxedGrad> {
+            let t = self.target.ln();
+            let value = self.loss_of(&p.l2, &p.l1);
+            // d/dl of (ln l - t)^2 = 2 (ln l - t) / l.
+            let d_l2 = std::array::from_fn(|i| 2.0 * (p.l2[i].ln() - t) / p.l2[i]);
+            let d_l1 = std::array::from_fn(|i| 2.0 * (p.l1[i].ln() - t) / p.l1[i]);
+            Some(RelaxedGrad { value, d_l2, d_l1 })
+        }
+    }
+
+    #[test]
+    fn descends_toward_target_tiles() {
+        let mut gs = GradientSearcher::new(space(), StdRng::seed_from_u64(11));
+        let cost = Quadratic { target: 4.0 };
+        gs.run_until(&cost, 60);
+        assert_eq!(gs.history().spent(), 60);
+        let (m, o) = gs.best().expect("feasible best");
+        // The incumbent should have most tiles pulled near the target
+        // (dims with extent < 4 clamp at their extent).
+        assert!(o.loss < 20.0, "loss {} for {m}", o.loss);
+        let stats = gs.stats();
+        assert!(stats.gradient_steps > 0);
+        assert!(stats.legalizations > 0);
+    }
+
+    #[test]
+    fn run_until_is_resumable_and_exact() {
+        let cost = Quadratic { target: 8.0 };
+        let mut gs = GradientSearcher::new(space(), StdRng::seed_from_u64(3));
+        gs.run_until(&cost, 25);
+        assert_eq!(gs.history().spent(), 25);
+        let best_25 = gs.history().terminal_value();
+        gs.run_until(&cost, 25); // no-op
+        assert_eq!(gs.history().spent(), 25);
+        gs.run_until(&cost, 60);
+        assert_eq!(gs.history().spent(), 60);
+        assert!(gs.history().terminal_value() <= best_25);
+    }
+
+    #[test]
+    fn falls_back_to_random_without_surrogate() {
+        struct NoSurrogate;
+        impl MappingCost for NoSurrogate {
+            fn assess(&self, m: &Mapping) -> Option<MappingOutcome> {
+                let loss = m.l1_tile().iter().map(|&t| t as f64).sum();
+                Some(MappingOutcome {
+                    loss,
+                    latency_s: loss,
+                    power_mw: 1.0,
+                })
+            }
+        }
+        let mut gs = GradientSearcher::new(space(), StdRng::seed_from_u64(5));
+        gs.run_until(&NoSurrogate, 40);
+        assert_eq!(gs.history().spent(), 40);
+        assert!(gs.best().is_some());
+        // No surrogate: zero gradient steps, pure sampling.
+        assert_eq!(gs.stats().gradient_steps, 0);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cost = Quadratic { target: 4.0 };
+        let run = |seed| {
+            let mut gs = GradientSearcher::new(space(), StdRng::seed_from_u64(seed));
+            gs.run_until(&cost, 50);
+            let losses: Vec<(u64, u64)> = gs
+                .history()
+                .records()
+                .iter()
+                .map(|r| (r.step, r.loss.to_bits()))
+                .collect();
+            (losses, gs.stats())
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -46,6 +46,7 @@
 
 mod canon;
 mod cost;
+mod gradient;
 mod history;
 mod mapping;
 mod qlearning;
@@ -53,7 +54,8 @@ mod search;
 mod space;
 
 pub use canon::{CanonicalMapping, StableHasher};
-pub use cost::{MappingCost, MappingOutcome};
+pub use cost::{MappingCost, MappingOutcome, RelaxedGrad, RelaxedPoint};
+pub use gradient::{GradientConfig, GradientSearcher, GradientStats};
 pub use history::{EvalRecord, SearchHistory};
 pub use mapping::{Footprint, Mapping};
 pub use qlearning::QLearningSearch;

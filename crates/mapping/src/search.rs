@@ -25,16 +25,23 @@ pub trait MappingSearcher {
 
     /// Best mapping and its outcome, if any feasible candidate was found.
     fn best(&self) -> Option<(&Mapping, MappingOutcome)>;
+
+    /// Gradient-search telemetry, if this searcher is gradient-based
+    /// (`None` for the sampling searchers). Drivers use this to book the
+    /// gradient counters into the run report without downcasting.
+    fn gradient_stats(&self) -> Option<crate::gradient::GradientStats> {
+        None
+    }
 }
 
 /// Tracks the incumbent best candidate for a searcher.
 #[derive(Debug, Clone, Default)]
-struct Incumbent {
+pub(crate) struct Incumbent {
     best: Option<(Mapping, MappingOutcome)>,
 }
 
 impl Incumbent {
-    fn offer(&mut self, m: &Mapping, o: MappingOutcome) -> bool {
+    pub(crate) fn offer(&mut self, m: &Mapping, o: MappingOutcome) -> bool {
         let improved = self.best.as_ref().is_none_or(|(_, b)| o.loss < b.loss);
         if improved {
             self.best = Some((m.clone(), o));
@@ -42,7 +49,7 @@ impl Incumbent {
         improved
     }
 
-    fn get(&self) -> Option<(&Mapping, MappingOutcome)> {
+    pub(crate) fn get(&self) -> Option<(&Mapping, MappingOutcome)> {
         self.best.as_ref().map(|(m, o)| (m, *o))
     }
 }

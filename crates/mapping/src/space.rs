@@ -65,6 +65,13 @@ impl MappingSpace {
         &self.nest
     }
 
+    /// Dimensions eligible for spatial unrolling (extent > 1), in
+    /// [`Dim::ALL`] order. Fewer than two candidates means the space
+    /// pins the spatial pair to `(K, Y)`.
+    pub fn spatial_candidates(&self) -> &[Dim] {
+        &self.spatial_candidates
+    }
+
     /// Candidate tile sizes for one dimension.
     pub fn tile_options(&self, dim: Dim) -> &[u64] {
         &self.tile_options[dim.index()]
@@ -226,6 +233,149 @@ impl MappingSpace {
             l2[d2] = step_down(&self.tile_options[d2], l2[d2], 1);
         }
         Mapping::new(&self.nest, l2, l1, m.order(), m.spatial())
+    }
+
+    /// Rounds a continuous tile size to the nearest legal option for
+    /// `dim`, measured in log space (ratio distance); ties round down.
+    /// Values at or below the smallest option clamp to it, likewise at
+    /// the top.
+    pub fn nearest_tile(&self, dim: Dim, v: f64) -> u64 {
+        let opts = &self.tile_options[dim.index()];
+        if v.is_nan() || v <= opts[0] as f64 {
+            return opts[0];
+        }
+        let last = *opts.last().expect("non-empty options");
+        if v >= last as f64 {
+            return last;
+        }
+        // First option strictly greater than v; its predecessor exists
+        // because v > opts[0].
+        let hi_pos = opts.partition_point(|&o| (o as f64) <= v);
+        let lo = opts[hi_pos - 1];
+        let hi = opts[hi_pos];
+        // Log-space distance: compare v/lo against hi/v.
+        if v / lo as f64 <= hi as f64 / v {
+            lo
+        } else {
+            hi
+        }
+    }
+
+    /// Largest legal tile option `<= v` for `dim` (the smallest option
+    /// when `v` is below all of them). Rounding down never grows a
+    /// footprint, so a capacity-feasible continuous point stays feasible
+    /// after discretization — [`nearest_tile`](Self::nearest_tile) can
+    /// round a tile *up* across the buffer wall.
+    pub fn floor_tile(&self, dim: Dim, v: f64) -> u64 {
+        let opts = &self.tile_options[dim.index()];
+        if v.is_nan() {
+            return opts[0];
+        }
+        match opts.partition_point(|&o| o as f64 <= v) {
+            0 => opts[0],
+            p => opts[p - 1],
+        }
+    }
+
+    /// [`legalize`](Self::legalize) with floor rounding: every tile is
+    /// the largest option not exceeding its continuous value. Same
+    /// membership and idempotence guarantees.
+    pub fn legalize_floor(
+        &self,
+        l2: &[f64; DIM_COUNT],
+        l1: &[f64; DIM_COUNT],
+        order: [Dim; DIM_COUNT],
+        spatial: (Dim, Dim),
+    ) -> Mapping {
+        let mut l2t = [1u64; DIM_COUNT];
+        let mut l1t = [1u64; DIM_COUNT];
+        for d in Dim::ALL {
+            let i = d.index();
+            l2t[i] = self.floor_tile(d, l2[i]);
+            l1t[i] = self.floor_tile(d, l1[i]).min(l2t[i]);
+        }
+        Mapping::new(&self.nest, l2t, l1t, order, spatial)
+    }
+
+    /// Legalizes a continuous tiling: rounds every L2 and L1 tile to the
+    /// nearest legal option (log-space nearest, ties down), clamps
+    /// `l1 ≤ l2`, and assembles a [`Mapping`] with the given order and
+    /// spatial dims.
+    ///
+    /// The result is always a member of this space ([`MappingSpace::contains`])
+    /// and the operation is idempotent: legalizing a legalized mapping's
+    /// tiles reproduces it exactly.
+    pub fn legalize(
+        &self,
+        l2: &[f64; DIM_COUNT],
+        l1: &[f64; DIM_COUNT],
+        order: [Dim; DIM_COUNT],
+        spatial: (Dim, Dim),
+    ) -> Mapping {
+        let mut l2t = [1u64; DIM_COUNT];
+        let mut l1t = [1u64; DIM_COUNT];
+        for d in Dim::ALL {
+            let i = d.index();
+            l2t[i] = self.nearest_tile(d, l2[i]);
+            // Clamping to the L2 tile keeps membership: every option is
+            // itself an option, so min(option, option) is an option.
+            l1t[i] = self.nearest_tile(d, l1[i]).min(l2t[i]);
+        }
+        Mapping::new(&self.nest, l2t, l1t, order, spatial)
+    }
+
+    /// Moves one tile of `m` a single option-list step: `level2` selects
+    /// the L2 tile (L1 otherwise), `up` the direction. Maintains
+    /// `l1 <= l2` by clamping the other level; returns `None` at the
+    /// option-list edge, when the move would need `l1 > l2`, or when the
+    /// tile is not a legal option (foreign mapping).
+    pub fn neighbor_tile(&self, m: &Mapping, dim: Dim, level2: bool, up: bool) -> Option<Mapping> {
+        let i = dim.index();
+        let opts = &self.tile_options[i];
+        let mut l2 = m.l2_tile();
+        let mut l1 = m.l1_tile();
+        let cur = if level2 { l2[i] } else { l1[i] };
+        let pos = opts.iter().position(|&o| o == cur)?;
+        let next = if up {
+            *opts.get(pos + 1)?
+        } else {
+            opts[pos.checked_sub(1)?]
+        };
+        if level2 {
+            l2[i] = next;
+            l1[i] = l1[i].min(next);
+        } else {
+            if next > l2[i] {
+                return None;
+            }
+            l1[i] = next;
+        }
+        Some(Mapping::new(&self.nest, l2, l1, m.order(), m.spatial()))
+    }
+
+    /// Whether a mapping is a member of this space: every tile is a
+    /// legal option, `l1 ≤ l2` element-wise, and the spatial pair is
+    /// drawn from the non-trivial candidates (or is the `(K, Y)`
+    /// fallback used when fewer than two candidates exist).
+    pub fn contains(&self, m: &Mapping) -> bool {
+        for d in Dim::ALL {
+            let i = d.index();
+            let opts = &self.tile_options[i];
+            if opts.binary_search(&m.l2_tile()[i]).is_err()
+                || opts.binary_search(&m.l1_tile()[i]).is_err()
+                || m.l1_tile()[i] > m.l2_tile()[i]
+            {
+                return false;
+            }
+        }
+        let (a, b) = m.spatial();
+        if a == b {
+            return false;
+        }
+        if self.spatial_candidates.len() < 2 {
+            return (a, b) == (Dim::K, Dim::Y);
+        }
+        self.spatial_candidates.contains(&a) && self.spatial_candidates.contains(&b)
     }
 
     /// Uniform crossover of two mappings (per-dimension tile inheritance,

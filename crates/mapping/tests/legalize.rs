@@ -1,0 +1,139 @@
+//! Legalization round-trip properties: every legalized continuous point
+//! is a valid member of the [`MappingSpace`], legalization is
+//! idempotent, and the rounded tiles stay within the template's box.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use unico_mapping::MappingSpace;
+use unico_workloads::{Dim, TensorOp, DIM_COUNT};
+
+fn spaces() -> Vec<MappingSpace> {
+    vec![
+        MappingSpace::new(
+            &TensorOp::Conv2d {
+                n: 1,
+                k: 64,
+                c: 32,
+                y: 28,
+                x: 28,
+                r: 3,
+                s: 3,
+                stride: 1,
+            }
+            .to_loop_nest(),
+        ),
+        MappingSpace::new(
+            &TensorOp::DepthwiseConv2d {
+                n: 1,
+                c: 32,
+                y: 14,
+                x: 14,
+                r: 3,
+                s: 3,
+                stride: 1,
+            }
+            .to_loop_nest(),
+        ),
+        MappingSpace::new(
+            &TensorOp::Gemm {
+                m: 128,
+                n: 96,
+                k: 64,
+            }
+            .to_loop_nest(),
+        ),
+    ]
+}
+
+/// A random continuous tile point, deliberately allowed to stray
+/// outside `[1, extent]` to exercise clamping.
+fn random_point(space: &MappingSpace, rng: &mut StdRng) -> ([f64; DIM_COUNT], [f64; DIM_COUNT]) {
+    let ext = space.nest().extents();
+    let l2: [f64; DIM_COUNT] =
+        std::array::from_fn(|i| rng.gen_range(0.5..(ext[i] as f64 * 1.3 + 1.0)));
+    let l1: [f64; DIM_COUNT] = std::array::from_fn(|i| rng.gen_range(0.5..(l2[i] + 0.5)));
+    (l2, l1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Legalized mappings are members of the space: every tile on the
+    /// option list, `l1 ≤ l2`, spatial dims respected.
+    #[test]
+    fn legalized_mappings_are_space_members(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for space in spaces() {
+            let template = space.sample(&mut rng);
+            let (l2, l1) = random_point(&space, &mut rng);
+            let m = space.legalize(&l2, &l1, template.order(), template.spatial());
+            prop_assert!(space.contains(&m), "{m} not in space");
+            prop_assert_eq!(m.order(), template.order());
+            prop_assert_eq!(m.spatial(), template.spatial());
+            for i in 0..DIM_COUNT {
+                prop_assert!(m.l1_tile()[i] <= m.l2_tile()[i]);
+            }
+        }
+    }
+
+    /// Legalization is idempotent: re-legalizing a legal mapping's own
+    /// tiles (as reals) returns the identical mapping.
+    #[test]
+    fn legalization_is_idempotent(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for space in spaces() {
+            let template = space.sample(&mut rng);
+            let (l2, l1) = random_point(&space, &mut rng);
+            let once = space.legalize(&l2, &l1, template.order(), template.spatial());
+            let again = space.legalize(
+                &once.l2_tile().map(|v| v as f64),
+                &once.l1_tile().map(|v| v as f64),
+                once.order(),
+                once.spatial(),
+            );
+            prop_assert_eq!(&once, &again);
+        }
+    }
+
+    /// Sampled (already legal) mappings are recognized as members, and
+    /// legalizing their own tiles is the identity.
+    #[test]
+    fn sampled_mappings_round_trip(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for space in spaces() {
+            let m = space.sample(&mut rng);
+            prop_assert!(space.contains(&m), "{m} sampled outside space");
+            let back = space.legalize(
+                &m.l2_tile().map(|v| v as f64),
+                &m.l1_tile().map(|v| v as f64),
+                m.order(),
+                m.spatial(),
+            );
+            prop_assert_eq!(&m, &back);
+        }
+    }
+}
+
+#[test]
+fn nearest_tile_picks_log_space_neighbor() {
+    let space = &spaces()[0]; // K extent 64: options 1,2,4,...,64 plus others
+    let opts = space.tile_options(Dim::K);
+    // Exact options map to themselves.
+    for &o in opts {
+        assert_eq!(space.nearest_tile(Dim::K, o as f64), o);
+    }
+    // Below/above the range clamp to the ends.
+    assert_eq!(space.nearest_tile(Dim::K, 0.0), opts[0]);
+    assert_eq!(
+        space.nearest_tile(Dim::K, 1e9),
+        *opts.last().expect("non-empty")
+    );
+    // NaN degrades to the smallest option instead of panicking.
+    assert_eq!(space.nearest_tile(Dim::K, f64::NAN), opts[0]);
+    // The geometric midpoint of two adjacent options ties downward.
+    let (a, b) = (opts[2] as f64, opts[3] as f64);
+    let mid = (a * b).sqrt();
+    assert_eq!(space.nearest_tile(Dim::K, mid), opts[2]);
+}

@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use unico_mapping::{
-    AnnealingSearch, GeneticConfig, GeneticSearch, Mapping, MappingCost, MappingOutcome,
-    MappingSearcher, MappingSpace, QLearningSearch, RandomSearch,
+    AnnealingSearch, GeneticConfig, GeneticSearch, GradientSearcher, Mapping, MappingCost,
+    MappingOutcome, MappingSearcher, MappingSpace, QLearningSearch, RandomSearch,
 };
 use unico_workloads::{Dim, TensorOp};
 
@@ -81,6 +81,13 @@ fn searchers(seed: u64) -> Vec<(&'static str, Box<dyn MappingSearcher>)> {
         (
             "q-learning",
             Box::new(QLearningSearch::new(space(), StdRng::seed_from_u64(seed))),
+        ),
+        // Synthetic has no differentiable surrogate, so this exercises
+        // the gradient searcher's random-sampling fallback under the
+        // same budget/monotonicity/resumability contracts.
+        (
+            "gradient",
+            Box::new(GradientSearcher::new(space(), StdRng::seed_from_u64(seed))),
         ),
     ]
 }

@@ -1,6 +1,9 @@
 //! The MAESTRO-like analytical PPA model.
 
-use unico_mapping::{CanonicalMapping, Mapping, MappingCost, MappingOutcome};
+use unico_autodiff::Scalar;
+use unico_mapping::{
+    CanonicalMapping, Mapping, MappingCost, MappingOutcome, RelaxedGrad, RelaxedPoint,
+};
 use unico_workloads::{Dim, LoopNest};
 
 use crate::batch::MappingBatch;
@@ -31,6 +34,172 @@ pub struct EvalBreakdown {
     pub dram_bytes: f64,
     /// PEs actually active given the spatial unrolling.
     pub active_pes: u64,
+}
+
+/// Per-tensor traffic terms feeding one memory level of [`cost_core`]:
+/// the tile footprint and the (possibly stationary-substituted) fetch
+/// counts, all already converted to the working scalar.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TensorTraffic<S> {
+    /// Tile footprint in bytes at this level.
+    pub(crate) fp: S,
+    /// Fetch count (for the stationary tensor at the NoC level the
+    /// caller substitutes the minimal count, exactly as the discrete
+    /// model does).
+    pub(crate) loads: S,
+    /// Minimal possible fetch count (number of distinct tiles).
+    pub(crate) min_loads: S,
+}
+
+/// Inputs to [`cost_core`], the generic continuous-arithmetic half of
+/// the analytical model. The discrete half (feasibility, trip counts,
+/// reuse structure) stays integer-exact in the caller; everything here
+/// is plain scalar arithmetic shared verbatim between the `f64` engine
+/// and the autodiff [`unico_autodiff::Var`] relaxation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CoreInputs<S> {
+    /// Number of L2 tiles.
+    pub(crate) t2: S,
+    /// L1 tiles per L2 tile.
+    pub(crate) t1: S,
+    /// PE-array cycles for one L1 tile.
+    pub(crate) cycles_per_l1_tile: S,
+    /// NoC-level (L2→L1) traffic terms in [`TensorKind::ALL`] order.
+    pub(crate) noc: [TensorTraffic<S>; 3],
+    /// DRAM-level traffic terms in [`TensorKind::ALL`] order.
+    pub(crate) dram: [TensorTraffic<S>; 3],
+    /// The register-pinned tensor of the dataflow.
+    pub(crate) stationary: TensorKind,
+    /// Total MAC count of the nest.
+    pub(crate) macs: S,
+    /// Silicon area of the configuration.
+    pub(crate) area_mm2: S,
+    /// PE count as `f64` (a constant with respect to the mapping).
+    pub(crate) num_pes: f64,
+    /// NoC bandwidth in bytes per cycle.
+    pub(crate) noc_bytes_per_cycle: f64,
+}
+
+/// Outputs of [`cost_core`]: the full latency/energy/power breakdown.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CoreOutputs<S> {
+    pub(crate) compute_cycles: S,
+    pub(crate) noc_cycles: S,
+    pub(crate) dram_cycles: S,
+    pub(crate) total_cycles: S,
+    pub(crate) utilization: S,
+    pub(crate) noc_bytes: S,
+    pub(crate) dram_bytes: S,
+    pub(crate) latency_s: S,
+    pub(crate) energy_pj: S,
+    pub(crate) power_mw: S,
+}
+
+/// The continuous arithmetic of the analytical model, generic over the
+/// scalar type.
+///
+/// At `S = f64` this performs the **identical sequence of `f64`
+/// operations** the pre-refactor `evaluate_row` body performed (additions
+/// fold in the same order, every product keeps its original association),
+/// so the scalar engine's results are bit-identical — asserted by the
+/// `core_f64_and_var_forward_bitwise_identical` test below and by the
+/// pre-refactor reference in `tests/batch_differential.rs`. At
+/// `S = Var` the same code path records the operations on an autodiff
+/// tape for the relaxed differentiable model.
+pub(crate) fn cost_core<S: Scalar>(t: &TechParams, inp: &CoreInputs<S>) -> CoreOutputs<S> {
+    let compute_cycles = inp.t2.mul(inp.t1).mul(inp.cycles_per_l1_tile);
+    let utilization = inp.macs.div(
+        compute_cycles
+            .mul(compute_cycles.lit(inp.num_pes))
+            .vmax(compute_cycles.lit(1.0)),
+    );
+
+    // NoC traffic: L2 -> L1 per L2 tile, summed over L2 tiles.
+    let mut noc_bytes_per_l2 = inp.t2.lit(0.0);
+    for (j, tt) in inp.noc.iter().enumerate() {
+        let effective = if TensorKind::ALL[j] == TensorKind::Output {
+            // Read-modify-write round trips for revisits, one final
+            // write per distinct tile.
+            tt.loads.lit(2.0).mul(tt.loads).sub(tt.min_loads)
+        } else {
+            tt.loads
+        };
+        noc_bytes_per_l2 = noc_bytes_per_l2.add(tt.fp.mul(effective));
+    }
+    let noc_bytes = noc_bytes_per_l2.mul(inp.t2);
+    let noc_cycles = noc_bytes.div(noc_bytes.lit(inp.noc_bytes_per_cycle));
+
+    // DRAM traffic: DRAM -> L2 across L2 tiles.
+    let mut dram_bytes = inp.t2.lit(0.0);
+    for (j, tt) in inp.dram.iter().enumerate() {
+        let effective = if TensorKind::ALL[j] == TensorKind::Output {
+            tt.loads.lit(2.0).mul(tt.loads).sub(tt.min_loads)
+        } else {
+            tt.loads
+        };
+        dram_bytes = dram_bytes.add(tt.fp.mul(effective));
+    }
+    let dram_cycles = dram_bytes.div(dram_bytes.lit(t.dram_bytes_per_cycle));
+
+    // Latency.
+    let total_cycles = compute_cycles
+        .vmax(noc_cycles)
+        .vmax(dram_cycles)
+        .add(inp.t2.mul(inp.t2.lit(t.tile_overhead_cycles)))
+        .add(inp.t2.lit(t.launch_overhead_cycles));
+    let latency_s = total_cycles.div(total_cycles.lit(t.clock_hz));
+
+    // Energy.
+    let bf = t.bytes_per_elem as f64;
+    let mut e_local = inp.t2.lit(0.0);
+    for tensor in TensorKind::ALL {
+        let e_per_byte = if tensor == inp.stationary {
+            t.e_reg_pj_per_byte
+        } else {
+            t.e_l1_pj_per_byte
+        };
+        let per_mac_bytes = match tensor {
+            TensorKind::Input | TensorKind::Weight => bf,
+            TensorKind::Output => 2.0 * bf, // accumulate: read + write
+        };
+        e_local = e_local.add(
+            inp.macs
+                .mul(inp.macs.lit(per_mac_bytes))
+                .mul(inp.macs.lit(e_per_byte)),
+        );
+    }
+    let e_mac = inp.macs.mul(inp.macs.lit(t.e_mac_pj));
+    let e_noc = noc_bytes.mul(noc_bytes.lit(t.e_noc_pj_per_byte));
+    let e_l2 = noc_bytes
+        .add(dram_bytes)
+        .mul(noc_bytes.lit(t.e_l2_pj_per_byte));
+    let e_dram = dram_bytes.mul(dram_bytes.lit(t.e_dram_pj_per_byte));
+    let e_leak = inp
+        .area_mm2
+        .lit(t.leakage_mw_per_mm2)
+        .mul(inp.area_mm2)
+        .mul(latency_s)
+        .mul(latency_s.lit(1e9));
+    let energy_pj = e_mac
+        .add(e_local)
+        .add(e_noc)
+        .add(e_l2)
+        .add(e_dram)
+        .add(e_leak);
+    let power_mw = energy_pj.div(latency_s.mul(latency_s.lit(1e9)));
+
+    CoreOutputs {
+        compute_cycles,
+        noc_cycles,
+        dram_cycles,
+        total_cycles,
+        utilization,
+        noc_bytes,
+        dram_bytes,
+        latency_s,
+        energy_pj,
+        power_mw,
+    }
 }
 
 /// The analytical cost model: latency / power / area for one
@@ -164,108 +333,77 @@ impl AnalyticalModel {
         let cycles_per_l1_tile = e1.div_ceil(u64::from(hw.pe_x())) as f64
             * e2.div_ceil(u64::from(hw.pe_y())) as f64
             * serial as f64;
-        let compute_cycles = t2 * t1 * cycles_per_l1_tile;
-        let utilization = macs / (compute_cycles * hw.num_pes() as f64).max(1.0);
 
-        // --- NoC traffic: L2 -> L1 per L2 tile, summed over L2 tiles. ---
+        // --- Reuse structure (integer-exact), then the shared core. ---
         let l1_trips = batch.l1_trips(i);
+        let l2_trips = batch.l2_trips(i);
         let order = batch.order(i);
         let stationary = match hw.dataflow() {
             Dataflow::WeightStationary => TensorKind::Weight,
             Dataflow::OutputStationary => TensorKind::Output,
         };
-        let mut noc_bytes_per_l2 = 0.0f64;
-        for tensor in TensorKind::ALL {
+        let noc = std::array::from_fn(|j| {
+            let tensor = TensorKind::ALL[j];
             let loads = if tensor == stationary {
                 tensor_min_loads(tensor, nest, l1_trips)
             } else {
                 tensor_loads(tensor, nest, l1_trips, order)
             } as f64;
-            let min = tensor_min_loads(tensor, nest, l1_trips) as f64;
+            let min_loads = tensor_min_loads(tensor, nest, l1_trips) as f64;
             let fp = match tensor {
                 TensorKind::Input => fp1.input,
                 TensorKind::Weight => fp1.weight,
                 TensorKind::Output => fp1.output,
             } as f64;
-            let effective = if tensor == TensorKind::Output {
-                // Read-modify-write round trips for revisits, one final
-                // write per distinct tile.
-                2.0 * loads - min
-            } else {
-                loads
-            };
-            noc_bytes_per_l2 += fp * effective;
-        }
-        let noc_bytes = noc_bytes_per_l2 * t2;
-        let noc_cycles = noc_bytes / f64::from(hw.noc_bytes_per_cycle());
-
-        // --- DRAM traffic: DRAM -> L2 across L2 tiles. ---
-        let l2_trips = batch.l2_trips(i);
-        let mut dram_bytes = 0.0f64;
-        for tensor in TensorKind::ALL {
-            let loads = tensor_loads(tensor, nest, l2_trips, order) as f64;
-            let min = tensor_min_loads(tensor, nest, l2_trips) as f64;
-            let fp = match tensor {
-                TensorKind::Input => fp2.input,
-                TensorKind::Weight => fp2.weight,
-                TensorKind::Output => fp2.output,
-            } as f64;
-            let effective = if tensor == TensorKind::Output {
-                2.0 * loads - min
-            } else {
-                loads
-            };
-            dram_bytes += fp * effective;
-        }
-        let dram_cycles = dram_bytes / t.dram_bytes_per_cycle;
-
-        // --- Latency. ---
-        let total_cycles = compute_cycles.max(noc_cycles).max(dram_cycles)
-            + t2 * t.tile_overhead_cycles
-            + t.launch_overhead_cycles;
-        let latency_s = total_cycles / t.clock_hz;
-
-        // --- Energy. ---
-        let bf = t.bytes_per_elem as f64;
-        let per_mac_bytes = |tensor: TensorKind| -> f64 {
-            match tensor {
-                TensorKind::Input | TensorKind::Weight => bf,
-                TensorKind::Output => 2.0 * bf, // accumulate: read + write
+            TensorTraffic {
+                fp,
+                loads,
+                min_loads,
             }
-        };
-        let mut e_local = 0.0;
-        for tensor in TensorKind::ALL {
-            let e_per_byte = if tensor == stationary {
-                t.e_reg_pj_per_byte
-            } else {
-                t.e_l1_pj_per_byte
-            };
-            e_local += macs * per_mac_bytes(tensor) * e_per_byte;
-        }
-        let area = area_mm2;
-        let e_mac = macs * t.e_mac_pj;
-        let e_noc = noc_bytes * t.e_noc_pj_per_byte;
-        let e_l2 = (noc_bytes + dram_bytes) * t.e_l2_pj_per_byte;
-        let e_dram = dram_bytes * t.e_dram_pj_per_byte;
-        let e_leak = t.leakage_mw_per_mm2 * area * latency_s * 1e9;
-        let energy_pj = e_mac + e_local + e_noc + e_l2 + e_dram + e_leak;
-        let power_mw = energy_pj / (latency_s * 1e9);
+        });
+        let dram = std::array::from_fn(|j| {
+            let tensor = TensorKind::ALL[j];
+            TensorTraffic {
+                fp: match tensor {
+                    TensorKind::Input => fp2.input,
+                    TensorKind::Weight => fp2.weight,
+                    TensorKind::Output => fp2.output,
+                } as f64,
+                loads: tensor_loads(tensor, nest, l2_trips, order) as f64,
+                min_loads: tensor_min_loads(tensor, nest, l2_trips) as f64,
+            }
+        });
+        let core = cost_core(
+            t,
+            &CoreInputs {
+                t2,
+                t1,
+                cycles_per_l1_tile,
+                noc,
+                dram,
+                stationary,
+                macs,
+                area_mm2,
+                num_pes: hw.num_pes() as f64,
+                noc_bytes_per_cycle: f64::from(hw.noc_bytes_per_cycle()),
+            },
+        );
 
         Ok((
             Ppa {
-                latency_s,
-                power_mw,
-                area_mm2: area,
-                energy_pj,
+                latency_s: core.latency_s,
+                power_mw: core.power_mw,
+                area_mm2,
+                energy_pj: core.energy_pj,
             },
             EvalBreakdown {
-                compute_cycles,
-                noc_cycles,
-                dram_cycles,
-                total_cycles,
-                utilization,
-                noc_bytes,
-                dram_bytes,
+                compute_cycles: core.compute_cycles,
+                noc_cycles: core.noc_cycles,
+                dram_cycles: core.dram_cycles,
+                total_cycles: core.total_cycles,
+                utilization: core.utilization,
+                noc_bytes: core.noc_bytes,
+                dram_bytes: core.dram_bytes,
                 active_pes,
             },
         ))
@@ -444,6 +582,23 @@ impl MappingCost for BoundSpatialCost<'_> {
     fn eval_cost_seconds(&self) -> f64 {
         self.eval_cost_s
     }
+
+    fn assess_relaxed(&self, template: &Mapping, point: &RelaxedPoint) -> Option<RelaxedGrad> {
+        // STE rounding: descent sees the exact model's quantization
+        // cliffs in the surrogate value (gradients pass through), so
+        // free screening ranks candidates the way the paid evaluation
+        // will judge them.
+        crate::relaxed::relaxed_eval_with(
+            self.model,
+            &self.hw,
+            &self.nest,
+            template,
+            point,
+            self.objective,
+            crate::relaxed::Rounding::Ste,
+        )
+        .map(|(g, _)| g)
+    }
 }
 
 #[cfg(test)]
@@ -601,6 +756,78 @@ mod tests {
         assert!(cost.assess(&small_mapping(&n)).is_some());
         assert!(cost.assess(&Mapping::identity(&n)).is_none());
         assert_eq!(cost.eval_cost_seconds(), 1.0);
+    }
+
+    #[test]
+    fn core_f64_and_var_forward_bitwise_identical() {
+        use unico_autodiff::{Tape, Var};
+        // Arbitrary but representative inputs; the point is that the
+        // generic core executes the same f64 op sequence under both
+        // scalar types, so every output field matches bit for bit.
+        let t = TechParams::default();
+        let traffic_f = |fp: f64, loads: f64, min_loads: f64| TensorTraffic {
+            fp,
+            loads,
+            min_loads,
+        };
+        let inp_f = CoreInputs {
+            t2: 36.0,
+            t1: 128.0,
+            cycles_per_l1_tile: 72.0,
+            noc: [
+                traffic_f(1800.0, 96.0, 24.0),
+                traffic_f(1152.0, 24.0, 24.0),
+                traffic_f(512.0, 48.0, 16.0),
+            ],
+            dram: [
+                traffic_f(51200.0, 6.0, 3.0),
+                traffic_f(73728.0, 12.0, 12.0),
+                traffic_f(25088.0, 9.0, 3.0),
+            ],
+            stationary: TensorKind::Weight,
+            macs: 231.2e6,
+            area_mm2: 7.5,
+            num_pes: 64.0,
+            noc_bytes_per_cycle: 128.0,
+        };
+        let out_f = cost_core(&t, &inp_f);
+
+        let tape = Tape::new();
+        let v = |x: f64| tape.var(x);
+        let traffic_v = |tt: &TensorTraffic<f64>| TensorTraffic {
+            fp: v(tt.fp),
+            loads: v(tt.loads),
+            min_loads: v(tt.min_loads),
+        };
+        let inp_v = CoreInputs {
+            t2: v(inp_f.t2),
+            t1: v(inp_f.t1),
+            cycles_per_l1_tile: v(inp_f.cycles_per_l1_tile),
+            noc: std::array::from_fn(|j| traffic_v(&inp_f.noc[j])),
+            dram: std::array::from_fn(|j| traffic_v(&inp_f.dram[j])),
+            stationary: inp_f.stationary,
+            macs: v(inp_f.macs),
+            area_mm2: v(inp_f.area_mm2),
+            num_pes: inp_f.num_pes,
+            noc_bytes_per_cycle: inp_f.noc_bytes_per_cycle,
+        };
+        let out_v = cost_core(&t, &inp_v);
+
+        let pairs: [(f64, Var); 10] = [
+            (out_f.compute_cycles, out_v.compute_cycles),
+            (out_f.noc_cycles, out_v.noc_cycles),
+            (out_f.dram_cycles, out_v.dram_cycles),
+            (out_f.total_cycles, out_v.total_cycles),
+            (out_f.utilization, out_v.utilization),
+            (out_f.noc_bytes, out_v.noc_bytes),
+            (out_f.dram_bytes, out_v.dram_bytes),
+            (out_f.latency_s, out_v.latency_s),
+            (out_f.energy_pj, out_v.energy_pj),
+            (out_f.power_mw, out_v.power_mw),
+        ];
+        for (i, (f, var)) in pairs.iter().enumerate() {
+            assert_eq!(f.to_bits(), var.value().to_bits(), "field {i}");
+        }
     }
 
     #[test]

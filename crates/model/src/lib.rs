@@ -51,6 +51,7 @@ mod hw;
 mod loopcentric;
 mod platform;
 mod ppa;
+mod relaxed;
 mod tech;
 mod traffic;
 
@@ -65,5 +66,6 @@ pub use hw::{Dataflow, HwConfig, HwSpace};
 pub use loopcentric::{BoundLoopCentricCost, LevelBreakdown, LevelStats, LoopCentricModel};
 pub use platform::{batch_eval_from_env, MappingTool, Platform, PpaEngine, SpatialPlatform};
 pub use ppa::{EvalError, Ppa};
+pub use relaxed::{relaxed_eval, relaxed_eval_with, RelaxedDiag, Rounding};
 pub use tech::TechParams;
 pub use traffic::{tensor_loads, TensorKind};

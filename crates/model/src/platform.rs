@@ -7,8 +7,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use unico_mapping::{
-    AnnealingSearch, GeneticConfig, GeneticSearch, Mapping, MappingCost, MappingOutcome,
-    MappingSearcher, MappingSpace, QLearningSearch,
+    AnnealingSearch, GeneticConfig, GeneticSearch, GradientSearcher, Mapping, MappingCost,
+    MappingOutcome, MappingSearcher, MappingSpace, QLearningSearch,
 };
 use unico_workloads::LoopNest;
 
@@ -157,6 +157,10 @@ pub enum MappingTool {
     Genetic,
     /// FlexTensor's Q-learning policy variant.
     QLearning,
+    /// DOSA-style gradient descent over the differentiable relaxation
+    /// of the analytical cost (falls back to random sampling on costs
+    /// without a surrogate, e.g. the loop-centric engine).
+    Gradient,
 }
 
 /// The open-source 2-D spatial accelerator platform: analytical model +
@@ -344,6 +348,7 @@ impl Platform for SpatialPlatform {
                 Box::new(GeneticSearch::new(space, rng, GeneticConfig::default()))
             }
             MappingTool::QLearning => Box::new(QLearningSearch::new(space, rng)),
+            MappingTool::Gradient => Box::new(GradientSearcher::new(space, rng)),
         }
     }
 
@@ -460,6 +465,7 @@ mod tests {
             MappingTool::Annealing,
             MappingTool::Genetic,
             MappingTool::QLearning,
+            MappingTool::Gradient,
         ] {
             let p = SpatialPlatform::edge().with_mapping_tool(tool);
             assert_eq!(p.mapping_tool(), tool);

@@ -1,0 +1,455 @@
+//! Differentiable relaxation of the analytical model.
+//!
+//! [`relaxed_eval`] evaluates a **smooth surrogate** of the analytical
+//! cost at a continuous tiling point and returns its value plus exact
+//! reverse-mode gradients with respect to every L2/L1 tile size. The
+//! surrogate reuses the *identical* continuous arithmetic as the exact
+//! engine — [`cost_core`](crate::analytical) instantiated at
+//! [`Var`] instead of `f64` — and replaces only the discrete halves:
+//!
+//! * trip counts use smooth division (`l2/l1`, `extent/l2`) instead of
+//!   `div_ceil`;
+//! * per-PE work uses `(e/pe).max(1)` instead of `div_ceil`, and active
+//!   PEs use `min(e, pe)` instead of integer `min`;
+//! * buffer feasibility becomes a multiplicative soft penalty
+//!   `objective · (1 + 32·(relu(l1_usage − 1) + relu(l2_usage − 1)))`
+//!   instead of a hard error, so infeasible space is traversable but
+//!   steeply uphill (the slope must dominate the base-cost gain of
+//!   oversized tiles, or descent converges past the capacity wall);
+//! * the reuse structure (which loops re-fetch which tensor) is
+//!   **frozen** from the forward trip values per evaluation: the
+//!   `trip > 1` predicates and the innermost-dependent-loop position
+//!   are computed once from values and then the selected trips are
+//!   multiplied as differentiable terms.
+//!
+//! The frozen predicates, `min`/`max` selections and the penalty hinge
+//! make the surrogate piecewise smooth. [`RelaxedDiag::kink_margin`]
+//! reports the smallest relative distance from the evaluation point to
+//! any such switching surface; the finite-difference gradient-check
+//! tests exclude points whose margin is below the FD step (the
+//! documented non-smooth-point exclusion rule). Trip counts *exactly*
+//! 1.0 (dimensions pinned at their extent) are ignored by the margin:
+//! the associated loops contribute no factor on either side of the
+//! surface, so the surrogate is locally constant in them.
+
+use unico_autodiff::{Tape, Var};
+use unico_mapping::{Mapping, RelaxedGrad, RelaxedPoint};
+use unico_workloads::{Dim, LoopNest, DIM_COUNT};
+
+use crate::analytical::cost_core;
+use crate::analytical::{AnalyticalModel, CoreInputs, MappingObjective, TensorTraffic};
+use crate::hw::{Dataflow, HwConfig};
+use crate::traffic::TensorKind;
+
+/// Rounding mode for the relaxation's discrete quantities (trip counts
+/// and per-PE folding).
+///
+/// `Smooth` replaces every `div_ceil` with plain division — the surface
+/// is piecewise smooth and finite-difference checkable, but its value
+/// systematically underestimates quantized costs: on a 12-wide PE array
+/// a spatial tile of 37 folds to `ceil(37/12) = 4` passes in the exact
+/// model while the smooth surrogate charges `3.08`, so descent cannot
+/// see the cliffs that make PE-multiple tiles win. `Ste` rounds those
+/// quantities with a straight-through estimator
+/// ([`Var::ceil_ste`]: forward true `ceil`, backward identity) — the
+/// surrogate *value* reproduces the exact model's staircase while
+/// gradients still flow through the smooth quotient underneath. Search
+/// descends `Ste`; the finite-difference gradient checks pin `Smooth`
+/// (an STE forward map is piecewise constant, so FD would measure the
+/// staircase and never match the pass-through gradient).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rounding {
+    /// Plain division everywhere; fully FD-checkable.
+    Smooth,
+    /// Straight-through `ceil` on trip counts and PE folding.
+    Ste,
+}
+
+/// Smoothness diagnostics of one relaxed evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxedDiag {
+    /// Smallest relative distance from the evaluation point to a
+    /// non-smooth switching surface of the surrogate (a `trip > 1`
+    /// predicate, a `min`/`max` selection, the `max` over latency
+    /// bottlenecks, or a feasibility hinge). `INFINITY` when no switch
+    /// is nearby. Gradient-check tests skip points with a margin below
+    /// the finite-difference step.
+    pub kink_margin: f64,
+}
+
+/// Per-tensor relaxed footprints in [`TensorKind::ALL`] order.
+fn footprints<'t>(nest: &LoopNest, tile: &[Var<'t>; DIM_COUNT], bpe: Var<'t>) -> [Var<'t>; 3] {
+    let d = |dim: Dim| tile[dim.index()];
+    let (n, k, c) = (d(Dim::N), d(Dim::K), d(Dim::C));
+    let (y, x, r, s) = (d(Dim::Y), d(Dim::X), d(Dim::R), d(Dim::S));
+    let tape = n.tape();
+    let sy = tape.var(nest.stride_y() as f64);
+    let sx = tape.var(nest.stride_x() as f64);
+    let one = tape.var(1.0);
+    let in_rows = (y - one) * sy + r;
+    let in_cols = (x - one) * sx + s;
+    let in_ch = if nest.is_depthwise() { k } else { c };
+    [
+        n * in_ch * in_rows * in_cols * bpe,
+        k * c * r * s * bpe,
+        n * k * y * x * bpe,
+    ]
+}
+
+/// Relaxed [`crate::traffic::tensor_loads`]: same loop-order reuse rule,
+/// with the `trip > 1` predicate and the innermost dependent position
+/// frozen from forward values.
+fn loads<'t>(
+    tensor: TensorKind,
+    nest: &LoopNest,
+    trips: &[Var<'t>; DIM_COUNT],
+    order: &[Dim; DIM_COUNT],
+    one: Var<'t>,
+) -> Var<'t> {
+    let mask = tensor.dependent_mask(nest);
+    let is_dep = |d: Dim| mask & (1 << d.index()) != 0;
+    let innermost_dep = order
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| is_dep(**d) && trips[d.index()].value() > 1.0)
+        .map(|(pos, _)| pos)
+        .max();
+    let mut acc = one;
+    for (pos, d) in order.iter().enumerate() {
+        let t = trips[d.index()];
+        if t.value() <= 1.0 {
+            continue;
+        }
+        if is_dep(*d) {
+            acc = acc * t;
+        } else if let Some(inner) = innermost_dep {
+            if pos < inner {
+                acc = acc * t;
+            }
+        }
+    }
+    acc
+}
+
+/// Relaxed [`crate::traffic::tensor_min_loads`]: product of dependent
+/// trips, with the implicit `.max(1)` frozen from forward values.
+fn min_loads<'t>(
+    tensor: TensorKind,
+    nest: &LoopNest,
+    trips: &[Var<'t>; DIM_COUNT],
+    one: Var<'t>,
+) -> Var<'t> {
+    let mut acc = one;
+    for d in tensor.dependent_dims(nest) {
+        let t = trips[d.index()];
+        if t.value() > 1.0 {
+            acc = acc * t;
+        }
+    }
+    acc
+}
+
+/// Evaluates the smooth surrogate of the analytical cost at `point`
+/// (loop order and spatial dims frozen to `template`'s) and returns its
+/// value, its gradient in linear tile space, and smoothness diagnostics.
+///
+/// Returns `None` only for malformed points (non-finite or sub-unit
+/// tiles); every well-formed point has a surrogate value, including
+/// buffer-infeasible ones (which are penalized, not rejected, so the
+/// descent can escape them).
+pub fn relaxed_eval(
+    model: &AnalyticalModel,
+    hw: &HwConfig,
+    nest: &LoopNest,
+    template: &Mapping,
+    point: &RelaxedPoint,
+    objective: MappingObjective,
+) -> Option<(RelaxedGrad, RelaxedDiag)> {
+    relaxed_eval_with(
+        model,
+        hw,
+        nest,
+        template,
+        point,
+        objective,
+        Rounding::Smooth,
+    )
+}
+
+/// [`relaxed_eval`] with an explicit [`Rounding`] mode. Search uses
+/// [`Rounding::Ste`] so the descent's surrogate values reproduce the
+/// exact model's quantization cliffs; the gradient-check tests pin
+/// [`Rounding::Smooth`].
+#[allow(clippy::too_many_arguments)]
+pub fn relaxed_eval_with(
+    model: &AnalyticalModel,
+    hw: &HwConfig,
+    nest: &LoopNest,
+    template: &Mapping,
+    point: &RelaxedPoint,
+    objective: MappingObjective,
+    rounding: Rounding,
+) -> Option<(RelaxedGrad, RelaxedDiag)> {
+    for i in 0..DIM_COUNT {
+        let (a, b) = (point.l2[i], point.l1[i]);
+        if !a.is_finite() || !b.is_finite() || a < 1.0 - 1e-9 || b < 1.0 - 1e-9 {
+            return None;
+        }
+    }
+    let t = model.tech();
+    let ext = nest.extents();
+    let order = template.order();
+    let (sd1, sd2) = template.spatial();
+
+    let mut margin = f64::INFINITY;
+
+    let tape = Tape::new();
+    let l2v: [Var; DIM_COUNT] = std::array::from_fn(|i| tape.var(point.l2[i].max(1.0)));
+    let l1v: [Var; DIM_COUNT] = std::array::from_fn(|i| tape.var(point.l1[i].max(1.0)));
+    let one = tape.var(1.0);
+
+    // Trip counts and their predicate margins; trips exactly 1.0 sit on
+    // a surface the surrogate never crosses for pinned dims, so they
+    // don't shrink the margin. STE mode rounds the quotient up like the
+    // exact model's `div_ceil` (gradient passes through).
+    fn round<'t>(v: Var<'t>, rounding: Rounding) -> Var<'t> {
+        match rounding {
+            Rounding::Smooth => v,
+            Rounding::Ste => v.ceil_ste(),
+        }
+    }
+    let round = |v| round(v, rounding);
+    let l1_trips: [Var; DIM_COUNT] = std::array::from_fn(|i| round(l2v[i] / l1v[i]));
+    let l2_trips: [Var; DIM_COUNT] =
+        std::array::from_fn(|i| round(tape.var(ext[i] as f64) / l2v[i]));
+    for trip in l1_trips.iter().chain(l2_trips.iter()) {
+        let v = trip.value();
+        if v != 1.0 {
+            margin = margin.min((v - 1.0).abs());
+        }
+    }
+
+    let mut t1 = one;
+    let mut t2 = one;
+    for i in 0..DIM_COUNT {
+        t1 = t1 * l1_trips[i];
+        t2 = t2 * l2_trips[i];
+    }
+
+    // Compute time: smooth per-PE folding and serial work.
+    let e1 = l1v[sd1.index()];
+    let e2 = l1v[sd2.index()];
+    let px = f64::from(hw.pe_x());
+    let py = f64::from(hw.pe_y());
+    margin = margin.min((e1.value() / px - 1.0).abs());
+    margin = margin.min((e2.value() / py - 1.0).abs());
+    let mut serial = one;
+    for d in Dim::ALL {
+        if d != sd1 && d != sd2 {
+            serial = serial * l1v[d.index()];
+        }
+    }
+    let rows = round(e1 / tape.var(px)).vmax(one);
+    let cols = round(e2 / tape.var(py)).vmax(one);
+    let cycles_per_l1_tile = rows * cols * serial;
+    let active_pes = e1.vmin(tape.var(px)) * e2.vmin(tape.var(py));
+
+    // Footprints and traffic.
+    let bpe = tape.var(t.bytes_per_elem as f64);
+    let fp1 = footprints(nest, &l1v, bpe);
+    let fp2 = footprints(nest, &l2v, bpe);
+    let stationary = match hw.dataflow() {
+        Dataflow::WeightStationary => TensorKind::Weight,
+        Dataflow::OutputStationary => TensorKind::Output,
+    };
+    let noc: [TensorTraffic<Var>; 3] = std::array::from_fn(|j| {
+        let tensor = TensorKind::ALL[j];
+        let min = min_loads(tensor, nest, &l1_trips, one);
+        let ld = if tensor == stationary {
+            min
+        } else {
+            loads(tensor, nest, &l1_trips, &order, one)
+        };
+        TensorTraffic {
+            fp: fp1[j],
+            loads: ld,
+            min_loads: min,
+        }
+    });
+    let dram: [TensorTraffic<Var>; 3] = std::array::from_fn(|j| {
+        let tensor = TensorKind::ALL[j];
+        TensorTraffic {
+            fp: fp2[j],
+            loads: loads(tensor, nest, &l2_trips, &order, one),
+            min_loads: min_loads(tensor, nest, &l2_trips, one),
+        }
+    });
+
+    let core = cost_core(
+        t,
+        &CoreInputs {
+            t2,
+            t1,
+            cycles_per_l1_tile,
+            noc,
+            dram,
+            stationary,
+            macs: tape.var(nest.macs() as f64),
+            area_mm2: tape.var(model.area_mm2(hw)),
+            num_pes: hw.num_pes() as f64,
+            noc_bytes_per_cycle: f64::from(hw.noc_bytes_per_cycle()),
+        },
+    );
+
+    // The latency max over {compute, noc, dram} switches where the top
+    // two bottlenecks cross.
+    let mut cyc = [
+        core.compute_cycles.value(),
+        core.noc_cycles.value(),
+        core.dram_cycles.value(),
+    ];
+    cyc.sort_by(|a, b| b.partial_cmp(a).expect("finite cycles"));
+    if cyc[0] > 0.0 {
+        margin = margin.min((cyc[0] - cyc[1]) / cyc[0]);
+    }
+
+    // Soft buffer feasibility (double buffered, as the exact model).
+    let fp1_total = fp1[0] + fp1[1] + fp1[2];
+    let fp2_total = fp2[0] + fp2[1] + fp2[2];
+    let two = tape.var(2.0);
+    let l1_usage = fp1_total / active_pes * two / tape.var(hw.l1_bytes() as f64);
+    let l2_usage = fp2_total * two / tape.var(hw.l2_bytes() as f64);
+    margin = margin.min((l1_usage.value() - 1.0).abs());
+    margin = margin.min((l2_usage.value() - 1.0).abs());
+    // The hinge slope must dominate the base-cost gain of oversized
+    // tiles: with a shallow penalty the surrogate's minimum sits past
+    // the capacity wall (bigger tiles keep cutting traffic faster than
+    // the hinge adds), and every legalized descent point lands on the
+    // exact model's hard infeasibility. A steep wall keeps descent
+    // inside the region the exact model will accept.
+    let zero = tape.var(0.0);
+    let wall = tape.var(32.0);
+    let overflow = (l1_usage - one).vmax(zero) + (l2_usage - one).vmax(zero);
+    let penalty = one + wall * overflow;
+
+    let obj = match objective {
+        MappingObjective::Latency => core.latency_s,
+        MappingObjective::Edp => core.energy_pj * core.latency_s,
+    };
+    let value = obj * penalty;
+    if !value.value().is_finite() {
+        return None;
+    }
+
+    let grads = value.backward();
+    Some((
+        RelaxedGrad {
+            value: value.value(),
+            d_l2: std::array::from_fn(|i| grads.wrt(l2v[i])),
+            d_l1: std::array::from_fn(|i| grads.wrt(l1v[i])),
+        },
+        RelaxedDiag {
+            kink_margin: margin,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::TechParams;
+    use unico_workloads::TensorOp;
+
+    fn setup() -> (AnalyticalModel, HwConfig, LoopNest) {
+        let model = AnalyticalModel::new(TechParams::default());
+        let hw = HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary);
+        let nest = TensorOp::Conv2d {
+            n: 1,
+            k: 64,
+            c: 64,
+            y: 28,
+            x: 28,
+            r: 3,
+            s: 3,
+            stride: 1,
+        }
+        .to_loop_nest();
+        (model, hw, nest)
+    }
+
+    fn midpoint(nest: &LoopNest) -> (Mapping, RelaxedPoint) {
+        let ext = nest.extents();
+        let l2 = std::array::from_fn(|i| {
+            if ext[i] >= 8 {
+                ext[i] as f64 * 0.5
+            } else {
+                ext[i] as f64
+            }
+        });
+        let l1 = std::array::from_fn(|i: usize| 1.0 + 0.4 * (l2[i] - 1.0));
+        let m = Mapping::new(
+            nest,
+            ext,
+            std::array::from_fn(|i| (ext[i] / 2).max(1)),
+            Dim::ALL,
+            (Dim::K, Dim::Y),
+        );
+        (m, RelaxedPoint { l2, l1 })
+    }
+
+    #[test]
+    fn surrogate_value_positive_and_gradients_finite() {
+        let (model, hw, nest) = setup();
+        let (m, p) = midpoint(&nest);
+        let (g, diag) = relaxed_eval(&model, &hw, &nest, &m, &p, MappingObjective::Latency)
+            .expect("well-formed point");
+        assert!(g.value > 0.0);
+        assert!(diag.kink_margin > 0.0);
+        for i in 0..DIM_COUNT {
+            assert!(g.d_l2[i].is_finite(), "d_l2[{i}]");
+            assert!(g.d_l1[i].is_finite(), "d_l1[{i}]");
+        }
+    }
+
+    #[test]
+    fn malformed_points_rejected() {
+        let (model, hw, nest) = setup();
+        let (m, mut p) = midpoint(&nest);
+        p.l1[0] = f64::NAN;
+        assert!(relaxed_eval(&model, &hw, &nest, &m, &p, MappingObjective::Latency).is_none());
+        let (_, mut p) = midpoint(&nest);
+        p.l2[2] = 0.0;
+        assert!(relaxed_eval(&model, &hw, &nest, &m, &p, MappingObjective::Latency).is_none());
+    }
+
+    #[test]
+    fn infeasible_points_penalized_not_rejected() {
+        let (model, hw, nest) = setup();
+        let (m, p) = midpoint(&nest);
+        // Whole nest as one L1 tile: far past the L1 capacity hinge.
+        let ext = nest.extents();
+        let big = RelaxedPoint {
+            l2: std::array::from_fn(|i| ext[i] as f64),
+            l1: std::array::from_fn(|i| ext[i] as f64),
+        };
+        let (g_ok, _) =
+            relaxed_eval(&model, &hw, &nest, &m, &p, MappingObjective::Latency).unwrap();
+        let (g_big, _) =
+            relaxed_eval(&model, &hw, &nest, &m, &big, MappingObjective::Latency).unwrap();
+        assert!(
+            g_big.value > g_ok.value,
+            "{} vs {}",
+            g_big.value,
+            g_ok.value
+        );
+    }
+
+    #[test]
+    fn edp_objective_differs_from_latency() {
+        let (model, hw, nest) = setup();
+        let (m, p) = midpoint(&nest);
+        let (lat, _) = relaxed_eval(&model, &hw, &nest, &m, &p, MappingObjective::Latency).unwrap();
+        let (edp, _) = relaxed_eval(&model, &hw, &nest, &m, &p, MappingObjective::Edp).unwrap();
+        assert!(edp.value != lat.value);
+    }
+}

@@ -23,8 +23,11 @@ use rand::SeedableRng;
 
 use unico_camodel::AscendPlatform;
 use unico_mapping::{Mapping, MappingOutcome, MappingSpace};
-use unico_model::{EvalCache, Platform, PpaEngine, SpatialPlatform};
-use unico_workloads::{LoopNest, TensorOp};
+use unico_model::{
+    tensor_loads, AnalyticalModel, Dataflow, EvalCache, EvalError, HwConfig, HwSpace, Platform,
+    PpaEngine, SpatialPlatform, TechParams, TensorKind,
+};
+use unico_workloads::{Dim, LoopNest, TensorOp};
 
 /// Structured workload grid: two conv layers sized for every engine's
 /// reference hardware plus a GEMM, so both tensor-op lowering paths are
@@ -192,6 +195,257 @@ fn run_differential<P: Platform>(
         bb.keys,
         s.hits + s.misses,
         "{family}: every key resolved must flow through the batched lookups"
+    );
+}
+
+/// A frozen, straight-line `f64` transcription of the analytical engine
+/// as it stood **before** its arithmetic was factored into the generic
+/// `cost_core` (shared with the autodiff relaxation). Every operation
+/// appears in the original order and association, so any reordering in
+/// the generic path — however algebraically innocent — shows up as a bit
+/// difference against this reference.
+mod prerefactor {
+    use super::*;
+
+    pub struct Outputs {
+        pub latency_s: f64,
+        pub power_mw: f64,
+        pub area_mm2: f64,
+        pub energy_pj: f64,
+        pub compute_cycles: f64,
+        pub noc_cycles: f64,
+        pub dram_cycles: f64,
+        pub total_cycles: f64,
+        pub utilization: f64,
+        pub noc_bytes: f64,
+        pub dram_bytes: f64,
+        pub active_pes: u64,
+    }
+
+    pub fn area_mm2(t: &TechParams, hw: &HwConfig) -> f64 {
+        let pes = hw.num_pes() as f64;
+        let l1_total_kb = (hw.l1_bytes() as f64 * pes) / 1024.0;
+        let l2_kb = hw.l2_bytes() as f64 / 1024.0;
+        t.area_base_mm2
+            + pes * t.area_pe_mm2
+            + l1_total_kb * t.area_l1_mm2_per_kb
+            + l2_kb * t.area_l2_mm2_per_kb
+            + pes * (f64::from(hw.noc_bytes_per_cycle()) / 64.0) * t.area_noc_mm2_per_pe_64b
+    }
+
+    fn min_loads(tensor: TensorKind, nest: &LoopNest, trips: &[u64; 7]) -> u64 {
+        tensor
+            .dependent_dims(nest)
+            .iter()
+            .map(|d| trips[d.index()].max(1))
+            .product()
+    }
+
+    pub fn evaluate(
+        t: &TechParams,
+        hw: &HwConfig,
+        mapping: &Mapping,
+        nest: &LoopNest,
+    ) -> Result<Outputs, EvalError> {
+        let (sd1, sd2) = mapping.spatial();
+        let l1_tile = mapping.l1_tile();
+        let e1 = l1_tile[sd1.index()];
+        let e2 = l1_tile[sd2.index()];
+        if e1 == 1 && e2 == 1 && hw.num_pes() > 1 {
+            return Err(EvalError::DegenerateSpatial);
+        }
+        let active_pes = e1.min(u64::from(hw.pe_x())) * e2.min(u64::from(hw.pe_y()));
+
+        let fp1 = mapping.l1_footprint(nest, t.bytes_per_elem);
+        let per_pe = fp1.total().div_ceil(active_pes) * 2;
+        if per_pe > hw.l1_bytes() {
+            return Err(EvalError::L1Overflow {
+                required: per_pe,
+                available: hw.l1_bytes(),
+            });
+        }
+        let fp2 = mapping.l2_footprint(nest, t.bytes_per_elem);
+        let l2_need = fp2.total() * 2;
+        if l2_need > hw.l2_bytes() {
+            return Err(EvalError::L2Overflow {
+                required: l2_need,
+                available: hw.l2_bytes(),
+            });
+        }
+
+        let t2 = mapping.num_l2_tiles(nest) as f64;
+        let t1 = mapping.num_l1_tiles_per_l2() as f64;
+        let mut serial: u64 = 1;
+        for d in Dim::ALL {
+            if d != sd1 && d != sd2 {
+                serial *= l1_tile[d.index()];
+            }
+        }
+        let cycles_per_l1_tile = e1.div_ceil(u64::from(hw.pe_x())) as f64
+            * e2.div_ceil(u64::from(hw.pe_y())) as f64
+            * serial as f64;
+
+        let compute_cycles = t2 * t1 * cycles_per_l1_tile;
+        let macs = nest.macs() as f64;
+        let num_pes = hw.num_pes() as f64;
+        let utilization = macs / (compute_cycles * num_pes).max(1.0);
+
+        let l1_trips = mapping.l1_trip_counts();
+        let l2_trips = mapping.l2_trip_counts(nest);
+        let order = mapping.order();
+        let stationary = match hw.dataflow() {
+            Dataflow::WeightStationary => TensorKind::Weight,
+            Dataflow::OutputStationary => TensorKind::Output,
+        };
+
+        let mut noc_bytes_per_l2 = 0.0f64;
+        for tensor in TensorKind::ALL {
+            let loads = if tensor == stationary {
+                min_loads(tensor, nest, &l1_trips)
+            } else {
+                tensor_loads(tensor, nest, &l1_trips, &order)
+            } as f64;
+            let tile_min = min_loads(tensor, nest, &l1_trips) as f64;
+            let fp = match tensor {
+                TensorKind::Input => fp1.input,
+                TensorKind::Weight => fp1.weight,
+                TensorKind::Output => fp1.output,
+            } as f64;
+            let effective = if tensor == TensorKind::Output {
+                2.0 * loads - tile_min
+            } else {
+                loads
+            };
+            noc_bytes_per_l2 += fp * effective;
+        }
+        let noc_bytes = noc_bytes_per_l2 * t2;
+        let noc_cycles = noc_bytes / f64::from(hw.noc_bytes_per_cycle());
+
+        let mut dram_bytes = 0.0f64;
+        for tensor in TensorKind::ALL {
+            let loads = tensor_loads(tensor, nest, &l2_trips, &order) as f64;
+            let tile_min = min_loads(tensor, nest, &l2_trips) as f64;
+            let fp = match tensor {
+                TensorKind::Input => fp2.input,
+                TensorKind::Weight => fp2.weight,
+                TensorKind::Output => fp2.output,
+            } as f64;
+            let effective = if tensor == TensorKind::Output {
+                2.0 * loads - tile_min
+            } else {
+                loads
+            };
+            dram_bytes += fp * effective;
+        }
+        let dram_cycles = dram_bytes / t.dram_bytes_per_cycle;
+
+        let total_cycles = compute_cycles.max(noc_cycles).max(dram_cycles)
+            + t2 * t.tile_overhead_cycles
+            + t.launch_overhead_cycles;
+        let latency_s = total_cycles / t.clock_hz;
+
+        let bf = t.bytes_per_elem as f64;
+        let mut e_local = 0.0f64;
+        for tensor in TensorKind::ALL {
+            let e_per_byte = if tensor == stationary {
+                t.e_reg_pj_per_byte
+            } else {
+                t.e_l1_pj_per_byte
+            };
+            let per_mac_bytes = match tensor {
+                TensorKind::Input | TensorKind::Weight => bf,
+                TensorKind::Output => 2.0 * bf,
+            };
+            e_local += macs * per_mac_bytes * e_per_byte;
+        }
+        let area = area_mm2(t, hw);
+        let e_mac = macs * t.e_mac_pj;
+        let e_noc = noc_bytes * t.e_noc_pj_per_byte;
+        let e_l2 = (noc_bytes + dram_bytes) * t.e_l2_pj_per_byte;
+        let e_dram = dram_bytes * t.e_dram_pj_per_byte;
+        let e_leak = t.leakage_mw_per_mm2 * area * latency_s * 1e9;
+        let energy_pj = e_mac + e_local + e_noc + e_l2 + e_dram + e_leak;
+        let power_mw = energy_pj / (latency_s * 1e9);
+
+        Ok(Outputs {
+            latency_s,
+            power_mw,
+            area_mm2: area,
+            energy_pj,
+            compute_cycles,
+            noc_cycles,
+            dram_cycles,
+            total_cycles,
+            utilization,
+            noc_bytes,
+            dram_bytes,
+            active_pes,
+        })
+    }
+}
+
+/// The refactored generic engine at `f64` is bit-identical to the frozen
+/// pre-refactor transcription — every PPA and breakdown field, every
+/// feasibility error, over a grid of sampled configs × candidate
+/// mappings for both technology presets.
+#[test]
+fn generic_core_matches_prerefactor_reference_bitwise() {
+    let mut rng = StdRng::seed_from_u64(211);
+    let mut feasible = 0usize;
+    let mut infeasible = 0usize;
+    for (tech, hw_space) in [
+        (TechParams::default(), HwSpace::edge()),
+        (TechParams::cloud(), HwSpace::cloud()),
+    ] {
+        let model = AnalyticalModel::new(tech);
+        for (ni, nest) in grid().iter().enumerate() {
+            for ci in 0..4 {
+                let hw = hw_space.sample(&mut rng);
+                for (mi, m) in candidates(nest, &mut rng).iter().enumerate() {
+                    let label = format!("nest {ni} config {ci} mapping {mi}");
+                    let got = model.evaluate_detailed(&hw, m, nest);
+                    let want = prerefactor::evaluate(&tech, &hw, m, nest);
+                    match (got, want) {
+                        (Ok((ppa, bd)), Ok(r)) => {
+                            feasible += 1;
+                            for (x, y, f) in [
+                                (ppa.latency_s, r.latency_s, "latency_s"),
+                                (ppa.power_mw, r.power_mw, "power_mw"),
+                                (ppa.area_mm2, r.area_mm2, "area_mm2"),
+                                (ppa.energy_pj, r.energy_pj, "energy_pj"),
+                                (bd.compute_cycles, r.compute_cycles, "compute_cycles"),
+                                (bd.noc_cycles, r.noc_cycles, "noc_cycles"),
+                                (bd.dram_cycles, r.dram_cycles, "dram_cycles"),
+                                (bd.total_cycles, r.total_cycles, "total_cycles"),
+                                (bd.utilization, r.utilization, "utilization"),
+                                (bd.noc_bytes, r.noc_bytes, "noc_bytes"),
+                                (bd.dram_bytes, r.dram_bytes, "dram_bytes"),
+                            ] {
+                                assert_eq!(
+                                    x.to_bits(),
+                                    y.to_bits(),
+                                    "{label}: {f} differs ({x} vs {y})"
+                                );
+                            }
+                            assert_eq!(bd.active_pes, r.active_pes, "{label}: active_pes");
+                        }
+                        (Err(a), Err(b)) => {
+                            infeasible += 1;
+                            assert_eq!(a, b, "{label}: error kind diverged");
+                        }
+                        (a, b) => panic!(
+                            "{label}: feasibility diverged: engine {:?} reference {:?}",
+                            a.map(|(p, _)| p),
+                            b.map(|r| r.latency_s)
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        feasible > 0 && infeasible > 0,
+        "grid must exercise both paths (feasible {feasible}, infeasible {infeasible})"
     );
 }
 

@@ -1,0 +1,122 @@
+//! Cache-key identity for legalized gradient-search points: a mapping
+//! produced by [`MappingSpace::legalize`] is indistinguishable, at the
+//! evaluation-cache layer, from the same mapping built by hand. The
+//! gradient searcher's exact re-evaluations therefore flow through the
+//! normal cached `f64` path — sharing entries with every other searcher
+//! instead of forming a parallel key universe.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use unico_mapping::{Mapping, MappingCost, MappingSpace};
+use unico_model::{
+    spatial_eval_key, AnalyticalModel, BoundSpatialCost, Dataflow, EngineTag, EvalCache, HwConfig,
+    MappingObjective, TechParams,
+};
+use unico_workloads::{LoopNest, TensorOp, DIM_COUNT};
+
+fn nest() -> LoopNest {
+    TensorOp::Conv2d {
+        n: 1,
+        k: 64,
+        c: 32,
+        y: 28,
+        x: 28,
+        r: 3,
+        s: 3,
+        stride: 1,
+    }
+    .to_loop_nest()
+}
+
+fn hw() -> HwConfig {
+    HwConfig::new(8, 8, 4096, 512 * 1024, 128, Dataflow::WeightStationary)
+}
+
+/// A continuous point near (but not on) the tile-option lattice, the
+/// shape the gradient searcher hands to `legalize` every few steps.
+fn continuous_point(
+    space: &MappingSpace,
+    rng: &mut StdRng,
+) -> ([f64; DIM_COUNT], [f64; DIM_COUNT]) {
+    let ext = space.nest().extents();
+    let l2: [f64; DIM_COUNT] = std::array::from_fn(|i| rng.gen_range(1.0..(ext[i] as f64 + 0.5)));
+    let l1: [f64; DIM_COUNT] = std::array::from_fn(|i| rng.gen_range(1.0..(l2[i] + 0.25)));
+    (l2, l1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The legalized mapping's cache key is bit-identical to the key of
+    /// a hand-constructed `Mapping` with the same tiles, order and
+    /// spatial dims — for both objectives.
+    #[test]
+    fn legalized_key_matches_hand_constructed(seed in 0u64..10_000) {
+        let n = nest();
+        let space = MappingSpace::new(&n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let template = space.sample(&mut rng);
+        let (l2, l1) = continuous_point(&space, &mut rng);
+        let legal = space.legalize(&l2, &l1, template.order(), template.spatial());
+        let by_hand = Mapping::new(
+            &n,
+            legal.l2_tile(),
+            legal.l1_tile(),
+            legal.order(),
+            legal.spatial(),
+        );
+        prop_assert_eq!(&legal, &by_hand);
+        let h = hw();
+        for obj in [MappingObjective::Latency, MappingObjective::Edp] {
+            prop_assert_eq!(
+                spatial_eval_key(EngineTag::DataCentric, &h, &legal, &n, obj),
+                spatial_eval_key(EngineTag::DataCentric, &h, &by_hand, &n, obj),
+            );
+        }
+    }
+
+    /// End to end through the cost adapter: assessing the hand-built
+    /// mapping warms the cache, and re-assessing the legalized twin is
+    /// answered as a hit — no second model evaluation.
+    #[test]
+    fn legalized_reassessment_hits_cache(seed in 0u64..10_000) {
+        let n = nest();
+        let space = MappingSpace::new(&n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let template = space.sample(&mut rng);
+        let (l2, l1) = continuous_point(&space, &mut rng);
+        let legal = space.legalize(&l2, &l1, template.order(), template.spatial());
+        let by_hand = Mapping::new(
+            &n,
+            legal.l2_tile(),
+            legal.l1_tile(),
+            legal.order(),
+            legal.spatial(),
+        );
+
+        let model = AnalyticalModel::new(TechParams::default());
+        let cache = EvalCache::new();
+        let cost = BoundSpatialCost::new(&model, hw(), n, 1e-3).with_cache(Some(&cache));
+
+        let first = cost.assess(&by_hand);
+        let after_first = cache.stats();
+        prop_assert_eq!(after_first.misses, 1);
+        prop_assert_eq!(after_first.hits, 0);
+
+        let second = cost.assess(&legal);
+        let after_second = cache.stats();
+        prop_assert_eq!(after_second.misses, 1, "legalized twin recomputed");
+        prop_assert_eq!(after_second.hits, 1);
+        match (first, second) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+                prop_assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+                prop_assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits());
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "feasibility disagreed between twins"),
+        }
+    }
+}

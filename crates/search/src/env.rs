@@ -280,6 +280,18 @@ impl<P: Platform> HwSession<'_, P> {
         self.jobs.iter().map(|j| j.searcher.history().spent()).sum()
     }
 
+    /// Aggregated gradient-search counters across this session's jobs
+    /// (all zero unless the platform hands out gradient searchers).
+    pub fn gradient_stats(&self) -> unico_mapping::GradientStats {
+        let mut acc = unico_mapping::GradientStats::default();
+        for j in &self.jobs {
+            if let Some(s) = j.searcher.gradient_stats() {
+                acc.absorb(&s);
+            }
+        }
+        acc
+    }
+
     /// Mean convergence-rate AUC across jobs within `budget` steps.
     pub fn auc_at(&self, budget: u64) -> f64 {
         if self.jobs.is_empty() || self.poisoned {
@@ -354,6 +366,11 @@ where
         sessions.iter().map(HwSession::total_steps).sum(),
     );
     global.add(crate::telemetry::Counter::HwEvals, sessions.len() as u64);
+    let mut gstats = unico_mapping::GradientStats::default();
+    for s in &sessions {
+        gstats.absorb(&s.gradient_stats());
+    }
+    global.add_gradient_stats(gstats);
     let width = (sessions.len() * env.num_jobs()) as u32;
     let out = sessions
         .into_iter()

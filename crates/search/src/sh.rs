@@ -133,6 +133,12 @@ where
     let mut alive: Vec<bool> = vec![true; n];
     let mut round_budgets = Vec::new();
     let mut contained_panics = 0u64;
+    // Gradient-search counters are cumulative per searcher; snapshot so
+    // only this run's progress is booked even on resumed sessions.
+    let mut gradient_before = unico_mapping::GradientStats::default();
+    for s in sessions.iter() {
+        gradient_before.absorb(&s.gradient_stats());
+    }
 
     for j in 1..=rounds {
         let budget = (cfg.b_max >> (rounds - j)).max(cfg.min_budget).max(1);
@@ -156,6 +162,12 @@ where
             alive[i] = true;
         }
     }
+
+    let mut gradient_after = unico_mapping::GradientStats::default();
+    for s in sessions.iter() {
+        gradient_after.absorb(&s.gradient_stats());
+    }
+    telemetry.add_gradient_stats(gradient_after.delta_since(&gradient_before));
 
     ShOutcome {
         finalists: (0..n).filter(|&i| alive[i]).collect(),

@@ -80,11 +80,21 @@ pub enum Counter {
     /// Checkpoints written to disk (periodic, final, and panic-guard
     /// flushes all count).
     CheckpointsWritten,
+    /// Surrogate gradient-descent steps taken by gradient mapping
+    /// searchers (free: they consume no mapping-eval budget).
+    GradientSteps,
+    /// Continuous points legalized and exactly re-evaluated by gradient
+    /// mapping searchers.
+    GradientLegalizations,
+    /// Backtracking line-search rejections in gradient mapping search.
+    GradientBacktracks,
+    /// Gradient-search trajectory restarts from fresh random templates.
+    GradientRestarts,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 29] = [
         Counter::MappingEvals,
         Counter::GpFits,
         Counter::GpFitsIncremental,
@@ -110,6 +120,10 @@ impl Counter {
         Counter::FaultRetries,
         Counter::FaultQuarantines,
         Counter::CheckpointsWritten,
+        Counter::GradientSteps,
+        Counter::GradientLegalizations,
+        Counter::GradientBacktracks,
+        Counter::GradientRestarts,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -140,6 +154,10 @@ impl Counter {
             Counter::FaultRetries => "fault_retries",
             Counter::FaultQuarantines => "fault_quarantines",
             Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::GradientSteps => "gradient_steps",
+            Counter::GradientLegalizations => "gradient_legalizations",
+            Counter::GradientBacktracks => "gradient_backtracks",
+            Counter::GradientRestarts => "gradient_restarts",
         }
     }
 
@@ -232,6 +250,15 @@ impl Telemetry {
         self.add(Counter::CacheHits, d.hits);
         self.add(Counter::CacheMisses, d.misses);
         self.add(Counter::CacheEvictions, d.evictions);
+    }
+
+    /// Books aggregated gradient-search counters (a no-op when the
+    /// stats are all zero, i.e. no gradient searcher ran).
+    pub fn add_gradient_stats(&self, s: unico_mapping::GradientStats) {
+        self.add(Counter::GradientSteps, s.gradient_steps);
+        self.add(Counter::GradientLegalizations, s.legalizations);
+        self.add(Counter::GradientBacktracks, s.backtracks);
+        self.add(Counter::GradientRestarts, s.restarts);
     }
 
     /// Captures the current counter and phase-timer totals as a

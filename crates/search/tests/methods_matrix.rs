@@ -122,11 +122,14 @@ fn all_baselines_produce_valid_results() {
 #[test]
 fn mapping_tool_choice_flows_through_the_env() {
     use unico_model::MappingTool;
+    use unico_search::{Counter, Telemetry};
     for tool in [
         MappingTool::Annealing,
         MappingTool::Genetic,
         MappingTool::QLearning,
+        MappingTool::Gradient,
     ] {
+        let steps_before = Telemetry::global().get(Counter::GradientSteps);
         let p = SpatialPlatform::edge().with_mapping_tool(tool);
         let e = env(&p);
         let res = run_mobohb(
@@ -141,6 +144,15 @@ fn mapping_tool_choice_flows_through_the_env() {
             },
         );
         assert_eq!(res.hw_evals, 4, "{tool:?}");
+        // The gradient tool (and only it) books descent steps into the
+        // global telemetry; the analytical surrogate supports it, so a
+        // 24-eval session must take at least one step.
+        let steps = Telemetry::global().get(Counter::GradientSteps) - steps_before;
+        if tool == MappingTool::Gradient {
+            assert!(steps > 0, "gradient tool booked no descent steps");
+        } else {
+            assert_eq!(steps, 0, "{tool:?} booked gradient steps");
+        }
     }
 }
 

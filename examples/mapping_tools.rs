@@ -1,6 +1,7 @@
 //! Mapping-tool comparison: random vs FlexTensor-style annealing vs
-//! GAMMA-style genetic vs Q-learning search on one convolution layer of
-//! a fixed accelerator — the inner loop of co-optimization in isolation.
+//! GAMMA-style genetic vs Q-learning vs DOSA-style gradient search on
+//! one convolution layer of a fixed accelerator — the inner loop of
+//! co-optimization in isolation.
 //!
 //! Also prints the best-so-far curves' AUC, the convergence-rate signal
 //! UNICO's modified successive halving promotes on.
@@ -13,7 +14,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use unico::prelude::*;
-use unico_mapping::{AnnealingSearch, GeneticConfig, GeneticSearch, QLearningSearch, RandomSearch};
+use unico_mapping::{
+    AnnealingSearch, GeneticConfig, GeneticSearch, GradientSearcher, QLearningSearch, RandomSearch,
+};
 use unico_model::BoundSpatialCost;
 
 fn main() {
@@ -68,6 +71,13 @@ fn main() {
         (
             "q-learning",
             Box::new(QLearningSearch::new(
+                MappingSpace::new(&nest),
+                StdRng::seed_from_u64(1),
+            )),
+        ),
+        (
+            "gradient",
+            Box::new(GradientSearcher::new(
                 MappingSpace::new(&nest),
                 StdRng::seed_from_u64(1),
             )),

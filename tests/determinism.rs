@@ -300,6 +300,47 @@ fn incremental_gp_runs_are_deterministic_and_booked() {
     );
 }
 
+/// The gradient mapping tool is seeded-deterministic end to end: two
+/// same-seed co-optimization runs through `MappingTool::Gradient`
+/// produce byte-identical fronts, deterministic reports, and
+/// evaluation-cache traces — descent, backtracking, restarts,
+/// surrogate screening and the free integer polish all replay exactly.
+/// The report also books the gradient telemetry counters, pinning the
+/// searcher-stats funnel (`GradientStats` deltas absorbed at the
+/// successive-halving boundary).
+#[test]
+fn gradient_tool_runs_are_deterministic_and_booked() {
+    let run = |cache: Arc<EvalCache>| {
+        let platform = SpatialPlatform::edge()
+            .with_mapping_tool(unico_model::MappingTool::Gradient)
+            .with_eval_cache(cache);
+        let nets = [zoo::mobilenet_v1()];
+        let env = edge_env(&platform, &nets);
+        Unico::new(smoke_cfg(7)).run(&env)
+    };
+    let cache_a = Arc::new(EvalCache::new());
+    let cache_b = Arc::new(EvalCache::new());
+    let a = run(Arc::clone(&cache_a));
+    let b = run(Arc::clone(&cache_b));
+
+    assert_eq!(front_bits(&a), front_bits(&b));
+    assert_eq!(a.report.deterministic_json(), b.report.deterministic_json());
+    assert_eq!(cache_a.to_trace(), cache_b.to_trace());
+
+    let steps = a.report.counters["gradient_steps"];
+    let legalizations = a.report.counters["gradient_legalizations"];
+    assert!(steps > 0, "gradient runs must book surrogate steps");
+    assert!(
+        legalizations > 0,
+        "gradient runs must book legalized exact evaluations"
+    );
+    assert!(
+        steps > legalizations,
+        "surrogate steps ({steps}) should outnumber paid \
+         legalizations ({legalizations})"
+    );
+}
+
 /// Fig. 9-style MOBOHB baseline: at realistic per-session mapping
 /// budgets the random tiling samplers revisit mappings and successive
 /// halving re-assesses survivors, so the evaluation stream is heavily
