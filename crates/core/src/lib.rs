@@ -53,3 +53,14 @@ pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, DirScan, GpH
 pub use unico::{
     HwRecord, IterationUpdate, RunObserver, RunOptions, Unico, UnicoConfig, UnicoResult,
 };
+
+// Facade re-exports: the graph frontend and the fusion-aware mapping
+// surface, so embedders reach the whole import → fuse → co-optimize
+// pipeline through one crate.
+pub use unico_mapping::{search_fusion, FusionGain, FusionOracle, FusionPlan, FusionStats};
+pub use unico_model::{
+    FusedCostOracle, FusedGroupEval, FusedMember, FusedMemberCost, FusionPricer,
+};
+pub use unico_search::FusionReport;
+pub use unico_workloads::frontend;
+pub use unico_workloads::{FrontendError, FusionEdge, ImportedGraph};

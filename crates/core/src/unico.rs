@@ -788,6 +788,13 @@ impl Unico {
                 });
                 batch_records.push(idx);
             }
+            // Fusion-planner counters accumulate inside each session as
+            // SH and the final assessment price candidate groups.
+            let mut fstats = unico_mapping::FusionStats::default();
+            for s in &sessions {
+                fstats.merge(s.fusion_stats());
+            }
+            telemetry.add_fusion_stats(fstats);
 
             // ---- Lines 10–11: high-fidelity surrogate update. ----
             if !st.all_ys.is_empty() {

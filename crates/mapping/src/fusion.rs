@@ -1,0 +1,329 @@
+//! Inter-layer fusion planning over a network's layer DAG.
+//!
+//! Fusion keeps the intermediate tensor between a producer and a
+//! consumer layer resident in on-chip buffers, skipping its DRAM
+//! round-trip. This module plans *which* layers to fuse: a
+//! [`FusionPlan`] partitions the layer indices into ordered groups, and
+//! [`search_fusion`] grows multi-layer groups greedily along
+//! single-producer/single-consumer edges, accepting a merge only when a
+//! platform-provided [`FusionOracle`] proves the fused chain is legal
+//! (fits the buffers) **and** strictly reduces modeled DRAM traffic.
+//!
+//! The plan is pure geometry over layer indices — it knows nothing about
+//! hardware. All pricing and legality lives behind the oracle, which the
+//! PPA-model crate implements; the plan with every group a singleton is
+//! by construction identical to the existing per-layer path.
+
+use unico_workloads::FusionEdge;
+
+/// A partition of a network's layer indices into ordered fusion groups.
+///
+/// Each group is a chain of layer indices executed with intermediates
+/// pinned on-chip; groups are sorted by their first member and every
+/// layer index in `0..num_layers` appears exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionPlan {
+    groups: Vec<Vec<usize>>,
+}
+
+impl FusionPlan {
+    /// The all-singleton plan: every layer its own group. This is the
+    /// identity plan — costing it must be bitwise identical to the
+    /// per-layer path.
+    pub fn singleton(num_layers: usize) -> Self {
+        FusionPlan {
+            groups: (0..num_layers).map(|i| vec![i]).collect(),
+        }
+    }
+
+    /// Builds a plan from explicit groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups are not a partition of `0..Σ|group|` (every
+    /// index exactly once, no empty groups) — plans are produced by the
+    /// searcher, so a malformed one is a programmer error.
+    pub fn from_groups(mut groups: Vec<Vec<usize>>) -> Self {
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "fusion groups must be non-empty"
+        );
+        groups.sort_by_key(|g| g[0]);
+        let n: usize = groups.iter().map(Vec::len).sum();
+        let mut seen = vec![false; n];
+        for g in &groups {
+            for &i in g {
+                assert!(
+                    i < n && !seen[i],
+                    "fusion groups must partition the layer indices"
+                );
+                seen[i] = true;
+            }
+        }
+        FusionPlan { groups }
+    }
+
+    /// The groups, sorted by first member.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Number of layers covered by the plan.
+    pub fn num_layers(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Whether every group is a single layer (the identity plan).
+    pub fn is_all_singletons(&self) -> bool {
+        self.groups.iter().all(|g| g.len() == 1)
+    }
+
+    /// Iterator over the groups with more than one member.
+    pub fn multi_layer_groups(&self) -> impl Iterator<Item = &[usize]> {
+        self.groups
+            .iter()
+            .filter(|g| g.len() > 1)
+            .map(Vec::as_slice)
+    }
+}
+
+/// Counters from one fusion search, reported as run telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Candidate groups priced through the oracle.
+    pub groups_tried: u64,
+    /// Candidate groups accepted into the plan (strict DRAM reduction
+    /// and legal buffer occupancy).
+    pub groups_accepted: u64,
+}
+
+impl FusionStats {
+    /// Accumulates another search's counters.
+    pub fn merge(&mut self, other: FusionStats) {
+        self.groups_tried += other.groups_tried;
+        self.groups_accepted += other.groups_accepted;
+    }
+}
+
+/// Modeled DRAM traffic of a candidate fused chain vs the same layers
+/// executed unfused. Returned by a [`FusionOracle`] for *legal* chains
+/// only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionGain {
+    /// Total DRAM bytes of the chain's members executed separately.
+    pub dram_bytes_unfused: f64,
+    /// Total DRAM bytes with intermediate tensors held on-chip.
+    pub dram_bytes_fused: f64,
+}
+
+impl FusionGain {
+    /// Whether fusing strictly reduces modeled DRAM traffic.
+    pub fn is_strict_reduction(&self) -> bool {
+        self.dram_bytes_fused < self.dram_bytes_unfused
+    }
+}
+
+/// Platform-side pricing and legality for candidate fusion chains.
+///
+/// `chain` lists layer indices in execution order; `edges` are the
+/// DAG edges internal to the chain (the intermediates that would stay
+/// on-chip). Returns `None` when the chain is illegal — any member's
+/// working set plus resident intermediates overflows the buffers, or a
+/// member has no priced mapping yet. A `Some` answer must price *all*
+/// members under one consistent mapping choice per member.
+pub trait FusionOracle {
+    /// Prices a candidate chain, or rejects it as illegal.
+    fn assess_group(&self, chain: &[usize], edges: &[FusionEdge]) -> Option<FusionGain>;
+}
+
+/// Greedy fusion-plan search over a layer DAG.
+///
+/// Deterministic: candidate edges are those whose producer has
+/// out-degree 1 and whose consumer has in-degree 1 (pure pipelines — a
+/// residual join is never fused), visited in ascending
+/// `(producer, consumer)` order. An edge merges two existing groups
+/// when the producer ends its group and the consumer starts its group;
+/// the merge is kept iff the oracle prices the combined chain legal
+/// with strictly lower DRAM traffic than its members executed unfused.
+///
+/// Runs in one pass — each edge is offered once, so chains grow
+/// left-to-right and the result is independent of oracle pricing noise
+/// across calls (the oracle is consulted once per candidate).
+pub fn search_fusion(
+    num_layers: usize,
+    edges: &[FusionEdge],
+    oracle: &dyn FusionOracle,
+) -> (FusionPlan, FusionStats) {
+    let mut stats = FusionStats::default();
+    if num_layers == 0 {
+        return (FusionPlan { groups: Vec::new() }, stats);
+    }
+    let mut out_degree = vec![0usize; num_layers];
+    let mut in_degree = vec![0usize; num_layers];
+    for e in edges {
+        if e.producer < num_layers && e.consumer < num_layers {
+            out_degree[e.producer] += 1;
+            in_degree[e.consumer] += 1;
+        }
+    }
+    let mut candidates: Vec<FusionEdge> = edges
+        .iter()
+        .copied()
+        .filter(|e| {
+            e.producer < num_layers
+                && e.consumer < num_layers
+                && e.producer != e.consumer
+                && out_degree[e.producer] == 1
+                && in_degree[e.consumer] == 1
+        })
+        .collect();
+    candidates.sort_by_key(|e| (e.producer, e.consumer));
+
+    // group_of[layer] -> index into `groups`; merged-away groups are
+    // left empty and dropped at the end.
+    let mut groups: Vec<Vec<usize>> = (0..num_layers).map(|i| vec![i]).collect();
+    let mut group_of: Vec<usize> = (0..num_layers).collect();
+
+    for e in candidates {
+        let gp = group_of[e.producer];
+        let gc = group_of[e.consumer];
+        if gp == gc {
+            continue;
+        }
+        // Only chain-extending merges: the producer must end its group
+        // and the consumer must start its group, so the fused chain
+        // stays a straight pipeline.
+        if groups[gp].last() != Some(&e.producer) || groups[gc].first() != Some(&e.consumer) {
+            continue;
+        }
+        let mut chain = groups[gp].clone();
+        chain.extend_from_slice(&groups[gc]);
+        let internal: Vec<FusionEdge> = edges
+            .iter()
+            .copied()
+            .filter(|e| chain.contains(&e.producer) && chain.contains(&e.consumer))
+            .collect();
+        stats.groups_tried += 1;
+        let accept = oracle
+            .assess_group(&chain, &internal)
+            .is_some_and(|g| g.is_strict_reduction());
+        if accept {
+            stats.groups_accepted += 1;
+            let moved = std::mem::take(&mut groups[gc]);
+            for &l in &moved {
+                group_of[l] = gp;
+            }
+            groups[gp].extend(moved);
+        }
+    }
+
+    let groups: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+    (FusionPlan::from_groups(groups), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(p: usize, c: usize, elems: u64) -> FusionEdge {
+        FusionEdge {
+            producer: p,
+            consumer: c,
+            elems,
+        }
+    }
+
+    /// Oracle that accepts chains up to `max_len` with a fixed 10%
+    /// saving, rejecting longer ones as illegal.
+    struct UpTo(usize);
+    impl FusionOracle for UpTo {
+        fn assess_group(&self, chain: &[usize], _edges: &[FusionEdge]) -> Option<FusionGain> {
+            (chain.len() <= self.0).then_some(FusionGain {
+                dram_bytes_unfused: 100.0,
+                dram_bytes_fused: 90.0,
+            })
+        }
+    }
+
+    struct RejectAll;
+    impl FusionOracle for RejectAll {
+        fn assess_group(&self, _c: &[usize], _e: &[FusionEdge]) -> Option<FusionGain> {
+            None
+        }
+    }
+
+    struct NoGain;
+    impl FusionOracle for NoGain {
+        fn assess_group(&self, _c: &[usize], _e: &[FusionEdge]) -> Option<FusionGain> {
+            Some(FusionGain {
+                dram_bytes_unfused: 100.0,
+                dram_bytes_fused: 100.0,
+            })
+        }
+    }
+
+    #[test]
+    fn singleton_plan_is_identity() {
+        let p = FusionPlan::singleton(3);
+        assert!(p.is_all_singletons());
+        assert_eq!(p.num_layers(), 3);
+        assert_eq!(p.multi_layer_groups().count(), 0);
+    }
+
+    #[test]
+    fn greedy_chains_a_pipeline() {
+        let edges = [edge(0, 1, 10), edge(1, 2, 10), edge(2, 3, 10)];
+        let (plan, stats) = search_fusion(4, &edges, &UpTo(4));
+        assert_eq!(plan.groups(), &[vec![0, 1, 2, 3]]);
+        assert_eq!(stats.groups_tried, 3);
+        assert_eq!(stats.groups_accepted, 3);
+    }
+
+    #[test]
+    fn capacity_limit_splits_the_chain() {
+        let edges = [edge(0, 1, 10), edge(1, 2, 10), edge(2, 3, 10)];
+        let (plan, stats) = search_fusion(4, &edges, &UpTo(2));
+        assert_eq!(plan.groups(), &[vec![0, 1], vec![2, 3]]);
+        assert_eq!(stats.groups_accepted, 2);
+        assert!(stats.groups_tried > stats.groups_accepted);
+    }
+
+    #[test]
+    fn rejection_and_equality_keep_singletons() {
+        let edges = [edge(0, 1, 10)];
+        let (plan, _) = search_fusion(2, &edges, &RejectAll);
+        assert!(plan.is_all_singletons());
+        // Equal traffic is not a strict reduction: not accepted.
+        let (plan, stats) = search_fusion(2, &edges, &NoGain);
+        assert!(plan.is_all_singletons());
+        assert_eq!(stats.groups_tried, 1);
+        assert_eq!(stats.groups_accepted, 0);
+    }
+
+    #[test]
+    fn fan_out_and_fan_in_are_never_candidates() {
+        // 0 feeds both 1 and 2; both feed 3 (residual diamond).
+        let edges = [
+            edge(0, 1, 10),
+            edge(0, 2, 10),
+            edge(1, 3, 10),
+            edge(2, 3, 10),
+        ];
+        let (plan, stats) = search_fusion(4, &edges, &UpTo(4));
+        assert!(plan.is_all_singletons());
+        assert_eq!(stats.groups_tried, 0);
+    }
+
+    #[test]
+    fn out_of_range_edges_are_ignored() {
+        let edges = [edge(0, 9, 10), edge(0, 1, 10)];
+        let (plan, _) = search_fusion(2, &edges, &UpTo(4));
+        assert_eq!(plan.groups(), &[vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn malformed_groups_panic() {
+        let _ = FusionPlan::from_groups(vec![vec![0], vec![0]]);
+    }
+}

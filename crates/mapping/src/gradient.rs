@@ -197,8 +197,11 @@ impl GradientSearcher {
     fn exact_eval(&mut self, cost: &dyn MappingCost, m: &Mapping) -> Option<MappingOutcome> {
         match cost.assess(m) {
             Some(o) => {
-                self.incumbent.offer(m, o);
+                let improved = self.incumbent.offer(m, o);
                 self.history.push(o);
+                if improved {
+                    self.history.note_best_mapping(m);
+                }
                 Some(o)
             }
             None => {

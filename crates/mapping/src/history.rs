@@ -4,6 +4,7 @@
 use std::cell::Cell;
 
 use crate::cost::MappingOutcome;
+use crate::mapping::Mapping;
 
 /// One evaluated (feasible) mapping in a search history.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +33,11 @@ pub struct SearchHistory {
     /// `(step, record)` improvements: records that strictly lowered the
     /// best loss.
     improvements: Vec<EvalRecord>,
+    /// `(step, mapping)` for each improvement a searcher chose to note.
+    /// Steps mirror `improvements`, so `best_mapping_at(b)` names the
+    /// mapping behind `best_at(b)` — which fused-group costing re-prices
+    /// under a different traffic model.
+    best_mappings: Vec<(u64, Mapping)>,
     /// Single-entry `(budget, auc)` memo: successive-halving promotion
     /// asks for the AUC of the same round budget repeatedly, and the
     /// scan it caches is O(budget). Invalidated by any mutation.
@@ -83,6 +89,23 @@ impl SearchHistory {
         if improved {
             self.improvements.push(rec);
         }
+    }
+
+    /// Notes the mapping behind the most recent improvement. Searchers
+    /// call this immediately after a [`SearchHistory::push`] that lowered
+    /// the best loss; the step recorded is the step that push consumed.
+    pub fn note_best_mapping(&mut self, mapping: &Mapping) {
+        self.best_mappings.push((self.spent, mapping.clone()));
+    }
+
+    /// The noted best mapping within the first `budget` steps, if the
+    /// searcher noted any by then.
+    pub fn best_mapping_at(&self, budget: u64) -> Option<&Mapping> {
+        self.best_mappings
+            .iter()
+            .take_while(|(step, _)| *step <= budget)
+            .last()
+            .map(|(_, m)| m)
     }
 
     /// Best record found within the first `budget` steps, if any feasible
@@ -189,6 +212,14 @@ impl SearchHistory {
             self.records.push(rec);
             if improved {
                 self.improvements.push(rec);
+                if let Some((_, m)) = other
+                    .best_mappings
+                    .iter()
+                    .rev()
+                    .find(|(step, _)| *step == r.step)
+                {
+                    self.best_mappings.push((rec.step, m.clone()));
+                }
             }
         }
     }
@@ -320,6 +351,37 @@ mod tests {
         assert_eq!(a.spent(), 2);
         assert_eq!(a.records()[1].step, 2);
         assert_eq!(a.terminal_value(), 3.0);
+    }
+
+    #[test]
+    fn noted_mappings_track_improvement_steps() {
+        let nest = unico_workloads::TensorOp::Gemm { m: 4, n: 4, k: 4 }.to_loop_nest();
+        let a = Mapping::identity(&nest);
+        let mut l1 = a.l1_tile();
+        l1[1] = 2;
+        let b = Mapping::new(&nest, a.l2_tile(), l1, a.order(), a.spatial());
+
+        let mut h = SearchHistory::new();
+        h.push(out(5.0));
+        h.note_best_mapping(&a);
+        h.push(out(7.0)); // no improvement: nothing noted
+        h.push(out(3.0));
+        h.note_best_mapping(&b);
+
+        assert!(h.best_mapping_at(0).is_none());
+        assert_eq!(h.best_mapping_at(1), Some(&a));
+        assert_eq!(h.best_mapping_at(2), Some(&a));
+        assert_eq!(h.best_mapping_at(3), Some(&b));
+
+        // absorb carries noted mappings that remain improvements.
+        let mut tail = SearchHistory::new();
+        tail.push(out(9.0)); // worse than 3.0: filtered out
+        tail.note_best_mapping(&a);
+        tail.push(out(1.0));
+        tail.note_best_mapping(&a);
+        h.absorb(&tail);
+        assert_eq!(h.best_mapping_at(4), Some(&b));
+        assert_eq!(h.best_mapping_at(5), Some(&a));
     }
 
     #[test]

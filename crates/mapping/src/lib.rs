@@ -46,6 +46,7 @@
 
 mod canon;
 mod cost;
+mod fusion;
 mod gradient;
 mod history;
 mod mapping;
@@ -55,6 +56,7 @@ mod space;
 
 pub use canon::{CanonicalMapping, StableHasher};
 pub use cost::{MappingCost, MappingOutcome, RelaxedGrad, RelaxedPoint};
+pub use fusion::{search_fusion, FusionGain, FusionOracle, FusionPlan, FusionStats};
 pub use gradient::{GradientConfig, GradientSearcher, GradientStats};
 pub use history::{EvalRecord, SearchHistory};
 pub use mapping::{Footprint, Mapping};

@@ -156,7 +156,8 @@ impl MappingSearcher for QLearningSearch {
                     } else if self.rng.gen_bool(0.3) {
                         self.current = self.best.as_ref().map(|(m, b)| (m.clone(), b.loss));
                     }
-                    if self.best.as_ref().is_none_or(|(_, b)| o.loss < b.loss) {
+                    let improved = self.best.as_ref().is_none_or(|(_, b)| o.loss < b.loss);
+                    if improved {
                         self.best = Some((candidate.clone(), o));
                         self.current = Some((candidate, o.loss));
                         self.since_improvement = 0;
@@ -164,6 +165,12 @@ impl MappingSearcher for QLearningSearch {
                         self.since_improvement += 1;
                     }
                     self.history.push(o);
+                    if improved {
+                        if let Some((m, _)) = &self.best {
+                            let m = m.clone();
+                            self.history.note_best_mapping(&m);
+                        }
+                    }
                 }
                 None => {
                     if let Some(a) = action_idx {

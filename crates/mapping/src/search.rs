@@ -32,6 +32,13 @@ pub trait MappingSearcher {
     fn gradient_stats(&self) -> Option<crate::gradient::GradientStats> {
         None
     }
+
+    /// The mapping behind the best-so-far curve at `budget` steps, if the
+    /// searcher noted one by then. Fused-group costing re-prices this
+    /// mapping under a different DRAM traffic model.
+    fn best_mapping_at(&self, budget: u64) -> Option<&Mapping> {
+        self.history().best_mapping_at(budget)
+    }
 }
 
 /// Tracks the incumbent best candidate for a searcher.
@@ -73,8 +80,11 @@ fn record_outcomes(
     for (m, o) in candidates.iter().zip(outcomes) {
         match o {
             Some(o) => {
-                incumbent.offer(m, o);
+                let improved = incumbent.offer(m, o);
                 history.push(o);
+                if improved {
+                    history.note_best_mapping(m);
+                }
             }
             None => history.push_infeasible(),
         }
@@ -208,7 +218,8 @@ impl MappingSearcher for AnnealingSearch {
                             }
                         }
                     };
-                    if self.incumbent.offer(&candidate, o) {
+                    let improved = self.incumbent.offer(&candidate, o);
+                    if improved {
                         self.since_improvement = 0;
                     } else {
                         self.since_improvement += 1;
@@ -222,6 +233,9 @@ impl MappingSearcher for AnnealingSearch {
                         self.current = Some((candidate.clone(), o.loss));
                     }
                     self.history.push(o);
+                    if improved {
+                        self.history.note_best_mapping(&candidate);
+                    }
                 }
                 None => {
                     self.since_improvement += 1;
@@ -323,8 +337,11 @@ impl GeneticSearch {
             .zip(outcomes)
             .map(|(m, o)| match o {
                 Some(o) => {
-                    self.incumbent.offer(&m, o);
+                    let improved = self.incumbent.offer(&m, o);
                     self.history.push(o);
+                    if improved {
+                        self.history.note_best_mapping(&m);
+                    }
                     (m, o.loss)
                 }
                 None => {

@@ -90,6 +90,11 @@ pub enum EngineTag {
     LoopCentric,
     /// The Ascend-like cycle model in `unico-camodel`.
     Ascend,
+    /// Fused-group re-pricing of a member layer (intermediates held
+    /// on-chip). Distinct tag: a fused member's PPA differs from its
+    /// standalone `DataCentric` value under the same `(hw, mapping,
+    /// nest)`, so the entries must never alias.
+    FusedGroup,
 }
 
 impl EngineTag {
@@ -98,6 +103,7 @@ impl EngineTag {
             EngineTag::DataCentric => 0,
             EngineTag::LoopCentric => 1,
             EngineTag::Ascend => 2,
+            EngineTag::FusedGroup => 3,
         }
     }
 }

@@ -47,6 +47,7 @@ mod analytical;
 mod batch;
 mod disktier;
 mod evalcache;
+mod fused;
 mod hw;
 mod loopcentric;
 mod platform;
@@ -61,6 +62,9 @@ pub use disktier::{DiskTier, DiskTierStats};
 pub use evalcache::{
     spatial_eval_key, spatial_key_prefix, BatchStats, CacheStats, EngineTag, EvalCache, EvalKey,
     EvalKeyBuilder, EvalResult, TraceError, SHARD_COUNT, TRACE_HEADER,
+};
+pub use fused::{
+    fused_member_key, FusedCostOracle, FusedGroupEval, FusedMember, FusedMemberCost, FusionPricer,
 };
 pub use hw::{Dataflow, HwConfig, HwSpace};
 pub use loopcentric::{BoundLoopCentricCost, LevelBreakdown, LevelStats, LoopCentricModel};

@@ -113,6 +113,19 @@ pub trait Platform: Sync {
     fn hw_from_words(&self, _words: &[u64]) -> Option<Self::Hw> {
         None
     }
+
+    /// Builds a fused-group pricing oracle for `hw` over per-layer
+    /// `(nest, best mapping, repeat)` entries — indexed by the id space
+    /// the network's fusion edges use, `None` entries marking layers
+    /// with no priced mapping yet. Returns `None` when this platform
+    /// has no fused cost model; callers then keep the per-layer path.
+    fn fusion_pricer<'a>(
+        &'a self,
+        _hw: &Self::Hw,
+        _layers: Vec<Option<(LoopNest, Mapping, u32)>>,
+    ) -> Option<Box<dyn crate::fused::FusionPricer + 'a>> {
+        None
+    }
 }
 
 /// Reads the `UNICO_BATCH_EVAL` toggle: `"1"` (or unset) enables the
@@ -376,6 +389,23 @@ impl Platform for SpatialPlatform {
                 Dataflow::OutputStationary => 1,
             },
         ])
+    }
+
+    fn fusion_pricer<'a>(
+        &'a self,
+        hw: &HwConfig,
+        layers: Vec<Option<(LoopNest, Mapping, u32)>>,
+    ) -> Option<Box<dyn crate::fused::FusionPricer + 'a>> {
+        // Fused accounting mirrors the data-centric arithmetic; the
+        // loop-centric engine keeps the per-layer path.
+        match self.engine {
+            PpaEngine::DataCentric => Some(Box::new(crate::fused::FusedCostOracle::new(
+                &self.model,
+                *hw,
+                layers,
+            ))),
+            PpaEngine::LoopCentric => None,
+        }
     }
 
     fn hw_from_words(&self, words: &[u64]) -> Option<HwConfig> {

@@ -8,9 +8,13 @@
 //! past budget, which is exactly the interface successive halving and the
 //! high-fidelity surrogate update need.
 
-use unico_mapping::{MappingCost, MappingSearcher, SearchHistory};
-use unico_model::Platform;
-use unico_workloads::Network;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use unico_mapping::{
+    search_fusion, FusionPlan, FusionStats, Mapping, MappingCost, MappingSearcher, SearchHistory,
+};
+use unico_model::{Platform, Ppa};
+use unico_workloads::{FusionEdge, ImportedGraph, LoopNest, Network};
 
 /// Evaluation policy of a [`CoSearchEnv`].
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +64,10 @@ impl Assessment {
 pub struct CoSearchEnv<'p, P: Platform> {
     platform: &'p P,
     networks: Vec<Network>,
+    /// Per-network fusion edges, remapped to reduced-layer indices.
+    /// Empty vectors (the [`CoSearchEnv::new`] path) keep assessment
+    /// bitwise identical to the pre-fusion per-layer path.
+    edges: Vec<Vec<FusionEdge>>,
     cfg: EnvConfig,
 }
 
@@ -72,15 +80,64 @@ impl<'p, P: Platform> CoSearchEnv<'p, P> {
     /// Panics if `networks` is empty.
     pub fn new(platform: &'p P, networks: &[Network], cfg: EnvConfig) -> Self {
         assert!(!networks.is_empty(), "co-search needs at least one network");
-        let networks = networks
+        let networks: Vec<Network> = networks
             .iter()
             .map(|n| n.dominant_layers(cfg.max_layers_per_network))
             .collect();
+        let edges = vec![Vec::new(); networks.len()];
         CoSearchEnv {
             platform,
             networks,
+            edges,
             cfg,
         }
+    }
+
+    /// Creates an environment over imported graphs, keeping each
+    /// network's dominant layers *and* the fusion edges whose endpoints
+    /// both survive the reduction (remapped to reduced indices). The
+    /// fusion edges let [`HwSession::assess_at`] replace per-layer PPA
+    /// with fused-group accounting wherever the planner accepts a
+    /// multi-layer group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty.
+    pub fn with_graphs(platform: &'p P, graphs: &[ImportedGraph], cfg: EnvConfig) -> Self {
+        assert!(!graphs.is_empty(), "co-search needs at least one graph");
+        let mut networks = Vec::with_capacity(graphs.len());
+        let mut edges = Vec::with_capacity(graphs.len());
+        for g in graphs {
+            let kept = g.network().dominant_indices(cfg.max_layers_per_network);
+            let pos_of = |orig: usize| kept.iter().position(|&k| k == orig);
+            let remapped: Vec<FusionEdge> = g
+                .edges()
+                .iter()
+                .filter_map(|e| {
+                    let producer = pos_of(e.producer)?;
+                    let consumer = pos_of(e.consumer)?;
+                    Some(FusionEdge {
+                        producer,
+                        consumer,
+                        elems: e.elems,
+                    })
+                })
+                .collect();
+            networks.push(g.network().dominant_layers(cfg.max_layers_per_network));
+            edges.push(remapped);
+        }
+        CoSearchEnv {
+            platform,
+            networks,
+            edges,
+            cfg,
+        }
+    }
+
+    /// Per-network fusion edges (reduced-layer indices); empty slices
+    /// for environments built with [`CoSearchEnv::new`].
+    pub fn fusion_edges(&self) -> &[Vec<FusionEdge>] {
+        &self.edges
     }
 
     /// The target platform.
@@ -116,6 +173,7 @@ impl<'p, P: Platform> CoSearchEnv<'p, P> {
                     .wrapping_add((net_idx as u64) << 32 | layer_idx as u64);
                 jobs.push(Job {
                     net_idx,
+                    nest,
                     repeat: layer.repeat(),
                     cost: self.platform.bind(&hw, &nest),
                     searcher: self.platform.make_searcher(&hw, &nest, job_seed),
@@ -124,11 +182,15 @@ impl<'p, P: Platform> CoSearchEnv<'p, P> {
         }
         HwSession {
             hw,
+            platform: self.platform,
+            fusion_edges: &self.edges,
             area_mm2: area,
             num_networks: self.networks.len(),
             power_cap_mw: self.cfg.power_cap_mw,
             area_cap_mm2: self.cfg.area_cap_mm2,
             poisoned: false,
+            fusion_tried: AtomicU64::new(0),
+            fusion_accepted: AtomicU64::new(0),
             jobs,
         }
     }
@@ -136,6 +198,7 @@ impl<'p, P: Platform> CoSearchEnv<'p, P> {
 
 struct Job<'e> {
     net_idx: usize,
+    nest: LoopNest,
     repeat: u32,
     cost: Box<dyn MappingCost + Send + Sync + 'e>,
     searcher: Box<dyn MappingSearcher + Send>,
@@ -153,15 +216,54 @@ impl std::fmt::Debug for Job<'_> {
 
 /// One hardware candidate's live mapping-search state: a resumable
 /// searcher per `(network, layer)` job.
-#[derive(Debug)]
 pub struct HwSession<'e, P: Platform> {
     hw: P::Hw,
+    platform: &'e P,
+    fusion_edges: &'e [Vec<FusionEdge>],
     area_mm2: f64,
     num_networks: usize,
     power_cap_mw: Option<f64>,
     area_cap_mm2: Option<f64>,
     poisoned: bool,
+    fusion_tried: AtomicU64,
+    fusion_accepted: AtomicU64,
     jobs: Vec<Job<'e>>,
+}
+
+impl<P: Platform> std::fmt::Debug for HwSession<'_, P>
+where
+    P::Hw: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HwSession")
+            .field("hw", &self.hw)
+            .field("area_mm2", &self.area_mm2)
+            .field("num_networks", &self.num_networks)
+            .field("poisoned", &self.poisoned)
+            .field("jobs", &self.jobs)
+            .finish()
+    }
+}
+
+/// Outcome of one fusion-planning pass over a session's networks at a
+/// fixed budget (see [`HwSession::fusion_report_at`]).
+#[derive(Debug, Clone)]
+pub struct FusionReport {
+    /// Accepted fusion plan per network carrying edges, as
+    /// `(network index, plan)`.
+    pub plans: Vec<(usize, FusionPlan)>,
+    /// Planner counters: candidate groups priced and accepted.
+    pub stats: FusionStats,
+    /// Per-job PPA overrides `(job index, fused PPA)` covering every
+    /// member of an accepted multi-layer group.
+    pub overrides: Vec<(usize, Ppa)>,
+    /// Modeled DRAM bytes of the accepted multi-layer groups had each
+    /// member run standalone (repeat-weighted).
+    pub dram_bytes_unfused: f64,
+    /// The same groups under fused accounting (intermediates held
+    /// on-chip). Strictly below `dram_bytes_unfused` whenever any
+    /// group was accepted.
+    pub dram_bytes_fused: f64,
 }
 
 impl<P: Platform> HwSession<'_, P> {
@@ -235,14 +337,27 @@ impl<P: Platform> HwSession<'_, P> {
                 return None;
             }
         }
+        let mut per_job = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            let best = job.searcher.history().best_at(budget)?;
+            per_job.push((best.latency_s, best.power_mw));
+        }
+        if let Some(report) = self.run_fusion(budget) {
+            self.fusion_tried
+                .fetch_add(report.stats.groups_tried, Ordering::Relaxed);
+            self.fusion_accepted
+                .fetch_add(report.stats.groups_accepted, Ordering::Relaxed);
+            for &(ji, ppa) in &report.overrides {
+                per_job[ji] = (ppa.latency_s, ppa.power_mw);
+            }
+        }
         let mut net_latency = vec![0.0f64; self.num_networks];
         let mut total_energy_mj = 0.0f64; // mW * s
         let mut total_latency = 0.0f64;
-        for job in &self.jobs {
-            let best = job.searcher.history().best_at(budget)?;
-            let lat = best.latency_s * f64::from(job.repeat);
+        for (job, &(lat_s, pow_mw)) in self.jobs.iter().zip(&per_job) {
+            let lat = lat_s * f64::from(job.repeat);
             net_latency[job.net_idx] += lat;
-            total_energy_mj += best.power_mw * lat;
+            total_energy_mj += pow_mw * lat;
             total_latency += lat;
         }
         let latency_s = geometric_mean(&net_latency);
@@ -261,6 +376,85 @@ impl<P: Platform> HwSession<'_, P> {
             power_mw,
             area_mm2: self.area_mm2,
         })
+    }
+
+    /// Runs the fusion planner over every network that carries fusion
+    /// edges, using each job's best mapping within `budget`. `None`
+    /// when no network has edges or no platform pricer exists — the
+    /// per-layer path then proceeds untouched (bitwise identical to
+    /// the pre-fusion behavior).
+    fn run_fusion(&self, budget: u64) -> Option<FusionReport> {
+        if self.fusion_edges.iter().all(Vec::is_empty) {
+            return None;
+        }
+        let mut report = FusionReport {
+            plans: Vec::new(),
+            stats: FusionStats::default(),
+            overrides: Vec::new(),
+            dram_bytes_unfused: 0.0,
+            dram_bytes_fused: 0.0,
+        };
+        for (net_idx, edges) in self.fusion_edges.iter().enumerate() {
+            if edges.is_empty() {
+                continue;
+            }
+            // Jobs are pushed in (network, layer) order, so a network's
+            // jobs are contiguous and layer-ordered.
+            let net_jobs: Vec<usize> = self
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.net_idx == net_idx)
+                .map(|(i, _)| i)
+                .collect();
+            let layers: Vec<Option<(LoopNest, Mapping, u32)>> = net_jobs
+                .iter()
+                .map(|&ji| {
+                    let j = &self.jobs[ji];
+                    j.searcher
+                        .best_mapping_at(budget)
+                        .map(|m| (j.nest, m.clone(), j.repeat))
+                })
+                .collect();
+            let Some(pricer) = self.platform.fusion_pricer(&self.hw, layers) else {
+                continue;
+            };
+            let (plan, stats) = search_fusion(net_jobs.len(), edges, pricer.as_ref());
+            report.stats.merge(stats);
+            for group in plan.multi_layer_groups() {
+                if let Some(eval) = pricer.price_group(group, edges) {
+                    report.dram_bytes_unfused += eval.dram_bytes_unfused;
+                    report.dram_bytes_fused += eval.dram_bytes_fused;
+                    for mc in &eval.members {
+                        report.overrides.push((net_jobs[mc.layer], mc.ppa));
+                    }
+                }
+            }
+            report.plans.push((net_idx, plan));
+        }
+        if report.plans.is_empty() {
+            return None;
+        }
+        Some(report)
+    }
+
+    /// The fusion plan, counters and fused-group DRAM deltas at
+    /// `budget` (diagnostic; does not book counters). `None` when the
+    /// session has no fusion edges, no pricer, or is poisoned.
+    pub fn fusion_report_at(&self, budget: u64) -> Option<FusionReport> {
+        if self.poisoned {
+            return None;
+        }
+        self.run_fusion(budget)
+    }
+
+    /// Accumulated fusion-planner counters across every assessment of
+    /// this session.
+    pub fn fusion_stats(&self) -> FusionStats {
+        FusionStats {
+            groups_tried: self.fusion_tried.load(Ordering::Relaxed),
+            groups_accepted: self.fusion_accepted.load(Ordering::Relaxed),
+        }
     }
 
     /// Assessment at the current budget.
@@ -367,10 +561,13 @@ where
     );
     global.add(crate::telemetry::Counter::HwEvals, sessions.len() as u64);
     let mut gstats = unico_mapping::GradientStats::default();
+    let mut fstats = FusionStats::default();
     for s in &sessions {
         gstats.absorb(&s.gradient_stats());
+        fstats.merge(s.fusion_stats());
     }
     global.add_gradient_stats(gstats);
+    global.add_fusion_stats(fstats);
     let width = (sessions.len() * env.num_jobs()) as u32;
     let out = sessions
         .into_iter()
@@ -474,5 +671,121 @@ mod tests {
         assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert_eq!(geometric_mean(&[]), 0.0);
         assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    /// Two stacked 3x3 convs whose intermediate survives lowering as a
+    /// single fusion edge.
+    fn conv_pair() -> unico_workloads::ImportedGraph {
+        unico_workloads::frontend::import_json(
+            r#"{
+              "name": "conv-pair",
+              "inputs": [{"name": "x", "dims": [1, 16, 16, 16]}],
+              "initializers": [
+                {"name": "w1", "dims": [16, 16, 3, 3]},
+                {"name": "w2", "dims": [16, 16, 3, 3]}
+              ],
+              "nodes": [
+                {"op": "Conv", "name": "c1", "inputs": ["x", "w1"], "outputs": ["t"],
+                 "attrs": {"pads": [1, 1, 1, 1]}},
+                {"op": "Conv", "name": "c2", "inputs": ["t", "w2"], "outputs": ["y"],
+                 "attrs": {"pads": [1, 1, 1, 1]}}
+              ],
+              "outputs": ["y"]
+            }"#,
+        )
+        .expect("valid graph")
+    }
+
+    #[test]
+    fn with_graphs_remaps_edges_through_layer_reduction() {
+        let p = SpatialPlatform::edge();
+        let g = conv_pair();
+        let full = CoSearchEnv::with_graphs(&p, std::slice::from_ref(&g), EnvConfig::default());
+        assert_eq!(
+            full.fusion_edges(),
+            &[vec![unico_workloads::FusionEdge {
+                producer: 0,
+                consumer: 1,
+                elems: 16 * 16 * 16,
+            }]]
+        );
+        // Reducing to one layer drops the edge (its endpoints no
+        // longer coexist).
+        let reduced = CoSearchEnv::with_graphs(
+            &p,
+            std::slice::from_ref(&g),
+            EnvConfig {
+                max_layers_per_network: 1,
+                ..EnvConfig::default()
+            },
+        );
+        assert_eq!(reduced.fusion_edges(), &[Vec::new()]);
+    }
+
+    #[test]
+    fn graphs_without_pricer_assess_bitwise_identical_to_per_layer() {
+        // The loop-centric engine has no fusion pricer, so even with
+        // edges present the fused path must fall through to exactly
+        // the per-layer arithmetic.
+        let p = SpatialPlatform::edge().with_engine(unico_model::PpaEngine::LoopCentric);
+        let g = conv_pair();
+        let e_plain = CoSearchEnv::new(&p, &[g.network().clone()], EnvConfig::default());
+        let e_fused = CoSearchEnv::with_graphs(&p, std::slice::from_ref(&g), EnvConfig::default());
+        let mut rng = rand::SeedableRng::seed_from_u64(11);
+        for attempt in 0..40 {
+            let hw = e_plain.platform().sample_hw(&mut rng);
+            let mut a = e_plain.session(hw, attempt);
+            let mut b = e_fused.session(hw, attempt);
+            a.advance_to(80);
+            b.advance_to(80);
+            if let (Some(pa), Some(pb)) = (a.assess(), b.assess()) {
+                assert_eq!(pa.latency_s.to_bits(), pb.latency_s.to_bits());
+                assert_eq!(pa.power_mw.to_bits(), pb.power_mw.to_bits());
+                assert_eq!(pa.area_mm2.to_bits(), pb.area_mm2.to_bits());
+                assert!(b.fusion_report_at(80).is_none());
+                assert_eq!(b.fusion_stats().groups_tried, 0);
+                return;
+            }
+        }
+        panic!("no feasible hardware found in 40 samples");
+    }
+
+    #[test]
+    fn accepted_fusion_strictly_reduces_dram_and_never_worsens_latency() {
+        let p = SpatialPlatform::edge();
+        let g = conv_pair();
+        let e_plain = CoSearchEnv::new(&p, &[g.network().clone()], EnvConfig::default());
+        let e_fused = CoSearchEnv::with_graphs(&p, std::slice::from_ref(&g), EnvConfig::default());
+        let mut rng = rand::SeedableRng::seed_from_u64(13);
+        for attempt in 0..60 {
+            let hw = e_plain.platform().sample_hw(&mut rng);
+            let mut a = e_plain.session(hw, attempt);
+            let mut b = e_fused.session(hw, attempt);
+            a.advance_to(80);
+            b.advance_to(80);
+            let (Some(pa), Some(pb)) = (a.assess(), b.assess()) else {
+                continue;
+            };
+            let Some(report) = b.fusion_report_at(80) else {
+                continue;
+            };
+            if report.stats.groups_accepted == 0 {
+                continue;
+            }
+            // The accepted group holds its intermediate on-chip:
+            // strictly less modeled DRAM traffic, never more latency.
+            assert!(report.dram_bytes_fused < report.dram_bytes_unfused);
+            assert!(pb.latency_s <= pa.latency_s);
+            assert_eq!(
+                report.plans,
+                vec![(0, FusionPlan::from_groups(vec![vec![0, 1]]))]
+            );
+            assert_eq!(report.overrides.len(), 2);
+            // assess() booked the planner counters.
+            assert!(b.fusion_stats().groups_tried >= 1);
+            assert!(b.fusion_stats().groups_accepted >= 1);
+            return;
+        }
+        panic!("no hardware with an accepted fused group in 60 samples");
     }
 }

@@ -42,7 +42,9 @@ mod trace;
 
 pub use bohb::{run_mobohb, MobohbConfig};
 pub use engine::{EngineMetrics, MappingEngine};
-pub use env::{advance_parallel, evaluate_batch, Assessment, CoSearchEnv, EnvConfig, HwSession};
+pub use env::{
+    advance_parallel, evaluate_batch, Assessment, CoSearchEnv, EnvConfig, FusionReport, HwSession,
+};
 pub use fault::{FaultContext, FaultKind, FaultPlan, RetryPolicy};
 pub use hasco::{run_hasco, HascoConfig};
 pub use hyperband::{run_hyperband, HyperbandConfig};

@@ -90,11 +90,20 @@ pub enum Counter {
     GradientBacktracks,
     /// Gradient-search trajectory restarts from fresh random templates.
     GradientRestarts,
+    /// Candidate fusion groups priced through a platform's fused cost
+    /// oracle.
+    FusionGroupsTried,
+    /// Fusion groups accepted into a plan (legal and strictly
+    /// DRAM-reducing).
+    FusionGroupsAccepted,
+    /// Graph-frontend nodes lowered into loop nests (counted once per
+    /// imported graph attached to a run).
+    FrontendOpsLowered,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 32] = [
         Counter::MappingEvals,
         Counter::GpFits,
         Counter::GpFitsIncremental,
@@ -124,6 +133,9 @@ impl Counter {
         Counter::GradientLegalizations,
         Counter::GradientBacktracks,
         Counter::GradientRestarts,
+        Counter::FusionGroupsTried,
+        Counter::FusionGroupsAccepted,
+        Counter::FrontendOpsLowered,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -158,6 +170,9 @@ impl Counter {
             Counter::GradientLegalizations => "gradient_legalizations",
             Counter::GradientBacktracks => "gradient_backtracks",
             Counter::GradientRestarts => "gradient_restarts",
+            Counter::FusionGroupsTried => "fusion_groups_tried",
+            Counter::FusionGroupsAccepted => "fusion_groups_accepted",
+            Counter::FrontendOpsLowered => "frontend_ops_lowered",
         }
     }
 
@@ -259,6 +274,12 @@ impl Telemetry {
         self.add(Counter::GradientLegalizations, s.legalizations);
         self.add(Counter::GradientBacktracks, s.backtracks);
         self.add(Counter::GradientRestarts, s.restarts);
+    }
+
+    /// Books fusion-planner counters (tried / accepted groups).
+    pub fn add_fusion_stats(&self, s: unico_mapping::FusionStats) {
+        self.add(Counter::FusionGroupsTried, s.groups_tried);
+        self.add(Counter::FusionGroupsAccepted, s.groups_accepted);
     }
 
     /// Captures the current counter and phase-timer totals as a

@@ -30,7 +30,7 @@ use unico_core::checkpoint::{self, CheckpointPolicy};
 use unico_core::{IterationUpdate, RunObserver, RunOptions, Unico, UnicoResult};
 use unico_model::{EvalCache, Platform, SpatialPlatform};
 use unico_search::{CoSearchEnv, TelemetrySnapshot};
-use unico_workloads::{zoo, Network};
+use unico_workloads::{zoo, ImportedGraph};
 
 use crate::job::{self, Job, JobOutcome, JobPaths, JobState, Manifest};
 use crate::spec::{JobSpec, PlatformKind, ServeConfig};
@@ -67,6 +67,9 @@ pub enum SubmitError {
     },
     /// Persisting the manifest failed; the job was not accepted.
     Io(std::io::Error),
+    /// The spec references a graph that cannot be loaded from this
+    /// daemon's state dir (missing file, malformed model); a 422.
+    InvalidGraph(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -76,6 +79,7 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "admission queue full ({depth} jobs waiting)")
             }
             SubmitError::Io(e) => write!(f, "persisting manifest failed: {e}"),
+            SubmitError::InvalidGraph(e) => write!(f, "{e}"),
         }
     }
 }
@@ -279,6 +283,11 @@ impl Scheduler {
         if depth >= self.max_queue {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull { depth });
+        }
+        // Resolve and import any referenced graph now: a missing or
+        // malformed model file is a 422 at submit, not a worker panic.
+        if let Err(e) = crate::spec::load_graphs(&spec, &self.state_dir) {
+            return Err(SubmitError::InvalidGraph(e));
         }
         let id = format!("job-{:06}", self.next_id.fetch_add(1, Ordering::SeqCst));
         let job = Arc::new(Job::new(id.clone(), spec));
@@ -627,30 +636,45 @@ fn execute_inner(
     cache: Arc<EvalCache>,
     job: &Job,
 ) -> (JobOutcome, TelemetrySnapshot) {
-    let networks: Vec<Network> = spec
+    let mut graphs: Vec<ImportedGraph> = spec
         .workloads
         .iter()
-        .map(|n| zoo::by_name(n).expect("spec validated at submit time"))
+        .map(|n| {
+            ImportedGraph::from_network(zoo::by_name(n).expect("spec validated at submit time"))
+        })
         .collect();
+    // The manifest lives directly under the state dir, which anchors
+    // relative graph_file paths.
+    let state_dir = paths
+        .manifest
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let imported = crate::spec::load_graphs(spec, state_dir)
+        .unwrap_or_else(|e| panic!("loading graphs for {}: {e}", paths.manifest.display()));
+    let frontend_ops: u64 = imported.iter().map(ImportedGraph::ops_lowered).sum();
+    graphs.extend(imported);
     match spec.platform {
         PlatformKind::SpatialEdge => run_on(
             SpatialPlatform::edge().with_eval_cache(cache),
             spec,
-            &networks,
+            &graphs,
+            frontend_ops,
             paths,
             job,
         ),
         PlatformKind::SpatialCloud => run_on(
             SpatialPlatform::cloud().with_eval_cache(cache),
             spec,
-            &networks,
+            &graphs,
+            frontend_ops,
             paths,
             job,
         ),
         PlatformKind::Ascend => run_on(
             AscendPlatform::new().with_eval_cache(cache),
             spec,
-            &networks,
+            &graphs,
+            frontend_ops,
             paths,
             job,
         ),
@@ -660,14 +684,15 @@ fn execute_inner(
 fn run_on<P: Platform>(
     platform: P,
     spec: &JobSpec,
-    networks: &[Network],
+    graphs: &[ImportedGraph],
+    frontend_ops: u64,
     paths: &JobPaths,
     job: &Job,
 ) -> (JobOutcome, TelemetrySnapshot)
 where
     P::Hw: Send,
 {
-    let env = CoSearchEnv::new(&platform, networks, spec.env_config());
+    let env = CoSearchEnv::with_graphs(&platform, graphs, spec.env_config());
     let observer = JobObserver {
         job,
         last: Mutex::new(TelemetrySnapshot::default()),
@@ -693,11 +718,17 @@ where
     } else {
         Unico::new(spec.unico_config()).run_with_options(&env, &opts)
     };
-    let final_telemetry = observer
+    let mut final_telemetry = observer
         .last
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .clone();
+    if frontend_ops > 0 {
+        *final_telemetry
+            .counters
+            .entry("frontend_ops_lowered".to_string())
+            .or_insert(0) += frontend_ops;
+    }
     (outcome_from(result), final_telemetry)
 }
 

@@ -598,6 +598,7 @@ fn route(
                     );
                     Routed::KeepAlive
                 }
+                Err(SubmitError::InvalidGraph(e)) => error_response(out, 422, &e),
                 Err(e) => error_response(out, 500, &format!("persisting job: {e}")),
             },
             Err(e) => error_response(out, 422, &e),

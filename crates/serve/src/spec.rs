@@ -90,6 +90,14 @@ pub struct JobSpec {
     /// (`UnicoConfig::workers`). Part of the deterministic fingerprint:
     /// the same spec must select the same simulated clock everywhere.
     pub engine_workers: Option<u32>,
+    /// Inline graph in the frontend's JSON form, imported through
+    /// `unico_workloads::frontend` and co-optimized (with inter-layer
+    /// fusion) alongside any zoo `workloads`. Validated at submit time.
+    pub graph: Option<String>,
+    /// Path of a committed model file (`.json` graph or ONNX-subset
+    /// `.onnx`), relative to the daemon's state dir. Must stay inside
+    /// the state dir (no absolute paths, no `..`).
+    pub graph_file: Option<String>,
 }
 
 impl JobSpec {
@@ -112,10 +120,37 @@ impl JobSpec {
                 .iter()
                 .map(|w| w.as_str("workloads[]").map(str::to_string))
                 .collect::<Result<_, _>>()?,
-            None => return Err("workloads: required field missing".into()),
+            None => Vec::new(),
         };
-        if workloads.is_empty() {
-            return Err("workloads: must name at least one network".into());
+        let graph = v
+            .get("graph")
+            .map(|j| j.as_str("graph").map(str::to_string))
+            .transpose()?;
+        if let Some(text) = &graph {
+            // Import eagerly so a malformed graph is a 422 at submit
+            // time, not a worker panic later.
+            unico_workloads::frontend::import_json(text).map_err(|e| format!("graph: {e}"))?;
+        }
+        let graph_file = v
+            .get("graph_file")
+            .map(|j| j.as_str("graph_file").map(str::to_string))
+            .transpose()?;
+        if let Some(rel) = &graph_file {
+            let p = std::path::Path::new(rel);
+            let escapes = rel.is_empty()
+                || p.is_absolute()
+                || p.components()
+                    .any(|c| !matches!(c, std::path::Component::Normal(_)));
+            if escapes {
+                return Err(format!(
+                    "graph_file: {rel:?} must be a relative path inside the state dir"
+                ));
+            }
+        }
+        if workloads.is_empty() && graph.is_none() && graph_file.is_none() {
+            return Err(
+                "workloads: must name at least one network (or provide graph/graph_file)".into(),
+            );
         }
         for name in &workloads {
             if zoo::by_name(name).is_none() {
@@ -163,6 +198,8 @@ impl JobSpec {
                 .map(|j| j.as_usize("engine_workers"))
                 .transpose()?
                 .map(|w| w as u32),
+            graph,
+            graph_file,
         };
         if spec.engine_workers == Some(0) {
             return Err("engine_workers: must be positive".into());
@@ -227,6 +264,12 @@ impl JobSpec {
         if let Some(w) = self.engine_workers {
             fields.push(("engine_workers".to_string(), Json::Num(w as f64)));
         }
+        if let Some(g) = &self.graph {
+            fields.push(("graph".to_string(), Json::Str(g.clone())));
+        }
+        if let Some(g) = &self.graph_file {
+            fields.push(("graph_file".to_string(), Json::Str(g.clone())));
+        }
         Json::Obj(fields)
     }
 
@@ -258,8 +301,49 @@ impl JobSpec {
     /// A stable fingerprint of the evaluation-relevant parts of the
     /// spec (used to recognize "same workload" across jobs in metrics).
     pub fn workload_key(&self) -> String {
-        format!("{}:{}", self.platform.name(), self.workloads.join("+"))
+        let mut parts = self.workloads.clone();
+        if self.graph.is_some() {
+            parts.push("inline-graph".to_string());
+        }
+        if let Some(f) = &self.graph_file {
+            parts.push(f.clone());
+        }
+        format!("{}:{}", self.platform.name(), parts.join("+"))
     }
+}
+
+/// Loads the spec's imported graphs: the inline `graph` JSON and/or
+/// the `graph_file` resolved against `state_dir` (`.json` parses as a
+/// JSON graph, anything else as ONNX-subset wire bytes).
+///
+/// # Errors
+///
+/// A message naming the offending field — unreadable file, non-UTF-8
+/// JSON, or a frontend import error — suitable for a 422 at submit
+/// time and a loud job failure at execute time.
+pub fn load_graphs(
+    spec: &JobSpec,
+    state_dir: &std::path::Path,
+) -> Result<Vec<unico_workloads::ImportedGraph>, String> {
+    use unico_workloads::frontend;
+    let mut graphs = Vec::new();
+    if let Some(text) = &spec.graph {
+        graphs.push(frontend::import_json(text).map_err(|e| format!("graph: {e}"))?);
+    }
+    if let Some(rel) = &spec.graph_file {
+        let path = state_dir.join(rel);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("graph_file: reading {}: {e}", path.display()))?;
+        let imported = if rel.ends_with(".json") {
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|_| format!("graph_file: {} is not utf-8", path.display()))?;
+            frontend::import_json(text)
+        } else {
+            frontend::import_onnx(&bytes)
+        };
+        graphs.push(imported.map_err(|e| format!("graph_file: {e}"))?);
+    }
+    Ok(graphs)
 }
 
 /// Daemon configuration, from `UNICO_SERVE_*` environment variables.
@@ -396,6 +480,7 @@ pub fn parse_submission(body: &[u8]) -> Result<JobSpec, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     fn minimal() -> String {
         r#"{"platform": "spatial-edge", "workloads": ["mobilenet"]}"#.to_string()
@@ -463,6 +548,77 @@ mod tests {
             let err = parse_submission(body.as_bytes()).expect_err(body);
             assert!(err.contains(needle), "{body}: {err}");
         }
+    }
+
+    const GRAPH: &str = r#"{\"name\": \"g\", \"inputs\": [{\"name\": \"x\", \"dims\": [8, 8]}], \"initializers\": [{\"name\": \"w\", \"dims\": [8, 8]}], \"nodes\": [{\"op\": \"MatMul\", \"inputs\": [\"x\", \"w\"], \"outputs\": [\"y\"]}], \"outputs\": [\"y\"]}"#;
+
+    #[test]
+    fn inline_graph_replaces_workloads() {
+        let body = format!(r#"{{"platform": "spatial-edge", "graph": "{GRAPH}"}}"#);
+        let spec = parse_submission(body.as_bytes()).expect("graph-only spec parses");
+        assert!(spec.workloads.is_empty());
+        assert!(spec.graph.is_some());
+        let back = JobSpec::from_json(&spec.to_json()).expect("round-trip");
+        assert_eq!(back, spec);
+        assert_eq!(spec.workload_key(), "spatial-edge:inline-graph");
+        let graphs = load_graphs(&spec, Path::new("/nonexistent")).expect("inline load");
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].ops_lowered(), 1);
+    }
+
+    #[test]
+    fn graph_file_round_trips_and_keys() {
+        let body = r#"{"platform": "spatial-edge", "graph_file": "models/net.onnx"}"#;
+        let spec = parse_submission(body.as_bytes()).expect("graph_file spec parses");
+        let back = JobSpec::from_json(&spec.to_json()).expect("round-trip");
+        assert_eq!(back, spec);
+        assert_eq!(spec.workload_key(), "spatial-edge:models/net.onnx");
+    }
+
+    #[test]
+    fn bad_graph_submissions_name_the_field() {
+        for (body, needle) in [
+            // Malformed inline graph: a 422 at submit, not a worker panic.
+            (
+                r#"{"platform": "spatial-edge", "graph": "{\"name\": 3}"}"#.to_string(),
+                "graph",
+            ),
+            // Traversal and absolute paths must not escape the state dir.
+            (
+                r#"{"platform": "spatial-edge", "graph_file": "../../etc/passwd"}"#.to_string(),
+                "graph_file",
+            ),
+            (
+                r#"{"platform": "spatial-edge", "graph_file": "/etc/passwd"}"#.to_string(),
+                "graph_file",
+            ),
+            (
+                r#"{"platform": "spatial-edge", "graph_file": ""}"#.to_string(),
+                "graph_file",
+            ),
+        ] {
+            let err = parse_submission(body.as_bytes()).expect_err(&body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn graph_file_loads_from_state_dir() {
+        let dir = std::env::temp_dir().join("unico-spec-graph-file");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let json = GRAPH.replace("\\\"", "\"");
+        std::fs::write(dir.join("net.graph.json"), &json).expect("write model");
+        let body = r#"{"platform": "spatial-edge", "graph_file": "net.graph.json"}"#;
+        let spec = parse_submission(body.as_bytes()).expect("spec parses");
+        let graphs = load_graphs(&spec, &dir).expect("file load");
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].network().layers().len(), 1);
+        let missing = JobSpec {
+            graph_file: Some("absent.json".to_string()),
+            ..spec
+        };
+        let err = load_graphs(&missing, &dir).expect_err("missing file errors");
+        assert!(err.contains("graph_file"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! The frontend's graph intermediate representation.
+//!
+//! Both concrete formats — the hand-rolled ONNX-subset protobuf wire
+//! parser ([`crate::frontend::wire`]) and the human-writable JSON graph
+//! form ([`crate::frontend::import_json`]) — parse into this one IR,
+//! so shape inference and lowering are written once and the two forms
+//! are equivalent by construction. The IR is deliberately close to
+//! ONNX `GraphProto`: named tensors, a node list in topological order,
+//! initializers for weights (dims kept, float payloads dropped — the
+//! cost model only needs shapes), and integer payloads retained for
+//! shape-carrying tensors (`Reshape` targets).
+
+/// A named tensor: graph input, initializer, or (implicitly) a node
+/// output. Dims use `i64` as on the ONNX wire; `-1` marks a symbolic
+/// dimension (`dim_param`), rejected later if a node actually needs it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor {
+    /// Tensor name (the graph-wide identifier edges refer to).
+    pub name: String,
+    /// Dimensions in source order; `-1` for symbolic dims.
+    pub dims: Vec<i64>,
+    /// Integer payload, kept only for INT64 initializers (shape
+    /// tensors consumed by `Reshape`); empty otherwise.
+    pub int_data: Vec<i64>,
+}
+
+/// An attribute value (the subset of ONNX `AttributeProto` the
+/// supported ops use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A single integer (`group`, `axis`, `transB`, ...).
+    Int(i64),
+    /// An integer list (`kernel_shape`, `strides`, `pads`, `perm`, ...).
+    Ints(Vec<i64>),
+    /// A float (`alpha`, `beta`, ...; parsed but unused by lowering).
+    Float(f32),
+    /// A string attribute (parsed for completeness).
+    Str(String),
+}
+
+/// A named node attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attr {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute value.
+    pub value: AttrValue,
+}
+
+/// One operator node: op type, data edges by tensor name, attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Node name (may be empty on the wire; lowering synthesizes one).
+    pub name: String,
+    /// Operator type (`"Conv"`, `"Gemm"`, `"Relu"`, ...).
+    pub op_type: String,
+    /// Input tensor names in operator order.
+    pub inputs: Vec<String>,
+    /// Output tensor names.
+    pub outputs: Vec<String>,
+    /// Attributes.
+    pub attrs: Vec<Attr>,
+}
+
+impl Node {
+    /// Looks up an integer attribute.
+    pub fn attr_int(&self, name: &str) -> Option<i64> {
+        self.attrs.iter().find(|a| a.name == name).and_then(|a| {
+            if let AttrValue::Int(v) = a.value {
+                Some(v)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Looks up an integer-list attribute.
+    pub fn attr_ints(&self, name: &str) -> Option<&[i64]> {
+        self.attrs.iter().find(|a| a.name == name).and_then(|a| {
+            if let AttrValue::Ints(v) = &a.value {
+                Some(v.as_slice())
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// A whole imported graph, the common output of both parsers and the
+/// input to shape inference and lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphIr {
+    /// Graph (network) name.
+    pub name: String,
+    /// Graph inputs with their declared shapes.
+    pub inputs: Vec<Tensor>,
+    /// Initializers (weights/biases/shape tensors); float payloads are
+    /// dropped at parse time, only dims (and INT64 data) survive.
+    pub initializers: Vec<Tensor>,
+    /// Operator nodes, expected in topological order.
+    pub nodes: Vec<Node>,
+    /// Graph output tensor names.
+    pub outputs: Vec<String>,
+}
+
+impl GraphIr {
+    /// Finds an initializer by name.
+    pub fn initializer(&self, name: &str) -> Option<&Tensor> {
+        self.initializers.iter().find(|t| t.name == name)
+    }
+}

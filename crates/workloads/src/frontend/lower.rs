@@ -1,0 +1,520 @@
+//! Lowering: graph IR → [`Network`] + fusion edges.
+//!
+//! The walk visits nodes in topological order, infers every output
+//! shape, and emits one [`Layer`] per MAC-bearing op (Conv, Gemm,
+//! MatMul, depthwise Conv). Element-wise and shape ops (Relu, Add,
+//! Reshape, Flatten, ...) lower to no layer but *propagate* the
+//! producing layer's identity, so a `Conv -> Relu -> Conv` chain still
+//! yields a fusion edge between the two convs. Pooling ops also lower
+//! to no layer but deliberately *break* the association: a pooled
+//! intermediate is re-read with a different access pattern, which the
+//! fused cost model does not account, so it must go through DRAM.
+
+use std::collections::HashMap;
+
+use crate::layer::Layer;
+use crate::network::Network;
+use crate::ops::TensorOp;
+
+use super::graph::{GraphIr, Node};
+use super::shape::{concrete_dims, elems, reshape_output, window_output_shape, ShapeEnv};
+use super::{FrontendError, FusionEdge, ImportedGraph};
+
+fn bad_shape(node: &str, reason: impl Into<String>) -> FrontendError {
+    FrontendError::BadShape {
+        node: node.to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn bad_attr(node: &str, attr: &str, reason: impl Into<String>) -> FrontendError {
+    FrontendError::BadAttr {
+        node: node.to_string(),
+        attr: attr.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Lowers a parsed graph into a network plus its fusion edges.
+pub(super) fn lower(ir: &GraphIr) -> Result<ImportedGraph, FrontendError> {
+    if ir.nodes.is_empty() {
+        return Err(FrontendError::EmptyGraph);
+    }
+    let mut env = ShapeEnv::new();
+    // Tensor name -> the layer whose output it (transitively) is.
+    let mut assoc: HashMap<String, usize> = HashMap::new();
+    for input in &ir.inputs {
+        // Dynamic dims in graph inputs (symbolic batch) default to 1.
+        env.insert(
+            &input.name,
+            concrete_dims(&input.name, &input.dims, Some(1))?,
+        );
+    }
+    for init in &ir.initializers {
+        env.insert(&init.name, concrete_dims(&init.name, &init.dims, None)?);
+    }
+
+    let mut layers: Vec<Layer> = Vec::new();
+    let mut edges: Vec<FusionEdge> = Vec::new();
+    let mut ops_lowered: u64 = 0;
+
+    for (i, node) in ir.nodes.iter().enumerate() {
+        let name = if node.name.is_empty() {
+            format!("{}_{i}", node.op_type)
+        } else {
+            node.name.clone()
+        };
+        let out_name = node
+            .outputs
+            .first()
+            .ok_or_else(|| bad_shape(&name, "node has no output"))?;
+
+        // Fusion edges into a would-be layer: every *activation* input
+        // produced (transitively) by an earlier layer.
+        let incoming = |env: &ShapeEnv, assoc: &HashMap<String, usize>| -> Vec<(usize, u64)> {
+            node.inputs
+                .iter()
+                .filter_map(|t| {
+                    let producer = *assoc.get(t)?;
+                    let dims = env.get(&name, t).ok()?;
+                    Some((producer, elems(dims)))
+                })
+                .collect()
+        };
+
+        match node.op_type.as_str() {
+            "Conv" => {
+                let (op, out_dims) = lower_conv(&name, node, &env, ir)?;
+                let layer_idx = layers.len();
+                for (producer, edge_elems) in incoming(&env, &assoc) {
+                    edges.push(FusionEdge {
+                        producer,
+                        consumer: layer_idx,
+                        elems: edge_elems,
+                    });
+                }
+                layers.push(Layer::new(name, op));
+                env.insert(out_name, out_dims);
+                assoc.insert(out_name.clone(), layer_idx);
+            }
+            "Gemm" | "MatMul" => {
+                let (op, out_dims) = if node.op_type == "Gemm" {
+                    lower_gemm(&name, node, &env)?
+                } else {
+                    lower_matmul(&name, node, &env)?
+                };
+                let layer_idx = layers.len();
+                for (producer, edge_elems) in incoming(&env, &assoc) {
+                    edges.push(FusionEdge {
+                        producer,
+                        consumer: layer_idx,
+                        elems: edge_elems,
+                    });
+                }
+                layers.push(Layer::new(name, op));
+                env.insert(out_name, out_dims);
+                assoc.insert(out_name.clone(), layer_idx);
+            }
+            // Element-wise: shape and layer association pass through.
+            "Relu" | "Sigmoid" | "Tanh" | "Softmax" | "Identity" | "Clip" => {
+                let x = node
+                    .inputs
+                    .first()
+                    .ok_or_else(|| bad_shape(&name, "missing input"))?;
+                let dims = env.get(&name, x)?.to_vec();
+                if let Some(&p) = assoc.get(x) {
+                    assoc.insert(out_name.clone(), p);
+                }
+                env.insert(out_name, dims);
+            }
+            "Add" | "Mul" | "Sub" => {
+                let out_dims = lower_binary(&name, node, &env)?;
+                // Exactly one layer-produced operand: association
+                // passes through (bias/scale). Two: a residual join,
+                // which breaks fusion — the joined tensor is consumed
+                // with two producers and must be materialized.
+                let producers: Vec<usize> = node
+                    .inputs
+                    .iter()
+                    .filter_map(|t| assoc.get(t).copied())
+                    .collect();
+                if let [single] = producers.as_slice() {
+                    assoc.insert(out_name.clone(), *single);
+                }
+                env.insert(out_name, out_dims);
+            }
+            "MaxPool" | "AveragePool" => {
+                let out_dims = lower_pool(&name, node, &env)?;
+                // Pooling changes the access pattern; break fusion.
+                env.insert(out_name, out_dims);
+            }
+            "GlobalAveragePool" => {
+                let x = node
+                    .inputs
+                    .first()
+                    .ok_or_else(|| bad_shape(&name, "missing input"))?;
+                let dims = env.get(&name, x)?;
+                if dims.len() != 4 {
+                    return Err(bad_shape(&name, "expected NCHW rank-4 input"));
+                }
+                env.insert(out_name, vec![dims[0], dims[1], 1, 1]);
+            }
+            "Reshape" => {
+                let x = node
+                    .inputs
+                    .first()
+                    .ok_or_else(|| bad_shape(&name, "missing input"))?;
+                let in_dims = env.get(&name, x)?.to_vec();
+                let target: Vec<i64> = if let Some(shape_name) = node.inputs.get(1) {
+                    let t = ir.initializer(shape_name).ok_or_else(|| {
+                        bad_shape(
+                            &name,
+                            format!("reshape target {shape_name:?} is not a constant initializer"),
+                        )
+                    })?;
+                    t.int_data.clone()
+                } else if let Some(shape) = node.attr_ints("shape") {
+                    shape.to_vec()
+                } else {
+                    return Err(bad_attr(&name, "shape", "missing reshape target"));
+                };
+                let out_dims = reshape_output(&name, &in_dims, &target)?;
+                if let Some(&p) = assoc.get(x) {
+                    assoc.insert(out_name.clone(), p);
+                }
+                env.insert(out_name, out_dims);
+            }
+            "Flatten" => {
+                let x = node
+                    .inputs
+                    .first()
+                    .ok_or_else(|| bad_shape(&name, "missing input"))?;
+                let dims = env.get(&name, x)?.to_vec();
+                let rank = dims.len() as i64;
+                let mut axis = node.attr_int("axis").unwrap_or(1);
+                if axis < 0 {
+                    axis += rank;
+                }
+                if axis < 0 || axis > rank {
+                    return Err(bad_attr(&name, "axis", format!("{axis} out of range")));
+                }
+                let split = axis as usize;
+                let out_dims = vec![elems(&dims[..split]).max(1), elems(&dims[split..]).max(1)];
+                if let Some(&p) = assoc.get(x) {
+                    assoc.insert(out_name.clone(), p);
+                }
+                env.insert(out_name, out_dims);
+            }
+            "Transpose" => {
+                let x = node
+                    .inputs
+                    .first()
+                    .ok_or_else(|| bad_shape(&name, "missing input"))?;
+                let dims = env.get(&name, x)?.to_vec();
+                let perm: Vec<usize> = match node.attr_ints("perm") {
+                    Some(p) => p
+                        .iter()
+                        .map(|&v| {
+                            usize::try_from(v).map_err(|_| bad_attr(&name, "perm", "negative axis"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                    None => (0..dims.len()).rev().collect(),
+                };
+                if perm.len() != dims.len() || perm.iter().any(|&p| p >= dims.len()) {
+                    return Err(bad_attr(
+                        &name,
+                        "perm",
+                        format!("{perm:?} is not a permutation"),
+                    ));
+                }
+                let out_dims: Vec<u64> = perm.iter().map(|&p| dims[p]).collect();
+                if let Some(&p) = assoc.get(x) {
+                    assoc.insert(out_name.clone(), p);
+                }
+                env.insert(out_name, out_dims);
+            }
+            other => {
+                return Err(FrontendError::UnsupportedOp {
+                    node: name,
+                    op_type: other.to_string(),
+                })
+            }
+        }
+        ops_lowered += 1;
+    }
+
+    if layers.is_empty() {
+        return Err(FrontendError::EmptyGraph);
+    }
+    let net_name = if ir.name.is_empty() {
+        "imported".to_string()
+    } else {
+        ir.name.clone()
+    };
+    Ok(ImportedGraph {
+        network: Network::new(net_name, layers),
+        edges,
+        ops_lowered,
+    })
+}
+
+fn attr_pair(
+    node: &Node,
+    node_name: &str,
+    name: &str,
+    default: Option<[u64; 2]>,
+) -> Result<[u64; 2], FrontendError> {
+    match (node.attr_ints(name), default) {
+        (None, Some(d)) => Ok(d),
+        (None, None) => Err(bad_attr(node_name, name, "required attribute missing")),
+        (Some([a, b]), _) if *a > 0 && *b > 0 => Ok([*a as u64, *b as u64]),
+        (Some(other), _) => Err(bad_attr(
+            node_name,
+            name,
+            format!("expected two positive ints, got {other:?}"),
+        )),
+    }
+}
+
+fn lower_pool(name: &str, node: &Node, env: &ShapeEnv) -> Result<Vec<u64>, FrontendError> {
+    let x = node
+        .inputs
+        .first()
+        .ok_or_else(|| bad_shape(name, "missing input"))?;
+    let dims = env.get(name, x)?.to_vec();
+    if dims.len() != 4 {
+        return Err(bad_shape(name, "expected NCHW rank-4 input"));
+    }
+    let kernel = attr_pair(node, name, "kernel_shape", None)?;
+    let strides = attr_pair(node, name, "strides", Some([1, 1]))?;
+    let pads = attr_pads(node, name)?;
+    window_output_shape(name, &dims, dims[1], kernel, pads, strides)
+}
+
+fn attr_pads(node: &Node, node_name: &str) -> Result<[u64; 4], FrontendError> {
+    match node.attr_ints("pads") {
+        None => Ok([0; 4]),
+        Some([t, l, b, r]) if [*t, *l, *b, *r].iter().all(|&p| p >= 0) => {
+            Ok([*t as u64, *l as u64, *b as u64, *r as u64])
+        }
+        Some(other) => Err(bad_attr(
+            node_name,
+            "pads",
+            format!("expected four non-negative ints, got {other:?}"),
+        )),
+    }
+}
+
+fn lower_conv(
+    name: &str,
+    node: &Node,
+    env: &ShapeEnv,
+    ir: &GraphIr,
+) -> Result<(TensorOp, Vec<u64>), FrontendError> {
+    let x_name = node
+        .inputs
+        .first()
+        .ok_or_else(|| bad_shape(name, "missing data input"))?;
+    let w_name = node
+        .inputs
+        .get(1)
+        .ok_or_else(|| bad_shape(name, "missing weight input"))?;
+    let x = env.get(name, x_name)?.to_vec();
+    // Weights usually arrive as initializers; activations as shapes.
+    let w = match ir.initializer(w_name) {
+        Some(t) => concrete_dims(name, &t.dims, None)?,
+        None => env.get(name, w_name)?.to_vec(),
+    };
+    if x.len() != 4 || w.len() != 4 {
+        return Err(bad_shape(
+            name,
+            format!(
+                "Conv expects NCHW input and KCRS weights, got ranks {} and {}",
+                x.len(),
+                w.len()
+            ),
+        ));
+    }
+    for d in node.attr_ints("dilations").unwrap_or(&[]) {
+        if *d != 1 {
+            return Err(bad_attr(name, "dilations", "only dilation 1 is supported"));
+        }
+    }
+    let strides = attr_pair(node, name, "strides", Some([1, 1]))?;
+    if strides[0] != strides[1] {
+        return Err(bad_attr(
+            name,
+            "strides",
+            format!("anisotropic strides {strides:?} are not supported"),
+        ));
+    }
+    let pads = attr_pads(node, name)?;
+    let group = node.attr_int("group").unwrap_or(1);
+    let (n, c_in) = (x[0], x[1]);
+    let (k, c_per_group, r, s) = (w[0], w[1], w[2], w[3]);
+    let out = window_output_shape(name, &x, k, [r, s], pads, strides)?;
+    let (y, xo) = (out[2], out[3]);
+    if n == 0 || k == 0 || c_in == 0 || r == 0 || s == 0 {
+        return Err(bad_shape(name, "zero-sized convolution"));
+    }
+    let op = match group {
+        1 => {
+            if c_per_group != c_in {
+                return Err(bad_shape(
+                    name,
+                    format!("weight channels {c_per_group} != input channels {c_in}"),
+                ));
+            }
+            TensorOp::Conv2d {
+                n,
+                k,
+                c: c_in,
+                y,
+                x: xo,
+                r,
+                s,
+                stride: strides[0],
+            }
+        }
+        g if g > 0 && g as u64 == c_in && c_per_group == 1 && k == c_in => {
+            TensorOp::DepthwiseConv2d {
+                n,
+                c: c_in,
+                y,
+                x: xo,
+                r,
+                s,
+                stride: strides[0],
+            }
+        }
+        g => {
+            return Err(FrontendError::UnsupportedOp {
+                node: name.to_string(),
+                op_type: format!("Conv(group={g})"),
+            })
+        }
+    };
+    Ok((op, out))
+}
+
+fn lower_gemm(
+    name: &str,
+    node: &Node,
+    env: &ShapeEnv,
+) -> Result<(TensorOp, Vec<u64>), FrontendError> {
+    let a_name = node
+        .inputs
+        .first()
+        .ok_or_else(|| bad_shape(name, "missing A input"))?;
+    let b_name = node
+        .inputs
+        .get(1)
+        .ok_or_else(|| bad_shape(name, "missing B input"))?;
+    let mut a = env.get(name, a_name)?.to_vec();
+    let mut b = env.get(name, b_name)?.to_vec();
+    if a.len() != 2 || b.len() != 2 {
+        return Err(bad_shape(
+            name,
+            format!(
+                "Gemm expects rank-2 operands, got ranks {} and {}",
+                a.len(),
+                b.len()
+            ),
+        ));
+    }
+    if node.attr_int("transA").unwrap_or(0) != 0 {
+        a.swap(0, 1);
+    }
+    if node.attr_int("transB").unwrap_or(0) != 0 {
+        b.swap(0, 1);
+    }
+    let (m, k) = (a[0], a[1]);
+    let (kb, n) = (b[0], b[1]);
+    if k != kb {
+        return Err(bad_shape(name, format!("inner dims disagree: {k} vs {kb}")));
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return Err(bad_shape(name, "zero-sized Gemm"));
+    }
+    Ok((TensorOp::Gemm { m, n, k }, vec![m, n]))
+}
+
+fn lower_matmul(
+    name: &str,
+    node: &Node,
+    env: &ShapeEnv,
+) -> Result<(TensorOp, Vec<u64>), FrontendError> {
+    let a_name = node
+        .inputs
+        .first()
+        .ok_or_else(|| bad_shape(name, "missing A input"))?;
+    let b_name = node
+        .inputs
+        .get(1)
+        .ok_or_else(|| bad_shape(name, "missing B input"))?;
+    let a = env.get(name, a_name)?.to_vec();
+    let b = env.get(name, b_name)?.to_vec();
+    if a.len() < 2 {
+        return Err(bad_shape(name, "MatMul A must have rank >= 2"));
+    }
+    if b.len() != 2 {
+        // Batched right-hand sides change weight reuse per batch; the
+        // 7-D nest cannot express that, so the subset stops at rank 2.
+        return Err(FrontendError::UnsupportedOp {
+            node: name.to_string(),
+            op_type: format!("MatMul(B rank {})", b.len()),
+        });
+    }
+    // Leading batch dims of A fold into M: each extra row is another
+    // output row against the same right-hand matrix.
+    let k = *a.last().expect("rank >= 2");
+    let m = elems(&a[..a.len() - 1]);
+    let (kb, n) = (b[0], b[1]);
+    if k != kb {
+        return Err(bad_shape(name, format!("inner dims disagree: {k} vs {kb}")));
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return Err(bad_shape(name, "zero-sized MatMul"));
+    }
+    let mut out = a[..a.len() - 1].to_vec();
+    out.push(n);
+    Ok((TensorOp::Gemm { m, n, k }, out))
+}
+
+fn lower_binary(name: &str, node: &Node, env: &ShapeEnv) -> Result<Vec<u64>, FrontendError> {
+    let a_name = node
+        .inputs
+        .first()
+        .ok_or_else(|| bad_shape(name, "missing input"))?;
+    let b_name = node
+        .inputs
+        .get(1)
+        .ok_or_else(|| bad_shape(name, "missing second input"))?;
+    let a = env.get(name, a_name)?.to_vec();
+    let b = env.get(name, b_name)?.to_vec();
+    if a == b {
+        return Ok(a);
+    }
+    // Unidirectional broadcast of the smaller operand (bias patterns):
+    // allowed when every trailing dim matches or is 1.
+    let (big, small) = if elems(&a) >= elems(&b) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let offset = big.len().saturating_sub(small.len());
+    let ok = small
+        .iter()
+        .rev()
+        .zip(big.iter().rev())
+        .all(|(&s, &g)| s == g || s == 1)
+        && small.len() + offset == big.len();
+    if ok {
+        Ok(big)
+    } else {
+        Err(bad_shape(
+            name,
+            format!("operand shapes do not broadcast: {big:?} vs {small:?}"),
+        ))
+    }
+}

@@ -1,0 +1,209 @@
+//! Shape inference helpers.
+//!
+//! The frontend validates every shape *before* constructing a
+//! [`crate::LoopNest`] — the nest constructor panics on zero extents
+//! (loud-failure convention for programmer errors), while imported
+//! graphs are user input and must produce typed errors instead.
+
+use std::collections::HashMap;
+
+use super::FrontendError;
+
+/// Known tensor shapes by name, grown as nodes are walked in
+/// topological order.
+pub(super) struct ShapeEnv {
+    shapes: HashMap<String, Vec<u64>>,
+}
+
+impl ShapeEnv {
+    pub(super) fn new() -> Self {
+        ShapeEnv {
+            shapes: HashMap::new(),
+        }
+    }
+
+    pub(super) fn insert(&mut self, name: &str, dims: Vec<u64>) {
+        self.shapes.insert(name.to_string(), dims);
+    }
+
+    /// The shape of a tensor, or a typed error naming the node that
+    /// needed it (undefined names and use-before-def both land here).
+    pub(super) fn get(&self, node: &str, tensor: &str) -> Result<&[u64], FrontendError> {
+        self.shapes
+            .get(tensor)
+            .map(Vec::as_slice)
+            .ok_or_else(|| FrontendError::MissingTensor {
+                node: node.to_string(),
+                tensor: tensor.to_string(),
+            })
+    }
+}
+
+/// Converts wire dims (`i64`, `-1` for symbolic) to concrete extents.
+/// Symbolic dims default to `default_sym` when `Some` (graph inputs:
+/// dynamic batch becomes 1) and are rejected otherwise (initializers
+/// must be concrete).
+pub(super) fn concrete_dims(
+    node: &str,
+    dims: &[i64],
+    default_sym: Option<u64>,
+) -> Result<Vec<u64>, FrontendError> {
+    dims.iter()
+        .map(|&d| {
+            if d >= 0 {
+                Ok(d as u64)
+            } else if let Some(sub) = default_sym {
+                Ok(sub)
+            } else {
+                Err(FrontendError::BadShape {
+                    node: node.to_string(),
+                    reason: format!("symbolic dimension in {dims:?}"),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Number of elements of a shape (scalars have one element).
+pub(super) fn elems(dims: &[u64]) -> u64 {
+    dims.iter().product()
+}
+
+fn bad(node: &str, reason: impl Into<String>) -> FrontendError {
+    FrontendError::BadShape {
+        node: node.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// One spatial output extent of a conv/pool window:
+/// `floor((in + pad_begin + pad_end - kernel) / stride) + 1`.
+fn window_out(
+    node: &str,
+    input: u64,
+    kernel: u64,
+    pad_begin: u64,
+    pad_end: u64,
+    stride: u64,
+) -> Result<u64, FrontendError> {
+    let padded = input + pad_begin + pad_end;
+    if stride == 0 {
+        return Err(bad(node, "stride must be positive"));
+    }
+    if kernel == 0 || kernel > padded {
+        return Err(bad(
+            node,
+            format!("kernel {kernel} does not fit input {input} (+{pad_begin}+{pad_end} pad)"),
+        ));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Output shape of a 2-D sliding window over an NCHW input:
+/// `[N, out_channels, Ho, Wo]`.
+pub(super) fn window_output_shape(
+    node: &str,
+    input: &[u64],
+    out_channels: u64,
+    kernel: [u64; 2],
+    pads: [u64; 4],
+    strides: [u64; 2],
+) -> Result<Vec<u64>, FrontendError> {
+    if input.len() != 4 {
+        return Err(bad(
+            node,
+            format!("expected NCHW rank-4 input, got rank {}", input.len()),
+        ));
+    }
+    let ho = window_out(node, input[2], kernel[0], pads[0], pads[2], strides[0])?;
+    let wo = window_out(node, input[3], kernel[1], pads[1], pads[3], strides[1])?;
+    Ok(vec![input[0], out_channels, ho, wo])
+}
+
+/// Resolves a `Reshape` target: `0` copies the input dim, one `-1`
+/// infers from the remaining product; the element count must match.
+pub(super) fn reshape_output(
+    node: &str,
+    input: &[u64],
+    target: &[i64],
+) -> Result<Vec<u64>, FrontendError> {
+    let total = elems(input);
+    let mut out: Vec<u64> = Vec::with_capacity(target.len());
+    let mut infer_at = None;
+    for (i, &d) in target.iter().enumerate() {
+        match d {
+            0 => {
+                let copied = *input.get(i).ok_or_else(|| {
+                    bad(node, format!("shape dim {i} copies a missing input dim"))
+                })?;
+                out.push(copied);
+            }
+            -1 if infer_at.is_none() => {
+                infer_at = Some(i);
+                out.push(1);
+            }
+            -1 => return Err(bad(node, "more than one -1 in reshape target")),
+            d if d > 0 => out.push(d as u64),
+            d => return Err(bad(node, format!("negative dim {d} in reshape target"))),
+        }
+    }
+    let known = elems(&out);
+    if let Some(i) = infer_at {
+        if known == 0 || !total.is_multiple_of(known) {
+            return Err(bad(
+                node,
+                format!("cannot infer -1: {total} elements not divisible by {known}"),
+            ));
+        }
+        out[i] = total / known;
+    } else if known != total {
+        return Err(bad(
+            node,
+            format!("reshape changes element count {total} -> {known}"),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_math_matches_onnx() {
+        // 8x8, 3x3 kernel, pad 1, stride 1 -> 8x8
+        let out = window_output_shape("n", &[1, 3, 8, 8], 16, [3, 3], [1, 1, 1, 1], [1, 1])
+            .expect("fits");
+        assert_eq!(out, vec![1, 16, 8, 8]);
+        // stride 2, no pad: (8-3)/2+1 = 3
+        let out = window_output_shape("n", &[2, 4, 8, 8], 4, [3, 3], [0; 4], [2, 2]).expect("fits");
+        assert_eq!(out, vec![2, 4, 3, 3]);
+    }
+
+    #[test]
+    fn oversized_kernel_is_typed() {
+        let e = window_output_shape("n", &[1, 3, 4, 4], 8, [5, 5], [0; 4], [1, 1]);
+        assert!(matches!(e, Err(FrontendError::BadShape { .. })));
+    }
+
+    #[test]
+    fn reshape_rules() {
+        assert_eq!(
+            reshape_output("n", &[2, 3, 4], &[0, -1]).unwrap(),
+            vec![2, 12]
+        );
+        assert_eq!(
+            reshape_output("n", &[2, 3, 4], &[4, 6]).unwrap(),
+            vec![4, 6]
+        );
+        assert!(reshape_output("n", &[2, 3, 4], &[-1, -1]).is_err());
+        assert!(reshape_output("n", &[2, 3, 4], &[5, 5]).is_err());
+        assert!(reshape_output("n", &[2, 3, 4], &[7, -1]).is_err());
+    }
+
+    #[test]
+    fn symbolic_dims_default_only_when_allowed() {
+        assert_eq!(concrete_dims("n", &[-1, 3], Some(1)).unwrap(), vec![1, 3]);
+        assert!(concrete_dims("n", &[-1, 3], None).is_err());
+    }
+}

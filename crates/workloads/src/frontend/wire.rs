@@ -1,0 +1,622 @@
+//! Hand-rolled ONNX-subset protobuf wire parsing (and encoding).
+//!
+//! The repo is air-gapped and dependency-free, so instead of a
+//! generated protobuf stack this module implements the wire format
+//! directly: varints, the four live wire types, and exactly the
+//! `ModelProto`/`GraphProto`/`NodeProto`/`AttributeProto`/
+//! `TensorProto`/`ValueInfoProto` fields the frontend needs. Unknown
+//! fields are skipped (forward-compatible, like any proto reader);
+//! structurally broken input — truncated varints, lengths running past
+//! the buffer, deprecated group wire types — yields a typed
+//! [`FrontendError::Proto`], never a panic.
+//!
+//! The matching [`encode_model`] writer exists so fixtures and
+//! property tests can produce real wire bytes without an ONNX
+//! exporter in the loop: `encode → parse` is a round-trip.
+
+use super::graph::{Attr, AttrValue, GraphIr, Node, Tensor};
+use super::FrontendError;
+
+// Field numbers from onnx.proto3 (the stable public schema).
+const MODEL_GRAPH: u64 = 7;
+const GRAPH_NODE: u64 = 1;
+const GRAPH_NAME: u64 = 2;
+const GRAPH_INITIALIZER: u64 = 5;
+const GRAPH_INPUT: u64 = 11;
+const GRAPH_OUTPUT: u64 = 12;
+const NODE_INPUT: u64 = 1;
+const NODE_OUTPUT: u64 = 2;
+const NODE_NAME: u64 = 3;
+const NODE_OP_TYPE: u64 = 4;
+const NODE_ATTRIBUTE: u64 = 5;
+const ATTR_NAME: u64 = 1;
+const ATTR_F: u64 = 2;
+const ATTR_I: u64 = 3;
+const ATTR_S: u64 = 4;
+const ATTR_INTS: u64 = 7;
+const TENSOR_DIMS: u64 = 1;
+const TENSOR_DATA_TYPE: u64 = 2;
+const TENSOR_INT64_DATA: u64 = 7;
+const TENSOR_NAME: u64 = 8;
+const TENSOR_RAW_DATA: u64 = 9;
+const VALUE_INFO_NAME: u64 = 1;
+const VALUE_INFO_TYPE: u64 = 2;
+const TYPE_TENSOR_TYPE: u64 = 1;
+const TENSOR_TYPE_SHAPE: u64 = 2;
+const SHAPE_DIM: u64 = 1;
+const DIM_VALUE: u64 = 1;
+const DIM_PARAM: u64 = 2;
+
+/// `TensorProto.DataType.INT64` — the only payload type whose data the
+/// frontend retains (shape tensors for `Reshape`).
+const DATA_TYPE_INT64: u64 = 7;
+
+const WIRE_VARINT: u8 = 0;
+const WIRE_I64: u8 = 1;
+const WIRE_LEN: u8 = 2;
+const WIRE_I32: u8 = 5;
+
+fn err(msg: impl Into<String>) -> FrontendError {
+    FrontendError::Proto(msg.into())
+}
+
+/// A bounds-checked cursor over wire bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn varint(&mut self) -> Result<u64, FrontendError> {
+        let mut value: u64 = 0;
+        for shift in 0..10u32 {
+            let b = *self
+                .buf
+                .get(self.pos)
+                .ok_or_else(|| err(format!("truncated varint at byte {}", self.pos)))?;
+            self.pos += 1;
+            if shift == 9 && b > 1 {
+                return Err(err(format!("varint overflows u64 at byte {}", self.pos)));
+            }
+            value |= u64::from(b & 0x7f) << (7 * shift);
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(err(format!("varint longer than 10 bytes at {}", self.pos)))
+    }
+
+    /// Reads a field key, returning `(field_number, wire_type)`.
+    fn key(&mut self) -> Result<(u64, u8), FrontendError> {
+        let at = self.pos;
+        let key = self.varint()?;
+        let field = key >> 3;
+        let wire = (key & 0x7) as u8;
+        if field == 0 {
+            return Err(err(format!("field number 0 at byte {at}")));
+        }
+        match wire {
+            WIRE_VARINT | WIRE_I64 | WIRE_LEN | WIRE_I32 => Ok((field, wire)),
+            3 | 4 => Err(err(format!(
+                "deprecated group wire type for field {field} at byte {at}"
+            ))),
+            w => Err(err(format!("unknown wire type {w} at byte {at}"))),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrontendError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                err(format!(
+                    "length {n} at byte {} runs past end of buffer ({} bytes)",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a length-delimited payload.
+    fn bytes(&mut self) -> Result<&'a [u8], FrontendError> {
+        let len = self.varint()?;
+        let len = usize::try_from(len).map_err(|_| err("length overflows usize"))?;
+        self.take(len)
+    }
+
+    fn string(&mut self) -> Result<String, FrontendError> {
+        let raw = self.bytes()?;
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|_| err("string field is not valid utf-8"))
+    }
+
+    /// Skips a field's payload by wire type.
+    fn skip(&mut self, wire: u8) -> Result<(), FrontendError> {
+        match wire {
+            WIRE_VARINT => self.varint().map(|_| ()),
+            WIRE_I64 => self.take(8).map(|_| ()),
+            WIRE_LEN => self.bytes().map(|_| ()),
+            WIRE_I32 => self.take(4).map(|_| ()),
+            _ => unreachable!("key() filtered wire types"),
+        }
+    }
+
+    /// Reads one `int64` value or a packed list of them, depending on
+    /// the wire type actually present (proto3 writers may use either).
+    fn int64s(&mut self, wire: u8, out: &mut Vec<i64>) -> Result<(), FrontendError> {
+        match wire {
+            WIRE_VARINT => {
+                out.push(self.varint()? as i64);
+                Ok(())
+            }
+            WIRE_LEN => {
+                let payload = self.bytes()?;
+                let mut inner = Reader::new(payload);
+                while !inner.done() {
+                    out.push(inner.varint()? as i64);
+                }
+                Ok(())
+            }
+            w => Err(err(format!("int64 field with wire type {w}"))),
+        }
+    }
+}
+
+/// Parses ONNX-subset `ModelProto` wire bytes into the graph IR.
+///
+/// # Errors
+///
+/// [`FrontendError::Proto`] on any structural problem: truncation,
+/// lengths past the buffer, group wire types, missing graph.
+pub fn parse_model(bytes: &[u8]) -> Result<GraphIr, FrontendError> {
+    let mut r = Reader::new(bytes);
+    let mut graph = None;
+    while !r.done() {
+        let (field, wire) = r.key()?;
+        if field == MODEL_GRAPH && wire == WIRE_LEN {
+            graph = Some(parse_graph(r.bytes()?)?);
+        } else {
+            r.skip(wire)?;
+        }
+    }
+    graph.ok_or_else(|| err("model has no graph field"))
+}
+
+fn parse_graph(bytes: &[u8]) -> Result<GraphIr, FrontendError> {
+    let mut r = Reader::new(bytes);
+    let mut g = GraphIr {
+        name: String::new(),
+        inputs: Vec::new(),
+        initializers: Vec::new(),
+        nodes: Vec::new(),
+        outputs: Vec::new(),
+    };
+    while !r.done() {
+        let (field, wire) = r.key()?;
+        match (field, wire) {
+            (GRAPH_NODE, WIRE_LEN) => g.nodes.push(parse_node(r.bytes()?)?),
+            (GRAPH_NAME, WIRE_LEN) => g.name = r.string()?,
+            (GRAPH_INITIALIZER, WIRE_LEN) => g.initializers.push(parse_tensor(r.bytes()?)?),
+            (GRAPH_INPUT, WIRE_LEN) => g.inputs.push(parse_value_info(r.bytes()?)?),
+            (GRAPH_OUTPUT, WIRE_LEN) => g.outputs.push(parse_value_info(r.bytes()?)?.name),
+            _ => r.skip(wire)?,
+        }
+    }
+    Ok(g)
+}
+
+fn parse_node(bytes: &[u8]) -> Result<Node, FrontendError> {
+    let mut r = Reader::new(bytes);
+    let mut node = Node {
+        name: String::new(),
+        op_type: String::new(),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        attrs: Vec::new(),
+    };
+    while !r.done() {
+        let (field, wire) = r.key()?;
+        match (field, wire) {
+            (NODE_INPUT, WIRE_LEN) => node.inputs.push(r.string()?),
+            (NODE_OUTPUT, WIRE_LEN) => node.outputs.push(r.string()?),
+            (NODE_NAME, WIRE_LEN) => node.name = r.string()?,
+            (NODE_OP_TYPE, WIRE_LEN) => node.op_type = r.string()?,
+            (NODE_ATTRIBUTE, WIRE_LEN) => {
+                if let Some(attr) = parse_attribute(r.bytes()?)? {
+                    node.attrs.push(attr);
+                }
+            }
+            _ => r.skip(wire)?,
+        }
+    }
+    Ok(node)
+}
+
+/// Parses one attribute; returns `None` for value kinds the subset
+/// does not model (tensors, graphs) — lowering only reads the kinds
+/// the supported ops carry, so dropping the rest is safe.
+fn parse_attribute(bytes: &[u8]) -> Result<Option<Attr>, FrontendError> {
+    let mut r = Reader::new(bytes);
+    let mut name = String::new();
+    let mut value = None;
+    let mut ints: Vec<i64> = Vec::new();
+    while !r.done() {
+        let (field, wire) = r.key()?;
+        match (field, wire) {
+            (ATTR_NAME, WIRE_LEN) => name = r.string()?,
+            (ATTR_F, WIRE_I32) => {
+                let raw: [u8; 4] = r.take(4)?.try_into().expect("take(4) returns 4 bytes");
+                value = Some(AttrValue::Float(f32::from_le_bytes(raw)));
+            }
+            (ATTR_I, WIRE_VARINT) => value = Some(AttrValue::Int(r.varint()? as i64)),
+            (ATTR_S, WIRE_LEN) => {
+                let raw = r.bytes()?;
+                let s = std::str::from_utf8(raw)
+                    .map_err(|_| err("string attribute is not valid utf-8"))?;
+                value = Some(AttrValue::Str(s.to_string()));
+            }
+            (ATTR_INTS, w) => r.int64s(w, &mut ints)?,
+            _ => r.skip(wire)?,
+        }
+    }
+    if !ints.is_empty() {
+        value = Some(AttrValue::Ints(ints));
+    }
+    Ok(value.map(|value| Attr { name, value }))
+}
+
+fn parse_tensor(bytes: &[u8]) -> Result<Tensor, FrontendError> {
+    let mut r = Reader::new(bytes);
+    let mut t = Tensor {
+        name: String::new(),
+        dims: Vec::new(),
+        int_data: Vec::new(),
+    };
+    let mut data_type = 0u64;
+    let mut raw_data: &[u8] = &[];
+    while !r.done() {
+        let (field, wire) = r.key()?;
+        match (field, wire) {
+            (TENSOR_DIMS, w @ (WIRE_VARINT | WIRE_LEN)) => r.int64s(w, &mut t.dims)?,
+            (TENSOR_DATA_TYPE, WIRE_VARINT) => data_type = r.varint()?,
+            (TENSOR_INT64_DATA, w) => r.int64s(w, &mut t.int_data)?,
+            (TENSOR_NAME, WIRE_LEN) => t.name = r.string()?,
+            (TENSOR_RAW_DATA, WIRE_LEN) => raw_data = r.bytes()?,
+            _ => r.skip(wire)?,
+        }
+    }
+    // Shape tensors may carry their payload as raw little-endian i64.
+    if data_type == DATA_TYPE_INT64 && t.int_data.is_empty() && !raw_data.is_empty() {
+        if !raw_data.len().is_multiple_of(8) {
+            return Err(err(format!(
+                "INT64 raw_data of tensor {:?} has {} bytes, not a multiple of 8",
+                t.name,
+                raw_data.len()
+            )));
+        }
+        t.int_data = raw_data
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+    }
+    Ok(t)
+}
+
+fn parse_value_info(bytes: &[u8]) -> Result<Tensor, FrontendError> {
+    let mut r = Reader::new(bytes);
+    let mut t = Tensor {
+        name: String::new(),
+        dims: Vec::new(),
+        int_data: Vec::new(),
+    };
+    while !r.done() {
+        let (field, wire) = r.key()?;
+        match (field, wire) {
+            (VALUE_INFO_NAME, WIRE_LEN) => t.name = r.string()?,
+            (VALUE_INFO_TYPE, WIRE_LEN) => t.dims = parse_type_proto(r.bytes()?)?,
+            _ => r.skip(wire)?,
+        }
+    }
+    Ok(t)
+}
+
+fn parse_type_proto(bytes: &[u8]) -> Result<Vec<i64>, FrontendError> {
+    let mut r = Reader::new(bytes);
+    let mut dims = Vec::new();
+    while !r.done() {
+        let (field, wire) = r.key()?;
+        if field == TYPE_TENSOR_TYPE && wire == WIRE_LEN {
+            let mut tr = Reader::new(r.bytes()?);
+            while !tr.done() {
+                let (tf, tw) = tr.key()?;
+                if tf == TENSOR_TYPE_SHAPE && tw == WIRE_LEN {
+                    dims = parse_shape_proto(tr.bytes()?)?;
+                } else {
+                    tr.skip(tw)?;
+                }
+            }
+        } else {
+            r.skip(wire)?;
+        }
+    }
+    Ok(dims)
+}
+
+fn parse_shape_proto(bytes: &[u8]) -> Result<Vec<i64>, FrontendError> {
+    let mut r = Reader::new(bytes);
+    let mut dims = Vec::new();
+    while !r.done() {
+        let (field, wire) = r.key()?;
+        if field == SHAPE_DIM && wire == WIRE_LEN {
+            let mut dr = Reader::new(r.bytes()?);
+            // Symbolic dims (dim_param) become -1; rejected at shape
+            // inference only if a node actually depends on them.
+            let mut dim: i64 = -1;
+            while !dr.done() {
+                let (df, dw) = dr.key()?;
+                match (df, dw) {
+                    (DIM_VALUE, WIRE_VARINT) => dim = dr.varint()? as i64,
+                    (DIM_PARAM, WIRE_LEN) => {
+                        dr.bytes()?;
+                        dim = -1;
+                    }
+                    _ => dr.skip(dw)?,
+                }
+            }
+            dims.push(dim);
+        } else {
+            r.skip(wire)?;
+        }
+    }
+    Ok(dims)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder — fixtures and property tests produce real wire bytes here.
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.out.push(b);
+                break;
+            }
+            self.out.push(b | 0x80);
+        }
+    }
+
+    fn key(&mut self, field: u64, wire: u8) {
+        self.varint(field << 3 | u64::from(wire));
+    }
+
+    fn bytes(&mut self, field: u64, payload: &[u8]) {
+        self.key(field, WIRE_LEN);
+        self.varint(payload.len() as u64);
+        self.out.extend_from_slice(payload);
+    }
+
+    fn string(&mut self, field: u64, s: &str) {
+        self.bytes(field, s.as_bytes());
+    }
+
+    fn int(&mut self, field: u64, v: i64) {
+        self.key(field, WIRE_VARINT);
+        self.varint(v as u64);
+    }
+
+    /// Packed repeated int64 (the proto3 default encoding).
+    fn packed_ints(&mut self, field: u64, vs: &[i64]) {
+        if vs.is_empty() {
+            return;
+        }
+        let mut inner = Writer { out: Vec::new() };
+        for &v in vs {
+            inner.varint(v as u64);
+        }
+        self.bytes(field, &inner.out);
+    }
+
+    fn message(&mut self, field: u64, build: impl FnOnce(&mut Writer)) {
+        let mut inner = Writer { out: Vec::new() };
+        build(&mut inner);
+        self.bytes(field, &inner.out);
+    }
+}
+
+/// Encodes the graph IR as ONNX-subset `ModelProto` wire bytes; the
+/// result parses back via [`parse_model`] to an equivalent IR.
+pub fn encode_model(graph: &GraphIr) -> Vec<u8> {
+    let mut w = Writer { out: Vec::new() };
+    w.message(MODEL_GRAPH, |g| {
+        for node in &graph.nodes {
+            g.message(GRAPH_NODE, |n| {
+                for input in &node.inputs {
+                    n.string(NODE_INPUT, input);
+                }
+                for output in &node.outputs {
+                    n.string(NODE_OUTPUT, output);
+                }
+                if !node.name.is_empty() {
+                    n.string(NODE_NAME, &node.name);
+                }
+                n.string(NODE_OP_TYPE, &node.op_type);
+                for attr in &node.attrs {
+                    n.message(NODE_ATTRIBUTE, |a| {
+                        a.string(ATTR_NAME, &attr.name);
+                        match &attr.value {
+                            AttrValue::Float(f) => {
+                                a.key(ATTR_F, WIRE_I32);
+                                a.out.extend_from_slice(&f.to_le_bytes());
+                            }
+                            AttrValue::Int(i) => a.int(ATTR_I, *i),
+                            AttrValue::Str(s) => a.string(ATTR_S, s),
+                            AttrValue::Ints(vs) => a.packed_ints(ATTR_INTS, vs),
+                        }
+                    });
+                }
+            });
+        }
+        g.string(GRAPH_NAME, &graph.name);
+        for init in &graph.initializers {
+            g.message(GRAPH_INITIALIZER, |t| {
+                t.packed_ints(TENSOR_DIMS, &init.dims);
+                if init.int_data.is_empty() {
+                    // Dims-only float tensor: payload irrelevant to
+                    // the cost model, so none is written.
+                    t.int(TENSOR_DATA_TYPE, 1);
+                } else {
+                    t.int(TENSOR_DATA_TYPE, DATA_TYPE_INT64 as i64);
+                    t.packed_ints(TENSOR_INT64_DATA, &init.int_data);
+                }
+                t.string(TENSOR_NAME, &init.name);
+            });
+        }
+        for input in &graph.inputs {
+            g.message(GRAPH_INPUT, |vi| encode_value_info(vi, input));
+        }
+        for output in &graph.outputs {
+            g.message(GRAPH_OUTPUT, |vi| {
+                vi.string(VALUE_INFO_NAME, output);
+            });
+        }
+    });
+    w.out
+}
+
+fn encode_value_info(w: &mut Writer, t: &Tensor) {
+    w.string(VALUE_INFO_NAME, &t.name);
+    w.message(VALUE_INFO_TYPE, |ty| {
+        ty.message(TYPE_TENSOR_TYPE, |tt| {
+            tt.int(1, 1); // elem_type: FLOAT
+            tt.message(TENSOR_TYPE_SHAPE, |sh| {
+                for &d in &t.dims {
+                    sh.message(SHAPE_DIM, |dim| {
+                        if d < 0 {
+                            dim.string(DIM_PARAM, "dyn");
+                        } else {
+                            dim.int(DIM_VALUE, d);
+                        }
+                    });
+                }
+            });
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ir() -> GraphIr {
+        GraphIr {
+            name: "t".into(),
+            inputs: vec![Tensor {
+                name: "x".into(),
+                dims: vec![1, 3, 8, 8],
+                int_data: vec![],
+            }],
+            initializers: vec![Tensor {
+                name: "w".into(),
+                dims: vec![4, 3, 3, 3],
+                int_data: vec![],
+            }],
+            nodes: vec![Node {
+                name: "c0".into(),
+                op_type: "Conv".into(),
+                inputs: vec!["x".into(), "w".into()],
+                outputs: vec!["y".into()],
+                attrs: vec![Attr {
+                    name: "strides".into(),
+                    value: AttrValue::Ints(vec![1, 1]),
+                }],
+            }],
+            outputs: vec!["y".into()],
+        }
+    }
+
+    #[test]
+    fn encode_parse_round_trips() {
+        let ir = tiny_ir();
+        let bytes = encode_model(&ir);
+        let back = parse_model(&bytes).expect("round-trip");
+        assert_eq!(back, ir);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_everywhere() {
+        let bytes = encode_model(&tiny_ir());
+        for cut in 0..bytes.len() {
+            match parse_model(&bytes[..cut]) {
+                Ok(_) => {} // a shorter prefix can still be valid proto
+                Err(FrontendError::Proto(_)) => {}
+                Err(e) => panic!("truncation at {cut} gave non-proto error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn group_wire_type_rejected() {
+        // field 1, wire type 3 (start group)
+        let err = parse_model(&[0x0b]).expect_err("groups unsupported");
+        assert!(matches!(err, FrontendError::Proto(_)));
+        assert!(err.to_string().contains("group"));
+    }
+
+    #[test]
+    fn missing_graph_rejected() {
+        // A valid message with only an unknown field.
+        let err = parse_model(&[0x08, 0x01]).expect_err("no graph");
+        assert!(err.to_string().contains("no graph"));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let bytes = [
+            0x3a, 0x0b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+        ];
+        assert!(parse_model(&bytes).is_err());
+    }
+
+    #[test]
+    fn raw_data_int64_decodes() {
+        // TensorProto { dims: [2], data_type: 7, raw_data: 16 LE bytes }
+        let mut w = Writer { out: Vec::new() };
+        w.message(MODEL_GRAPH, |g| {
+            g.message(GRAPH_INITIALIZER, |t| {
+                t.packed_ints(TENSOR_DIMS, &[2]);
+                t.int(TENSOR_DATA_TYPE, 7);
+                t.string(TENSOR_NAME, "shape");
+                let mut raw = Vec::new();
+                raw.extend_from_slice(&16i64.to_le_bytes());
+                raw.extend_from_slice(&(-1i64).to_le_bytes());
+                t.bytes(TENSOR_RAW_DATA, &raw);
+            });
+            g.message(GRAPH_NODE, |n| {
+                n.string(NODE_OP_TYPE, "Identity");
+                n.string(NODE_INPUT, "shape");
+                n.string(NODE_OUTPUT, "y");
+            });
+        });
+        let ir = parse_model(&w.out).expect("parses");
+        assert_eq!(ir.initializer("shape").unwrap().int_data, vec![16, -1]);
+    }
+}

@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod frontend;
 mod layer;
 mod nest;
 mod network;
 mod ops;
 pub mod zoo;
 
+pub use frontend::{FrontendError, FusionEdge, ImportedGraph};
 pub use layer::Layer;
 pub use nest::{Dim, LoopNest, DIM_COUNT};
 pub use network::Network;

@@ -87,14 +87,26 @@ impl Network {
     /// MAC contribution. Co-search drivers use this to bound inner-loop
     /// cost while keeping the layers that dominate end-to-end PPA.
     pub fn dominant_layers(&self, count: usize) -> Network {
+        Network {
+            name: self.name.clone(),
+            layers: self
+                .dominant_indices(count)
+                .into_iter()
+                .map(|i| self.layers[i].clone())
+                .collect(),
+        }
+    }
+
+    /// The original-table indices [`Network::dominant_layers`] keeps, in
+    /// ascending order. Callers that carry per-layer side tables (e.g.
+    /// fusion edges between layer indices) use this to remap them onto
+    /// the reduced network.
+    pub fn dominant_indices(&self, count: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.layers.len()).collect();
         idx.sort_by_key(|&i| std::cmp::Reverse(self.layers[i].total_macs()));
         idx.truncate(count.max(1));
         idx.sort_unstable();
-        Network {
-            name: self.name.clone(),
-            layers: idx.into_iter().map(|i| self.layers[i].clone()).collect(),
-        }
+        idx
     }
 }
 

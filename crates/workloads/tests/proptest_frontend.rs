@@ -1,0 +1,177 @@
+//! Property tests for the graph frontend: generated graphs survive the
+//! encode → wire-parse → lower round-trip byte-identically, and
+//! malformed inputs — truncations, bit flips, illegal shapes — always
+//! come back as typed [`FrontendError`]s, never panics.
+//!
+//! The committed corpus under `tests/fixtures/fuzz/` pins the
+//! malformed-input behavior on real byte patterns (the fuzz findings
+//! that motivated each guard), so a parser refactor cannot quietly
+//! reintroduce a panic path.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use unico_workloads::frontend::graph::{Attr, AttrValue, GraphIr, Node, Tensor};
+use unico_workloads::frontend::{import_ir, import_json, import_onnx, wire};
+
+fn tensor(name: &str, dims: &[i64]) -> Tensor {
+    Tensor {
+        name: name.to_string(),
+        dims: dims.to_vec(),
+        int_data: Vec::new(),
+    }
+}
+
+/// A conv chain with optional Relu separators: every parameter the
+/// wire encoding has to round-trip (extents, strides, pads, groups)
+/// varies.
+fn conv_chain(channels: Vec<u64>, spatial: u64, kernel: u64, relu: bool) -> GraphIr {
+    let mut g = GraphIr {
+        name: "prop-cnn".to_string(),
+        inputs: vec![tensor(
+            "t0",
+            &[1, channels[0] as i64, spatial as i64, spatial as i64],
+        )],
+        initializers: Vec::new(),
+        nodes: Vec::new(),
+        outputs: Vec::new(),
+    };
+    let k = kernel as i64;
+    let pad = (k - 1) / 2;
+    let mut cur = "t0".to_string();
+    for (i, pair) in channels.windows(2).enumerate() {
+        let (cin, cout) = (pair[0] as i64, pair[1] as i64);
+        let w = format!("w{i}");
+        g.initializers.push(tensor(&w, &[cout, cin, k, k]));
+        let out = format!("t{}", i + 1);
+        g.nodes.push(Node {
+            name: format!("conv{i}"),
+            op_type: "Conv".to_string(),
+            inputs: vec![cur.clone(), w],
+            outputs: vec![out.clone()],
+            attrs: vec![Attr {
+                name: "pads".to_string(),
+                value: AttrValue::Ints(vec![pad, pad, pad, pad]),
+            }],
+        });
+        cur = out;
+        if relu {
+            let act = format!("a{}", i + 1);
+            g.nodes.push(Node {
+                name: String::new(),
+                op_type: "Relu".to_string(),
+                inputs: vec![cur.clone()],
+                outputs: vec![act.clone()],
+                attrs: Vec::new(),
+            });
+            cur = act;
+        }
+    }
+    g.outputs.push(cur);
+    g
+}
+
+fn arb_conv_chain() -> impl Strategy<Value = GraphIr> {
+    (
+        proptest::collection::vec(1u64..8, 2..5),
+        4u64..12,
+        1u64..4,
+        0u64..2,
+    )
+        .prop_map(|(channels, spatial, kernel, relu)| {
+            conv_chain(channels, spatial, kernel, relu == 1)
+        })
+}
+
+fn fuzz_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/fuzz")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode → parse → lower reproduces the direct lowering of the
+    /// same IR exactly, fingerprint included.
+    #[test]
+    fn wire_round_trip_is_byte_identical(ir in arb_conv_chain()) {
+        let direct = import_ir(&ir).expect("generated graph lowers");
+        let bytes = wire::encode_model(&ir);
+        let via_wire = import_onnx(&bytes).expect("encoded graph parses");
+        prop_assert_eq!(direct.fingerprint(), via_wire.fingerprint());
+        prop_assert_eq!(direct, via_wire);
+    }
+
+    /// Truncating valid wire bytes anywhere never panics; cutting into
+    /// the model payload is a typed error.
+    #[test]
+    fn truncated_wire_never_panics(ir in arb_conv_chain(), frac in 0.0f64..1.0) {
+        let bytes = wire::encode_model(&ir);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let _ = import_onnx(&bytes[..cut.min(bytes.len())]);
+    }
+
+    /// Flipping any single byte never panics (it may still parse — a
+    /// flipped name byte is a legal different graph — but it must come
+    /// back as a value or a typed error, not a crash).
+    #[test]
+    fn flipped_wire_never_panics(ir in arb_conv_chain(), pos in 0.0f64..1.0) {
+        let mut bytes = wire::encode_model(&ir);
+        let i = ((bytes.len() as f64) * pos) as usize % bytes.len();
+        bytes[i] ^= 0xFF;
+        let _ = import_onnx(&bytes);
+    }
+}
+
+/// Every committed fuzz-corpus file parses without panicking, and the
+/// ones that must fail do fail with a typed error whose message is
+/// non-empty.
+#[test]
+fn committed_fuzz_corpus_yields_typed_errors() {
+    let dir = fuzz_dir();
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("fuzz corpus dir exists") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        seen += 1;
+        if name.ends_with(".onnx") {
+            let bytes = std::fs::read(&path).expect("readable");
+            let result = import_onnx(&bytes);
+            // Bit-flip variants may legitimately still parse; every
+            // other corpus member is structurally broken.
+            if !name.starts_with("flip_") {
+                let err = result.expect_err(&name);
+                assert!(!err.to_string().is_empty(), "{name}");
+            }
+        } else if name.ends_with(".graph.json") {
+            let text = std::fs::read_to_string(&path).expect("readable");
+            let err = import_json(&text).expect_err(&name);
+            assert!(!err.to_string().is_empty(), "{name}");
+        } else {
+            panic!("unexpected corpus file {name}");
+        }
+    }
+    assert!(seen >= 10, "corpus unexpectedly small: {seen} files");
+}
+
+/// Illegal shapes are typed errors, not panics: mismatched conv
+/// channels, zero extents, rank confusion.
+#[test]
+fn illegal_shapes_are_typed_errors() {
+    for (label, ir) in [
+        ("channel mismatch", {
+            let mut g = conv_chain(vec![3, 4], 8, 3, false);
+            g.initializers[0].dims[1] = 99;
+            g
+        }),
+        ("zero spatial", conv_chain(vec![3, 4], 0, 1, false)),
+        ("weight rank", {
+            let mut g = conv_chain(vec![3, 4], 8, 3, false);
+            g.initializers[0].dims.pop();
+            g
+        }),
+    ] {
+        let err = import_ir(&ir).expect_err(label);
+        assert!(!err.to_string().is_empty(), "{label}");
+    }
+}

@@ -17,6 +17,22 @@
 //! * [`serve`] — the `unico-served` job-service daemon: HTTP/JSON API,
 //!   bounded worker pool, shared evaluation cache, crash recovery.
 //!
+//! Real networks enter through [`workloads::frontend`] — a
+//! dependency-free ONNX-subset / JSON graph importer — and fuse across
+//! layers via [`mapping::search_fusion`] with fused-group cost
+//! accounting in [`model`]:
+//!
+//! ```no_run
+//! use unico::prelude::*;
+//!
+//! let graph = frontend::import_json(include_str!("../tests/fixtures/tiny_cnn.graph.json"))
+//!     .expect("valid graph");
+//! let platform = SpatialPlatform::edge();
+//! let env = CoSearchEnv::with_graphs(&platform, std::slice::from_ref(&graph), EnvConfig::default());
+//! let result = Unico::new(UnicoConfig::default()).run(&env);
+//! # drop(result);
+//! ```
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -49,12 +65,20 @@ pub mod prelude {
         experiments::Scale, Checkpoint, CheckpointError, CheckpointPolicy, IterationUpdate,
         RunObserver, RunOptions, Unico, UnicoConfig, UnicoResult,
     };
-    pub use unico_mapping::{Mapping, MappingSearcher, MappingSpace};
-    pub use unico_model::{Dataflow, EvalCache, HwConfig, HwSpace, Platform, SpatialPlatform};
+    pub use unico_mapping::{
+        search_fusion, FusionGain, FusionOracle, FusionPlan, FusionStats, Mapping, MappingSearcher,
+        MappingSpace,
+    };
+    pub use unico_model::{
+        Dataflow, EvalCache, FusedCostOracle, FusionPricer, HwConfig, HwSpace, Platform,
+        SpatialPlatform,
+    };
     pub use unico_search::{
-        CacheReport, CoSearchEnv, EnvConfig, FaultContext, FaultKind, FaultPlan, RetryPolicy,
-        TelemetrySnapshot,
+        CacheReport, CoSearchEnv, EnvConfig, FaultContext, FaultKind, FaultPlan, FusionReport,
+        RetryPolicy, TelemetrySnapshot,
     };
     pub use unico_serve::{JobSpec, JobState, Scheduler, ServeConfig, Server};
-    pub use unico_workloads::{zoo, Network, TensorOp};
+    pub use unico_workloads::{
+        frontend, zoo, FrontendError, FusionEdge, ImportedGraph, Network, TensorOp,
+    };
 }

@@ -341,6 +341,44 @@ fn gradient_tool_runs_are_deterministic_and_booked() {
     );
 }
 
+/// Fusion-aware co-optimization is seeded-deterministic end to end:
+/// two same-seed runs over the committed tiny-CNN fixture (imported
+/// through the graph frontend, fused via the greedy planner during
+/// every assessment) produce byte-identical fronts, deterministic
+/// reports and cache traces, and book the fusion telemetry counters.
+#[test]
+fn fused_graph_runs_are_deterministic_and_booked() {
+    let graph =
+        unico_workloads::frontend::import_json(include_str!("fixtures/tiny_cnn.graph.json"))
+            .expect("committed fixture imports");
+    let run = |cache: Arc<EvalCache>| {
+        let platform = SpatialPlatform::edge().with_eval_cache(cache);
+        let env = CoSearchEnv::with_graphs(
+            &platform,
+            std::slice::from_ref(&graph),
+            EnvConfig {
+                max_layers_per_network: 4, // keep the whole fusable chain
+                power_cap_mw: Some(2_000.0),
+                area_cap_mm2: None,
+            },
+        );
+        Unico::new(smoke_cfg(7)).run(&env)
+    };
+    let cache_a = Arc::new(EvalCache::new());
+    let cache_b = Arc::new(EvalCache::new());
+    let a = run(Arc::clone(&cache_a));
+    let b = run(Arc::clone(&cache_b));
+
+    assert_eq!(front_bits(&a), front_bits(&b));
+    assert_eq!(a.report.deterministic_json(), b.report.deterministic_json());
+    assert_eq!(cache_a.to_trace(), cache_b.to_trace());
+
+    let tried = a.report.counters["fusion_groups_tried"];
+    let accepted = a.report.counters["fusion_groups_accepted"];
+    assert!(tried >= 1, "fused runs must price candidate groups");
+    assert!(accepted <= tried);
+}
+
 /// Fig. 9-style MOBOHB baseline: at realistic per-session mapping
 /// budgets the random tiling samplers revisit mappings and successive
 /// halving re-assesses survivors, so the evaluation stream is heavily

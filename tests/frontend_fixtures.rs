@@ -1,0 +1,94 @@
+//! Golden-network fixtures for the graph frontend.
+//!
+//! Each fixture network is committed in both input forms — the
+//! human-writable JSON graph and the ONNX-subset protobuf wire bytes —
+//! and this suite pins that both forms lower to the *byte-identical*
+//! nest fingerprint, so neither parser can drift without failing CI.
+//!
+//! Regenerate the wire forms from the JSON sources with
+//! `UNICO_RECORD_FIXTURES=1 cargo test --test frontend_fixtures`.
+
+use std::path::{Path, PathBuf};
+
+use unico::workloads::frontend::{self, json, wire};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn record_mode() -> bool {
+    std::env::var_os("UNICO_RECORD_FIXTURES").is_some_and(|v| v == "1")
+}
+
+/// Loads one fixture in both forms (recording the wire form first when
+/// asked to) and returns `(via_json, via_wire)`.
+fn load_both(stem: &str) -> (frontend::ImportedGraph, frontend::ImportedGraph) {
+    let dir = fixtures_dir();
+    let json_path = dir.join(format!("{stem}.graph.json"));
+    let onnx_path = dir.join(format!("{stem}.onnx"));
+    let text = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", json_path.display()));
+    if record_mode() {
+        let ir = json::parse_graph_json(&text).expect("fixture JSON parses");
+        std::fs::write(&onnx_path, wire::encode_model(&ir))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", onnx_path.display()));
+    }
+    let via_json = frontend::import_json(&text).expect("fixture JSON imports");
+    let bytes = std::fs::read(&onnx_path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e} (run with UNICO_RECORD_FIXTURES=1)",
+            onnx_path.display()
+        )
+    });
+    let via_wire = frontend::import_onnx(&bytes).expect("fixture wire bytes import");
+    (via_json, via_wire)
+}
+
+#[test]
+fn tiny_cnn_round_trips_byte_identically() {
+    let (via_json, via_wire) = load_both("tiny_cnn");
+    assert_eq!(via_json.fingerprint(), via_wire.fingerprint());
+    assert_eq!(via_json, via_wire);
+    let net = via_json.network();
+    assert_eq!(net.name(), "tiny-cnn");
+    let kinds: Vec<&str> = net.layers().iter().map(|l| l.op().kind()).collect();
+    assert_eq!(kinds, vec!["conv", "dwconv", "conv", "gemm"]);
+    // conv1 -> dw -> pw fuse candidates; the MaxPool breaks pw -> fc.
+    assert_eq!(via_json.edges().len(), 2);
+    assert_eq!(via_json.ops_lowered(), 9);
+}
+
+#[test]
+fn mlp_round_trips_byte_identically() {
+    let (via_json, via_wire) = load_both("mlp");
+    assert_eq!(via_json.fingerprint(), via_wire.fingerprint());
+    assert_eq!(via_json, via_wire);
+    let net = via_json.network();
+    assert_eq!(net.name(), "mlp-block");
+    let kinds: Vec<&str> = net.layers().iter().map(|l| l.op().kind()).collect();
+    assert_eq!(kinds, vec!["gemm", "gemm"]);
+    // proj1 -(Add, Relu)-> proj2 survives as one fusion edge over the
+    // 32x128 intermediate.
+    assert_eq!(
+        via_json.edges(),
+        &[frontend::FusionEdge {
+            producer: 0,
+            consumer: 1,
+            elems: 32 * 128,
+        }]
+    );
+}
+
+/// The lowered forms are pinned by value: a parser or lowering change
+/// that shifts any extent, stride, repeat or edge fails here before it
+/// can silently invalidate recorded service results.
+#[test]
+fn fixture_fingerprints_are_pinned() {
+    let (cnn, _) = load_both("tiny_cnn");
+    let (mlp, _) = load_both("mlp");
+    assert_eq!(cnn.fingerprint(), PINNED_TINY_CNN);
+    assert_eq!(mlp.fingerprint(), PINNED_MLP);
+}
+
+const PINNED_TINY_CNN: u64 = 6013989175444613194;
+const PINNED_MLP: u64 = 7370462611507651710;

@@ -1,0 +1,157 @@
+//! Differential tests for fusion-aware assessment, at the level the
+//! service runs it: whole co-optimization environments over committed
+//! fixture networks.
+//!
+//! The contract under test:
+//!
+//! * an environment whose graphs carry **no usable fusion context**
+//!   (edge-less graphs, or a platform without a fused-cost pricer) is
+//!   **bitwise identical** to the historical per-layer path — same
+//!   front bits, same evaluation-cache trace, same report;
+//! * any **accepted multi-layer group** strictly reduces modeled DRAM
+//!   traffic versus running its members standalone, while its members
+//!   stay legal (the pricer rejects any group whose resident
+//!   intermediates would overflow L2 — pinned at the model layer in
+//!   `unico-model`'s fused tests).
+
+use std::sync::Arc;
+
+use unico::model::PpaEngine;
+use unico::prelude::*;
+
+fn smoke_cfg(seed: u64) -> UnicoConfig {
+    UnicoConfig {
+        max_iter: 2,
+        batch: 4,
+        b_max: 24,
+        candidate_pool: 16,
+        seed,
+        ..UnicoConfig::default()
+    }
+}
+
+fn fixture_graph() -> ImportedGraph {
+    frontend::import_json(include_str!("fixtures/tiny_cnn.graph.json"))
+        .expect("committed fixture imports")
+}
+
+fn front_bits(r: &UnicoResult<unico::model::HwConfig>) -> Vec<Vec<u64>> {
+    r.front
+        .objectives()
+        .iter()
+        .map(|y| y.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// Wrapping plain networks as edge-less imported graphs must not
+/// change a single bit of the run: same front, same cache trace.
+#[test]
+fn edgeless_graphs_reproduce_per_layer_run_bitwise() {
+    let net = zoo::mobilenet_v1();
+    let cfg = EnvConfig {
+        max_layers_per_network: 1,
+        power_cap_mw: Some(2_000.0),
+        area_cap_mm2: None,
+    };
+    let cache_plain = Arc::new(EvalCache::new());
+    let plain = {
+        let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache_plain));
+        let env = CoSearchEnv::new(&platform, std::slice::from_ref(&net), cfg);
+        Unico::new(smoke_cfg(7)).run(&env)
+    };
+    let cache_wrapped = Arc::new(EvalCache::new());
+    let wrapped = {
+        let platform = SpatialPlatform::edge().with_eval_cache(Arc::clone(&cache_wrapped));
+        let graphs = [ImportedGraph::from_network(net.clone())];
+        let env = CoSearchEnv::with_graphs(&platform, &graphs, cfg);
+        Unico::new(smoke_cfg(7)).run(&env)
+    };
+    assert_eq!(front_bits(&plain), front_bits(&wrapped));
+    assert_eq!(
+        plain.report.deterministic_json(),
+        wrapped.report.deterministic_json()
+    );
+    assert_eq!(cache_plain.to_trace(), cache_wrapped.to_trace());
+}
+
+/// A graph **with** fusion edges on a platform **without** a fused
+/// pricer (loop-centric engine) also reproduces the per-layer run
+/// bitwise — the fusion machinery must be inert, not just close.
+#[test]
+fn pricer_less_platform_keeps_fused_env_bitwise_identical() {
+    let graph = fixture_graph();
+    let cfg = EnvConfig {
+        max_layers_per_network: 4,
+        power_cap_mw: Some(2_000.0),
+        area_cap_mm2: None,
+    };
+    let cache_plain = Arc::new(EvalCache::new());
+    let plain = {
+        let platform = SpatialPlatform::edge()
+            .with_engine(PpaEngine::LoopCentric)
+            .with_eval_cache(Arc::clone(&cache_plain));
+        let nets = [graph.network().clone()];
+        let env = CoSearchEnv::new(&platform, &nets, cfg);
+        Unico::new(smoke_cfg(7)).run(&env)
+    };
+    let cache_fused = Arc::new(EvalCache::new());
+    let fused = {
+        let platform = SpatialPlatform::edge()
+            .with_engine(PpaEngine::LoopCentric)
+            .with_eval_cache(Arc::clone(&cache_fused));
+        let env = CoSearchEnv::with_graphs(&platform, std::slice::from_ref(&graph), cfg);
+        Unico::new(smoke_cfg(7)).run(&env)
+    };
+    assert_eq!(front_bits(&plain), front_bits(&fused));
+    assert_eq!(cache_plain.to_trace(), cache_fused.to_trace());
+    assert_eq!(
+        plain.report.counters["fusion_groups_tried"],
+        fused.report.counters["fusion_groups_tried"]
+    );
+    assert_eq!(fused.report.counters["fusion_groups_tried"], 0);
+}
+
+/// Accepted multi-layer groups strictly reduce modeled DRAM bytes and
+/// never worsen the assessment versus the unfused twin on the same
+/// hardware and seed.
+#[test]
+fn accepted_groups_strictly_reduce_dram_on_fixture_network() {
+    let graph = fixture_graph();
+    let cfg = EnvConfig {
+        max_layers_per_network: 4,
+        power_cap_mw: None,
+        area_cap_mm2: None,
+    };
+    let platform = SpatialPlatform::edge();
+    let nets = [graph.network().clone()];
+    let e_plain = CoSearchEnv::new(&platform, &nets, cfg);
+    let e_fused = CoSearchEnv::with_graphs(&platform, std::slice::from_ref(&graph), cfg);
+    let mut rng = rand::SeedableRng::seed_from_u64(17);
+    for attempt in 0..60 {
+        let hw = e_plain.platform().sample_hw(&mut rng);
+        let mut plain = e_plain.session(hw, attempt);
+        let mut fused = e_fused.session(hw, attempt);
+        plain.advance_to(80);
+        fused.advance_to(80);
+        let (Some(pa), Some(pf)) = (plain.assess(), fused.assess()) else {
+            continue;
+        };
+        let Some(report) = fused.fusion_report_at(80) else {
+            continue;
+        };
+        if report.stats.groups_accepted == 0 {
+            continue;
+        }
+        assert!(
+            report.dram_bytes_fused < report.dram_bytes_unfused,
+            "accepted groups must strictly reduce DRAM traffic \
+             (fused {} vs unfused {})",
+            report.dram_bytes_fused,
+            report.dram_bytes_unfused
+        );
+        assert!(pf.latency_s <= pa.latency_s);
+        assert!(!report.overrides.is_empty());
+        return;
+    }
+    panic!("no hardware with an accepted fused group in 60 samples");
+}
